@@ -1,0 +1,155 @@
+// Command gpstrace generates, inspects and characterizes arrival traces:
+//
+//	gpstrace gen -type onoff -p 0.3 -q 0.7 -lambda 0.5 -slots 100000 -seed 7 -out t.txt
+//	gpstrace gen -type cbr -rate 0.25 -slots 1000 -out c.txt
+//	gpstrace fit -rho 0.2 t.txt          # fit an E.B.B. envelope
+//	gpstrace stat t.txt                  # mean/peak/sigma summary
+//
+// Traces are plain text, one per-slot volume per line (see
+// internal/traceio), and plug into gpssim's "trace" source type.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lbap"
+	"repro/internal/source"
+	"repro/internal/traceio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = gen(os.Args[2:])
+	case "fit":
+		err = fit(os.Args[2:])
+	case "stat":
+		err = stat(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gpstrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpstrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gpstrace <gen|fit|stat> [flags]
+
+gen   -type onoff|cbr [-p -q -lambda | -rate] -slots N -seed S -out FILE
+fit   -rho R [-windows "4,8,16,32"] FILE
+stat  FILE`)
+}
+
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	typ := fs.String("type", "onoff", "source type: onoff or cbr")
+	p := fs.Float64("p", 0.3, "on-off: off->on probability")
+	q := fs.Float64("q", 0.7, "on-off: on->off probability")
+	lambda := fs.Float64("lambda", 0.5, "on-off: on-state rate")
+	rate := fs.Float64("rate", 0.25, "cbr: constant rate")
+	slots := fs.Int("slots", 100000, "trace length in slots")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	var src source.Source
+	switch *typ {
+	case "onoff":
+		s, err := source.NewOnOff(*p, *q, *lambda, *seed)
+		if err != nil {
+			return err
+		}
+		src = s
+	case "cbr":
+		src = source.CBR{Rate: *rate}
+	default:
+		return fmt.Errorf("unknown source type %q", *typ)
+	}
+	trace := source.Record(src, *slots)
+	if err := traceio.WriteFile(*out, trace); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d slots to %s (mean %.4f)\n", *slots, *out, mean(trace))
+	return nil
+}
+
+func fit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	rho := fs.Float64("rho", 0, "envelope rate (required, above the mean)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fit needs exactly one trace file")
+	}
+	if *rho <= 0 {
+		return fmt.Errorf("-rho is required and must be positive")
+	}
+	trace, err := traceio.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fitted, err := source.FitEBB(trace, *rho, []int{4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	worst, err := source.VerifyEBB(trace, fitted, []int{4, 16, 64}, []float64{0.2, 0.5, 1.0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted: %v\n", fitted)
+	fmt.Printf("self-check worst empirical/bound ratio: %.3f (<= 1 means the envelope holds)\n", worst)
+	return nil
+}
+
+func stat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stat needs exactly one trace file")
+	}
+	trace, err := traceio.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	peak := 0.0
+	for _, v := range trace {
+		if v > peak {
+			peak = v
+		}
+	}
+	m := mean(trace)
+	fmt.Printf("slots: %d\nmean rate: %.4f\npeak slot: %.4f\n", len(trace), m, peak)
+	for _, f := range []float64{1.1, 1.25, 1.5} {
+		rho := m * f
+		fmt.Printf("min sigma at rho=%.4f (%.0f%% of mean): %.3f\n", rho, 100*f, lbap.MinSigma(trace, rho))
+	}
+	return nil
+}
+
+func mean(trace []float64) float64 {
+	s := 0.0
+	for _, v := range trace {
+		s += v
+	}
+	return s / float64(len(trace))
+}

@@ -1,0 +1,6 @@
+// Package repro reproduces Zhang, Towsley & Kurose, "Statistical Analysis
+// of Generalized Processor Sharing Scheduling Discipline" (SIGCOMM '94).
+// The public API lives in repro/gps; the experiment harness is
+// bench_test.go in this directory plus the cmd/gpslab CLI. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package repro

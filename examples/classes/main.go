@@ -1,0 +1,83 @@
+// Classes: the paper's §7 proposal — GPS isolation between traffic
+// classes, FCFS multiplexing within each class. Voice, video and data
+// classes share a link; the class-level statistical bounds serve as
+// per-session worst-case soft guarantees, while FCFS inside each class
+// harvests multiplexing gain that strict per-session GPS would forfeit.
+//
+//	go run ./examples/classes
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/gps"
+)
+
+func main() {
+	voice := gps.EBB{Rho: 0.05, Lambda: 1, Alpha: 3}
+	video := gps.EBB{Rho: 0.10, Lambda: 1, Alpha: 2}
+	data := gps.EBB{Rho: 0.08, Lambda: 1.2, Alpha: 1.5}
+
+	server := gps.ClassServer{
+		Rate: 1,
+		Classes: []gps.TrafficClass{
+			// Paper §7 weighting: voice at "peak" (ρ/φ = 1), video at
+			// 75% (ρ/φ = 4/3), data at 50% (ρ/φ = 2).
+			{Name: "voice", Phi: 0.20, Members: []gps.EBB{voice, voice, voice, voice}},
+			{Name: "video", Phi: 0.225, Members: []gps.EBB{video, video, video}},
+			{Name: "data", Phi: 0.12, Members: []gps.EBB{data, data, data}},
+		},
+	}
+	bounds, err := gps.AnalyzeClasses(server, 0.5, true, gps.XiOptimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-class bounds (valid for every member session):")
+	for _, cb := range bounds {
+		fmt.Printf("  %-5s g=%.3f  Pr{D>=20} <= %.2e  D(1e-4) <= %.1f slots\n",
+			cb.Class, cb.Bounds.G, cb.Bounds.DelayTail(20), cb.Bounds.DelayQuantile(1e-4))
+	}
+
+	// Simulate: each member an on-off source at twice its rho, 50% duty.
+	fmt.Println("\nsimulating 200000 slots (GPS across classes, FCFS within)...")
+	memberClasses := []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	peak := []float64{0.1, 0.1, 0.1, 0.1, 0.2, 0.2, 0.2, 0.16, 0.16, 0.16}
+	srcs := make([]*gps.OnOff, len(memberClasses))
+	for i := range srcs {
+		var err error
+		srcs[i], err = gps.NewOnOff(0.5, 0.5, peak[i], uint64(21+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	delays := make([][]float64, len(memberClasses))
+	sim, err := gps.NewClassSim(server, func(member, slot int, d float64) {
+		delays[member] = append(delays[member], d)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(200000, func(m int) float64 { return srcs[m].Next() }); err != nil {
+		log.Fatal(err)
+	}
+
+	classNames := []string{"voice", "video", "data"}
+	fmt.Println("measured per-member p99.9 delays vs class bound D(1e-3):")
+	for ci, name := range classNames {
+		boundD := bounds[ci].Bounds.DelayQuantile(1e-3)
+		fmt.Printf("  %-5s bound %.1f:", name, boundD)
+		for m, mc := range memberClasses {
+			if mc != ci || len(delays[m]) == 0 {
+				continue
+			}
+			ds := delays[m]
+			sort.Float64s(ds)
+			fmt.Printf(" %.1f", ds[int(0.999*float64(len(ds)-1))])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nevery member's measured tail sits inside its class guarantee, while")
+	fmt.Println("sessions inside a class share capacity FCFS and ride out each other's bursts.")
+}

@@ -1,0 +1,97 @@
+// Tenants: two-level hierarchical GPS link sharing — the architecture
+// the paper's §1 motivates via Clark-Shenker-Zhang. Two tenants share a
+// link under outer GPS; within each tenant, inner GPS divides the
+// tenant's allocation among its sessions. One tenant hosts a misbehaving
+// session; the hierarchy confines the damage twice: the other tenant is
+// untouched, and even the hog's well-behaved neighbor keeps its inner
+// guarantee.
+//
+//	go run ./examples/tenants
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/gps"
+)
+
+func main() {
+	a := gps.EBB{Rho: 0.1, Lambda: 1, Alpha: 2}
+	b := gps.EBB{Rho: 0.08, Lambda: 1, Alpha: 2.5}
+	server := gps.HierServer{
+		Rate: 1,
+		Groups: []gps.HierGroup{
+			{Name: "tenant-a", Phi: 0.6, MemberPhi: []float64{1, 1}, Members: []gps.EBB{a, a}},
+			{Name: "tenant-b", Phi: 0.4, MemberPhi: []float64{2, 1, 1}, Members: []gps.EBB{b, b, b}},
+		},
+	}
+	bounds, err := gps.AnalyzeHierarchy(server, gps.Options{Independent: true, Xi: gps.XiOptimal})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-member bounds at each group's guaranteed rate:")
+	for _, mb := range bounds {
+		for m, sb := range mb.Bounds {
+			fmt.Printf("  %s/%d: g=%.3f  D(1e-4) <= %.1f slots\n", mb.Group, m, sb.G, sb.DelayQuantile(1e-4))
+		}
+	}
+
+	fmt.Println("\nsimulating 200000 slots with tenant-a/0 misbehaving (load ~1.1x the link)...")
+	delays := map[[2]int][]float64{}
+	sim, err := gps.NewHierSim(server, func(g, m, slot int, d float64) {
+		k := [2]int{g, m}
+		delays[k] = append(delays[k], d)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hog, err := gps.NewOnOff(0.9, 0.1, 1.2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	polite, err := gps.NewOnOff(0.5, 0.5, 0.2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bSrcs := make([]*gps.OnOff, 3)
+	for i := range bSrcs {
+		bSrcs[i], err = gps.NewOnOff(0.5, 0.5, 0.16, uint64(10+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	err = sim.Run(200000, func(g, m int) float64 {
+		switch {
+		case g == 0 && m == 0:
+			return hog.Next()
+		case g == 0 && m == 1:
+			return polite.Next()
+		default:
+			return bSrcs[m].Next()
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured p99.9 delays (hog floods, everyone else protected):")
+	names := map[[2]int]string{
+		{0, 0}: "tenant-a/0 (hog)",
+		{0, 1}: "tenant-a/1 (polite)",
+		{1, 0}: "tenant-b/0",
+		{1, 1}: "tenant-b/1",
+		{1, 2}: "tenant-b/2",
+	}
+	for _, k := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}} {
+		ds := delays[k]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Float64s(ds)
+		fmt.Printf("  %-20s p99.9 = %6.1f slots (n=%d)\n",
+			names[k], ds[int(0.999*float64(len(ds)-1))], len(ds))
+	}
+	fmt.Println("\nthe hog's own delays explode (its queue grows without bound), while both")
+	fmt.Println("its neighbor and the other tenant stay within their analytic guarantees.")
+}

@@ -1,0 +1,103 @@
+package gps_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gps"
+)
+
+// ExampleFitEBB characterizes recorded traffic empirically when no
+// analytic model is available.
+func ExampleFitEBB() {
+	src, err := gps.NewOnOff(0.4, 0.4, 0.4, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := gps.Record(src, 400000)
+	fitted, err := gps.FitEBB(trace, 0.25, []int{4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, err := gps.VerifyEBB(trace, fitted, []int{4, 16}, []float64{0.3, 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted rho: %.2f, envelope holds on its trace: %v\n", fitted.Rho, worst <= 1)
+	// Output:
+	// fitted rho: 0.25, envelope holds on its trace: true
+}
+
+// ExampleRequiredRateMarkov shows the sharper Figure-4 route for sizing a
+// session's guaranteed rate.
+func ExampleRequiredRateMarkov() {
+	src, err := gps.NewOnOff(0.4, 0.4, 0.4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt := gps.QoSTarget{Delay: 25, Eps: 1e-4}
+	viaEBB, err := gps.RequiredRate(mustEBB(src), tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := gps.RequiredRateMarkov(src.Markov(), tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E.B.B. route needs %.4f, direct Markov route needs %.4f\n", viaEBB, direct)
+	// Output:
+	// E.B.B. route needs 0.2771, direct Markov route needs 0.2627
+}
+
+func mustEBB(src *gps.OnOff) gps.EBB {
+	c, err := src.Markov().EBBPaper(0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+// ExampleAnalyzeClasses sets up the paper §7 class structure.
+func ExampleAnalyzeClasses() {
+	voice := gps.EBB{Rho: 0.05, Lambda: 1, Alpha: 3}
+	srv := gps.ClassServer{
+		Rate: 1,
+		Classes: []gps.TrafficClass{
+			{Name: "voice", Phi: 0.2, Members: []gps.EBB{voice, voice, voice, voice}},
+			{Name: "bulk", Phi: 0.5, Members: []gps.EBB{{Rho: 0.4, Lambda: 1, Alpha: 1.2}}},
+		},
+	}
+	bounds, err := gps.AnalyzeClasses(srv, 0.5, true, gps.XiOptimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cb := range bounds {
+		fmt.Printf("%s: g = %.2f\n", cb.Class, cb.Bounds.G)
+	}
+	// Output:
+	// voice: g = 0.29
+	// bulk: g = 0.71
+}
+
+// ExampleNewConformanceMonitor polices a declared characterization
+// online.
+func ExampleNewConformanceMonitor() {
+	declared := gps.EBB{Rho: 0.25, Lambda: 0.92, Alpha: 1.76}
+	m, err := gps.NewConformanceMonitor(declared, []int{8, 32}, []float64{0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A source hotter than declared...
+	hot, err := gps.NewOnOff(0.6, 0.2, 0.6, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k < 50000; k++ {
+		if err := m.Observe(hot.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("violation detected: %v\n", m.WorstRatio(1000) > 1)
+	// Output:
+	// violation detected: true
+}

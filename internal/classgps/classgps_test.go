@@ -1,0 +1,254 @@
+package classgps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+	"repro/internal/fluid"
+	"repro/internal/gpsmath"
+	"repro/internal/source"
+	"repro/internal/stats"
+)
+
+// threeClassServer mirrors the paper's §7 example: peak-rate, 75%-rate
+// and 50%-rate classes (ρ/φ = 1, 4/3, 2).
+func threeClassServer() Server {
+	voice := ebb.Process{Rho: 0.05, Lambda: 1, Alpha: 3}
+	video := ebb.Process{Rho: 0.1, Lambda: 1, Alpha: 2}
+	data := ebb.Process{Rho: 0.08, Lambda: 1.2, Alpha: 1.5}
+	return Server{
+		Rate: 1,
+		Classes: []Class{
+			{Name: "voice", Phi: 0.20, Members: []ebb.Process{voice, voice, voice, voice}},
+			{Name: "video", Phi: 0.225, Members: []ebb.Process{video, video, video}},
+			{Name: "data", Phi: 0.12, Members: []ebb.Process{data, data, data}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := threeClassServer().Validate(); err != nil {
+		t.Fatalf("valid server rejected: %v", err)
+	}
+	bad := threeClassServer()
+	bad.Rate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rate: want error")
+	}
+	bad = threeClassServer()
+	bad.Classes[0].Phi = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero phi: want error")
+	}
+	bad = threeClassServer()
+	bad.Classes[1].Members = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty class: want error")
+	}
+	bad = threeClassServer()
+	bad.Classes[2].Members[0].Rho = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("overload: want error")
+	}
+	if err := (Server{Rate: 1}).Validate(); err == nil {
+		t.Error("no classes: want error")
+	}
+}
+
+func TestAggregateServer(t *testing.T) {
+	s := threeClassServer()
+	srv, err := s.AggregateServer(0.7)
+	if err != nil {
+		t.Fatalf("AggregateServer: %v", err)
+	}
+	if err := srv.Validate(); err != nil {
+		t.Fatalf("aggregate server invalid: %v", err)
+	}
+	if len(srv.Sessions) != 3 {
+		t.Fatalf("%d aggregate sessions, want 3", len(srv.Sessions))
+	}
+	// Aggregate rho is the member sum.
+	if got, want := srv.Sessions[0].Arrival.Rho, 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("voice aggregate rho = %v, want %v", got, want)
+	}
+	// Aggregation theta must respect the smallest member alpha.
+	if _, err := s.AggregateServer(5); err == nil {
+		t.Error("theta above member alpha: want error")
+	}
+}
+
+func TestAnalyzeBoundsValid(t *testing.T) {
+	s := threeClassServer()
+	for _, independent := range []bool{true, false} {
+		bounds, err := s.Analyze(0.5, independent, gpsmath.XiOptimal)
+		if err != nil {
+			t.Fatalf("Analyze(independent=%v): %v", independent, err)
+		}
+		if len(bounds) != 3 {
+			t.Fatalf("%d class bounds", len(bounds))
+		}
+		for _, cb := range bounds {
+			v0 := cb.Bounds.BacklogTail(0.5)
+			v1 := cb.Bounds.BacklogTail(60)
+			if v1 > v0 || v1 > 1e-2 {
+				t.Errorf("class %s: bound not decaying (%v at 0.5 -> %v at 60)", cb.Class, v0, v1)
+			}
+		}
+	}
+	if _, err := s.Analyze(2, true, gpsmath.XiOne); err == nil {
+		t.Error("theta fraction >= 1: want error")
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	s := threeClassServer()
+	sim, err := NewSim(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step([]float64{1}); err == nil {
+		t.Error("wrong arrival count: want error")
+	}
+	arr := make([]float64, 10)
+	arr[3] = -1
+	if err := sim.Step(arr); err == nil {
+		t.Error("negative arrival: want error")
+	}
+}
+
+func TestSimClassBoundHoldsForMembers(t *testing.T) {
+	s := threeClassServer()
+	bounds, err := s.Analyze(0.5, true, gpsmath.XiOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tails := make([]*stats.Tail, 10) // 10 flat members
+	for i := range tails {
+		tails[i] = &stats.Tail{}
+	}
+	sim, err := NewSim(s, func(member, slot int, d float64) {
+		tails[member].Add(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive each member with an on-off source at its rho (peak 2x rho,
+	// duty 50% for voice/video; data slightly burstier).
+	srcs := make([]*source.OnOff, 10)
+	flat := 0
+	for _, c := range s.Classes {
+		for range c.Members {
+			var err error
+			srcs[flat], err = source.NewOnOff(0.5, 0.5, 2*c.Members[0].Rho, uint64(40+flat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat++
+		}
+	}
+	if err := sim.Run(150000, func(m int) float64 { return srcs[m].Next() }); err != nil {
+		t.Fatal(err)
+	}
+	// Per-member simulated delays must sit below the class bound
+	// (class bound dominates every member under FCFS-within-class).
+	flat = 0
+	for ci, c := range s.Classes {
+		g := bounds[ci].Bounds.G
+		_ = g
+		for range c.Members {
+			tail := tails[flat]
+			if tail.N() == 0 {
+				t.Fatalf("member %d recorded no delays", flat)
+			}
+			for _, d := range []float64{2, 4, 8} {
+				emp := tail.CCDF(d)
+				// +1 slot measurement rounding tolerance.
+				bnd := bounds[ci].Bounds.DelayTail(math.Max(d-1, 0))
+				if emp > bnd*1.5+1e-9 {
+					t.Errorf("class %s member %d: Pr{D>=%v} sim %v above bound %v",
+						c.Name, flat, d, emp, bnd)
+				}
+			}
+			flat++
+		}
+	}
+}
+
+// Multiplexing-gain demonstration (the point of the paper's §7 proposal):
+// grouping 4 identical voice sessions into one class yields markedly
+// smaller simulated per-session delays than giving each its own GPS queue
+// with a quarter of the class weight.
+func TestMultiplexingGain(t *testing.T) {
+	mk := func(seed uint64) []*source.OnOff {
+		out := make([]*source.OnOff, 4)
+		for i := range out {
+			var err error
+			out[i], err = source.NewOnOff(0.5, 0.5, 0.1, seed+uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	// Classed: one class of 4, phi 0.2, competing with a CBR background
+	// session of phi 0.55 to keep the server busy.
+	voice := ebb.Process{Rho: 0.05, Lambda: 1, Alpha: 3}
+	bg := ebb.Process{Rho: 0.55, Lambda: 1, Alpha: 3}
+	classed := Server{Rate: 1, Classes: []Class{
+		{Name: "voice", Phi: 0.2, Members: []ebb.Process{voice, voice, voice, voice}},
+		{Name: "bg", Phi: 0.55, Members: []ebb.Process{bg}},
+	}}
+	var classDelays stats.Tail
+	simC, err := NewSim(classed, func(member, slot int, d float64) {
+		if member < 4 {
+			classDelays.Add(d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := mk(100)
+	if err := simC.Run(100000, func(m int) float64 {
+		if m < 4 {
+			return srcs[m].Next()
+		}
+		return 0.55
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Separate: 4 GPS sessions with phi 0.05 each plus the background.
+	var sepDelays stats.Tail
+	simS, err := fluid.New(fluid.Config{
+		Rate: 1, Phi: []float64{0.05, 0.05, 0.05, 0.05, 0.55},
+		OnDelay: func(sess, slot int, d float64) {
+			if sess < 4 {
+				sepDelays.Add(d)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs2 := mk(100) // identical traffic
+	if err := simS.Run(100000, func(i int) float64 {
+		if i < 4 {
+			return srcs2[i].Next()
+		}
+		return 0.55
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cq, err := classDelays.Quantile(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := sepDelays.Quantile(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cq <= sq) {
+		t.Errorf("classed p99.9 delay %v not better than separate %v", cq, sq)
+	}
+}

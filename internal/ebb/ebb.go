@@ -1,0 +1,212 @@
+// Package ebb implements the Exponentially Bounded Burstiness (E.B.B.)
+// traffic model of Yaron & Sidi used throughout Zhang, Towsley & Kurose's
+// statistical GPS analysis, together with the two workhorse bounds of the
+// paper's Section 4:
+//
+//   - Lemma 5: an exponential tail bound on δ(t), the backlog of an E.B.B.
+//     flow served at a dedicated constant rate r > ρ, and
+//   - Lemma 6: a bound on the moment generating function E e^{θδ(t)}.
+//
+// A (ρ, Λ, α)-E.B.B. process A satisfies, for all τ <= t and x >= 0,
+//
+//	Pr{ A(τ,t) >= ρ(t-τ) + x } <= Λ e^{-αx}.         (paper eq. 2)
+//
+// ρ is the long-term upper rate, Λ the prefactor and α the decay rate.
+package ebb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Process is a (ρ, Λ, α)-E.B.B. characterization of an arrival process.
+type Process struct {
+	Rho    float64 // long-term upper rate ρ > 0
+	Lambda float64 // prefactor Λ >= 0
+	Alpha  float64 // decay rate α > 0
+}
+
+// Validate reports whether the triple is a meaningful E.B.B.
+// characterization.
+func (p Process) Validate() error {
+	switch {
+	case !(p.Rho > 0) || math.IsInf(p.Rho, 1) || math.IsNaN(p.Rho):
+		return fmt.Errorf("ebb: rho = %v, want positive finite", p.Rho)
+	case p.Lambda < 0 || math.IsInf(p.Lambda, 1) || math.IsNaN(p.Lambda):
+		return fmt.Errorf("ebb: lambda = %v, want nonnegative finite", p.Lambda)
+	case !(p.Alpha > 0) || math.IsInf(p.Alpha, 1) || math.IsNaN(p.Alpha):
+		return fmt.Errorf("ebb: alpha = %v, want positive finite", p.Alpha)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p Process) String() string {
+	return fmt.Sprintf("EBB(rho=%.6g, lambda=%.6g, alpha=%.6g)", p.Rho, p.Lambda, p.Alpha)
+}
+
+// BurstTail returns the E.B.B. guarantee itself as an exponential tail:
+// Pr{A(τ,t) - ρ(t-τ) >= x} <= Λe^{-αx}.
+func (p Process) BurstTail() numeric.ExpTail {
+	return numeric.ExpTail{Prefactor: p.Lambda, Rate: p.Alpha}
+}
+
+// SigmaHat evaluates σ̂(θ) = (1/θ)·ln(1 + θΛ/(α-θ)), the log-MGF overhead
+// of the E.B.B. envelope (paper eq. 19): for 0 < θ < α,
+//
+//	E e^{θ A(τ,t)} <= e^{θ(ρ(t-τ) + σ̂(θ))}.
+//
+// SigmaHat returns +Inf for θ outside (0, α).
+func (p Process) SigmaHat(theta float64) float64 {
+	if theta <= 0 || theta >= p.Alpha {
+		return math.Inf(1)
+	}
+	return math.Log1p(theta*p.Lambda/(p.Alpha-theta)) / theta
+}
+
+// ErrRateTooSmall is returned when the dedicated service rate does not
+// exceed the flow's long-term rate, so δ(t) has no exponential bound.
+var ErrRateTooSmall = errors.New("ebb: service rate must exceed rho")
+
+// XiMax returns the largest discretization parameter ξ admissible in
+// Lemma 5 for service slack eps = r - ρ: ξ <= ln(Λ+1)/(α·eps).
+func (p Process) XiMax(eps float64) float64 {
+	return math.Log1p(p.Lambda) / (p.Alpha * eps)
+}
+
+// DeltaTailXi evaluates Lemma 5 at a caller-chosen ξ: for a flow served at
+// dedicated rate r = ρ + eps,
+//
+//	Pr{δ(t) >= x} <= [Λ e^{αρξ} / (1 - e^{-α·eps·ξ})] · e^{-αx}.   (eq. 18)
+//
+// The caller is responsible for keeping ξ within (0, XiMax(eps)]; values
+// outside produce an invalid tail (checked via ExpTail.Valid).
+func (p Process) DeltaTailXi(r, xi float64) (numeric.ExpTail, error) {
+	eps := r - p.Rho
+	if eps <= 0 {
+		return numeric.ExpTail{}, ErrRateTooSmall
+	}
+	if xi <= 0 {
+		return numeric.ExpTail{}, fmt.Errorf("ebb: xi = %v, want positive", xi)
+	}
+	pre := p.Lambda * math.Exp(p.Alpha*p.Rho*xi) / (-math.Expm1(-p.Alpha * eps * xi))
+	return numeric.ExpTail{Prefactor: pre, Rate: p.Alpha}, nil
+}
+
+// DeltaTail evaluates Lemma 5 with the optimal admissible ξ (the paper's
+// Remark 1 after Lemma 6): the unconstrained minimizer of the prefactor is
+// ξ0 = ln(r/ρ)/(α·eps), clipped to the admissibility limit XiMax(eps).
+func (p Process) DeltaTail(r float64) (numeric.ExpTail, error) {
+	eps := r - p.Rho
+	if eps <= 0 {
+		return numeric.ExpTail{}, ErrRateTooSmall
+	}
+	xi0 := math.Log(r/p.Rho) / (p.Alpha * eps)
+	xi := math.Min(xi0, p.XiMax(eps))
+	if xi <= 0 {
+		// Λ = 0 forces XiMax = 0; a zero-prefactor tail is exact then.
+		return numeric.ExpTail{Prefactor: 0, Rate: p.Alpha}, nil
+	}
+	return p.DeltaTailXi(r, xi)
+}
+
+// DeltaTailDiscrete evaluates the slotted-time version of Lemma 5 (the
+// form the paper's §6.3 numeric example uses, eq. 66): when arrivals and
+// service are synchronized to unit slots, the supremum defining δ(t)
+// ranges over integers only, and the union bound gives
+//
+//	Pr{δ(t) >= x} <= Λ / (1 - e^{-α·eps}) · e^{-αx},
+//
+// with no e^{αρξ} overshoot factor.
+func (p Process) DeltaTailDiscrete(r float64) (numeric.ExpTail, error) {
+	eps := r - p.Rho
+	if eps <= 0 {
+		return numeric.ExpTail{}, ErrRateTooSmall
+	}
+	pre := p.Lambda / (-math.Expm1(-p.Alpha * eps))
+	return numeric.ExpTail{Prefactor: pre, Rate: p.Alpha}, nil
+}
+
+// DeltaMGFBound evaluates Lemma 6 (eq. 20): for 0 < θ < α and ξ > 0,
+//
+//	E e^{θ δ(t)} <= e^{θ(σ̂(θ) + ρξ)} / (1 - e^{-θ·eps·ξ})
+//
+// where eps = r - ρ. It returns +Inf outside the admissible θ range.
+func (p Process) DeltaMGFBound(theta, r, xi float64) float64 {
+	eps := r - p.Rho
+	if eps <= 0 || theta <= 0 || theta >= p.Alpha || xi <= 0 {
+		return math.Inf(1)
+	}
+	sh := p.SigmaHat(theta)
+	return math.Exp(theta*(sh+p.Rho*xi)) / (-math.Expm1(-theta * eps * xi))
+}
+
+// DeltaMGFBoundOptXi evaluates Lemma 6 with the ξ that minimizes the
+// right-hand side, ξ0 = ln(r/ρ)/(eps·θ) (Remark 1). The resulting bound is
+//
+//	(1 + θΛ/(α-θ)) · (r/ρ)^{ρ/eps} · (r/eps)
+//
+// which is tighter than the closed form quoted in the paper's remark
+// ((1+θΛ/(α-θ))·r²/(eps·ρ)·e^{ρ/eps}); both are verified in tests.
+func (p Process) DeltaMGFBoundOptXi(theta, r float64) float64 {
+	eps := r - p.Rho
+	if eps <= 0 || theta <= 0 || theta >= p.Alpha {
+		return math.Inf(1)
+	}
+	xi0 := math.Log(r/p.Rho) / (eps * theta)
+	return p.DeltaMGFBound(theta, r, xi0)
+}
+
+// Aggregate lumps several E.B.B. flows into the E.B.B. characterization of
+// their sum at Chernoff parameter θ (paper §5): the aggregate of flows
+// {(ρ_i, Λ_i, α_i)} is a (Σρ_i, e^{θ·Σσ̂_i(θ)}, θ)-E.B.B. process for any
+// 0 < θ < min_i α_i. Aggregate returns an error when θ is out of range.
+func Aggregate(flows []Process, theta float64) (Process, error) {
+	if len(flows) == 0 {
+		return Process{}, errors.New("ebb: aggregate of no flows")
+	}
+	rho, sigma := 0.0, 0.0
+	for _, f := range flows {
+		if theta <= 0 || theta >= f.Alpha {
+			return Process{}, fmt.Errorf("ebb: theta = %v outside (0, %v)", theta, f.Alpha)
+		}
+		rho += f.Rho
+		sigma += f.SigmaHat(theta)
+	}
+	return Process{Rho: rho, Lambda: math.Exp(theta * sigma), Alpha: theta}, nil
+}
+
+// MinAlpha returns the smallest decay rate among the given flows, the
+// natural Chernoff-parameter ceiling for joint bounds.
+func MinAlpha(flows []Process) float64 {
+	m := math.Inf(1)
+	for _, f := range flows {
+		if f.Alpha < m {
+			m = f.Alpha
+		}
+	}
+	return m
+}
+
+// HolderExponents returns the conjugate exponents {p_j} used by Theorems 8
+// and 12 when arrivals may be dependent: p_j chosen so that α_j/p_j is the
+// same for all j (which maximizes the usable decay rate, paper remark
+// after Theorem 8), i.e. p_j = α_j·Σ(1/α_k). It also returns the common
+// ratio α_j/p_j = 1/Σ(1/α_k), the largest admissible θ ceiling.
+func HolderExponents(alphas []float64) (ps []float64, thetaCeil float64) {
+	inv := 0.0
+	for _, a := range alphas {
+		inv += 1 / a
+	}
+	ps = make([]float64, len(alphas))
+	for i, a := range alphas {
+		ps[i] = a * inv
+	}
+	if inv == 0 {
+		return ps, math.Inf(1)
+	}
+	return ps, 1 / inv
+}

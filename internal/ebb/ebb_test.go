@@ -1,0 +1,290 @@
+package ebb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Process{Rho: 0.2, Lambda: 1, Alpha: 1.7}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate(%v) = %v, want nil", ok, err)
+	}
+	bad := []Process{
+		{Rho: 0, Lambda: 1, Alpha: 1},
+		{Rho: -1, Lambda: 1, Alpha: 1},
+		{Rho: 1, Lambda: -1, Alpha: 1},
+		{Rho: 1, Lambda: 1, Alpha: 0},
+		{Rho: math.NaN(), Lambda: 1, Alpha: 1},
+		{Rho: 1, Lambda: math.Inf(1), Alpha: 1},
+		{Rho: 1, Lambda: 1, Alpha: math.NaN()},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", p)
+		}
+	}
+}
+
+func TestSigmaHatLimits(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 1.5, Alpha: 2}
+	// θ→0+ limit of (1/θ)ln(1+θΛ/(α-θ)) is Λ/α.
+	got := p.SigmaHat(1e-9)
+	want := p.Lambda / p.Alpha
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("SigmaHat(0+) = %v, want %v", got, want)
+	}
+	if !math.IsInf(p.SigmaHat(0), 1) || !math.IsInf(p.SigmaHat(p.Alpha), 1) || !math.IsInf(p.SigmaHat(-1), 1) {
+		t.Error("SigmaHat outside (0,alpha) should be +Inf")
+	}
+}
+
+func TestSigmaHatMonotoneInTheta(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 1.0, Alpha: 1.74}
+	prev := 0.0
+	for i := 1; i < 100; i++ {
+		th := p.Alpha * float64(i) / 100
+		s := p.SigmaHat(th * 0.999)
+		if s < prev-1e-12 {
+			t.Fatalf("SigmaHat not nondecreasing at theta=%v: %v < %v", th, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestDeltaTailXiErrors(t *testing.T) {
+	p := Process{Rho: 0.5, Lambda: 1, Alpha: 1}
+	if _, err := p.DeltaTailXi(0.4, 1); err != ErrRateTooSmall {
+		t.Errorf("r < rho: err = %v, want ErrRateTooSmall", err)
+	}
+	if _, err := p.DeltaTailXi(0.5, 1); err != ErrRateTooSmall {
+		t.Errorf("r == rho: err = %v, want ErrRateTooSmall", err)
+	}
+	if _, err := p.DeltaTailXi(0.6, 0); err == nil {
+		t.Error("xi = 0: want error")
+	}
+}
+
+func TestDeltaTailOptimalAmongAdmissibleXi(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 1.0, Alpha: 1.74}
+	r := 0.3
+	best, err := p.DeltaTail(r)
+	if err != nil {
+		t.Fatalf("DeltaTail: %v", err)
+	}
+	if !best.Valid() {
+		t.Fatalf("DeltaTail returned invalid tail %v", best)
+	}
+	ximax := p.XiMax(r - p.Rho)
+	for i := 1; i <= 50; i++ {
+		xi := ximax * float64(i) / 50
+		tail, err := p.DeltaTailXi(r, xi)
+		if err != nil {
+			t.Fatalf("DeltaTailXi(%v): %v", xi, err)
+		}
+		if best.Prefactor > tail.Prefactor*(1+1e-12) {
+			t.Errorf("optimized prefactor %v exceeds grid value %v at xi=%v", best.Prefactor, tail.Prefactor, xi)
+		}
+	}
+}
+
+func TestDeltaTailNotWorseThanPaperClosedForm(t *testing.T) {
+	// Remark 1 after Lemma 6 quotes a closed-form minimum for the Lemma 5
+	// prefactor; it is a relaxation, so our exact optimum must not exceed it.
+	cases := []struct {
+		p Process
+		r float64
+	}{
+		{Process{Rho: 0.2, Lambda: 1.0, Alpha: 1.74}, 0.3},
+		{Process{Rho: 0.25, Lambda: 0.92, Alpha: 1.76}, 0.3},
+		{Process{Rho: 0.2, Lambda: 0.05, Alpha: 2.0}, 0.9},
+		{Process{Rho: 0.17, Lambda: 1.0, Alpha: 0.729}, 0.218},
+	}
+	for _, c := range cases {
+		eps := c.r - c.p.Rho
+		var paper float64
+		if c.p.Lambda <= eps/c.p.Rho {
+			paper = (c.p.Lambda + 1) * (c.p.Lambda + 1) * math.Exp(c.p.Rho/eps)
+		} else {
+			paper = c.p.Lambda * c.r * c.r / (eps * c.p.Rho) * math.Exp(c.p.Rho/eps)
+		}
+		got, err := c.p.DeltaTail(c.r)
+		if err != nil {
+			t.Fatalf("DeltaTail(%v): %v", c, err)
+		}
+		if got.Prefactor > paper*(1+1e-9) {
+			t.Errorf("%v r=%v: optimized prefactor %v exceeds paper closed form %v",
+				c.p, c.r, got.Prefactor, paper)
+		}
+	}
+}
+
+func TestDeltaTailDiscrete(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 1.0, Alpha: 1.74}
+	g := 0.2 / 0.9
+	tail, err := p.DeltaTailDiscrete(g)
+	if err != nil {
+		t.Fatalf("DeltaTailDiscrete: %v", err)
+	}
+	want := p.Lambda / (1 - math.Exp(-p.Alpha*(g-p.Rho)))
+	if math.Abs(tail.Prefactor-want) > 1e-12*want {
+		t.Errorf("prefactor = %v, want eq.(66) value %v", tail.Prefactor, want)
+	}
+	if tail.Rate != p.Alpha {
+		t.Errorf("rate = %v, want alpha", tail.Rate)
+	}
+	// The discrete form is strictly tighter than continuous ξ=1.
+	cont, err := p.DeltaTailXi(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.Prefactor >= cont.Prefactor {
+		t.Errorf("discrete prefactor %v not below continuous-ξ1 %v", tail.Prefactor, cont.Prefactor)
+	}
+	if _, err := p.DeltaTailDiscrete(0.1); err != ErrRateTooSmall {
+		t.Errorf("r < rho: err = %v, want ErrRateTooSmall", err)
+	}
+}
+
+func TestDeltaTailZeroLambda(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 0, Alpha: 1}
+	tail, err := p.DeltaTail(0.5)
+	if err != nil {
+		t.Fatalf("DeltaTail: %v", err)
+	}
+	if tail.Prefactor != 0 {
+		t.Errorf("prefactor = %v, want 0 for Lambda = 0", tail.Prefactor)
+	}
+}
+
+func TestDeltaMGFBoundOptXiClosedForm(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 1.0, Alpha: 1.74}
+	r, theta := 0.35, 0.8
+	eps := r - p.Rho
+	want := (1 + theta*p.Lambda/(p.Alpha-theta)) * math.Pow(r/p.Rho, p.Rho/eps) * (r / eps)
+	got := p.DeltaMGFBoundOptXi(theta, r)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("DeltaMGFBoundOptXi = %v, want closed form %v", got, want)
+	}
+	// And it must not exceed the paper's looser quoted value.
+	paper := (1 + theta*p.Lambda/(p.Alpha-theta)) * r * r / (eps * p.Rho) * math.Exp(p.Rho/eps)
+	if got > paper*(1+1e-12) {
+		t.Errorf("optimal bound %v exceeds paper remark value %v", got, paper)
+	}
+}
+
+func TestDeltaMGFBoundDomain(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 1, Alpha: 1}
+	if !math.IsInf(p.DeltaMGFBound(0, 0.5, 1), 1) ||
+		!math.IsInf(p.DeltaMGFBound(1, 0.5, 1), 1) ||
+		!math.IsInf(p.DeltaMGFBound(0.5, 0.2, 1), 1) ||
+		!math.IsInf(p.DeltaMGFBound(0.5, 0.5, 0), 1) {
+		t.Error("out-of-domain MGF bound should be +Inf")
+	}
+}
+
+// Property: the optimized-ξ Lemma 6 bound never exceeds the ξ=1 bound the
+// paper uses for notational simplicity.
+func TestDeltaMGFOptXiBeatsXiOne(t *testing.T) {
+	prop := func(a, b, c uint8) bool {
+		p := Process{
+			Rho:    0.05 + 0.4*float64(a)/255,
+			Lambda: 0.1 + 2*float64(b)/255,
+			Alpha:  0.5 + 2*float64(c)/255,
+		}
+		r := p.Rho * 1.5
+		theta := p.Alpha / 2
+		return p.DeltaMGFBoundOptXi(theta, r) <= p.DeltaMGFBound(theta, r, 1)*(1+1e-10)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	flows := []Process{
+		{Rho: 0.2, Lambda: 1.0, Alpha: 1.74},
+		{Rho: 0.25, Lambda: 0.92, Alpha: 1.76},
+	}
+	theta := 1.0
+	agg, err := Aggregate(flows, theta)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if math.Abs(agg.Rho-0.45) > 1e-15 {
+		t.Errorf("aggregate rho = %v, want 0.45", agg.Rho)
+	}
+	if agg.Alpha != theta {
+		t.Errorf("aggregate alpha = %v, want theta %v", agg.Alpha, theta)
+	}
+	wantLambda := math.Exp(theta * (flows[0].SigmaHat(theta) + flows[1].SigmaHat(theta)))
+	if math.Abs(agg.Lambda-wantLambda) > 1e-12*wantLambda {
+		t.Errorf("aggregate lambda = %v, want %v", agg.Lambda, wantLambda)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil, 1); err == nil {
+		t.Error("Aggregate(nil): want error")
+	}
+	flows := []Process{{Rho: 0.2, Lambda: 1, Alpha: 0.5}}
+	if _, err := Aggregate(flows, 0.5); err == nil {
+		t.Error("theta == alpha: want error")
+	}
+	if _, err := Aggregate(flows, 0); err == nil {
+		t.Error("theta == 0: want error")
+	}
+}
+
+func TestMinAlpha(t *testing.T) {
+	flows := []Process{{Alpha: 2}, {Alpha: 0.7}, {Alpha: 1.1}}
+	if got := MinAlpha(flows); got != 0.7 {
+		t.Errorf("MinAlpha = %v, want 0.7", got)
+	}
+	if got := MinAlpha(nil); !math.IsInf(got, 1) {
+		t.Errorf("MinAlpha(nil) = %v, want +Inf", got)
+	}
+}
+
+func TestHolderExponents(t *testing.T) {
+	alphas := []float64{1.74, 1.76, 2.13}
+	ps, ceil := HolderExponents(alphas)
+	sum := 0.0
+	for i, p := range ps {
+		if p <= 1 {
+			t.Errorf("p[%d] = %v, want > 1", i, p)
+		}
+		sum += 1 / p
+		if math.Abs(alphas[i]/p-ceil) > 1e-12 {
+			t.Errorf("alpha/p mismatch at %d: %v vs ceil %v", i, alphas[i]/p, ceil)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("sum 1/p = %v, want 1", sum)
+	}
+	wantCeil := 1 / (1/1.74 + 1/1.76 + 1/2.13)
+	if math.Abs(ceil-wantCeil) > 1e-12 {
+		t.Errorf("theta ceiling = %v, want %v", ceil, wantCeil)
+	}
+}
+
+func TestHolderExponentsEqualAlphas(t *testing.T) {
+	ps, ceil := HolderExponents([]float64{2, 2, 2, 2})
+	for _, p := range ps {
+		if math.Abs(p-4) > 1e-12 {
+			t.Errorf("p = %v, want 4", p)
+		}
+	}
+	if math.Abs(ceil-0.5) > 1e-12 {
+		t.Errorf("ceil = %v, want 0.5", ceil)
+	}
+}
+
+func TestBurstTail(t *testing.T) {
+	p := Process{Rho: 0.2, Lambda: 0.84, Alpha: 2.13}
+	tail := p.BurstTail()
+	if tail.Prefactor != p.Lambda || tail.Rate != p.Alpha {
+		t.Errorf("BurstTail = %v, want (%v, %v)", tail, p.Lambda, p.Alpha)
+	}
+}

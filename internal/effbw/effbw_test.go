@@ -1,0 +1,183 @@
+package effbw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+	"repro/internal/fluid"
+	"repro/internal/source"
+	"repro/internal/stats"
+)
+
+func markovFlows(t *testing.T, n int) []MarkovFlow {
+	t.Helper()
+	out := make([]MarkovFlow, n)
+	for i := range out {
+		s, err := source.NewOnOff(0.4, 0.4, 0.4, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = MarkovFlow{Model: s.Markov()}
+	}
+	return out
+}
+
+func TestNewFCFSQueueTailValidation(t *testing.T) {
+	flows := markovFlows(t, 2)
+	if _, err := NewFCFSQueueTailMarkov(nil, 1); err == nil {
+		t.Error("no flows: want error")
+	}
+	if _, err := NewFCFSQueueTailMarkov(flows, 0); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := NewFCFSQueueTailMarkov(flows, 0.3); err == nil {
+		t.Error("overload (mean 0.4 > 0.3): want error")
+	}
+}
+
+func TestThetaStarSolvesCapacity(t *testing.T) {
+	flows := markovFlows(t, 2) // total mean 0.4, total peak 0.8
+	q, err := NewFCFSQueueTailMarkov(flows, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(q.ThetaStar, 1) {
+		t.Fatal("ThetaStar should be finite when peak exceeds capacity")
+	}
+	total := 0.0
+	for _, f := range flows {
+		v, err := f.EB(q.ThetaStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v
+	}
+	if math.Abs(total-0.6) > 1e-6 {
+		t.Errorf("sum eb(thetaStar) = %v, want capacity 0.6", total)
+	}
+	// Above-peak capacity: unconstrained θ.
+	q2, err := NewFCFSQueueTailMarkov(flows, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(q2.ThetaStar, 1) {
+		t.Errorf("ThetaStar = %v, want +Inf for capacity above peak", q2.ThetaStar)
+	}
+}
+
+func TestFCFSBoundHoldsInSimulation(t *testing.T) {
+	const c = 0.6
+	flows := markovFlows(t, 2)
+	q, err := NewFCFSQueueTailMarkov(flows, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the FCFS multiplexer: a single GPS session carrying the
+	// superposition is exactly a FCFS queue of rate c.
+	s1, _ := source.NewOnOff(0.4, 0.4, 0.4, 101)
+	s2, _ := source.NewOnOff(0.4, 0.4, 0.4, 202)
+	sim, err := fluid.New(fluid.Config{Rate: c, Phi: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail stats.Tail
+	for k := 0; k < 300000; k++ {
+		if _, err := sim.Step([]float64{s1.Next() + s2.Next()}); err != nil {
+			t.Fatal(err)
+		}
+		tail.Add(sim.Backlog(0))
+	}
+	for _, x := range []float64{1, 2, 3, 5} {
+		emp := tail.CCDF(x)
+		bnd := q.Eval(x)
+		if emp > bnd*1.1+1e-9 {
+			t.Errorf("Pr{Q>=%v}: simulated %v above bound %v", x, emp, bnd)
+		}
+	}
+	// The bound must not be vacuous in the probed range.
+	if q.Eval(5) >= 1 {
+		t.Error("bound vacuous at x=5")
+	}
+}
+
+func TestFCFSQueueTailEBBAggregates(t *testing.T) {
+	chars := []ebb.Process{
+		{Rho: 0.2, Lambda: 1, Alpha: 1.7},
+		{Rho: 0.25, Lambda: 0.9, Alpha: 1.8},
+	}
+	tail, err := FCFSQueueTailEBB(chars, 0.6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tail.Valid() || tail.Rate != 0.8 {
+		t.Errorf("tail = %v", tail)
+	}
+	if _, err := FCFSQueueTailEBB(chars, 0.6, 5); err == nil {
+		t.Error("theta above alpha: want error")
+	}
+	if _, err := FCFSQueueTailEBB(chars, 0.4, 0.8); err == nil {
+		t.Error("capacity below total rho: want error")
+	}
+}
+
+func TestAtDomain(t *testing.T) {
+	flows := markovFlows(t, 2)
+	q, err := NewFCFSQueueTailMarkov(flows, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.At(0); err == nil {
+		t.Error("theta = 0: want error")
+	}
+	if _, err := q.At(q.ThetaStar * 1.01); err == nil {
+		t.Error("theta above star: want error")
+	}
+	tail, err := q.At(q.ThetaStar / 2)
+	if err != nil || !tail.Valid() {
+		t.Errorf("mid-range At: %v, %v", tail, err)
+	}
+}
+
+func TestAdmitFCFS(t *testing.T) {
+	flows := make([]Flow, 10)
+	for i := range flows {
+		flows[i] = markovFlows(t, 1)[0]
+	}
+	// Tight target: fewer admitted than loose target.
+	tight, err := AdmitFCFS(flows, 1, 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := AdmitFCFS(flows, 1, 20, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tight <= loose) {
+		t.Errorf("tight target admitted %d > loose %d", tight, loose)
+	}
+	if loose == 0 {
+		t.Error("loose target admitted nothing")
+	}
+	// Mean-rate packing is an upper limit: capacity 1, mean 0.2 each.
+	if loose > 5 {
+		t.Errorf("admitted %d flows, above the stability limit 5", loose)
+	}
+	if _, err := AdmitFCFS(flows, 1, 0, 0.1); err == nil {
+		t.Error("zero buffer: want error")
+	}
+	if _, err := AdmitFCFS(flows, 1, 5, 0); err == nil {
+		t.Error("zero eps: want error")
+	}
+}
+
+func TestEBBFlowEB(t *testing.T) {
+	f := EBBFlow{Char: ebb.Process{Rho: 0.3, Lambda: 1, Alpha: 2}}
+	v, err := f.EB(1)
+	if err != nil || v != 0.3 {
+		t.Errorf("EB = %v, %v", v, err)
+	}
+	if _, err := f.EB(3); err == nil {
+		t.Error("theta above alpha: want error")
+	}
+}

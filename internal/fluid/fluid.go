@@ -1,0 +1,274 @@
+// Package fluid implements an exact single-node fluid GPS simulator in
+// slotted time: fluid arrives at slot boundaries and the server drains the
+// backlogged sessions continuously within each unit slot, reallocating
+// capacity event-by-event as sessions empty (water-filling). This is the
+// Generalized Processor Sharing discipline of the paper's §2 — eq. (1)
+// holds exactly on every interval.
+//
+// Alongside the real system the simulator tracks the paper's §3
+// *decomposed system*: fictitious dedicated-rate queues whose backlogs
+// δ_i(t) upper-bound combinations of the real backlogs (Lemmas 1 and 3).
+// The test suite uses this to machine-check the paper's sample-path
+// relations on simulated traffic.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// zeroTol absorbs floating-point dust when deciding whether a session is
+// still backlogged.
+const zeroTol = 1e-12
+
+// DelayFunc receives one completed arrival batch: the session, the slot
+// the batch arrived in, and the exact delay (in slots, fractional) until
+// its last bit departed.
+type DelayFunc func(session int, arrivalSlot int, delay float64)
+
+// BusyPeriodFunc receives one completed session busy period (paper §2: a
+// maximal interval during which the session stays backlogged): the
+// session, the period's start time and its exact end time (both in slots,
+// fractional).
+type BusyPeriodFunc func(session int, start, end float64)
+
+// Config describes a single-server simulation.
+type Config struct {
+	// Rate is the GPS server rate per slot.
+	Rate float64
+	// Phi are the GPS weights.
+	Phi []float64
+	// DecompRates, if non-nil, enables the decomposed system: session i's
+	// fictitious queue drains at DecompRates[i] per slot.
+	DecompRates []float64
+	// OnDelay, if non-nil, is invoked for every completed arrival batch.
+	OnDelay DelayFunc
+	// OnBusyPeriod, if non-nil, is invoked whenever a session's busy
+	// period ends (its backlog empties).
+	OnBusyPeriod BusyPeriodFunc
+}
+
+type arrivalBatch struct {
+	level float64 // cumulative-arrival watermark of the batch's last bit
+	slot  int
+}
+
+// Sim is the simulator state. Create with New, advance with Step.
+type Sim struct {
+	cfg  Config
+	slot int
+
+	backlog []float64 // Q_i(t) at slot boundaries
+	cumA    []float64 // A_i(0, t)
+	cumS    []float64 // S_i(0, t)
+	delta   []float64 // δ_i(t) of the decomposed system
+
+	pending [][]arrivalBatch
+	// busyStart[i] is the start time of session i's current busy period,
+	// or NaN when idle. Only maintained when OnBusyPeriod is set.
+	busyStart []float64
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Sim, error) {
+	if !(cfg.Rate > 0) || math.IsInf(cfg.Rate, 1) || math.IsNaN(cfg.Rate) {
+		return nil, fmt.Errorf("fluid: rate = %v, want positive finite", cfg.Rate)
+	}
+	n := len(cfg.Phi)
+	if n == 0 {
+		return nil, errors.New("fluid: no sessions")
+	}
+	for i, p := range cfg.Phi {
+		if !(p > 0) {
+			return nil, fmt.Errorf("fluid: phi[%d] = %v, want positive", i, p)
+		}
+	}
+	if cfg.DecompRates != nil && len(cfg.DecompRates) != n {
+		return nil, fmt.Errorf("fluid: %d decomposed rates for %d sessions", len(cfg.DecompRates), n)
+	}
+	s := &Sim{
+		cfg:     cfg,
+		backlog: make([]float64, n),
+		cumA:    make([]float64, n),
+		cumS:    make([]float64, n),
+		delta:   make([]float64, n),
+		pending: make([][]arrivalBatch, n),
+	}
+	if cfg.OnBusyPeriod != nil {
+		s.busyStart = make([]float64, n)
+		for i := range s.busyStart {
+			s.busyStart[i] = math.NaN()
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of sessions.
+func (s *Sim) N() int { return len(s.cfg.Phi) }
+
+// Slot returns the number of completed slots.
+func (s *Sim) Slot() int { return s.slot }
+
+// Backlogs returns the current real backlogs Q_i(t) (aliasing the
+// internal slice is avoided: the caller gets a copy).
+func (s *Sim) Backlogs() []float64 { return append([]float64(nil), s.backlog...) }
+
+// Backlog returns Q_i(t) for one session without allocating.
+func (s *Sim) Backlog(i int) float64 { return s.backlog[i] }
+
+// Deltas returns the decomposed-system backlogs δ_i(t); zeros when the
+// decomposed system is disabled.
+func (s *Sim) Deltas() []float64 { return append([]float64(nil), s.delta...) }
+
+// Delta returns δ_i(t) for one session.
+func (s *Sim) Delta(i int) float64 { return s.delta[i] }
+
+// CumArrival returns A_i(0, t).
+func (s *Sim) CumArrival(i int) float64 { return s.cumA[i] }
+
+// CumService returns S_i(0, t).
+func (s *Sim) CumService(i int) float64 { return s.cumS[i] }
+
+// Step advances one slot: arrivals land at the slot boundary, then the
+// GPS server drains fluid over the unit interval. It returns the total
+// volume served this slot.
+func (s *Sim) Step(arrivals []float64) (float64, error) {
+	n := s.N()
+	if len(arrivals) != n {
+		return 0, fmt.Errorf("fluid: %d arrivals for %d sessions", len(arrivals), n)
+	}
+	for i, a := range arrivals {
+		if a < 0 || math.IsNaN(a) || math.IsInf(a, 1) {
+			return 0, fmt.Errorf("fluid: arrival[%d] = %v", i, a)
+		}
+		if a > 0 {
+			if s.busyStart != nil && s.backlog[i] == 0 {
+				s.busyStart[i] = float64(s.slot)
+			}
+			s.backlog[i] += a
+			s.cumA[i] += a
+			if s.cfg.OnDelay != nil {
+				s.pending[i] = append(s.pending[i], arrivalBatch{level: s.cumA[i], slot: s.slot})
+			}
+		}
+	}
+
+	served := s.drainSlot()
+
+	// Decomposed system: Lindley recursion per fictitious queue.
+	if s.cfg.DecompRates != nil {
+		for i := range s.delta {
+			d := s.delta[i] + arrivals[i] - s.cfg.DecompRates[i]
+			if d < 0 {
+				d = 0
+			}
+			s.delta[i] = d
+		}
+	}
+	s.slot++
+	return served, nil
+}
+
+// drainSlot serves one unit of time with exact GPS reallocation. Within
+// the slot, every backlogged session i drains at rate φ_i/Σ_active φ · R;
+// when a session empties, capacity instantly reallocates to the rest.
+func (s *Sim) drainSlot() float64 {
+	remaining := 1.0
+	totalServed := 0.0
+	for remaining > zeroTol {
+		activePhi := 0.0
+		for i, b := range s.backlog {
+			if b > zeroTol {
+				activePhi += s.cfg.Phi[i]
+			}
+		}
+		if activePhi == 0 {
+			break
+		}
+		// Segment length: time to the first depletion, capped at the
+		// remaining slot time.
+		seg := remaining
+		for i, b := range s.backlog {
+			if b <= zeroTol {
+				continue
+			}
+			rate := s.cfg.Phi[i] / activePhi * s.cfg.Rate
+			if t := b / rate; t < seg {
+				seg = t
+			}
+		}
+		elapsed := 1 - remaining
+		for i, b := range s.backlog {
+			if b <= zeroTol {
+				continue
+			}
+			rate := s.cfg.Phi[i] / activePhi * s.cfg.Rate
+			vol := rate * seg
+			if vol > b {
+				vol = b
+			}
+			s.backlog[i] = b - vol
+			if rem := s.backlog[i]; rem < zeroTol {
+				// Treat sub-tolerance residue as served: dropping it
+				// silently would leave arrival watermarks unreachable
+				// and break conservation over long runs.
+				vol += rem
+				s.backlog[i] = 0
+				if s.busyStart != nil && !math.IsNaN(s.busyStart[i]) {
+					end := float64(s.slot) + elapsed + seg
+					s.cfg.OnBusyPeriod(i, s.busyStart[i], end)
+					s.busyStart[i] = math.NaN()
+				}
+			}
+			s.cumS[i] += vol
+			totalServed += vol
+			if s.cfg.OnDelay != nil {
+				s.completeBatches(i, elapsed, seg, rate)
+			}
+		}
+		remaining -= seg
+	}
+	return totalServed
+}
+
+// completeBatches pops every pending batch of session i whose watermark
+// has been served during the segment [elapsed, elapsed+seg] of the
+// current slot, reporting exact (interpolated) completion times.
+func (s *Sim) completeBatches(i int, elapsed, seg, rate float64) {
+	q := s.pending[i]
+	// The watermark and cumS are independently accumulated sums, so allow
+	// relative rounding drift when matching them.
+	tol := zeroTol * (1 + s.cumS[i])
+	for len(q) > 0 && q[0].level <= s.cumS[i]+tol {
+		b := q[0]
+		q = q[1:]
+		// The batch finished somewhere inside this segment: cumS at the
+		// segment end is s.cumS[i]; it grew linearly at `rate`.
+		within := seg - (s.cumS[i]-b.level)/rate
+		if within < 0 {
+			within = 0
+		} else if within > seg {
+			within = seg
+		}
+		finish := float64(s.slot) + elapsed + within
+		s.cfg.OnDelay(i, b.slot, finish-float64(b.slot))
+	}
+	s.pending[i] = q
+}
+
+// Run pulls `slots` slots of arrivals from the per-session generators and
+// steps the simulator through them. gen(i) is called once per session per
+// slot.
+func (s *Sim) Run(slots int, gen func(session int) float64) error {
+	arr := make([]float64, s.N())
+	for t := 0; t < slots; t++ {
+		for i := range arr {
+			arr[i] = gen(i)
+		}
+		if _, err := s.Step(arr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

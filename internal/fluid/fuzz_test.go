@@ -1,0 +1,38 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzStep drives the simulator with arbitrary arrival patterns decoded
+// from fuzz bytes and checks the conservation and nonnegativity
+// invariants after every slot.
+func FuzzStep(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := New(Config{Rate: 1, Phi: []float64{1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := make([]float64, 2)
+		for i := 0; i+1 < len(data); i += 2 {
+			arr[0] = float64(data[i]) / 64 // up to 4 units/slot
+			arr[1] = float64(data[i+1]) / 64
+			if _, err := s.Step(arr); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 2; j++ {
+				if s.Backlog(j) < 0 {
+					t.Fatalf("negative backlog %v", s.Backlog(j))
+				}
+				diff := s.CumArrival(j) - s.CumService(j) - s.Backlog(j)
+				if math.Abs(diff) > 1e-6*(1+s.CumArrival(j)) {
+					t.Fatalf("conservation broken by %v", diff)
+				}
+			}
+		}
+	})
+}

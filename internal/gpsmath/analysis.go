@@ -1,0 +1,146 @@
+package gpsmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options steers AnalyzeServer.
+type Options struct {
+	// Independent declares the session arrival processes mutually
+	// independent, enabling Theorems 7 and 11; otherwise the Hölder
+	// variants (Theorems 8 and 12) are used.
+	Independent bool
+	// Xi selects the ξ handling inside the Lemma 6 terms.
+	Xi XiMode
+	// Split selects how slack is distributed when a global feasible
+	// ordering is needed (Theorem 7/8 paths).
+	Split EpsilonSplit
+	// SlackFraction in (0, 1] scales down the distributed slack to keep
+	// the feasible-ordering inequalities strictly satisfiable; the default
+	// 0 means 1 (use all slack).
+	SlackFraction float64
+}
+
+// Analysis is the full single-node result: the feasible partition and,
+// per session, the best bound object the selected theorems provide.
+type Analysis struct {
+	Server    Server
+	Partition Partition
+	// Bounds[i] corresponds to Server.Sessions[i]. Each aggregates the
+	// partition-based family (Theorem 11/12), the Theorem 10 fixed tail
+	// for H_1 sessions, and is independent of any global ordering.
+	Bounds []*SessionBounds
+	// OrderingBounds[i] is the Theorem 7/8 bound for session i with
+	// respect to one global feasible ordering (the greedy min r/φ order);
+	// kept separately so the two routes can be compared (ablation).
+	OrderingBounds []*SessionBounds
+	// Ordering is the global feasible ordering used for OrderingBounds.
+	Ordering []int
+	// Rates are the decomposed rates r_i used for OrderingBounds.
+	Rates []float64
+}
+
+// AnalyzeServer validates the server and computes every per-session bound
+// the paper's single-node theory offers under the given options.
+func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
+	if err := srv.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.SlackFraction == 0 {
+		opts.SlackFraction = 1
+	}
+	part, err := srv.FeasiblePartition()
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{Server: srv, Partition: part}
+
+	// Partition-route bounds (Theorems 10/11/12).
+	a.Bounds = make([]*SessionBounds, len(srv.Sessions))
+	for i := range srv.Sessions {
+		var sb *SessionBounds
+		if opts.Independent {
+			sb, err = srv.Theorem11(part, i, opts.Xi)
+		} else {
+			sb, err = srv.Theorem12(part, i, nil, opts.Xi)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
+		}
+		if part.ClassOf[i] == 0 {
+			fixed, err := srv.Theorem10(part, i)
+			if err != nil {
+				return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
+			}
+			sb.Fixed = append(sb.Fixed, fixed)
+			sb.Theorem += "+thm10"
+		}
+		a.Bounds[i] = sb
+	}
+
+	// Ordering-route bounds (Theorems 7/8).
+	rates, err := srv.DecomposedRates(opts.Split, opts.SlackFraction)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := srv.FeasibleOrdering(rates)
+	if err != nil {
+		return nil, err
+	}
+	a.Ordering = ord
+	a.Rates = rates
+	a.OrderingBounds = make([]*SessionBounds, len(srv.Sessions))
+	for pos := range ord {
+		var sb *SessionBounds
+		if opts.Independent {
+			sb, err = srv.Theorem7(ord, rates, pos, opts.Xi)
+		} else {
+			sb, err = srv.Theorem8(ord, rates, pos, nil, opts.Xi)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gpsmath: ordering position %d: %w", pos, err)
+		}
+		a.OrderingBounds[sb.Index] = sb
+	}
+	return a, nil
+}
+
+// BestBacklogTailValue returns, for session i, the smallest bound on
+// Pr{Q_i >= q} across the partition and ordering routes.
+func (a *Analysis) BestBacklogTailValue(i int, q float64) float64 {
+	v := a.Bounds[i].BacklogTail(q)
+	if w := a.OrderingBounds[i].BacklogTail(q); w < v {
+		v = w
+	}
+	return v
+}
+
+// BestDelayTailValue returns, for session i, the smallest bound on
+// Pr{D_i >= d} across the partition and ordering routes.
+func (a *Analysis) BestDelayTailValue(i int, d float64) float64 {
+	v := a.Bounds[i].DelayTail(d)
+	if w := a.OrderingBounds[i].DelayTail(d); w < v {
+		v = w
+	}
+	return v
+}
+
+// AdmissionDecision reports whether every session meets a per-session
+// delay target: Pr{D_i >= dmax_i} <= eps_i. Sessions with dmax_i == +Inf
+// are unconstrained. It is the paper's motivating soft-QOS admission test.
+func (a *Analysis) AdmissionDecision(dmax, eps []float64) (bool, []float64) {
+	probs := make([]float64, len(a.Bounds))
+	ok := true
+	for i := range a.Bounds {
+		if math.IsInf(dmax[i], 1) {
+			probs[i] = 0
+			continue
+		}
+		probs[i] = a.BestDelayTailValue(i, dmax[i])
+		if probs[i] > eps[i] {
+			ok = false
+		}
+	}
+	return ok, probs
+}

@@ -1,0 +1,110 @@
+package gpsmath
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// fixedOnlyBounds builds a SessionBounds with no θ-family, as a consumer
+// composing custom bounds might.
+func fixedOnlyBounds() *SessionBounds {
+	return &SessionBounds{
+		Name:  "fixed",
+		G:     0.5,
+		Rho:   0.2,
+		Fixed: []numeric.ExpTail{{Prefactor: 2, Rate: 1.5}},
+	}
+}
+
+func TestFixedOnlyBounds(t *testing.T) {
+	sb := fixedOnlyBounds()
+	if got := sb.PrefactorAt(0.5); !math.IsInf(got, 1) {
+		t.Errorf("PrefactorAt without family = %v, want +Inf", got)
+	}
+	want := math.Min(2*math.Exp(-1.5*4), 1)
+	if got := sb.BacklogTail(4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BacklogTail = %v, want fixed tail %v", got, want)
+	}
+	// Delay converts through g.
+	if got := sb.DelayTail(8); math.Abs(got-sb.BacklogTail(4)) > 1e-12 {
+		t.Errorf("DelayTail(8) = %v, want BacklogTail(4)", got)
+	}
+	q := sb.BacklogQuantile(1e-6)
+	if math.IsInf(q, 1) || sb.Fixed[0].EvalRaw(q) > 1e-6*(1+1e-9) {
+		t.Errorf("BacklogQuantile = %v", q)
+	}
+	if _, err := sb.OutputEBB(0.5); err == nil {
+		t.Error("OutputEBB without family: want error")
+	}
+	if _, err := sb.BestOutputEBB(1); err == nil {
+		t.Error("BestOutputEBB without family: want error")
+	}
+}
+
+func TestEmptyBoundsDegenerate(t *testing.T) {
+	sb := &SessionBounds{Name: "empty", G: 1}
+	if got := sb.BacklogTail(1); got != 1 {
+		t.Errorf("BacklogTail with no bounds = %v, want trivial 1", got)
+	}
+	if q := sb.BacklogQuantile(1e-3); !math.IsInf(q, 1) {
+		t.Errorf("BacklogQuantile with no bounds = %v, want +Inf", q)
+	}
+	if q := sb.BacklogQuantile(0); !math.IsInf(q, 1) {
+		t.Errorf("BacklogQuantile(0) = %v, want +Inf", q)
+	}
+}
+
+func TestBestOutputEBBDownstreamBelowRho(t *testing.T) {
+	srv := set1Server(t)
+	a, err := AnalyzeServer(srv, Options{Independent: true, Xi: XiOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := a.Bounds[0]
+	// Downstream rate below rho: the fallback path minimizes Λ directly.
+	out, err := sb.BestOutputEBB(0.1)
+	if err != nil {
+		t.Fatalf("BestOutputEBB: %v", err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("fallback output invalid: %v", err)
+	}
+}
+
+func TestBacklogTailAtOutOfRange(t *testing.T) {
+	srv := set1Server(t)
+	a, _ := AnalyzeServer(srv, Options{Independent: true, Xi: XiOne})
+	sb := a.Bounds[0]
+	tail := sb.BacklogTailAt(sb.ThetaMax * 2)
+	if !math.IsInf(tail.Prefactor, 1) {
+		t.Errorf("out-of-range theta prefactor = %v, want +Inf", tail.Prefactor)
+	}
+	if v := tail.Eval(5); v != 1 {
+		t.Errorf("clipped eval = %v, want 1", v)
+	}
+}
+
+// A zero-prefactor family (possible with Λ = 0 sources) must short-
+// circuit the quantile search to zero backlog.
+func TestZeroPrefactorFamilyQuantile(t *testing.T) {
+	sb := &SessionBounds{
+		Name:     "zero",
+		G:        1,
+		Rho:      0.1,
+		ThetaMax: 1,
+		Prefactor: func(theta float64) float64 {
+			if theta <= 0 || theta >= 1 {
+				return math.Inf(1)
+			}
+			return 0
+		},
+	}
+	if q := sb.BacklogQuantile(1e-9); q != 0 {
+		t.Errorf("quantile with zero prefactor = %v, want 0", q)
+	}
+	if v := sb.BacklogTail(0.5); v != 0 {
+		t.Errorf("tail with zero prefactor = %v, want 0", v)
+	}
+}

@@ -1,0 +1,178 @@
+package gpsmath
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// EpsilonSplit selects how the rate slack r - Σρ is distributed among the
+// sessions as ε_i when forming the dedicated rates r_i = ρ_i + ε_i of the
+// decomposed system (paper §3).
+type EpsilonSplit int
+
+const (
+	// SplitEqual gives every session ε_i = slack/N.
+	SplitEqual EpsilonSplit = iota
+	// SplitProportional gives ε_i = slack·ρ_i/Σρ_j, preserving the
+	// relative loading of the sessions.
+	SplitProportional
+	// SplitByPhi gives ε_i = slack·φ_i/Σφ_j, mirroring the GPS weights.
+	SplitByPhi
+)
+
+// String implements fmt.Stringer.
+func (e EpsilonSplit) String() string {
+	switch e {
+	case SplitEqual:
+		return "equal"
+	case SplitProportional:
+		return "proportional"
+	case SplitByPhi:
+		return "by-phi"
+	default:
+		return fmt.Sprintf("EpsilonSplit(%d)", int(e))
+	}
+}
+
+// DecomposedRates returns r_i = ρ_i + ε_i with the slack distributed
+// according to split, scaled by frac in (0, 1] of the available slack
+// (using slightly less than the full slack keeps strict inequalities
+// strict in the presence of rounding).
+func (s Server) DecomposedRates(split EpsilonSplit, frac float64) ([]float64, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("gpsmath: slack fraction = %v, want in (0,1]", frac)
+	}
+	slack := s.Slack() * frac
+	if slack <= 0 {
+		return nil, ErrOverloaded
+	}
+	n := len(s.Sessions)
+	rates := make([]float64, n)
+	switch split {
+	case SplitEqual:
+		for i, sess := range s.Sessions {
+			rates[i] = sess.Arrival.Rho + slack/float64(n)
+		}
+	case SplitProportional:
+		tot := s.TotalRho()
+		for i, sess := range s.Sessions {
+			rates[i] = sess.Arrival.Rho + slack*sess.Arrival.Rho/tot
+		}
+	case SplitByPhi:
+		tot := s.TotalPhi()
+		for i, sess := range s.Sessions {
+			rates[i] = sess.Arrival.Rho + slack*sess.Phi/tot
+		}
+	default:
+		return nil, fmt.Errorf("gpsmath: unknown epsilon split %v", split)
+	}
+	return rates, nil
+}
+
+// ErrNoFeasibleOrdering is returned when no ordering satisfies eq. (5);
+// with Σr_i <= r this cannot happen, so seeing it indicates inconsistent
+// inputs.
+var ErrNoFeasibleOrdering = errors.New("gpsmath: no feasible ordering exists")
+
+// FeasibleOrdering returns a permutation ord of the sessions such that,
+// relabeling by ord, paper eq. (5) holds:
+//
+//	r_{ord[k]} <= φ_{ord[k]} / Σ_{j>=k} φ_{ord[j]} · (r - Σ_{j<k} r_{ord[j]}).
+//
+// It uses the greedy rule of picking, at each step, the remaining session
+// with the smallest r_i/φ_i; if that session violates the inequality no
+// feasible ordering exists.
+func (s Server) FeasibleOrdering(rates []float64) ([]int, error) {
+	n := len(s.Sessions)
+	if len(rates) != n {
+		return nil, fmt.Errorf("gpsmath: %d rates for %d sessions", len(rates), n)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return rates[idx[a]]/s.Sessions[idx[a]].Phi < rates[idx[b]]/s.Sessions[idx[b]].Phi
+	})
+	// Verify eq. (5) along the sorted order.
+	remPhi := s.TotalPhi()
+	used := 0.0
+	const tol = 1e-12
+	for _, i := range idx {
+		limit := s.Sessions[i].Phi / remPhi * (s.Rate - used)
+		if rates[i] > limit*(1+tol) {
+			return nil, fmt.Errorf("%w: session %d needs rate %v > limit %v",
+				ErrNoFeasibleOrdering, i, rates[i], limit)
+		}
+		used += rates[i]
+		remPhi -= s.Sessions[i].Phi
+	}
+	return idx, nil
+}
+
+// Partition is the feasible partition H_1, ..., H_L of paper §5: Classes[k]
+// holds the original indices of the sessions in H_{k+1}.
+type Partition struct {
+	Classes [][]int
+	// ClassOf[i] is the 0-based class index of session i.
+	ClassOf []int
+}
+
+// L returns the number of partition classes.
+func (p Partition) L() int { return len(p.Classes) }
+
+// FeasiblePartition computes the feasible partition induced by
+// {φ_i} and {ρ_i} (paper eqs. 37–39): session i joins the first class
+// H_{k+1} with
+//
+//	ρ_i/φ_i < (r - Σ_{j∈H^k} ρ_j) / Σ_{j∉H^k} φ_j.
+//
+// Under the stability condition Σρ < r the recursion always terminates
+// with every session placed.
+func (s Server) FeasiblePartition() (Partition, error) {
+	n := len(s.Sessions)
+	p := Partition{ClassOf: make([]int, n)}
+	for i := range p.ClassOf {
+		p.ClassOf[i] = -1
+	}
+	placedRho := 0.0
+	remPhi := s.TotalPhi()
+	remaining := n
+	for remaining > 0 {
+		threshold := (s.Rate - placedRho) / remPhi
+		var class []int
+		for i, sess := range s.Sessions {
+			if p.ClassOf[i] >= 0 {
+				continue
+			}
+			if sess.Arrival.Rho/sess.Phi < threshold {
+				class = append(class, i)
+			}
+		}
+		if len(class) == 0 {
+			return Partition{}, fmt.Errorf("gpsmath: feasible partition stalled with %d sessions left (sum rho >= rate?)", remaining)
+		}
+		k := len(p.Classes)
+		for _, i := range class {
+			p.ClassOf[i] = k
+			placedRho += s.Sessions[i].Arrival.Rho
+			remPhi -= s.Sessions[i].Phi
+		}
+		p.Classes = append(p.Classes, class)
+		remaining -= len(class)
+	}
+	return p, nil
+}
+
+// AggregateClass lumps the sessions of partition class k into the paper's
+// aggregate session: ρ̃ = Σρ_i, φ̃ = Σφ_i, and the E.B.B. prefactor at a
+// given θ is exp(θ·Σσ̂_i(θ)) (paper §5). It returns ρ̃, φ̃ and the list of
+// member arrival processes for downstream MGF computations.
+func (s Server) AggregateClass(p Partition, k int) (rho, phi float64, members []int) {
+	for _, i := range p.Classes[k] {
+		rho += s.Sessions[i].Arrival.Rho
+		phi += s.Sessions[i].Phi
+	}
+	return rho, phi, p.Classes[k]
+}

@@ -1,0 +1,216 @@
+package gpsmath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+	"repro/internal/numeric"
+)
+
+// classGeometry collects the quantities Theorems 10–12 need for session i
+// sitting in partition class c (0-based): ψ_i, the effective clearing rate
+// gEff = ψ_i·(r - Σ_{j in earlier classes} ρ_j), and the per-term ε budget.
+//
+// The paper's g_i in Theorem 11 is exactly this effective rate: its proof
+// uses Σ ρ̃_l + ψ_i^{-1}·g_i = r. For sessions in H_1 it coincides with
+// the global guaranteed rate φ_i/Σφ·r. The feasible-partition property
+// (eq. 39) guarantees gEff > ρ_i.
+type classGeometry struct {
+	class     int
+	psi       float64
+	gEff      float64
+	epsBudget float64 // gEff - ρ_i
+}
+
+func (s Server) classGeometry(p Partition, i int) classGeometry {
+	c := p.ClassOf[i]
+	earlierRho := 0.0
+	laterPhi := 0.0
+	for j, sess := range s.Sessions {
+		if p.ClassOf[j] < c {
+			earlierRho += sess.Arrival.Rho
+		} else {
+			laterPhi += sess.Phi
+		}
+	}
+	psi := s.Sessions[i].Phi / laterPhi
+	gEff := psi * (s.Rate - earlierRho)
+	return classGeometry{class: c, psi: psi, gEff: gEff, epsBudget: gEff - s.Sessions[i].Arrival.Rho}
+}
+
+// Theorem10 returns the fixed backlog tail of paper Theorem 10 for a
+// session in partition class H_1: Pr{Q_i >= q} <= Λ*·e^{-α_i q} with Λ*
+// from Lemma 5 at the session's guaranteed rate (eq. 50). It holds with
+// no independence assumption. An error is returned for sessions outside
+// H_1.
+func (s Server) Theorem10(p Partition, i int) (numeric.ExpTail, error) {
+	if p.ClassOf[i] != 0 {
+		return numeric.ExpTail{}, fmt.Errorf("gpsmath: session %d is in class H_%d, Theorem 10 needs H_1", i, p.ClassOf[i]+1)
+	}
+	return s.Sessions[i].Arrival.DeltaTail(s.GuaranteedRate(i))
+}
+
+// classAggregates returns, for each class l < c, the member arrival
+// processes, aggregate rate ρ̃_l, and the smallest member decay rate.
+func (s Server) classAggregates(p Partition, c int) (members [][]ebb.Process, rhos []float64, minAlphas []float64) {
+	for l := 0; l < c; l++ {
+		var ms []ebb.Process
+		rho := 0.0
+		minA := math.Inf(1)
+		for _, j := range p.Classes[l] {
+			a := s.Sessions[j].Arrival
+			ms = append(ms, a)
+			rho += a.Rho
+			if a.Alpha < minA {
+				minA = a.Alpha
+			}
+		}
+		members = append(members, ms)
+		rhos = append(rhos, rho)
+		minAlphas = append(minAlphas, minA)
+	}
+	return members, rhos, minAlphas
+}
+
+// Theorem11 builds the bound family of paper Theorem 11 for session i
+// using the feasible partition: the k-1 earlier classes are lumped into
+// aggregate sessions and session i is placed k-th in a constructed
+// feasible ordering (k = class index + 1). Arrival processes must be
+// independent. With ξ = 1 the prefactor reproduces eq. (54) exactly.
+func (s Server) Theorem11(p Partition, i int, mode XiMode) (*SessionBounds, error) {
+	geo := s.classGeometry(p, i)
+	if geo.epsBudget <= 0 {
+		return nil, fmt.Errorf("gpsmath: session %d has no rate slack in its class (gEff = %v, rho = %v)", i, geo.gEff, s.Sessions[i].Arrival.Rho)
+	}
+	c := geo.class
+	k := float64(c + 1)
+	sess := s.Sessions[i]
+	members, rhos, minAlphas := s.classAggregates(p, c)
+
+	epsI := geo.epsBudget / k
+	epsAgg := geo.epsBudget / (k * geo.psi)
+
+	thetaMax := sess.Arrival.Alpha
+	for _, a := range minAlphas {
+		if lim := a / geo.psi; lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		lam := deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, epsI, theta, mode)
+		for l := range members {
+			lam *= deltaMGF(sumSigmaHat(members[l]), rhos[l], epsAgg, geo.psi*theta, mode)
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	return &SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         s.GuaranteedRate(i),
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm11",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}, nil
+}
+
+// Theorem12 is the dependent-arrivals counterpart of Theorem 11 (paper
+// Theorem 12): Hölder's inequality with conjugate exponents {p_l} over the
+// k-1 aggregates plus session i. Passing nil selects exponents that
+// equalize (class ceiling)/p_l, maximizing the usable θ range. As in
+// Theorem8, the exact Hölder powers are kept on the denominators, which
+// is never looser than the paper's eq. (59).
+func (s Server) Theorem12(p Partition, i int, ps []float64, mode XiMode) (*SessionBounds, error) {
+	geo := s.classGeometry(p, i)
+	if geo.epsBudget <= 0 {
+		return nil, fmt.Errorf("gpsmath: session %d has no rate slack in its class", i)
+	}
+	c := geo.class
+	k := c + 1
+	sess := s.Sessions[i]
+	members, rhos, minAlphas := s.classAggregates(p, c)
+
+	if ps == nil {
+		ceilings := append(append([]float64(nil), minAlphas...), sess.Arrival.Alpha)
+		ps, _ = ebb.HolderExponents(ceilings)
+	}
+	if len(ps) != k {
+		return nil, fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
+	}
+	sum := 0.0
+	for _, v := range ps {
+		if v < 1-1e-12 {
+			return nil, fmt.Errorf("gpsmath: Hölder exponent %v, want >= 1", v)
+		}
+		sum += 1 / v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("gpsmath: Hölder exponents sum of reciprocals = %v, want 1", sum)
+	}
+
+	epsI := geo.epsBudget / float64(k)
+	epsAgg := geo.epsBudget / (float64(k) * geo.psi)
+
+	thetaMax := sess.Arrival.Alpha / ps[k-1]
+	for l, a := range minAlphas {
+		if lim := a / (ps[l] * geo.psi); lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	exps := append([]float64(nil), ps...)
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		pk := exps[k-1]
+		lam := math.Pow(deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, epsI, pk*theta, mode), 1/pk)
+		for l := range members {
+			m := deltaMGF(sumSigmaHat(members[l]), rhos[l], epsAgg, exps[l]*geo.psi*theta, mode)
+			lam *= math.Pow(m, 1/exps[l])
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	return &SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         s.GuaranteedRate(i),
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm12",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}, nil
+}
+
+// Theorem11PaperPrefactor evaluates the literal eq. (54) prefactor (ξ = 1)
+// for cross-checking the family implementation in tests and ablations.
+func (s Server) Theorem11PaperPrefactor(p Partition, i int, theta float64) float64 {
+	geo := s.classGeometry(p, i)
+	c := geo.class
+	k := float64(c + 1)
+	sess := s.Sessions[i]
+
+	num := sess.Arrival.SigmaHat(theta) + sess.Arrival.Rho
+	for l := 0; l < c; l++ {
+		for _, j := range p.Classes[l] {
+			a := s.Sessions[j].Arrival
+			num += geo.psi * (a.SigmaHat(geo.psi*theta) + a.Rho)
+		}
+	}
+	den := math.Pow(1-math.Exp(-theta*geo.epsBudget/k), k)
+	if den <= 0 || math.IsInf(num, 1) {
+		return math.Inf(1)
+	}
+	return math.Exp(theta*num) / den
+}

@@ -1,0 +1,83 @@
+package gpsmath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// PGPSBounds converts a session's fluid-GPS bound family into bounds for
+// Packet-by-packet GPS (PGPS/WFQ), the extension the paper's §2 and §7
+// point to. Parekh & Gallager's packetization results give, for packets
+// of size at most lmax on a server of rate r,
+//
+//	D_i^PGPS(t) <= D_i^GPS(t) + lmax/r,
+//	Q_i^PGPS(t) <= Q_i^GPS(t) + lmax,
+//
+// so every statistical tail bound shifts by the packetization terms:
+// Pr{D^PGPS >= d} <= Pr{D^GPS >= d - lmax/r}, and likewise for backlog.
+type PGPSBounds struct {
+	Fluid *SessionBounds
+	Lmax  float64
+	Rate  float64
+}
+
+// NewPGPSBounds wraps a fluid bound set with packetization parameters.
+func NewPGPSBounds(fluid *SessionBounds, lmax, rate float64) (*PGPSBounds, error) {
+	if fluid == nil {
+		return nil, fmt.Errorf("gpsmath: nil fluid bounds")
+	}
+	if lmax < 0 {
+		return nil, fmt.Errorf("gpsmath: lmax = %v, want >= 0", lmax)
+	}
+	if !(rate > 0) {
+		return nil, fmt.Errorf("gpsmath: rate = %v, want positive", rate)
+	}
+	return &PGPSBounds{Fluid: fluid, Lmax: lmax, Rate: rate}, nil
+}
+
+// DelayTail bounds Pr{D_i^PGPS >= d}.
+func (p *PGPSBounds) DelayTail(d float64) float64 {
+	shifted := d - p.Lmax/p.Rate
+	if shifted <= 0 {
+		return 1
+	}
+	return p.Fluid.DelayTail(shifted)
+}
+
+// BacklogTail bounds Pr{Q_i^PGPS >= q}.
+func (p *PGPSBounds) BacklogTail(q float64) float64 {
+	shifted := q - p.Lmax
+	if shifted <= 0 {
+		return 1
+	}
+	return p.Fluid.BacklogTail(shifted)
+}
+
+// DelayQuantile returns the smallest d with DelayTail(d) <= eps: the
+// fluid quantile plus the packetization shift.
+func (p *PGPSBounds) DelayQuantile(eps float64) float64 {
+	return p.Fluid.DelayQuantile(eps) + p.Lmax/p.Rate
+}
+
+// BacklogQuantile returns the smallest q with BacklogTail(q) <= eps.
+func (p *PGPSBounds) BacklogQuantile(eps float64) float64 {
+	return p.Fluid.BacklogQuantile(eps) + p.Lmax
+}
+
+// BestDelayTail returns the shifted exponential achieving the bound at
+// delay level d (rate unchanged, prefactor inflated by the shift).
+func (p *PGPSBounds) BestDelayTail(d float64) numeric.ExpTail {
+	shifted := d - p.Lmax/p.Rate
+	if shifted <= 0 {
+		shifted = 0
+	}
+	base := p.Fluid.BestBacklogTail(p.Fluid.G * shifted)
+	// Pr{D >= d} <= Λ·e^{-α·g·(d - lmax/r)} = (Λ·e^{α·g·lmax/r})·e^{-α·g·d}.
+	gRate := base.Rate * p.Fluid.G
+	return numeric.ExpTail{
+		Prefactor: base.Prefactor * math.Exp(gRate*p.Lmax/p.Rate),
+		Rate:      gRate,
+	}
+}

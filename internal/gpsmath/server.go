@@ -1,0 +1,135 @@
+// Package gpsmath implements the single-node statistical GPS theory of
+// Zhang, Towsley & Kurose: feasible orderings and feasible partitions of
+// sessions, and the backlog/delay/output tail bounds of Theorems 7, 8,
+// 10, 11 and 12, for E.B.B.-characterized session traffic sharing one
+// Generalized Processor Sharing server.
+package gpsmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+)
+
+// Session is one GPS session: a weight φ and an E.B.B. characterization
+// of its arrival process.
+type Session struct {
+	Name    string
+	Phi     float64     // GPS weight φ > 0
+	Arrival ebb.Process // (ρ, Λ, α) arrival characterization
+}
+
+// Server is a single GPS server of rate Rate shared by Sessions.
+type Server struct {
+	Rate     float64
+	Sessions []Session
+}
+
+// NewRPPSServer builds a Rate Proportional Processor Sharing server:
+// every session's weight equals its long-term rate (φ_i = ρ_i), the
+// assignment for which the feasible partition collapses to a single class
+// and Theorem 10 applies to every session (paper §5).
+func NewRPPSServer(rate float64, arrivals []ebb.Process, names []string) Server {
+	srv := Server{Rate: rate}
+	for i, a := range arrivals {
+		name := fmt.Sprintf("session-%d", i+1)
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		srv.Sessions = append(srv.Sessions, Session{Name: name, Phi: a.Rho, Arrival: a})
+	}
+	return srv
+}
+
+// ErrOverloaded is returned when Σρ_i >= r, violating the paper's
+// stability condition.
+var ErrOverloaded = errors.New("gpsmath: sum of session rates must be less than the server rate")
+
+// Validate checks the server satisfies the standing assumptions of the
+// analysis: positive rate and weights, valid E.B.B. triples, Σρ < r.
+func (s Server) Validate() error {
+	if !(s.Rate > 0) || math.IsInf(s.Rate, 1) || math.IsNaN(s.Rate) {
+		return fmt.Errorf("gpsmath: server rate = %v, want positive finite", s.Rate)
+	}
+	if len(s.Sessions) == 0 {
+		return errors.New("gpsmath: server has no sessions")
+	}
+	sum := 0.0
+	for i, sess := range s.Sessions {
+		if !(sess.Phi > 0) || math.IsInf(sess.Phi, 1) || math.IsNaN(sess.Phi) {
+			return fmt.Errorf("gpsmath: session %d (%s): phi = %v, want positive finite", i, sess.Name, sess.Phi)
+		}
+		if err := sess.Arrival.Validate(); err != nil {
+			return fmt.Errorf("gpsmath: session %d (%s): %w", i, sess.Name, err)
+		}
+		sum += sess.Arrival.Rho
+	}
+	if sum >= s.Rate {
+		return fmt.Errorf("%w (sum rho = %v, rate = %v)", ErrOverloaded, sum, s.Rate)
+	}
+	return nil
+}
+
+// TotalPhi returns Σφ_j.
+func (s Server) TotalPhi() float64 {
+	t := 0.0
+	for _, sess := range s.Sessions {
+		t += sess.Phi
+	}
+	return t
+}
+
+// TotalRho returns Σρ_j.
+func (s Server) TotalRho() float64 {
+	t := 0.0
+	for _, sess := range s.Sessions {
+		t += sess.Arrival.Rho
+	}
+	return t
+}
+
+// Slack returns r - Σρ_j, the rate headroom distributable as ε_i.
+func (s Server) Slack() float64 { return s.Rate - s.TotalRho() }
+
+// GuaranteedRate returns g_i = φ_i/Σφ_j · r, the backlog clearing rate GPS
+// guarantees session i whenever it is backlogged.
+func (s Server) GuaranteedRate(i int) float64 {
+	return s.Sessions[i].Phi / s.TotalPhi() * s.Rate
+}
+
+// GuaranteedRates returns all g_i.
+func (s Server) GuaranteedRates() []float64 {
+	total := s.TotalPhi()
+	out := make([]float64, len(s.Sessions))
+	for i, sess := range s.Sessions {
+		out[i] = sess.Phi / total * s.Rate
+	}
+	return out
+}
+
+// IsRPPS reports whether the assignment is rate proportional
+// (φ_i ∝ ρ_i), in which case every session lands in partition class H_1.
+func (s Server) IsRPPS() bool {
+	if len(s.Sessions) == 0 {
+		return false
+	}
+	ratio := s.Sessions[0].Arrival.Rho / s.Sessions[0].Phi
+	for _, sess := range s.Sessions[1:] {
+		if math.Abs(sess.Arrival.Rho/sess.Phi-ratio) > 1e-12*ratio {
+			return false
+		}
+	}
+	return true
+}
+
+// Arrivals returns the sessions' E.B.B. characterizations in declaration
+// order.
+func (s Server) Arrivals() []ebb.Process {
+	out := make([]ebb.Process, len(s.Sessions))
+	for i, sess := range s.Sessions {
+		out[i] = sess.Arrival
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package gpsmath
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+)
+
+// paperSet1 is Table 2, Set 1 of the paper: the four on-off sessions'
+// E.B.B. characterizations.
+func paperSet1() []ebb.Process {
+	return []ebb.Process{
+		{Rho: 0.2, Lambda: 1.0, Alpha: 1.74},
+		{Rho: 0.25, Lambda: 0.92, Alpha: 1.76},
+		{Rho: 0.2, Lambda: 0.84, Alpha: 2.13},
+		{Rho: 0.25, Lambda: 1.0, Alpha: 1.62},
+	}
+}
+
+// mixedServer is a non-RPPS server whose feasible partition has two
+// classes: session 1 is over-weighted, session 2 under-weighted.
+func mixedServer() Server {
+	return Server{
+		Rate: 1,
+		Sessions: []Session{
+			{Name: "a", Phi: 0.8, Arrival: ebb.Process{Rho: 0.1, Lambda: 1, Alpha: 2}},
+			{Name: "b", Phi: 0.2, Arrival: ebb.Process{Rho: 0.4, Lambda: 1, Alpha: 1.5}},
+		},
+	}
+}
+
+func TestValidateServer(t *testing.T) {
+	srv := NewRPPSServer(1, paperSet1(), []string{"s1", "s2", "s3", "s4"})
+	if err := srv.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if srv.Sessions[0].Name != "s1" || srv.Sessions[3].Name != "s4" {
+		t.Errorf("names not applied: %+v", srv.Sessions)
+	}
+
+	over := NewRPPSServer(0.8, paperSet1(), nil)
+	if err := over.Validate(); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("overloaded server: err = %v, want ErrOverloaded", err)
+	}
+
+	empty := Server{Rate: 1}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty server: want error")
+	}
+
+	badPhi := srv
+	badPhi.Sessions = append([]Session(nil), srv.Sessions...)
+	badPhi.Sessions[1].Phi = 0
+	if err := badPhi.Validate(); err == nil {
+		t.Error("zero phi: want error")
+	}
+
+	badRate := srv
+	badRate.Rate = math.NaN()
+	if err := badRate.Validate(); err == nil {
+		t.Error("NaN rate: want error")
+	}
+
+	badEBB := srv
+	badEBB.Sessions = append([]Session(nil), srv.Sessions...)
+	badEBB.Sessions[2].Arrival.Alpha = -1
+	if err := badEBB.Validate(); err == nil {
+		t.Error("invalid EBB: want error")
+	}
+}
+
+func TestGuaranteedRates(t *testing.T) {
+	srv := NewRPPSServer(1, paperSet1(), nil)
+	gs := srv.GuaranteedRates()
+	sum := 0.0
+	for i, g := range gs {
+		if g != srv.GuaranteedRate(i) {
+			t.Errorf("GuaranteedRates[%d] = %v != GuaranteedRate = %v", i, g, srv.GuaranteedRate(i))
+		}
+		sum += g
+	}
+	if math.Abs(sum-srv.Rate) > 1e-12 {
+		t.Errorf("sum g = %v, want rate %v", sum, srv.Rate)
+	}
+	// RPPS: g_i = rho_i/sum(rho) · r; for Set 1 that's rho_i/0.9.
+	want := 0.2 / 0.9
+	if math.Abs(gs[0]-want) > 1e-12 {
+		t.Errorf("g_1 = %v, want %v", gs[0], want)
+	}
+}
+
+func TestIsRPPS(t *testing.T) {
+	if !NewRPPSServer(1, paperSet1(), nil).IsRPPS() {
+		t.Error("RPPS server not detected as RPPS")
+	}
+	if mixedServer().IsRPPS() {
+		t.Error("mixed server detected as RPPS")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	srv := NewRPPSServer(1, paperSet1(), nil)
+	if got := srv.TotalRho(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("TotalRho = %v, want 0.9", got)
+	}
+	if got := srv.TotalPhi(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("TotalPhi = %v, want 0.9 for RPPS", got)
+	}
+	if got := srv.Slack(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Slack = %v, want 0.1", got)
+	}
+	if got := len(srv.Arrivals()); got != 4 {
+		t.Errorf("Arrivals len = %d, want 4", got)
+	}
+}
+
+func TestDecomposedRates(t *testing.T) {
+	srv := NewRPPSServer(1, paperSet1(), nil)
+	for _, split := range []EpsilonSplit{SplitEqual, SplitProportional, SplitByPhi} {
+		rates, err := srv.DecomposedRates(split, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", split, err)
+		}
+		sum := 0.0
+		for i, r := range rates {
+			if r <= srv.Sessions[i].Arrival.Rho {
+				t.Errorf("%v: rate[%d] = %v <= rho", split, i, r)
+			}
+			sum += r
+		}
+		if sum > srv.Rate+1e-12 {
+			t.Errorf("%v: sum rates = %v > server rate", split, sum)
+		}
+	}
+	// Proportional split preserves rho ratios of the epsilons.
+	rates, _ := srv.DecomposedRates(SplitProportional, 1)
+	e0 := rates[0] - 0.2
+	e1 := rates[1] - 0.25
+	if math.Abs(e0/e1-0.2/0.25) > 1e-9 {
+		t.Errorf("proportional eps ratio = %v, want %v", e0/e1, 0.2/0.25)
+	}
+	if _, err := srv.DecomposedRates(SplitEqual, 0); err == nil {
+		t.Error("frac = 0: want error")
+	}
+	if _, err := srv.DecomposedRates(SplitEqual, 1.5); err == nil {
+		t.Error("frac > 1: want error")
+	}
+	if _, err := srv.DecomposedRates(EpsilonSplit(99), 1); err == nil {
+		t.Error("unknown split: want error")
+	}
+}
+
+func TestEpsilonSplitString(t *testing.T) {
+	if SplitEqual.String() != "equal" || SplitProportional.String() != "proportional" || SplitByPhi.String() != "by-phi" {
+		t.Error("EpsilonSplit String mismatch")
+	}
+	if EpsilonSplit(42).String() == "" {
+		t.Error("unknown split String empty")
+	}
+}
+
+func TestFeasibleOrderingSatisfiesEq5(t *testing.T) {
+	srv := mixedServer()
+	rates := []float64{0.2, 0.5}
+	ord, err := srv.FeasibleOrdering(rates)
+	if err != nil {
+		t.Fatalf("FeasibleOrdering: %v", err)
+	}
+	remPhi := srv.TotalPhi()
+	used := 0.0
+	for _, i := range ord {
+		limit := srv.Sessions[i].Phi / remPhi * (srv.Rate - used)
+		if rates[i] > limit+1e-12 {
+			t.Errorf("eq.(5) violated at session %d: %v > %v", i, rates[i], limit)
+		}
+		used += rates[i]
+		remPhi -= srv.Sessions[i].Phi
+	}
+}
+
+func TestFeasibleOrderingInfeasible(t *testing.T) {
+	srv := Server{Rate: 1, Sessions: []Session{
+		{Name: "x", Phi: 1, Arrival: ebb.Process{Rho: 0.4, Lambda: 1, Alpha: 1}},
+		{Name: "y", Phi: 1, Arrival: ebb.Process{Rho: 0.4, Lambda: 1, Alpha: 1}},
+	}}
+	if _, err := srv.FeasibleOrdering([]float64{0.9, 0.9}); !errors.Is(err, ErrNoFeasibleOrdering) {
+		t.Errorf("err = %v, want ErrNoFeasibleOrdering", err)
+	}
+	if _, err := srv.FeasibleOrdering([]float64{0.5}); err == nil {
+		t.Error("mismatched rates length: want error")
+	}
+}
+
+func TestFeasibleOrderingAlwaysExistsWhenRatesFit(t *testing.T) {
+	// Paper §3: as long as Σr_i <= r a feasible ordering exists. Probe a
+	// few random-ish configurations.
+	srv := Server{Rate: 1, Sessions: []Session{
+		{Name: "a", Phi: 5, Arrival: ebb.Process{Rho: 0.1, Lambda: 1, Alpha: 1}},
+		{Name: "b", Phi: 1, Arrival: ebb.Process{Rho: 0.2, Lambda: 1, Alpha: 1}},
+		{Name: "c", Phi: 0.1, Arrival: ebb.Process{Rho: 0.3, Lambda: 1, Alpha: 1}},
+	}}
+	for _, rates := range [][]float64{
+		{0.2, 0.3, 0.5},
+		{0.5, 0.3, 0.2},
+		{0.15, 0.25, 0.35},
+		{0.9, 0.05, 0.05},
+	} {
+		if _, err := srv.FeasibleOrdering(rates); err != nil {
+			t.Errorf("rates %v: unexpected error %v", rates, err)
+		}
+	}
+}
+
+func TestFeasiblePartitionRPPSSingleClass(t *testing.T) {
+	srv := NewRPPSServer(1, paperSet1(), nil)
+	p, err := srv.FeasiblePartition()
+	if err != nil {
+		t.Fatalf("FeasiblePartition: %v", err)
+	}
+	if p.L() != 1 {
+		t.Fatalf("RPPS partition has %d classes, want 1", p.L())
+	}
+	if len(p.Classes[0]) != 4 {
+		t.Errorf("class size = %d, want 4", len(p.Classes[0]))
+	}
+	for i, c := range p.ClassOf {
+		if c != 0 {
+			t.Errorf("ClassOf[%d] = %d, want 0", i, c)
+		}
+	}
+}
+
+func TestFeasiblePartitionTwoClasses(t *testing.T) {
+	srv := mixedServer()
+	p, err := srv.FeasiblePartition()
+	if err != nil {
+		t.Fatalf("FeasiblePartition: %v", err)
+	}
+	if p.L() != 2 {
+		t.Fatalf("partition has %d classes, want 2", p.L())
+	}
+	if p.ClassOf[0] != 0 || p.ClassOf[1] != 1 {
+		t.Errorf("ClassOf = %v, want [0 1]", p.ClassOf)
+	}
+	rho, phi, members := srv.AggregateClass(p, 0)
+	if rho != 0.1 || phi != 0.8 || len(members) != 1 {
+		t.Errorf("AggregateClass = (%v, %v, %v)", rho, phi, members)
+	}
+}
+
+func TestFeasiblePartitionStall(t *testing.T) {
+	srv := Server{Rate: 1, Sessions: []Session{
+		{Name: "x", Phi: 0.5, Arrival: ebb.Process{Rho: 0.6, Lambda: 1, Alpha: 1}},
+		{Name: "y", Phi: 0.5, Arrival: ebb.Process{Rho: 0.6, Lambda: 1, Alpha: 1}},
+	}}
+	if _, err := srv.FeasiblePartition(); err == nil {
+		t.Error("overloaded partition: want stall error")
+	}
+}
+
+// Paper §7 example: three traffic classes with ρ/φ ratios 1, 4/3 and 2
+// produce a three-class feasible partition when capacity allows.
+func TestFeasiblePartitionThreeClasses(t *testing.T) {
+	srv := Server{Rate: 1, Sessions: []Session{
+		{Name: "hi", Phi: 0.60, Arrival: ebb.Process{Rho: 0.30, Lambda: 1, Alpha: 1}},
+		{Name: "mid", Phi: 0.30, Arrival: ebb.Process{Rho: 0.30, Lambda: 1, Alpha: 1}},
+		{Name: "lo", Phi: 0.15, Arrival: ebb.Process{Rho: 0.30, Lambda: 1, Alpha: 1}},
+	}}
+	if err := srv.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	p, err := srv.FeasiblePartition()
+	if err != nil {
+		t.Fatalf("FeasiblePartition: %v", err)
+	}
+	if p.L() != 3 {
+		t.Fatalf("partition has %d classes, want 3: %v", p.L(), p.Classes)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if p.ClassOf[i] != want {
+			t.Errorf("ClassOf[%d] = %d, want %d", i, p.ClassOf[i], want)
+		}
+	}
+}

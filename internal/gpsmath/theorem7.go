@@ -1,0 +1,233 @@
+package gpsmath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+)
+
+// XiMode selects the discretization parameter ξ used inside the Lemma 6
+// MGF bounds that make up every theorem prefactor.
+type XiMode int
+
+const (
+	// XiOne uses ξ = 1, matching the paper's stated formulas (eq. 26
+	// takes ξ = 1 "for simplicity of notation").
+	XiOne XiMode = iota
+	// XiOptimal uses the minimizing ξ0 = ln(r/ρ)/(ε·θ) per term
+	// (Remark 1 after Lemma 6), which is never worse than ξ = 1.
+	XiOptimal
+)
+
+// String implements fmt.Stringer.
+func (m XiMode) String() string {
+	if m == XiOptimal {
+		return "xi-optimal"
+	}
+	return "xi-1"
+}
+
+// deltaMGF evaluates the Lemma 6 bound on E e^{u·δ} for a queue fed by a
+// flow with overhead function σ̂ (log-MGF excess), long-term rate rho, and
+// dedicated service rate rho+eps. sigmaHat must return +Inf outside its
+// admissible range, which propagates naturally.
+func deltaMGF(sigmaHat func(float64) float64, rho, eps, u float64, mode XiMode) float64 {
+	if u <= 0 || eps <= 0 {
+		return math.Inf(1)
+	}
+	sh := sigmaHat(u)
+	if math.IsInf(sh, 1) {
+		return math.Inf(1)
+	}
+	xi := 1.0
+	if mode == XiOptimal {
+		xi = math.Log((rho+eps)/rho) / (eps * u)
+	}
+	return math.Exp(u*(sh+rho*xi)) / (-math.Expm1(-u * eps * xi))
+}
+
+// singleSigmaHat adapts one E.B.B. process to the σ̂ shape deltaMGF wants.
+func singleSigmaHat(p ebb.Process) func(float64) float64 {
+	return p.SigmaHat
+}
+
+// sumSigmaHat is the σ̂ of an aggregate of E.B.B. flows: Σσ̂_j(u),
+// admissible for u below every member's α.
+func sumSigmaHat(ps []ebb.Process) func(float64) float64 {
+	return func(u float64) float64 {
+		s := 0.0
+		for _, p := range ps {
+			v := p.SigmaHat(u)
+			if math.IsInf(v, 1) {
+				return math.Inf(1)
+			}
+			s += v
+		}
+		return s
+	}
+}
+
+// Theorem7 builds the bound family of paper Theorem 7 for the session at
+// position pos of the feasible ordering ord (0-based), assuming the
+// session arrival processes are mutually independent:
+//
+//	Λ_i(θ) = E e^{θδ_i} bound · Π_{j before i} E e^{ψ_i θ δ_j} bound,
+//
+// which with ξ = 1 reproduces eq. (26) exactly. rates are the decomposed
+// rates r_j = ρ_j + ε_j aligned with the server's session indices; ord
+// must be a feasible ordering with respect to them.
+func (s Server) Theorem7(ord []int, rates []float64, pos int, mode XiMode) (*SessionBounds, error) {
+	if pos < 0 || pos >= len(ord) {
+		return nil, fmt.Errorf("gpsmath: position %d outside ordering of length %d", pos, len(ord))
+	}
+	i := ord[pos]
+	sess := s.Sessions[i]
+	// ψ_i = φ_i / Σ_{j >= pos} φ_{ord[j]}.
+	tailPhi := 0.0
+	for _, j := range ord[pos:] {
+		tailPhi += s.Sessions[j].Phi
+	}
+	psi := sess.Phi / tailPhi
+
+	// Admissible θ: θ < α_i and ψθ < α_j for each predecessor.
+	thetaMax := sess.Arrival.Alpha
+	for _, j := range ord[:pos] {
+		if lim := s.Sessions[j].Arrival.Alpha / psi; lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	ahead := append([]int(nil), ord[:pos]...)
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		lam := deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, rates[i]-sess.Arrival.Rho, theta, mode)
+		for _, j := range ahead {
+			a := s.Sessions[j].Arrival
+			lam *= deltaMGF(singleSigmaHat(a), a.Rho, rates[j]-a.Rho, psi*theta, mode)
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	return &SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         s.GuaranteedRate(i),
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm7",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}, nil
+}
+
+// Theorem8 builds the dependent-arrivals bound family of paper Theorem 8:
+// Hölder's inequality replaces the independence factorization, with
+// conjugate exponents {p_j}. Passing nil for ps selects the
+// decay-rate-maximizing exponents (α_j/p_j constant, remark after
+// Theorem 8). The implementation keeps the exact Hölder powers
+// (M_j)^{1/p_j}, which is never looser than the paper's eq. (36) (which
+// drops the 1/p_j power on the denominators); tests verify the relation.
+func (s Server) Theorem8(ord []int, rates []float64, pos int, ps []float64, mode XiMode) (*SessionBounds, error) {
+	if pos < 0 || pos >= len(ord) {
+		return nil, fmt.Errorf("gpsmath: position %d outside ordering of length %d", pos, len(ord))
+	}
+	i := ord[pos]
+	sess := s.Sessions[i]
+	tailPhi := 0.0
+	for _, j := range ord[pos:] {
+		tailPhi += s.Sessions[j].Phi
+	}
+	psi := sess.Phi / tailPhi
+
+	k := pos + 1 // number of Hölder terms: predecessors plus the session
+	if ps == nil {
+		alphas := make([]float64, 0, k)
+		for _, j := range ord[:pos] {
+			alphas = append(alphas, s.Sessions[j].Arrival.Alpha)
+		}
+		alphas = append(alphas, sess.Arrival.Alpha)
+		ps, _ = ebb.HolderExponents(alphas)
+	}
+	if len(ps) != k {
+		return nil, fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
+	}
+	sum := 0.0
+	for _, p := range ps {
+		if !(p > 1) && k > 1 {
+			return nil, fmt.Errorf("gpsmath: Hölder exponent %v, want > 1", p)
+		}
+		sum += 1 / p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("gpsmath: Hölder exponents sum of reciprocals = %v, want 1", sum)
+	}
+
+	// Admissible θ: p_i·θ < α_i and p_j·ψ·θ < α_j.
+	thetaMax := sess.Arrival.Alpha / ps[k-1]
+	for idx, j := range ord[:pos] {
+		if lim := s.Sessions[j].Arrival.Alpha / (ps[idx] * psi); lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	ahead := append([]int(nil), ord[:pos]...)
+	exps := append([]float64(nil), ps...)
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		pi := exps[k-1]
+		m := deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, rates[i]-sess.Arrival.Rho, pi*theta, mode)
+		lam := math.Pow(m, 1/pi)
+		for idx, j := range ahead {
+			a := s.Sessions[j].Arrival
+			mj := deltaMGF(singleSigmaHat(a), a.Rho, rates[j]-a.Rho, exps[idx]*psi*theta, mode)
+			lam *= math.Pow(mj, 1/exps[idx])
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	return &SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         s.GuaranteedRate(i),
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm8",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}, nil
+}
+
+// Theorem8PaperPrefactor evaluates the literal eq. (36) prefactor (ξ = 1,
+// no 1/p_j powers on the denominators). It exists so tests and ablation
+// benchmarks can compare the exact-Hölder implementation against the
+// paper's stated formula.
+func (s Server) Theorem8PaperPrefactor(ord []int, rates []float64, pos int, ps []float64, theta float64) float64 {
+	i := ord[pos]
+	sess := s.Sessions[i]
+	tailPhi := 0.0
+	for _, j := range ord[pos:] {
+		tailPhi += s.Sessions[j].Phi
+	}
+	psi := sess.Phi / tailPhi
+	k := pos + 1
+	pi := ps[k-1]
+
+	num := sess.Arrival.SigmaHat(pi*theta) + sess.Arrival.Rho
+	den := -math.Expm1(-pi * theta * (rates[i] - sess.Arrival.Rho))
+	for idx, j := range ord[:pos] {
+		a := s.Sessions[j].Arrival
+		num += psi * (a.SigmaHat(ps[idx]*psi*theta) + a.Rho)
+		den *= -math.Expm1(-ps[idx] * psi * theta * (rates[j] - a.Rho))
+	}
+	if den <= 0 || math.IsInf(num, 1) {
+		return math.Inf(1)
+	}
+	return math.Exp(theta*num) / den
+}

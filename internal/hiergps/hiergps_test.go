@@ -1,0 +1,248 @@
+package hiergps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+	"repro/internal/gpsmath"
+	"repro/internal/source"
+	"repro/internal/stats"
+)
+
+func twoGroupServer() Server {
+	a := ebb.Process{Rho: 0.1, Lambda: 1, Alpha: 2}
+	b := ebb.Process{Rho: 0.08, Lambda: 1, Alpha: 2.5}
+	return Server{
+		Rate: 1,
+		Groups: []Group{
+			{Name: "tenant-a", Phi: 0.6, MemberPhi: []float64{1, 1}, Members: []ebb.Process{a, a}},
+			{Name: "tenant-b", Phi: 0.4, MemberPhi: []float64{2, 1, 1}, Members: []ebb.Process{b, b, b}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoGroupServer().Validate(); err != nil {
+		t.Fatalf("valid server rejected: %v", err)
+	}
+	bad := twoGroupServer()
+	bad.Rate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rate: want error")
+	}
+	bad = twoGroupServer()
+	bad.Groups[0].Phi = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero group phi: want error")
+	}
+	bad = twoGroupServer()
+	bad.Groups[1].Members = bad.Groups[1].Members[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("member/weight mismatch: want error")
+	}
+	bad = twoGroupServer()
+	bad.Groups[0].Members[0].Rho = 0.7 // overload at the group's rate
+	if err := bad.Validate(); err == nil {
+		t.Error("group overload: want error")
+	}
+	if err := (Server{Rate: 1}).Validate(); err == nil {
+		t.Error("no groups: want error")
+	}
+}
+
+func TestGroupRates(t *testing.T) {
+	s := twoGroupServer()
+	if g := s.GroupRate(0); math.Abs(g-0.6) > 1e-12 {
+		t.Errorf("group 0 rate %v, want 0.6", g)
+	}
+	if g := s.GroupRate(1); math.Abs(g-0.4) > 1e-12 {
+		t.Errorf("group 1 rate %v, want 0.4", g)
+	}
+}
+
+func TestAnalyzeProducesMemberBounds(t *testing.T) {
+	s := twoGroupServer()
+	mbs, err := s.Analyze(gpsmath.Options{Independent: true, Xi: gpsmath.XiOptimal})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(mbs) != 2 || len(mbs[0].Bounds) != 2 || len(mbs[1].Bounds) != 3 {
+		t.Fatalf("bounds shape wrong: %+v", mbs)
+	}
+	for _, mb := range mbs {
+		for _, sb := range mb.Bounds {
+			if v := sb.BacklogTail(30); v > 1e-4 {
+				t.Errorf("group %s member bound not decaying: %v at 30", mb.Group, v)
+			}
+		}
+	}
+}
+
+// When every group is continuously backlogged, the hierarchy is exactly
+// flat GPS with product weights: the nested simulator and the flat
+// simulator must agree to numerical precision.
+func TestHierEqualsFlatWhenAllBusy(t *testing.T) {
+	s := twoGroupServer()
+	nested, err := NewSim(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := s.fluidEquivalent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturating arrivals keep everything busy.
+	arr := [][]float64{{0.4, 0.4}, {0.3, 0.3, 0.3}}
+	flatArr := []float64{0.4, 0.4, 0.3, 0.3, 0.3}
+	for k := 0; k < 200; k++ {
+		if err := nested.Step(arr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := flat.Step(flatArr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := 0
+	for g := range s.Groups {
+		for m := range s.Groups[g].Members {
+			if d := math.Abs(nested.Backlog(g, m) - flat.Backlog(idx)); d > 1e-6 {
+				t.Errorf("group %d member %d: nested %v vs flat %v",
+					g, m, nested.Backlog(g, m), flat.Backlog(idx))
+			}
+			idx++
+		}
+	}
+}
+
+// Hierarchical isolation: a misbehaving member of tenant A cannot degrade
+// tenant B beyond B's guaranteed share — and within A, the inner GPS
+// still protects A's well-behaved member.
+func TestHierarchicalIsolation(t *testing.T) {
+	s := twoGroupServer()
+	var tenantBDelays stats.Tail
+	var politeADelays stats.Tail
+	sim, err := NewSim(s, func(g, m, slot int, d float64) {
+		if g == 1 {
+			tenantBDelays.Add(d)
+		} else if m == 1 {
+			politeADelays.Add(d)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, err := source.NewOnOff(0.9, 0.1, 1.2, 5) // way above its share
+	if err != nil {
+		t.Fatal(err)
+	}
+	polite, err := source.NewOnOff(0.5, 0.5, 0.2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSrcs := make([]*source.OnOff, 3)
+	for i := range bSrcs {
+		bSrcs[i], err = source.NewOnOff(0.5, 0.5, 0.16, uint64(10+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = sim.Run(100000, func(g, m int) float64 {
+		switch {
+		case g == 0 && m == 0:
+			return hog.Next()
+		case g == 0 && m == 1:
+			return polite.Next()
+		default:
+			return bSrcs[m].Next()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenantBDelays.N() == 0 || politeADelays.N() == 0 {
+		t.Fatal("missing delay samples")
+	}
+	// Tenant B's sessions, at load 0.24 vs guaranteed 0.4, see small
+	// delays regardless of the hog next door.
+	q, err := tenantBDelays.Quantile(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > 6 {
+		t.Errorf("tenant B p99.9 delay %v under a cross-tenant hog — isolation broken", q)
+	}
+	// Inside tenant A, the polite member (inner weight 1 of 2 → at least
+	// 0.3 of the link when A is busy) stays responsive too.
+	qa, err := politeADelays.Quantile(0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa > 8 {
+		t.Errorf("polite member p99.9 delay %v behind its in-group hog", qa)
+	}
+}
+
+// Analytic member bounds must dominate simulated member delay tails in
+// the full hierarchy (conservativeness of the compositional analysis).
+func TestMemberBoundsHoldInHierarchy(t *testing.T) {
+	s := twoGroupServer()
+	mbs, err := s.Analyze(gpsmath.Options{Independent: true, Xi: gpsmath.XiOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tails := [][]*stats.Tail{
+		{{}, {}},
+		{{}, {}, {}},
+	}
+	sim, err := NewSim(s, func(g, m, slot int, d float64) {
+		tails[g][m].Add(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := [][]*source.OnOff{make([]*source.OnOff, 2), make([]*source.OnOff, 3)}
+	peaks := [][]float64{{0.2, 0.2}, {0.16, 0.16, 0.16}}
+	for g := range srcs {
+		for m := range srcs[g] {
+			srcs[g][m], err = source.NewOnOff(0.5, 0.5, peaks[g][m], uint64(100+10*g+m))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sim.Run(150000, func(g, m int) float64 { return srcs[g][m].Next() }); err != nil {
+		t.Fatal(err)
+	}
+	for g := range tails {
+		for m, tail := range tails[g] {
+			for _, d := range []float64{3, 6, 10} {
+				emp := tail.CCDF(d)
+				bnd := mbs[g].Bounds[m].DelayTail(math.Max(d-1, 0))
+				if emp > bnd*1.5+1e-9 {
+					t.Errorf("group %d member %d: Pr{D>=%v} sim %v above bound %v", g, m, d, emp, bnd)
+				}
+			}
+		}
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	s := twoGroupServer()
+	sim, err := NewSim(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step([][]float64{{1, 1}}); err == nil {
+		t.Error("wrong group count: want error")
+	}
+	if err := sim.Step([][]float64{{1}, {1, 1, 1}}); err == nil {
+		t.Error("wrong member count: want error")
+	}
+	if err := sim.Step([][]float64{{1, -1}, {0, 0, 0}}); err == nil {
+		t.Error("negative arrival: want error")
+	}
+	if sim.Slot() != 0 {
+		t.Errorf("failed steps advanced the clock: %d", sim.Slot())
+	}
+}

@@ -1,0 +1,154 @@
+// Package lbap implements the deterministic baseline the paper builds on:
+// Cruz's Linearly Bounded Arrival Process (leaky-bucket) traffic envelopes
+// and Parekh & Gallager's worst-case single-node and RPPS-network GPS
+// bounds. The paper's motivation (§1) is that these hard bounds are very
+// conservative; the EXT-DET experiment quantifies that gap against the
+// statistical bounds.
+package lbap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+	"repro/internal/gpsmath"
+)
+
+// Envelope is a (σ, ρ) leaky-bucket envelope: A(s, t] <= σ + ρ(t-s) over
+// every interval.
+type Envelope struct {
+	Sigma float64
+	Rho   float64
+}
+
+// Validate checks the envelope parameters.
+func (e Envelope) Validate() error {
+	if e.Sigma < 0 || math.IsNaN(e.Sigma) || math.IsInf(e.Sigma, 1) {
+		return fmt.Errorf("lbap: sigma = %v, want finite >= 0", e.Sigma)
+	}
+	if !(e.Rho > 0) || math.IsNaN(e.Rho) || math.IsInf(e.Rho, 1) {
+		return fmt.Errorf("lbap: rho = %v, want finite > 0", e.Rho)
+	}
+	return nil
+}
+
+// Conforms reports whether a slotted arrival trace satisfies the envelope
+// over every window.
+func (e Envelope) Conforms(trace []float64) bool {
+	// Running excess: δ(t) = max(δ(t-1) + a(t) - ρ, 0) tracks the worst
+	// window ending at t; conformance iff δ(t) <= σ throughout.
+	excess := 0.0
+	for _, a := range trace {
+		excess += a - e.Rho
+		if excess < 0 {
+			excess = 0
+		}
+		if excess > e.Sigma+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinSigma returns the smallest σ for which the trace conforms at rate ρ.
+func MinSigma(trace []float64, rho float64) float64 {
+	excess, worst := 0.0, 0.0
+	for _, a := range trace {
+		excess += a - rho
+		if excess < 0 {
+			excess = 0
+		}
+		if excess > worst {
+			worst = excess
+		}
+	}
+	return worst
+}
+
+// DetBound is a worst-case (hard) guarantee.
+type DetBound struct {
+	Backlog float64 // Q_i(t) <= Backlog for all t
+	Delay   float64 // D_i(t) <= Delay for all t
+}
+
+// SingleNodeBounds computes Parekh & Gallager's deterministic per-session
+// backlog and delay bounds for one GPS node. For a leaky-bucket session
+// the excess process obeys δ_i(t) <= σ_i, and the sharpest position for
+// session i in a feasible ordering is given by the feasible partition
+// (the deterministic twin of the paper's Theorem 11 construction): a
+// session in partition class H_k sees only the aggregate burst of the
+// strictly earlier classes,
+//
+//	Q_i <= σ_i + ψ_i·Σ_{j in H_1..H_{k-1}} σ_j,   D_i <= Q_i-bound / g_i,
+//
+// with ψ_i = φ_i / Σ_{j outside earlier classes} φ_j. Under RPPS every
+// session is in H_1 and the bound collapses to the classic Q_i <= σ_i.
+func SingleNodeBounds(rate float64, phis []float64, envs []Envelope) ([]DetBound, error) {
+	if len(phis) == 0 || len(phis) != len(envs) {
+		return nil, fmt.Errorf("lbap: %d weights for %d envelopes", len(phis), len(envs))
+	}
+	srv := gpsmath.Server{Rate: rate}
+	for i, e := range envs {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		srv.Sessions = append(srv.Sessions, gpsmath.Session{
+			Name: fmt.Sprintf("session-%d", i),
+			Phi:  phis[i],
+			// The partition machinery reads only ρ and φ.
+			Arrival: ebb.Process{Rho: e.Rho, Lambda: 1, Alpha: 1},
+		})
+	}
+	part, err := srv.FeasiblePartition()
+	if err != nil {
+		return nil, fmt.Errorf("lbap: %w", err)
+	}
+	totalPhi := srv.TotalPhi()
+	out := make([]DetBound, len(envs))
+	for i := range envs {
+		c := part.ClassOf[i]
+		laterPhi := 0.0
+		earlierSigma := 0.0
+		for j := range envs {
+			if part.ClassOf[j] < c {
+				earlierSigma += envs[j].Sigma
+			} else {
+				laterPhi += phis[j]
+			}
+		}
+		psi := phis[i] / laterPhi
+		q := envs[i].Sigma + psi*earlierSigma
+		g := phis[i] / totalPhi * rate
+		out[i] = DetBound{Backlog: q, Delay: q / g}
+	}
+	return out, nil
+}
+
+// RPPSNetworkBound is Parekh & Gallager's celebrated RPPS network result:
+// a leaky-bucket session with bottleneck clearing rate gnet > ρ sees
+// Q_i^net <= σ_i and D_i^net <= σ_i/g_i^net regardless of route length or
+// topology — the deterministic twin of the paper's Theorem 15.
+func RPPSNetworkBound(env Envelope, gnet float64) (DetBound, error) {
+	if err := env.Validate(); err != nil {
+		return DetBound{}, err
+	}
+	if gnet <= env.Rho {
+		return DetBound{}, errors.New("lbap: bottleneck rate must exceed rho")
+	}
+	return DetBound{Backlog: env.Sigma, Delay: env.Sigma / gnet}, nil
+}
+
+// DelayQuantileEquivalent returns the backlog level at which a
+// statistical tail bound Pr{Q >= q} <= Λe^{-αq} drops to eps — used to
+// compare hard bounds against soft bounds at a given violation
+// probability in the EXT-DET experiment.
+func DelayQuantileEquivalent(lambda, alpha, eps float64) float64 {
+	if eps <= 0 || alpha <= 0 {
+		return math.Inf(1)
+	}
+	if lambda <= eps {
+		return 0
+	}
+	return math.Log(lambda/eps) / alpha
+}

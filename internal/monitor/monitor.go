@@ -1,0 +1,143 @@
+// Package monitor provides an online E.B.B. conformance monitor: a
+// streaming structure that watches a session's per-slot arrivals and
+// tracks, for a set of window lengths, how often the declared envelope
+// Pr{A(w) >= ρw + x} <= Λe^{-αx} is violated at chosen excess levels.
+//
+// Where internal/source.VerifyEBB post-processes a recorded trace, the
+// monitor runs in-path with O(#windows) state per slot (ring buffers of
+// window sums), which is how a network element would police a declared
+// characterization in real time — the operational question the paper's
+// §7 raises about obtaining and trusting E.B.B. parameters.
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+)
+
+// Level is one probed excess level with its running violation count.
+type Level struct {
+	X      float64 // excess over ρ·w
+	Budget float64 // Λe^{-αx}, the allowed violation probability
+	count  int
+}
+
+// windowState tracks one window length with a ring buffer of the last w
+// slot volumes.
+type windowState struct {
+	w      int
+	ring   []float64
+	pos    int
+	sum    float64
+	filled bool
+	levels []Level
+	n      int // complete windows observed
+}
+
+// Monitor watches one flow against one declared characterization.
+type Monitor struct {
+	char    ebb.Process
+	windows []*windowState
+}
+
+// New builds a monitor for the declared characterization, probing the
+// given window lengths and excess levels.
+func New(char ebb.Process, windows []int, levels []float64) (*Monitor, error) {
+	if err := char.Validate(); err != nil {
+		return nil, err
+	}
+	if len(windows) == 0 || len(levels) == 0 {
+		return nil, fmt.Errorf("monitor: need at least one window and one level")
+	}
+	m := &Monitor{char: char}
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("monitor: window %d, want positive", w)
+		}
+		ws := &windowState{w: w, ring: make([]float64, w)}
+		for _, x := range levels {
+			if x < 0 {
+				return nil, fmt.Errorf("monitor: level %v, want >= 0", x)
+			}
+			ws.levels = append(ws.levels, Level{
+				X:      x,
+				Budget: char.Lambda * math.Exp(-char.Alpha*x),
+			})
+		}
+		m.windows = append(m.windows, ws)
+	}
+	return m, nil
+}
+
+// Observe feeds one slot's arrival volume.
+func (m *Monitor) Observe(a float64) error {
+	if a < 0 || math.IsNaN(a) || math.IsInf(a, 1) {
+		return fmt.Errorf("monitor: volume %v", a)
+	}
+	for _, ws := range m.windows {
+		ws.sum += a - ws.ring[ws.pos]
+		ws.ring[ws.pos] = a
+		ws.pos++
+		if ws.pos == ws.w {
+			ws.pos = 0
+			ws.filled = true
+		}
+		if !ws.filled {
+			continue
+		}
+		ws.n++
+		excess := ws.sum - m.char.Rho*float64(ws.w)
+		for li := range ws.levels {
+			if excess >= ws.levels[li].X {
+				ws.levels[li].count++
+			}
+		}
+	}
+	return nil
+}
+
+// Report is the monitor's verdict for one (window, level) cell.
+type Report struct {
+	Window    int
+	X         float64
+	Empirical float64 // observed violation frequency
+	Budget    float64 // Λe^{-αx}
+	Windows   int     // sample count
+}
+
+// Violated reports whether the observed frequency exceeds the budget.
+func (r Report) Violated() bool { return r.Empirical > r.Budget }
+
+// Reports returns the current verdicts, one per (window, level) pair;
+// cells whose window has not filled yet report zero samples.
+func (m *Monitor) Reports() []Report {
+	var out []Report
+	for _, ws := range m.windows {
+		for _, lv := range ws.levels {
+			r := Report{Window: ws.w, X: lv.X, Budget: lv.Budget, Windows: ws.n}
+			if ws.n > 0 {
+				r.Empirical = float64(lv.count) / float64(ws.n)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WorstRatio returns the largest empirical/budget ratio across cells with
+// at least minWindows samples (0 when nothing qualifies). Values above 1
+// flag a source violating its declared characterization.
+func (m *Monitor) WorstRatio(minWindows int) float64 {
+	worst := 0.0
+	for _, r := range m.Reports() {
+		if r.Windows < minWindows || r.Budget <= 0 {
+			continue
+		}
+		if v := r.Empirical / r.Budget; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

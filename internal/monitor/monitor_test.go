@@ -1,0 +1,140 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+	"repro/internal/source"
+)
+
+var declared = ebb.Process{Rho: 0.25, Lambda: 0.92, Alpha: 1.76}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(ebb.Process{}, []int{1}, []float64{0}); err == nil {
+		t.Error("invalid char: want error")
+	}
+	if _, err := New(declared, nil, []float64{0}); err == nil {
+		t.Error("no windows: want error")
+	}
+	if _, err := New(declared, []int{1}, nil); err == nil {
+		t.Error("no levels: want error")
+	}
+	if _, err := New(declared, []int{0}, []float64{0}); err == nil {
+		t.Error("zero window: want error")
+	}
+	if _, err := New(declared, []int{1}, []float64{-1}); err == nil {
+		t.Error("negative level: want error")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m, err := New(declared, []int{2}, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(-1); err == nil {
+		t.Error("negative volume: want error")
+	}
+	if err := m.Observe(math.NaN()); err == nil {
+		t.Error("NaN volume: want error")
+	}
+}
+
+func TestWindowSumsExact(t *testing.T) {
+	// Window 3 over a known sequence; level x = 0 counts windows whose
+	// sum exceeds 3·rho = 0.75.
+	m, err := New(declared, []int{3}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []float64{0.4, 0.4, 0.4, 0, 0, 0, 0.4, 0.4, 0.4}
+	for _, v := range seq {
+		if err := m.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := m.Reports()
+	if len(rs) != 1 {
+		t.Fatalf("%d reports", len(rs))
+	}
+	// Complete windows: 7; sums: 1.2, 0.8, 0.4, 0, 0.4, 0.8, 1.2 →
+	// exceeding 0.75: windows 1, 2, 6, 7 = 4.
+	if rs[0].Windows != 7 {
+		t.Errorf("windows = %d, want 7", rs[0].Windows)
+	}
+	if want := 4.0 / 7; math.Abs(rs[0].Empirical-want) > 1e-12 {
+		t.Errorf("empirical = %v, want %v", rs[0].Empirical, want)
+	}
+}
+
+func TestConformingSourcePasses(t *testing.T) {
+	src, err := source.NewOnOff(0.4, 0.4, 0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	char, err := src.Markov().EBBPaper(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(char, []int{1, 4, 16, 64}, []float64{0.2, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 300000; k++ {
+		if err := m.Observe(src.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if worst := m.WorstRatio(1000); worst > 1.1 {
+		t.Errorf("conforming source flagged: worst ratio %v", worst)
+	}
+}
+
+func TestMisbehavingSourceFlagged(t *testing.T) {
+	// Declare the Table-2 envelope but send a much hotter source.
+	hot, err := source.NewOnOff(0.6, 0.2, 0.6, 9) // mean 0.45 >> rho 0.25
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(declared, []int{8, 32}, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50000; k++ {
+		if err := m.Observe(hot.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if worst := m.WorstRatio(1000); worst <= 1 {
+		t.Errorf("misbehaving source not flagged: worst ratio %v", worst)
+	}
+	flagged := false
+	for _, r := range m.Reports() {
+		if r.Windows > 1000 && r.Violated() {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("no cell reports a violation")
+	}
+}
+
+func TestUnfilledWindowReportsZero(t *testing.T) {
+	m, err := New(declared, []int{100}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if err := m.Observe(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := m.Reports()
+	if rs[0].Windows != 0 || rs[0].Empirical != 0 {
+		t.Errorf("unfilled window report = %+v", rs[0])
+	}
+	if m.WorstRatio(1) != 0 {
+		t.Error("WorstRatio should ignore unfilled windows")
+	}
+}

@@ -1,0 +1,320 @@
+// Package netsim simulates a network of fluid GPS servers (paper §6):
+// sessions follow fixed routes over nodes, each node runs exact fluid GPS
+// among the sessions present, and a session's departures at one node are
+// its arrivals at the next (forwarded at the following slot boundary,
+// store-and-forward). End-to-end delays are measured against the network
+// entry time of each arrival batch.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fluid"
+)
+
+// Node is one GPS server.
+type Node struct {
+	Name string
+	Rate float64
+}
+
+// SessionSpec routes one session through the network. Phi[k] is the
+// session's GPS weight at Route[k].
+type SessionSpec struct {
+	Name  string
+	Route []int
+	Phi   []float64
+}
+
+// DelayFunc receives a completed end-to-end batch: session, entry slot,
+// and delay in slots (fractional, interpolated within the final slot).
+type DelayFunc func(session, entrySlot int, delay float64)
+
+// HopDelayFunc receives one completed per-node batch: session, hop index
+// on the session's route, the slot the batch entered that node, and the
+// exact (sub-slot) delay at that node.
+type HopDelayFunc func(session, hop, entrySlot int, delay float64)
+
+// Config describes the network.
+type Config struct {
+	Nodes    []Node
+	Sessions []SessionSpec
+	// OnDelay, if set, is invoked once per arrival batch when its last
+	// bit leaves the network.
+	OnDelay DelayFunc
+	// OnHopDelay, if set, is invoked once per batch per node with the
+	// exact per-hop queueing delay (used to validate per-hop CRST
+	// bounds).
+	OnHopDelay HopDelayFunc
+}
+
+type batch struct {
+	level float64
+	slot  int
+}
+
+// Sim is the network simulator.
+type Sim struct {
+	cfg  Config
+	slot int
+
+	sims []*fluid.Sim // one per node
+	// present[m] lists (session, hop) pairs at node m in the local
+	// session order of sims[m].
+	present [][]sessionHop
+	// local[m*S+i] is the local index of session i at node m, or -1.
+	local []int
+
+	// inTransit[i][k] is fluid of session i departed hop k last slot,
+	// to be injected at hop k+1 (or counted as exited for the last hop).
+	inTransit [][]float64
+	// prevCumS[i][k]: session i's cumulative service at hop k's node as
+	// of the previous slot boundary.
+	prevCumS [][]float64
+
+	entryCum []float64 // cumulative external arrivals per session
+	exitCum  []float64 // cumulative traffic that left the network
+	pending  [][]batch
+}
+
+type sessionHop struct {
+	session int
+	hop     int
+}
+
+// New validates the configuration and builds the simulator.
+func New(cfg Config) (*Sim, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("netsim: no nodes")
+	}
+	if len(cfg.Sessions) == 0 {
+		return nil, errors.New("netsim: no sessions")
+	}
+	for m, n := range cfg.Nodes {
+		if !(n.Rate > 0) {
+			return nil, fmt.Errorf("netsim: node %d (%s) rate = %v, want positive", m, n.Name, n.Rate)
+		}
+	}
+	nNodes := len(cfg.Nodes)
+	nSess := len(cfg.Sessions)
+	s := &Sim{
+		cfg:       cfg,
+		present:   make([][]sessionHop, nNodes),
+		local:     make([]int, nNodes*nSess),
+		inTransit: make([][]float64, nSess),
+		prevCumS:  make([][]float64, nSess),
+		entryCum:  make([]float64, nSess),
+		exitCum:   make([]float64, nSess),
+		pending:   make([][]batch, nSess),
+	}
+	for i := range s.local {
+		s.local[i] = -1
+	}
+	for i, spec := range cfg.Sessions {
+		if len(spec.Route) == 0 {
+			return nil, fmt.Errorf("netsim: session %d (%s) has an empty route", i, spec.Name)
+		}
+		if len(spec.Phi) != len(spec.Route) {
+			return nil, fmt.Errorf("netsim: session %d (%s): %d weights for %d hops", i, spec.Name, len(spec.Phi), len(spec.Route))
+		}
+		seen := make(map[int]bool)
+		for k, m := range spec.Route {
+			if m < 0 || m >= nNodes {
+				return nil, fmt.Errorf("netsim: session %d (%s): hop %d references node %d", i, spec.Name, k, m)
+			}
+			if seen[m] {
+				return nil, fmt.Errorf("netsim: session %d (%s) visits node %d twice", i, spec.Name, m)
+			}
+			seen[m] = true
+			if !(spec.Phi[k] > 0) {
+				return nil, fmt.Errorf("netsim: session %d (%s): phi[%d] = %v, want positive", i, spec.Name, k, spec.Phi[k])
+			}
+			s.local[m*nSess+i] = len(s.present[m])
+			s.present[m] = append(s.present[m], sessionHop{session: i, hop: k})
+		}
+		s.inTransit[i] = make([]float64, len(spec.Route))
+		s.prevCumS[i] = make([]float64, len(spec.Route))
+	}
+	s.sims = make([]*fluid.Sim, nNodes)
+	for m := range cfg.Nodes {
+		if len(s.present[m]) == 0 {
+			// Idle node: model it with a dummy session so fluid.New is
+			// happy; it never receives arrivals.
+			sim, err := fluid.New(fluid.Config{Rate: cfg.Nodes[m].Rate, Phi: []float64{1}})
+			if err != nil {
+				return nil, err
+			}
+			s.sims[m] = sim
+			continue
+		}
+		phi := make([]float64, len(s.present[m]))
+		for li, sh := range s.present[m] {
+			phi[li] = cfg.Sessions[sh.session].Phi[sh.hop]
+		}
+		nodeCfg := fluid.Config{Rate: cfg.Nodes[m].Rate, Phi: phi}
+		if cfg.OnHopDelay != nil {
+			present := s.present[m] // capture this node's session list
+			nodeCfg.OnDelay = func(local, slot int, d float64) {
+				sh := present[local]
+				cfg.OnHopDelay(sh.session, sh.hop, slot, d)
+			}
+		}
+		sim, err := fluid.New(nodeCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.sims[m] = sim
+	}
+	return s, nil
+}
+
+// NSessions returns the session count.
+func (s *Sim) NSessions() int { return len(s.cfg.Sessions) }
+
+// Slot returns the number of completed slots.
+func (s *Sim) Slot() int { return s.slot }
+
+// Step advances one slot. external[i] is the fresh traffic session i
+// injects at its first hop this slot.
+func (s *Sim) Step(external []float64) error {
+	nSess := s.NSessions()
+	if len(external) != nSess {
+		return fmt.Errorf("netsim: %d external arrivals for %d sessions", len(external), nSess)
+	}
+	for i, a := range external {
+		if a < 0 {
+			return fmt.Errorf("netsim: external[%d] = %v", i, a)
+		}
+		if a > 0 {
+			s.entryCum[i] += a
+			if s.cfg.OnDelay != nil {
+				s.pending[i] = append(s.pending[i], batch{level: s.entryCum[i], slot: s.slot})
+			}
+		}
+	}
+
+	// Serve each node with this slot's arrivals: external traffic at hop
+	// 0 plus forwarded fluid from the previous slot at later hops.
+	prevExit := append([]float64(nil), s.exitCum...)
+	for m := range s.cfg.Nodes {
+		if len(s.present[m]) == 0 {
+			if _, err := s.sims[m].Step([]float64{0}); err != nil {
+				return err
+			}
+			continue
+		}
+		arr := make([]float64, len(s.present[m]))
+		for li, sh := range s.present[m] {
+			if sh.hop == 0 {
+				arr[li] = external[sh.session]
+			} else {
+				arr[li] = s.inTransit[sh.session][sh.hop]
+				s.inTransit[sh.session][sh.hop] = 0
+			}
+		}
+		if _, err := s.sims[m].Step(arr); err != nil {
+			return err
+		}
+	}
+
+	// Collect departures and queue them for the next hop (next slot).
+	for i, spec := range s.cfg.Sessions {
+		for k, m := range spec.Route {
+			li := s.local[m*len(s.cfg.Sessions)+i]
+			cum := s.sims[m].CumService(li)
+			dep := cum - s.prevCumS[i][k]
+			s.prevCumS[i][k] = cum
+			if k+1 < len(spec.Route) {
+				s.inTransit[i][k+1] += dep
+			} else {
+				s.exitCum[i] += dep
+			}
+		}
+	}
+
+	// Resolve end-to-end batch completions with within-slot interpolation.
+	if s.cfg.OnDelay != nil {
+		for i := range s.pending {
+			q := s.pending[i]
+			// Entry and exit watermarks are independently accumulated
+			// sums; allow relative rounding drift when matching them.
+			tol := 1e-12 * (1 + s.exitCum[i])
+			for len(q) > 0 && q[0].level <= s.exitCum[i]+tol {
+				b := q[0]
+				q = q[1:]
+				frac := 1.0
+				if served := s.exitCum[i] - prevExit[i]; served > 1e-15 {
+					frac = (b.level - prevExit[i]) / served
+					if frac < 0 {
+						frac = 0
+					} else if frac > 1 {
+						frac = 1
+					}
+				}
+				finish := float64(s.slot) + frac
+				s.cfg.OnDelay(i, b.slot, finish-float64(b.slot))
+			}
+			s.pending[i] = q
+		}
+	}
+	s.slot++
+	return nil
+}
+
+// Run drives the simulator for the given number of slots, drawing each
+// session's external arrivals from gen.
+func (s *Sim) Run(slots int, gen func(session int) float64) error {
+	arr := make([]float64, s.NSessions())
+	for t := 0; t < slots; t++ {
+		for i := range arr {
+			arr[i] = gen(i)
+		}
+		if err := s.Step(arr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NodeBacklog returns session i's backlog queued at node m (0 when the
+// session does not visit m).
+func (s *Sim) NodeBacklog(m, i int) float64 {
+	li := s.local[m*len(s.cfg.Sessions)+i]
+	if li < 0 {
+		return 0
+	}
+	return s.sims[m].Backlog(li)
+}
+
+// NetworkBacklog returns Q_i^net(t): all session i fluid inside the
+// network — queued at nodes or in transit between them.
+func (s *Sim) NetworkBacklog(i int) float64 {
+	total := 0.0
+	for _, m := range s.cfg.Sessions[i].Route {
+		total += s.NodeBacklog(m, i)
+	}
+	for _, v := range s.inTransit[i] {
+		total += v
+	}
+	return total
+}
+
+// NodeUtilization returns the fraction of node m's capacity used so far:
+// total volume served divided by rate·slots elapsed.
+func (s *Sim) NodeUtilization(m int) float64 {
+	if s.slot == 0 {
+		return 0
+	}
+	served := 0.0
+	for li := range s.present[m] {
+		served += s.sims[m].CumService(li)
+	}
+	return served / (s.cfg.Nodes[m].Rate * float64(s.slot))
+}
+
+// EntryCum returns cumulative external arrivals of session i.
+func (s *Sim) EntryCum(i int) float64 { return s.entryCum[i] }
+
+// ExitCum returns cumulative session i traffic that has left the network.
+func (s *Sim) ExitCum(i int) float64 { return s.exitCum[i] }

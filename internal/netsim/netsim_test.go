@@ -1,0 +1,384 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+	"repro/internal/network"
+	"repro/internal/source"
+	"repro/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	node := Node{Name: "n", Rate: 1}
+	sess := SessionSpec{Name: "s", Route: []int{0}, Phi: []float64{1}}
+	if _, err := New(Config{Sessions: []SessionSpec{sess}}); err == nil {
+		t.Error("no nodes: want error")
+	}
+	if _, err := New(Config{Nodes: []Node{node}}); err == nil {
+		t.Error("no sessions: want error")
+	}
+	if _, err := New(Config{Nodes: []Node{{Rate: 0}}, Sessions: []SessionSpec{sess}}); err == nil {
+		t.Error("zero-rate node: want error")
+	}
+	bad := []SessionSpec{
+		{Name: "empty", Route: nil, Phi: nil},
+		{Name: "mismatch", Route: []int{0}, Phi: []float64{1, 2}},
+		{Name: "outofrange", Route: []int{5}, Phi: []float64{1}},
+		{Name: "revisit", Route: []int{0, 0}, Phi: []float64{1, 1}},
+		{Name: "zerophi", Route: []int{0}, Phi: []float64{0}},
+	}
+	for _, b := range bad {
+		if _, err := New(Config{Nodes: []Node{node, node}, Sessions: []SessionSpec{b}}); err == nil {
+			t.Errorf("session %q: want error", b.Name)
+		}
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	s, err := New(Config{
+		Nodes:    []Node{{Name: "a", Rate: 1}},
+		Sessions: []SessionSpec{{Name: "s", Route: []int{0}, Phi: []float64{1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step([]float64{1, 2}); err == nil {
+		t.Error("wrong arrival count: want error")
+	}
+	if err := s.Step([]float64{-1}); err == nil {
+		t.Error("negative arrival: want error")
+	}
+}
+
+// Single node, single CBR session below capacity: every batch departs
+// within its arrival slot, so the slot-resolution end-to-end delay is
+// exactly 1 slot (delays are rounded up to the end of the departure slot).
+func TestSingleNodeCBRDelay(t *testing.T) {
+	var delays []float64
+	s, err := New(Config{
+		Nodes:    []Node{{Name: "a", Rate: 1}},
+		Sessions: []SessionSpec{{Name: "s", Route: []int{0}, Phi: []float64{1}}},
+		OnDelay:  func(sess, slot int, d float64) { delays = append(delays, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		if err := s.Step([]float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(delays) != 50 {
+		t.Fatalf("%d delays, want 50", len(delays))
+	}
+	for _, d := range delays {
+		if math.Abs(d-1) > 1e-9 {
+			t.Fatalf("delay = %v, want 1 (slot-resolution)", d)
+		}
+	}
+}
+
+// Two-node tandem: one extra slot of store-and-forward pipeline latency.
+func TestTandemPipelineDelay(t *testing.T) {
+	var delays []float64
+	s, err := New(Config{
+		Nodes: []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}},
+		Sessions: []SessionSpec{
+			{Name: "s", Route: []int{0, 1}, Phi: []float64{1, 1}},
+		},
+		OnDelay: func(sess, slot int, d float64) { delays = append(delays, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		if err := s.Step([]float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(delays) < 49 {
+		t.Fatalf("%d delays, want ~49", len(delays))
+	}
+	for _, d := range delays {
+		if math.Abs(d-2) > 1e-9 {
+			t.Fatalf("tandem delay = %v, want 2", d)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	srcs := make([]*source.OnOff, 2)
+	for i := range srcs {
+		var err error
+		srcs[i], err = source.NewOnOff(0.3, 0.4, 0.7, uint64(50+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{
+		Nodes: []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}, {Name: "c", Rate: 1}},
+		Sessions: []SessionSpec{
+			{Name: "x", Route: []int{0, 2}, Phi: []float64{0.3, 0.3}},
+			{Name: "y", Route: []int{1, 2}, Phi: []float64{0.3, 0.3}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(20000, func(i int) float64 { return srcs[i].Next() }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		in := s.EntryCum(i)
+		out := s.ExitCum(i) + s.NetworkBacklog(i)
+		if math.Abs(in-out) > 1e-6 {
+			t.Errorf("session %d: in %v != out+backlog %v", i, in, out)
+		}
+	}
+}
+
+// The paper's Figure 2 network: three nodes in a tree, sessions 1-2 enter
+// at node 1, sessions 3-4 at node 2, all traverse node 3. Under RPPS with
+// total load 0.9 per node the network must be stable: time-average
+// network backlog stays bounded and delays concentrate near the service
+// floor (2 hops + pipeline).
+func TestPaperTreeNetworkStability(t *testing.T) {
+	params := []struct{ p, q, l, rho float64 }{
+		{0.3, 0.7, 0.5, 0.2},
+		{0.4, 0.4, 0.4, 0.25},
+		{0.3, 0.3, 0.3, 0.2},
+		{0.4, 0.6, 0.5, 0.25},
+	}
+	srcs := make([]*source.OnOff, 4)
+	for i, pr := range params {
+		var err error
+		srcs[i], err = source.NewOnOff(pr.p, pr.q, pr.l, uint64(400+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tail stats.Tail
+	sessions := make([]SessionSpec, 4)
+	for i, pr := range params {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		sessions[i] = SessionSpec{
+			Name:  []string{"s1", "s2", "s3", "s4"}[i],
+			Route: []int{first, 2},
+			Phi:   []float64{pr.rho, pr.rho},
+		}
+	}
+	s, err := New(Config{
+		Nodes:    []Node{{Name: "n1", Rate: 1}, {Name: "n2", Rate: 1}, {Name: "n3", Rate: 1}},
+		Sessions: sessions,
+		OnDelay: func(sess, slot int, d float64) {
+			if sess == 0 {
+				tail.Add(d)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100000, func(i int) float64 { return srcs[i].Next() }); err != nil {
+		t.Fatal(err)
+	}
+	if tail.N() == 0 {
+		t.Fatal("no delays recorded")
+	}
+	// Stability: the mean end-to-end delay of session 1 should be modest
+	// (a few slots) and the worst backlog bounded well below the run
+	// length.
+	if m := tail.Mean(); m < 2 || m > 20 {
+		t.Errorf("mean end-to-end delay %v, want small (stable network)", m)
+	}
+	for i := 0; i < 4; i++ {
+		if b := s.NetworkBacklog(i); b > 100 {
+			t.Errorf("session %d: network backlog %v at end of run — unstable?", i, b)
+		}
+	}
+}
+
+// Per-hop delays must decompose sensibly: each hop delay is positive and
+// the per-hop sums (plus pipeline slots) dominate the end-to-end
+// measurement for a simple deterministic flow.
+func TestOnHopDelay(t *testing.T) {
+	var hopDelays [][]float64 // [hop] samples
+	hopDelays = make([][]float64, 2)
+	var e2e []float64
+	s, err := New(Config{
+		Nodes: []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}},
+		Sessions: []SessionSpec{
+			{Name: "s", Route: []int{0, 1}, Phi: []float64{1, 1}},
+		},
+		OnDelay: func(sess, slot int, d float64) { e2e = append(e2e, d) },
+		OnHopDelay: func(sess, hop, slot int, d float64) {
+			if sess != 0 || hop < 0 || hop > 1 {
+				t.Errorf("unexpected hop callback: sess %d hop %d", sess, hop)
+				return
+			}
+			hopDelays[hop] = append(hopDelays[hop], d)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		if err := s.Step([]float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(hopDelays[0]) == 0 || len(hopDelays[1]) == 0 || len(e2e) == 0 {
+		t.Fatalf("missing samples: %d, %d, %d", len(hopDelays[0]), len(hopDelays[1]), len(e2e))
+	}
+	// CBR 0.5 at rate 1, alone: each hop serves the batch in half a slot.
+	for _, hop := range hopDelays {
+		for _, d := range hop {
+			if math.Abs(d-0.5) > 1e-9 {
+				t.Fatalf("hop delay = %v, want 0.5", d)
+			}
+		}
+	}
+	// End-to-end (slot-resolution) is 2 slots: hop delays + forwarding.
+	for _, d := range e2e {
+		if math.Abs(d-2) > 1e-9 {
+			t.Fatalf("e2e delay = %v, want 2", d)
+		}
+	}
+}
+
+// Per-hop CRST bounds must dominate simulated per-hop delay tails on the
+// two-class cyclic network (the configuration where only the CRST
+// recursion applies).
+func TestPerHopCRSTBoundsHold(t *testing.T) {
+	// Two sessions in opposite directions: lo over-weighted (phi 0.8),
+	// hi under-weighted (phi 0.2) — CRST with two global classes.
+	tails := make(map[[2]int]*stats.Tail)
+	for s := 0; s < 2; s++ {
+		for h := 0; h < 2; h++ {
+			tails[[2]int{s, h}] = &stats.Tail{}
+		}
+	}
+	sim, err := New(Config{
+		Nodes: []Node{{Name: "n0", Rate: 1}, {Name: "n1", Rate: 1}},
+		Sessions: []SessionSpec{
+			{Name: "lo", Route: []int{0, 1}, Phi: []float64{0.8, 0.8}},
+			{Name: "hi", Route: []int{1, 0}, Phi: []float64{0.2, 0.2}},
+		},
+		OnHopDelay: func(sess, hop, slot int, d float64) {
+			tails[[2]int{sess, hop}].Add(d)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcLo, err := source.NewOnOff(0.5, 0.5, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcHi, err := source.NewOnOff(0.5, 0.5, 0.8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := []func() float64{srcLo.Next, srcHi.Next}
+	if err := sim.Run(150000, func(i int) float64 { return gen[i]() }); err != nil {
+		t.Fatal(err)
+	}
+	// Analytic per-hop bounds from the CRST recursion with matching
+	// E.B.B. characterizations.
+	net := network.Network{
+		Nodes: []network.Node{{Name: "n0", Rate: 1}, {Name: "n1", Rate: 1}},
+		Sessions: []network.Session{
+			{Name: "lo", Arrival: mustEBB(t, srcLo, 0.12), Route: []int{0, 1}, Phi: []float64{0.8, 0.8}},
+			{Name: "hi", Arrival: mustEBB(t, srcHi, 0.45), Route: []int{1, 0}, Phi: []float64{0.2, 0.2}},
+		},
+	}
+	a, err := net.AnalyzeCRST(network.CRSTOptions{Independent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		for h := 0; h < 2; h++ {
+			tail := tails[[2]int{s, h}]
+			if tail.N() == 0 {
+				t.Fatalf("session %d hop %d: no samples", s, h)
+			}
+			bound := a.Hops[s][h].Delay
+			for _, d := range []float64{4, 8, 16} {
+				emp := tail.CCDF(d)
+				// 1 slot of measurement rounding.
+				if bnd := bound.Eval(d - 1); emp > bnd*1.2+1e-9 {
+					t.Errorf("session %d hop %d: Pr{D>=%v} sim %v above bound %v", s, h, d, emp, bnd)
+				}
+			}
+		}
+	}
+}
+
+// mustEBB characterizes an on-off source analytically at the given rho.
+func mustEBB(t *testing.T, s *source.OnOff, rho float64) ebb.Process {
+	t.Helper()
+	p, err := s.Markov().EBBPaper(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNodeBacklogAbsentSession(t *testing.T) {
+	s, err := New(Config{
+		Nodes: []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}},
+		Sessions: []SessionSpec{
+			{Name: "only-a", Route: []int{0}, Phi: []float64{1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NodeBacklog(1, 0); got != 0 {
+		t.Errorf("backlog at unvisited node = %v, want 0", got)
+	}
+}
+
+func TestIdleNodeTolerated(t *testing.T) {
+	s, err := New(Config{
+		Nodes: []Node{{Name: "a", Rate: 1}, {Name: "idle", Rate: 1}},
+		Sessions: []SessionSpec{
+			{Name: "s", Route: []int{0}, Phi: []float64{1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10, func(int) float64 { return 0.5 }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Slot() != 10 {
+		t.Errorf("Slot = %d", s.Slot())
+	}
+}
+
+func TestNodeUtilization(t *testing.T) {
+	s, err := New(Config{
+		Nodes:    []Node{{Name: "a", Rate: 1}},
+		Sessions: []SessionSpec{{Name: "s", Route: []int{0}, Phi: []float64{1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := s.NodeUtilization(0); u != 0 {
+		t.Errorf("utilization before any slot = %v", u)
+	}
+	for k := 0; k < 100; k++ {
+		if err := s.Step([]float64{0.4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u := s.NodeUtilization(0); math.Abs(u-0.4) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.4", u)
+	}
+}

@@ -1,0 +1,322 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ebb"
+	"repro/internal/gpsmath"
+	"repro/internal/numeric"
+)
+
+// localPartitions computes every node's feasible partition (which depends
+// only on the ρ's and φ's of the sessions present, never on prefactors).
+// classAt[m][t] is the local class of the t-th session present at node m,
+// aligned with SessionsAt(m).
+func (n Network) localPartitions() (classAt [][]int, err error) {
+	classAt = make([][]int, len(n.Nodes))
+	for m := range n.Nodes {
+		sessions, hops := n.SessionsAt(m)
+		if len(sessions) == 0 {
+			continue
+		}
+		srv := gpsmath.Server{Rate: n.Nodes[m].Rate}
+		for t, i := range sessions {
+			srv.Sessions = append(srv.Sessions, gpsmath.Session{
+				Name: n.Sessions[i].Name,
+				Phi:  n.Sessions[i].Phi[hops[t]],
+				// Placeholder Λ/α: the partition only reads ρ and φ.
+				Arrival: ebb.Process{Rho: n.Sessions[i].Arrival.Rho, Lambda: 1, Alpha: 1},
+			})
+		}
+		part, err := srv.FeasiblePartition()
+		if err != nil {
+			return nil, fmt.Errorf("network: node %d (%s): %w", m, n.Nodes[m].Name, err)
+		}
+		classAt[m] = part.ClassOf
+	}
+	return classAt, nil
+}
+
+// ErrNotCRST reports that no global partition is consistent with the
+// per-node feasible partitions (some pair of sessions impede each other
+// in opposite directions at different nodes).
+var ErrNotCRST = errors.New("network: GPS assignment is not CRST")
+
+// CRSTClasses computes a global session partition H_1..H_L consistent
+// with every node's local feasible partition, in the paper's §6.1 sense:
+// whenever session j sits in a strictly lower local class than session i
+// at some shared node, j's global class is strictly lower than i's.
+// Global classes are assigned by longest-path depth in the induced
+// precedence DAG; a cycle in that graph means the assignment is not CRST.
+func (n Network) CRSTClasses() (classes [][]int, classOf []int, err error) {
+	classAt, err := n.localPartitions()
+	if err != nil {
+		return nil, nil, err
+	}
+	nSess := len(n.Sessions)
+	adj := make([][]int, nSess) // edge j→i: global(j) must be < global(i)
+	for m := range n.Nodes {
+		sessions, _ := n.SessionsAt(m)
+		for a, i := range sessions {
+			for b, j := range sessions {
+				if classAt[m][b] < classAt[m][a] {
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+	}
+	// Longest-path levels via DFS with cycle detection.
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, nSess)
+	level := make([]int, nSess)
+	var visit func(v int) error
+	visit = func(v int) error {
+		state[v] = inStack
+		lvl := 0
+		for _, w := range adj[v] {
+			switch state[w] {
+			case inStack:
+				return fmt.Errorf("%w: sessions %s and %s impede each other cyclically",
+					ErrNotCRST, n.Sessions[v].Name, n.Sessions[w].Name)
+			case unvisited:
+				if err := visit(w); err != nil {
+					return err
+				}
+			}
+			if level[w]+1 > lvl {
+				lvl = level[w] + 1
+			}
+		}
+		// level counts from the "latest" side; invert below.
+		level[v] = lvl
+		state[v] = done
+		return nil
+	}
+	for v := 0; v < nSess; v++ {
+		if state[v] == unvisited {
+			if err := visit(v); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// level[v] is the longest chain of successors; the global class is
+	// counted from the front: maxLevel - level.
+	maxLvl := 0
+	for _, l := range level {
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+	classOf = make([]int, nSess)
+	classes = make([][]int, maxLvl+1)
+	for v, l := range level {
+		c := maxLvl - l
+		classOf[v] = c
+		classes[c] = append(classes[c], v)
+	}
+	// Drop empty trailing classes (possible when chains overlap).
+	out := classes[:0]
+	remap := make([]int, len(classes))
+	for c, members := range classes {
+		if len(members) == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(out)
+		out = append(out, members)
+	}
+	for v := range classOf {
+		classOf[v] = remap[classOf[v]]
+	}
+	return out, classOf, nil
+}
+
+// HopBound is the statistical bound at one hop of one session's route.
+type HopBound struct {
+	Node    int
+	G       float64 // guaranteed clearing rate at this node
+	Theta   float64 // Chernoff parameter the tails were evaluated at
+	Backlog numeric.ExpTail
+	Delay   numeric.ExpTail
+	Output  ebb.Process // E.B.B. characterization of the hop's departures
+}
+
+// CRSTOptions steers AnalyzeCRST.
+type CRSTOptions struct {
+	// Independent applies Theorem 11 at every node. This is only sound
+	// when interfering flows are independent at each node — guaranteed at
+	// network entry but not at interior nodes, so the default (false)
+	// uses the Hölder route (Theorem 12), which needs no independence.
+	Independent bool
+	// Xi selects the Lemma 6 ξ handling.
+	Xi gpsmath.XiMode
+	// ThetaFraction in (0,1) picks θ = fraction·θ_max at each hop.
+	// Defaults to 0.5. Smaller values fatten prefactors but slow decay
+	// less; the choice propagates into downstream characterizations.
+	ThetaFraction float64
+}
+
+// CRSTAnalysis is the result of the recursive Theorem 13 procedure.
+type CRSTAnalysis struct {
+	Classes [][]int
+	ClassOf []int
+	// Hops[i][k] is session i's bound at its k-th hop.
+	Hops [][]HopBound
+}
+
+// AnalyzeCRST runs the paper's recursive procedure: global CRST classes
+// are processed in order; each session's per-hop bounds and output
+// characterizations are derived from the already-characterized inputs of
+// strictly lower classes, establishing Theorem 13 (stability)
+// constructively — every per-hop tail returned is a finite exponential
+// bound.
+func (n Network) AnalyzeCRST(opts CRSTOptions) (*CRSTAnalysis, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ThetaFraction == 0 {
+		opts.ThetaFraction = 0.5
+	}
+	if opts.ThetaFraction <= 0 || opts.ThetaFraction >= 1 {
+		return nil, fmt.Errorf("network: theta fraction = %v, want in (0,1)", opts.ThetaFraction)
+	}
+	classes, classOf, err := n.CRSTClasses()
+	if err != nil {
+		return nil, err
+	}
+	a := &CRSTAnalysis{Classes: classes, ClassOf: classOf, Hops: make([][]HopBound, len(n.Sessions))}
+
+	// inputs[i][k]: session i's E.B.B. characterization entering hop k.
+	inputs := make([][]ebb.Process, len(n.Sessions))
+	known := make([][]bool, len(n.Sessions))
+	for i, s := range n.Sessions {
+		inputs[i] = make([]ebb.Process, len(s.Route))
+		known[i] = make([]bool, len(s.Route))
+		inputs[i][0] = s.Arrival
+		known[i][0] = true
+		a.Hops[i] = make([]HopBound, len(s.Route))
+	}
+
+	for _, class := range classes {
+		for _, i := range class {
+			for k := range n.Sessions[i].Route {
+				if !known[i][k] {
+					return nil, fmt.Errorf("network: session %s hop %d input not derived — recursion order broken", n.Sessions[i].Name, k)
+				}
+				hb, out, err := n.hopBound(i, k, inputs, known, opts)
+				if err != nil {
+					return nil, err
+				}
+				a.Hops[i][k] = hb
+				if k+1 < len(n.Sessions[i].Route) {
+					inputs[i][k+1] = out
+					known[i][k+1] = true
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// hopBound computes session i's bound at hop k given the currently known
+// per-node input characterizations.
+func (n Network) hopBound(i, k int, inputs [][]ebb.Process, known [][]bool, opts CRSTOptions) (HopBound, ebb.Process, error) {
+	m := n.Sessions[i].Route[k]
+	sessions, hops := n.SessionsAt(m)
+	srv := gpsmath.Server{Rate: n.Nodes[m].Rate}
+	localIdx := -1
+	for t, j := range sessions {
+		arr := ebb.Process{Rho: n.Sessions[j].Arrival.Rho, Lambda: 1, Alpha: 1}
+		if known[j][hops[t]] {
+			arr = inputs[j][hops[t]]
+		}
+		if j == i {
+			localIdx = t
+			arr = inputs[i][k]
+		}
+		srv.Sessions = append(srv.Sessions, gpsmath.Session{
+			Name:    n.Sessions[j].Name,
+			Phi:     n.Sessions[j].Phi[hops[t]],
+			Arrival: arr,
+		})
+	}
+	part, err := srv.FeasiblePartition()
+	if err != nil {
+		return HopBound{}, ebb.Process{}, fmt.Errorf("network: node %d: %w", m, err)
+	}
+	var sb *gpsmath.SessionBounds
+	if opts.Independent {
+		sb, err = srv.Theorem11(part, localIdx, opts.Xi)
+	} else {
+		sb, err = srv.Theorem12(part, localIdx, nil, opts.Xi)
+	}
+	if err != nil {
+		return HopBound{}, ebb.Process{}, fmt.Errorf("network: session %s at node %d: %w", n.Sessions[i].Name, m, err)
+	}
+	theta := opts.ThetaFraction * sb.ThetaMax
+	lam := sb.PrefactorAt(theta)
+	out, err := sb.OutputEBB(theta)
+	if err != nil {
+		return HopBound{}, ebb.Process{}, err
+	}
+	g := n.GuaranteedRate(i, k)
+	return HopBound{
+		Node:    m,
+		G:       g,
+		Theta:   theta,
+		Backlog: numeric.ExpTail{Prefactor: lam, Rate: theta},
+		Delay:   numeric.ExpTail{Prefactor: lam, Rate: theta * g},
+		Output:  out,
+	}, out, nil
+}
+
+// EndToEndDelayTail returns a bound on Pr{D_i^net >= d} by convolving the
+// per-hop delay tails (the paper's §6.1 closing step). The closure form
+// keeps the exact union split; EndToEndDelayExpTail folds it into one
+// conservative exponential.
+func (a *CRSTAnalysis) EndToEndDelayTail(i int) func(d float64) float64 {
+	parts := make([]numeric.ExpTail, len(a.Hops[i]))
+	for k, hb := range a.Hops[i] {
+		parts[k] = hb.Delay
+	}
+	return numeric.SumTail(parts)
+}
+
+// EndToEndDelayExpTail folds the per-hop delay tails into a single
+// exponential envelope.
+func (a *CRSTAnalysis) EndToEndDelayExpTail(i int) numeric.ExpTail {
+	parts := make([]numeric.ExpTail, len(a.Hops[i]))
+	for k, hb := range a.Hops[i] {
+		parts[k] = hb.Delay
+	}
+	return numeric.FitSumTail(parts)
+}
+
+// NetworkBacklogTail bounds Pr{Q_i^net >= q}, the session's total queued
+// volume across its route, by convolving the per-hop backlog tails
+// (Q_i^net = Σ_k Q_i at hop k).
+func (a *CRSTAnalysis) NetworkBacklogTail(i int) func(q float64) float64 {
+	parts := make([]numeric.ExpTail, len(a.Hops[i]))
+	for k, hb := range a.Hops[i] {
+		parts[k] = hb.Backlog
+	}
+	return numeric.SumTail(parts)
+}
+
+// WorstHop returns the hop index whose delay bound is loosest at the
+// given delay level — the session's statistical bottleneck, which need
+// not be the minimum-g hop once prefactors are accounted for.
+func (a *CRSTAnalysis) WorstHop(i int, d float64) int {
+	worst, idx := -1.0, 0
+	for k, hb := range a.Hops[i] {
+		if v := hb.Delay.EvalRaw(d); v > worst {
+			worst, idx = v, k
+		}
+	}
+	return idx
+}

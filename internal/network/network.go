@@ -1,0 +1,165 @@
+// Package network implements the GPS-network analysis of the paper's §6:
+// validation of the stability condition, Rate Proportional Processor
+// Sharing (RPPS) closed-form end-to-end bounds (Theorem 15), Consistent
+// Relative Session Treatment (CRST) detection, and the recursive per-node
+// bound propagation that proves Theorem 13.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+)
+
+// Node is one GPS server in the network.
+type Node struct {
+	Name string
+	Rate float64
+}
+
+// Session is one end-to-end session: an E.B.B.-characterized source
+// entering at Route[0] and traversing Route in order, with GPS weight
+// Phi[k] at hop k.
+type Session struct {
+	Name    string
+	Arrival ebb.Process
+	Route   []int
+	Phi     []float64
+}
+
+// Network is the full model.
+type Network struct {
+	Nodes    []Node
+	Sessions []Session
+}
+
+// Validate checks structural sanity and the per-node stability condition
+// Σ_{i∈I(m)} ρ_i < r^m. Session long-term rates are preserved by GPS
+// nodes (paper eq. 25: the departure process has the same ρ), so the
+// entry ρ is the right per-node load at every hop.
+func (n Network) Validate() error {
+	if len(n.Nodes) == 0 {
+		return errors.New("network: no nodes")
+	}
+	if len(n.Sessions) == 0 {
+		return errors.New("network: no sessions")
+	}
+	for m, node := range n.Nodes {
+		if !(node.Rate > 0) || math.IsInf(node.Rate, 1) || math.IsNaN(node.Rate) {
+			return fmt.Errorf("network: node %d (%s) rate = %v", m, node.Name, node.Rate)
+		}
+	}
+	load := make([]float64, len(n.Nodes))
+	for i, s := range n.Sessions {
+		if err := s.Arrival.Validate(); err != nil {
+			return fmt.Errorf("network: session %d (%s): %w", i, s.Name, err)
+		}
+		if len(s.Route) == 0 {
+			return fmt.Errorf("network: session %d (%s) has an empty route", i, s.Name)
+		}
+		if len(s.Phi) != len(s.Route) {
+			return fmt.Errorf("network: session %d (%s): %d weights for %d hops", i, s.Name, len(s.Phi), len(s.Route))
+		}
+		seen := make(map[int]bool)
+		for k, m := range s.Route {
+			if m < 0 || m >= len(n.Nodes) {
+				return fmt.Errorf("network: session %d (%s): hop %d references node %d", i, s.Name, k, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("network: session %d (%s) visits node %d twice", i, s.Name, m)
+			}
+			seen[m] = true
+			if !(s.Phi[k] > 0) {
+				return fmt.Errorf("network: session %d (%s): phi[%d] = %v", i, s.Name, k, s.Phi[k])
+			}
+			load[m] += s.Arrival.Rho
+		}
+	}
+	for m, l := range load {
+		if l >= n.Nodes[m].Rate {
+			return fmt.Errorf("network: node %d (%s) overloaded: sum rho = %v >= rate %v", m, n.Nodes[m].Name, l, n.Nodes[m].Rate)
+		}
+	}
+	return nil
+}
+
+// SessionsAt returns the indices of sessions visiting node m, each with
+// the hop index at which they visit it.
+func (n Network) SessionsAt(m int) (sessions []int, hops []int) {
+	for i, s := range n.Sessions {
+		for k, node := range s.Route {
+			if node == m {
+				sessions = append(sessions, i)
+				hops = append(hops, k)
+			}
+		}
+	}
+	return sessions, hops
+}
+
+// totalPhiAt returns Σ φ_j over sessions present at node m.
+func (n Network) totalPhiAt(m int) float64 {
+	total := 0.0
+	for _, s := range n.Sessions {
+		for k, node := range s.Route {
+			if node == m {
+				total += s.Phi[k]
+			}
+		}
+	}
+	return total
+}
+
+// GuaranteedRate returns g_i^m for session i at its k-th hop:
+// φ_i^m / Σ_{j∈I(m)} φ_j^m · r^m (paper eq. 60).
+func (n Network) GuaranteedRate(i, hop int) float64 {
+	s := n.Sessions[i]
+	m := s.Route[hop]
+	return s.Phi[hop] / n.totalPhiAt(m) * n.Nodes[m].Rate
+}
+
+// GNet returns g_i^net = min over the route of the per-node guaranteed
+// rates — the bottleneck clearing rate of Theorem 15.
+func (n Network) GNet(i int) float64 {
+	g := math.Inf(1)
+	for k := range n.Sessions[i].Route {
+		if v := n.GuaranteedRate(i, k); v < g {
+			g = v
+		}
+	}
+	return g
+}
+
+// Bottleneck returns the hop index achieving GNet.
+func (n Network) Bottleneck(i int) int {
+	g := math.Inf(1)
+	best := 0
+	for k := range n.Sessions[i].Route {
+		if v := n.GuaranteedRate(i, k); v < g {
+			g, best = v, k
+		}
+	}
+	return best
+}
+
+// IsRPPS reports whether the assignment is rate proportional at every
+// node (φ_i^m = c_m·ρ_i for some per-node constant; the paper uses
+// φ_i^m = ρ_i, and any per-node scaling yields the same GPS behavior).
+func (n Network) IsRPPS() bool {
+	for m := range n.Nodes {
+		sessions, hops := n.SessionsAt(m)
+		if len(sessions) == 0 {
+			continue
+		}
+		ref := n.Sessions[sessions[0]].Phi[hops[0]] / n.Sessions[sessions[0]].Arrival.Rho
+		for t := 1; t < len(sessions); t++ {
+			r := n.Sessions[sessions[t]].Phi[hops[t]] / n.Sessions[sessions[t]].Arrival.Rho
+			if math.Abs(r-ref) > 1e-9*ref {
+				return false
+			}
+		}
+	}
+	return true
+}

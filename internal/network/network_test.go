@@ -1,0 +1,389 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+	"repro/internal/gpsmath"
+	"repro/internal/numeric"
+)
+
+// paperTree builds the §6.3 three-node tree network under RPPS with the
+// Table 2 Set-1 characterizations.
+func paperTree() Network {
+	arr := []ebb.Process{
+		{Rho: 0.2, Lambda: 1.0, Alpha: 1.74},
+		{Rho: 0.25, Lambda: 0.92, Alpha: 1.76},
+		{Rho: 0.2, Lambda: 0.84, Alpha: 2.13},
+		{Rho: 0.25, Lambda: 1.0, Alpha: 1.62},
+	}
+	net := Network{
+		Nodes: []Node{{Name: "node1", Rate: 1}, {Name: "node2", Rate: 1}, {Name: "node3", Rate: 1}},
+	}
+	for i, a := range arr {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		net.Sessions = append(net.Sessions, Session{
+			Name:    []string{"s1", "s2", "s3", "s4"}[i],
+			Arrival: a,
+			Route:   []int{first, 2},
+			Phi:     []float64{a.Rho, a.Rho},
+		})
+	}
+	return net
+}
+
+func TestValidateNetwork(t *testing.T) {
+	net := paperTree()
+	if err := net.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := (Network{}).Validate(); err == nil {
+		t.Error("empty network: want error")
+	}
+	noSess := Network{Nodes: []Node{{Rate: 1}}}
+	if err := noSess.Validate(); err == nil {
+		t.Error("no sessions: want error")
+	}
+	over := paperTree()
+	over.Nodes[2].Rate = 0.8 // node 3 carries load 0.9
+	if err := over.Validate(); err == nil {
+		t.Error("overloaded node: want error")
+	}
+	badRoute := paperTree()
+	badRoute.Sessions[0].Route = []int{0, 9}
+	if err := badRoute.Validate(); err == nil {
+		t.Error("out-of-range node: want error")
+	}
+	revisit := paperTree()
+	revisit.Sessions[0].Route = []int{0, 0}
+	if err := revisit.Validate(); err == nil {
+		t.Error("revisited node: want error")
+	}
+	badPhi := paperTree()
+	badPhi.Sessions[0].Phi = []float64{0.2}
+	if err := badPhi.Validate(); err == nil {
+		t.Error("phi/route length mismatch: want error")
+	}
+}
+
+func TestGuaranteedRatesAndBottleneck(t *testing.T) {
+	net := paperTree()
+	// Node 1 carries sessions 1-2 (load 0.45): g_1^{node1} = 0.2/0.45.
+	if g := net.GuaranteedRate(0, 0); math.Abs(g-0.2/0.45) > 1e-12 {
+		t.Errorf("g at node1 = %v, want %v", g, 0.2/0.45)
+	}
+	// Node 3 carries all four (Σφ = 0.9): g_1^{node3} = 0.2/0.9.
+	if g := net.GuaranteedRate(0, 1); math.Abs(g-0.2/0.9) > 1e-12 {
+		t.Errorf("g at node3 = %v, want %v", g, 0.2/0.9)
+	}
+	if g := net.GNet(0); math.Abs(g-0.2/0.9) > 1e-12 {
+		t.Errorf("GNet = %v, want bottleneck %v", g, 0.2/0.9)
+	}
+	if b := net.Bottleneck(0); b != 1 {
+		t.Errorf("Bottleneck hop = %d, want 1 (node3)", b)
+	}
+}
+
+func TestIsRPPS(t *testing.T) {
+	net := paperTree()
+	if !net.IsRPPS() {
+		t.Error("paper tree should be RPPS")
+	}
+	skew := paperTree()
+	skew.Sessions[0].Phi = []float64{0.5, 0.2}
+	if skew.IsRPPS() {
+		t.Error("skewed weights should not be RPPS")
+	}
+}
+
+func TestRPPSBoundMatchesEq66(t *testing.T) {
+	net := paperTree()
+	bounds, err := net.RPPSBounds(VariantDiscrete)
+	if err != nil {
+		t.Fatalf("RPPSBounds: %v", err)
+	}
+	for i, b := range bounds {
+		s := net.Sessions[i]
+		g := net.GNet(i)
+		wantPre := s.Arrival.Lambda / (1 - math.Exp(-s.Arrival.Alpha*(g-s.Arrival.Rho)))
+		if math.Abs(b.Backlog.Prefactor-wantPre) > 1e-12*wantPre {
+			t.Errorf("session %d: prefactor %v, want eq.(66) %v", i, b.Backlog.Prefactor, wantPre)
+		}
+		if b.Backlog.Rate != s.Arrival.Alpha {
+			t.Errorf("session %d: backlog rate %v, want alpha", i, b.Backlog.Rate)
+		}
+		if math.Abs(b.Delay.Rate-s.Arrival.Alpha*g) > 1e-12 {
+			t.Errorf("session %d: delay rate %v, want alpha·g (eq. 67)", i, b.Delay.Rate)
+		}
+	}
+}
+
+func TestRPPSBoundVariantsOrdered(t *testing.T) {
+	net := paperTree()
+	for i := range net.Sessions {
+		disc, err := net.RPPSBound(i, VariantDiscrete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi1, err := net.RPPSBound(i, VariantContinuousXi1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := net.RPPSBound(i, VariantContinuousOptXi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disc.Backlog.Prefactor > xi1.Backlog.Prefactor {
+			t.Errorf("session %d: discrete %v above continuous-ξ1 %v", i, disc.Backlog.Prefactor, xi1.Backlog.Prefactor)
+		}
+		if opt.Backlog.Prefactor > xi1.Backlog.Prefactor*(1+1e-12) {
+			t.Errorf("session %d: opt-ξ %v above ξ=1 %v", i, opt.Backlog.Prefactor, xi1.Backlog.Prefactor)
+		}
+	}
+	if _, err := net.RPPSBound(0, BoundVariant(77)); err == nil {
+		t.Error("unknown variant: want error")
+	}
+	if _, err := net.RPPSBound(-1, VariantDiscrete); err == nil {
+		t.Error("bad index: want error")
+	}
+}
+
+func TestBoundVariantString(t *testing.T) {
+	if VariantDiscrete.String() != "discrete" ||
+		VariantContinuousXi1.String() != "continuous-xi1" ||
+		VariantContinuousOptXi.String() != "continuous-optxi" {
+		t.Error("variant String mismatch")
+	}
+	if BoundVariant(9).String() == "" {
+		t.Error("unknown variant String empty")
+	}
+}
+
+func TestNetBoundFromDeltaTail(t *testing.T) {
+	net := paperTree()
+	delta, err := net.Sessions[0].Arrival.DeltaTailDiscrete(net.GNet(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.NetBoundFromDeltaTail(0, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Backlog != delta {
+		t.Errorf("backlog tail %v, want %v", b.Backlog, delta)
+	}
+	if math.Abs(b.Delay.Rate-delta.Rate*net.GNet(0)) > 1e-12 {
+		t.Errorf("delay rate %v", b.Delay.Rate)
+	}
+	if _, err := net.NetBoundFromDeltaTail(0, numeric.ExpTail{Prefactor: 1, Rate: 0}); err == nil {
+		t.Error("invalid tail: want error")
+	}
+	if _, err := net.NetBoundFromDeltaTail(99, delta); err == nil {
+		t.Error("bad index: want error")
+	}
+}
+
+func TestCRSTClassesRPPSSingleClass(t *testing.T) {
+	net := paperTree()
+	classes, classOf, err := net.CRSTClasses()
+	if err != nil {
+		t.Fatalf("CRSTClasses: %v", err)
+	}
+	if len(classes) != 1 || len(classes[0]) != 4 {
+		t.Errorf("classes = %v, want single class of 4", classes)
+	}
+	for i, c := range classOf {
+		if c != 0 {
+			t.Errorf("classOf[%d] = %d", i, c)
+		}
+	}
+}
+
+// nonCRSTNetwork builds a two-node network where sessions impede each
+// other in opposite directions: a is favored at node 0, b at node 1.
+func nonCRSTNetwork() Network {
+	a := ebb.Process{Rho: 0.3, Lambda: 1, Alpha: 1}
+	b := ebb.Process{Rho: 0.3, Lambda: 1, Alpha: 1}
+	return Network{
+		Nodes: []Node{{Name: "n0", Rate: 1}, {Name: "n1", Rate: 1}},
+		Sessions: []Session{
+			{Name: "a", Arrival: a, Route: []int{0, 1}, Phi: []float64{0.8, 0.1}},
+			{Name: "b", Arrival: b, Route: []int{1, 0}, Phi: []float64{0.8, 0.1}},
+		},
+	}
+}
+
+func TestCRSTClassesDetectsConflict(t *testing.T) {
+	net := nonCRSTNetwork()
+	if err := net.Validate(); err != nil {
+		t.Fatalf("precondition: %v", err)
+	}
+	if _, _, err := net.CRSTClasses(); !errors.Is(err, ErrNotCRST) {
+		t.Errorf("err = %v, want ErrNotCRST", err)
+	}
+	if _, err := net.AnalyzeCRST(CRSTOptions{}); !errors.Is(err, ErrNotCRST) {
+		t.Errorf("AnalyzeCRST err = %v, want ErrNotCRST", err)
+	}
+}
+
+// twoClassNetwork: session "lo" is over-weighted everywhere (class 1),
+// session "hi" under-weighted everywhere (class 2) — CRST with L = 2.
+// The topology is cyclic across sessions (n0→n1 and n1→n0), exactly the
+// case where acyclic-network induction fails and CRST is needed.
+func twoClassNetwork() Network {
+	lo := ebb.Process{Rho: 0.1, Lambda: 1, Alpha: 2}
+	hi := ebb.Process{Rho: 0.4, Lambda: 1, Alpha: 1.5}
+	return Network{
+		Nodes: []Node{{Name: "n0", Rate: 1}, {Name: "n1", Rate: 1}},
+		Sessions: []Session{
+			{Name: "lo", Arrival: lo, Route: []int{0, 1}, Phi: []float64{0.8, 0.8}},
+			{Name: "hi", Arrival: hi, Route: []int{1, 0}, Phi: []float64{0.2, 0.2}},
+		},
+	}
+}
+
+func TestCRSTClassesTwoLevels(t *testing.T) {
+	net := twoClassNetwork()
+	classes, classOf, err := net.CRSTClasses()
+	if err != nil {
+		t.Fatalf("CRSTClasses: %v", err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v, want 2 levels", classes)
+	}
+	if classOf[0] != 0 || classOf[1] != 1 {
+		t.Errorf("classOf = %v, want [0 1]", classOf)
+	}
+}
+
+func TestAnalyzeCRSTStability(t *testing.T) {
+	for _, opts := range []CRSTOptions{
+		{Independent: false, Xi: gpsmath.XiOne},
+		{Independent: true, Xi: gpsmath.XiOptimal, ThetaFraction: 0.7},
+	} {
+		net := twoClassNetwork()
+		a, err := net.AnalyzeCRST(opts)
+		if err != nil {
+			t.Fatalf("AnalyzeCRST(%+v): %v", opts, err)
+		}
+		for i := range net.Sessions {
+			for k, hb := range a.Hops[i] {
+				if !hb.Backlog.Valid() {
+					t.Errorf("session %d hop %d: invalid backlog tail %v", i, k, hb.Backlog)
+				}
+				if !hb.Delay.Valid() {
+					t.Errorf("session %d hop %d: invalid delay tail %v", i, k, hb.Delay)
+				}
+				if err := hb.Output.Validate(); err != nil {
+					t.Errorf("session %d hop %d: output %v", i, k, err)
+				}
+				// Output keeps the long-term rate (paper eq. 25).
+				if hb.Output.Rho != net.Sessions[i].Arrival.Rho {
+					t.Errorf("session %d hop %d: output rho %v", i, k, hb.Output.Rho)
+				}
+			}
+			e2e := a.EndToEndDelayTail(i)
+			prev := 2.0
+			for d := 0.0; d <= 2000; d += 50 {
+				v := e2e(d)
+				if v < 0 || v > 1 {
+					t.Fatalf("e2e tail(%v) = %v", d, v)
+				}
+				if v > prev+1e-12 {
+					t.Fatalf("e2e tail not monotone at %v", d)
+				}
+				prev = v
+			}
+			if e2e(2000) > 1e-6 {
+				t.Errorf("session %d: e2e bound at 2000 = %v, want tiny (stability)", i, e2e(2000))
+			}
+			fit := a.EndToEndDelayExpTail(i)
+			if !fit.Valid() {
+				t.Errorf("session %d: folded e2e tail invalid", i)
+			}
+		}
+	}
+}
+
+func TestAnalyzeCRSTPaperTree(t *testing.T) {
+	net := paperTree()
+	a, err := net.AnalyzeCRST(CRSTOptions{Independent: true, Xi: gpsmath.XiOptimal})
+	if err != nil {
+		t.Fatalf("AnalyzeCRST: %v", err)
+	}
+	if len(a.Classes) != 1 {
+		t.Errorf("RPPS tree classes = %d, want 1", len(a.Classes))
+	}
+	// The CRST recursive route must be stable, but the RPPS closed form
+	// (which exploits g^net) should be tighter at large d.
+	for i := range net.Sessions {
+		rpps, err := net.RPPSBound(i, VariantDiscrete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2e := a.EndToEndDelayTail(i)
+		d := 60.0
+		if rpps.Delay.Eval(d) > e2e(d)+1e-12 {
+			t.Errorf("session %d: RPPS bound %v worse than recursive CRST %v at d=%v",
+				i, rpps.Delay.Eval(d), e2e(d), d)
+		}
+	}
+}
+
+func TestNetworkBacklogTailAndWorstHop(t *testing.T) {
+	net := twoClassNetwork()
+	a, err := net.AnalyzeCRST(CRSTOptions{Independent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Sessions {
+		qb := a.NetworkBacklogTail(i)
+		prev := 2.0
+		for q := 0.0; q <= 300; q += 10 {
+			v := qb(q)
+			if v < 0 || v > 1 || v > prev+1e-12 {
+				t.Fatalf("session %d: backlog tail misbehaves at %v: %v", i, q, v)
+			}
+			prev = v
+		}
+		if qb(300) > 1e-4 {
+			t.Errorf("session %d: network backlog bound at 300 = %v", i, qb(300))
+		}
+		wh := a.WorstHop(i, 50)
+		if wh < 0 || wh >= len(a.Hops[i]) {
+			t.Errorf("session %d: worst hop = %d", i, wh)
+		}
+	}
+}
+
+func TestAnalyzeCRSTOptionValidation(t *testing.T) {
+	net := paperTree()
+	if _, err := net.AnalyzeCRST(CRSTOptions{ThetaFraction: 1.5}); err == nil {
+		t.Error("theta fraction > 1: want error")
+	}
+	if _, err := net.AnalyzeCRST(CRSTOptions{ThetaFraction: -0.2}); err == nil {
+		t.Error("negative theta fraction: want error")
+	}
+}
+
+func TestSessionsAt(t *testing.T) {
+	net := paperTree()
+	sessions, hops := net.SessionsAt(2)
+	if len(sessions) != 4 {
+		t.Fatalf("node3 sessions = %v, want all 4", sessions)
+	}
+	for _, h := range hops {
+		if h != 1 {
+			t.Errorf("hop = %d, want 1", h)
+		}
+	}
+	s0, _ := net.SessionsAt(0)
+	if len(s0) != 2 {
+		t.Errorf("node1 sessions = %v, want 2", s0)
+	}
+}

@@ -1,0 +1,13 @@
+// Package numeric provides the small numerical toolkit the GPS analysis
+// needs: bracketing and bisection root finding, golden-section
+// minimization, spectral analysis of small nonnegative matrices (for
+// Markov-modulated source characterization), log-domain helpers, and
+// combination rules for exponential tail bounds.
+//
+// Everything here is dependency-free and deterministic. The routines are
+// deliberately simple: the functions being optimized in this repository
+// (bound prefactors as functions of the Chernoff parameter θ or the
+// discretization parameter ξ) are smooth and unimodal on the domains we
+// probe, so bisection and golden-section search are both adequate and
+// robust.
+package numeric

@@ -1,0 +1,157 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major square matrix, just large enough for the
+// Markov-modulated source computations in this repository.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N, row major
+}
+
+// NewMatrix allocates an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// MulVec computes m·v into a fresh slice.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	out := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.Data[i*m.N : (i+1)*m.N]
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ErrNotConverged reports that power iteration failed to converge.
+var ErrNotConverged = errors.New("numeric: power iteration did not converge")
+
+// PerronEig computes the dominant eigenvalue and a positive right
+// eigenvector of a nonnegative, irreducible matrix using power iteration.
+// The eigenvector is normalized to unit max-norm.
+func PerronEig(m *Matrix) (eig float64, vec []float64, err error) {
+	n := m.N
+	if n == 0 {
+		return 0, nil, fmt.Errorf("numeric: empty matrix")
+	}
+	if n == 2 {
+		// Closed form: stable and exact for the common on-off case.
+		return perron2x2(m)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	prev := 0.0
+	for iter := 0; iter < 100000; iter++ {
+		w := m.MulVec(v)
+		mx := 0.0
+		for _, x := range w {
+			if x > mx {
+				mx = x
+			}
+		}
+		if mx == 0 {
+			return 0, nil, fmt.Errorf("numeric: matrix maps positive vector to zero")
+		}
+		for i := range w {
+			w[i] /= mx
+		}
+		v = w
+		if math.Abs(mx-prev) <= 1e-14*math.Max(1, mx) && iter > 3 {
+			return mx, v, nil
+		}
+		prev = mx
+	}
+	return prev, v, ErrNotConverged
+}
+
+// perron2x2 returns the dominant eigenvalue/eigenvector of a nonnegative
+// 2×2 matrix in closed form.
+func perron2x2(m *Matrix) (float64, []float64, error) {
+	a, b := m.At(0, 0), m.At(0, 1)
+	c, d := m.At(1, 0), m.At(1, 1)
+	tr := a + d
+	det := a*d - b*c
+	disc := tr*tr - 4*det
+	if disc < 0 {
+		disc = 0
+	}
+	eig := (tr + math.Sqrt(disc)) / 2
+	// Right eigenvector: (a-λ)x + b y = 0.
+	var v []float64
+	switch {
+	case b != 0:
+		v = []float64{b, eig - a}
+	case c != 0:
+		v = []float64{eig - d, c}
+	default:
+		// Diagonal matrix.
+		if a >= d {
+			v = []float64{1, 0}
+		} else {
+			v = []float64{0, 1}
+		}
+	}
+	mx := math.Max(math.Abs(v[0]), math.Abs(v[1]))
+	if mx == 0 {
+		return eig, []float64{1, 1}, nil
+	}
+	v[0] /= mx
+	v[1] /= mx
+	// A Perron vector of a nonnegative irreducible matrix is nonnegative.
+	if v[0] < 0 || v[1] < 0 {
+		v[0], v[1] = -v[0], -v[1]
+	}
+	return eig, v, nil
+}
+
+// StationaryDist returns the stationary distribution π of a row-stochastic
+// transition matrix P (π P = π), computed by iterating the chain. P must
+// be irreducible and aperiodic for convergence.
+func StationaryDist(p *Matrix) ([]float64, error) {
+	n := p.N
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 200000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if pi[i] == 0 {
+				continue
+			}
+			row := p.Data[i*n : (i+1)*n]
+			for j, pij := range row {
+				next[j] += pi[i] * pij
+			}
+		}
+		diff := 0.0
+		for j := range next {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		copy(pi, next)
+		if diff < 1e-15 {
+			return pi, nil
+		}
+	}
+	return pi, ErrNotConverged
+}

@@ -1,0 +1,110 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerronEig2x2Symmetric(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	eig, vec, err := PerronEig(m)
+	if err != nil {
+		t.Fatalf("PerronEig: %v", err)
+	}
+	if math.Abs(eig-3) > 1e-12 {
+		t.Errorf("eig = %v, want 3", eig)
+	}
+	// Eigenvector of eigenvalue 3 is (1,1).
+	if math.Abs(vec[0]-vec[1]) > 1e-12 {
+		t.Errorf("vec = %v, want proportional to (1,1)", vec)
+	}
+}
+
+func TestPerronEigDiagonal(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 5)
+	m.Set(1, 1, 2)
+	eig, vec, err := PerronEig(m)
+	if err != nil {
+		t.Fatalf("PerronEig: %v", err)
+	}
+	if eig != 5 || vec[0] != 1 || vec[1] != 0 {
+		t.Errorf("eig = %v vec = %v, want 5, (1,0)", eig, vec)
+	}
+}
+
+func TestPerronEig3x3(t *testing.T) {
+	// Circulant shift matrix scaled by 2 has spectral radius 2.
+	m := NewMatrix(3)
+	m.Set(0, 1, 2)
+	m.Set(1, 2, 2)
+	m.Set(2, 0, 2)
+	eig, _, err := PerronEig(m)
+	if err != nil {
+		t.Fatalf("PerronEig: %v", err)
+	}
+	if math.Abs(eig-2) > 1e-9 {
+		t.Errorf("eig = %v, want 2", eig)
+	}
+}
+
+func TestPerronEigStochasticIsOne(t *testing.T) {
+	// A row-stochastic matrix has spectral radius exactly 1.
+	prop := func(a, b uint8) bool {
+		p := 0.01 + 0.98*float64(a)/255.0
+		q := 0.01 + 0.98*float64(b)/255.0
+		m := NewMatrix(2)
+		m.Set(0, 0, 1-p)
+		m.Set(0, 1, p)
+		m.Set(1, 0, q)
+		m.Set(1, 1, 1-q)
+		eig, _, err := PerronEig(m)
+		return err == nil && math.Abs(eig-1) < 1e-10
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationaryDistOnOff(t *testing.T) {
+	p, q := 0.3, 0.7
+	m := NewMatrix(2)
+	m.Set(0, 0, 1-p)
+	m.Set(0, 1, p)
+	m.Set(1, 0, q)
+	m.Set(1, 1, 1-q)
+	pi, err := StationaryDist(m)
+	if err != nil {
+		t.Fatalf("StationaryDist: %v", err)
+	}
+	wantOn := p / (p + q)
+	if math.Abs(pi[1]-wantOn) > 1e-12 {
+		t.Errorf("pi(on) = %v, want %v", pi[1], wantOn)
+	}
+	if math.Abs(pi[0]+pi[1]-1) > 1e-12 {
+		t.Errorf("pi does not sum to 1: %v", pi)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestPerronEigEmptyMatrix(t *testing.T) {
+	if _, _, err := PerronEig(NewMatrix(0)); err == nil {
+		t.Error("PerronEig on empty matrix: want error")
+	}
+}

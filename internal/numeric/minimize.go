@@ -1,0 +1,64 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/φ where φ is the golden ratio.
+const invPhi = 0.6180339887498949
+
+// GoldenSection minimizes a unimodal f over [lo, hi] and returns the
+// minimizing abscissa and the minimum value. It runs until the bracket is
+// narrower than tol (relative to the initial width) or 200 iterations.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (xmin, fmin float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for i := 0; i < 200 && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x := (a + b) / 2
+	return x, f(x)
+}
+
+// MinimizeScan evaluates f on a geometric/linear grid of n points over
+// (lo, hi) and then polishes the best cell with golden-section search.
+// It copes with functions that are unimodal only piecewise (for example
+// bound prefactors that blow up at both ends of the admissible θ range).
+// The endpoints themselves are excluded, which matters when f diverges
+// there.
+func MinimizeScan(f func(float64) float64, lo, hi float64, n int) (xmin, fmin float64) {
+	if n < 3 {
+		n = 3
+	}
+	best := math.Inf(1)
+	bestX := lo + (hi-lo)/2
+	step := (hi - lo) / float64(n+1)
+	for i := 1; i <= n; i++ {
+		x := lo + float64(i)*step
+		v := f(x)
+		if !math.IsNaN(v) && v < best {
+			best, bestX = v, x
+		}
+	}
+	a := math.Max(lo+step/16, bestX-step)
+	b := math.Min(hi-step/16, bestX+step)
+	if b <= a {
+		return bestX, best
+	}
+	x, v := GoldenSection(f, a, b, (b-a)*1e-10)
+	if v < best {
+		return x, v
+	}
+	return bestX, best
+}

@@ -1,0 +1,68 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x, v := GoldenSection(f, 0, 10, 1e-12)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("xmin = %v, want 3", x)
+	}
+	if v > 1e-10 {
+		t.Errorf("fmin = %v, want ~0", v)
+	}
+}
+
+func TestGoldenSectionReversedInterval(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x, _ := GoldenSection(f, 10, 0, 1e-12)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("xmin = %v, want 3", x)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	x, _ := GoldenSection(f, 1, 2, 1e-10)
+	if math.Abs(x-1) > 1e-6 {
+		t.Errorf("xmin = %v, want 1 (left edge)", x)
+	}
+}
+
+func TestMinimizeScanDivergentEdges(t *testing.T) {
+	// Shaped like a bound prefactor in θ: diverges at both endpoints.
+	f := func(x float64) float64 { return 1/x + 1/(1-x) }
+	x, v := MinimizeScan(f, 0, 1, 64)
+	if math.Abs(x-0.5) > 1e-4 {
+		t.Errorf("xmin = %v, want 0.5", x)
+	}
+	if math.Abs(v-4) > 1e-6 {
+		t.Errorf("fmin = %v, want 4", v)
+	}
+}
+
+func TestMinimizeScanSmallN(t *testing.T) {
+	f := func(x float64) float64 { return (x - 0.5) * (x - 0.5) }
+	x, _ := MinimizeScan(f, 0, 1, 1) // n below minimum is raised internally
+	if math.Abs(x-0.5) > 1e-3 {
+		t.Errorf("xmin = %v, want 0.5", x)
+	}
+}
+
+// Property: MinimizeScan on a shifted parabola finds the vertex anywhere
+// inside the interval.
+func TestMinimizeScanProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		c := 0.05 + 0.9*float64(seed)/255.0
+		f := func(x float64) float64 { return (x - c) * (x - c) }
+		x, _ := MinimizeScan(f, 0, 1, 128)
+		return math.Abs(x-c) < 1e-3
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

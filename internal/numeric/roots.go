@@ -1,0 +1,71 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root-bracketing attempt fails: the
+// function has the same sign at both ends of every interval probed.
+var ErrNoBracket = errors.New("numeric: could not bracket a root")
+
+// ErrBadInterval is returned when a search interval is empty or inverted.
+var ErrBadInterval = errors.New("numeric: invalid interval")
+
+// Bisect finds x in [lo, hi] with f(x) ~ 0, assuming f(lo) and f(hi) have
+// opposite signs. It runs until the interval is narrower than tol or 200
+// iterations have elapsed, whichever comes first, and returns the interval
+// midpoint. If f(lo) and f(hi) do not straddle zero, Bisect returns
+// ErrNoBracket.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if !(lo < hi) {
+		return 0, ErrBadInterval
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// BracketUp searches for an upper end b such that f(a) and f(b) have
+// opposite signs, by geometric expansion from a+step. It probes at most
+// 128 points. On success it returns the bracketing point.
+func BracketUp(f func(float64) float64, a, step float64) (float64, error) {
+	fa := f(a)
+	x := a + step
+	for i := 0; i < 128; i++ {
+		fx := f(x)
+		if fx == 0 || math.Signbit(fx) != math.Signbit(fa) {
+			return x, nil
+		}
+		step *= 2
+		x = a + step
+	}
+	return 0, ErrNoBracket
+}
+
+// SolveIncreasing finds x in (lo, hi) with g(x) = target for a
+// nondecreasing g. It is a convenience wrapper around Bisect used for
+// inverting effective-bandwidth functions.
+func SolveIncreasing(g func(float64) float64, target, lo, hi, tol float64) (float64, error) {
+	return Bisect(func(x float64) float64 { return g(x) - target }, lo, hi, tol)
+}

@@ -1,0 +1,88 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimpleRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v, want sqrt(2)", x)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-12); err != nil || x != 0 {
+		t.Errorf("root at lo: got %v, %v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-12); err != nil || x != 0 {
+		t.Errorf("root at hi: got %v, %v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-12); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectBadInterval(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := Bisect(f, 1, 1, 1e-12); err != ErrBadInterval {
+		t.Errorf("err = %v, want ErrBadInterval", err)
+	}
+	if _, err := Bisect(f, 2, 1, 1e-12); err != ErrBadInterval {
+		t.Errorf("err = %v, want ErrBadInterval", err)
+	}
+}
+
+func TestBracketUp(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	b, err := BracketUp(f, 0, 1)
+	if err != nil {
+		t.Fatalf("BracketUp: %v", err)
+	}
+	if f(b) < 0 {
+		t.Errorf("f(%v) = %v, want >= 0", b, f(b))
+	}
+}
+
+func TestBracketUpFailure(t *testing.T) {
+	f := func(x float64) float64 { return -1.0 }
+	if _, err := BracketUp(f, 0, 1); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestSolveIncreasing(t *testing.T) {
+	g := func(x float64) float64 { return math.Exp(x) }
+	x, err := SolveIncreasing(g, 10, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatalf("SolveIncreasing: %v", err)
+	}
+	if math.Abs(x-math.Log(10)) > 1e-10 {
+		t.Errorf("x = %v, want ln(10)", x)
+	}
+}
+
+// Property: for any monotone cubic with a root inside the interval,
+// bisection recovers it.
+func TestBisectPropertyMonotone(t *testing.T) {
+	prop := func(seed uint8) bool {
+		r := float64(seed)/32.0 - 4 // root location in [-4, 4)
+		f := func(x float64) float64 { return (x - r) * ((x-r)*(x-r) + 1) }
+		x, err := Bisect(f, -8, 8, 1e-12)
+		return err == nil && math.Abs(x-r) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpTail is an exponential tail bound Pr{X >= x} <= Prefactor·e^{-Rate·x}.
+// It is the common currency of every bound in this repository: backlog
+// tails, delay tails, and E.B.B. burstiness excesses are all ExpTails.
+type ExpTail struct {
+	Prefactor float64 // Λ >= 0
+	Rate      float64 // α > 0
+}
+
+// Eval returns the bound value at x, clipped to [0, 1] since it bounds a
+// probability.
+func (t ExpTail) Eval(x float64) float64 {
+	v := t.Prefactor * math.Exp(-t.Rate*x)
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// EvalRaw returns Λe^{-αx} without clipping to [0,1]; useful when the
+// tail participates in further algebra.
+func (t ExpTail) EvalRaw(x float64) float64 {
+	return t.Prefactor * math.Exp(-t.Rate*x)
+}
+
+// Invert returns the smallest x at which the (unclipped) bound drops to
+// the target probability eps: x = ln(Λ/eps)/α. If the bound is already
+// below eps at x=0, Invert returns 0.
+func (t ExpTail) Invert(eps float64) float64 {
+	if eps <= 0 || t.Rate <= 0 {
+		return math.Inf(1)
+	}
+	if t.Prefactor <= eps {
+		return 0
+	}
+	return math.Log(t.Prefactor/eps) / t.Rate
+}
+
+// Valid reports whether the tail has a positive decay rate and a finite,
+// nonnegative prefactor.
+func (t ExpTail) Valid() bool {
+	return t.Rate > 0 && t.Prefactor >= 0 && !math.IsInf(t.Prefactor, 1) && !math.IsNaN(t.Prefactor)
+}
+
+// String implements fmt.Stringer.
+func (t ExpTail) String() string {
+	return fmt.Sprintf("%.6g·exp(-%.6g·x)", t.Prefactor, t.Rate)
+}
+
+// Scale returns the tail of c·X when X has tail t: Pr{cX >= x} <=
+// Λ e^{-(α/c)x} for c > 0.
+func (t ExpTail) Scale(c float64) ExpTail {
+	return ExpTail{Prefactor: t.Prefactor, Rate: t.Rate / c}
+}
+
+// SumTail bounds Pr{X1+...+Xn >= x} given per-term tails, using the union
+// split Pr{ΣX >= x} <= Σ Pr{X_k >= a_k x} with weights a_k chosen
+// proportionally to 1/Rate_k (which equalizes the exponents and is the
+// optimal equal-exponent split). The result is returned as a closure
+// rather than an ExpTail because the prefactor sum does not collapse to a
+// single exponential; EvalSumTail evaluates it, and FitSumTail produces a
+// conservative single-exponential envelope.
+func SumTail(parts []ExpTail) func(x float64) float64 {
+	ps := make([]ExpTail, len(parts))
+	copy(ps, parts)
+	inv := 0.0
+	for _, p := range ps {
+		inv += 1 / p.Rate
+	}
+	return func(x float64) float64 {
+		if len(ps) == 0 {
+			return 0
+		}
+		// Equal-exponent allocation: a_k = (1/Rate_k)/Σ(1/Rate_j);
+		// every term then decays like exp(-x/Σ(1/Rate_j)).
+		s := 0.0
+		for _, p := range ps {
+			ak := (1 / p.Rate) / inv
+			s += p.EvalRaw(ak * x)
+		}
+		if s > 1 {
+			return 1
+		}
+		return s
+	}
+}
+
+// FitSumTail folds per-term tails into one conservative ExpTail for
+// X1+...+Xn: rate 1/Σ(1/α_k) (the harmonic combination that equalizes
+// exponents) and prefactor ΣΛ_k.
+func FitSumTail(parts []ExpTail) ExpTail {
+	if len(parts) == 0 {
+		return ExpTail{}
+	}
+	inv, pre := 0.0, 0.0
+	for _, p := range parts {
+		inv += 1 / p.Rate
+		pre += p.Prefactor
+	}
+	return ExpTail{Prefactor: pre, Rate: 1 / inv}
+}
+
+// MinTail returns the pointwise-better of two tails as a closure. Distinct
+// theorems often yield distinct valid bounds for the same quantity; the
+// minimum of valid upper bounds is itself a valid upper bound.
+func MinTail(a, b ExpTail) func(x float64) float64 {
+	return func(x float64) float64 {
+		return math.Min(a.Eval(x), b.Eval(x))
+	}
+}

@@ -1,0 +1,148 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpTailEvalClipping(t *testing.T) {
+	tail := ExpTail{Prefactor: 5, Rate: 1}
+	if got := tail.Eval(0); got != 1 {
+		t.Errorf("Eval(0) = %v, want clipped 1", got)
+	}
+	if got := tail.EvalRaw(0); got != 5 {
+		t.Errorf("EvalRaw(0) = %v, want 5", got)
+	}
+	x := 10.0
+	want := 5 * math.Exp(-10)
+	if got := tail.Eval(x); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Eval(10) = %v, want %v", got, want)
+	}
+}
+
+func TestExpTailInvertRoundTrip(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		tail := ExpTail{Prefactor: 0.5 + float64(a)/16, Rate: 0.1 + float64(b)/64}
+		eps := 1e-6
+		x := tail.Invert(eps)
+		return math.Abs(tail.EvalRaw(x)-eps) < 1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpTailInvertEdges(t *testing.T) {
+	tail := ExpTail{Prefactor: 0.5, Rate: 2}
+	if got := tail.Invert(0.7); got != 0 {
+		t.Errorf("Invert above prefactor = %v, want 0", got)
+	}
+	if got := tail.Invert(0); !math.IsInf(got, 1) {
+		t.Errorf("Invert(0) = %v, want +Inf", got)
+	}
+	bad := ExpTail{Prefactor: 1, Rate: 0}
+	if got := bad.Invert(0.1); !math.IsInf(got, 1) {
+		t.Errorf("Invert with zero rate = %v, want +Inf", got)
+	}
+}
+
+func TestExpTailValid(t *testing.T) {
+	cases := []struct {
+		tail ExpTail
+		want bool
+	}{
+		{ExpTail{1, 1}, true},
+		{ExpTail{0, 1}, true},
+		{ExpTail{1, 0}, false},
+		{ExpTail{-1, 1}, false},
+		{ExpTail{math.Inf(1), 1}, false},
+		{ExpTail{math.NaN(), 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.tail.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.tail, got, c.want)
+		}
+	}
+}
+
+func TestExpTailScale(t *testing.T) {
+	// If Pr{X>=x} <= e^{-2x}, then Pr{3X >= x} = Pr{X >= x/3} <= e^{-(2/3)x}.
+	tail := ExpTail{Prefactor: 1, Rate: 2}
+	s := tail.Scale(3)
+	if math.Abs(s.Rate-2.0/3.0) > 1e-15 || s.Prefactor != 1 {
+		t.Errorf("Scale = %v, want rate 2/3", s)
+	}
+}
+
+func TestSumTailDominatesParts(t *testing.T) {
+	parts := []ExpTail{{1, 1}, {2, 0.5}, {0.5, 3}}
+	f := SumTail(parts)
+	fit := FitSumTail(parts)
+	for _, x := range []float64{0, 0.5, 1, 2, 5, 10, 30} {
+		s := f(x)
+		if s < 0 || s > 1 {
+			t.Errorf("SumTail(%v) = %v out of [0,1]", x, s)
+		}
+		// The fitted single exponential must dominate the exact union split.
+		if fitV := fit.Eval(x); s > fitV+1e-12 {
+			t.Errorf("FitSumTail at %v: closure %v > fitted %v", x, s, fitV)
+		}
+	}
+}
+
+func TestFitSumTailSingle(t *testing.T) {
+	tail := ExpTail{Prefactor: 0.7, Rate: 1.3}
+	fit := FitSumTail([]ExpTail{tail})
+	if math.Abs(fit.Prefactor-0.7) > 1e-15 || math.Abs(fit.Rate-1.3) > 1e-15 {
+		t.Errorf("FitSumTail single = %v, want identity", fit)
+	}
+	if empty := FitSumTail(nil); empty != (ExpTail{}) {
+		t.Errorf("FitSumTail(nil) = %v, want zero", empty)
+	}
+}
+
+func TestSumTailEmpty(t *testing.T) {
+	f := SumTail(nil)
+	if got := f(1); got != 0 {
+		t.Errorf("SumTail(nil)(1) = %v, want 0", got)
+	}
+}
+
+func TestMinTail(t *testing.T) {
+	a := ExpTail{Prefactor: 10, Rate: 2}  // better for large x
+	b := ExpTail{Prefactor: 0.5, Rate: 1} // better for small x
+	f := MinTail(a, b)
+	for _, x := range []float64{0, 1, 2, 5, 10} {
+		want := math.Min(a.Eval(x), b.Eval(x))
+		if got := f(x); got != want {
+			t.Errorf("MinTail(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// Property: the union-split sum tail is a valid upper bound combination:
+// its value at x never falls below the largest single term evaluated at x
+// scaled by its allocation (sanity on the equal-exponent arithmetic), and
+// it is monotone nonincreasing in x.
+func TestSumTailMonotone(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		parts := []ExpTail{
+			{0.1 + float64(a)/64, 0.2 + float64(b)/128},
+			{1.5, 2.0},
+		}
+		f := SumTail(parts)
+		prev := 2.0
+		for x := 0.0; x < 20; x += 0.25 {
+			v := f(x)
+			if v > prev+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

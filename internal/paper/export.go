@@ -1,0 +1,65 @@
+package paper
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/plot"
+)
+
+// WriteAll regenerates every figure's series and writes them as CSV files
+// under dir (created if needed): fig3a.csv, fig3b.csv, fig4.csv, and
+// boundvssim.csv. It is the batch export behind "reproduce everything to
+// files" workflows (CI artifacts, external plotting).
+func WriteAll(dir string, simSlots int, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	set1, err := Table2(Set1Rho)
+	if err != nil {
+		return err
+	}
+	set2, err := Table2(Set2Rho)
+	if err != nil {
+		return err
+	}
+	f3a, err := Figure3(set1, 60, 60)
+	if err != nil {
+		return err
+	}
+	f3b, err := Figure3(set2, 60, 60)
+	if err != nil {
+		return err
+	}
+	f4, err := Figure4(60, 60)
+	if err != nil {
+		return err
+	}
+	files := map[string][]plot.Series{
+		"fig3a.csv": f3a,
+		"fig3b.csv": f3b,
+		"fig4.csv":  f4,
+	}
+	if simSlots > 0 {
+		bound, sim, err := BoundVsSim(Set1Rho, simSlots, seed, 30, 30)
+		if err != nil {
+			return err
+		}
+		files["boundvssim.csv"] = append(bound, sim...)
+	}
+	for name, series := range files {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := plot.WriteCSV(f, series); err != nil {
+			f.Close()
+			return fmt.Errorf("paper: writing %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

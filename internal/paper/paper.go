@@ -1,0 +1,254 @@
+// Package paper pins down the concrete experiment of the paper's §6.3 —
+// Table 1 source parameters, the Table 2 E.B.B. characterization sets,
+// the Figure 2 three-node tree network — and produces the series behind
+// Figures 3 and 4 plus the simulation-validation extension. The CLI, the
+// benchmark harness and the examples all draw on this package so every
+// surface reproduces exactly the same numbers.
+package paper
+
+import (
+	"fmt"
+
+	"repro/internal/ebb"
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/plot"
+	"repro/internal/source"
+	"repro/internal/stats"
+)
+
+// OnOffParams mirrors one row of the paper's Table 1.
+type OnOffParams struct {
+	P      float64 // off→on transition probability
+	Q      float64 // on→off transition probability
+	Lambda float64 // on-state rate
+}
+
+// Mean returns the source's average rate p·λ/(p+q).
+func (o OnOffParams) Mean() float64 { return o.P * o.Lambda / (o.P + o.Q) }
+
+// Table1 is the paper's Table 1: the four on-off sources.
+var Table1 = []OnOffParams{
+	{P: 0.3, Q: 0.7, Lambda: 0.5},
+	{P: 0.4, Q: 0.4, Lambda: 0.4},
+	{P: 0.3, Q: 0.3, Lambda: 0.3},
+	{P: 0.4, Q: 0.6, Lambda: 0.5},
+}
+
+// SessionNames label the four sessions.
+var SessionNames = []string{"session 1", "session 2", "session 3", "session 4"}
+
+// Set1Rho and Set2Rho are the two envelope-rate choices of Table 2.
+var (
+	Set1Rho = []float64{0.2, 0.25, 0.2, 0.25}
+	Set2Rho = []float64{0.17, 0.22, 0.17, 0.22}
+)
+
+// PaperSet1 and PaperSet2 are the (Λ, α) values the paper prints in
+// Table 2, kept for paper-vs-measured reporting.
+var (
+	PaperSet1Alpha  = []float64{1.74, 1.76, 2.13, 1.62}
+	PaperSet1Lambda = []float64{1.0, 0.92, 0.84, 1.0}
+	PaperSet2Alpha  = []float64{0.729, 0.672, 0.775, 0.655}
+	PaperSet2Lambda = []float64{1.0, 0.968, 0.929, 1.0}
+)
+
+// Models returns the analytic Markov-fluid view of the Table 1 sources.
+func Models() ([]*source.MarkovFluid, error) {
+	out := make([]*source.MarkovFluid, len(Table1))
+	for i, p := range Table1 {
+		s, err := source.NewOnOff(p.P, p.Q, p.Lambda, 1)
+		if err != nil {
+			return nil, fmt.Errorf("paper: source %d: %w", i+1, err)
+		}
+		out[i] = s.Markov()
+	}
+	return out, nil
+}
+
+// Sources builds fresh samplers for the Table 1 sources, seeded
+// deterministically from the given base seed.
+func Sources(seed uint64) ([]*source.OnOff, error) {
+	out := make([]*source.OnOff, len(Table1))
+	for i, p := range Table1 {
+		s, err := source.NewOnOff(p.P, p.Q, p.Lambda, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Table2 regenerates one column block of the paper's Table 2: the
+// (ρ, Λ, α)-E.B.B. characterization of each source at the given envelope
+// rates, using the [LNT94] prefactor convention the paper used.
+func Table2(rhos []float64) ([]ebb.Process, error) {
+	if len(rhos) != len(Table1) {
+		return nil, fmt.Errorf("paper: %d rhos for %d sources", len(rhos), len(Table1))
+	}
+	models, err := Models()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ebb.Process, len(models))
+	for i, m := range models {
+		p, err := m.EBBPaper(rhos[i])
+		if err != nil {
+			return nil, fmt.Errorf("paper: session %d: %w", i+1, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Tree builds the Figure 2 network: sessions 1-2 enter at node 1,
+// sessions 3-4 at node 2, and all four traverse node 3, under the RPPS
+// assignment (φ_i^m = ρ_i) with unit-rate servers.
+func Tree(set []ebb.Process) network.Network {
+	net := network.Network{
+		Nodes: []network.Node{
+			{Name: "node1", Rate: 1},
+			{Name: "node2", Rate: 1},
+			{Name: "node3", Rate: 1},
+		},
+	}
+	for i, a := range set {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		net.Sessions = append(net.Sessions, network.Session{
+			Name:    SessionNames[i],
+			Arrival: a,
+			Route:   []int{first, 2},
+			Phi:     []float64{a.Rho, a.Rho},
+		})
+	}
+	return net
+}
+
+// Figure3 produces the four end-to-end delay-bound curves of Figure 3
+// for one Table 2 set: Pr{D_i^net >= d} <= Λ_i^net·e^{-α_i g_i d}
+// (paper eq. 67, discrete Lemma 5 form), on an even grid of nPoints+1
+// delays over [0, dmax].
+func Figure3(set []ebb.Process, dmax float64, nPoints int) ([]plot.Series, error) {
+	net := Tree(set)
+	bounds, err := net.RPPSBounds(network.VariantDiscrete)
+	if err != nil {
+		return nil, err
+	}
+	grid := stats.Levels(0, dmax, nPoints)
+	out := make([]plot.Series, len(bounds))
+	for i, b := range bounds {
+		ys := make([]float64, len(grid))
+		for k, d := range grid {
+			ys[k] = b.Delay.Eval(d)
+		}
+		out[i] = plot.Series{Name: SessionNames[i], X: grid, Y: ys}
+	}
+	return out, nil
+}
+
+// Figure4 produces the improved Set-2 curves of Figure 4: the direct
+// [LNT94]-style queue bound on δ_i at the bottleneck rate g_i^net
+// replaces the generic E.B.B.-based Lemma 5 bound, and the network
+// reduction D_i^net <= δ_i/g_i^net of Theorem 15 carries it end to end.
+func Figure4(dmax float64, nPoints int) ([]plot.Series, error) {
+	set, err := Table2(Set2Rho)
+	if err != nil {
+		return nil, err
+	}
+	net := Tree(set)
+	models, err := Models()
+	if err != nil {
+		return nil, err
+	}
+	grid := stats.Levels(0, dmax, nPoints)
+	out := make([]plot.Series, len(models))
+	for i, m := range models {
+		g := net.GNet(i)
+		family, err := m.DeltaTail(g)
+		if err != nil {
+			return nil, fmt.Errorf("paper: session %d: %w", i+1, err)
+		}
+		family.Paper = true
+		ys := make([]float64, len(grid))
+		for k, d := range grid {
+			ys[k] = family.Eval(g * d)
+		}
+		out[i] = plot.Series{Name: SessionNames[i], X: grid, Y: ys}
+	}
+	return out, nil
+}
+
+// TreeSim runs the Figure 2 network in the slotted network simulator for
+// the given number of slots and returns per-session end-to-end delay
+// samples. Weights follow RPPS for the chosen ρ set.
+func TreeSim(rhos []float64, slots int, seed uint64) ([]*stats.Tail, error) {
+	srcs, err := Sources(seed)
+	if err != nil {
+		return nil, err
+	}
+	tails := make([]*stats.Tail, len(Table1))
+	for i := range tails {
+		tails[i] = &stats.Tail{}
+	}
+	sessions := make([]netsim.SessionSpec, len(Table1))
+	for i := range Table1 {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		sessions[i] = netsim.SessionSpec{
+			Name:  SessionNames[i],
+			Route: []int{first, 2},
+			Phi:   []float64{rhos[i], rhos[i]},
+		}
+	}
+	sim, err := netsim.New(netsim.Config{
+		Nodes: []netsim.Node{
+			{Name: "node1", Rate: 1},
+			{Name: "node2", Rate: 1},
+			{Name: "node3", Rate: 1},
+		},
+		Sessions: sessions,
+		OnDelay: func(sess, slot int, d float64) {
+			tails[sess].Add(d)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Run(slots, func(i int) float64 { return srcs[i].Next() }); err != nil {
+		return nil, err
+	}
+	return tails, nil
+}
+
+// BoundVsSim produces, per session, the analytic Figure-3 style bound and
+// the simulated end-to-end delay CCDF on a common grid — the validation
+// experiment the paper's conclusion calls for. The simulated CCDF
+// includes the (documented, conservative) store-and-forward pipeline
+// offset of the slotted simulator; it must sit below the bound curve
+// shifted by the pipeline depth.
+func BoundVsSim(rhos []float64, slots int, seed uint64, dmax float64, nPoints int) (bound, sim []plot.Series, err error) {
+	set, err := Table2(rhos)
+	if err != nil {
+		return nil, nil, err
+	}
+	bound, err = Figure3(set, dmax, nPoints)
+	if err != nil {
+		return nil, nil, err
+	}
+	tails, err := TreeSim(rhos, slots, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	grid := stats.Levels(0, dmax, nPoints)
+	sim = make([]plot.Series, len(tails))
+	for i, t := range tails {
+		sim[i] = plot.Series{Name: SessionNames[i] + " (sim)", X: grid, Y: t.CCDFCurve(grid)}
+	}
+	return bound, sim, nil
+}

@@ -1,0 +1,194 @@
+package paper
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTable1Means(t *testing.T) {
+	want := []float64{0.15, 0.2, 0.15, 0.2}
+	for i, p := range Table1 {
+		if math.Abs(p.Mean()-want[i]) > 1e-12 {
+			t.Errorf("session %d mean = %v, want %v", i+1, p.Mean(), want[i])
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	cases := []struct {
+		rhos, alpha, lambda []float64
+	}{
+		{Set1Rho, PaperSet1Alpha, PaperSet1Lambda},
+		{Set2Rho, PaperSet2Alpha, PaperSet2Lambda},
+	}
+	for ci, c := range cases {
+		got, err := Table2(c.rhos)
+		if err != nil {
+			t.Fatalf("Table2 set %d: %v", ci+1, err)
+		}
+		for i, p := range got {
+			if rel := math.Abs(p.Alpha-c.alpha[i]) / c.alpha[i]; rel > 0.01 {
+				t.Errorf("set %d session %d: alpha %v vs paper %v", ci+1, i+1, p.Alpha, c.alpha[i])
+			}
+			if rel := math.Abs(p.Lambda-c.lambda[i]) / c.lambda[i]; rel > 0.01 {
+				t.Errorf("set %d session %d: lambda %v vs paper %v", ci+1, i+1, p.Lambda, c.lambda[i])
+			}
+		}
+	}
+	if _, err := Table2([]float64{0.2}); err == nil {
+		t.Error("wrong rho count: want error")
+	}
+}
+
+func TestTreeTopology(t *testing.T) {
+	set, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Tree(set)
+	if err := net.Validate(); err != nil {
+		t.Fatalf("tree invalid: %v", err)
+	}
+	if !net.IsRPPS() {
+		t.Error("tree should be RPPS")
+	}
+	// All sessions bottleneck at node 3 (load 0.9 there vs 0.4-0.45 at
+	// the edge nodes).
+	for i := range net.Sessions {
+		if hop := net.Bottleneck(i); net.Sessions[i].Route[hop] != 2 {
+			t.Errorf("session %d bottleneck at node %d, want node3", i, net.Sessions[i].Route[hop])
+		}
+	}
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	set1, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := Table2(Set2Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3a, err := Figure3(set1, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3b, err := Figure3(set2, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3a) != 4 || len(f3b) != 4 {
+		t.Fatalf("series counts %d, %d", len(f3a), len(f3b))
+	}
+	for i := range f3a {
+		// Each curve is a monotone tail.
+		for k := 1; k < len(f3a[i].Y); k++ {
+			if f3a[i].Y[k] > f3a[i].Y[k-1]+1e-12 {
+				t.Fatalf("set1 session %d: bound not monotone", i+1)
+			}
+		}
+		// Paper's headline shape: Set 2 decays much slower — at d = 60
+		// the Set 2 bound is orders of magnitude above Set 1.
+		if !(f3b[i].Y[len(f3b[i].Y)-1] > 10*f3a[i].Y[len(f3a[i].Y)-1]) {
+			t.Errorf("session %d: set2 tail %v not clearly above set1 %v at d=60",
+				i+1, f3b[i].Y[len(f3b[i].Y)-1], f3a[i].Y[len(f3a[i].Y)-1])
+		}
+	}
+}
+
+func TestFigure4BeatsFigure3b(t *testing.T) {
+	f4, err := Figure4(60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := Table2(Set2Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3b, err := Figure3(set2, 60, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f4 {
+		// The direct bound must be at least as tight everywhere past the
+		// origin, and markedly tighter deep in the tail (paper Figure 4).
+		last := len(f4[i].Y) - 1
+		if f4[i].Y[last] > f3b[i].Y[last]*(1+1e-9) {
+			t.Errorf("session %d: direct bound %v above EBB bound %v at tail",
+				i+1, f4[i].Y[last], f3b[i].Y[last])
+		}
+		if f4[i].Y[last] > 0 && f3b[i].Y[last]/f4[i].Y[last] < 10 {
+			t.Errorf("session %d: improvement factor only %v at d=60",
+				i+1, f3b[i].Y[last]/f4[i].Y[last])
+		}
+	}
+}
+
+func TestTreeSimDelaysBelowBounds(t *testing.T) {
+	const slots = 200000
+	tails, err := TreeSim(Set1Rho, slots, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Tree(set)
+	bounds, err := net.RPPSBounds(network.VariantDiscrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tail := range tails {
+		if tail.N() < slots/10 {
+			t.Fatalf("session %d: only %d delay samples", i+1, tail.N())
+		}
+		// The slotted simulator adds at most 1 slot of measurement
+		// rounding per hop plus 1 slot of store-and-forward per extra
+		// hop: compare sim CCDF at d against the bound at d - 3.
+		for _, d := range []float64{6, 10, 15, 20} {
+			emp := tail.CCDF(d)
+			bnd := bounds[i].Delay.Eval(d - 3)
+			if emp > bnd*1.2+1e-9 {
+				t.Errorf("session %d: simulated Pr{D>=%v} = %v above (offset) bound %v",
+					i+1, d, emp, bnd)
+			}
+		}
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	a, err := Sources(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sources(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		for i := range a {
+			if a[i].Next() != b[i].Next() {
+				t.Fatal("same seed produced different traffic")
+			}
+		}
+	}
+}
+
+func TestBoundVsSim(t *testing.T) {
+	bound, sim, err := BoundVsSim(Set1Rho, 30000, 99, 25, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound) != 4 || len(sim) != 4 {
+		t.Fatalf("series counts %d, %d", len(bound), len(sim))
+	}
+	for i := range sim {
+		if len(sim[i].Y) != len(bound[i].Y) {
+			t.Errorf("grid mismatch for session %d", i+1)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package paper
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestRingValidation(t *testing.T) {
+	char, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Ring(1, 1, char[1]); err == nil {
+		t.Error("n < 2: want error")
+	}
+	if _, err := Ring(4, 0, char[1]); err == nil {
+		t.Error("hops < 1: want error")
+	}
+	if _, err := Ring(4, 4, char[1]); err == nil {
+		t.Error("hops >= n: want error")
+	}
+}
+
+// The ring is a cyclic topology: the CRST machinery must classify it
+// (single class under RPPS) and produce finite bounds everywhere —
+// Theorem 13 in action beyond feed-forward networks.
+func TestRingCRSTStability(t *testing.T) {
+	chars, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Ring(6, 3, chars[1]) // load 3·0.25 = 0.75 per node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("ring invalid: %v", err)
+	}
+	if !net.IsRPPS() {
+		t.Error("ring should be RPPS")
+	}
+	classes, _, err := net.CRSTClasses()
+	if err != nil {
+		t.Fatalf("CRSTClasses: %v", err)
+	}
+	if len(classes) != 1 {
+		t.Errorf("ring classes = %d, want 1 under RPPS", len(classes))
+	}
+	a, err := net.AnalyzeCRST(network.CRSTOptions{Independent: false})
+	if err != nil {
+		t.Fatalf("AnalyzeCRST: %v", err)
+	}
+	for i := range net.Sessions {
+		if v := a.EndToEndDelayTail(i)(3000); v > 1e-6 {
+			t.Errorf("session %d: bound at 3000 = %v, not decaying", i, v)
+		}
+	}
+	// Theorem 15's closed form also applies (RPPS) and is route-length
+	// independent: all sessions share the same bound by symmetry.
+	bounds, err := net.RPPSBounds(network.VariantDiscrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i].GNet != bounds[0].GNet {
+			t.Errorf("asymmetric g_net: %v vs %v", bounds[i].GNet, bounds[0].GNet)
+		}
+	}
+}
+
+// Simulated ring delays must sit inside the Theorem 15 budget (with the
+// per-hop pipeline offset of the slotted simulator).
+func TestRingSimWithinBounds(t *testing.T) {
+	const (
+		n     = 6
+		hops  = 3
+		slots = 100000
+	)
+	tails, err := RingSim(n, hops, slots, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chars, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Ring(n, hops, chars[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := net.RPPSBounds(network.VariantDiscrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tail := range tails {
+		if tail.N() < slots/20 {
+			t.Fatalf("session %d: only %d samples", i, tail.N())
+		}
+		for _, d := range []float64{10, 15, 20} {
+			emp := tail.CCDF(d)
+			// hops slots of pipeline/rounding offset.
+			bnd := bounds[i].Delay.Eval(d - float64(hops) - 1)
+			if emp > bnd*1.2+1e-9 {
+				t.Errorf("session %d: Pr{D>=%v} sim %v above bound %v", i, d, emp, bnd)
+			}
+		}
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteAll(dir, 5000, 3); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	for _, name := range []string{"fig3a.csv", "fig3b.csv", "fig4.csv", "boundvssim.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if info.Size() < 100 {
+			t.Errorf("%s suspiciously small: %d bytes", name, info.Size())
+		}
+	}
+	// Skipping the simulation leaves only the three figures.
+	dir2 := t.TempDir()
+	if err := WriteAll(dir2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, "boundvssim.csv")); err == nil {
+		t.Error("boundvssim.csv written despite simSlots = 0")
+	}
+}

@@ -1,0 +1,103 @@
+package paper
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// TreeSimParallel runs independent replications of the Figure 2 tree
+// simulation concurrently (one goroutine per seed) and merges the
+// per-session end-to-end delay samples. Replication both tightens the
+// tail estimates and exposes seed sensitivity; the merge is deterministic
+// for a fixed seed set.
+func TreeSimParallel(rhos []float64, slots int, seeds []uint64) ([]*stats.Tail, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("paper: no seeds")
+	}
+	type result struct {
+		tails []*stats.Tail
+		err   error
+	}
+	results := make([]result, len(seeds))
+	var wg sync.WaitGroup
+	for si, seed := range seeds {
+		wg.Add(1)
+		go func(si int, seed uint64) {
+			defer wg.Done()
+			tails, err := TreeSim(rhos, slots, seed)
+			results[si] = result{tails: tails, err: err}
+		}(si, seed)
+	}
+	wg.Wait()
+	merged := make([]*stats.Tail, len(Table1))
+	for i := range merged {
+		merged[i] = &stats.Tail{}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for i, t := range r.tails {
+			merged[i].AddAll(t.Samples())
+		}
+	}
+	return merged, nil
+}
+
+// RhoSweepPoint is one row of the ρ-sensitivity sweep.
+type RhoSweepPoint struct {
+	Scale  float64   // multiplier applied to the Set-1 envelope rates
+	Rhos   []float64 // the swept envelope rates
+	Alphas []float64 // resulting decay rates per session
+	D1e6   []float64 // end-to-end delay levels with bound 1e-6 (eq. 67)
+}
+
+// RhoSweep quantifies the paper's §6.3 trade-off — envelope rate ρ versus
+// decay rate α versus usable bound — by scaling the Set-1 rates across
+// [minScale, maxScale] and recomputing Table 2 and the Theorem 15 delay
+// quantiles at each point. Scales that push any ρ outside (mean, peak)
+// are skipped.
+func RhoSweep(minScale, maxScale float64, points int) ([]RhoSweepPoint, error) {
+	if !(minScale > 0) || !(maxScale > minScale) || points < 2 {
+		return nil, fmt.Errorf("paper: sweep range [%v, %v] x%d invalid", minScale, maxScale, points)
+	}
+	var out []RhoSweepPoint
+	for k := 0; k < points; k++ {
+		scale := minScale + (maxScale-minScale)*float64(k)/float64(points-1)
+		rhos := make([]float64, len(Set1Rho))
+		ok := true
+		total := 0.0
+		for i, r := range Set1Rho {
+			rhos[i] = r * scale
+			total += rhos[i]
+			if rhos[i] <= Table1[i].Mean() || rhos[i] >= Table1[i].Lambda {
+				ok = false
+			}
+		}
+		if !ok || total >= 1 {
+			continue
+		}
+		chars, err := Table2(rhos)
+		if err != nil {
+			return nil, err
+		}
+		net := Tree(chars)
+		bounds, err := net.RPPSBounds(network.VariantDiscrete)
+		if err != nil {
+			return nil, err
+		}
+		pt := RhoSweepPoint{Scale: scale, Rhos: rhos}
+		for i, c := range chars {
+			pt.Alphas = append(pt.Alphas, c.Alpha)
+			pt.D1e6 = append(pt.D1e6, bounds[i].Delay.Invert(1e-6))
+		}
+		out = append(out, pt)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("paper: no feasible sweep points in [%v, %v]", minScale, maxScale)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package paper
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTreeSimParallelMergesReplications(t *testing.T) {
+	const slots = 20000
+	seeds := []uint64{1, 2, 3, 4}
+	merged, err := TreeSimParallel(Set1Rho, slots, seeds)
+	if err != nil {
+		t.Fatalf("TreeSimParallel: %v", err)
+	}
+	single, err := TreeSim(Set1Rho, slots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range merged {
+		if merged[i].N() <= single[i].N() {
+			t.Errorf("session %d: merged %d samples not above single run's %d",
+				i, merged[i].N(), single[i].N())
+		}
+	}
+	// Merged tails still sit below the bounds (offset as usual).
+	chars, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := Tree(chars).RPPSBounds(network.VariantDiscrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tail := range merged {
+		for _, d := range []float64{10, 14} {
+			if emp := tail.CCDF(d); emp > bounds[i].Delay.Eval(d-3)*1.2+1e-9 {
+				t.Errorf("session %d: merged Pr{D>=%v} = %v above bound", i, d, emp)
+			}
+		}
+	}
+	if _, err := TreeSimParallel(Set1Rho, slots, nil); err == nil {
+		t.Error("no seeds: want error")
+	}
+}
+
+func TestTreeSimParallelDeterministic(t *testing.T) {
+	a, err := TreeSimParallel(Set1Rho, 5000, []uint64{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TreeSimParallel(Set1Rho, 5000, []uint64{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].N() != b[i].N() || a[i].Mean() != b[i].Mean() {
+			t.Fatalf("session %d: replicated runs differ", i)
+		}
+	}
+}
+
+func TestRhoSweepTradeoff(t *testing.T) {
+	pts, err := RhoSweep(0.8, 1.2, 9)
+	if err != nil {
+		t.Fatalf("RhoSweep: %v", err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("only %d feasible sweep points", len(pts))
+	}
+	// The paper's trade-off: alpha increases with rho (larger envelope
+	// rate buys a faster decay) for every session, monotonically across
+	// the sweep.
+	for i := 0; i < 4; i++ {
+		for k := 1; k < len(pts); k++ {
+			if pts[k].Alphas[i] <= pts[k-1].Alphas[i] {
+				t.Errorf("session %d: alpha not increasing in rho (%v -> %v)",
+					i, pts[k-1].Alphas[i], pts[k].Alphas[i])
+			}
+		}
+	}
+	// And the delay level at 1e-6 improves (shrinks) as rho grows —
+	// exactly why Set 1 beats Set 2 in Figure 3.
+	for i := 0; i < 4; i++ {
+		first, last := pts[0].D1e6[i], pts[len(pts)-1].D1e6[i]
+		if !(last < first) {
+			t.Errorf("session %d: D(1e-6) did not improve across the sweep (%v -> %v)", i, first, last)
+		}
+	}
+}
+
+func TestRhoSweepValidation(t *testing.T) {
+	if _, err := RhoSweep(0, 1, 5); err == nil {
+		t.Error("zero min: want error")
+	}
+	if _, err := RhoSweep(1, 1, 5); err == nil {
+		t.Error("empty range: want error")
+	}
+	if _, err := RhoSweep(0.5, 0.9, 1); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := RhoSweep(5, 6, 3); err == nil {
+		t.Error("infeasible range: want error")
+	}
+}

@@ -1,0 +1,335 @@
+// Package pgps provides the packetized substrate the paper points to for
+// practical deployment (§2, §7): Packet-by-packet GPS (PGPS, also known
+// as Weighted Fair Queueing) with an exact GPS virtual clock, plus FCFS
+// and Deficit Round Robin baselines, and a non-preemptive single-server
+// packet simulator that measures per-packet delays.
+//
+// PGPS serves packets in increasing order of the finish times they would
+// have under the fluid GPS reference system; Parekh & Gallager showed its
+// per-packet departure time exceeds the fluid GPS departure time by at
+// most L_max/r, a relation the test suite checks against this
+// repository's exact fluid simulator.
+package pgps
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Packet is one packet offered to a scheduler.
+type Packet struct {
+	Session int
+	Size    float64
+	Arrival float64
+}
+
+// Scheduler is a work-conserving packet scheduler: packets go in with
+// Enqueue; Dequeue picks the next packet to transmit.
+type Scheduler interface {
+	// Enqueue hands the scheduler a packet at (virtual wall-clock) time
+	// now >= p.Arrival.
+	Enqueue(p Packet, now float64)
+	// Dequeue returns the next packet to serve, or false when empty.
+	Dequeue(now float64) (Packet, bool)
+	// Len reports queued packets.
+	Len() int
+}
+
+// ---------------------------------------------------------------- FCFS --
+
+// FCFS serves packets in arrival order.
+type FCFS struct {
+	q []Packet
+}
+
+// NewFCFS builds an empty FCFS queue.
+func NewFCFS() *FCFS { return &FCFS{} }
+
+// Enqueue implements Scheduler.
+func (f *FCFS) Enqueue(p Packet, now float64) { f.q = append(f.q, p) }
+
+// Dequeue implements Scheduler.
+func (f *FCFS) Dequeue(now float64) (Packet, bool) {
+	if len(f.q) == 0 {
+		return Packet{}, false
+	}
+	p := f.q[0]
+	f.q = f.q[1:]
+	return p, true
+}
+
+// Len implements Scheduler.
+func (f *FCFS) Len() int { return len(f.q) }
+
+// ----------------------------------------------------------------- WFQ --
+
+// wfqItem is a packet stamped with its GPS virtual finish time.
+type wfqItem struct {
+	pkt    Packet
+	finish float64
+	seq    int // tie-break: arrival order
+}
+
+type wfqHeap []wfqItem
+
+func (h wfqHeap) Len() int { return len(h) }
+func (h wfqHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wfqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wfqHeap) Push(x interface{}) { *h = append(*h, x.(wfqItem)) }
+func (h *wfqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// WFQ is Packet-by-packet GPS: packets are stamped with the virtual
+// finish time they would have in the fluid GPS reference system and
+// served smallest-stamp-first. The virtual clock V(t) advances at rate
+// r/Σφ_B(t) where B(t) is the set of sessions backlogged in the
+// reference system — tracked exactly as the set {i : lastFinish_i > V}.
+type WFQ struct {
+	rate float64
+	phi  []float64
+
+	heap       wfqHeap
+	seq        int
+	v          float64   // virtual time
+	vWall      float64   // wall-clock time V was last updated
+	lastFinish []float64 // largest finish stamp per session
+}
+
+// NewWFQ builds a WFQ scheduler for the given server rate and weights.
+func NewWFQ(rate float64, phi []float64) (*WFQ, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("pgps: rate = %v, want positive", rate)
+	}
+	if len(phi) == 0 {
+		return nil, errors.New("pgps: no sessions")
+	}
+	for i, p := range phi {
+		if !(p > 0) {
+			return nil, fmt.Errorf("pgps: phi[%d] = %v, want positive", i, p)
+		}
+	}
+	return &WFQ{rate: rate, phi: phi, lastFinish: make([]float64, len(phi))}, nil
+}
+
+// advance moves the virtual clock from s.vWall to wall-clock time `now`,
+// honoring the piecewise-constant slope 1/Σφ_B·r and the events where
+// sessions leave the reference busy set (their last finish stamp is
+// reached).
+func (w *WFQ) advance(now float64) {
+	dt := now - w.vWall
+	for dt > 1e-15 {
+		phiBusy := 0.0
+		nextExit := math.Inf(1)
+		for i, f := range w.lastFinish {
+			if f > w.v+1e-15 {
+				phiBusy += w.phi[i]
+				if f < nextExit {
+					nextExit = f
+				}
+			}
+		}
+		if phiBusy == 0 {
+			// Reference system idle: V needs no further advance (stamps
+			// are all <= V; new arrivals will start from max(V, ...)).
+			break
+		}
+		slope := w.rate / phiBusy
+		tToExit := (nextExit - w.v) / slope
+		if tToExit >= dt {
+			w.v += slope * dt
+			dt = 0
+		} else {
+			w.v = nextExit
+			dt -= tToExit
+		}
+	}
+	w.vWall = now
+}
+
+// Enqueue implements Scheduler: stamp and insert.
+func (w *WFQ) Enqueue(p Packet, now float64) {
+	if p.Session < 0 || p.Session >= len(w.phi) {
+		panic(fmt.Sprintf("pgps: packet for unknown session %d", p.Session))
+	}
+	w.advance(now)
+	start := w.v
+	if f := w.lastFinish[p.Session]; f > start {
+		start = f
+	}
+	finish := start + p.Size/w.phi[p.Session]
+	w.lastFinish[p.Session] = finish
+	heap.Push(&w.heap, wfqItem{pkt: p, finish: finish, seq: w.seq})
+	w.seq++
+}
+
+// Dequeue implements Scheduler.
+func (w *WFQ) Dequeue(now float64) (Packet, bool) {
+	w.advance(now)
+	if len(w.heap) == 0 {
+		return Packet{}, false
+	}
+	it := heap.Pop(&w.heap).(wfqItem)
+	return it.pkt, true
+}
+
+// Len implements Scheduler.
+func (w *WFQ) Len() int { return len(w.heap) }
+
+// ----------------------------------------------------------------- DRR --
+
+// DRR is Deficit Round Robin: a cheap O(1) approximation of fair queueing
+// that serves sessions cyclically with per-round quanta proportional to
+// their weights.
+type DRR struct {
+	quantum []float64
+	deficit []float64
+	queues  [][]Packet
+	active  []int // round-robin list of sessions with queued packets
+	cursor  int
+	size    int
+	// credited marks that the session under the cursor already received
+	// its quantum for the current visit.
+	credited bool
+}
+
+// NewDRR builds a DRR scheduler; quantum[i] is session i's per-round
+// quantum (use a multiple of the weight, at least the max packet size for
+// O(1) behavior).
+func NewDRR(quantum []float64) (*DRR, error) {
+	if len(quantum) == 0 {
+		return nil, errors.New("pgps: no sessions")
+	}
+	for i, q := range quantum {
+		if !(q > 0) {
+			return nil, fmt.Errorf("pgps: quantum[%d] = %v, want positive", i, q)
+		}
+	}
+	return &DRR{
+		quantum: quantum,
+		deficit: make([]float64, len(quantum)),
+		queues:  make([][]Packet, len(quantum)),
+	}, nil
+}
+
+// Enqueue implements Scheduler.
+func (d *DRR) Enqueue(p Packet, now float64) {
+	if len(d.queues[p.Session]) == 0 {
+		d.active = append(d.active, p.Session)
+	}
+	d.queues[p.Session] = append(d.queues[p.Session], p)
+	d.size++
+}
+
+// Dequeue implements Scheduler.
+func (d *DRR) Dequeue(now float64) (Packet, bool) {
+	if d.size == 0 {
+		return Packet{}, false
+	}
+	for {
+		if d.cursor >= len(d.active) {
+			d.cursor = 0
+		}
+		s := d.active[d.cursor]
+		q := d.queues[s]
+		if len(q) == 0 {
+			// Session drained earlier in this round: drop from the list.
+			d.active = append(d.active[:d.cursor], d.active[d.cursor+1:]...)
+			d.credited = false
+			continue
+		}
+		if !d.credited {
+			d.deficit[s] += d.quantum[s]
+			d.credited = true
+		}
+		head := q[0]
+		if head.Size <= d.deficit[s] {
+			d.deficit[s] -= head.Size
+			d.queues[s] = q[1:]
+			d.size--
+			if len(d.queues[s]) == 0 {
+				d.deficit[s] = 0
+				d.active = append(d.active[:d.cursor], d.active[d.cursor+1:]...)
+				d.credited = false
+			}
+			return head, true
+		}
+		// Quantum insufficient this round: the deficit carries over to the
+		// session's next visit.
+		d.cursor++
+		d.credited = false
+	}
+}
+
+// Len implements Scheduler.
+func (d *DRR) Len() int { return d.size }
+
+// ------------------------------------------------------------ Simulator --
+
+// Completion records one served packet.
+type Completion struct {
+	Packet Packet
+	Start  float64
+	Finish float64
+}
+
+// Delay returns the packet's queueing+transmission delay.
+func (c Completion) Delay() float64 { return c.Finish - c.Packet.Arrival }
+
+// Simulate runs a non-preemptive single server of the given rate over the
+// packet arrivals (sorted internally by arrival time) using the
+// scheduler, returning per-packet completions in service order.
+func Simulate(rate float64, sched Scheduler, packets []Packet) ([]Completion, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("pgps: rate = %v, want positive", rate)
+	}
+	for i, p := range packets {
+		if p.Size <= 0 || p.Arrival < 0 {
+			return nil, fmt.Errorf("pgps: packet %d has size %v arrival %v", i, p.Size, p.Arrival)
+		}
+	}
+	arr := append([]Packet(nil), packets...)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Arrival < arr[j].Arrival })
+
+	out := make([]Completion, 0, len(arr))
+	now := 0.0
+	next := 0
+	for next < len(arr) || sched.Len() > 0 {
+		if sched.Len() == 0 {
+			// Idle: jump to the next arrival.
+			if arr[next].Arrival > now {
+				now = arr[next].Arrival
+			}
+		}
+		for next < len(arr) && arr[next].Arrival <= now+1e-15 {
+			sched.Enqueue(arr[next], math.Max(now, arr[next].Arrival))
+			next++
+		}
+		p, ok := sched.Dequeue(now)
+		if !ok {
+			continue
+		}
+		start := now
+		finish := start + p.Size/rate
+		out = append(out, Completion{Packet: p, Start: start, Finish: finish})
+		// Arrivals during transmission join before the next decision.
+		now = finish
+		for next < len(arr) && arr[next].Arrival <= now+1e-15 {
+			sched.Enqueue(arr[next], arr[next].Arrival)
+			next++
+		}
+	}
+	return out, nil
+}

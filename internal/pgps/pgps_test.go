@@ -1,0 +1,360 @@
+package pgps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fluid"
+	"repro/internal/source"
+)
+
+func TestFCFSOrder(t *testing.T) {
+	f := NewFCFS()
+	pkts := []Packet{
+		{Session: 0, Size: 1, Arrival: 0},
+		{Session: 1, Size: 1, Arrival: 0.5},
+		{Session: 0, Size: 1, Arrival: 1},
+	}
+	comps, err := Simulate(1, f, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("%d completions", len(comps))
+	}
+	for i := 1; i < len(comps); i++ {
+		if comps[i].Packet.Arrival < comps[i-1].Packet.Arrival {
+			t.Error("FCFS served out of arrival order")
+		}
+	}
+	if comps[0].Finish != 1 || comps[1].Finish != 2 || comps[2].Finish != 3 {
+		t.Errorf("finishes = %v %v %v, want 1 2 3", comps[0].Finish, comps[1].Finish, comps[2].Finish)
+	}
+}
+
+func TestSimulateIdleGap(t *testing.T) {
+	f := NewFCFS()
+	pkts := []Packet{
+		{Session: 0, Size: 1, Arrival: 0},
+		{Session: 0, Size: 1, Arrival: 10},
+	}
+	comps, err := Simulate(1, f, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps[1].Start != 10 || comps[1].Finish != 11 {
+		t.Errorf("second packet served at [%v, %v], want [10, 11]", comps[1].Start, comps[1].Finish)
+	}
+	if d := comps[0].Delay(); d != 1 {
+		t.Errorf("delay = %v, want 1", d)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(0, NewFCFS(), nil); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := Simulate(1, NewFCFS(), []Packet{{Size: 0, Arrival: 0}}); err == nil {
+		t.Error("zero size: want error")
+	}
+	if _, err := Simulate(1, NewFCFS(), []Packet{{Size: 1, Arrival: -1}}); err == nil {
+		t.Error("negative arrival: want error")
+	}
+}
+
+func TestNewWFQValidation(t *testing.T) {
+	if _, err := NewWFQ(0, []float64{1}); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := NewWFQ(1, nil); err == nil {
+		t.Error("no sessions: want error")
+	}
+	if _, err := NewWFQ(1, []float64{1, 0}); err == nil {
+		t.Error("zero phi: want error")
+	}
+}
+
+func TestNewDRRValidation(t *testing.T) {
+	if _, err := NewDRR(nil); err == nil {
+		t.Error("no sessions: want error")
+	}
+	if _, err := NewDRR([]float64{1, -1}); err == nil {
+		t.Error("negative quantum: want error")
+	}
+}
+
+// Two equal-weight sessions with simultaneous backlogs: WFQ interleaves
+// them (finish stamps alternate), unlike FCFS which would batch.
+func TestWFQInterleaves(t *testing.T) {
+	w, err := NewWFQ(1, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []Packet
+	for k := 0; k < 4; k++ {
+		pkts = append(pkts, Packet{Session: 0, Size: 1, Arrival: 0})
+	}
+	for k := 0; k < 4; k++ {
+		pkts = append(pkts, Packet{Session: 1, Size: 1, Arrival: 0})
+	}
+	comps, err := Simulate(1, w, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Served sessions must alternate 0,1,0,1,... (equal stamps tie-broken
+	// by arrival order, then strictly interleaved finishes).
+	for i := 2; i < len(comps); i++ {
+		if comps[i].Packet.Session == comps[i-1].Packet.Session &&
+			comps[i-1].Packet.Session == comps[i-2].Packet.Session {
+			t.Fatalf("three consecutive services for session %d — not interleaving", comps[i].Packet.Session)
+		}
+	}
+}
+
+// Isolation: session 1 sends a single small packet behind session 0's
+// large burst. Under WFQ its delay stays near its fair share; under FCFS
+// it waits for the entire burst.
+func TestWFQIsolationVsFCFS(t *testing.T) {
+	burst := make([]Packet, 20)
+	for k := range burst {
+		burst[k] = Packet{Session: 0, Size: 1, Arrival: 0}
+	}
+	probe := Packet{Session: 1, Size: 1, Arrival: 0.25}
+	pkts := append(append([]Packet(nil), burst...), probe)
+
+	w, _ := NewWFQ(1, []float64{1, 1})
+	wfqComps, err := Simulate(1, w, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfsComps, err := Simulate(1, NewFCFS(), pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayOf := func(comps []Completion, session int) float64 {
+		for _, c := range comps {
+			if c.Packet.Session == session {
+				return c.Delay()
+			}
+		}
+		t.Fatalf("session %d not served", session)
+		return 0
+	}
+	wd := delayOf(wfqComps, 1)
+	fd := delayOf(fcfsComps, 1)
+	if wd > 5 {
+		t.Errorf("WFQ probe delay = %v, want small (isolation)", wd)
+	}
+	if fd < 15 {
+		t.Errorf("FCFS probe delay = %v, want ~20 (burst ahead)", fd)
+	}
+	if wd >= fd {
+		t.Errorf("WFQ delay %v not better than FCFS %v", wd, fd)
+	}
+}
+
+// Parekh & Gallager: per-packet PGPS departures exceed fluid GPS
+// departures by at most L_max/r. We run identical slotted arrivals
+// through this repository's exact fluid simulator and the WFQ simulator
+// and check the relation packet-batch by packet-batch.
+func TestPGPSWithinLmaxOfFluidGPS(t *testing.T) {
+	const (
+		slots = 2000
+		lmax  = 1.0
+		rate  = 1.0
+	)
+	phi := []float64{0.2, 0.25, 0.2, 0.25}
+	params := []struct{ p, q, l float64 }{
+		{0.3, 0.7, 0.5}, {0.4, 0.4, 0.4}, {0.3, 0.3, 0.3}, {0.4, 0.6, 0.5},
+	}
+	srcs := make([]*source.OnOff, 4)
+	for i, pr := range params {
+		var err error
+		srcs[i], err = source.NewOnOff(pr.p, pr.q, pr.l, uint64(60+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fluid GPS departures per (session, slot) batch.
+	type key struct{ sess, slot int }
+	gpsFinish := map[key]float64{}
+	sim, err := fluid.New(fluid.Config{
+		Rate: rate, Phi: phi,
+		OnDelay: func(sess, slot int, d float64) {
+			gpsFinish[key{sess, slot}] = float64(slot) + d
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make([][]float64, slots)
+	for s := 0; s < slots; s++ {
+		arrivals[s] = make([]float64, 4)
+		for i := range arrivals[s] {
+			arrivals[s][i] = srcs[i].Next()
+		}
+		if _, err := sim.Step(arrivals[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain.
+	for k := 0; k < 200; k++ {
+		if _, err := sim.Step([]float64{0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Same traffic as packets (one packet per positive batch; all sizes
+	// <= lmax by construction of the sources).
+	var pkts []Packet
+	for s := 0; s < slots; s++ {
+		for i, v := range arrivals[s] {
+			if v > 0 {
+				pkts = append(pkts, Packet{Session: i, Size: v, Arrival: float64(s)})
+			}
+		}
+	}
+	w, err := NewWFQ(rate, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := Simulate(rate, w, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, c := range comps {
+		g, ok := gpsFinish[key{c.Packet.Session, int(c.Packet.Arrival)}]
+		if !ok {
+			t.Fatalf("no fluid finish for session %d slot %v", c.Packet.Session, c.Packet.Arrival)
+		}
+		if c.Finish > g+lmax/rate+1e-6 {
+			t.Fatalf("PGPS finish %v exceeds GPS finish %v + Lmax/r (session %d, slot %v)",
+				c.Finish, g, c.Packet.Session, c.Packet.Arrival)
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d packets checked", checked)
+	}
+}
+
+// DRR under saturation shares throughput in proportion to quanta.
+func TestDRRFairShare(t *testing.T) {
+	d, err := NewDRR([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []Packet
+	for k := 0; k < 300; k++ {
+		pkts = append(pkts, Packet{Session: 0, Size: 1, Arrival: 0})
+		pkts = append(pkts, Packet{Session: 1, Size: 1, Arrival: 0})
+	}
+	comps, err := Simulate(1, d, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count services for each session over the first 150 slots of work.
+	counts := [2]float64{}
+	for _, c := range comps {
+		if c.Finish <= 150 {
+			counts[c.Packet.Session]++
+		}
+	}
+	ratio := counts[0] / counts[1]
+	if math.Abs(ratio-2) > 0.2 {
+		t.Errorf("DRR throughput ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDRRLargePacketCarriesDeficit(t *testing.T) {
+	d, _ := NewDRR([]float64{1, 1})
+	pkts := []Packet{
+		{Session: 0, Size: 3, Arrival: 0}, // needs 3 rounds of quantum
+		{Session: 1, Size: 1, Arrival: 0},
+		{Session: 1, Size: 1, Arrival: 0},
+	}
+	comps, err := Simulate(1, d, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("%d completions", len(comps))
+	}
+	// Session 1's packets must not be starved behind the big packet:
+	// at least one serves before it.
+	if comps[0].Packet.Session != 1 {
+		t.Errorf("first service went to the oversized packet; deficit accounting broken")
+	}
+}
+
+// Hand-computed WFQ virtual-time scenario (φ = (1,1), rate 1):
+//
+//	t=0.0  A (session 0, size 1) arrives: V=0,   F_A = 1.
+//	t=0.5  B (session 1, size 1) arrives: V=0.5, F_B = 1.5.
+//	t=1.2  C (session 0, size 1) arrives: two stamps above V, slope 1/2:
+//	       V(1.2) = 0.5 + 0.7/2 = 0.85; start = max(V, F_A) = 1 → F_C = 2.
+//
+// Service: A [0,1], B [1,2], C [2,3]; delays 1, 1.5, 1.8.
+func TestWFQVirtualTimeHandComputed(t *testing.T) {
+	w, err := NewWFQ(1, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []Packet{
+		{Session: 0, Size: 1, Arrival: 0},
+		{Session: 1, Size: 1, Arrival: 0.5},
+		{Session: 0, Size: 1, Arrival: 1.2},
+	}
+	comps, err := Simulate(1, w, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("%d completions", len(comps))
+	}
+	wantOrder := []int{0, 1, 0}
+	wantFinish := []float64{1, 2, 3}
+	for i, c := range comps {
+		if c.Packet.Session != wantOrder[i] {
+			t.Errorf("service %d went to session %d, want %d", i, c.Packet.Session, wantOrder[i])
+		}
+		if math.Abs(c.Finish-wantFinish[i]) > 1e-9 {
+			t.Errorf("service %d finish = %v, want %v", i, c.Finish, wantFinish[i])
+		}
+	}
+}
+
+// The virtual clock must reset cleanly across idle periods: a packet
+// arriving long after the system drains sees a fresh start.
+func TestWFQIdleReset(t *testing.T) {
+	w, err := NewWFQ(1, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []Packet{
+		{Session: 0, Size: 1, Arrival: 0},
+		{Session: 0, Size: 1, Arrival: 100},
+		{Session: 1, Size: 1, Arrival: 100},
+	}
+	comps, err := Simulate(1, w, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the idle gap the two simultaneous packets interleave fairly:
+	// both finish by 102.
+	if comps[1].Finish > 102+1e-9 || comps[2].Finish > 102+1e-9 {
+		t.Errorf("post-idle finishes %v, %v: want both <= 102", comps[1].Finish, comps[2].Finish)
+	}
+}
+
+func TestWFQEnqueueUnknownSessionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown session")
+		}
+	}()
+	w, _ := NewWFQ(1, []float64{1})
+	w.Enqueue(Packet{Session: 5, Size: 1}, 0)
+}

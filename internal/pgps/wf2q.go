@@ -1,0 +1,128 @@
+package pgps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WF2Q is Worst-case Fair Weighted Fair Queueing (Bennett & Zhang):
+// like WFQ it stamps packets with fluid-GPS virtual start/finish times,
+// but it only considers packets whose service has *started* in the fluid
+// reference (virtual start <= V(t)), picking the smallest finish among
+// them. This removes WFQ's ahead-of-fluid burstiness: WFQ can run a
+// session up to one packet ahead per competitor, WF2Q never runs more
+// than one packet ahead in total.
+type WF2Q struct {
+	rate float64
+	phi  []float64
+
+	items      []wf2qItem
+	seq        int
+	v          float64
+	vWall      float64
+	lastFinish []float64
+}
+
+type wf2qItem struct {
+	pkt    Packet
+	start  float64
+	finish float64
+	seq    int
+}
+
+// NewWF2Q builds a WF2Q scheduler for the given server rate and weights.
+func NewWF2Q(rate float64, phi []float64) (*WF2Q, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("pgps: rate = %v, want positive", rate)
+	}
+	if len(phi) == 0 {
+		return nil, errors.New("pgps: no sessions")
+	}
+	for i, p := range phi {
+		if !(p > 0) {
+			return nil, fmt.Errorf("pgps: phi[%d] = %v, want positive", i, p)
+		}
+	}
+	return &WF2Q{rate: rate, phi: phi, lastFinish: make([]float64, len(phi))}, nil
+}
+
+// advance tracks the same exact GPS virtual clock as WFQ.
+func (w *WF2Q) advance(now float64) {
+	dt := now - w.vWall
+	for dt > 1e-15 {
+		phiBusy := 0.0
+		nextExit := math.Inf(1)
+		for i, f := range w.lastFinish {
+			if f > w.v+1e-15 {
+				phiBusy += w.phi[i]
+				if f < nextExit {
+					nextExit = f
+				}
+			}
+		}
+		if phiBusy == 0 {
+			break
+		}
+		slope := w.rate / phiBusy
+		tToExit := (nextExit - w.v) / slope
+		if tToExit >= dt {
+			w.v += slope * dt
+			dt = 0
+		} else {
+			w.v = nextExit
+			dt -= tToExit
+		}
+	}
+	w.vWall = now
+}
+
+// Enqueue implements Scheduler.
+func (w *WF2Q) Enqueue(p Packet, now float64) {
+	if p.Session < 0 || p.Session >= len(w.phi) {
+		panic(fmt.Sprintf("pgps: packet for unknown session %d", p.Session))
+	}
+	w.advance(now)
+	start := w.v
+	if f := w.lastFinish[p.Session]; f > start {
+		start = f
+	}
+	finish := start + p.Size/w.phi[p.Session]
+	w.lastFinish[p.Session] = finish
+	w.items = append(w.items, wf2qItem{pkt: p, start: start, finish: finish, seq: w.seq})
+	w.seq++
+}
+
+// Dequeue implements Scheduler: among eligible packets (virtual start <=
+// V(now)), pick the smallest virtual finish; when none is eligible (can
+// happen right after an idle jump), fall back to the globally smallest
+// finish so the server stays work conserving.
+func (w *WF2Q) Dequeue(now float64) (Packet, bool) {
+	w.advance(now)
+	if len(w.items) == 0 {
+		return Packet{}, false
+	}
+	best := -1
+	bestEligible := false
+	for k, it := range w.items {
+		eligible := it.start <= w.v+1e-12
+		if best == -1 {
+			best, bestEligible = k, eligible
+			continue
+		}
+		b := w.items[best]
+		switch {
+		case eligible && !bestEligible:
+			best, bestEligible = k, true
+		case eligible == bestEligible &&
+			(it.finish < b.finish || (it.finish == b.finish && it.seq < b.seq)):
+			best = k
+		}
+	}
+	it := w.items[best]
+	w.items = append(w.items[:best], w.items[best+1:]...)
+	return it.pkt, true
+}
+
+// Len implements Scheduler.
+func (w *WF2Q) Len() int { return len(w.items) }

@@ -1,0 +1,200 @@
+// Package pktnet is an event-driven packet network simulator: each node
+// is a non-preemptive single server driven by a pluggable packet
+// scheduler (WFQ/FCFS/DRR from internal/pgps), and packets follow fixed
+// per-session routes with an optional per-link propagation delay. It is
+// the packetized counterpart of internal/netsim and exists to study how
+// close PGPS networks track the fluid bounds (Parekh & Gallager's
+// per-node L_max/r slack, compounded per hop).
+package pktnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/pgps"
+)
+
+// Node is one store-and-forward packet switch.
+type Node struct {
+	Name string
+	Rate float64
+}
+
+// Config describes the simulated network.
+type Config struct {
+	Nodes []Node
+	// Routes[i] is session i's node sequence.
+	Routes [][]int
+	// NewScheduler builds the scheduler for one node. The scheduler sees
+	// global session indices.
+	NewScheduler func(node int) (pgps.Scheduler, error)
+	// PropDelay is added per link traversal (node k -> node k+1).
+	PropDelay float64
+}
+
+// Packet is one external arrival: released into the first hop of its
+// session's route at time Release.
+type Packet struct {
+	Session int
+	Size    float64
+	Release float64
+}
+
+// Completion records a packet leaving the network.
+type Completion struct {
+	Session int
+	Release float64
+	Finish  float64
+}
+
+// Delay returns the end-to-end delay.
+func (c Completion) Delay() float64 { return c.Finish - c.Release }
+
+// flight is a packet in transit with its route progress.
+type flight struct {
+	pkt Packet
+	hop int
+}
+
+type event struct {
+	time float64
+	seq  int
+	// arrival event when fl != nil; otherwise a service completion at
+	// node `node` for flight `done`.
+	fl   *flight
+	node int
+	done *flight
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type nodeState struct {
+	sched pgps.Scheduler
+	busy  bool
+	// inFlight maps the scheduler's returned packet back to its flight.
+	inFlight map[pgps.Packet][]*flight
+}
+
+// Run executes the simulation to completion and returns per-packet
+// completions in finish order.
+func Run(cfg Config, packets []Packet) ([]Completion, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("pktnet: no nodes")
+	}
+	if cfg.NewScheduler == nil {
+		return nil, errors.New("pktnet: NewScheduler is required")
+	}
+	if cfg.PropDelay < 0 {
+		return nil, fmt.Errorf("pktnet: propagation delay = %v", cfg.PropDelay)
+	}
+	for m, n := range cfg.Nodes {
+		if !(n.Rate > 0) {
+			return nil, fmt.Errorf("pktnet: node %d (%s) rate = %v", m, n.Name, n.Rate)
+		}
+	}
+	for i, r := range cfg.Routes {
+		if len(r) == 0 {
+			return nil, fmt.Errorf("pktnet: session %d has an empty route", i)
+		}
+		for _, m := range r {
+			if m < 0 || m >= len(cfg.Nodes) {
+				return nil, fmt.Errorf("pktnet: session %d routes through node %d", i, m)
+			}
+		}
+	}
+	states := make([]nodeState, len(cfg.Nodes))
+	for m := range states {
+		s, err := cfg.NewScheduler(m)
+		if err != nil {
+			return nil, fmt.Errorf("pktnet: node %d: %w", m, err)
+		}
+		states[m] = nodeState{sched: s, inFlight: make(map[pgps.Packet][]*flight)}
+	}
+
+	var h eventHeap
+	seq := 0
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+	for i, p := range packets {
+		if p.Session < 0 || p.Session >= len(cfg.Routes) {
+			return nil, fmt.Errorf("pktnet: packet %d references session %d", i, p.Session)
+		}
+		if p.Size <= 0 || p.Release < 0 {
+			return nil, fmt.Errorf("pktnet: packet %d has size %v release %v", i, p.Size, p.Release)
+		}
+		fl := &flight{pkt: p}
+		push(event{time: p.Release, fl: fl, node: cfg.Routes[p.Session][0]})
+	}
+
+	var out []Completion
+	tryServe := func(m int, now float64) {
+		st := &states[m]
+		if st.busy || st.sched.Len() == 0 {
+			return
+		}
+		sp, ok := st.sched.Dequeue(now)
+		if !ok {
+			return
+		}
+		fls := st.inFlight[sp]
+		fl := fls[0]
+		if len(fls) == 1 {
+			delete(st.inFlight, sp)
+		} else {
+			st.inFlight[sp] = fls[1:]
+		}
+		st.busy = true
+		finish := now + sp.Size/cfg.Nodes[m].Rate
+		push(event{time: finish, node: m, done: fl})
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		switch {
+		case e.fl != nil:
+			// Arrival at node e.node.
+			st := &states[e.node]
+			sp := pgps.Packet{Session: e.fl.pkt.Session, Size: e.fl.pkt.Size, Arrival: e.time}
+			st.sched.Enqueue(sp, e.time)
+			st.inFlight[sp] = append(st.inFlight[sp], e.fl)
+			tryServe(e.node, e.time)
+		default:
+			// Service completion at e.node.
+			st := &states[e.node]
+			st.busy = false
+			fl := e.done
+			route := cfg.Routes[fl.pkt.Session]
+			fl.hop++
+			if fl.hop < len(route) {
+				push(event{time: e.time + cfg.PropDelay, fl: fl, node: route[fl.hop]})
+			} else {
+				out = append(out, Completion{Session: fl.pkt.Session, Release: fl.pkt.Release, Finish: e.time})
+			}
+			tryServe(e.node, e.time)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Finish < out[j].Finish })
+	return out, nil
+}

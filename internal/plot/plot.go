@@ -1,0 +1,163 @@
+// Package plot renders experiment series as ASCII charts (the repo's
+// "figures") and writes them as CSV for external tooling. Log-scale
+// rendering is the default since every figure in the paper is a
+// log-scale tail plot.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Validate checks the series is plottable.
+func (s Series) Validate() error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x and %d y points", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderLog renders the series on a log10 y-axis as ASCII art. Values
+// <= 0 (or below floor) are clipped to floor. width and height are the
+// plot-area dimensions in characters.
+func RenderLog(series []Series, width, height int, floor float64) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("plot: area %dx%d too small", width, height)
+	}
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return "", err
+		}
+		for i := range s.X {
+			x := s.X[i]
+			y := math.Log10(math.Max(s.Y[i], floor))
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			y := math.Log10(math.Max(s.Y[i], floor))
+			cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "log10(y): %.2f (top) .. %.2f (bottom)\n", ymax, ymin)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " x: %.3g .. %.3g\n", xmin, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// WriteCSV writes the series as CSV with a shared x column taken from the
+// first series; every series must share that x grid.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if len(s.X) != len(series[0].X) {
+			return fmt.Errorf("plot: series %q has %d points, first has %d", s.Name, len(s.X), len(series[0].X))
+		}
+	}
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := range series[0].X {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders an aligned text table; the experiments use it for the
+// paper's numeric tables.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

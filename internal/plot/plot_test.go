@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	x := []float64{0, 1, 2, 3, 4}
+	return []Series{
+		{Name: "bound", X: x, Y: []float64{1, 0.1, 0.01, 0.001, 0.0001}},
+		{Name: "sim", X: x, Y: []float64{0.5, 0.05, 0.004, 0.0003, 0.00001}},
+	}
+}
+
+func TestRenderLog(t *testing.T) {
+	out, err := RenderLog(twoSeries(), 40, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bound") || !strings.Contains(out, "sim") {
+		t.Error("legend missing series names")
+	}
+	if !strings.Contains(out, "log10(y)") {
+		t.Error("missing y-axis annotation")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("unexpectedly short render: %d lines", len(lines))
+	}
+}
+
+func TestRenderLogErrors(t *testing.T) {
+	if _, err := RenderLog(nil, 40, 10, 0); err == nil {
+		t.Error("no series: want error")
+	}
+	if _, err := RenderLog(twoSeries(), 4, 2, 0); err == nil {
+		t.Error("tiny area: want error")
+	}
+	bad := []Series{{Name: "bad", X: []float64{1}, Y: nil}}
+	if _, err := RenderLog(bad, 40, 10, 0); err == nil {
+		t.Error("mismatched series: want error")
+	}
+}
+
+func TestRenderLogClipsNonPositive(t *testing.T) {
+	s := []Series{{Name: "z", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	if _, err := RenderLog(s, 20, 5, 1e-9); err != nil {
+		t.Fatalf("zero values should clip, not fail: %v", err)
+	}
+}
+
+func TestRenderLogConstantSeries(t *testing.T) {
+	s := []Series{{Name: "c", X: []float64{2, 2}, Y: []float64{0.5, 0.5}}}
+	if _, err := RenderLog(s, 20, 5, 0); err != nil {
+		t.Fatalf("degenerate ranges should render: %v", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, twoSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,bound,sim" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 6 {
+		t.Errorf("%d lines, want 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,1,0.5") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, nil); err == nil {
+		t.Error("no series: want error")
+	}
+	mismatch := []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Name: "b", X: []float64{1}, Y: []float64{1}},
+	}
+	if err := WriteCSV(&b, mismatch); err == nil {
+		t.Error("mismatched grids: want error")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"session", "rho"}, [][]string{{"1", "0.2"}, {"22", "0.25"}})
+	if !strings.Contains(out, "session") || !strings.Contains(out, "0.25") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("%d lines, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	// Alignment: all rows should have equal printed width per column.
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Errorf("missing separator rule: %q", lines[1])
+	}
+}

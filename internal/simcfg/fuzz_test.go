@@ -1,0 +1,25 @@
+package simcfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the JSON config parser: it must never panic, and any
+// config it accepts must pass Validate.
+func FuzzParse(f *testing.F) {
+	f.Add(goodConfig)
+	f.Add(`{"rate":1,"slots":1,"sessions":[{"name":"x","phi":1,"rho":0.1,"source":{"type":"cbr","rate":0.05}}]}`)
+	f.Add(`{`)
+	f.Add(`{"rate":-1}`)
+	f.Add(`{"rate":1e308,"slots":2147483647,"sessions":[]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("Parse accepted a config that Validate rejects: %v", err)
+		}
+	})
+}

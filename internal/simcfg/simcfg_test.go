@@ -1,0 +1,182 @@
+package simcfg
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/traceio"
+	"strings"
+	"testing"
+)
+
+const goodConfig = `{
+  "rate": 1,
+  "slots": 20000,
+  "seed": 7,
+  "sessions": [
+    {"name": "s1", "phi": 0.2, "rho": 0.2,
+     "source": {"type": "onoff", "p": 0.3, "q": 0.7, "lambda": 0.5}},
+    {"name": "s2", "phi": 0.3, "rho": 0.3,
+     "source": {"type": "cbr", "rate": 0.25}},
+    {"name": "s3", "phi": 0.2, "rho": 0.2,
+     "source": {"type": "markov",
+       "transitions": [[0.8, 0.2], [0.5, 0.5]],
+       "rates": [0, 0.4]}}
+  ]
+}`
+
+func TestParseGood(t *testing.T) {
+	c, err := Parse(strings.NewReader(goodConfig))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(c.Sessions) != 3 || c.Rate != 1 || c.Slots != 20000 {
+		t.Errorf("parsed config = %+v", c)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"rate":1,"slots":10,"bogus":3,"sessions":[{"name":"x","phi":1,"rho":0.1,"source":{"type":"cbr","rate":0.1}}]}`,
+		"no sessions":   `{"rate":1,"slots":10,"sessions":[]}`,
+		"zero rate":     `{"rate":0,"slots":10,"sessions":[{"name":"x","phi":1,"rho":0.1,"source":{"type":"cbr","rate":0.1}}]}`,
+		"zero slots":    `{"rate":1,"slots":0,"sessions":[{"name":"x","phi":1,"rho":0.1,"source":{"type":"cbr","rate":0.1}}]}`,
+		"no name":       `{"rate":1,"slots":10,"sessions":[{"phi":1,"rho":0.1,"source":{"type":"cbr","rate":0.1}}]}`,
+		"bad phi":       `{"rate":1,"slots":10,"sessions":[{"name":"x","phi":0,"rho":0.1,"source":{"type":"cbr","rate":0.1}}]}`,
+		"bad rho":       `{"rate":1,"slots":10,"sessions":[{"name":"x","phi":1,"rho":0,"source":{"type":"cbr","rate":0.1}}]}`,
+		"bad source":    `{"rate":1,"slots":10,"sessions":[{"name":"x","phi":1,"rho":0.1,"source":{"type":"warp"}}]}`,
+		"bad json":      `{`,
+	}
+	for name, cfg := range cases {
+		if _, err := Parse(strings.NewReader(cfg)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestRunProducesComparableTails(t *testing.T) {
+	c, err := Parse(strings.NewReader(goodConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Sessions) != 3 {
+		t.Fatalf("%d session reports", len(res.Sessions))
+	}
+	for _, sr := range res.Sessions {
+		if sr.SampleSize == 0 {
+			t.Errorf("session %s: no delay samples", sr.Name)
+		}
+		if len(sr.BoundCCDF) != len(sr.DelayGrid) || len(sr.SimCCDF) != len(sr.DelayGrid) {
+			t.Errorf("session %s: grid mismatch", sr.Name)
+		}
+		// Simulated tails must sit below the bounds beyond the 1-slot
+		// measurement-rounding offset.
+		for k, d := range sr.DelayGrid {
+			if d < 2 {
+				continue
+			}
+			// Compare sim at d to bound at d-1.
+			var bound float64 = 1
+			for kk, dd := range sr.DelayGrid {
+				if dd <= d-1 {
+					bound = sr.BoundCCDF[kk]
+				}
+			}
+			if sr.SimCCDF[k] > bound*1.5+1e-9 {
+				t.Errorf("session %s: sim %v above bound %v at d=%v", sr.Name, sr.SimCCDF[k], bound, d)
+			}
+		}
+		if sr.MeanDelay < 0 || sr.MaxDelay < sr.MeanDelay {
+			t.Errorf("session %s: weird delay stats mean %v max %v", sr.Name, sr.MeanDelay, sr.MaxDelay)
+		}
+	}
+}
+
+func TestRunWithShaperAndExplicitEBB(t *testing.T) {
+	cfg := `{
+  "rate": 1,
+  "slots": 20000,
+  "seed": 3,
+  "level_max": 20,
+  "level_points": 10,
+  "sessions": [
+    {"name": "shaped", "phi": 0.4, "rho": 0.35,
+     "source": {"type": "onoff", "p": 0.4, "q": 0.4, "lambda": 0.8},
+     "shaper": {"sigma": 1.0, "rho": 0.3}},
+    {"name": "pinned", "phi": 0.3, "rho": 0.3,
+     "source": {"type": "cbr", "rate": 0.25},
+     "ebb": {"lambda": 1.0, "alpha": 2.0}}
+  ]
+}`
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Sessions) != 2 {
+		t.Fatalf("%d reports", len(res.Sessions))
+	}
+	if got := res.Sessions[1].Char; got.Lambda != 1.0 || got.Alpha != 2.0 {
+		t.Errorf("explicit EBB not honored: %v", got)
+	}
+	if got := res.Sessions[0].DelayGrid; len(got) != 11 {
+		t.Errorf("level grid = %d points, want 11", len(got))
+	}
+}
+
+func TestRunDependentMode(t *testing.T) {
+	cfg := strings.Replace(goodConfig, `"seed": 7,`, `"seed": 7, "dependent": true,`, 1)
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatalf("Run dependent: %v", err)
+	}
+}
+
+func TestRunWithTraceSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	var trace []float64
+	for i := 0; i < 400; i++ {
+		if i%3 == 0 {
+			trace = append(trace, 0.6)
+		} else {
+			trace = append(trace, 0)
+		}
+	}
+	if err := traceio.WriteFile(path, trace); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fmt.Sprintf(`{
+  "rate": 1, "slots": 5000, "seed": 1,
+  "sessions": [
+    {"name": "replay", "phi": 0.5, "rho": 0.3,
+     "source": {"type": "trace", "path": %q}}
+  ]
+}`, path)
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Sessions[0].SampleSize == 0 {
+		t.Error("no delays recorded from trace source")
+	}
+	// Missing path must be rejected at validation.
+	bad := `{"rate":1,"slots":10,"sessions":[{"name":"x","phi":1,"rho":0.1,"source":{"type":"trace"}}]}`
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("trace without path: want error")
+	}
+}

@@ -1,0 +1,111 @@
+package source
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+)
+
+func TestVerifyEBBErrors(t *testing.T) {
+	p := ebb.Process{Rho: 0.5, Lambda: 1, Alpha: 1}
+	if _, err := VerifyEBB(nil, p, []int{1}, []float64{0}); err == nil {
+		t.Error("empty trace: want error")
+	}
+	if _, err := VerifyEBB([]float64{1, 2}, ebb.Process{}, []int{1}, nil); err == nil {
+		t.Error("invalid process: want error")
+	}
+	if _, err := VerifyEBB([]float64{1, 2}, p, []int{5}, nil); err == nil {
+		t.Error("window longer than trace: want error")
+	}
+}
+
+func TestVerifyEBBConstantTraffic(t *testing.T) {
+	// CBR at rate 0.3 trivially satisfies any envelope with rho > 0.3.
+	trace := Record(CBR{Rate: 0.3}, 1000)
+	p := ebb.Process{Rho: 0.35, Lambda: 1, Alpha: 2}
+	worst, err := VerifyEBB(trace, p, []int{1, 5, 20}, []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != 0 {
+		t.Errorf("worst ratio = %v, want 0 (no excess ever)", worst)
+	}
+}
+
+func TestVerifyEBBDetectsViolation(t *testing.T) {
+	// An absurdly tight characterization must be flagged.
+	src, _ := NewOnOff(0.4, 0.4, 1.0, 21)
+	trace := Record(src, 50000)
+	tight := ebb.Process{Rho: 0.51, Lambda: 1e-9, Alpha: 10}
+	worst, err := VerifyEBB(trace, tight, []int{1, 4}, []float64{0.1, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst <= 1 {
+		t.Errorf("worst ratio = %v, want > 1 for a bogus characterization", worst)
+	}
+}
+
+func TestFitEBBRecoversOnOffTail(t *testing.T) {
+	src, err := NewOnOff(0.4, 0.4, 0.4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := Record(src, 400000)
+	rho := 0.25
+	windows := []int{4, 8, 16, 32, 64}
+	fitted, err := FitEBB(trace, rho, windows)
+	if err != nil {
+		t.Fatalf("FitEBB: %v", err)
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Fatalf("fitted process invalid: %v", err)
+	}
+	// The fitted envelope must hold on the trace it was fitted to.
+	worst, err := VerifyEBB(trace, fitted, windows, []float64{0.2, 0.5, 1.0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1+1e-9 {
+		t.Errorf("fitted envelope violated on its own trace: ratio %v", worst)
+	}
+	// And its decay rate should be in the ballpark of the analytic one
+	// (1.76 for this source at rho = 0.25); fitting from finite windows
+	// is biased, so accept a wide band.
+	analytic := 1.76
+	if fitted.Alpha < 0.3*analytic || fitted.Alpha > 3*analytic {
+		t.Errorf("fitted alpha = %v, implausibly far from analytic %v", fitted.Alpha, analytic)
+	}
+}
+
+func TestFitEBBErrors(t *testing.T) {
+	if _, err := FitEBB(nil, 0.5, []int{1}); err == nil {
+		t.Error("empty trace: want error")
+	}
+	if _, err := FitEBB([]float64{1, 2}, 0, []int{1}); err == nil {
+		t.Error("zero rho: want error")
+	}
+	if _, err := FitEBB([]float64{1, 2}, 0.5, []int{10}); err == nil {
+		t.Error("oversized window: want error")
+	}
+	// rho above the peak leaves no positive excesses.
+	trace := Record(CBR{Rate: 0.2}, 1000)
+	if _, err := FitEBB(trace, 0.5, []int{1, 2, 4}); err == nil {
+		t.Error("no excesses: want error")
+	}
+}
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	slope, intercept := leastSquares(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("leastSquares = (%v, %v), want (2, 1)", slope, intercept)
+	}
+	// Degenerate x: falls back to mean intercept.
+	s2, i2 := leastSquares([]float64{1, 1}, []float64{2, 4})
+	if s2 != 0 || i2 != 3 {
+		t.Errorf("degenerate fit = (%v, %v), want (0, 3)", s2, i2)
+	}
+}

@@ -1,0 +1,270 @@
+package source
+
+import (
+	"math"
+	"testing"
+)
+
+// table1 holds the paper's Table 1 on-off parameters (p, q, λ).
+var table1 = []struct {
+	p, q, lambda float64
+	mean         float64
+}{
+	{0.3, 0.7, 0.5, 0.15},
+	{0.4, 0.4, 0.4, 0.2},
+	{0.3, 0.3, 0.3, 0.15},
+	{0.4, 0.6, 0.5, 0.2},
+}
+
+func onOffModel(t *testing.T, i int) *MarkovFluid {
+	t.Helper()
+	s, err := NewOnOff(table1[i].p, table1[i].q, table1[i].lambda, 1)
+	if err != nil {
+		t.Fatalf("NewOnOff(%d): %v", i, err)
+	}
+	return s.Markov()
+}
+
+func TestMeanRateMatchesTable1(t *testing.T) {
+	for i, row := range table1 {
+		m := onOffModel(t, i)
+		mean, err := m.MeanRate()
+		if err != nil {
+			t.Fatalf("MeanRate(%d): %v", i, err)
+		}
+		if math.Abs(mean-row.mean) > 1e-12 {
+			t.Errorf("session %d: mean rate %v, want %v", i+1, mean, row.mean)
+		}
+	}
+}
+
+func TestEffectiveBandwidthMonotone(t *testing.T) {
+	m := onOffModel(t, 1)
+	mean, _ := m.MeanRate()
+	prev := mean
+	for th := 0.25; th <= 16; th += 0.25 {
+		v, err := m.EffectiveBandwidth(th)
+		if err != nil {
+			t.Fatalf("EffectiveBandwidth(%v): %v", th, err)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("eb not nondecreasing at theta=%v: %v < %v", th, v, prev)
+		}
+		if v > m.PeakRate()+1e-12 {
+			t.Fatalf("eb(%v) = %v above peak %v", th, v, m.PeakRate())
+		}
+		prev = v
+	}
+}
+
+func TestEffectiveBandwidthAtZeroIsMean(t *testing.T) {
+	m := onOffModel(t, 0)
+	v, err := m.EffectiveBandwidth(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.15) > 1e-12 {
+		t.Errorf("eb(0) = %v, want mean 0.15", v)
+	}
+	if _, err := m.EffectiveBandwidth(-1); err == nil {
+		t.Error("negative theta: want error")
+	}
+}
+
+// TestTable2Regeneration is the paper's Table 2: E.B.B. characterizations
+// (α_i, Λ_i) for both ρ sets, computed from the Table 1 sources via the
+// spectral-radius route. The paper reports 3 significant digits.
+func TestTable2Regeneration(t *testing.T) {
+	sets := []struct {
+		name   string
+		rho    []float64
+		alpha  []float64
+		lambda []float64
+	}{
+		{"set1", []float64{0.2, 0.25, 0.2, 0.25}, []float64{1.74, 1.76, 2.13, 1.62}, []float64{1.0, 0.92, 0.84, 1.0}},
+		{"set2", []float64{0.17, 0.22, 0.17, 0.22}, []float64{0.729, 0.672, 0.775, 0.655}, []float64{1.0, 0.968, 0.929, 1.0}},
+	}
+	for _, set := range sets {
+		for i := range table1 {
+			m := onOffModel(t, i)
+			got, err := m.EBBPaper(set.rho[i])
+			if err != nil {
+				t.Fatalf("%s session %d: %v", set.name, i+1, err)
+			}
+			if rel := math.Abs(got.Alpha-set.alpha[i]) / set.alpha[i]; rel > 0.01 {
+				t.Errorf("%s session %d: alpha = %v, paper %v (rel err %v)", set.name, i+1, got.Alpha, set.alpha[i], rel)
+			}
+			if rel := math.Abs(got.Lambda-set.lambda[i]) / set.lambda[i]; rel > 0.01 {
+				t.Errorf("%s session %d: lambda = %v, paper %v (rel err %v)", set.name, i+1, got.Lambda, set.lambda[i], rel)
+			}
+		}
+	}
+}
+
+func TestRigorousPrefactorDominatesPaper(t *testing.T) {
+	for i := range table1 {
+		m := onOffModel(t, i)
+		for _, th := range []float64{0.3, 0.8, 1.5} {
+			rig, err := m.Prefactor(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pap, err := m.PaperPrefactor(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rig < pap-1e-12 {
+				t.Errorf("session %d theta %v: rigorous %v < paper %v", i+1, th, rig, pap)
+			}
+		}
+	}
+}
+
+func TestDecayRateOutOfRange(t *testing.T) {
+	m := onOffModel(t, 0) // mean 0.15, peak 0.5
+	if _, err := m.DecayRate(0.1); err == nil {
+		t.Error("rho below mean: want error")
+	}
+	if _, err := m.DecayRate(0.6); err == nil {
+		t.Error("rho above peak: want error")
+	}
+	if _, err := m.DecayRate(0.15); err == nil {
+		t.Error("rho == mean: want error")
+	}
+}
+
+// The analytic E.B.B. characterization must actually bound the empirical
+// window-excess frequencies of a simulated sample path.
+func TestEBBHoldsEmpirically(t *testing.T) {
+	for i := range table1 {
+		src, err := NewOnOff(table1[i].p, table1[i].q, table1[i].lambda, uint64(7+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := Record(src, 400000)
+		m := src.Markov()
+		rho := []float64{0.2, 0.25, 0.2, 0.25}[i]
+		p, err := m.EBBPaper(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := VerifyEBB(trace, p, []int{1, 2, 4, 8, 16, 32}, []float64{0.1, 0.3, 0.6, 1.0, 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One sample path vs a probability bound: allow mild noise.
+		if worst > 1.1 {
+			t.Errorf("session %d: empirical/bound ratio %v > 1.1 — Table 2 characterization violated", i+1, worst)
+		}
+	}
+}
+
+func TestDeltaTailFamily(t *testing.T) {
+	m := onOffModel(t, 0)
+	f, err := m.DeltaTail(0.22)
+	if err != nil {
+		t.Fatalf("DeltaTail: %v", err)
+	}
+	if math.IsInf(f.ThetaStar, 1) {
+		t.Fatal("ThetaStar should be finite for r below peak")
+	}
+	// eb(ThetaStar) == r.
+	v, _ := m.EffectiveBandwidth(f.ThetaStar)
+	if math.Abs(v-0.22) > 1e-9 {
+		t.Errorf("eb(thetaStar) = %v, want 0.22", v)
+	}
+	tail, err := f.At(f.ThetaStar / 2)
+	if err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if !tail.Valid() {
+		t.Errorf("invalid tail %v", tail)
+	}
+	if _, err := f.At(0); err == nil {
+		t.Error("theta = 0: want error")
+	}
+	if _, err := f.At(f.ThetaStar * 1.01); err == nil {
+		t.Error("theta above star: want error")
+	}
+	// Eval is a nonincreasing probability bound.
+	prev := 1.0
+	for x := 0.0; x <= 10; x += 0.5 {
+		val := f.Eval(x)
+		if val < 0 || val > 1 {
+			t.Fatalf("Eval(%v) = %v", x, val)
+		}
+		if val > prev+1e-12 {
+			t.Fatalf("Eval not monotone at %v", x)
+		}
+		prev = val
+	}
+}
+
+func TestDeltaTailAboveMeanRequired(t *testing.T) {
+	m := onOffModel(t, 0)
+	if _, err := m.DeltaTail(0.1); err == nil {
+		t.Error("r below mean: want error")
+	}
+}
+
+func TestDeltaTailAbovePeakUnbounded(t *testing.T) {
+	m := onOffModel(t, 0)
+	f, err := m.DeltaTail(0.6) // above peak: queue is always empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(f.ThetaStar, 1) {
+		t.Errorf("ThetaStar = %v, want +Inf for r above peak", f.ThetaStar)
+	}
+	if v := f.Eval(2); v > 1e-6 {
+		t.Errorf("Eval(2) = %v, want tiny for r above peak", v)
+	}
+}
+
+// The direct delta tail must beat the generic E.B.B.-derived Lemma 5 tail
+// (the whole point of the paper's Figure 4).
+func TestDirectDeltaBeatsEBBRoute(t *testing.T) {
+	m := onOffModel(t, 1)
+	r := 0.28
+	p, err := m.EBBPaper(0.22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEBB, err := p.DeltaTail(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := m.DeltaTail(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.Paper = true
+	for _, x := range []float64{2, 5, 10, 20} {
+		d := direct.Eval(x)
+		e := viaEBB.Eval(x)
+		if d > e*(1+1e-9) {
+			t.Errorf("x=%v: direct bound %v worse than EBB-route bound %v", x, d, e)
+		}
+	}
+}
+
+func TestNewMarkovFluidValidation(t *testing.T) {
+	if _, err := NewMarkovFluid(nil, nil); err == nil {
+		t.Error("empty chain: want error")
+	}
+	if _, err := NewMarkovFluid([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rate count mismatch: want error")
+	}
+	if _, err := NewMarkovFluid([][]float64{{0.5, 0.4}, {0.5, 0.5}}, []float64{0, 1}); err == nil {
+		t.Error("non-stochastic row: want error")
+	}
+	if _, err := NewMarkovFluid([][]float64{{0.5, 0.5}, {0.5, 0.5}}, []float64{0, -1}); err == nil {
+		t.Error("negative rate: want error")
+	}
+	if _, err := NewMarkovFluid([][]float64{{0.5, 0.5, 0}, {0.5, 0.5}}, []float64{0, 1}); err == nil {
+		t.Error("ragged matrix: want error")
+	}
+	if _, err := NewMarkovFluid([][]float64{{1.5, -0.5}, {0.5, 0.5}}, []float64{0, 1}); err == nil {
+		t.Error("probability outside [0,1]: want error")
+	}
+}

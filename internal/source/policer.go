@@ -1,0 +1,92 @@
+package source
+
+import "fmt"
+
+// Policer implements the paper's §3 zero-bucket token-marking scheme as a
+// standalone traffic conditioner: tokens are generated as a continuous
+// flow at rate R and consumed immediately by arriving traffic; arrivals
+// in excess of the slot's tokens are *marked* but still forwarded
+// (nothing is buffered or dropped). The paper interprets the
+// decomposed-system backlog δ_i(t) as exactly the marked backlog this
+// scheme induces downstream.
+//
+// Unlike Shaper (which delays non-conforming traffic), Policer preserves
+// the arrival process and only splits it into conforming and marked
+// parts.
+type Policer struct {
+	Inner Source
+	R     float64 // token generation rate per slot
+
+	conforming float64
+	marked     float64
+}
+
+// NewPolicer wraps a source with a token-marking policer.
+func NewPolicer(inner Source, r float64) (*Policer, error) {
+	if !(r > 0) {
+		return nil, fmt.Errorf("source: policer rate = %v, want positive", r)
+	}
+	return &Policer{Inner: inner, R: r}, nil
+}
+
+// NextSplit pulls one slot and returns its conforming and marked parts.
+// Tokens do not accumulate (zero bucket): at most R of a slot's arrival
+// is conforming.
+func (p *Policer) NextSplit() (conforming, marked float64) {
+	a := p.Inner.Next()
+	conforming = a
+	if conforming > p.R {
+		conforming = p.R
+	}
+	marked = a - conforming
+	p.conforming += conforming
+	p.marked += marked
+	return conforming, marked
+}
+
+// Next implements Source (total traffic is forwarded unchanged).
+func (p *Policer) Next() float64 {
+	c, m := p.NextSplit()
+	return c + m
+}
+
+// MeanRate implements Source.
+func (p *Policer) MeanRate() float64 { return p.Inner.MeanRate() }
+
+// PeakRate implements Source.
+func (p *Policer) PeakRate() float64 { return p.Inner.PeakRate() }
+
+// MarkedFraction returns the fraction of forwarded volume marked so far.
+func (p *Policer) MarkedFraction() float64 {
+	total := p.conforming + p.marked
+	if total == 0 {
+		return 0
+	}
+	return p.marked / total
+}
+
+// Packetize splits a fluid trace into packets of at most mtu each: a
+// slot's volume v becomes ceil(v/mtu) packets released at that slot. It
+// bridges the fluid simulators and the packet schedulers.
+func Packetize(trace []float64, mtu float64) ([]float64, []int, error) {
+	if !(mtu > 0) {
+		return nil, nil, fmt.Errorf("source: mtu = %v, want positive", mtu)
+	}
+	var sizes []float64
+	var slots []int
+	for t, v := range trace {
+		if v < 0 {
+			return nil, nil, fmt.Errorf("source: negative volume %v at slot %d", v, t)
+		}
+		for v > mtu {
+			sizes = append(sizes, mtu)
+			slots = append(slots, t)
+			v -= mtu
+		}
+		if v > 0 {
+			sizes = append(sizes, v)
+			slots = append(slots, t)
+		}
+	}
+	return sizes, slots, nil
+}

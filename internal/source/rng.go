@@ -1,0 +1,47 @@
+// Package source provides the slotted stochastic traffic sources used to
+// exercise the GPS analysis — most importantly the discrete-time two-state
+// on-off Markov fluid of the paper's §6.3 — together with their analytic
+// E.B.B. characterizations (effective-bandwidth / spectral-radius route,
+// per Liu-Nain-Towsley), direct queue-tail bounds, leaky-bucket shaping,
+// and empirical E.B.B. fitting from sample paths.
+//
+// Time is slotted: a Source emits the amount of fluid arriving in each
+// unit-length slot. All sources are deterministic functions of their seed.
+package source
+
+// RNG is a SplitMix64 pseudo-random generator: tiny, fast, and with
+// well-understood equidistribution — entirely sufficient for workload
+// generation, and dependency-free.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent-looking
+// streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample from [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}

@@ -1,0 +1,72 @@
+package source
+
+import "fmt"
+
+// Shaper wraps a source with a (σ, ρ) leaky-bucket regulator: output is
+// released only against available tokens (bucket depth Sigma, refill rate
+// Rho per slot), and non-conforming fluid waits in the shaper's buffer.
+// The shaped output is a deterministic LBAP flow: A_out(τ,t) <= σ + ρ(t-τ)
+// over every interval, which internal/lbap's deterministic analysis
+// (the Parekh-Gallager baseline) relies on.
+type Shaper struct {
+	Inner Source
+	Sigma float64
+	Rho   float64
+
+	tokens  float64
+	backlog float64
+}
+
+// NewShaper builds a leaky-bucket shaper around a source. The bucket
+// starts full, matching the usual LBAP convention.
+func NewShaper(inner Source, sigma, rho float64) (*Shaper, error) {
+	if sigma < 0 {
+		return nil, fmt.Errorf("source: shaper sigma = %v, want >= 0", sigma)
+	}
+	if rho <= 0 {
+		return nil, fmt.Errorf("source: shaper rho = %v, want > 0", rho)
+	}
+	return &Shaper{Inner: inner, Sigma: sigma, Rho: rho, tokens: sigma}, nil
+}
+
+// Next implements Source: it pulls one slot from the inner source, adds
+// the slot's token refill, and releases as much buffered fluid as tokens
+// allow.
+func (s *Shaper) Next() float64 {
+	s.backlog += s.Inner.Next()
+	s.tokens += s.Rho
+	if s.tokens > s.Sigma+s.Rho {
+		// Bucket capacity σ plus the current slot's refill is the most
+		// that can ever be spent in one slot.
+		s.tokens = s.Sigma + s.Rho
+	}
+	out := s.backlog
+	if out > s.tokens {
+		out = s.tokens
+	}
+	s.backlog -= out
+	s.tokens -= out
+	return out
+}
+
+// MeanRate implements Source: in the long run the shaper forwards
+// everything if ρ exceeds the inner mean rate, else it saturates at ρ.
+func (s *Shaper) MeanRate() float64 {
+	m := s.Inner.MeanRate()
+	if m < s.Rho {
+		return m
+	}
+	return s.Rho
+}
+
+// PeakRate implements Source: at most σ+ρ can leave in one slot.
+func (s *Shaper) PeakRate() float64 {
+	p := s.Inner.PeakRate()
+	if b := s.Sigma + s.Rho; b < p {
+		return b
+	}
+	return p
+}
+
+// Backlog returns the fluid currently held back by the shaper.
+func (s *Shaper) Backlog() float64 { return s.backlog }

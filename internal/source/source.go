@@ -1,0 +1,241 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Source produces the amount of fluid a session generates per unit slot.
+type Source interface {
+	// Next returns the arrival volume for the next slot (>= 0).
+	Next() float64
+	// MeanRate returns the long-run average arrival rate.
+	MeanRate() float64
+	// PeakRate returns the maximum possible per-slot arrival.
+	PeakRate() float64
+}
+
+// CBR is a constant bit rate source: Rate units of fluid every slot.
+type CBR struct {
+	Rate float64
+}
+
+// Next implements Source.
+func (c CBR) Next() float64 { return c.Rate }
+
+// MeanRate implements Source.
+func (c CBR) MeanRate() float64 { return c.Rate }
+
+// PeakRate implements Source.
+func (c CBR) PeakRate() float64 { return c.Rate }
+
+// OnOff is the paper's discrete-time two-state on-off Markov source: in
+// the on state it emits Lambda per slot, in the off state nothing. P is
+// the off→on transition probability, Q the on→off probability (paper
+// Table 1 notation). The average rate is P·Lambda/(P+Q).
+type OnOff struct {
+	P, Q   float64
+	Lambda float64
+
+	on  bool
+	rng *RNG
+}
+
+// NewOnOff builds an on-off source with the given parameters, started in
+// its stationary distribution so sample paths are (statistically)
+// time-invariant from slot zero.
+func NewOnOff(p, q, lambda float64, seed uint64) (*OnOff, error) {
+	if p <= 0 || p >= 1 || q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("source: on-off transition probabilities (%v, %v) must lie in (0,1)", p, q)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("source: on-off peak rate %v, want positive", lambda)
+	}
+	s := &OnOff{P: p, Q: q, Lambda: lambda, rng: NewRNG(seed)}
+	s.on = s.rng.Bernoulli(p / (p + q))
+	return s, nil
+}
+
+// Next implements Source: it emits according to the current state, then
+// advances the chain.
+func (s *OnOff) Next() float64 {
+	var a float64
+	if s.on {
+		a = s.Lambda
+	}
+	if s.on {
+		if s.rng.Bernoulli(s.Q) {
+			s.on = false
+		}
+	} else {
+		if s.rng.Bernoulli(s.P) {
+			s.on = true
+		}
+	}
+	return a
+}
+
+// MeanRate implements Source.
+func (s *OnOff) MeanRate() float64 { return s.P * s.Lambda / (s.P + s.Q) }
+
+// PeakRate implements Source.
+func (s *OnOff) PeakRate() float64 { return s.Lambda }
+
+// Markov returns the analytic Markov-fluid view of the source for
+// effective-bandwidth computations. State 0 is off, state 1 is on.
+func (s *OnOff) Markov() *MarkovFluid {
+	mf, err := NewMarkovFluid(
+		[][]float64{{1 - s.P, s.P}, {s.Q, 1 - s.Q}},
+		[]float64{0, s.Lambda},
+	)
+	if err != nil {
+		// The constructor validated P, Q, Lambda already.
+		panic(err)
+	}
+	return mf
+}
+
+// Trace replays a recorded arrival sequence, cycling when exhausted.
+type Trace struct {
+	Data []float64
+	pos  int
+
+	mean, peak float64
+}
+
+// NewTrace builds a replaying source from per-slot arrivals.
+func NewTrace(data []float64) (*Trace, error) {
+	if len(data) == 0 {
+		return nil, errors.New("source: empty trace")
+	}
+	t := &Trace{Data: data}
+	for _, v := range data {
+		if v < 0 {
+			return nil, fmt.Errorf("source: negative arrival %v in trace", v)
+		}
+		t.mean += v
+		if v > t.peak {
+			t.peak = v
+		}
+	}
+	t.mean /= float64(len(data))
+	return t, nil
+}
+
+// Next implements Source.
+func (t *Trace) Next() float64 {
+	v := t.Data[t.pos]
+	t.pos = (t.pos + 1) % len(t.Data)
+	return v
+}
+
+// MeanRate implements Source.
+func (t *Trace) MeanRate() float64 { return t.mean }
+
+// PeakRate implements Source.
+func (t *Trace) PeakRate() float64 { return t.peak }
+
+// Record drains n slots from a source into a slice (useful for building
+// Traces and for empirical fitting).
+func Record(s Source, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// BurstThenRate is the greedy worst-case source of the deterministic GPS
+// analysis: it dumps its full burst allowance σ at the first slot and
+// sends at exactly ρ forever after. Its output conforms to the (σ, ρ)
+// leaky-bucket envelope with equality, so it attains Parekh & Gallager's
+// deterministic bounds — the EXT-TIGHT experiment uses it to show the
+// hard bounds are tight exactly where the soft bounds are slack.
+type BurstThenRate struct {
+	Sigma float64
+	Rho   float64
+
+	fired bool
+}
+
+// Next implements Source.
+func (b *BurstThenRate) Next() float64 {
+	if !b.fired {
+		b.fired = true
+		return b.Sigma + b.Rho
+	}
+	return b.Rho
+}
+
+// MeanRate implements Source.
+func (b *BurstThenRate) MeanRate() float64 { return b.Rho }
+
+// PeakRate implements Source.
+func (b *BurstThenRate) PeakRate() float64 { return b.Sigma + b.Rho }
+
+// MMFSource samples a general Markov-modulated fluid: a finite chain with
+// per-state emission rates. It generalizes OnOff to many states (e.g.
+// multi-resolution video models).
+type MMFSource struct {
+	Model *MarkovFluid
+
+	state int
+	rng   *RNG
+}
+
+// NewMMFSource builds a sampler for the given chain, started from its
+// stationary distribution.
+func NewMMFSource(model *MarkovFluid, seed uint64) (*MMFSource, error) {
+	pi, err := model.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	s := &MMFSource{Model: model, rng: NewRNG(seed)}
+	u := s.rng.Float64()
+	acc := 0.0
+	for i, p := range pi {
+		acc += p
+		if u < acc {
+			s.state = i
+			break
+		}
+	}
+	return s, nil
+}
+
+// Next implements Source.
+func (s *MMFSource) Next() float64 {
+	a := s.Model.Rates[s.state]
+	u := s.rng.Float64()
+	acc := 0.0
+	n := s.Model.N()
+	for j := 0; j < n; j++ {
+		acc += s.Model.P.At(s.state, j)
+		if u < acc {
+			s.state = j
+			return a
+		}
+	}
+	// Floating-point slack: stay put.
+	return a
+}
+
+// MeanRate implements Source.
+func (s *MMFSource) MeanRate() float64 {
+	m, err := s.Model.MeanRate()
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// PeakRate implements Source.
+func (s *MMFSource) PeakRate() float64 {
+	peak := 0.0
+	for _, r := range s.Model.Rates {
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}

@@ -1,0 +1,295 @@
+package source
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different seeds look identical")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for b, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("bucket %d count %d, want ~1000", b, c)
+		}
+	}
+}
+
+func TestCBR(t *testing.T) {
+	c := CBR{Rate: 0.3}
+	for i := 0; i < 5; i++ {
+		if c.Next() != 0.3 {
+			t.Fatal("CBR emitted wrong volume")
+		}
+	}
+	if c.MeanRate() != 0.3 || c.PeakRate() != 0.3 {
+		t.Error("CBR rates mismatch")
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	for _, bad := range [][3]float64{{0, 0.5, 1}, {1, 0.5, 1}, {0.5, 0, 1}, {0.5, 1.5, 1}, {0.5, 0.5, 0}} {
+		if _, err := NewOnOff(bad[0], bad[1], bad[2], 1); err == nil {
+			t.Errorf("NewOnOff(%v): want error", bad)
+		}
+	}
+}
+
+func TestOnOffEmpiricalMean(t *testing.T) {
+	for i, row := range table1 {
+		src, err := NewOnOff(row.p, row.q, row.lambda, uint64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 200000
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			v := src.Next()
+			if v != 0 && v != row.lambda {
+				t.Fatalf("session %d emitted %v, want 0 or %v", i+1, v, row.lambda)
+			}
+			sum += v
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-row.mean) > 0.01 {
+			t.Errorf("session %d: empirical mean %v, want %v", i+1, mean, row.mean)
+		}
+		if math.Abs(src.MeanRate()-row.mean) > 1e-12 {
+			t.Errorf("session %d: MeanRate %v, want %v", i+1, src.MeanRate(), row.mean)
+		}
+		if src.PeakRate() != row.lambda {
+			t.Errorf("session %d: PeakRate %v", i+1, src.PeakRate())
+		}
+	}
+}
+
+// Sojourn times in the on state are geometric with parameter q — check the
+// chain dynamics, not just the mean.
+func TestOnOffSojournDistribution(t *testing.T) {
+	src, err := NewOnOff(0.3, 0.7, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := Record(src, 300000)
+	var runs []int
+	cur := 0
+	for _, v := range trace {
+		if v > 0 {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	mean := 0.0
+	for _, r := range runs {
+		mean += float64(r)
+	}
+	mean /= float64(len(runs))
+	// Geometric(q=0.7): mean sojourn 1/0.7 ≈ 1.4286.
+	if math.Abs(mean-1/0.7) > 0.05 {
+		t.Errorf("mean on-sojourn %v, want %v", mean, 1/0.7)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr, err := NewTrace([]float64{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{tr.Next(), tr.Next(), tr.Next(), tr.Next()}
+	want := []float64{1, 0, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Trace.Next sequence %v, want %v", got, want)
+		}
+	}
+	if tr.MeanRate() != 1 || tr.PeakRate() != 2 {
+		t.Errorf("Trace rates = (%v, %v)", tr.MeanRate(), tr.PeakRate())
+	}
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("empty trace: want error")
+	}
+	if _, err := NewTrace([]float64{1, -1}); err == nil {
+		t.Error("negative trace: want error")
+	}
+}
+
+func TestRecordLength(t *testing.T) {
+	src := CBR{Rate: 1}
+	if got := len(Record(src, 17)); got != 17 {
+		t.Errorf("Record length %d, want 17", got)
+	}
+}
+
+func TestMMFSourceMatchesModel(t *testing.T) {
+	model, err := NewMarkovFluid(
+		[][]float64{{0.9, 0.1, 0}, {0.2, 0.6, 0.2}, {0, 0.3, 0.7}},
+		[]float64{0, 0.5, 1.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewMMFSource(model, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 300000
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += src.Next()
+	}
+	mean, _ := model.MeanRate()
+	if emp := sum / float64(n); math.Abs(emp-mean) > 0.01 {
+		t.Errorf("empirical mean %v, want %v", emp, mean)
+	}
+	if src.PeakRate() != 1.0 {
+		t.Errorf("PeakRate = %v, want 1.0", src.PeakRate())
+	}
+	if math.Abs(src.MeanRate()-mean) > 1e-12 {
+		t.Errorf("MeanRate = %v, want %v", src.MeanRate(), mean)
+	}
+}
+
+func TestShaperConformance(t *testing.T) {
+	inner, err := NewOnOff(0.3, 0.3, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, rho := 0.8, 0.55
+	sh, err := NewShaper(inner, sigma, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Record(sh, 100000)
+	// LBAP conformance: over every window, A(τ,t] <= σ + ρ·(t-τ).
+	prefix := make([]float64, len(out)+1)
+	for i, v := range out {
+		prefix[i+1] = prefix[i] + v
+	}
+	for _, w := range []int{1, 2, 5, 10, 50, 200} {
+		for s := 0; s+w <= len(out); s += 7 {
+			if vol := prefix[s+w] - prefix[s]; vol > sigma+rho*float64(w)+1e-9 {
+				t.Fatalf("window [%d,%d): volume %v exceeds sigma+rho·w = %v", s, s+w, vol, sigma+rho*float64(w))
+			}
+		}
+	}
+	// The shaper must not lose traffic when rho exceeds the inner mean.
+	totalIn := 0.5 * 100000 // mean of inner = 0.3/(0.6)·1 = 0.5
+	totalOut := prefix[len(out)] + sh.Backlog()
+	if math.Abs(totalOut-totalIn)/totalIn > 0.05 {
+		t.Errorf("shaper conservation: out+backlog %v vs expected in %v", totalOut, totalIn)
+	}
+}
+
+func TestShaperValidation(t *testing.T) {
+	if _, err := NewShaper(CBR{1}, -1, 1); err == nil {
+		t.Error("negative sigma: want error")
+	}
+	if _, err := NewShaper(CBR{1}, 1, 0); err == nil {
+		t.Error("zero rho: want error")
+	}
+}
+
+func TestShaperRates(t *testing.T) {
+	sh, _ := NewShaper(CBR{Rate: 0.3}, 1, 0.5)
+	if sh.MeanRate() != 0.3 {
+		t.Errorf("MeanRate = %v, want inner 0.3", sh.MeanRate())
+	}
+	sat, _ := NewShaper(CBR{Rate: 0.9}, 1, 0.5)
+	if sat.MeanRate() != 0.5 {
+		t.Errorf("saturated MeanRate = %v, want rho 0.5", sat.MeanRate())
+	}
+	if sat.PeakRate() != 0.9 {
+		t.Errorf("PeakRate = %v, want min(inner peak, sigma+rho) = 0.9", sat.PeakRate())
+	}
+}
+
+func TestBurstThenRate(t *testing.T) {
+	b := &BurstThenRate{Sigma: 5, Rho: 0.3}
+	if got := b.Next(); got != 5.3 {
+		t.Errorf("first slot = %v, want sigma+rho", got)
+	}
+	for k := 0; k < 10; k++ {
+		if got := b.Next(); got != 0.3 {
+			t.Fatalf("steady slot = %v, want rho", got)
+		}
+	}
+	if b.MeanRate() != 0.3 || b.PeakRate() != 5.3 {
+		t.Errorf("rates = (%v, %v)", b.MeanRate(), b.PeakRate())
+	}
+	// Conformance to its own envelope with equality at slot 0.
+	b2 := &BurstThenRate{Sigma: 5, Rho: 0.3}
+	trace := Record(b2, 100)
+	excess := 0.0
+	for i, a := range trace {
+		excess += a - 0.3
+		if i == 0 && math.Abs(excess-5) > 1e-12 {
+			t.Errorf("slot-0 excess = %v, want exactly sigma", excess)
+		}
+		if excess > 5+1e-12 {
+			t.Fatalf("envelope violated at slot %d", i)
+		}
+	}
+}
+
+// Property: shaped output never exceeds bucket capability in a slot.
+func TestShaperPerSlotCap(t *testing.T) {
+	prop := func(seed uint16) bool {
+		inner, err := NewOnOff(0.4, 0.4, 2.0, uint64(seed))
+		if err != nil {
+			return false
+		}
+		sh, err := NewShaper(inner, 0.5, 0.3)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 500; i++ {
+			if sh.Next() > 0.5+0.3+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

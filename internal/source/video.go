@@ -1,0 +1,114 @@
+package source
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinisourceModel builds the classic N-minisource video model (Maglaris
+// et al.): the superposition of n independent, identical on-off
+// minisources, each contributing `unit` rate when on, collapsed into a
+// single birth-death-style Markov fluid whose state counts the active
+// minisources. With per-slot flip probabilities p (off→on) and q
+// (on→off), the aggregate transition matrix is the convolution of the
+// independent per-minisource moves.
+//
+// The model feeds the same spectral-radius machinery as the two-state
+// source: effective bandwidth, E.B.B. characterization, direct queue
+// bounds — and exercises the Perron computation on (n+1)-state chains.
+func MinisourceModel(n int, p, q, unit float64) (*MarkovFluid, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("source: n = %d minisources, want positive", n)
+	}
+	if p <= 0 || p >= 1 || q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("source: minisource probabilities (%v, %v) must lie in (0,1)", p, q)
+	}
+	if unit <= 0 {
+		return nil, fmt.Errorf("source: unit rate %v, want positive", unit)
+	}
+	size := n + 1
+	trans := make([][]float64, size)
+	rates := make([]float64, size)
+	for k := 0; k < size; k++ {
+		rates[k] = float64(k) * unit
+		trans[k] = make([]float64, size)
+		// From state k (k on, n-k off): j1 of the k stay on
+		// (Binomial(k, 1-q)) and j2 of the n-k turn on
+		// (Binomial(n-k, p)); next state is j1+j2.
+		for j1 := 0; j1 <= k; j1++ {
+			pj1 := binomPMF(k, j1, 1-q)
+			for j2 := 0; j2 <= n-k; j2++ {
+				trans[k][j1+j2] += pj1 * binomPMF(n-k, j2, p)
+			}
+		}
+	}
+	return NewMarkovFluid(trans, rates)
+}
+
+// binomPMF returns C(n, k)·p^k·(1-p)^(n-k), computed in log space for
+// stability at larger n.
+func binomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logC := lgamma(float64(n)+1) - lgamma(float64(k)+1) - lgamma(float64(n-k)+1)
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Superposition sums several sources into one flow (e.g. all traffic of a
+// customer site feeding one GPS session).
+type Superposition struct {
+	Parts []Source
+}
+
+// NewSuperposition validates and wraps the parts.
+func NewSuperposition(parts ...Source) (*Superposition, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("source: superposition of no parts")
+	}
+	return &Superposition{Parts: parts}, nil
+}
+
+// Next implements Source.
+func (s *Superposition) Next() float64 {
+	total := 0.0
+	for _, p := range s.Parts {
+		total += p.Next()
+	}
+	return total
+}
+
+// MeanRate implements Source.
+func (s *Superposition) MeanRate() float64 {
+	total := 0.0
+	for _, p := range s.Parts {
+		total += p.MeanRate()
+	}
+	return total
+}
+
+// PeakRate implements Source.
+func (s *Superposition) PeakRate() float64 {
+	total := 0.0
+	for _, p := range s.Parts {
+		total += p.PeakRate()
+	}
+	return total
+}

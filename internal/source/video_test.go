@@ -1,0 +1,171 @@
+package source
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinisourceModelValidation(t *testing.T) {
+	if _, err := MinisourceModel(0, 0.3, 0.3, 1); err == nil {
+		t.Error("n = 0: want error")
+	}
+	if _, err := MinisourceModel(3, 0, 0.3, 1); err == nil {
+		t.Error("p = 0: want error")
+	}
+	if _, err := MinisourceModel(3, 0.3, 1, 1); err == nil {
+		t.Error("q = 1: want error")
+	}
+	if _, err := MinisourceModel(3, 0.3, 0.3, 0); err == nil {
+		t.Error("unit = 0: want error")
+	}
+}
+
+func TestMinisourceModelRowsStochastic(t *testing.T) {
+	m, err := MinisourceModel(5, 0.25, 0.4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 6 {
+		t.Fatalf("states = %d, want 6", m.N())
+	}
+	for i := 0; i < m.N(); i++ {
+		sum := 0.0
+		for j := 0; j < m.N(); j++ {
+			sum += m.P.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestMinisourceStationaryIsBinomial(t *testing.T) {
+	n, p, q := 6, 0.3, 0.7
+	m, err := MinisourceModel(n, p, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each minisource is on with probability p/(p+q) independently, so
+	// the stationary active count is Binomial(n, p/(p+q)).
+	on := p / (p + q)
+	for k := 0; k <= n; k++ {
+		want := binomPMF(n, k, on)
+		if math.Abs(pi[k]-want) > 1e-9 {
+			t.Errorf("pi[%d] = %v, want binomial %v", k, pi[k], want)
+		}
+	}
+}
+
+func TestMinisourceEqualsSumOfOnOff(t *testing.T) {
+	// The analytic model's mean must match n·(single on-off mean), and a
+	// superposition of n independent on-off samplers must match it
+	// empirically.
+	n, p, q, unit := 4, 0.3, 0.7, 0.25
+	m, err := MinisourceModel(n, p, q, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := m.MeanRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := float64(n) * unit * p / (p + q)
+	if math.Abs(mean-wantMean) > 1e-9 {
+		t.Fatalf("model mean %v, want %v", mean, wantMean)
+	}
+	parts := make([]Source, n)
+	for i := range parts {
+		s, err := NewOnOff(p, q, unit, uint64(77+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = s
+	}
+	sup, err := NewSuperposition(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sup.MeanRate()-wantMean) > 1e-12 {
+		t.Errorf("superposition MeanRate %v", sup.MeanRate())
+	}
+	if math.Abs(sup.PeakRate()-float64(n)*unit) > 1e-12 {
+		t.Errorf("superposition PeakRate %v", sup.PeakRate())
+	}
+	sum := 0.0
+	const slots = 200000
+	for k := 0; k < slots; k++ {
+		sum += sup.Next()
+	}
+	if emp := sum / slots; math.Abs(emp-wantMean) > 0.02 {
+		t.Errorf("empirical superposition mean %v, want %v", emp, wantMean)
+	}
+}
+
+func TestMinisourceEBBAndQueueBound(t *testing.T) {
+	m, err := MinisourceModel(8, 0.2, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := m.MeanRate()
+	rho := (mean + m.PeakRate()) / 3 // inside (mean, peak)
+	char, err := m.EBBPaper(rho)
+	if err != nil {
+		t.Fatalf("EBBPaper: %v", err)
+	}
+	if err := char.Validate(); err != nil {
+		t.Fatalf("characterization invalid: %v", err)
+	}
+	// Empirical check against a sampled trace.
+	src, err := NewMMFSource(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := Record(src, 300000)
+	worst, err := VerifyEBB(trace, char, []int{1, 4, 16, 64}, []float64{0.1, 0.3, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1.1 {
+		t.Errorf("video-model EBB violated empirically: ratio %v", worst)
+	}
+	// Direct queue bound exists and decays.
+	fam, err := m.DeltaTail(rho + 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fam.Eval(5) < fam.Eval(1)) {
+		t.Error("direct queue bound not decaying")
+	}
+}
+
+func TestBinomPMF(t *testing.T) {
+	if v := binomPMF(4, 2, 0.5); math.Abs(v-0.375) > 1e-12 {
+		t.Errorf("binomPMF(4,2,0.5) = %v, want 0.375", v)
+	}
+	if binomPMF(4, 5, 0.5) != 0 || binomPMF(4, -1, 0.5) != 0 {
+		t.Error("out-of-range k should give 0")
+	}
+	if binomPMF(3, 0, 0) != 1 || binomPMF(3, 3, 1) != 1 {
+		t.Error("degenerate p handling broken")
+	}
+	if binomPMF(3, 1, 0) != 0 || binomPMF(3, 1, 1) != 0 {
+		t.Error("degenerate p nonzero where impossible")
+	}
+	sum := 0.0
+	for k := 0; k <= 10; k++ {
+		sum += binomPMF(10, k, 0.37)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("pmf sums to %v", sum)
+	}
+}
+
+func TestNewSuperpositionEmpty(t *testing.T) {
+	if _, err := NewSuperposition(); err == nil {
+		t.Error("empty superposition: want error")
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the empirical estimators the experiment harness
+// needs: complementary CDFs (tail probabilities) of collected samples,
+// quantiles, and running moments.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Tail collects samples and answers empirical tail-probability queries.
+// The zero value is ready to use.
+type Tail struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (t *Tail) Add(x float64) {
+	t.samples = append(t.samples, x)
+	t.sorted = false
+}
+
+// AddAll records many samples.
+func (t *Tail) AddAll(xs []float64) {
+	t.samples = append(t.samples, xs...)
+	t.sorted = false
+}
+
+// N returns the number of samples.
+func (t *Tail) N() int { return len(t.samples) }
+
+// Samples returns a copy of the collected samples (in whatever order
+// they are currently stored), for merging tails across replications.
+func (t *Tail) Samples() []float64 {
+	return append([]float64(nil), t.samples...)
+}
+
+func (t *Tail) ensureSorted() {
+	if !t.sorted {
+		sort.Float64s(t.samples)
+		t.sorted = true
+	}
+}
+
+// CCDF returns the empirical Pr{X >= x}.
+func (t *Tail) CCDF(x float64) float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.ensureSorted()
+	idx := sort.SearchFloat64s(t.samples, x)
+	return float64(len(t.samples)-idx) / float64(len(t.samples))
+}
+
+// Quantile returns the p-th quantile (0 <= p <= 1) of the samples.
+func (t *Tail) Quantile(p float64) (float64, error) {
+	if len(t.samples) == 0 {
+		return 0, errors.New("stats: no samples")
+	}
+	if p < 0 || p > 1 {
+		return 0, errors.New("stats: quantile level outside [0,1]")
+	}
+	t.ensureSorted()
+	idx := int(p * float64(len(t.samples)-1))
+	return t.samples[idx], nil
+}
+
+// Max returns the largest sample (0 for an empty set).
+func (t *Tail) Max() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	t.ensureSorted()
+	return t.samples[len(t.samples)-1]
+}
+
+// Mean returns the sample mean (0 for an empty set).
+func (t *Tail) Mean() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range t.samples {
+		s += x
+	}
+	return s / float64(len(t.samples))
+}
+
+// CCDFCurve evaluates the empirical CCDF on a grid of levels, handy for
+// plotting bound-vs-simulation figures.
+func (t *Tail) CCDFCurve(levels []float64) []float64 {
+	out := make([]float64, len(levels))
+	for i, x := range levels {
+		out[i] = t.CCDF(x)
+	}
+	return out
+}
+
+// Running accumulates streaming mean and variance (Welford's algorithm)
+// without retaining samples.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the observation count.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// ConfidenceHalfWidth95 returns the half-width of a normal-approximation
+// 95% confidence interval for the mean.
+func (r *Running) ConfidenceHalfWidth95() float64 {
+	if r.n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// FitDecayRate estimates the exponential decay rate of the sample tail:
+// the negated slope of a least-squares line through ln CCDF(x) sampled
+// between the given quantile levels (e.g. 0.5 and 0.999). It addresses
+// the paper's §7 question of how the *actual* backlog decay rate compares
+// with the bound's θ: a valid bound's θ never exceeds the fitted rate
+// (up to estimation noise). An error is returned when the sample range
+// is degenerate.
+func (t *Tail) FitDecayRate(loQ, hiQ float64) (float64, error) {
+	if t.N() < 100 {
+		return 0, errors.New("stats: too few samples to fit a decay rate")
+	}
+	if !(loQ >= 0 && loQ < hiQ && hiQ <= 1) {
+		return 0, errors.New("stats: invalid quantile range")
+	}
+	t.ensureSorted()
+	n := len(t.samples)
+	loIdx := int(loQ * float64(n-1))
+	hiIdx := int(hiQ * float64(n-1))
+	var xs, ys []float64
+	step := (hiIdx - loIdx) / 64
+	if step < 1 {
+		step = 1
+	}
+	lastX := math.Inf(-1)
+	for i := loIdx; i <= hiIdx; i += step {
+		ccdf := float64(n-i) / float64(n)
+		x := t.samples[i]
+		if ccdf <= 0 || x <= lastX {
+			continue
+		}
+		lastX = x
+		xs = append(xs, x)
+		ys = append(ys, math.Log(ccdf))
+	}
+	if len(xs) < 3 || xs[len(xs)-1] == xs[0] {
+		return 0, errors.New("stats: degenerate tail (constant samples?)")
+	}
+	slope := lsSlope(xs, ys)
+	if slope >= 0 {
+		return 0, errors.New("stats: tail is not decaying")
+	}
+	return -slope, nil
+}
+
+// lsSlope is the least-squares slope of y against x.
+func lsSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Levels builds an evenly spaced grid of n+1 levels over [lo, hi],
+// the usual x-axis for tail plots.
+func Levels(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n+1)
+	step := (hi - lo) / float64(n)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTailCCDF(t *testing.T) {
+	var tl Tail
+	tl.AddAll([]float64{1, 2, 3, 4, 5})
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 1}, {2.5, 0.6}, {5, 0.2}, {6, 0},
+	}
+	for _, c := range cases {
+		if got := tl.CCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if tl.N() != 5 {
+		t.Errorf("N = %d, want 5", tl.N())
+	}
+}
+
+func TestTailEmpty(t *testing.T) {
+	var tl Tail
+	if tl.CCDF(1) != 0 || tl.Max() != 0 || tl.Mean() != 0 {
+		t.Error("empty tail should report zeros")
+	}
+	if _, err := tl.Quantile(0.5); err == nil {
+		t.Error("quantile of empty tail: want error")
+	}
+}
+
+func TestTailQuantile(t *testing.T) {
+	var tl Tail
+	for i := 1; i <= 100; i++ {
+		tl.Add(float64(i))
+	}
+	q, err := tl.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 49 || q > 52 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if _, err := tl.Quantile(-0.1); err == nil {
+		t.Error("negative level: want error")
+	}
+	if _, err := tl.Quantile(1.1); err == nil {
+		t.Error("level above 1: want error")
+	}
+	if tl.Max() != 100 {
+		t.Errorf("Max = %v, want 100", tl.Max())
+	}
+	if math.Abs(tl.Mean()-50.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 50.5", tl.Mean())
+	}
+}
+
+func TestTailCCDFCurveMonotone(t *testing.T) {
+	prop := func(seed uint8) bool {
+		var tl Tail
+		x := float64(seed)
+		for i := 0; i < 200; i++ {
+			x = math.Mod(x*137.5+3.1, 50)
+			tl.Add(x)
+		}
+		levels := Levels(0, 50, 25)
+		curve := tl.CCDFCurve(levels)
+		for i := 1; i < len(curve); i++ {
+			if curve[i] > curve[i-1]+1e-12 {
+				return false
+			}
+		}
+		return curve[0] <= 1 && curve[len(curve)-1] >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased = 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7)
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", r.StdDev())
+	}
+	if hw := r.ConfidenceHalfWidth95(); hw <= 0 || math.IsInf(hw, 1) {
+		t.Errorf("CI half-width = %v", hw)
+	}
+}
+
+func TestRunningDegenerate(t *testing.T) {
+	var r Running
+	if r.Variance() != 0 {
+		t.Error("variance of empty should be 0")
+	}
+	r.Add(1)
+	if r.Variance() != 0 {
+		t.Error("variance of single sample should be 0")
+	}
+	if !math.IsInf(r.ConfidenceHalfWidth95(), 1) {
+		t.Error("CI of single sample should be infinite")
+	}
+}
+
+func TestFitDecayRateExponentialSamples(t *testing.T) {
+	// Inverse-CDF sampling of Exp(rate 2) on a deterministic grid.
+	var tl Tail
+	n := 20000
+	for i := 1; i <= n; i++ {
+		u := float64(i) / float64(n+1)
+		tl.Add(-math.Log(1-u) / 2)
+	}
+	rate, err := tl.FitDecayRate(0.5, 0.999)
+	if err != nil {
+		t.Fatalf("FitDecayRate: %v", err)
+	}
+	if math.Abs(rate-2) > 0.1 {
+		t.Errorf("fitted rate %v, want ~2", rate)
+	}
+}
+
+func TestFitDecayRateErrors(t *testing.T) {
+	var tl Tail
+	for i := 0; i < 50; i++ {
+		tl.Add(float64(i))
+	}
+	if _, err := tl.FitDecayRate(0.5, 0.99); err == nil {
+		t.Error("too few samples: want error")
+	}
+	var big Tail
+	for i := 0; i < 1000; i++ {
+		big.Add(1) // constant: no decay to fit
+	}
+	if _, err := big.FitDecayRate(0.5, 0.99); err == nil {
+		t.Error("constant samples: want error")
+	}
+	if _, err := big.FitDecayRate(0.9, 0.1); err == nil {
+		t.Error("inverted quantile range: want error")
+	}
+	var grow Tail
+	for i := 0; i < 1000; i++ {
+		grow.Add(float64(i)) // uniform: ln CCDF concave but decreasing
+	}
+	if _, err := grow.FitDecayRate(0.2, 0.99); err != nil {
+		t.Errorf("uniform samples should fit some decay: %v", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	l := Levels(0, 10, 5)
+	want := []float64{0, 2, 4, 6, 8, 10}
+	if len(l) != len(want) {
+		t.Fatalf("Levels len = %d, want %d", len(l), len(want))
+	}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-12 {
+			t.Errorf("Levels[%d] = %v, want %v", i, l[i], want[i])
+		}
+	}
+	if got := Levels(0, 1, 0); len(got) != 2 {
+		t.Errorf("Levels with n<1 should clamp to 1 interval, got %d points", len(got))
+	}
+}

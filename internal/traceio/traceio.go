@@ -1,0 +1,82 @@
+// Package traceio reads and writes per-slot arrival traces as plain text
+// (one volume per line, '#' comments), so measured traffic can flow
+// between the simulators, the fitting tools and external tooling.
+package traceio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Write emits one arrival volume per line.
+func Write(w io.Writer, trace []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range trace {
+		if v < 0 {
+			return fmt.Errorf("traceio: negative volume %v", v)
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write; blank lines and '#' comments are
+// skipped.
+func Read(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: line %d: %w", line, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("traceio: line %d: negative volume %v", line, v)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("traceio: empty trace")
+	}
+	return out, nil
+}
+
+// WriteFile writes a trace to a file path.
+func WriteFile(path string, trace []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, trace); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace from a file path.
+func ReadFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

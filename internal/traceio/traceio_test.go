@@ -1,0 +1,75 @@
+package traceio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	trace := []float64{0, 0.5, 1.25, 0, 3}
+	var b strings.Builder
+	if err := Write(&b, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(trace))
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0.5\n  1.5  \n# tail\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 1.5 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := Read(strings.NewReader("abc\n")); err == nil {
+		t.Error("garbage line: want error")
+	}
+	if _, err := Read(strings.NewReader("-1\n")); err == nil {
+		t.Error("negative volume: want error")
+	}
+}
+
+func TestWriteRejectsNegative(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, []float64{1, -2}); err == nil {
+		t.Error("negative volume: want error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	trace := []float64{1, 2, 3.5}
+	if err := WriteFile(path, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3.5 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
