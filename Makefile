@@ -1,0 +1,31 @@
+# Standard gates for the repo. `make check` is what CI (and a careful
+# human) should run before merging: static analysis, a full build, the
+# race-enabled test suite, and a short fuzz smoke over the two fuzz
+# targets that guard config parsing and the fluid server loop.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all vet build test fuzz-smoke check clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Each fuzz target runs for $(FUZZTIME); go requires one package per
+# -fuzz invocation.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) -run '^$$' ./internal/fluid
+	$(GO) test -fuzz FuzzNew -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim
+
+check: vet build test fuzz-smoke
+
+clean:
+	$(GO) clean ./...

@@ -547,7 +547,7 @@ func BenchmarkAdmission(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	char, err := src.Markov().EBBPaper(0.25)
+	char, err := src.EBBPaper(0.25)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -67,6 +67,8 @@ func main() {
 		err = export(args)
 	case "sweep":
 		err = sweep(args)
+	case "faults":
+		err = faultsCmd(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -97,7 +99,8 @@ commands:
   ring       cyclic-topology (ring) CRST stability experiment
   ys         decomposition vs Yaron-Sidi recursion ablation
   export     write every figure as CSV (-dir, -slots, -seed)
-  sweep      envelope-rate sensitivity sweep (-min, -max, -points)`)
+  sweep      envelope-rate sensitivity sweep (-min, -max, -points)
+  faults     rerun the Fig. 2 tree under injected faults (-class, -seed, -slots)`)
 }
 
 func table1() error {
@@ -378,7 +381,7 @@ func admit(args []string) error {
 	if err != nil {
 		return err
 	}
-	char, err := src.Markov().EBBPaper(0.25)
+	char, err := src.EBBPaper(0.25)
 	if err != nil {
 		return err
 	}

@@ -32,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		chars[i], err = srcs[i].Markov().EBBPaper(pr.rho)
+		chars[i], err = srcs[i].EBBPaper(pr.rho)
 		if err != nil {
 			log.Fatal(err)
 		}

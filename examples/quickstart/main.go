@@ -24,11 +24,11 @@ func main() {
 	}
 
 	// Step 1: E.B.B. characterizations from the analytic Markov models.
-	video, err := videoSrc.Markov().EBB(0.55)
+	video, err := videoSrc.EBB(0.55)
 	if err != nil {
 		log.Fatal(err)
 	}
-	voice, err := voiceSrc.Markov().EBB(0.20)
+	voice, err := voiceSrc.EBB(0.20)
 	if err != nil {
 		log.Fatal(err)
 	}

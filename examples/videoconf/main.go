@@ -34,7 +34,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := probe.Markov()
+	model, err := probe.Markov()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Characterize at an envelope rate moderately above the mean.
 	char, err := model.EBB(4.5)

@@ -40,7 +40,11 @@ func ExampleRequiredRateMarkov() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	direct, err := gps.RequiredRateMarkov(src.Markov(), tgt)
+	model, err := src.Markov()
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, err := gps.RequiredRateMarkov(model, tgt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +54,7 @@ func ExampleRequiredRateMarkov() {
 }
 
 func mustEBB(src *gps.OnOff) gps.EBB {
-	c, err := src.Markov().EBBPaper(0.25)
+	c, err := src.EBBPaper(0.25)
 	if err != nil {
 		log.Fatal(err)
 	}

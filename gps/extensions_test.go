@@ -39,7 +39,10 @@ func TestAdmissionFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := src.Markov()
+	m, err := src.Markov()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cEBB, err := m.EBBPaper(0.25)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +181,11 @@ func TestEffBwFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flows := []MarkovEffBwFlow{{Model: src.Markov()}, {Model: src.Markov()}}
+	model, err := src.Markov()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []MarkovEffBwFlow{{Model: model}, {Model: model}}
 	q, err := NewFCFSQueueTail(flows, 0.6)
 	if err != nil {
 		t.Fatal(err)

@@ -14,7 +14,10 @@ func TestSingleNodeWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	model := src.Markov()
+	model, err := src.Markov()
+	if err != nil {
+		t.Fatal(err)
+	}
 	char, err := model.EBB(0.25)
 	if err != nil {
 		t.Fatal(err)

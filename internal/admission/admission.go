@@ -114,11 +114,15 @@ type Request struct {
 	Target  Target
 }
 
-// Decision records the outcome for one admitted session.
+// Decision records the outcome for one admitted session. The request's
+// arrival characterization and target are retained so the controller can
+// re-evaluate the session later against a degraded link rate.
 type Decision struct {
 	Name         string
 	RequiredRate float64
 	Phi          float64 // assigned GPS weight (= required rate)
+	Arrival      ebb.Process
+	Target       Target
 }
 
 // Controller tracks admitted sessions on one GPS link.
@@ -156,7 +160,7 @@ func (c *Controller) Admit(req Request) (Decision, error) {
 		return Decision{}, fmt.Errorf("%w: %s needs rate %.4g, only %.4g free",
 			ErrRejected, req.Name, g, c.Rate-c.used)
 	}
-	d := Decision{Name: req.Name, RequiredRate: g, Phi: g}
+	d := Decision{Name: req.Name, RequiredRate: g, Phi: g, Arrival: req.Arrival, Target: req.Target}
 	c.admitted = append(c.admitted, d)
 	c.used += g
 	return d, nil

@@ -79,7 +79,10 @@ func TestRequiredRateMarkovSharper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := src.Markov()
+	m, err := src.Markov()
+	if err != nil {
+		t.Fatal(err)
+	}
 	char, err := m.EBBPaper(0.25)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +106,11 @@ func TestRequiredRateMarkovSharper(t *testing.T) {
 
 func TestRequiredRateMarkovValidation(t *testing.T) {
 	src, _ := source.NewOnOff(0.4, 0.4, 0.4, 1)
-	if _, err := RequiredRateMarkov(src.Markov(), Target{Delay: -1, Eps: 0.5}); err == nil {
+	m, err := src.Markov()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RequiredRateMarkov(m, Target{Delay: -1, Eps: 0.5}); err == nil {
 		t.Error("invalid target: want error")
 	}
 }
@@ -164,7 +171,7 @@ func TestAdmittedSetMeetsTargetsInSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	char, err := src.Markov().EBBPaper(0.25)
+	char, err := src.EBBPaper(0.25)
 	if err != nil {
 		t.Fatal(err)
 	}

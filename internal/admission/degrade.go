@@ -1,0 +1,97 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpsmath"
+)
+
+// Reevaluation is one admitted session's standing after the link rate
+// changed underneath the controller.
+type Reevaluation struct {
+	Name  string
+	State gpsmath.SessionState
+	// GEff is the guaranteed rate the session actually gets at the
+	// effective link rate, with shed sessions' weights released
+	// (0 when the session itself is shed).
+	GEff float64
+	// AchievedEps is the Lemma 5 delay-bound value at the session's
+	// declared delay target under GEff: the violation probability the
+	// theory can still promise. +Inf when the session is shed or GEff
+	// leaves no slack over ρ (the bound diverges).
+	AchievedEps float64
+}
+
+// Reevaluate re-checks every admitted session against an effective link
+// rate — typically lower than the nominal rate after a fault — and
+// classifies each as guaranteed, degraded, or infeasible. It never
+// silently keeps a session whose bounds no longer hold.
+//
+// Shed policy: last admitted, first shed (LIFO). Tenured sessions were
+// promised their targets first, so capacity loss rolls back admissions
+// in reverse order — unlike gpsmath.ClassifyUnderRate, which has no
+// admission history and sheds by worst load ratio instead. Sessions are
+// shed until every survivor is stable (g_eff > ρ_i); because weights
+// equal required rates, all survivors are then guaranteed exactly when
+// effRate >= Σφ of the survivors, and otherwise the survivors whose
+// scaled share g_eff = φ_i/Σφ·effRate still reaches their required rate
+// keep their targets while the rest run degraded.
+//
+// The controller's admitted set is not modified: the caller decides
+// whether to act on the report (Release the infeasible sessions, signal
+// the degraded ones) or wait out the fault.
+func (c *Controller) Reevaluate(effRate float64) ([]Reevaluation, error) {
+	if math.IsNaN(effRate) || math.IsInf(effRate, 0) || effRate < 0 {
+		return nil, fmt.Errorf("admission: effective rate = %v, want finite and >= 0: %w",
+			effRate, gpsmath.ErrInvalidInput)
+	}
+	n := len(c.admitted)
+	out := make([]Reevaluation, n)
+	for i, d := range c.admitted {
+		out[i] = Reevaluation{Name: d.Name, AchievedEps: math.Inf(1)}
+	}
+
+	// LIFO shed until the surviving set is stable: every survivor needs
+	// g_eff = φ_i/Σφ·effRate > ρ_i, i.e. effRate/Σφ > max_i ρ_i/φ_i.
+	cut := n // sessions [0, cut) survive
+	for cut > 0 {
+		phiSum, maxRatio := 0.0, 0.0
+		for _, d := range c.admitted[:cut] {
+			phiSum += d.Phi
+			if r := d.Arrival.Rho / d.Phi; r > maxRatio {
+				maxRatio = r
+			}
+		}
+		if effRate/phiSum > maxRatio {
+			break
+		}
+		cut--
+		out[cut].State = gpsmath.Infeasible
+	}
+	if cut == 0 {
+		return out, nil
+	}
+
+	phiSum := 0.0
+	for _, d := range c.admitted[:cut] {
+		phiSum += d.Phi
+	}
+	for i, d := range c.admitted[:cut] {
+		g := d.Phi / phiSum * effRate
+		out[i].GEff = g
+		if g > d.Arrival.Rho {
+			if tail, err := d.Arrival.DeltaTailDiscrete(g); err == nil {
+				out[i].AchievedEps = tail.EvalRaw(g * d.Target.Delay)
+			}
+		}
+		// RequiredRate is the minimal g meeting the target, so the
+		// comparison is exact: g below it implies the bound is missed.
+		if g >= d.RequiredRate*(1-1e-12) {
+			out[i].State = gpsmath.Guaranteed
+		} else {
+			out[i].State = gpsmath.Degraded
+		}
+	}
+	return out, nil
+}

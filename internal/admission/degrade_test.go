@@ -1,0 +1,158 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gpsmath"
+)
+
+// fillController admits identical sessions until the link rejects one,
+// returning the controller and the admitted count.
+func fillController(t *testing.T) (*Controller, int) {
+	t.Helper()
+	c, err := NewController(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := Target{Delay: 20, Eps: 1e-4}
+	n := 0
+	for ; n < 100; n++ {
+		if _, err := c.Admit(Request{Name: names(n), Arrival: testProc, Target: tgt}); err != nil {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if n < 2 {
+		t.Fatalf("admitted only %d sessions", n)
+	}
+	return c, n
+}
+
+// Satellite check: the admitted set's behavior as capacity drops, table
+// driven over loss fractions. At 100% everything stays guaranteed; as
+// the rate falls, sessions degrade and then shed in LIFO order; nothing
+// infeasible is ever reported as guaranteed.
+func TestReevaluateUnderCapacityLoss(t *testing.T) {
+	c, n := fillController(t)
+	sumPhi := 0.0
+	for _, d := range c.Admitted() {
+		sumPhi += d.Phi
+	}
+	cases := []struct {
+		name    string
+		frac    float64 // effective rate as a fraction of nominal
+		wantAll gpsmath.SessionState
+	}{
+		{"full-rate", 1.0, gpsmath.Guaranteed},
+		{"tiny-loss-still-guaranteed", 0, gpsmath.Guaranteed}, // frac filled below: sumPhi exactly
+		{"zero-rate", 0.0, gpsmath.Infeasible},
+	}
+	cases[1].frac = sumPhi // Σφ <= 1; at exactly Σφ all g_eff = φ_i
+	for _, tc := range cases {
+		rep, err := c.Reevaluate(tc.frac)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(rep) != n {
+			t.Fatalf("%s: %d reevaluations for %d sessions", tc.name, len(rep), n)
+		}
+		for i, r := range rep {
+			if r.State != tc.wantAll {
+				t.Errorf("%s: session %d state = %v, want %v", tc.name, i, r.State, tc.wantAll)
+			}
+		}
+	}
+}
+
+// As the rate drops monotonically, the infeasible count never shrinks,
+// the guaranteed count never grows, shed order is LIFO (a suffix of the
+// admission order), and no session is simultaneously below its required
+// rate and reported guaranteed.
+func TestReevaluateDegradationOrder(t *testing.T) {
+	c, _ := fillController(t)
+	admitted := c.Admitted()
+	prevInf := 0
+	for _, frac := range []float64{1.0, 0.95, 0.9, 0.8, 0.6, 0.4, 0.2, 0.05, 0} {
+		rep, err := c.Reevaluate(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inf := 0
+		for i, r := range rep {
+			switch r.State {
+			case gpsmath.Infeasible:
+				inf++
+				if r.GEff != 0 || !math.IsInf(r.AchievedEps, 1) {
+					t.Errorf("frac %v: shed session %d has g_eff %v, eps %v", frac, i, r.GEff, r.AchievedEps)
+				}
+			case gpsmath.Guaranteed:
+				if r.GEff < admitted[i].RequiredRate*(1-1e-9) {
+					t.Errorf("frac %v: session %d guaranteed at g_eff %v < required %v",
+						frac, i, r.GEff, admitted[i].RequiredRate)
+				}
+				if r.AchievedEps > admitted[i].Target.Eps*(1+1e-6) {
+					t.Errorf("frac %v: session %d guaranteed but achieved eps %v > target %v",
+						frac, i, r.AchievedEps, admitted[i].Target.Eps)
+				}
+			case gpsmath.Degraded:
+				// Stable but missing its target: ρ < g_eff < required.
+				if r.GEff <= admitted[i].Arrival.Rho {
+					t.Errorf("frac %v: session %d degraded but unstable (g_eff %v <= rho %v)",
+						frac, i, r.GEff, admitted[i].Arrival.Rho)
+				}
+				if r.GEff >= admitted[i].RequiredRate*(1+1e-9) {
+					t.Errorf("frac %v: session %d degraded at g_eff %v >= required %v",
+						frac, i, r.GEff, admitted[i].RequiredRate)
+				}
+			}
+		}
+		// LIFO: the shed set must be exactly the trailing inf sessions.
+		for i, r := range rep {
+			shed := r.State == gpsmath.Infeasible
+			if want := i >= len(rep)-inf; shed != want {
+				t.Errorf("frac %v: session %d shed=%v breaks LIFO suffix", frac, i, shed)
+			}
+		}
+		if inf < prevInf {
+			t.Errorf("frac %v: infeasible count %d below %d at a higher rate", frac, inf, prevInf)
+		}
+		prevInf = inf
+	}
+}
+
+func TestReevaluateValidation(t *testing.T) {
+	c, _ := fillController(t)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), -1} {
+		if _, err := c.Reevaluate(bad); !errors.Is(err, gpsmath.ErrInvalidInput) {
+			t.Errorf("Reevaluate(%v) = %v, want ErrInvalidInput", bad, err)
+		}
+	}
+}
+
+func TestReevaluateEmptyController(t *testing.T) {
+	c, err := NewController(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Reevaluate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != 0 {
+		t.Errorf("empty controller produced %d reevaluations", len(rep))
+	}
+}
+
+func TestReevaluateDoesNotMutateAdmittedSet(t *testing.T) {
+	c, n := fillController(t)
+	if _, err := c.Reevaluate(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Admitted()); got != n {
+		t.Errorf("Reevaluate changed the admitted set: %d -> %d", n, got)
+	}
+}

@@ -18,7 +18,11 @@ func markovFlows(t *testing.T, n int) []MarkovFlow {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out[i] = MarkovFlow{Model: s.Markov()}
+		m, err := s.Markov()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = MarkovFlow{Model: m}
 	}
 	return out
 }

@@ -37,6 +37,11 @@ type BusyPeriodFunc func(session int, start, end float64)
 type Config struct {
 	// Rate is the GPS server rate per slot.
 	Rate float64
+	// RateFunc, if non-nil, overrides Rate slot by slot (fault injection:
+	// capacity degradation, outages). A returned value <= 0 stalls the
+	// server for that slot — arrivals still land, nothing drains. Values
+	// must be finite; NaN or +Inf aborts the Step with an error.
+	RateFunc func(slot int) float64
 	// Phi are the GPS weights.
 	Phi []float64
 	// DecompRates, if non-nil, enables the decomposed system: session i's
@@ -80,8 +85,10 @@ func New(cfg Config) (*Sim, error) {
 		return nil, errors.New("fluid: no sessions")
 	}
 	for i, p := range cfg.Phi {
-		if !(p > 0) {
-			return nil, fmt.Errorf("fluid: phi[%d] = %v, want positive", i, p)
+		// An infinite weight turns the share φ_i/Σφ into Inf/Inf = NaN,
+		// so positive alone is not enough.
+		if !(p > 0) || math.IsInf(p, 1) {
+			return nil, fmt.Errorf("fluid: phi[%d] = %v, want positive finite", i, p)
 		}
 	}
 	if cfg.DecompRates != nil && len(cfg.DecompRates) != n {
@@ -154,7 +161,14 @@ func (s *Sim) Step(arrivals []float64) (float64, error) {
 		}
 	}
 
-	served := s.drainSlot()
+	rate := s.cfg.Rate
+	if s.cfg.RateFunc != nil {
+		rate = s.cfg.RateFunc(s.slot)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			return 0, fmt.Errorf("fluid: rate at slot %d = %v, want finite", s.slot, rate)
+		}
+	}
+	served := s.drainSlot(rate)
 
 	// Decomposed system: Lindley recursion per fictitious queue.
 	if s.cfg.DecompRates != nil {
@@ -170,10 +184,15 @@ func (s *Sim) Step(arrivals []float64) (float64, error) {
 	return served, nil
 }
 
-// drainSlot serves one unit of time with exact GPS reallocation. Within
-// the slot, every backlogged session i drains at rate φ_i/Σ_active φ · R;
-// when a session empties, capacity instantly reallocates to the rest.
-func (s *Sim) drainSlot() float64 {
+// drainSlot serves one unit of time with exact GPS reallocation at the
+// slot's effective rate R. Within the slot, every backlogged session i
+// drains at rate φ_i/Σ_active φ · R; when a session empties, capacity
+// instantly reallocates to the rest. A non-positive rate (outage) serves
+// nothing.
+func (s *Sim) drainSlot(R float64) float64 {
+	if !(R > 0) {
+		return 0
+	}
 	remaining := 1.0
 	totalServed := 0.0
 	for remaining > zeroTol {
@@ -193,7 +212,7 @@ func (s *Sim) drainSlot() float64 {
 			if b <= zeroTol {
 				continue
 			}
-			rate := s.cfg.Phi[i] / activePhi * s.cfg.Rate
+			rate := s.cfg.Phi[i] / activePhi * R
 			if t := b / rate; t < seg {
 				seg = t
 			}
@@ -203,7 +222,7 @@ func (s *Sim) drainSlot() float64 {
 			if b <= zeroTol {
 				continue
 			}
-			rate := s.cfg.Phi[i] / activePhi * s.cfg.Rate
+			rate := s.cfg.Phi[i] / activePhi * R
 			vol := rate * seg
 			if vol > b {
 				vol = b

@@ -91,8 +91,12 @@ func (b *SessionBounds) BestBacklogTail(q float64) numeric.ExpTail {
 }
 
 // BacklogTail evaluates the best available bound on Pr{Q_i(t) >= q},
-// clipped to [0, 1].
+// clipped to [0, 1]. A NaN level gets the trivial bound 1 rather than
+// letting NaN propagate into downstream admission decisions.
 func (b *SessionBounds) BacklogTail(q float64) float64 {
+	if math.IsNaN(q) {
+		return 1
+	}
 	return b.BestBacklogTail(q).Eval(q)
 }
 
@@ -106,7 +110,9 @@ func (b *SessionBounds) DelayTail(d float64) float64 {
 // BacklogQuantile returns the smallest backlog level q whose bound drops
 // to eps, optimizing θ (and the fixed tails) per level.
 func (b *SessionBounds) BacklogQuantile(eps float64) float64 {
-	if eps <= 0 {
+	// The negated form also sends NaN to +Inf (no finite level is
+	// known to reach an ill-defined probability).
+	if !(eps > 0) {
 		return math.Inf(1)
 	}
 	best := math.Inf(1)
@@ -147,6 +153,9 @@ func (b *SessionBounds) DelayQuantile(eps float64) float64 {
 // departure process at Chernoff parameter θ (paper eqs. 25/35/53/58):
 // a (ρ_i, Λ(θ), θ)-E.B.B. process.
 func (b *SessionBounds) OutputEBB(theta float64) (ebb.Process, error) {
+	if math.IsNaN(theta) {
+		return ebb.Process{}, fmt.Errorf("%w: theta = NaN for session %s", ErrInvalidInput, b.Name)
+	}
 	lam := b.PrefactorAt(theta)
 	if math.IsInf(lam, 1) {
 		return ebb.Process{}, fmt.Errorf("gpsmath: theta = %v outside (0, %v) for session %s", theta, b.ThetaMax, b.Name)
@@ -160,6 +169,9 @@ func (b *SessionBounds) OutputEBB(theta float64) (ebb.Process, error) {
 // when the next hop's service rate is known. When downstreamRate <= ρ_i
 // it falls back to minimizing Λ(θ) at θ = ThetaMax/2.
 func (b *SessionBounds) BestOutputEBB(downstreamRate float64) (ebb.Process, error) {
+	if math.IsNaN(downstreamRate) || math.IsInf(downstreamRate, -1) {
+		return ebb.Process{}, fmt.Errorf("%w: downstream rate = %v for session %s", ErrInvalidInput, downstreamRate, b.Name)
+	}
 	if b.Prefactor == nil || !(b.ThetaMax > 0) {
 		return ebb.Process{}, fmt.Errorf("gpsmath: session %s has no θ-family for output characterization", b.Name)
 	}

@@ -1,0 +1,183 @@
+package gpsmath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInvalidInput flags arguments outside the domain of the analysis
+// (non-positive or non-finite rates, NaN parameters). Every validation
+// error in this package wraps it, so callers can test with errors.Is
+// without matching message text.
+var ErrInvalidInput = fmt.Errorf("gpsmath: invalid input")
+
+// SessionState classifies a session's standing once the server rate has
+// degraded below its nominal value.
+type SessionState int
+
+const (
+	// Guaranteed: the session sits in class H_1 of the feasible
+	// partition at the degraded rate and its guaranteed rate still
+	// covers its requirement — Theorem 10 keeps the original bound.
+	Guaranteed SessionState = iota
+	// Degraded: the session remains stable (it survives the shed) but
+	// either its guaranteed rate fell below the requirement or it
+	// dropped out of H_1, so only weaker aggregate bounds apply.
+	Degraded
+	// Infeasible: the session had to be shed — keeping it would push
+	// Σρ to or past the degraded rate and void every bound.
+	Infeasible
+)
+
+// String implements fmt.Stringer.
+func (s SessionState) String() string {
+	switch s {
+	case Guaranteed:
+		return "guaranteed"
+	case Degraded:
+		return "degraded"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("SessionState(%d)", int(s))
+	}
+}
+
+// DegradeReport is the outcome of re-evaluating a session set against a
+// degraded server rate.
+type DegradeReport struct {
+	Rate   float64        // the effective rate evaluated against
+	States []SessionState // per session, in declaration order
+	GEff   []float64      // effective guaranteed rate among survivors (0 when shed)
+	Shed   []int          // indices shed, in shed order
+}
+
+// Counts returns how many sessions landed in each state.
+func (r DegradeReport) Counts() (guaranteed, degraded, infeasible int) {
+	for _, st := range r.States {
+		switch st {
+		case Guaranteed:
+			guaranteed++
+		case Degraded:
+			degraded++
+		default:
+			infeasible++
+		}
+	}
+	return
+}
+
+// ClassifyUnderRate re-runs the paper's feasibility machinery against a
+// degraded server rate and classifies every session. required[i] is the
+// service rate session i was promised (the rate its delay target was
+// sized against); rate is the effective capacity.
+//
+// The procedure, in the order the theory forces it:
+//
+//  1. Stability first (eq. 2): while Σρ of the surviving set reaches
+//     rate, shed the survivor with the largest ρ_i/φ_i — the session
+//     whose load is largest relative to its claim on the server, i.e.
+//     the last one any feasible ordering (eq. 5) would place and the
+//     last to enter the feasible partition (eqs. 37–39). Ties shed the
+//     higher index, so the order is deterministic. Shed sessions are
+//     Infeasible.
+//  2. Partition the survivors at the degraded rate (eqs. 37–39).
+//     Survivors in H_1 whose guaranteed rate g_i = φ_i/Σφ·rate (the
+//     share among survivors only — shed sessions release their weight)
+//     still reaches required[i] keep their Theorem 10 bound and are
+//     Guaranteed; all other survivors are Degraded.
+//
+// A rate of zero (total outage) is a legal query: every session is
+// Infeasible. NaN or infinite inputs are rejected with ErrInvalidInput.
+func (s Server) ClassifyUnderRate(required []float64, rate float64) (DegradeReport, error) {
+	n := len(s.Sessions)
+	if len(required) != n {
+		return DegradeReport{}, fmt.Errorf("%w: %d required rates for %d sessions", ErrInvalidInput, len(required), n)
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+		return DegradeReport{}, fmt.Errorf("%w: effective rate = %v", ErrInvalidInput, rate)
+	}
+	for i, g := range required {
+		if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 {
+			return DegradeReport{}, fmt.Errorf("%w: required[%d] = %v", ErrInvalidInput, i, g)
+		}
+	}
+	for i, sess := range s.Sessions {
+		if !(sess.Phi > 0) || math.IsInf(sess.Phi, 1) || math.IsNaN(sess.Phi) {
+			return DegradeReport{}, fmt.Errorf("%w: session %d phi = %v", ErrInvalidInput, i, sess.Phi)
+		}
+		if rho := sess.Arrival.Rho; !(rho > 0) || math.IsInf(rho, 1) || math.IsNaN(rho) {
+			return DegradeReport{}, fmt.Errorf("%w: session %d rho = %v", ErrInvalidInput, i, rho)
+		}
+	}
+
+	rep := DegradeReport{
+		Rate:   rate,
+		States: make([]SessionState, n),
+		GEff:   make([]float64, n),
+	}
+	alive := make([]bool, n)
+	sumRho := 0.0
+	for i := range alive {
+		alive[i] = true
+		sumRho += s.Sessions[i].Arrival.Rho
+	}
+
+	// Shed order: decreasing ρ/φ, ties broken toward the higher index.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := s.Sessions[order[a]].Arrival.Rho / s.Sessions[order[a]].Phi
+		rb := s.Sessions[order[b]].Arrival.Rho / s.Sessions[order[b]].Phi
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] > order[b]
+	})
+	remaining := n
+	for _, i := range order {
+		if remaining == 0 || sumRho < rate {
+			break
+		}
+		alive[i] = false
+		sumRho -= s.Sessions[i].Arrival.Rho
+		rep.States[i] = Infeasible
+		rep.Shed = append(rep.Shed, i)
+		remaining--
+	}
+	if remaining == 0 {
+		return rep, nil
+	}
+
+	// Survivors share the degraded rate; partition them (eqs. 37–39).
+	surv := Server{Rate: rate}
+	back := make([]int, 0, remaining)
+	phiSum := 0.0
+	for i, ok := range alive {
+		if !ok {
+			continue
+		}
+		surv.Sessions = append(surv.Sessions, s.Sessions[i])
+		back = append(back, i)
+		phiSum += s.Sessions[i].Phi
+	}
+	part, err := surv.FeasiblePartition()
+	if err != nil {
+		// Cannot happen once Σρ < rate, but surface it rather than
+		// misreport a session as safe.
+		return DegradeReport{}, err
+	}
+	for k, i := range back {
+		g := s.Sessions[i].Phi / phiSum * rate
+		rep.GEff[i] = g
+		if part.ClassOf[k] == 0 && g >= required[i]*(1-1e-12) {
+			rep.States[i] = Guaranteed
+		} else {
+			rep.States[i] = Degraded
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,188 @@
+package gpsmath
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ebb"
+)
+
+func degradeServer() (Server, []float64) {
+	// RPPS over the paper's Set 1 rates at unit capacity: Σρ = 0.9,
+	// so every session is H_1 and guaranteed at full rate.
+	rhos := []float64{0.2, 0.25, 0.2, 0.25}
+	procs := make([]ebb.Process, len(rhos))
+	for i, r := range rhos {
+		procs[i] = ebb.Process{Rho: r, Lambda: 1, Alpha: 1.5}
+	}
+	srv := NewRPPSServer(1, procs, nil)
+	// Require exactly the nominal guaranteed share g_i = ρ_i/Σρ · r.
+	req := make([]float64, len(rhos))
+	for i, r := range rhos {
+		req[i] = r / 0.9
+	}
+	return srv, req
+}
+
+func TestClassifyFullRateAllGuaranteed(t *testing.T) {
+	srv, req := degradeServer()
+	rep, err := srv.ClassifyUnderRate(req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, d, inf := rep.Counts()
+	if g != 4 || d != 0 || inf != 0 {
+		t.Fatalf("at full rate: %d/%d/%d guaranteed/degraded/infeasible, states %v", g, d, inf, rep.States)
+	}
+	for i, geff := range rep.GEff {
+		if math.Abs(geff-req[i]) > 1e-12 {
+			t.Errorf("session %d: g_eff = %v, want %v", i, geff, req[i])
+		}
+	}
+}
+
+func TestClassifyModerateLossDegrades(t *testing.T) {
+	srv, req := degradeServer()
+	// 0.95 capacity still clears Σρ = 0.9 — nobody shed — but every
+	// g_eff scales by 0.95, below the nominal requirement.
+	rep, err := srv.ClassifyUnderRate(req, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, d, inf := rep.Counts()
+	if inf != 0 {
+		t.Fatalf("shed %v at rate 0.95 with sum rho 0.9", rep.Shed)
+	}
+	if g != 0 || d != 4 {
+		t.Errorf("want all degraded, got %d guaranteed / %d degraded (%v)", g, d, rep.States)
+	}
+}
+
+func TestClassifySheddingOrder(t *testing.T) {
+	srv, req := degradeServer()
+	// Rate 0.7 < Σρ = 0.9: must shed until the survivors' load clears
+	// 0.7. All ρ/φ are equal under RPPS, so ties shed the highest
+	// index first: session 3 (ρ 0.25) leaves Σρ = 0.65 < 0.7. One shed.
+	rep, err := srv.ClassifyUnderRate(req, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shed) != 1 || rep.Shed[0] != 3 {
+		t.Fatalf("shed = %v, want [3]", rep.Shed)
+	}
+	if rep.States[3] != Infeasible {
+		t.Errorf("session 3 state = %v", rep.States[3])
+	}
+	if rep.GEff[3] != 0 {
+		t.Errorf("shed session has g_eff = %v", rep.GEff[3])
+	}
+	// Survivors: none shed beyond 3, all stable.
+	for i := 0; i < 3; i++ {
+		if rep.States[i] == Infeasible {
+			t.Errorf("session %d wrongly shed", i)
+		}
+	}
+}
+
+func TestClassifyHeterogeneousShedsWorstRatioFirst(t *testing.T) {
+	procs := []ebb.Process{
+		{Rho: 0.3, Lambda: 1, Alpha: 1}, // φ 0.5 → ρ/φ = 0.6
+		{Rho: 0.4, Lambda: 1, Alpha: 1}, // φ 0.25 → ρ/φ = 1.6 (worst)
+		{Rho: 0.2, Lambda: 1, Alpha: 1}, // φ 0.25 → ρ/φ = 0.8
+	}
+	srv := Server{Rate: 1, Sessions: []Session{
+		{Name: "a", Phi: 0.5, Arrival: procs[0]},
+		{Name: "b", Phi: 0.25, Arrival: procs[1]},
+		{Name: "c", Phi: 0.25, Arrival: procs[2]},
+	}}
+	rep, err := srv.ClassifyUnderRate([]float64{0.3, 0.4, 0.2}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σρ = 0.9 >= 0.6: shed b (ρ/φ 1.6) → Σρ 0.5 < 0.6. Done.
+	if len(rep.Shed) != 1 || rep.Shed[0] != 1 {
+		t.Fatalf("shed = %v, want [1]", rep.Shed)
+	}
+	// Survivors a, c share rate 0.6 with φ 0.5/0.25: g = 0.4, 0.2.
+	if math.Abs(rep.GEff[0]-0.4) > 1e-12 || math.Abs(rep.GEff[2]-0.2) > 1e-12 {
+		t.Errorf("g_eff = %v", rep.GEff)
+	}
+	if rep.States[0] != Guaranteed {
+		t.Errorf("a: %v (g 0.4 >= req 0.3, in H_1)", rep.States[0])
+	}
+	// c sits exactly at g = ρ: zero slack fails the strict H_1 test of
+	// eq. (37), so its bound no longer converges — Degraded, not
+	// Guaranteed, even though g meets the nominal requirement.
+	if rep.States[2] != Degraded {
+		t.Errorf("c: %v, want degraded at zero slack", rep.States[2])
+	}
+}
+
+func TestClassifyTotalOutage(t *testing.T) {
+	srv, req := degradeServer()
+	rep, err := srv.ClassifyUnderRate(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, d, inf := rep.Counts()
+	if g != 0 || d != 0 || inf != 4 {
+		t.Errorf("total outage: %d/%d/%d, want all infeasible", g, d, inf)
+	}
+	if len(rep.Shed) != 4 {
+		t.Errorf("shed %d sessions, want 4", len(rep.Shed))
+	}
+}
+
+func TestClassifyMonotoneInRate(t *testing.T) {
+	srv, req := degradeServer()
+	prevInf := -1
+	for _, rate := range []float64{1, 0.95, 0.8, 0.6, 0.4, 0.2, 0} {
+		rep, err := srv.ClassifyUnderRate(req, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, inf := rep.Counts()
+		if prevInf >= 0 && inf < prevInf {
+			t.Errorf("rate %v: infeasible count %d dropped below %d at a higher rate", rate, inf, prevInf)
+		}
+		prevInf = inf
+		// Survivors' load must always clear the degraded rate.
+		sum := 0.0
+		for i, st := range rep.States {
+			if st != Infeasible {
+				sum += srv.Sessions[i].Arrival.Rho
+			}
+		}
+		if rate > 0 && sum >= rate {
+			t.Errorf("rate %v: survivor load %v not below rate", rate, sum)
+		}
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	srv, req := degradeServer()
+	for _, rate := range []float64{math.NaN(), math.Inf(1), -0.1} {
+		if _, err := srv.ClassifyUnderRate(req, rate); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("rate %v: err = %v, want ErrInvalidInput", rate, err)
+		}
+	}
+	if _, err := srv.ClassifyUnderRate(req[:2], 1); !errors.Is(err, ErrInvalidInput) {
+		t.Error("length mismatch accepted")
+	}
+	bad := append([]float64(nil), req...)
+	bad[1] = math.NaN()
+	if _, err := srv.ClassifyUnderRate(bad, 1); !errors.Is(err, ErrInvalidInput) {
+		t.Error("NaN requirement accepted")
+	}
+}
+
+func TestSessionStateString(t *testing.T) {
+	for st, want := range map[SessionState]string{
+		Guaranteed: "guaranteed", Degraded: "degraded", Infeasible: "infeasible",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", int(st), st)
+		}
+	}
+}

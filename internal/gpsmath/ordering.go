@@ -3,6 +3,7 @@ package gpsmath
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -40,8 +41,9 @@ func (e EpsilonSplit) String() string {
 // (using slightly less than the full slack keeps strict inequalities
 // strict in the presence of rounding).
 func (s Server) DecomposedRates(split EpsilonSplit, frac float64) ([]float64, error) {
-	if frac <= 0 || frac > 1 {
-		return nil, fmt.Errorf("gpsmath: slack fraction = %v, want in (0,1]", frac)
+	// The negated form catches NaN, which satisfies neither comparison.
+	if !(frac > 0 && frac <= 1) {
+		return nil, fmt.Errorf("%w: slack fraction = %v, want in (0,1]", ErrInvalidInput, frac)
 	}
 	slack := s.Slack() * frac
 	if slack <= 0 {
@@ -86,7 +88,14 @@ var ErrNoFeasibleOrdering = errors.New("gpsmath: no feasible ordering exists")
 func (s Server) FeasibleOrdering(rates []float64) ([]int, error) {
 	n := len(s.Sessions)
 	if len(rates) != n {
-		return nil, fmt.Errorf("gpsmath: %d rates for %d sessions", len(rates), n)
+		return nil, fmt.Errorf("%w: %d rates for %d sessions", ErrInvalidInput, len(rates), n)
+	}
+	for i, r := range rates {
+		// NaN would both scramble the sort and slip past the eq. (5)
+		// check below (every comparison with NaN is false).
+		if !(r > 0) || math.IsInf(r, 1) || math.IsNaN(r) {
+			return nil, fmt.Errorf("%w: rate[%d] = %v, want positive finite", ErrInvalidInput, i, r)
+		}
 	}
 	idx := make([]int, n)
 	for i := range idx {

@@ -45,6 +45,9 @@ func (s Server) classGeometry(p Partition, i int) classGeometry {
 // no independence assumption. An error is returned for sessions outside
 // H_1.
 func (s Server) Theorem10(p Partition, i int) (numeric.ExpTail, error) {
+	if i < 0 || i >= len(s.Sessions) || i >= len(p.ClassOf) {
+		return numeric.ExpTail{}, fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(s.Sessions))
+	}
 	if p.ClassOf[i] != 0 {
 		return numeric.ExpTail{}, fmt.Errorf("gpsmath: session %d is in class H_%d, Theorem 10 needs H_1", i, p.ClassOf[i]+1)
 	}
@@ -79,6 +82,9 @@ func (s Server) classAggregates(p Partition, c int) (members [][]ebb.Process, rh
 // feasible ordering (k = class index + 1). Arrival processes must be
 // independent. With ξ = 1 the prefactor reproduces eq. (54) exactly.
 func (s Server) Theorem11(p Partition, i int, mode XiMode) (*SessionBounds, error) {
+	if i < 0 || i >= len(s.Sessions) || i >= len(p.ClassOf) {
+		return nil, fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(s.Sessions))
+	}
 	geo := s.classGeometry(p, i)
 	if geo.epsBudget <= 0 {
 		return nil, fmt.Errorf("gpsmath: session %d has no rate slack in its class (gEff = %v, rho = %v)", i, geo.gEff, s.Sessions[i].Arrival.Rho)
@@ -129,6 +135,9 @@ func (s Server) Theorem11(p Partition, i int, mode XiMode) (*SessionBounds, erro
 // Theorem8, the exact Hölder powers are kept on the denominators, which
 // is never looser than the paper's eq. (59).
 func (s Server) Theorem12(p Partition, i int, ps []float64, mode XiMode) (*SessionBounds, error) {
+	if i < 0 || i >= len(s.Sessions) || i >= len(p.ClassOf) {
+		return nil, fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(s.Sessions))
+	}
 	geo := s.classGeometry(p, i)
 	if geo.epsBudget <= 0 {
 		return nil, fmt.Errorf("gpsmath: session %d has no rate slack in its class", i)
@@ -147,13 +156,15 @@ func (s Server) Theorem12(p Partition, i int, ps []float64, mode XiMode) (*Sessi
 	}
 	sum := 0.0
 	for _, v := range ps {
-		if v < 1-1e-12 {
-			return nil, fmt.Errorf("gpsmath: Hölder exponent %v, want >= 1", v)
+		// Negated form: NaN fails every comparison, so `v < 1-1e-12`
+		// alone would wave a NaN exponent through.
+		if !(v >= 1-1e-12) || math.IsInf(v, 1) {
+			return nil, fmt.Errorf("%w: Hölder exponent %v, want finite >= 1", ErrInvalidInput, v)
 		}
 		sum += 1 / v
 	}
-	if math.Abs(sum-1) > 1e-9 {
-		return nil, fmt.Errorf("gpsmath: Hölder exponents sum of reciprocals = %v, want 1", sum)
+	if !(math.Abs(sum-1) <= 1e-9) {
+		return nil, fmt.Errorf("%w: Hölder exponents sum of reciprocals = %v, want 1", ErrInvalidInput, sum)
 	}
 
 	epsI := geo.epsBudget / float64(k)

@@ -51,7 +51,7 @@ var ErrOverloaded = errors.New("gpsmath: sum of session rates must be less than 
 // analysis: positive rate and weights, valid E.B.B. triples, Σρ < r.
 func (s Server) Validate() error {
 	if !(s.Rate > 0) || math.IsInf(s.Rate, 1) || math.IsNaN(s.Rate) {
-		return fmt.Errorf("gpsmath: server rate = %v, want positive finite", s.Rate)
+		return fmt.Errorf("%w: server rate = %v, want positive finite", ErrInvalidInput, s.Rate)
 	}
 	if len(s.Sessions) == 0 {
 		return errors.New("gpsmath: server has no sessions")
@@ -59,7 +59,7 @@ func (s Server) Validate() error {
 	sum := 0.0
 	for i, sess := range s.Sessions {
 		if !(sess.Phi > 0) || math.IsInf(sess.Phi, 1) || math.IsNaN(sess.Phi) {
-			return fmt.Errorf("gpsmath: session %d (%s): phi = %v, want positive finite", i, sess.Name, sess.Phi)
+			return fmt.Errorf("%w: session %d (%s): phi = %v, want positive finite", ErrInvalidInput, i, sess.Name, sess.Phi)
 		}
 		if err := sess.Arrival.Validate(); err != nil {
 			return fmt.Errorf("gpsmath: session %d (%s): %w", i, sess.Name, err)

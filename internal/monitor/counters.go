@@ -1,0 +1,94 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FaultCounters aggregates the observability signals of a fault-injected
+// run: how many faults fired, how many statistical-bound exceedances
+// were observed while they were active, and how many shed/downgrade
+// decisions the degradation machinery emitted. The zero value is not
+// usable; build with NewFaultCounters. All methods are safe for
+// concurrent use, so simulator callbacks can feed one shared instance.
+type FaultCounters struct {
+	mu         sync.Mutex
+	faults     map[string]int
+	violations int
+	decisions  int
+}
+
+// NewFaultCounters returns an empty counter set.
+func NewFaultCounters() *FaultCounters {
+	return &FaultCounters{faults: make(map[string]int)}
+}
+
+// Fault records one injected fault of the given class label.
+func (c *FaultCounters) Fault(class string) {
+	c.mu.Lock()
+	c.faults[class]++
+	c.mu.Unlock()
+}
+
+// Violation records one observed bound exceedance (a delay or backlog
+// sample beyond the level the nominal analysis promised) during a
+// faulted run. A fault-injection harness must increment this for every
+// exceedance it sees — an exceedance without a matching increment is a
+// silent violation, which the robustness contract forbids.
+func (c *FaultCounters) Violation() {
+	c.mu.Lock()
+	c.violations++
+	c.mu.Unlock()
+}
+
+// Decision records n shed/downgrade decisions emitted by a degradation
+// re-evaluation.
+func (c *FaultCounters) Decision(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.decisions += n
+	c.mu.Unlock()
+}
+
+// FaultSnapshot is a point-in-time copy of the counters.
+type FaultSnapshot struct {
+	Faults     map[string]int // injected faults by class label
+	Total      int            // Σ Faults
+	Violations int            // bound exceedances observed under faults
+	Decisions  int            // shed/downgrade decisions emitted
+}
+
+// Snapshot returns a copy safe to read while observation continues.
+func (c *FaultCounters) Snapshot() FaultSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := FaultSnapshot{Faults: make(map[string]int, len(c.faults)),
+		Violations: c.violations, Decisions: c.decisions}
+	for k, v := range c.faults {
+		s.Faults[k] = v
+		s.Total += v
+	}
+	return s
+}
+
+// String renders the snapshot with fault classes in sorted order so the
+// output is deterministic across runs.
+func (s FaultSnapshot) String() string {
+	classes := make([]string, 0, len(s.Faults))
+	for k := range s.Faults {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults injected: %d", s.Total)
+	for _, k := range classes {
+		fmt.Fprintf(&b, " [%s %d]", k, s.Faults[k])
+	}
+	fmt.Fprintf(&b, "; bound violations under faults: %d; degradation decisions: %d",
+		s.Violations, s.Decisions)
+	return b.String()
+}

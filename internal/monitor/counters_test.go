@@ -1,0 +1,55 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFaultCounters(t *testing.T) {
+	c := NewFaultCounters()
+	c.Fault("outage")
+	c.Fault("outage")
+	c.Fault("degrade")
+	c.Violation()
+	c.Decision(3)
+	c.Decision(0)  // no-op
+	c.Decision(-2) // no-op
+	s := c.Snapshot()
+	if s.Total != 3 || s.Faults["outage"] != 2 || s.Faults["degrade"] != 1 {
+		t.Errorf("snapshot faults = %+v", s)
+	}
+	if s.Violations != 1 || s.Decisions != 3 {
+		t.Errorf("violations %d, decisions %d", s.Violations, s.Decisions)
+	}
+	want := "faults injected: 3 [degrade 1] [outage 2]; bound violations under faults: 1; degradation decisions: 3"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// Snapshot is a copy: mutating it must not touch the live counters.
+	s.Faults["outage"] = 99
+	if c.Snapshot().Faults["outage"] != 2 {
+		t.Error("snapshot aliases live map")
+	}
+}
+
+func TestFaultCountersConcurrent(t *testing.T) {
+	c := NewFaultCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Fault("flap")
+				c.Violation()
+				c.Decision(1)
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Total != 800 || s.Violations != 800 || s.Decisions != 800 {
+		t.Errorf("after concurrent feed: %+v", s)
+	}
+}

@@ -73,7 +73,7 @@ func TestConformingSourcePasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	char, err := src.Markov().EBBPaper(0.25)
+	char, err := src.EBBPaper(0.25)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzRates and fuzzPhis deliberately include the whole rogues' gallery:
+// zero, negative, NaN and infinite values that a malformed config could
+// carry.
+var (
+	fuzzRates = []float64{1, 0.5, 2, 0, -1, math.NaN(), math.Inf(1)}
+	fuzzPhis  = []float64{1, 0.3, 2, 0, -0.5, math.NaN(), math.Inf(1)}
+)
+
+// FuzzNew decodes arbitrary network configurations — malformed routes,
+// Phi/Route length mismatches, out-of-range and repeated node indices,
+// non-finite rates — and requires that New either rejects the config
+// with an error or returns a simulator that runs with conservation
+// intact. It must never panic and never accept a config it cannot run.
+func FuzzNew(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 1, 2, 0, 1, 0, 0, 16, 16, 16, 16})    // valid 2-node tandem
+	f.Add([]byte{1, 0, 1, 1, 9, 0})                             // out-of-range node index
+	f.Add([]byte{1, 0, 1, 3, 0, 0, 0})                          // phi/route length mismatch
+	f.Add([]byte{3, 3, 4, 1, 2, 0, 0, 200, 1, 1, 255, 0, 7, 9}) // junk soup
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+
+		nNodes := int(next()) % 4 // 0..3: zero nodes is a config error
+		nodes := make([]Node, nNodes)
+		for m := range nodes {
+			nodes[m] = Node{Name: "n", Rate: fuzzRates[int(next())%len(fuzzRates)]}
+		}
+		nSess := int(next()) % 4
+		sessions := make([]SessionSpec, nSess)
+		for i := range sessions {
+			routeLen := int(next()) % 4 // 0 hops is a config error
+			route := make([]int, routeLen)
+			for k := range route {
+				// -2 .. 5: below, inside, and above the node range, with
+				// repeats likely.
+				route[k] = int(next())%8 - 2
+			}
+			phiLen := routeLen
+			if next()%4 == 0 { // sometimes force a length mismatch
+				phiLen = int(next()) % 5
+			}
+			phi := make([]float64, phiLen)
+			for k := range phi {
+				phi[k] = fuzzPhis[int(next())%len(fuzzPhis)]
+			}
+			sessions[i] = SessionSpec{Name: "s", Route: route, Phi: phi}
+		}
+
+		sim, err := New(Config{Nodes: nodes, Sessions: sessions})
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		// Accepted: the simulator must actually run and conserve fluid.
+		arr := make([]float64, nSess)
+		for step := 0; step < 8; step++ {
+			for i := range arr {
+				arr[i] = float64(next()) / 32 // up to 8 units/slot
+			}
+			if err := sim.Step(arr); err != nil {
+				t.Fatalf("accepted config failed at slot %d: %v", step, err)
+			}
+			for i := 0; i < nSess; i++ {
+				inside := sim.NetworkBacklog(i)
+				if inside < 0 || math.IsNaN(inside) {
+					t.Fatalf("session %d: backlog %v", i, inside)
+				}
+				diff := sim.EntryCum(i) - sim.ExitCum(i) - inside
+				if math.Abs(diff) > 1e-6*(1+sim.EntryCum(i)) {
+					t.Fatalf("session %d: conservation broken by %v", i, diff)
+				}
+			}
+		}
+	})
+}

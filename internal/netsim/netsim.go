@@ -9,6 +9,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/fluid"
 )
@@ -36,6 +37,10 @@ type DelayFunc func(session, entrySlot int, delay float64)
 // exact (sub-slot) delay at that node.
 type HopDelayFunc func(session, hop, entrySlot int, delay float64)
 
+// DropFunc receives external traffic suppressed by session churn: the
+// session, the slot and the dropped volume.
+type DropFunc func(session, slot int, volume float64)
+
 // Config describes the network.
 type Config struct {
 	Nodes    []Node
@@ -47,6 +52,23 @@ type Config struct {
 	// exact per-hop queueing delay (used to validate per-hop CRST
 	// bounds).
 	OnHopDelay HopDelayFunc
+
+	// The remaining hooks plug a fault schedule into the simulation (see
+	// internal/faults, whose Injector methods match these signatures).
+	// All of them are optional; nil means "no faults".
+
+	// NodeRateScale scales node m's rate for one slot: effective rate =
+	// Rate · scale. Scales <= 0 stall the node (transient outage).
+	NodeRateScale func(node, slot int) float64
+	// SessionActive gates external arrivals: while it reports false the
+	// session's fresh traffic is dropped at the ingress (session churn);
+	// fluid already inside the network keeps draining.
+	SessionActive func(session, slot int) bool
+	// ForwardDelay returns extra whole slots fluid departing toward the
+	// given hop is held in transit (delayed forwarding).
+	ForwardDelay func(session, hop, slot int) int
+	// OnDrop, if set, observes traffic suppressed by SessionActive.
+	OnDrop DropFunc
 }
 
 type batch struct {
@@ -69,6 +91,9 @@ type Sim struct {
 	// inTransit[i][k] is fluid of session i departed hop k last slot,
 	// to be injected at hop k+1 (or counted as exited for the last hop).
 	inTransit [][]float64
+	// held[i] queues fluid delayed in transit by the ForwardDelay hook
+	// until its release slot (empty when the hook is nil).
+	held [][]heldBatch
 	// prevCumS[i][k]: session i's cumulative service at hop k's node as
 	// of the previous slot boundary.
 	prevCumS [][]float64
@@ -83,6 +108,13 @@ type sessionHop struct {
 	hop     int
 }
 
+// heldBatch is fluid delayed between hops by the ForwardDelay hook.
+type heldBatch struct {
+	hop     int     // destination hop
+	release int     // first slot the fluid may enter the hop
+	vol     float64 // volume
+}
+
 // New validates the configuration and builds the simulator.
 func New(cfg Config) (*Sim, error) {
 	if len(cfg.Nodes) == 0 {
@@ -92,8 +124,8 @@ func New(cfg Config) (*Sim, error) {
 		return nil, errors.New("netsim: no sessions")
 	}
 	for m, n := range cfg.Nodes {
-		if !(n.Rate > 0) {
-			return nil, fmt.Errorf("netsim: node %d (%s) rate = %v, want positive", m, n.Name, n.Rate)
+		if !(n.Rate > 0) || math.IsInf(n.Rate, 1) {
+			return nil, fmt.Errorf("netsim: node %d (%s) rate = %v, want positive finite", m, n.Name, n.Rate)
 		}
 	}
 	nNodes := len(cfg.Nodes)
@@ -127,14 +159,17 @@ func New(cfg Config) (*Sim, error) {
 				return nil, fmt.Errorf("netsim: session %d (%s) visits node %d twice", i, spec.Name, m)
 			}
 			seen[m] = true
-			if !(spec.Phi[k] > 0) {
-				return nil, fmt.Errorf("netsim: session %d (%s): phi[%d] = %v, want positive", i, spec.Name, k, spec.Phi[k])
+			if !(spec.Phi[k] > 0) || math.IsInf(spec.Phi[k], 1) {
+				return nil, fmt.Errorf("netsim: session %d (%s): phi[%d] = %v, want positive finite", i, spec.Name, k, spec.Phi[k])
 			}
 			s.local[m*nSess+i] = len(s.present[m])
 			s.present[m] = append(s.present[m], sessionHop{session: i, hop: k})
 		}
 		s.inTransit[i] = make([]float64, len(spec.Route))
 		s.prevCumS[i] = make([]float64, len(spec.Route))
+	}
+	if cfg.ForwardDelay != nil {
+		s.held = make([][]heldBatch, nSess)
 	}
 	s.sims = make([]*fluid.Sim, nNodes)
 	for m := range cfg.Nodes {
@@ -153,6 +188,16 @@ func New(cfg Config) (*Sim, error) {
 			phi[li] = cfg.Sessions[sh.session].Phi[sh.hop]
 		}
 		nodeCfg := fluid.Config{Rate: cfg.Nodes[m].Rate, Phi: phi}
+		if cfg.NodeRateScale != nil {
+			node, rate := m, cfg.Nodes[m].Rate
+			nodeCfg.RateFunc = func(slot int) float64 {
+				scale := cfg.NodeRateScale(node, slot)
+				if !(scale > 0) {
+					return 0
+				}
+				return rate * scale
+			}
+		}
 		if cfg.OnHopDelay != nil {
 			present := s.present[m] // capture this node's session list
 			nodeCfg.OnDelay = func(local, slot int, d float64) {
@@ -182,9 +227,21 @@ func (s *Sim) Step(external []float64) error {
 	if len(external) != nSess {
 		return fmt.Errorf("netsim: %d external arrivals for %d sessions", len(external), nSess)
 	}
+	gated := external
 	for i, a := range external {
 		if a < 0 {
 			return fmt.Errorf("netsim: external[%d] = %v", i, a)
+		}
+		if a > 0 && s.cfg.SessionActive != nil && !s.cfg.SessionActive(i, s.slot) {
+			// Session churned out: its fresh traffic never enters.
+			if s.cfg.OnDrop != nil {
+				s.cfg.OnDrop(i, s.slot, a)
+			}
+			if &gated[0] == &external[0] {
+				gated = append([]float64(nil), external...)
+			}
+			gated[i] = 0
+			continue
 		}
 		if a > 0 {
 			s.entryCum[i] += a
@@ -192,6 +249,20 @@ func (s *Sim) Step(external []float64) error {
 				s.pending[i] = append(s.pending[i], batch{level: s.entryCum[i], slot: s.slot})
 			}
 		}
+	}
+
+	// Release fluid whose forwarding delay has elapsed into inTransit so
+	// the per-node arrival assembly below sees it.
+	for i := range s.held {
+		kept := s.held[i][:0]
+		for _, hb := range s.held[i] {
+			if hb.release <= s.slot {
+				s.inTransit[i][hb.hop] += hb.vol
+			} else {
+				kept = append(kept, hb)
+			}
+		}
+		s.held[i] = kept
 	}
 
 	// Serve each node with this slot's arrivals: external traffic at hop
@@ -207,7 +278,7 @@ func (s *Sim) Step(external []float64) error {
 		arr := make([]float64, len(s.present[m]))
 		for li, sh := range s.present[m] {
 			if sh.hop == 0 {
-				arr[li] = external[sh.session]
+				arr[li] = gated[sh.session]
 			} else {
 				arr[li] = s.inTransit[sh.session][sh.hop]
 				s.inTransit[sh.session][sh.hop] = 0
@@ -225,10 +296,18 @@ func (s *Sim) Step(external []float64) error {
 			cum := s.sims[m].CumService(li)
 			dep := cum - s.prevCumS[i][k]
 			s.prevCumS[i][k] = cum
-			if k+1 < len(spec.Route) {
-				s.inTransit[i][k+1] += dep
-			} else {
+			switch {
+			case k+1 >= len(spec.Route):
 				s.exitCum[i] += dep
+			case s.cfg.ForwardDelay != nil && dep > 0:
+				extra := s.cfg.ForwardDelay(i, k+1, s.slot)
+				if extra <= 0 {
+					s.inTransit[i][k+1] += dep
+				} else {
+					s.held[i] = append(s.held[i], heldBatch{hop: k + 1, release: s.slot + 1 + extra, vol: dep})
+				}
+			default:
+				s.inTransit[i][k+1] += dep
 			}
 		}
 	}
@@ -296,6 +375,11 @@ func (s *Sim) NetworkBacklog(i int) float64 {
 	}
 	for _, v := range s.inTransit[i] {
 		total += v
+	}
+	if s.held != nil {
+		for _, hb := range s.held[i] {
+			total += hb.vol
+		}
 	}
 	return total
 }

@@ -322,7 +322,7 @@ func TestPerHopCRSTBoundsHold(t *testing.T) {
 // mustEBB characterizes an on-off source analytically at the given rho.
 func mustEBB(t *testing.T, s *source.OnOff, rho float64) ebb.Process {
 	t.Helper()
-	p, err := s.Markov().EBBPaper(rho)
+	p, err := s.EBBPaper(rho)
 	if err != nil {
 		t.Fatal(err)
 	}

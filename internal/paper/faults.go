@@ -1,0 +1,86 @@
+package paper
+
+import (
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// FaultRun is the outcome of rerunning the §6.3 tree under a fault
+// schedule.
+type FaultRun struct {
+	// Tails holds per-session end-to-end delay samples observed while
+	// the schedule was active.
+	Tails []*stats.Tail
+	// Dropped is the per-session volume discarded at the ingress while
+	// the session was churned out by a SessionLeave fault.
+	Dropped []float64
+}
+
+// FaultTreeSim is TreeSim with a fault injector wired into the slotted
+// simulator: node capacities scale (or vanish) per the schedule,
+// churned sessions have their arrivals dropped at the ingress, and
+// delayed-forwarding faults hold fluid between hops. onDelay, when
+// non-nil, additionally observes every end-to-end delay sample so the
+// caller can count exceedances of the nominal bounds; the same seed and
+// schedule reproduce the identical sample stream.
+func FaultTreeSim(rhos []float64, slots int, seed uint64, inj *faults.Injector, onDelay func(sess, slot int, d float64)) (FaultRun, error) {
+	srcs, err := Sources(seed)
+	if err != nil {
+		return FaultRun{}, err
+	}
+	run := FaultRun{
+		Tails:   make([]*stats.Tail, len(Table1)),
+		Dropped: make([]float64, len(Table1)),
+	}
+	for i := range run.Tails {
+		run.Tails[i] = &stats.Tail{}
+	}
+	sessions := make([]netsim.SessionSpec, len(Table1))
+	for i := range Table1 {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		sessions[i] = netsim.SessionSpec{
+			Name:  SessionNames[i],
+			Route: []int{first, 2},
+			Phi:   []float64{rhos[i], rhos[i]},
+		}
+	}
+	sim, err := netsim.New(netsim.Config{
+		Nodes: []netsim.Node{
+			{Name: "node1", Rate: 1},
+			{Name: "node2", Rate: 1},
+			{Name: "node3", Rate: 1},
+		},
+		Sessions: sessions,
+		OnDelay: func(sess, slot int, d float64) {
+			run.Tails[sess].Add(d)
+			if onDelay != nil {
+				onDelay(sess, slot, d)
+			}
+		},
+		NodeRateScale: inj.NodeRateScale,
+		SessionActive: inj.SessionActive,
+		ForwardDelay:  inj.ForwardDelay,
+		OnDrop: func(sess, slot int, v float64) {
+			run.Dropped[sess] += v
+		},
+	})
+	if err != nil {
+		return FaultRun{}, err
+	}
+	if err := sim.Run(slots, func(i int) float64 { return srcs[i].Next() }); err != nil {
+		return FaultRun{}, err
+	}
+	return run, nil
+}
+
+// TreeNodeSessions lists, per Figure 2 node, the sessions that traverse
+// it: sessions 1-2 enter at node 1, sessions 3-4 at node 2, and all
+// four share node 3. Degradation analyses use it to re-evaluate each
+// node's feasible partition against its faulted capacity.
+func TreeNodeSessions() [][]int {
+	return [][]int{{0, 1}, {2, 3}, {0, 1, 2, 3}}
+}

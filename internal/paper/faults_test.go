@@ -1,0 +1,111 @@
+package paper
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// A schedule with no events must leave the simulation bit-identical to
+// the plain TreeSim path: the fault hooks are pass-through when idle.
+func TestFaultTreeSimNeutralMatchesTreeSim(t *testing.T) {
+	inj, err := faults.FromEvents(3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := FaultTreeSim(Set1Rho, 20000, 42, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := TreeSim(Set1Rho, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if run.Tails[i].N() != plain[i].N() {
+			t.Errorf("session %d: %d samples under neutral faults, %d plain",
+				i, run.Tails[i].N(), plain[i].N())
+			continue
+		}
+		qf, err1 := run.Tails[i].Quantile(0.99)
+		qp, err2 := plain[i].Quantile(0.99)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if qf != qp {
+			t.Errorf("session %d: p99 %v under neutral faults, %v plain", i, qf, qp)
+		}
+		if run.Dropped[i] != 0 {
+			t.Errorf("session %d: dropped %v with no churn", i, run.Dropped[i])
+		}
+	}
+}
+
+// Same seeds, same schedule: the faulted rerun is fully deterministic.
+func TestFaultTreeSimDeterministic(t *testing.T) {
+	mk := func() FaultRun {
+		t.Helper()
+		inj, err := faults.New(faults.Config{
+			Seed: 3, Horizon: 20000, Nodes: 3, Sessions: 4,
+			Degrade: faults.ClassParams{Count: 3},
+			Outage:  faults.ClassParams{Count: 1, MaxDuration: 200},
+			Churn:   faults.ClassParams{Count: 2},
+			Delay:   faults.ClassParams{Count: 2, MaxExtra: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := FaultTreeSim(Set1Rho, 20000, 42, inj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	a, b := mk(), mk()
+	for i := range a.Tails {
+		if a.Tails[i].N() != b.Tails[i].N() || a.Dropped[i] != b.Dropped[i] {
+			t.Errorf("session %d: run A (%d samples, %v dropped) != run B (%d, %v)",
+				i, a.Tails[i].N(), a.Dropped[i], b.Tails[i].N(), b.Dropped[i])
+		}
+	}
+}
+
+// An outage at the shared node must visibly stretch delays relative to
+// the healthy run — the injection has to actually bite.
+func TestFaultTreeSimOutageStretchesDelay(t *testing.T) {
+	inj, err := faults.FromEvents(3, 4, []faults.Event{
+		{Class: faults.Outage, Node: 2, Start: 5000, Duration: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := FaultTreeSim(Set1Rho, 20000, 42, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := TreeSim(Set1Rho, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretched := false
+	for i := range plain {
+		mf, err1 := run.Tails[i].Quantile(0.999)
+		mp, err2 := plain[i].Quantile(0.999)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if mf > mp+100 { // a 300-slot stall must show up at the tail
+			stretched = true
+		}
+	}
+	if !stretched {
+		t.Error("300-slot outage at the shared node left every p99.9 within 100 slots of healthy")
+	}
+}
+
+func TestTreeNodeSessions(t *testing.T) {
+	ns := TreeNodeSessions()
+	if len(ns) != 3 || len(ns[0]) != 2 || len(ns[1]) != 2 || len(ns[2]) != 4 {
+		t.Fatalf("TreeNodeSessions() = %v", ns)
+	}
+}

@@ -61,7 +61,11 @@ func Models() ([]*source.MarkovFluid, error) {
 		if err != nil {
 			return nil, fmt.Errorf("paper: source %d: %w", i+1, err)
 		}
-		out[i] = s.Markov()
+		m, err := s.Markov()
+		if err != nil {
+			return nil, fmt.Errorf("paper: source %d: %w", i+1, err)
+		}
+		out[i] = m
 	}
 	return out, nil
 }

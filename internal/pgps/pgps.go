@@ -26,12 +26,17 @@ type Packet struct {
 	Arrival float64
 }
 
+// ErrUnknownSession is returned when a packet references a session index
+// outside the scheduler's configured weight table.
+var ErrUnknownSession = errors.New("pgps: unknown session")
+
 // Scheduler is a work-conserving packet scheduler: packets go in with
 // Enqueue; Dequeue picks the next packet to transmit.
 type Scheduler interface {
 	// Enqueue hands the scheduler a packet at (virtual wall-clock) time
-	// now >= p.Arrival.
-	Enqueue(p Packet, now float64)
+	// now >= p.Arrival. It returns ErrUnknownSession (wrapped) when the
+	// packet's session index is out of range for the scheduler.
+	Enqueue(p Packet, now float64) error
 	// Dequeue returns the next packet to serve, or false when empty.
 	Dequeue(now float64) (Packet, bool)
 	// Len reports queued packets.
@@ -48,8 +53,15 @@ type FCFS struct {
 // NewFCFS builds an empty FCFS queue.
 func NewFCFS() *FCFS { return &FCFS{} }
 
-// Enqueue implements Scheduler.
-func (f *FCFS) Enqueue(p Packet, now float64) { f.q = append(f.q, p) }
+// Enqueue implements Scheduler. FCFS keeps no per-session state, so any
+// nonnegative session index is accepted.
+func (f *FCFS) Enqueue(p Packet, now float64) error {
+	if p.Session < 0 {
+		return fmt.Errorf("%w: session %d", ErrUnknownSession, p.Session)
+	}
+	f.q = append(f.q, p)
+	return nil
+}
 
 // Dequeue implements Scheduler.
 func (f *FCFS) Dequeue(now float64) (Packet, bool) {
@@ -160,9 +172,9 @@ func (w *WFQ) advance(now float64) {
 }
 
 // Enqueue implements Scheduler: stamp and insert.
-func (w *WFQ) Enqueue(p Packet, now float64) {
+func (w *WFQ) Enqueue(p Packet, now float64) error {
 	if p.Session < 0 || p.Session >= len(w.phi) {
-		panic(fmt.Sprintf("pgps: packet for unknown session %d", p.Session))
+		return fmt.Errorf("%w: session %d of %d", ErrUnknownSession, p.Session, len(w.phi))
 	}
 	w.advance(now)
 	start := w.v
@@ -173,6 +185,7 @@ func (w *WFQ) Enqueue(p Packet, now float64) {
 	w.lastFinish[p.Session] = finish
 	heap.Push(&w.heap, wfqItem{pkt: p, finish: finish, seq: w.seq})
 	w.seq++
+	return nil
 }
 
 // Dequeue implements Scheduler.
@@ -225,12 +238,16 @@ func NewDRR(quantum []float64) (*DRR, error) {
 }
 
 // Enqueue implements Scheduler.
-func (d *DRR) Enqueue(p Packet, now float64) {
+func (d *DRR) Enqueue(p Packet, now float64) error {
+	if p.Session < 0 || p.Session >= len(d.queues) {
+		return fmt.Errorf("%w: session %d of %d", ErrUnknownSession, p.Session, len(d.queues))
+	}
 	if len(d.queues[p.Session]) == 0 {
 		d.active = append(d.active, p.Session)
 	}
 	d.queues[p.Session] = append(d.queues[p.Session], p)
 	d.size++
+	return nil
 }
 
 // Dequeue implements Scheduler.
@@ -314,7 +331,9 @@ func Simulate(rate float64, sched Scheduler, packets []Packet) ([]Completion, er
 			}
 		}
 		for next < len(arr) && arr[next].Arrival <= now+1e-15 {
-			sched.Enqueue(arr[next], math.Max(now, arr[next].Arrival))
+			if err := sched.Enqueue(arr[next], math.Max(now, arr[next].Arrival)); err != nil {
+				return nil, err
+			}
 			next++
 		}
 		p, ok := sched.Dequeue(now)
@@ -327,7 +346,9 @@ func Simulate(rate float64, sched Scheduler, packets []Packet) ([]Completion, er
 		// Arrivals during transmission join before the next decision.
 		now = finish
 		for next < len(arr) && arr[next].Arrival <= now+1e-15 {
-			sched.Enqueue(arr[next], arr[next].Arrival)
+			if err := sched.Enqueue(arr[next], arr[next].Arrival); err != nil {
+				return nil, err
+			}
 			next++
 		}
 	}

@@ -1,6 +1,7 @@
 package pgps
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -349,12 +350,39 @@ func TestWFQIdleReset(t *testing.T) {
 	}
 }
 
-func TestWFQEnqueueUnknownSessionPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unknown session")
-		}
-	}()
+func TestWFQEnqueueUnknownSession(t *testing.T) {
 	w, _ := NewWFQ(1, []float64{1})
-	w.Enqueue(Packet{Session: 5, Size: 1}, 0)
+	if err := w.Enqueue(Packet{Session: 5, Size: 1}, 0); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Enqueue(session 5) = %v, want ErrUnknownSession", err)
+	}
+	if err := w.Enqueue(Packet{Session: 0, Size: 1}, 0); err != nil {
+		t.Errorf("Enqueue(session 0) = %v, want nil", err)
+	}
+}
+
+func TestDRREnqueueUnknownSession(t *testing.T) {
+	d, _ := NewDRR([]float64{1, 1})
+	if err := d.Enqueue(Packet{Session: -1, Size: 1}, 0); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Enqueue(session -1) = %v, want ErrUnknownSession", err)
+	}
+	if err := d.Enqueue(Packet{Session: 2, Size: 1}, 0); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Enqueue(session 2) = %v, want ErrUnknownSession", err)
+	}
+}
+
+func TestFCFSEnqueueNegativeSession(t *testing.T) {
+	f := NewFCFS()
+	if err := f.Enqueue(Packet{Session: -3, Size: 1}, 0); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Enqueue(session -3) = %v, want ErrUnknownSession", err)
+	}
+}
+
+// Simulate must propagate the scheduler's typed error instead of
+// panicking mid-run.
+func TestSimulatePropagatesUnknownSession(t *testing.T) {
+	w, _ := NewWFQ(1, []float64{1})
+	_, err := Simulate(1, w, []Packet{{Session: 7, Size: 1, Arrival: 0}})
+	if !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Simulate = %v, want ErrUnknownSession", err)
+	}
 }

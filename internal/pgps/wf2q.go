@@ -78,9 +78,9 @@ func (w *WF2Q) advance(now float64) {
 }
 
 // Enqueue implements Scheduler.
-func (w *WF2Q) Enqueue(p Packet, now float64) {
+func (w *WF2Q) Enqueue(p Packet, now float64) error {
 	if p.Session < 0 || p.Session >= len(w.phi) {
-		panic(fmt.Sprintf("pgps: packet for unknown session %d", p.Session))
+		return fmt.Errorf("%w: session %d of %d", ErrUnknownSession, p.Session, len(w.phi))
 	}
 	w.advance(now)
 	start := w.v
@@ -91,6 +91,7 @@ func (w *WF2Q) Enqueue(p Packet, now float64) {
 	w.lastFinish[p.Session] = finish
 	w.items = append(w.items, wf2qItem{pkt: p, start: start, finish: finish, seq: w.seq})
 	w.seq++
+	return nil
 }
 
 // Dequeue implements Scheduler: among eligible packets (virtual start <=

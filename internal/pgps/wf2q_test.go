@@ -1,6 +1,7 @@
 package pgps
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -19,14 +20,11 @@ func TestNewWF2QValidation(t *testing.T) {
 	}
 }
 
-func TestWF2QEnqueueUnknownSessionPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
+func TestWF2QEnqueueUnknownSession(t *testing.T) {
 	w, _ := NewWF2Q(1, []float64{1})
-	w.Enqueue(Packet{Session: 3, Size: 1}, 0)
+	if err := w.Enqueue(Packet{Session: 3, Size: 1}, 0); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("Enqueue(session 3) = %v, want ErrUnknownSession", err)
+	}
 }
 
 // The classic WF2Q-vs-WFQ discriminator (Bennett & Zhang): one session

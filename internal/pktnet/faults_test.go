@@ -1,0 +1,136 @@
+package pktnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// An outage window must push packets released inside it past the
+// window's end, and packets far from the window must be untouched.
+func TestRateScaleOutageStallsService(t *testing.T) {
+	inj, err := faults.FromEvents(1, 1, []faults.Event{
+		{Class: faults.Outage, Node: 0, Start: 10, Duration: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Nodes:        []Node{{Name: "a", Rate: 1}},
+		Routes:       [][]int{{0}},
+		NewScheduler: fcfsFactory,
+		RateScale:    inj.RateScaleAt,
+	}
+	comps, err := Run(cfg, []Packet{
+		{Session: 0, Size: 1, Release: 2},  // clear of the outage
+		{Session: 0, Size: 1, Release: 11}, // released mid-outage
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("%d completions", len(comps))
+	}
+	if d := comps[0].Delay(); math.Abs(d-1) > 1e-9 {
+		t.Errorf("pre-outage packet delay = %v, want 1", d)
+	}
+	// The second packet cannot start before slot 15 (outage end) and
+	// needs 1 unit of service: finish >= 15+1... but the stall probe
+	// re-checks at integer times, so finish is 16 exactly.
+	if f := comps[1].Finish; f < 15 {
+		t.Errorf("mid-outage packet finished at %v, inside the outage", f)
+	}
+	if d := comps[1].Delay(); d < 4 {
+		t.Errorf("mid-outage packet delay = %v, want >= 4 (stalled)", d)
+	}
+}
+
+// A rate degradation must stretch service time by exactly 1/scale for a
+// packet whose whole transmission sits inside the window.
+func TestRateScaleDegradesServiceRate(t *testing.T) {
+	inj, err := faults.FromEvents(1, 1, []faults.Event{
+		{Class: faults.RateDegrade, Node: 0, Start: 0, Duration: 100, Severity: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Nodes:        []Node{{Name: "a", Rate: 1}},
+		Routes:       [][]int{{0}},
+		NewScheduler: fcfsFactory,
+		RateScale:    inj.RateScaleAt,
+	}
+	comps, err := Run(cfg, []Packet{{Session: 0, Size: 1, Release: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := comps[0].Delay(); math.Abs(d-2) > 1e-9 {
+		t.Errorf("delay under 0.5x scale = %v, want 2", d)
+	}
+}
+
+// ExtraDelay adds to the link latency between hops, not to service.
+func TestExtraDelayAddsTransitLatency(t *testing.T) {
+	inj, err := faults.FromEvents(2, 1, []faults.Event{
+		{Class: faults.ForwardDelay, Session: 0, Start: 0, Duration: 100, Extra: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Nodes:        []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}},
+		Routes:       [][]int{{0, 1}},
+		NewScheduler: fcfsFactory,
+		PropDelay:    0.25,
+	}
+	faulted := base
+	faulted.ExtraDelay = inj.ExtraDelayAt
+	plain, err := Run(base, []Packet{{Session: 0, Size: 1, Release: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Run(faulted, []Packet{{Session: 0, Size: 1, Release: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := delayed[0].Delay() - plain[0].Delay(); math.Abs(diff-3) > 1e-9 {
+		t.Errorf("extra transit latency = %v, want 3", diff)
+	}
+}
+
+// Fault hooks must not lose packets under sustained load.
+func TestFaultedConservation(t *testing.T) {
+	inj, err := faults.New(faults.Config{
+		Seed: 5, Horizon: 2000, Nodes: 2, Sessions: 2,
+		Degrade: faults.ClassParams{Count: 3},
+		Outage:  faults.ClassParams{Count: 2, MaxDuration: 50},
+		Delay:   faults.ClassParams{Count: 2, MaxExtra: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Nodes:        []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}},
+		Routes:       [][]int{{0, 1}, {1, 0}},
+		NewScheduler: fcfsFactory,
+		RateScale:    inj.RateScaleAt,
+		ExtraDelay:   inj.ExtraDelayAt,
+	}
+	var pkts []Packet
+	for k := 0; k < 1500; k++ {
+		pkts = append(pkts, Packet{Session: k % 2, Size: 0.3, Release: float64(k) * 0.8})
+	}
+	comps, err := Run(cfg, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != len(pkts) {
+		t.Fatalf("%d completions for %d packets", len(comps), len(pkts))
+	}
+	for i := 1; i < len(comps); i++ {
+		if comps[i].Finish < comps[i-1].Finish {
+			t.Fatal("completions out of finish order")
+		}
+	}
+}

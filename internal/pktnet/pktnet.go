@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/pgps"
@@ -32,6 +33,16 @@ type Config struct {
 	NewScheduler func(node int) (pgps.Scheduler, error)
 	// PropDelay is added per link traversal (node k -> node k+1).
 	PropDelay float64
+
+	// RateScale, if set, scales a node's service rate at the moment a
+	// packet starts transmission (fault injection; see internal/faults,
+	// whose RateScaleAt matches this signature). A scale <= 0 or NaN
+	// stalls the node, which re-checks at the next integer time.
+	RateScale func(node int, t float64) float64
+	// ExtraDelay, if set, adds per-link forwarding latency (on top of
+	// PropDelay) for a session entering the given hop at time t; negative
+	// or NaN values count as zero. Matches faults.Injector.ExtraDelayAt.
+	ExtraDelay func(session, hop int, t float64) float64
 }
 
 // Packet is one external arrival: released into the first hop of its
@@ -61,8 +72,9 @@ type flight struct {
 type event struct {
 	time float64
 	seq  int
-	// arrival event when fl != nil; otherwise a service completion at
-	// node `node` for flight `done`.
+	// arrival event when fl != nil; service completion at node `node`
+	// for flight `done` when done != nil; otherwise a wake-up probe for
+	// a node stalled by RateScale.
 	fl   *flight
 	node int
 	done *flight
@@ -90,6 +102,9 @@ func (h *eventHeap) Pop() interface{} {
 type nodeState struct {
 	sched pgps.Scheduler
 	busy  bool
+	// stalled marks that a wake-up probe is already queued for a node
+	// whose RateScale reported an outage.
+	stalled bool
 	// inFlight maps the scheduler's returned packet back to its flight.
 	inFlight map[pgps.Packet][]*flight
 }
@@ -154,6 +169,17 @@ func Run(cfg Config, packets []Packet) ([]Completion, error) {
 		if st.busy || st.sched.Len() == 0 {
 			return
 		}
+		if cfg.RateScale != nil {
+			if scale := cfg.RateScale(m, now); !(scale > 0) {
+				// Outage: hold the queue and probe again at the next
+				// integer time boundary (the hook's granularity).
+				if !st.stalled {
+					st.stalled = true
+					push(event{time: math.Floor(now) + 1, node: m})
+				}
+				return
+			}
+		}
 		sp, ok := st.sched.Dequeue(now)
 		if !ok {
 			return
@@ -166,8 +192,22 @@ func Run(cfg Config, packets []Packet) ([]Completion, error) {
 			st.inFlight[sp] = fls[1:]
 		}
 		st.busy = true
-		finish := now + sp.Size/cfg.Nodes[m].Rate
+		rate := cfg.Nodes[m].Rate
+		if cfg.RateScale != nil {
+			rate *= cfg.RateScale(m, now) // sampled at service start, non-preemptive
+		}
+		finish := now + sp.Size/rate
 		push(event{time: finish, node: m, done: fl})
+	}
+
+	forwardDelay := func(session, hop int, t float64) float64 {
+		d := cfg.PropDelay
+		if cfg.ExtraDelay != nil {
+			if x := cfg.ExtraDelay(session, hop, t); x > 0 {
+				d += x
+			}
+		}
+		return d
 	}
 
 	for h.Len() > 0 {
@@ -177,10 +217,12 @@ func Run(cfg Config, packets []Packet) ([]Completion, error) {
 			// Arrival at node e.node.
 			st := &states[e.node]
 			sp := pgps.Packet{Session: e.fl.pkt.Session, Size: e.fl.pkt.Size, Arrival: e.time}
-			st.sched.Enqueue(sp, e.time)
+			if err := st.sched.Enqueue(sp, e.time); err != nil {
+				return nil, fmt.Errorf("pktnet: node %d: %w", e.node, err)
+			}
 			st.inFlight[sp] = append(st.inFlight[sp], e.fl)
 			tryServe(e.node, e.time)
-		default:
+		case e.done != nil:
 			// Service completion at e.node.
 			st := &states[e.node]
 			st.busy = false
@@ -188,10 +230,14 @@ func Run(cfg Config, packets []Packet) ([]Completion, error) {
 			route := cfg.Routes[fl.pkt.Session]
 			fl.hop++
 			if fl.hop < len(route) {
-				push(event{time: e.time + cfg.PropDelay, fl: fl, node: route[fl.hop]})
+				push(event{time: e.time + forwardDelay(fl.pkt.Session, fl.hop, e.time), fl: fl, node: route[fl.hop]})
 			} else {
 				out = append(out, Completion{Session: fl.pkt.Session, Release: fl.pkt.Release, Finish: e.time})
 			}
+			tryServe(e.node, e.time)
+		default:
+			// Wake-up probe for a stalled node.
+			states[e.node].stalled = false
 			tryServe(e.node, e.time)
 		}
 	}

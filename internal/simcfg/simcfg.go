@@ -170,7 +170,7 @@ func characterize(s SessionConfig, seed uint64) (ebb.Process, error) {
 		if err != nil {
 			return ebb.Process{}, err
 		}
-		return src.Markov().EBBPaper(s.Rho)
+		return src.EBBPaper(s.Rho)
 	case analytic && s.Source.Type == "markov":
 		m, err := source.NewMarkovFluid(s.Source.Transitions, s.Source.Rates)
 		if err != nil {

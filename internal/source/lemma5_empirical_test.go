@@ -15,7 +15,7 @@ func TestDeltaTailDiscreteHoldsOnSimulatedQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	char, err := src.Markov().EBBPaper(0.25)
+	char, err := src.EBBPaper(0.25)
 	if err != nil {
 		t.Fatal(err)
 	}

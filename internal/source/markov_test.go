@@ -22,7 +22,11 @@ func onOffModel(t *testing.T, i int) *MarkovFluid {
 	if err != nil {
 		t.Fatalf("NewOnOff(%d): %v", i, err)
 	}
-	return s.Markov()
+	m, err := s.Markov()
+	if err != nil {
+		t.Fatalf("Markov(%d): %v", i, err)
+	}
+	return m
 }
 
 func TestMeanRateMatchesTable1(t *testing.T) {
@@ -142,7 +146,10 @@ func TestEBBHoldsEmpirically(t *testing.T) {
 			t.Fatal(err)
 		}
 		trace := Record(src, 400000)
-		m := src.Markov()
+		m, err := src.Markov()
+		if err != nil {
+			t.Fatal(err)
+		}
 		rho := []float64{0.2, 0.25, 0.2, 0.25}[i]
 		p, err := m.EBBPaper(rho)
 		if err != nil {

@@ -3,6 +3,8 @@ package source
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/ebb"
 )
 
 // Source produces the amount of fluid a session generates per unit slot.
@@ -82,17 +84,39 @@ func (s *OnOff) MeanRate() float64 { return s.P * s.Lambda / (s.P + s.Q) }
 func (s *OnOff) PeakRate() float64 { return s.Lambda }
 
 // Markov returns the analytic Markov-fluid view of the source for
-// effective-bandwidth computations. State 0 is off, state 1 is on.
-func (s *OnOff) Markov() *MarkovFluid {
+// effective-bandwidth computations. State 0 is off, state 1 is on. An
+// OnOff built by NewOnOff always converts cleanly; a hand-assembled one
+// with out-of-range parameters surfaces the wrapped construction error
+// instead of panicking.
+func (s *OnOff) Markov() (*MarkovFluid, error) {
 	mf, err := NewMarkovFluid(
 		[][]float64{{1 - s.P, s.P}, {s.Q, 1 - s.Q}},
 		[]float64{0, s.Lambda},
 	)
 	if err != nil {
-		// The constructor validated P, Q, Lambda already.
-		panic(err)
+		return nil, fmt.Errorf("source: on-off markov model: %w", err)
 	}
-	return mf
+	return mf, nil
+}
+
+// EBB characterizes the source at envelope rate rho through its analytic
+// Markov model (shorthand for Markov followed by EBB, with construction
+// errors propagated).
+func (s *OnOff) EBB(rho float64) (ebb.Process, error) {
+	m, err := s.Markov()
+	if err != nil {
+		return ebb.Process{}, err
+	}
+	return m.EBB(rho)
+}
+
+// EBBPaper is EBB with the paper's [LNT94] prefactor convention.
+func (s *OnOff) EBBPaper(rho float64) (ebb.Process, error) {
+	m, err := s.Markov()
+	if err != nil {
+		return ebb.Process{}, err
+	}
+	return m.EBBPaper(rho)
 }
 
 // Trace replays a recorded arrival sequence, cycling when exhausted.
