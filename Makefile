@@ -5,13 +5,14 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke check clean
+.PHONY: all vet build test fuzz-smoke check bench perfcheck clean
 
 all: check
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet -tests ./...
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,20 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzNew -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim
 
 check: vet build test fuzz-smoke
+
+# bench runs the full benchmark harness with memory stats and snapshots
+# the parsed results to BENCH_<date>.json (format documented in
+# EXPERIMENTS.md). Non-benchmark output passes through to the terminal.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
+		| $(GO) run ./tools/benchjson > BENCH_$$(date -u +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
+
+# perfcheck is the fast correctness gate for the event-driven fluid
+# engine: the differential tests replay random workloads against the
+# brute-force reference under the race detector, uncached.
+perfcheck:
+	GOFLAGS=-count=1 $(GO) test -run TestDifferential -race ./internal/fluid/...
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,184 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/source"
+)
+
+// diffRecorder collects per-(session, arrivalSlot) delays keyed so the
+// two engines' callback streams can be compared even if intra-event
+// callback ordering differs.
+type diffRecorder struct {
+	delays map[[2]int]float64
+}
+
+func (r *diffRecorder) onDelay(session, slot int, d float64) {
+	r.delays[[2]int{session, slot}] = d
+}
+
+// TestDifferentialEngines drives the event-driven engine and the
+// brute-force Reference through 10k slots of seeded random traffic —
+// bursty on/off sources, occasional idle stretches so the virtual clock
+// rebases, and a slot-varying rate with outages — and asserts backlogs,
+// cumulative service, total served volume and every batch delay agree
+// within 1e-9.
+func TestDifferentialEngines(t *testing.T) {
+	const (
+		slots = 10000
+		n     = 6
+		seed  = 0x9e3779b97f4a7c15
+	)
+	rng := source.NewRNG(seed)
+
+	phi := []float64{0.5, 1.0, 2.0, 0.25, 3.0, 1.25}
+	decomp := []float64{0.2, 0.3, 0.5, 0.1, 0.6, 0.3}
+	rateOf := func(slot int) float64 {
+		switch slot % 97 {
+		case 13, 14:
+			return 0 // outage: arrivals land, nothing drains
+		case 31:
+			return 0.25 // degraded
+		default:
+			return 1 + 0.5*math.Sin(float64(slot)/37)
+		}
+	}
+
+	recNew := &diffRecorder{delays: make(map[[2]int]float64)}
+	recRef := &diffRecorder{delays: make(map[[2]int]float64)}
+
+	simNew, err := New(Config{
+		Rate: 1, RateFunc: rateOf, Phi: phi, DecompRates: decomp,
+		OnDelay: recNew.onDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRef, err := NewReference(Config{
+		Rate: 1, RateFunc: rateOf, Phi: phi, DecompRates: decomp,
+		OnDelay: recRef.onDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arr := make([]float64, n)
+	for tt := 0; tt < slots; tt++ {
+		// Correlated bursty traffic with dead zones: ~35% of slots have
+		// no arrivals at all so both engines pass through empty-system
+		// resets; bursts up to 4x the mean rate force multi-slot
+		// backlogs and intra-slot depletion cascades.
+		quiet := rng.Float64() < 0.35
+		for i := range arr {
+			arr[i] = 0
+			if !quiet && rng.Float64() < 0.55 {
+				arr[i] = rng.Float64() * 0.8 * phi[i]
+			}
+		}
+		servedNew, err := simNew.Step(arr)
+		if err != nil {
+			t.Fatalf("slot %d: new engine: %v", tt, err)
+		}
+		servedRef, err := simRef.Step(arr)
+		if err != nil {
+			t.Fatalf("slot %d: reference: %v", tt, err)
+		}
+		if math.Abs(servedNew-servedRef) > 1e-9 {
+			t.Fatalf("slot %d: served %v (new) vs %v (ref)", tt, servedNew, servedRef)
+		}
+		for i := 0; i < n; i++ {
+			if d := math.Abs(simNew.Backlog(i) - simRef.Backlog(i)); d > 1e-9 {
+				t.Fatalf("slot %d session %d: backlog %v (new) vs %v (ref), diff %g",
+					tt, i, simNew.Backlog(i), simRef.Backlog(i), d)
+			}
+			if d := math.Abs(simNew.CumService(i) - simRef.CumService(i)); d > 1e-9*(1+simRef.CumService(i)) {
+				t.Fatalf("slot %d session %d: cumS %v (new) vs %v (ref)",
+					tt, i, simNew.CumService(i), simRef.CumService(i))
+			}
+			if simNew.Delta(i) != simRef.Delta(i) {
+				t.Fatalf("slot %d session %d: delta %v (new) vs %v (ref)",
+					tt, i, simNew.Delta(i), simRef.Delta(i))
+			}
+		}
+	}
+
+	if len(recNew.delays) != len(recRef.delays) {
+		t.Fatalf("completed batches: %d (new) vs %d (ref)", len(recNew.delays), len(recRef.delays))
+	}
+	worst := 0.0
+	for k, dRef := range recRef.delays {
+		dNew, ok := recNew.delays[k]
+		if !ok {
+			t.Fatalf("batch (session %d, slot %d) completed in reference only", k[0], k[1])
+		}
+		if diff := math.Abs(dNew - dRef); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("worst batch-delay disagreement %g, want <= 1e-9", worst)
+	}
+	if len(recRef.delays) < slots/4 {
+		t.Fatalf("only %d batches completed — traffic generator too quiet for a meaningful test", len(recRef.delays))
+	}
+}
+
+// TestDifferentialBusyPeriods checks the two engines report identical
+// busy-period boundaries (start slot exactly, end time within 1e-9).
+func TestDifferentialBusyPeriods(t *testing.T) {
+	const slots = 4000
+	rng := source.NewRNG(42)
+	phi := []float64{1, 2, 0.5}
+
+	type period struct{ start, end float64 }
+	var perNew, perRef [][]period
+	perNew = make([][]period, len(phi))
+	perRef = make([][]period, len(phi))
+
+	simNew, err := New(Config{Rate: 1, Phi: phi, OnBusyPeriod: func(i int, s, e float64) {
+		perNew[i] = append(perNew[i], period{s, e})
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRef, err := NewReference(Config{Rate: 1, Phi: phi, OnBusyPeriod: func(i int, s, e float64) {
+		perRef[i] = append(perRef[i], period{s, e})
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arr := make([]float64, len(phi))
+	for tt := 0; tt < slots; tt++ {
+		for i := range arr {
+			arr[i] = 0
+			if rng.Float64() < 0.3 {
+				arr[i] = rng.Float64() * 1.2 * phi[i] / 3.5
+			}
+		}
+		if _, err := simNew.Step(arr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := simRef.Step(arr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range phi {
+		if len(perNew[i]) != len(perRef[i]) {
+			t.Fatalf("session %d: %d busy periods (new) vs %d (ref)", i, len(perNew[i]), len(perRef[i]))
+		}
+		for k := range perNew[i] {
+			if perNew[i][k].start != perRef[i][k].start {
+				t.Fatalf("session %d period %d: start %v vs %v", i, k, perNew[i][k].start, perRef[i][k].start)
+			}
+			if math.Abs(perNew[i][k].end-perRef[i][k].end) > 1e-9 {
+				t.Fatalf("session %d period %d: end %v vs %v", i, k, perNew[i][k].end, perRef[i][k].end)
+			}
+		}
+		if len(perRef[i]) == 0 {
+			t.Fatalf("session %d: no busy periods recorded", i)
+		}
+	}
+}

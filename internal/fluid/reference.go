@@ -1,0 +1,213 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+)
+
+func errArrivalCount(got, want int) error {
+	return fmt.Errorf("fluid: %d arrivals for %d sessions", got, want)
+}
+
+func errArrivalValue(i int, a float64) error {
+	return fmt.Errorf("fluid: arrival[%d] = %v", i, a)
+}
+
+func errRateValue(slot int, rate float64) error {
+	return fmt.Errorf("fluid: rate at slot %d = %v, want finite", slot, rate)
+}
+
+// Reference is the original brute-force water-filling GPS engine: every
+// intra-slot segment rescans all N sessions to find the active weight
+// sum, the next depletion, and the per-session drains. It is O(N·events)
+// per slot and kept verbatim as the differential-testing oracle for the
+// event-driven Sim — the two must agree on backlogs, cumulative service
+// and batch delays to fluid-dynamics accuracy on any arrival pattern.
+type Reference struct {
+	cfg  Config
+	slot int
+
+	backlog []float64 // Q_i(t) at slot boundaries
+	cumA    []float64 // A_i(0, t)
+	cumS    []float64 // S_i(0, t)
+	delta   []float64 // δ_i(t) of the decomposed system
+
+	pending [][]arrivalBatch
+	// busyStart[i] is the start time of session i's current busy period,
+	// or NaN when idle. Only maintained when OnBusyPeriod is set.
+	busyStart []float64
+}
+
+// NewReference validates the configuration and builds a brute-force
+// simulator.
+func NewReference(cfg Config) (*Reference, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Phi)
+	s := &Reference{
+		cfg:     cfg,
+		backlog: make([]float64, n),
+		cumA:    make([]float64, n),
+		cumS:    make([]float64, n),
+		delta:   make([]float64, n),
+		pending: make([][]arrivalBatch, n),
+	}
+	if cfg.OnBusyPeriod != nil {
+		s.busyStart = make([]float64, n)
+		for i := range s.busyStart {
+			s.busyStart[i] = math.NaN()
+		}
+	}
+	return s, nil
+}
+
+// N returns the number of sessions.
+func (s *Reference) N() int { return len(s.cfg.Phi) }
+
+// Slot returns the number of completed slots.
+func (s *Reference) Slot() int { return s.slot }
+
+// Backlog returns Q_i(t) for one session.
+func (s *Reference) Backlog(i int) float64 { return s.backlog[i] }
+
+// Delta returns δ_i(t) for one session.
+func (s *Reference) Delta(i int) float64 { return s.delta[i] }
+
+// CumArrival returns A_i(0, t).
+func (s *Reference) CumArrival(i int) float64 { return s.cumA[i] }
+
+// CumService returns S_i(0, t).
+func (s *Reference) CumService(i int) float64 { return s.cumS[i] }
+
+// Step advances one slot exactly like Sim.Step, with the brute-force
+// drain.
+func (s *Reference) Step(arrivals []float64) (float64, error) {
+	n := s.N()
+	if len(arrivals) != n {
+		return 0, errArrivalCount(len(arrivals), n)
+	}
+	for i, a := range arrivals {
+		if a < 0 || math.IsNaN(a) || math.IsInf(a, 1) {
+			return 0, errArrivalValue(i, a)
+		}
+		if a > 0 {
+			if s.busyStart != nil && s.backlog[i] == 0 {
+				s.busyStart[i] = float64(s.slot)
+			}
+			s.backlog[i] += a
+			s.cumA[i] += a
+			if s.cfg.OnDelay != nil {
+				s.pending[i] = append(s.pending[i], arrivalBatch{level: s.cumA[i], slot: s.slot})
+			}
+		}
+	}
+
+	rate := s.cfg.Rate
+	if s.cfg.RateFunc != nil {
+		rate = s.cfg.RateFunc(s.slot)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			return 0, errRateValue(s.slot, rate)
+		}
+	}
+	served := s.drainSlot(rate)
+
+	if s.cfg.DecompRates != nil {
+		for i := range s.delta {
+			d := s.delta[i] + arrivals[i] - s.cfg.DecompRates[i]
+			if d < 0 {
+				d = 0
+			}
+			s.delta[i] = d
+		}
+	}
+	s.slot++
+	return served, nil
+}
+
+// drainSlot serves one unit of time, rescanning all sessions for every
+// constant-rate segment.
+func (s *Reference) drainSlot(R float64) float64 {
+	if !(R > 0) {
+		return 0
+	}
+	remaining := 1.0
+	totalServed := 0.0
+	for remaining > zeroTol {
+		activePhi := 0.0
+		for i, b := range s.backlog {
+			if b > zeroTol {
+				activePhi += s.cfg.Phi[i]
+			}
+		}
+		if activePhi == 0 {
+			break
+		}
+		// Segment length: time to the first depletion, capped at the
+		// remaining slot time.
+		seg := remaining
+		for i, b := range s.backlog {
+			if b <= zeroTol {
+				continue
+			}
+			rate := s.cfg.Phi[i] / activePhi * R
+			if t := b / rate; t < seg {
+				seg = t
+			}
+		}
+		elapsed := 1 - remaining
+		for i, b := range s.backlog {
+			if b <= zeroTol {
+				continue
+			}
+			rate := s.cfg.Phi[i] / activePhi * R
+			vol := rate * seg
+			if vol > b {
+				vol = b
+			}
+			s.backlog[i] = b - vol
+			if rem := s.backlog[i]; rem < zeroTol {
+				// Treat sub-tolerance residue as served: dropping it
+				// silently would leave arrival watermarks unreachable
+				// and break conservation over long runs.
+				vol += rem
+				s.backlog[i] = 0
+				if s.busyStart != nil && !math.IsNaN(s.busyStart[i]) {
+					end := float64(s.slot) + elapsed + seg
+					s.cfg.OnBusyPeriod(i, s.busyStart[i], end)
+					s.busyStart[i] = math.NaN()
+				}
+			}
+			s.cumS[i] += vol
+			totalServed += vol
+			if s.cfg.OnDelay != nil {
+				s.completeBatches(i, elapsed, seg, rate)
+			}
+		}
+		remaining -= seg
+	}
+	return totalServed
+}
+
+// completeBatches pops every pending batch of session i whose watermark
+// has been served during the segment [elapsed, elapsed+seg] of the
+// current slot, reporting exact (interpolated) completion times.
+func (s *Reference) completeBatches(i int, elapsed, seg, rate float64) {
+	q := s.pending[i]
+	tol := zeroTol * (1 + s.cumS[i])
+	for len(q) > 0 && q[0].level <= s.cumS[i]+tol {
+		b := q[0]
+		q = q[1:]
+		// The batch finished somewhere inside this segment: cumS at the
+		// segment end is s.cumS[i]; it grew linearly at `rate`.
+		within := seg - (s.cumS[i]-b.level)/rate
+		if within < 0 {
+			within = 0
+		} else if within > seg {
+			within = seg
+		}
+		finish := float64(s.slot) + elapsed + within
+		s.cfg.OnDelay(i, b.slot, finish-float64(b.slot))
+	}
+	s.pending[i] = q
+}

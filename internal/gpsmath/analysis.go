@@ -3,6 +3,8 @@ package gpsmath
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/numeric"
 )
 
 // Options steers AnalyzeServer.
@@ -56,30 +58,49 @@ func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
 	}
 	a := &Analysis{Server: srv, Partition: part}
 
-	// Partition-route bounds (Theorems 10/11/12).
+	// Partition-route bounds (Theorems 10/11/12). One memo carries the
+	// class geometry and per-class aggregates shared by every session.
+	pm := srv.newPartitionMemo(part)
 	a.Bounds = make([]*SessionBounds, len(srv.Sessions))
+	// Arena allocations: one block for all SessionBounds and one for
+	// every H_1 session's Theorem 10 tail, instead of a heap object per
+	// session.
+	boundsArena := make([]SessionBounds, len(srv.Sessions))
+	fixedArena := make([]numeric.ExpTail, len(part.Classes[0]))
+	nFixed := 0
 	for i := range srv.Sessions {
-		var sb *SessionBounds
+		sb := &boundsArena[i]
 		if opts.Independent {
-			sb, err = srv.Theorem11(part, i, opts.Xi)
+			err = pm.theorem11Into(sb, i, opts.Xi)
 		} else {
-			sb, err = srv.Theorem12(part, i, nil, opts.Xi)
+			err = pm.theorem12Into(sb, i, nil, opts.Xi)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
 		}
 		if part.ClassOf[i] == 0 {
-			fixed, err := srv.Theorem10(part, i)
+			fixed, err := pm.theorem10(i)
 			if err != nil {
 				return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
 			}
-			sb.Fixed = append(sb.Fixed, fixed)
-			sb.Theorem += "+thm10"
+			fixedArena[nFixed] = fixed
+			sb.Fixed = fixedArena[nFixed : nFixed+1 : nFixed+1]
+			nFixed++
+			// Constant strings for the common cases keep the hot
+			// construction path free of concat allocations.
+			switch sb.Theorem {
+			case "thm11":
+				sb.Theorem = "thm11+thm10"
+			case "thm12":
+				sb.Theorem = "thm12+thm10"
+			default:
+				sb.Theorem += "+thm10"
+			}
 		}
 		a.Bounds[i] = sb
 	}
 
-	// Ordering-route bounds (Theorems 7/8).
+	// Ordering-route bounds (Theorems 7/8), again via one shared memo.
 	rates, err := srv.DecomposedRates(opts.Split, opts.SlackFraction)
 	if err != nil {
 		return nil, err
@@ -90,13 +111,15 @@ func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
 	}
 	a.Ordering = ord
 	a.Rates = rates
+	om := srv.newOrderingMemo(ord, rates)
 	a.OrderingBounds = make([]*SessionBounds, len(srv.Sessions))
+	ordArena := make([]SessionBounds, len(ord))
 	for pos := range ord {
-		var sb *SessionBounds
+		sb := &ordArena[pos]
 		if opts.Independent {
-			sb, err = srv.Theorem7(ord, rates, pos, opts.Xi)
+			err = om.theorem7Into(sb, pos, opts.Xi)
 		} else {
-			sb, err = srv.Theorem8(ord, rates, pos, nil, opts.Xi)
+			err = om.theorem8Into(sb, pos, nil, opts.Xi)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("gpsmath: ordering position %d: %w", pos, err)

@@ -1,0 +1,514 @@
+package gpsmath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ebb"
+	"repro/internal/numeric"
+)
+
+// This file holds the memoized analysis machinery behind AnalyzeServer
+// and the public theorem constructors. The paper's bounds share a large
+// amount of structure — every Theorem 7/8 position needs the suffix
+// weight sums of one ordering, every Theorem 10/11/12 session needs the
+// class geometry and per-class aggregates of one partition, and every
+// prefactor is a product of Lemma 6 terms exp(u(σ̂+ρξ))/(1-e^{-uεξ})
+// whose ξ-optimizing logarithm ln((ρ+ε)/ρ) is a pure function of the
+// term. Building each of these once per (server, ordering/partition)
+// and sharing them across sessions turns AnalyzeServer from O(N²)
+// rebuild-per-session into compute-once-and-combine (see DESIGN.md,
+// "Performance architecture").
+
+// mgfTerm is one cached Lemma 6 term: the δ-queue MGF bound for a flow
+// with log-MGF excess σ̂, long-term rate rho, and service slack eps.
+// Terms are built once per memo and shared — in particular the σ̂
+// closure of an aggregate class, which the pre-memo code rebuilt for
+// every session of every later class. Single-flow terms embed the
+// three-float E.B.B. process by value: binding its SigmaHat as a method
+// value would allocate a closure per term. The ξ0 logarithm stays in
+// eval: bound construction never evaluates a prefactor, so computing it
+// eagerly would tax construction for work only evaluation needs.
+type mgfTerm struct {
+	proc     ebb.Process           // single-flow σ̂ when agg == nil
+	agg      func(float64) float64 // aggregate σ̂ (Σ member σ̂)
+	rho, eps float64
+}
+
+func singleTerm(p ebb.Process, eps float64) mgfTerm {
+	return mgfTerm{proc: p, rho: p.Rho, eps: eps}
+}
+
+func aggTerm(sumSH func(float64) float64, rho, eps float64) mgfTerm {
+	return mgfTerm{agg: sumSH, rho: rho, eps: eps}
+}
+
+// eval bounds E e^{u·δ} for the term's queue (Lemma 6). It matches the
+// historical deltaMGF function value-for-value.
+func (t mgfTerm) eval(u float64, mode XiMode) float64 {
+	if u <= 0 || t.eps <= 0 {
+		return math.Inf(1)
+	}
+	var sh float64
+	if t.agg != nil {
+		sh = t.agg(u)
+	} else {
+		sh = t.proc.SigmaHat(u)
+	}
+	if math.IsInf(sh, 1) {
+		return math.Inf(1)
+	}
+	xi := 1.0
+	if mode == XiOptimal {
+		xi = math.Log((t.rho+t.eps)/t.rho) / (t.eps * u)
+	}
+	return math.Exp(u*(sh+t.rho*xi)) / (-math.Expm1(-u * t.eps * xi))
+}
+
+// orderingMemo caches everything the Theorem 7/8 constructors need about
+// one (ordering, rates) pair: suffix weight sums ("tail φ"), the prefix
+// minimum of the predecessors' decay rates, the guaranteed rates, and
+// one Lemma 6 term per session. All positions share the same backing
+// arrays — the per-position constructors only read them.
+type orderingMemo struct {
+	s     Server
+	ord   []int
+	rates []float64
+	g     []float64
+	// tailPhi[pos] = Σ_{k >= pos} φ_{ord[k]} (tailPhi[len] = 0).
+	tailPhi []float64
+	// preMinA[pos] = min_{k < pos} α_{ord[k]} (+Inf at pos 0).
+	preMinA []float64
+	// terms[j] is the Lemma 6 term of session j at its decomposed rate.
+	terms []mgfTerm
+}
+
+func (s Server) newOrderingMemo(ord []int, rates []float64) *orderingMemo {
+	n := len(ord)
+	nSess := len(s.Sessions)
+	// One float block backs every per-position array.
+	floats := make([]float64, nSess+(n+1)+n)
+	m := &orderingMemo{
+		s:       s,
+		ord:     append([]int(nil), ord...),
+		rates:   append([]float64(nil), rates...),
+		g:       floats[:nSess:nSess],
+		tailPhi: floats[nSess : nSess+n+1 : nSess+n+1],
+		preMinA: floats[nSess+n+1:],
+		terms:   make([]mgfTerm, nSess),
+	}
+	totalPhi := s.TotalPhi()
+	for i := range s.Sessions {
+		m.g[i] = s.Sessions[i].Phi / totalPhi * s.Rate
+	}
+	for pos := n - 1; pos >= 0; pos-- {
+		m.tailPhi[pos] = m.tailPhi[pos+1] + s.Sessions[ord[pos]].Phi
+	}
+	minA := math.Inf(1)
+	for pos, j := range ord {
+		m.preMinA[pos] = minA
+		if a := s.Sessions[j].Arrival.Alpha; a < minA {
+			minA = a
+		}
+		arr := s.Sessions[j].Arrival
+		m.terms[j] = singleTerm(arr, rates[j]-arr.Rho)
+	}
+	return m
+}
+
+// theorem7 is the memoized body of Server.Theorem7.
+func (m *orderingMemo) theorem7(pos int, mode XiMode) (*SessionBounds, error) {
+	sb := new(SessionBounds)
+	if err := m.theorem7Into(sb, pos, mode); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// theorem7Into fills a caller-provided SessionBounds (callers building
+// bounds for every session arena-allocate them in one block).
+func (m *orderingMemo) theorem7Into(sb *SessionBounds, pos int, mode XiMode) error {
+	if pos < 0 || pos >= len(m.ord) {
+		return fmt.Errorf("gpsmath: position %d outside ordering of length %d", pos, len(m.ord))
+	}
+	i := m.ord[pos]
+	sess := &m.s.Sessions[i]
+	psi := sess.Phi / m.tailPhi[pos]
+
+	// Admissible θ: θ < α_i and ψθ < α_j for each predecessor.
+	thetaMax := sess.Arrival.Alpha
+	if lim := m.preMinA[pos] / psi; lim < thetaMax {
+		thetaMax = lim
+	}
+
+	ahead := m.ord[:pos]
+	terms := m.terms
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		lam := terms[i].eval(theta, mode)
+		for _, j := range ahead {
+			lam *= terms[j].eval(psi*theta, mode)
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	*sb = SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         m.g[i],
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm7",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}
+	return nil
+}
+
+// theorem8 is the memoized body of Server.Theorem8.
+func (m *orderingMemo) theorem8(pos int, ps []float64, mode XiMode) (*SessionBounds, error) {
+	sb := new(SessionBounds)
+	if err := m.theorem8Into(sb, pos, ps, mode); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mode XiMode) error {
+	if pos < 0 || pos >= len(m.ord) {
+		return fmt.Errorf("gpsmath: position %d outside ordering of length %d", pos, len(m.ord))
+	}
+	i := m.ord[pos]
+	sess := &m.s.Sessions[i]
+	psi := sess.Phi / m.tailPhi[pos]
+
+	k := pos + 1 // number of Hölder terms: predecessors plus the session
+	if ps == nil {
+		alphas := make([]float64, 0, k)
+		for _, j := range m.ord[:pos] {
+			alphas = append(alphas, m.s.Sessions[j].Arrival.Alpha)
+		}
+		alphas = append(alphas, sess.Arrival.Alpha)
+		ps, _ = ebb.HolderExponents(alphas)
+	}
+	if len(ps) != k {
+		return fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
+	}
+	sum := 0.0
+	for _, p := range ps {
+		if !(p > 1) && k > 1 {
+			return fmt.Errorf("gpsmath: Hölder exponent %v, want > 1", p)
+		}
+		sum += 1 / p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("gpsmath: Hölder exponents sum of reciprocals = %v, want 1", sum)
+	}
+
+	// Admissible θ: p_i·θ < α_i and p_j·ψ·θ < α_j.
+	thetaMax := sess.Arrival.Alpha / ps[k-1]
+	for idx, j := range m.ord[:pos] {
+		if lim := m.s.Sessions[j].Arrival.Alpha / (ps[idx] * psi); lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	ahead := m.ord[:pos]
+	terms := m.terms
+	exps := append([]float64(nil), ps...)
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		pi := exps[k-1]
+		lam := math.Pow(terms[i].eval(pi*theta, mode), 1/pi)
+		for idx, j := range ahead {
+			mj := terms[j].eval(exps[idx]*psi*theta, mode)
+			lam *= math.Pow(mj, 1/exps[idx])
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	*sb = SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         m.g[i],
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm8",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}
+	return nil
+}
+
+// partitionMemo caches everything the Theorem 10/11/12 constructors need
+// about one feasible partition: per-class aggregates (member processes,
+// aggregate rate ρ̃, smallest decay rate, the summed σ̂), the ρ/φ prefix
+// geometry, and the guaranteed rates. Every session shares the same
+// backing arrays; the cached aggregate σ̂ closures stay valid across
+// sessions and partition passes because they depend only on the class
+// membership — never on the session's ε budget or the evaluation point,
+// which enter each Lemma 6 term separately.
+type partitionMemo struct {
+	s Server
+	p Partition
+	g []float64
+	// Per class l: member arrival processes, aggregate rate ρ̃_l, the
+	// smallest member decay rate, and the aggregate σ̂ (Σ member σ̂).
+	classMembers [][]ebb.Process
+	classRho     []float64
+	classMinA    []float64
+	classSumSH   []func(float64) float64
+	// Per class c: earlierRho[c] = Σ_{l < c} ρ̃_l and laterPhi[c] =
+	// Σ_{sessions in classes >= c} φ — the eq. (37–39) geometry that
+	// classGeometry recomputed per session.
+	earlierRho []float64
+	laterPhi   []float64
+	// aggArena backs the per-session aggregate term slices: session i in
+	// class c gets aggArena[aggOff[i] : aggOff[i]+c]. The ε budgets are
+	// session-specific so the terms themselves cannot be shared, but one
+	// arena allocation replaces a per-session slice each.
+	aggArena []mgfTerm
+	aggOff   []int
+}
+
+func (s Server) newPartitionMemo(p Partition) *partitionMemo {
+	L := len(p.Classes)
+	n := len(s.Sessions)
+	// One float block backs the guaranteed rates and every per-class
+	// array (including the classPhi temporary).
+	floats := make([]float64, n+5*L)
+	m := &partitionMemo{
+		s: s, p: p,
+		g:            floats[:n:n],
+		classMembers: make([][]ebb.Process, L),
+		classRho:     floats[n : n+L : n+L],
+		classMinA:    floats[n+L : n+2*L : n+2*L],
+		classSumSH:   make([]func(float64) float64, L),
+		earlierRho:   floats[n+2*L : n+3*L : n+3*L],
+		laterPhi:     floats[n+3*L : n+4*L : n+4*L],
+	}
+	totalPhi := s.TotalPhi()
+	for i := range s.Sessions {
+		m.g[i] = s.Sessions[i].Phi / totalPhi * s.Rate
+	}
+	classPhi := floats[n+4*L:]
+	// memberArena holds every class's member processes back to back: the
+	// classes partition the sessions, so n slots hold them all.
+	memberArena := make([]ebb.Process, 0, n)
+	for l, class := range p.Classes {
+		start := len(memberArena)
+		minA := math.Inf(1)
+		for _, j := range class {
+			a := s.Sessions[j].Arrival
+			memberArena = append(memberArena, a)
+			m.classRho[l] += a.Rho
+			classPhi[l] += s.Sessions[j].Phi
+			if a.Alpha < minA {
+				minA = a.Alpha
+			}
+		}
+		ms := memberArena[start:len(memberArena):len(memberArena)]
+		m.classMembers[l] = ms
+		m.classMinA[l] = minA
+		m.classSumSH[l] = sumSigmaHat(ms)
+	}
+	for c := 1; c < L; c++ {
+		m.earlierRho[c] = m.earlierRho[c-1] + m.classRho[c-1]
+	}
+	for c := L - 1; c >= 0; c-- {
+		m.laterPhi[c] = classPhi[c]
+		if c+1 < L {
+			m.laterPhi[c] += m.laterPhi[c+1]
+		}
+	}
+	m.aggOff = make([]int, len(p.ClassOf))
+	total := 0
+	for i, c := range p.ClassOf {
+		m.aggOff[i] = total
+		total += c
+	}
+	m.aggArena = make([]mgfTerm, total)
+	return m
+}
+
+// geometry returns session i's class geometry from the cached prefix
+// sums (the memoized equivalent of Server.classGeometry).
+func (m *partitionMemo) geometry(i int) classGeometry {
+	c := m.p.ClassOf[i]
+	psi := m.s.Sessions[i].Phi / m.laterPhi[c]
+	gEff := psi * (m.s.Rate - m.earlierRho[c])
+	return classGeometry{class: c, psi: psi, gEff: gEff, epsBudget: gEff - m.s.Sessions[i].Arrival.Rho}
+}
+
+func (m *partitionMemo) checkIndex(i int) error {
+	if i < 0 || i >= len(m.s.Sessions) || i >= len(m.p.ClassOf) {
+		return fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(m.s.Sessions))
+	}
+	return nil
+}
+
+// theorem10 is the memoized body of Server.Theorem10.
+func (m *partitionMemo) theorem10(i int) (numeric.ExpTail, error) {
+	if err := m.checkIndex(i); err != nil {
+		return numeric.ExpTail{}, err
+	}
+	if m.p.ClassOf[i] != 0 {
+		return numeric.ExpTail{}, fmt.Errorf("gpsmath: session %d is in class H_%d, Theorem 10 needs H_1", i, m.p.ClassOf[i]+1)
+	}
+	return m.s.Sessions[i].Arrival.DeltaTail(m.g[i])
+}
+
+// theorem11 is the memoized body of Server.Theorem11.
+func (m *partitionMemo) theorem11(i int, mode XiMode) (*SessionBounds, error) {
+	sb := new(SessionBounds)
+	if err := m.theorem11Into(sb, i, mode); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+func (m *partitionMemo) theorem11Into(sb *SessionBounds, i int, mode XiMode) error {
+	if err := m.checkIndex(i); err != nil {
+		return err
+	}
+	geo := m.geometry(i)
+	if geo.epsBudget <= 0 {
+		return fmt.Errorf("gpsmath: session %d has no rate slack in its class (gEff = %v, rho = %v)", i, geo.gEff, m.s.Sessions[i].Arrival.Rho)
+	}
+	c := geo.class
+	k := float64(c + 1)
+	sess := &m.s.Sessions[i]
+
+	epsI := geo.epsBudget / k
+	epsAgg := geo.epsBudget / (k * geo.psi)
+
+	thetaMax := sess.Arrival.Alpha
+	for _, a := range m.classMinA[:c] {
+		if lim := a / geo.psi; lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	selfTerm := singleTerm(sess.Arrival, epsI)
+	off := m.aggOff[i]
+	aggTerms := m.aggArena[off : off+c : off+c]
+	for l := 0; l < c; l++ {
+		aggTerms[l] = aggTerm(m.classSumSH[l], m.classRho[l], epsAgg)
+	}
+	psi := geo.psi
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		lam := selfTerm.eval(theta, mode)
+		for l := range aggTerms {
+			lam *= aggTerms[l].eval(psi*theta, mode)
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	*sb = SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         m.g[i],
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm11",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}
+	return nil
+}
+
+// theorem12 is the memoized body of Server.Theorem12.
+func (m *partitionMemo) theorem12(i int, ps []float64, mode XiMode) (*SessionBounds, error) {
+	sb := new(SessionBounds)
+	if err := m.theorem12Into(sb, i, ps, mode); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+func (m *partitionMemo) theorem12Into(sb *SessionBounds, i int, ps []float64, mode XiMode) error {
+	if err := m.checkIndex(i); err != nil {
+		return err
+	}
+	geo := m.geometry(i)
+	if geo.epsBudget <= 0 {
+		return fmt.Errorf("gpsmath: session %d has no rate slack in its class", i)
+	}
+	c := geo.class
+	k := c + 1
+	sess := &m.s.Sessions[i]
+
+	if ps == nil {
+		ceilings := append(append(make([]float64, 0, k), m.classMinA[:c]...), sess.Arrival.Alpha)
+		ps, _ = ebb.HolderExponents(ceilings)
+	}
+	if len(ps) != k {
+		return fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
+	}
+	sum := 0.0
+	for _, v := range ps {
+		// Negated form: NaN fails every comparison, so `v < 1-1e-12`
+		// alone would wave a NaN exponent through.
+		if !(v >= 1-1e-12) || math.IsInf(v, 1) {
+			return fmt.Errorf("%w: Hölder exponent %v, want finite >= 1", ErrInvalidInput, v)
+		}
+		sum += 1 / v
+	}
+	if !(math.Abs(sum-1) <= 1e-9) {
+		return fmt.Errorf("%w: Hölder exponents sum of reciprocals = %v, want 1", ErrInvalidInput, sum)
+	}
+
+	epsI := geo.epsBudget / float64(k)
+	epsAgg := geo.epsBudget / (float64(k) * geo.psi)
+
+	thetaMax := sess.Arrival.Alpha / ps[k-1]
+	for l, a := range m.classMinA[:c] {
+		if lim := a / (ps[l] * geo.psi); lim < thetaMax {
+			thetaMax = lim
+		}
+	}
+
+	selfTerm := singleTerm(sess.Arrival, epsI)
+	off := m.aggOff[i]
+	aggTerms := m.aggArena[off : off+c : off+c]
+	for l := 0; l < c; l++ {
+		aggTerms[l] = aggTerm(m.classSumSH[l], m.classRho[l], epsAgg)
+	}
+	psi := geo.psi
+	exps := append([]float64(nil), ps...)
+	prefactor := func(theta float64) float64 {
+		if theta <= 0 || theta >= thetaMax {
+			return math.Inf(1)
+		}
+		pk := exps[k-1]
+		lam := math.Pow(selfTerm.eval(pk*theta, mode), 1/pk)
+		for l := range aggTerms {
+			ml := aggTerms[l].eval(exps[l]*psi*theta, mode)
+			lam *= math.Pow(ml, 1/exps[l])
+			if math.IsInf(lam, 1) {
+				return math.Inf(1)
+			}
+		}
+		return lam
+	}
+	*sb = SessionBounds{
+		Name:      sess.Name,
+		Index:     i,
+		G:         m.g[i],
+		Rho:       sess.Arrival.Rho,
+		Theorem:   "thm12",
+		ThetaMax:  thetaMax,
+		Prefactor: prefactor,
+	}
+	return nil
+}

@@ -97,13 +97,16 @@ func (s Server) FeasibleOrdering(rates []float64) ([]int, error) {
 			return nil, fmt.Errorf("%w: rate[%d] = %v, want positive finite", ErrInvalidInput, i, r)
 		}
 	}
+	// Precompute r_i/φ_i once: a closure comparator would otherwise redo
+	// two divisions per comparison (O(n log n) of them). The concrete
+	// sort.Interface type sidesteps sort.Slice's reflection-based swapper.
+	ratio := make([]float64, n)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
+		ratio[i] = rates[i] / s.Sessions[i].Phi
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return rates[idx[a]]/s.Sessions[idx[a]].Phi < rates[idx[b]]/s.Sessions[idx[b]].Phi
-	})
+	sort.Sort(ratioOrder{idx: idx, ratio: ratio})
 	// Verify eq. (5) along the sorted order.
 	remPhi := s.TotalPhi()
 	used := 0.0
@@ -119,6 +122,16 @@ func (s Server) FeasibleOrdering(rates []float64) ([]int, error) {
 	}
 	return idx, nil
 }
+
+// ratioOrder sorts a session index permutation by precomputed r_i/φ_i.
+type ratioOrder struct {
+	idx   []int
+	ratio []float64
+}
+
+func (o ratioOrder) Len() int           { return len(o.idx) }
+func (o ratioOrder) Less(a, b int) bool { return o.ratio[o.idx[a]] < o.ratio[o.idx[b]] }
+func (o ratioOrder) Swap(a, b int)      { o.idx[a], o.idx[b] = o.idx[b], o.idx[a] }
 
 // Partition is the feasible partition H_1, ..., H_L of paper §5: Classes[k]
 // holds the original indices of the sessions in H_{k+1}.
@@ -142,23 +155,31 @@ func (p Partition) L() int { return len(p.Classes) }
 func (s Server) FeasiblePartition() (Partition, error) {
 	n := len(s.Sessions)
 	p := Partition{ClassOf: make([]int, n)}
+	// ρ_i/φ_i is scanned against a fresh threshold every round; computing
+	// the ratios once keeps each round to a compare per unplaced session.
+	ratio := make([]float64, n)
 	for i := range p.ClassOf {
 		p.ClassOf[i] = -1
+		ratio[i] = s.Sessions[i].Arrival.Rho / s.Sessions[i].Phi
 	}
 	placedRho := 0.0
 	remPhi := s.TotalPhi()
 	remaining := n
+	// Every session lands in exactly one class, so one n-slot arena backs
+	// all the class slices.
+	arena := make([]int, 0, n)
 	for remaining > 0 {
 		threshold := (s.Rate - placedRho) / remPhi
-		var class []int
-		for i, sess := range s.Sessions {
+		start := len(arena)
+		for i := range s.Sessions {
 			if p.ClassOf[i] >= 0 {
 				continue
 			}
-			if sess.Arrival.Rho/sess.Phi < threshold {
-				class = append(class, i)
+			if ratio[i] < threshold {
+				arena = append(arena, i)
 			}
 		}
+		class := arena[start:len(arena):len(arena)]
 		if len(class) == 0 {
 			return Partition{}, fmt.Errorf("gpsmath: feasible partition stalled with %d sessions left (sum rho >= rate?)", remaining)
 		}

@@ -1,10 +1,8 @@
 package gpsmath
 
 import (
-	"fmt"
 	"math"
 
-	"repro/internal/ebb"
 	"repro/internal/numeric"
 )
 
@@ -45,35 +43,7 @@ func (s Server) classGeometry(p Partition, i int) classGeometry {
 // no independence assumption. An error is returned for sessions outside
 // H_1.
 func (s Server) Theorem10(p Partition, i int) (numeric.ExpTail, error) {
-	if i < 0 || i >= len(s.Sessions) || i >= len(p.ClassOf) {
-		return numeric.ExpTail{}, fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(s.Sessions))
-	}
-	if p.ClassOf[i] != 0 {
-		return numeric.ExpTail{}, fmt.Errorf("gpsmath: session %d is in class H_%d, Theorem 10 needs H_1", i, p.ClassOf[i]+1)
-	}
-	return s.Sessions[i].Arrival.DeltaTail(s.GuaranteedRate(i))
-}
-
-// classAggregates returns, for each class l < c, the member arrival
-// processes, aggregate rate ρ̃_l, and the smallest member decay rate.
-func (s Server) classAggregates(p Partition, c int) (members [][]ebb.Process, rhos []float64, minAlphas []float64) {
-	for l := 0; l < c; l++ {
-		var ms []ebb.Process
-		rho := 0.0
-		minA := math.Inf(1)
-		for _, j := range p.Classes[l] {
-			a := s.Sessions[j].Arrival
-			ms = append(ms, a)
-			rho += a.Rho
-			if a.Alpha < minA {
-				minA = a.Alpha
-			}
-		}
-		members = append(members, ms)
-		rhos = append(rhos, rho)
-		minAlphas = append(minAlphas, minA)
-	}
-	return members, rhos, minAlphas
+	return s.newPartitionMemo(p).theorem10(i)
 }
 
 // Theorem11 builds the bound family of paper Theorem 11 for session i
@@ -82,50 +52,7 @@ func (s Server) classAggregates(p Partition, c int) (members [][]ebb.Process, rh
 // feasible ordering (k = class index + 1). Arrival processes must be
 // independent. With ξ = 1 the prefactor reproduces eq. (54) exactly.
 func (s Server) Theorem11(p Partition, i int, mode XiMode) (*SessionBounds, error) {
-	if i < 0 || i >= len(s.Sessions) || i >= len(p.ClassOf) {
-		return nil, fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(s.Sessions))
-	}
-	geo := s.classGeometry(p, i)
-	if geo.epsBudget <= 0 {
-		return nil, fmt.Errorf("gpsmath: session %d has no rate slack in its class (gEff = %v, rho = %v)", i, geo.gEff, s.Sessions[i].Arrival.Rho)
-	}
-	c := geo.class
-	k := float64(c + 1)
-	sess := s.Sessions[i]
-	members, rhos, minAlphas := s.classAggregates(p, c)
-
-	epsI := geo.epsBudget / k
-	epsAgg := geo.epsBudget / (k * geo.psi)
-
-	thetaMax := sess.Arrival.Alpha
-	for _, a := range minAlphas {
-		if lim := a / geo.psi; lim < thetaMax {
-			thetaMax = lim
-		}
-	}
-
-	prefactor := func(theta float64) float64 {
-		if theta <= 0 || theta >= thetaMax {
-			return math.Inf(1)
-		}
-		lam := deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, epsI, theta, mode)
-		for l := range members {
-			lam *= deltaMGF(sumSigmaHat(members[l]), rhos[l], epsAgg, geo.psi*theta, mode)
-			if math.IsInf(lam, 1) {
-				return math.Inf(1)
-			}
-		}
-		return lam
-	}
-	return &SessionBounds{
-		Name:      sess.Name,
-		Index:     i,
-		G:         s.GuaranteedRate(i),
-		Rho:       sess.Arrival.Rho,
-		Theorem:   "thm11",
-		ThetaMax:  thetaMax,
-		Prefactor: prefactor,
-	}, nil
+	return s.newPartitionMemo(p).theorem11(i, mode)
 }
 
 // Theorem12 is the dependent-arrivals counterpart of Theorem 11 (paper
@@ -135,73 +62,7 @@ func (s Server) Theorem11(p Partition, i int, mode XiMode) (*SessionBounds, erro
 // Theorem8, the exact Hölder powers are kept on the denominators, which
 // is never looser than the paper's eq. (59).
 func (s Server) Theorem12(p Partition, i int, ps []float64, mode XiMode) (*SessionBounds, error) {
-	if i < 0 || i >= len(s.Sessions) || i >= len(p.ClassOf) {
-		return nil, fmt.Errorf("%w: session index %d with %d sessions", ErrInvalidInput, i, len(s.Sessions))
-	}
-	geo := s.classGeometry(p, i)
-	if geo.epsBudget <= 0 {
-		return nil, fmt.Errorf("gpsmath: session %d has no rate slack in its class", i)
-	}
-	c := geo.class
-	k := c + 1
-	sess := s.Sessions[i]
-	members, rhos, minAlphas := s.classAggregates(p, c)
-
-	if ps == nil {
-		ceilings := append(append([]float64(nil), minAlphas...), sess.Arrival.Alpha)
-		ps, _ = ebb.HolderExponents(ceilings)
-	}
-	if len(ps) != k {
-		return nil, fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
-	}
-	sum := 0.0
-	for _, v := range ps {
-		// Negated form: NaN fails every comparison, so `v < 1-1e-12`
-		// alone would wave a NaN exponent through.
-		if !(v >= 1-1e-12) || math.IsInf(v, 1) {
-			return nil, fmt.Errorf("%w: Hölder exponent %v, want finite >= 1", ErrInvalidInput, v)
-		}
-		sum += 1 / v
-	}
-	if !(math.Abs(sum-1) <= 1e-9) {
-		return nil, fmt.Errorf("%w: Hölder exponents sum of reciprocals = %v, want 1", ErrInvalidInput, sum)
-	}
-
-	epsI := geo.epsBudget / float64(k)
-	epsAgg := geo.epsBudget / (float64(k) * geo.psi)
-
-	thetaMax := sess.Arrival.Alpha / ps[k-1]
-	for l, a := range minAlphas {
-		if lim := a / (ps[l] * geo.psi); lim < thetaMax {
-			thetaMax = lim
-		}
-	}
-
-	exps := append([]float64(nil), ps...)
-	prefactor := func(theta float64) float64 {
-		if theta <= 0 || theta >= thetaMax {
-			return math.Inf(1)
-		}
-		pk := exps[k-1]
-		lam := math.Pow(deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, epsI, pk*theta, mode), 1/pk)
-		for l := range members {
-			m := deltaMGF(sumSigmaHat(members[l]), rhos[l], epsAgg, exps[l]*geo.psi*theta, mode)
-			lam *= math.Pow(m, 1/exps[l])
-			if math.IsInf(lam, 1) {
-				return math.Inf(1)
-			}
-		}
-		return lam
-	}
-	return &SessionBounds{
-		Name:      sess.Name,
-		Index:     i,
-		G:         s.GuaranteedRate(i),
-		Rho:       sess.Arrival.Rho,
-		Theorem:   "thm12",
-		ThetaMax:  thetaMax,
-		Prefactor: prefactor,
-	}, nil
+	return s.newPartitionMemo(p).theorem12(i, ps, mode)
 }
 
 // Theorem11PaperPrefactor evaluates the literal eq. (54) prefactor (ξ = 1)

@@ -81,47 +81,7 @@ func (s Server) Theorem7(ord []int, rates []float64, pos int, mode XiMode) (*Ses
 	if pos < 0 || pos >= len(ord) {
 		return nil, fmt.Errorf("gpsmath: position %d outside ordering of length %d", pos, len(ord))
 	}
-	i := ord[pos]
-	sess := s.Sessions[i]
-	// ψ_i = φ_i / Σ_{j >= pos} φ_{ord[j]}.
-	tailPhi := 0.0
-	for _, j := range ord[pos:] {
-		tailPhi += s.Sessions[j].Phi
-	}
-	psi := sess.Phi / tailPhi
-
-	// Admissible θ: θ < α_i and ψθ < α_j for each predecessor.
-	thetaMax := sess.Arrival.Alpha
-	for _, j := range ord[:pos] {
-		if lim := s.Sessions[j].Arrival.Alpha / psi; lim < thetaMax {
-			thetaMax = lim
-		}
-	}
-
-	ahead := append([]int(nil), ord[:pos]...)
-	prefactor := func(theta float64) float64 {
-		if theta <= 0 || theta >= thetaMax {
-			return math.Inf(1)
-		}
-		lam := deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, rates[i]-sess.Arrival.Rho, theta, mode)
-		for _, j := range ahead {
-			a := s.Sessions[j].Arrival
-			lam *= deltaMGF(singleSigmaHat(a), a.Rho, rates[j]-a.Rho, psi*theta, mode)
-			if math.IsInf(lam, 1) {
-				return math.Inf(1)
-			}
-		}
-		return lam
-	}
-	return &SessionBounds{
-		Name:      sess.Name,
-		Index:     i,
-		G:         s.GuaranteedRate(i),
-		Rho:       sess.Arrival.Rho,
-		Theorem:   "thm7",
-		ThetaMax:  thetaMax,
-		Prefactor: prefactor,
-	}, nil
+	return s.newOrderingMemo(ord, rates).theorem7(pos, mode)
 }
 
 // Theorem8 builds the dependent-arrivals bound family of paper Theorem 8:
@@ -135,73 +95,7 @@ func (s Server) Theorem8(ord []int, rates []float64, pos int, ps []float64, mode
 	if pos < 0 || pos >= len(ord) {
 		return nil, fmt.Errorf("gpsmath: position %d outside ordering of length %d", pos, len(ord))
 	}
-	i := ord[pos]
-	sess := s.Sessions[i]
-	tailPhi := 0.0
-	for _, j := range ord[pos:] {
-		tailPhi += s.Sessions[j].Phi
-	}
-	psi := sess.Phi / tailPhi
-
-	k := pos + 1 // number of Hölder terms: predecessors plus the session
-	if ps == nil {
-		alphas := make([]float64, 0, k)
-		for _, j := range ord[:pos] {
-			alphas = append(alphas, s.Sessions[j].Arrival.Alpha)
-		}
-		alphas = append(alphas, sess.Arrival.Alpha)
-		ps, _ = ebb.HolderExponents(alphas)
-	}
-	if len(ps) != k {
-		return nil, fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
-	}
-	sum := 0.0
-	for _, p := range ps {
-		if !(p > 1) && k > 1 {
-			return nil, fmt.Errorf("gpsmath: Hölder exponent %v, want > 1", p)
-		}
-		sum += 1 / p
-	}
-	if math.Abs(sum-1) > 1e-9 {
-		return nil, fmt.Errorf("gpsmath: Hölder exponents sum of reciprocals = %v, want 1", sum)
-	}
-
-	// Admissible θ: p_i·θ < α_i and p_j·ψ·θ < α_j.
-	thetaMax := sess.Arrival.Alpha / ps[k-1]
-	for idx, j := range ord[:pos] {
-		if lim := s.Sessions[j].Arrival.Alpha / (ps[idx] * psi); lim < thetaMax {
-			thetaMax = lim
-		}
-	}
-
-	ahead := append([]int(nil), ord[:pos]...)
-	exps := append([]float64(nil), ps...)
-	prefactor := func(theta float64) float64 {
-		if theta <= 0 || theta >= thetaMax {
-			return math.Inf(1)
-		}
-		pi := exps[k-1]
-		m := deltaMGF(singleSigmaHat(sess.Arrival), sess.Arrival.Rho, rates[i]-sess.Arrival.Rho, pi*theta, mode)
-		lam := math.Pow(m, 1/pi)
-		for idx, j := range ahead {
-			a := s.Sessions[j].Arrival
-			mj := deltaMGF(singleSigmaHat(a), a.Rho, rates[j]-a.Rho, exps[idx]*psi*theta, mode)
-			lam *= math.Pow(mj, 1/exps[idx])
-			if math.IsInf(lam, 1) {
-				return math.Inf(1)
-			}
-		}
-		return lam
-	}
-	return &SessionBounds{
-		Name:      sess.Name,
-		Index:     i,
-		G:         s.GuaranteedRate(i),
-		Rho:       sess.Arrival.Rho,
-		Theorem:   "thm8",
-		ThetaMax:  thetaMax,
-		Prefactor: prefactor,
-	}, nil
+	return s.newOrderingMemo(ord, rates).theorem8(pos, ps, mode)
 }
 
 // Theorem8PaperPrefactor evaluates the literal eq. (36) prefactor (ξ = 1,

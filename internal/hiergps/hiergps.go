@@ -20,6 +20,7 @@ import (
 	"repro/internal/ebb"
 	"repro/internal/fluid"
 	"repro/internal/gpsmath"
+	"repro/internal/ring"
 )
 
 // Group is one second-level GPS instance.
@@ -131,7 +132,15 @@ type Sim struct {
 	cumA    [][]float64
 	cumS    [][]float64
 	onDelay DelayFunc
-	pending [][]batchQueue
+	pending [][]ring.Ring[batch]
+
+	// Per-segment scratch, preallocated so the water-filling loop makes
+	// no allocations: rates[g][m] is the member's drain rate under the
+	// current activity sets and groupSum[g] the group backlog computed
+	// once per segment (the previous implementation allocated a fresh
+	// rate matrix per segment and re-summed each group twice).
+	rates    [][]float64
+	groupSum []float64
 }
 
 // DelayFunc receives completed member batches.
@@ -142,20 +151,19 @@ type batch struct {
 	slot  int
 }
 
-type batchQueue []batch
-
 // NewSim builds a simulator.
 func NewSim(s Server, onDelay DelayFunc) (*Sim, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	sim := &Sim{s: s, onDelay: onDelay}
+	sim := &Sim{s: s, onDelay: onDelay, groupSum: make([]float64, len(s.Groups))}
 	for _, g := range s.Groups {
 		n := len(g.Members)
 		sim.backlog = append(sim.backlog, make([]float64, n))
 		sim.cumA = append(sim.cumA, make([]float64, n))
 		sim.cumS = append(sim.cumS, make([]float64, n))
-		sim.pending = append(sim.pending, make([]batchQueue, n))
+		sim.pending = append(sim.pending, make([]ring.Ring[batch], n))
+		sim.rates = append(sim.rates, make([]float64, n))
 	}
 	return sim, nil
 }
@@ -195,7 +203,7 @@ func (sim *Sim) Step(arrivals [][]float64) error {
 				sim.backlog[g][m] += a
 				sim.cumA[g][m] += a
 				if sim.onDelay != nil {
-					sim.pending[g][m] = append(sim.pending[g][m], batch{level: sim.cumA[g][m], slot: sim.slot})
+					sim.pending[g][m].Push(batch{level: sim.cumA[g][m], slot: sim.slot})
 				}
 			}
 		}
@@ -209,10 +217,14 @@ func (sim *Sim) Step(arrivals [][]float64) error {
 func (sim *Sim) drainSlot() {
 	remaining := 1.0
 	for remaining > zeroTol {
-		// Active groups and per-group active member weights.
+		// Active groups and per-group active member weights. Group sums
+		// are computed once per segment into the scratch slice (the same
+		// summation order as GroupBacklog, so activity decisions are
+		// unchanged).
 		outerPhi := 0.0
 		for g, gr := range sim.s.Groups {
-			if sim.GroupBacklog(g) > zeroTol {
+			sim.groupSum[g] = sim.GroupBacklog(g)
+			if sim.groupSum[g] > zeroTol {
 				outerPhi += gr.Phi
 			}
 		}
@@ -220,11 +232,13 @@ func (sim *Sim) drainSlot() {
 			break
 		}
 		// Per-member drain rates under the current activity sets.
-		rates := make([][]float64, len(sim.s.Groups))
 		seg := remaining
 		for g, gr := range sim.s.Groups {
-			rates[g] = make([]float64, len(gr.Members))
-			if sim.GroupBacklog(g) <= zeroTol {
+			rates := sim.rates[g]
+			for m := range rates {
+				rates[m] = 0
+			}
+			if sim.groupSum[g] <= zeroTol {
 				continue
 			}
 			groupRate := gr.Phi / outerPhi * sim.s.Rate
@@ -236,8 +250,8 @@ func (sim *Sim) drainSlot() {
 			}
 			for m := range gr.Members {
 				if sim.backlog[g][m] > zeroTol {
-					rates[g][m] = gr.MemberPhi[m] / innerPhi * groupRate
-					if t := sim.backlog[g][m] / rates[g][m]; t < seg {
+					rates[m] = gr.MemberPhi[m] / innerPhi * groupRate
+					if t := sim.backlog[g][m] / rates[m]; t < seg {
 						seg = t
 					}
 				}
@@ -246,7 +260,7 @@ func (sim *Sim) drainSlot() {
 		elapsed := 1 - remaining
 		for g := range sim.s.Groups {
 			for m := range sim.s.Groups[g].Members {
-				r := rates[g][m]
+				r := sim.rates[g][m]
 				if r == 0 {
 					continue
 				}
@@ -270,11 +284,10 @@ func (sim *Sim) drainSlot() {
 }
 
 func (sim *Sim) completeBatches(g, m int, elapsed, seg, rate float64) {
-	q := sim.pending[g][m]
+	q := &sim.pending[g][m]
 	tol := zeroTol * (1 + sim.cumS[g][m])
-	for len(q) > 0 && q[0].level <= sim.cumS[g][m]+tol {
-		b := q[0]
-		q = q[1:]
+	for q.Len() > 0 && q.Front().level <= sim.cumS[g][m]+tol {
+		b := q.Pop()
 		within := seg - (sim.cumS[g][m]-b.level)/rate
 		if within < 0 {
 			within = 0
@@ -284,7 +297,6 @@ func (sim *Sim) completeBatches(g, m int, elapsed, seg, rate float64) {
 		finish := float64(sim.slot) + elapsed + within
 		sim.onDelay(g, m, b.slot, finish-float64(b.slot))
 	}
-	sim.pending[g][m] = q
 }
 
 // Run drives the simulator with a per-(group, member) generator.

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/fluid"
+	"repro/internal/ring"
 )
 
 // Node is one GPS server.
@@ -100,7 +101,18 @@ type Sim struct {
 
 	entryCum []float64 // cumulative external arrivals per session
 	exitCum  []float64 // cumulative traffic that left the network
-	pending  [][]batch
+	// pending[i] queues session i's unfinished entry batches; a ring keeps
+	// Step allocation-free and its memory bounded by the in-flight batch
+	// count rather than the run length.
+	pending []ring.Ring[batch]
+
+	// Per-step scratch, preallocated so the steady-state Step makes no
+	// allocations: nodeArr[m] carries node m's arrival vector, prevExit and
+	// gatedBuf are reused copies of the exit watermarks and the
+	// churn-gated external arrivals.
+	nodeArr  [][]float64
+	prevExit []float64
+	gatedBuf []float64
 }
 
 type sessionHop struct {
@@ -138,7 +150,9 @@ func New(cfg Config) (*Sim, error) {
 		prevCumS:  make([][]float64, nSess),
 		entryCum:  make([]float64, nSess),
 		exitCum:   make([]float64, nSess),
-		pending:   make([][]batch, nSess),
+		pending:   make([]ring.Ring[batch], nSess),
+		prevExit:  make([]float64, nSess),
+		gatedBuf:  make([]float64, nSess),
 	}
 	for i := range s.local {
 		s.local[i] = -1
@@ -170,6 +184,14 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if cfg.ForwardDelay != nil {
 		s.held = make([][]heldBatch, nSess)
+	}
+	s.nodeArr = make([][]float64, nNodes)
+	for m := range cfg.Nodes {
+		n := len(s.present[m])
+		if n == 0 {
+			n = 1 // dummy session of an idle node
+		}
+		s.nodeArr[m] = make([]float64, n)
 	}
 	s.sims = make([]*fluid.Sim, nNodes)
 	for m := range cfg.Nodes {
@@ -238,7 +260,8 @@ func (s *Sim) Step(external []float64) error {
 				s.cfg.OnDrop(i, s.slot, a)
 			}
 			if &gated[0] == &external[0] {
-				gated = append([]float64(nil), external...)
+				gated = s.gatedBuf
+				copy(gated, external)
 			}
 			gated[i] = 0
 			continue
@@ -246,7 +269,7 @@ func (s *Sim) Step(external []float64) error {
 		if a > 0 {
 			s.entryCum[i] += a
 			if s.cfg.OnDelay != nil {
-				s.pending[i] = append(s.pending[i], batch{level: s.entryCum[i], slot: s.slot})
+				s.pending[i].Push(batch{level: s.entryCum[i], slot: s.slot})
 			}
 		}
 	}
@@ -267,15 +290,17 @@ func (s *Sim) Step(external []float64) error {
 
 	// Serve each node with this slot's arrivals: external traffic at hop
 	// 0 plus forwarded fluid from the previous slot at later hops.
-	prevExit := append([]float64(nil), s.exitCum...)
+	prevExit := s.prevExit
+	copy(prevExit, s.exitCum)
 	for m := range s.cfg.Nodes {
 		if len(s.present[m]) == 0 {
-			if _, err := s.sims[m].Step([]float64{0}); err != nil {
+			// nodeArr[m] is a one-slot zero vector that is never written.
+			if _, err := s.sims[m].Step(s.nodeArr[m]); err != nil {
 				return err
 			}
 			continue
 		}
-		arr := make([]float64, len(s.present[m]))
+		arr := s.nodeArr[m]
 		for li, sh := range s.present[m] {
 			if sh.hop == 0 {
 				arr[li] = gated[sh.session]
@@ -315,13 +340,12 @@ func (s *Sim) Step(external []float64) error {
 	// Resolve end-to-end batch completions with within-slot interpolation.
 	if s.cfg.OnDelay != nil {
 		for i := range s.pending {
-			q := s.pending[i]
+			q := &s.pending[i]
 			// Entry and exit watermarks are independently accumulated
 			// sums; allow relative rounding drift when matching them.
 			tol := 1e-12 * (1 + s.exitCum[i])
-			for len(q) > 0 && q[0].level <= s.exitCum[i]+tol {
-				b := q[0]
-				q = q[1:]
+			for q.Len() > 0 && q.Front().level <= s.exitCum[i]+tol {
+				b := q.Pop()
 				frac := 1.0
 				if served := s.exitCum[i] - prevExit[i]; served > 1e-15 {
 					frac = (b.level - prevExit[i]) / served
@@ -334,7 +358,6 @@ func (s *Sim) Step(external []float64) error {
 				finish := float64(s.slot) + frac
 				s.cfg.OnDelay(i, b.slot, finish-float64(b.slot))
 			}
-			s.pending[i] = q
 		}
 	}
 	s.slot++

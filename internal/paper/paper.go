@@ -7,11 +7,13 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ebb"
 	"repro/internal/netsim"
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/plot"
 	"repro/internal/source"
 	"repro/internal/stats"
@@ -143,13 +145,20 @@ func Figure3(set []ebb.Process, dmax float64, nPoints int) ([]plot.Series, error
 		return nil, err
 	}
 	grid := stats.Levels(0, dmax, nPoints)
+	// Every (session, delay) cell is an independent bound evaluation, so
+	// the grid fans out across CPUs; cell values land back by index, which
+	// keeps the curves identical to the serial loop.
+	vals, err := parallel.Map(context.Background(), len(bounds)*len(grid),
+		func(_ context.Context, item int) (float64, error) {
+			i, k := item/len(grid), item%len(grid)
+			return bounds[i].Delay.Eval(grid[k]), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]plot.Series, len(bounds))
-	for i, b := range bounds {
-		ys := make([]float64, len(grid))
-		for k, d := range grid {
-			ys[k] = b.Delay.Eval(d)
-		}
-		out[i] = plot.Series{Name: SessionNames[i], X: grid, Y: ys}
+	for i := range bounds {
+		out[i] = plot.Series{Name: SessionNames[i], X: grid, Y: vals[i*len(grid) : (i+1)*len(grid)]}
 	}
 	return out, nil
 }
@@ -169,19 +178,37 @@ func Figure4(dmax float64, nPoints int) ([]plot.Series, error) {
 		return nil, err
 	}
 	grid := stats.Levels(0, dmax, nPoints)
+	// Stage 1: one δ-tail family per session (the lowest-index error is
+	// returned, matching the serial session order).
+	type row struct {
+		g      float64
+		family *source.DeltaTailFamily
+	}
+	rows, err := parallel.Map(context.Background(), len(models),
+		func(_ context.Context, i int) (row, error) {
+			g := net.GNet(i)
+			family, err := models[i].DeltaTail(g)
+			if err != nil {
+				return row{}, fmt.Errorf("paper: session %d: %w", i+1, err)
+			}
+			family.Paper = true
+			return row{g: g, family: family}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Stage 2: every (session, delay) cell evaluates independently.
+	vals, err := parallel.Map(context.Background(), len(models)*len(grid),
+		func(_ context.Context, item int) (float64, error) {
+			i, k := item/len(grid), item%len(grid)
+			return rows[i].family.Eval(rows[i].g * grid[k]), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]plot.Series, len(models))
-	for i, m := range models {
-		g := net.GNet(i)
-		family, err := m.DeltaTail(g)
-		if err != nil {
-			return nil, fmt.Errorf("paper: session %d: %w", i+1, err)
-		}
-		family.Paper = true
-		ys := make([]float64, len(grid))
-		for k, d := range grid {
-			ys[k] = family.Eval(g * d)
-		}
-		out[i] = plot.Series{Name: SessionNames[i], X: grid, Y: ys}
+	for i := range models {
+		out[i] = plot.Series{Name: SessionNames[i], X: grid, Y: vals[i*len(grid) : (i+1)*len(grid)]}
 	}
 	return out, nil
 }

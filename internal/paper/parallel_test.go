@@ -1,0 +1,179 @@
+package paper
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// The parallel pipeline's contract is bit-identity with the serial
+// reference loops it replaced: fanning the work items out across CPUs
+// must not change a single output byte. These tests recompute each
+// product with an inline serial loop and compare float bit patterns.
+
+func TestFigure3ParallelMatchesSerial(t *testing.T) {
+	set, err := Table2(Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dmax, nPoints = 40.0, 33
+	got, err := Figure3(set, dmax, nPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := Tree(set)
+	bounds, err := net.RPPSBounds(network.VariantDiscrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := stats.Levels(0, dmax, nPoints)
+	if len(got) != len(bounds) {
+		t.Fatalf("%d series, want %d", len(got), len(bounds))
+	}
+	for i, b := range bounds {
+		if len(got[i].Y) != len(grid) {
+			t.Fatalf("series %d: %d points, want %d", i, len(got[i].Y), len(grid))
+		}
+		for k, d := range grid {
+			want := b.Delay.Eval(d)
+			if math.Float64bits(got[i].Y[k]) != math.Float64bits(want) {
+				t.Fatalf("series %d point %d: got %v, want %v (not bit-identical)", i, k, got[i].Y[k], want)
+			}
+		}
+	}
+}
+
+func TestFigure4ParallelMatchesSerial(t *testing.T) {
+	const dmax, nPoints = 60.0, 25
+	got, err := Figure4(dmax, nPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := Table2(Set2Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Tree(set)
+	models, err := Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := stats.Levels(0, dmax, nPoints)
+	for i, m := range models {
+		g := net.GNet(i)
+		family, err := m.DeltaTail(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		family.Paper = true
+		for k, d := range grid {
+			want := family.Eval(g * d)
+			if math.Float64bits(got[i].Y[k]) != math.Float64bits(want) {
+				t.Fatalf("series %d point %d: got %v, want %v (not bit-identical)", i, k, got[i].Y[k], want)
+			}
+		}
+	}
+}
+
+func TestRhoSweepParallelMatchesSerial(t *testing.T) {
+	const minScale, maxScale, points = 0.85, 1.35, 17
+	got, err := RhoSweep(minScale, maxScale, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inline serial reference: the pre-pool RhoSweep loop.
+	var want []RhoSweepPoint
+	for k := 0; k < points; k++ {
+		scale := minScale + (maxScale-minScale)*float64(k)/float64(points-1)
+		rhos := make([]float64, len(Set1Rho))
+		ok := true
+		total := 0.0
+		for i, r := range Set1Rho {
+			rhos[i] = r * scale
+			total += rhos[i]
+			if rhos[i] <= Table1[i].Mean() || rhos[i] >= Table1[i].Lambda {
+				ok = false
+			}
+		}
+		if !ok || total >= 1 {
+			continue
+		}
+		chars, err := Table2(rhos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := Tree(chars)
+		bounds, err := net.RPPSBounds(network.VariantDiscrete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := RhoSweepPoint{Scale: scale, Rhos: rhos}
+		for i, c := range chars {
+			pt.Alphas = append(pt.Alphas, c.Alpha)
+			pt.D1e6 = append(pt.D1e6, bounds[i].Delay.Invert(1e-6))
+		}
+		want = append(want, pt)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("%d sweep points, want %d", len(got), len(want))
+	}
+	eq := func(a, b []float64, what string, row int) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("row %d %s: %d values, want %d", row, what, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("row %d %s[%d]: got %v, want %v (not bit-identical)", row, what, i, a[i], b[i])
+			}
+		}
+	}
+	for r := range want {
+		if math.Float64bits(got[r].Scale) != math.Float64bits(want[r].Scale) {
+			t.Fatalf("row %d scale: got %v, want %v", r, got[r].Scale, want[r].Scale)
+		}
+		eq(got[r].Rhos, want[r].Rhos, "rhos", r)
+		eq(got[r].Alphas, want[r].Alphas, "alphas", r)
+		eq(got[r].D1e6, want[r].D1e6, "d1e6", r)
+	}
+}
+
+func TestTreeSimParallelMatchesSeedOrderMerge(t *testing.T) {
+	seeds := []uint64{11, 22, 33}
+	const slots = 4000
+	got, err := TreeSimParallel(Set1Rho, slots, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference: run each seed alone, merge in seed order.
+	want := make([]*stats.Tail, len(Table1))
+	for i := range want {
+		want[i] = &stats.Tail{}
+	}
+	for _, seed := range seeds {
+		tails, err := TreeSim(Set1Rho, slots, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tl := range tails {
+			want[i].AddAll(tl.Samples())
+		}
+	}
+	for i := range want {
+		gs, ws := got[i].Samples(), want[i].Samples()
+		if len(gs) != len(ws) {
+			t.Fatalf("session %d: %d samples, want %d", i, len(gs), len(ws))
+		}
+		for k := range ws {
+			if math.Float64bits(gs[k]) != math.Float64bits(ws[k]) {
+				t.Fatalf("session %d sample %d: got %v, want %v", i, k, gs[k], ws[k])
+			}
+		}
+	}
+}

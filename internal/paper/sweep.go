@@ -1,46 +1,36 @@
 package paper
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/network"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
 // TreeSimParallel runs independent replications of the Figure 2 tree
-// simulation concurrently (one goroutine per seed) and merges the
+// simulation concurrently through the bounded worker pool and merges the
 // per-session end-to-end delay samples. Replication both tightens the
-// tail estimates and exposes seed sensitivity; the merge is deterministic
-// for a fixed seed set.
+// tail estimates and exposes seed sensitivity; replicas are merged in
+// seed order, so the result is deterministic for a fixed seed set.
 func TreeSimParallel(rhos []float64, slots int, seeds []uint64) ([]*stats.Tail, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("paper: no seeds")
 	}
-	type result struct {
-		tails []*stats.Tail
-		err   error
+	results, err := parallel.Map(context.Background(), len(seeds),
+		func(_ context.Context, si int) ([]*stats.Tail, error) {
+			return TreeSim(rhos, slots, seeds[si])
+		})
+	if err != nil {
+		return nil, err
 	}
-	results := make([]result, len(seeds))
-	var wg sync.WaitGroup
-	for si, seed := range seeds {
-		wg.Add(1)
-		go func(si int, seed uint64) {
-			defer wg.Done()
-			tails, err := TreeSim(rhos, slots, seed)
-			results[si] = result{tails: tails, err: err}
-		}(si, seed)
-	}
-	wg.Wait()
 	merged := make([]*stats.Tail, len(Table1))
 	for i := range merged {
 		merged[i] = &stats.Tail{}
 	}
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		for i, t := range r.tails {
+	for _, tails := range results {
+		for i, t := range tails {
 			merged[i].AddAll(t.Samples())
 		}
 	}
@@ -59,42 +49,56 @@ type RhoSweepPoint struct {
 // decay rate α versus usable bound — by scaling the Set-1 rates across
 // [minScale, maxScale] and recomputing Table 2 and the Theorem 15 delay
 // quantiles at each point. Scales that push any ρ outside (mean, peak)
-// are skipped.
+// are skipped. Every scale is an independent computation, so the points
+// run through the worker pool and are collected in scale order — the
+// output is identical to the serial loop.
 func RhoSweep(minScale, maxScale float64, points int) ([]RhoSweepPoint, error) {
 	if !(minScale > 0) || !(maxScale > minScale) || points < 2 {
 		return nil, fmt.Errorf("paper: sweep range [%v, %v] x%d invalid", minScale, maxScale, points)
 	}
-	var out []RhoSweepPoint
-	for k := 0; k < points; k++ {
-		scale := minScale + (maxScale-minScale)*float64(k)/float64(points-1)
-		rhos := make([]float64, len(Set1Rho))
-		ok := true
-		total := 0.0
-		for i, r := range Set1Rho {
-			rhos[i] = r * scale
-			total += rhos[i]
-			if rhos[i] <= Table1[i].Mean() || rhos[i] >= Table1[i].Lambda {
-				ok = false
+	type cell struct {
+		pt RhoSweepPoint
+		ok bool
+	}
+	cells, err := parallel.Map(context.Background(), points,
+		func(_ context.Context, k int) (cell, error) {
+			scale := minScale + (maxScale-minScale)*float64(k)/float64(points-1)
+			rhos := make([]float64, len(Set1Rho))
+			total := 0.0
+			for i, r := range Set1Rho {
+				rhos[i] = r * scale
+				total += rhos[i]
+				if rhos[i] <= Table1[i].Mean() || rhos[i] >= Table1[i].Lambda {
+					return cell{}, nil
+				}
 			}
+			if total >= 1 {
+				return cell{}, nil
+			}
+			chars, err := Table2(rhos)
+			if err != nil {
+				return cell{}, err
+			}
+			net := Tree(chars)
+			bounds, err := net.RPPSBounds(network.VariantDiscrete)
+			if err != nil {
+				return cell{}, err
+			}
+			pt := RhoSweepPoint{Scale: scale, Rhos: rhos}
+			for i, c := range chars {
+				pt.Alphas = append(pt.Alphas, c.Alpha)
+				pt.D1e6 = append(pt.D1e6, bounds[i].Delay.Invert(1e-6))
+			}
+			return cell{pt: pt, ok: true}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []RhoSweepPoint
+	for _, c := range cells {
+		if c.ok {
+			out = append(out, c.pt)
 		}
-		if !ok || total >= 1 {
-			continue
-		}
-		chars, err := Table2(rhos)
-		if err != nil {
-			return nil, err
-		}
-		net := Tree(chars)
-		bounds, err := net.RPPSBounds(network.VariantDiscrete)
-		if err != nil {
-			return nil, err
-		}
-		pt := RhoSweepPoint{Scale: scale, Rhos: rhos}
-		for i, c := range chars {
-			pt.Alphas = append(pt.Alphas, c.Alpha)
-			pt.D1e6 = append(pt.D1e6, bounds[i].Delay.Invert(1e-6))
-		}
-		out = append(out, pt)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("paper: no feasible sweep points in [%v, %v]", minScale, maxScale)

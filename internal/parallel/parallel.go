@@ -1,0 +1,125 @@
+// Package parallel provides the bounded worker pool behind the
+// experiment pipeline: paper figures, sweeps and simulation replicas fan
+// independent work items out across CPUs through it. The contract is
+// strict determinism — results land in a slice indexed by work item, so
+// for side-effect-free item functions the output is identical to running
+// the items in a serial loop, regardless of scheduling. Errors abort the
+// run: the first failure (lowest item index among those that ran)
+// cancels the remaining items and is returned.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(ctx, i) for i in [0, n) on up to GOMAXPROCS goroutines and
+// returns the results in item order: out[i] is fn's value for item i.
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapN(ctx, n, 0, fn)
+}
+
+// MapN is Map with an explicit worker bound: at most workers items run
+// concurrently (workers <= 0 selects GOMAXPROCS; the bound never exceeds
+// n). With workers == 1 the items run serially on the calling goroutine.
+//
+// Semantics:
+//   - out[i] is fn(ctx, i); items are claimed in index order, so for a
+//     deterministic fn the output equals the serial loop's byte for byte.
+//   - The first error cancels ctx for the remaining items and aborts the
+//     run; the error with the lowest item index among those that ran is
+//     returned and the results must be discarded.
+//   - External cancellation stops the run with ctx's error.
+func MapN[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, errors.New("parallel: nil item function")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: %d items, want >= 0", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	// ctx.Err() == context.Canceled with no recorded error can only come
+	// from the caller's context (our own cancel fires solely alongside a
+	// recorded error), so it still aborts the run.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Each is Map for item functions with no result value.
+func Each(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if fn == nil {
+		return errors.New("parallel: nil item function")
+	}
+	_, err := MapN(ctx, n, 0, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

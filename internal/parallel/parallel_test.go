@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapResultsIndexedByItem(t *testing.T) {
+	const n = 200
+	got, err := Map(context.Background(), n, func(_ context.Context, i int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond) // scramble completion order
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	// Float accumulation per item; the parallel result must be bit-identical
+	// to the serial loop since each item is computed independently.
+	const n = 64
+	item := func(i int) float64 {
+		v := 0.0
+		for k := 1; k <= 100; k++ {
+			v += math.Sin(float64(i*k)) / float64(k)
+		}
+		return v
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = item(i)
+	}
+	got, err := Map(context.Background(), n, func(_ context.Context, i int) (float64, error) {
+		return item(i), nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("got[%d] = %v, want %v (not bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapNWorkerBound(t *testing.T) {
+	const n, workers = 100, 4
+	var inFlight, peak atomic.Int64
+	_, err := MapN(context.Background(), n, workers, func(_ context.Context, i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatalf("MapN: %v", err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent items, want <= %d", p, workers)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 100, func(_ context.Context, i int) (int, error) {
+		if i == 41 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	// Every item fails; the reported error must be the lowest-index one
+	// among those that ran, and item 0 always runs (it is claimed first).
+	_, err := Map(context.Background(), 50, func(_ context.Context, i int) (int, error) {
+		return 0, fmt.Errorf("item %d", i)
+	})
+	if err == nil || err.Error() != "item 0" {
+		t.Fatalf("err = %v, want item 0", err)
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := MapN(context.Background(), 10_000, 2, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("all %d items ran despite early error", n)
+	}
+}
+
+func TestMapExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	_, err := MapN(ctx, 10_000, 2, func(ctx context.Context, i int) (int, error) {
+		once.Do(cancel)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, 10, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran on a cancelled context", ran.Load())
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if out, err := Map(context.Background(), 0, func(_ context.Context, i int) (int, error) { return i, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Map[int](context.Background(), 5, nil); err == nil {
+		t.Fatal("nil fn: want error")
+	}
+	if _, err := Map(context.Background(), -1, func(_ context.Context, i int) (int, error) { return i, nil }); err == nil {
+		t.Fatal("n<0: want error")
+	}
+	// Single worker runs serially and stops at the first error without
+	// touching later items.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := MapN(context.Background(), 10, 1, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || ran.Load() != 4 {
+		t.Fatalf("serial path: err=%v ran=%d, want boom after 4 items", err, ran.Load())
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(context.Background(), 100, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatalf("Each: %v", err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+	boom := errors.New("boom")
+	if err := Each(context.Background(), 10, func(_ context.Context, i int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Each err = %v, want %v", err, boom)
+	}
+	if err := Each(context.Background(), 10, nil); err == nil {
+		t.Fatal("Each nil fn: want error")
+	}
+}

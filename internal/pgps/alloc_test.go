@@ -1,0 +1,92 @@
+package pgps
+
+import "testing"
+
+// The scheduler hot paths must not allocate once warmed up: WFQ's
+// hand-rolled heap and WF2Q's in-place item list reuse their slices, and
+// FCFS's ring reuses its circular buffer. These tests pin that at zero
+// allocations for a steady-state enqueue+dequeue pair.
+
+func measurePair(t *testing.T, sched Scheduler) float64 {
+	t.Helper()
+	now := 0.0
+	seq := 0
+	pair := func() {
+		p := Packet{Session: seq % 4, Size: 1 + float64(seq%3), Arrival: now}
+		if err := sched.Enqueue(p, now); err != nil {
+			t.Fatal(err)
+		}
+		now += 0.5
+		if _, ok := sched.Dequeue(now); !ok {
+			t.Fatal("dequeue on non-empty scheduler failed")
+		}
+		now += 0.5
+		seq++
+	}
+	// Warm up: grow the backlog so the heap/ring reaches a stable
+	// capacity, then drain back to a steady queue length.
+	for i := 0; i < 64; i++ {
+		if err := sched.Enqueue(Packet{Session: i % 4, Size: 1, Arrival: now}, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		pair()
+	}
+	return testing.AllocsPerRun(1000, pair)
+}
+
+func TestWFQEnqueueDequeueZeroAllocs(t *testing.T) {
+	w, err := NewWFQ(1, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := measurePair(t, w); avg != 0 {
+		t.Fatalf("WFQ enqueue+dequeue allocates %.2f times per pair, want 0", avg)
+	}
+}
+
+func TestWF2QEnqueueDequeueZeroAllocs(t *testing.T) {
+	w, err := NewWF2Q(1, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := measurePair(t, w); avg != 0 {
+		t.Fatalf("WF2Q enqueue+dequeue allocates %.2f times per pair, want 0", avg)
+	}
+}
+
+func TestFCFSEnqueueDequeueZeroAllocs(t *testing.T) {
+	if avg := measurePair(t, NewFCFS()); avg != 0 {
+		t.Fatalf("FCFS enqueue+dequeue allocates %.2f times per pair, want 0", avg)
+	}
+}
+
+// TestFCFSBoundedCapacity is the regression test for the q = q[1:] leak:
+// the queue's backing storage must track the high-water mark, not the
+// total number of packets ever enqueued.
+func TestFCFSBoundedCapacity(t *testing.T) {
+	f := NewFCFS()
+	now := 0.0
+	for i := 0; i < 100_000; i++ {
+		if err := f.Enqueue(Packet{Session: 0, Size: 1, Arrival: now}, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Enqueue(Packet{Session: 1, Size: 1, Arrival: now}, now); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := f.Dequeue(now); !ok {
+			t.Fatal("dequeue failed")
+		}
+		if _, ok := f.Dequeue(now); !ok {
+			t.Fatal("dequeue failed")
+		}
+		now++
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", f.Len())
+	}
+	if c := f.q.Cap(); c > 64 {
+		t.Fatalf("FCFS backing capacity = %d after 200k packets with queue depth <= 2, want a small constant", c)
+	}
+}

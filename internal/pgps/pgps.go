@@ -12,11 +12,12 @@
 package pgps
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/ring"
 )
 
 // Packet is one packet offered to a scheduler.
@@ -45,9 +46,12 @@ type Scheduler interface {
 
 // ---------------------------------------------------------------- FCFS --
 
-// FCFS serves packets in arrival order.
+// FCFS serves packets in arrival order. The queue is a circular buffer:
+// the previous `q = q[1:]` reslicing pinned the backing array's dead head
+// forever, so memory grew with the total number of packets ever served
+// rather than with the queue's high-water mark.
 type FCFS struct {
-	q []Packet
+	q ring.Ring[Packet]
 }
 
 // NewFCFS builds an empty FCFS queue.
@@ -59,22 +63,20 @@ func (f *FCFS) Enqueue(p Packet, now float64) error {
 	if p.Session < 0 {
 		return fmt.Errorf("%w: session %d", ErrUnknownSession, p.Session)
 	}
-	f.q = append(f.q, p)
+	f.q.Push(p)
 	return nil
 }
 
 // Dequeue implements Scheduler.
 func (f *FCFS) Dequeue(now float64) (Packet, bool) {
-	if len(f.q) == 0 {
+	if f.q.Len() == 0 {
 		return Packet{}, false
 	}
-	p := f.q[0]
-	f.q = f.q[1:]
-	return p, true
+	return f.q.Pop(), true
 }
 
 // Len implements Scheduler.
-func (f *FCFS) Len() int { return len(f.q) }
+func (f *FCFS) Len() int { return f.q.Len() }
 
 // ----------------------------------------------------------------- WFQ --
 
@@ -85,23 +87,59 @@ type wfqItem struct {
 	seq    int // tie-break: arrival order
 }
 
+// wfqHeap is a hand-rolled binary min-heap on concrete wfqItem values.
+// container/heap would box every pushed and popped item into an
+// interface{}, costing an allocation per packet on the hot path; the
+// concrete sift routines keep steady-state enqueue+dequeue allocation
+// free (pushes reuse the slice's spare capacity).
 type wfqHeap []wfqItem
 
-func (h wfqHeap) Len() int { return len(h) }
-func (h wfqHeap) Less(i, j int) bool {
+func (h wfqHeap) less(i, j int) bool {
 	if h[i].finish != h[j].finish {
 		return h[i].finish < h[j].finish
 	}
 	return h[i].seq < h[j].seq
 }
-func (h wfqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *wfqHeap) Push(x interface{}) { *h = append(*h, x.(wfqItem)) }
-func (h *wfqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *wfqHeap) push(it wfqItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *wfqHeap) pop() wfqItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = wfqItem{} // keep the dead slot from pinning the packet
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // WFQ is Packet-by-packet GPS: packets are stamped with the virtual
@@ -183,7 +221,7 @@ func (w *WFQ) Enqueue(p Packet, now float64) error {
 	}
 	finish := start + p.Size/w.phi[p.Session]
 	w.lastFinish[p.Session] = finish
-	heap.Push(&w.heap, wfqItem{pkt: p, finish: finish, seq: w.seq})
+	w.heap.push(wfqItem{pkt: p, finish: finish, seq: w.seq})
 	w.seq++
 	return nil
 }
@@ -194,8 +232,7 @@ func (w *WFQ) Dequeue(now float64) (Packet, bool) {
 	if len(w.heap) == 0 {
 		return Packet{}, false
 	}
-	it := heap.Pop(&w.heap).(wfqItem)
-	return it.pkt, true
+	return w.heap.pop().pkt, true
 }
 
 // Len implements Scheduler.

@@ -1,0 +1,86 @@
+// Package ring provides a growable circular FIFO queue. It exists to
+// replace the `q = append(q, x)` / `q = q[1:]` idiom that several hot
+// loops (fluid pending batches, netsim end-to-end batches, the FCFS
+// scheduler) used for queues: reslicing the head retains the backing
+// array forever — a slow leak on long runs — and the steady-state
+// append/reslice churn defeats the allocator. A Ring reuses its backing
+// array once warmed up: pushes and pops in steady state never allocate,
+// and capacity stays proportional to the high-water mark of the queue,
+// not to the total number of elements ever enqueued.
+package ring
+
+// Ring is a growable circular FIFO queue of T. The zero value is an
+// empty queue ready for use.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the front element (valid when n > 0)
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the current capacity of the backing array (exposed so
+// tests can assert bounded growth).
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Push appends x to the back of the queue, growing the backing array
+// only when full.
+func (r *Ring[T]) Push(x T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = x
+	r.n++
+}
+
+// Front returns a pointer to the front element without removing it. It
+// must not be called on an empty ring; the pointer is invalidated by the
+// next Push or Pop.
+func (r *Ring[T]) Front() *T {
+	return &r.buf[r.head]
+}
+
+// Pop removes and returns the front element. It must not be called on an
+// empty ring.
+func (r *Ring[T]) Pop() T {
+	x := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // drop references for GC-friendliness
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return x
+}
+
+// At returns a pointer to the k-th element from the front (0 = front).
+// It must not be called with k outside [0, Len).
+func (r *Ring[T]) At(k int) *T {
+	return &r.buf[(r.head+k)%len(r.buf)]
+}
+
+// Reset empties the queue, keeping the backing array for reuse.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
+// grow doubles the backing array (starting at a small minimum) and
+// straightens the queue so the front lands at index 0.
+func (r *Ring[T]) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}

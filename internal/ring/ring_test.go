@@ -1,0 +1,116 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var r Ring[int]
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			r.Push(i)
+		}
+		if r.Len() != 100 {
+			t.Fatalf("Len = %d, want 100", r.Len())
+		}
+		if *r.Front() != 0 {
+			t.Fatalf("Front = %d, want 0", *r.Front())
+		}
+		for i := 0; i < 100; i++ {
+			if got := *r.At(i); got != i {
+				t.Fatalf("At(%d) = %d", i, got)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if got := r.Pop(); got != i {
+				t.Fatalf("Pop = %d, want %d", got, i)
+			}
+		}
+		if r.Len() != 0 {
+			t.Fatalf("Len = %d after drain", r.Len())
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var r Ring[int]
+	next, expect := 0, 0
+	// Interleave pushes and pops so head walks around the buffer many
+	// times at a small steady-state depth.
+	for step := 0; step < 10000; step++ {
+		r.Push(next)
+		next++
+		if step%3 != 0 {
+			if got := r.Pop(); got != expect {
+				t.Fatalf("step %d: Pop = %d, want %d", step, got, expect)
+			}
+			expect++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != expect {
+			t.Fatalf("drain: Pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("popped %d values, pushed %d", expect, next)
+	}
+}
+
+// TestBoundedCapacity is the regression guard for the q = q[1:] leak
+// class: steady-state churn must not grow the backing array beyond the
+// queue's high-water mark (rounded up to a power-of-two growth step).
+func TestBoundedCapacity(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 1_000_000; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+	if r.Cap() > 8 {
+		t.Fatalf("Cap = %d after 1M push/pop at depth 1, want <= 8", r.Cap())
+	}
+	for i := 0; i < 1000; i++ {
+		r.Push(i)
+	}
+	hw := r.Cap()
+	for i := 0; i < 1_000_000; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+	if r.Cap() != hw {
+		t.Fatalf("Cap grew from %d to %d under steady churn", hw, r.Cap())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Ring[*int]
+	x := 7
+	for i := 0; i < 20; i++ {
+		r.Push(&x)
+	}
+	c := r.Cap()
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", r.Len())
+	}
+	if r.Cap() != c {
+		t.Fatalf("Reset dropped capacity: %d -> %d", c, r.Cap())
+	}
+	r.Push(&x)
+	if got := r.Pop(); got != &x {
+		t.Fatal("queue corrupted after Reset")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	var r Ring[float64]
+	for i := 0; i < 64; i++ {
+		r.Push(float64(i))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Push(1)
+		r.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -9,6 +9,8 @@
 // unit-length slot. All sources are deterministic functions of their seed.
 package source
 
+import "math"
+
 // RNG is a SplitMix64 pseudo-random generator: tiny, fast, and with
 // well-understood equidistribution — entirely sufficient for workload
 // generation, and dependency-free.
@@ -39,6 +41,34 @@ func (r *RNG) Float64() float64 {
 // Bernoulli returns true with probability p.
 func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
+}
+
+// BernoulliThreshold converts a probability into the integer threshold
+// used by CoinFlip. The conversion is an exact rewrite of Bernoulli:
+// with k = Uint64()>>11 ∈ [0, 2^53), both float64(k)/2^53 and p·2^53
+// are computed exactly (power-of-two scaling never rounds), so
+//
+//	float64(k)/2^53 < p  ⟺  k < ceil(p·2^53)
+//
+// and a source using precomputed thresholds produces bit-identical
+// sample paths to one calling Bernoulli — only cheaper, replacing an
+// int→float conversion, a division and a float compare with one integer
+// compare per draw.
+func BernoulliThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// CoinFlip draws one Bernoulli sample against a precomputed
+// BernoulliThreshold, consuming exactly one Uint64 — the same stream
+// position Bernoulli would use.
+func (r *RNG) CoinFlip(threshold uint64) bool {
+	return r.Uint64()>>11 < threshold
 }
 
 // Intn returns a uniform integer in [0, n).

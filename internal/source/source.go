@@ -39,8 +39,14 @@ type OnOff struct {
 	P, Q   float64
 	Lambda float64
 
-	on  bool
-	rng *RNG
+	on bool
+	// Integer Bernoulli thresholds for P and Q (see BernoulliThreshold):
+	// exact rewrites of the float comparisons, precomputed once so the
+	// per-slot hot path is a single SplitMix64 step and one compare. The
+	// RNG is held by value to avoid a pointer chase per draw; the sample
+	// path is bit-identical to the historical Bernoulli-based one.
+	pThr, qThr uint64
+	rng        RNG
 }
 
 // NewOnOff builds an on-off source with the given parameters, started in
@@ -53,27 +59,31 @@ func NewOnOff(p, q, lambda float64, seed uint64) (*OnOff, error) {
 	if lambda <= 0 {
 		return nil, fmt.Errorf("source: on-off peak rate %v, want positive", lambda)
 	}
-	s := &OnOff{P: p, Q: q, Lambda: lambda, rng: NewRNG(seed)}
+	s := &OnOff{
+		P: p, Q: q, Lambda: lambda,
+		pThr: BernoulliThreshold(p),
+		qThr: BernoulliThreshold(q),
+		rng:  RNG{state: seed},
+	}
 	s.on = s.rng.Bernoulli(p / (p + q))
 	return s, nil
 }
 
 // Next implements Source: it emits according to the current state, then
-// advances the chain.
+// advances the chain. The body is branch-free (conditional moves plus an
+// XOR state flip): the chain state is close to a fair coin for the
+// paper's parameters, so a branchy version pays a pipeline flush nearly
+// every other slot.
 func (s *OnOff) Next() float64 {
+	on := s.on
 	var a float64
-	if s.on {
+	thr := s.pThr
+	if on {
 		a = s.Lambda
+		thr = s.qThr
 	}
-	if s.on {
-		if s.rng.Bernoulli(s.Q) {
-			s.on = false
-		}
-	} else {
-		if s.rng.Bernoulli(s.P) {
-			s.on = true
-		}
-	}
+	flip := s.rng.Uint64()>>11 < thr
+	s.on = on != flip
 	return a
 }
 

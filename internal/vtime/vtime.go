@@ -1,0 +1,63 @@
+// Package vtime maps virtual (normalized-service) time back to wall
+// time for event-driven GPS engines. Within one slot the virtual clock
+// of a GPS server advances piecewise-linearly in wall time: the slope
+// changes only at depletion events, when capacity reallocates among the
+// surviving sessions. An engine records one affine piece per constant-
+// rate segment and can then resolve the exact wall time at which any
+// virtual instant occurred — which is how batch completion times (and
+// hence the paper's per-batch delays D_i) are recovered without ever
+// scanning sessions.
+package vtime
+
+// Piece is one constant-rate segment: for virtual instants u >= VStart
+// (up to the next piece), wall(u) = TStart + (u-VStart)*Factor.
+type Piece struct {
+	VStart float64
+	TStart float64
+	Factor float64 // wall seconds per unit of virtual time
+}
+
+// Pieces is a per-slot piecewise-affine virtual→wall map. Pieces must be
+// appended in nondecreasing VStart order; Reset clears the map at each
+// slot boundary while keeping the backing array.
+type Pieces struct {
+	ps []Piece
+}
+
+// Reset empties the map, retaining capacity.
+func (p *Pieces) Reset() { p.ps = p.ps[:0] }
+
+// Len returns the number of recorded pieces.
+func (p *Pieces) Len() int { return len(p.ps) }
+
+// Append records a new segment starting at virtual instant v, wall
+// instant t, with the given wall-per-virtual slope.
+func (p *Pieces) Append(v, t, factor float64) {
+	p.ps = append(p.ps, Piece{VStart: v, TStart: t, Factor: factor})
+}
+
+// WallAt resolves the wall time of virtual instant u. Instants before
+// the first piece clamp to its start; instants beyond the last recorded
+// piece extrapolate along it (callers bound u by the slot's final
+// virtual time, so extrapolation only absorbs rounding dust).
+func (p *Pieces) WallAt(u float64) float64 {
+	n := len(p.ps)
+	if n == 0 || u <= p.ps[0].VStart {
+		if n == 0 {
+			return 0
+		}
+		return p.ps[0].TStart
+	}
+	// Binary search for the rightmost piece with VStart <= u.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.ps[mid].VStart <= u {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	seg := p.ps[lo]
+	return seg.TStart + (u-seg.VStart)*seg.Factor
+}
