@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke check bench perfcheck clean
+.PHONY: all vet build test fuzz-smoke check bench benchcheck perfcheck clean
 
 all: check
 
@@ -26,15 +26,25 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) -run '^$$' ./internal/fluid
 	$(GO) test -fuzz FuzzNew -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim
 
-check: vet build test fuzz-smoke
+check: vet build test fuzz-smoke perfcheck benchcheck
 
 # bench runs the full benchmark harness with memory stats and snapshots
-# the parsed results to BENCH_<date>.json (format documented in
-# EXPERIMENTS.md). Non-benchmark output passes through to the terminal.
+# the parsed results to BENCH_<UTC datetime>.json (format documented in
+# EXPERIMENTS.md; the timestamp makes lexicographic order chronological
+# so repeated runs on one day never overwrite an earlier snapshot).
+# Non-benchmark output passes through to the terminal.
+BENCHSTAMP := $(shell date -u +%Y-%m-%dT%H%M%SZ)
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . \
-		| $(GO) run ./tools/benchjson > BENCH_$$(date -u +%Y-%m-%d).json
-	@echo "wrote BENCH_$$(date -u +%Y-%m-%d).json"
+		| $(GO) run ./tools/benchjson > BENCH_$(BENCHSTAMP).json
+	@echo "wrote BENCH_$(BENCHSTAMP).json"
+
+# benchcheck compares the two newest committed snapshots and fails on a
+# >15% ns/op regression of the named hot-path benchmarks. Snapshot-to-
+# snapshot, so CI stays deterministic: run `make bench` locally, commit
+# the new snapshot, and the gate validates it.
+benchcheck:
+	$(GO) run ./tools/benchcmp
 
 # perfcheck is the fast correctness gate for the event-driven fluid
 # engine: the differential tests replay random workloads against the

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gpsmath"
 	"repro/internal/hiergps"
 	"repro/internal/lbap"
+	"repro/internal/mc"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/paper"
@@ -754,9 +755,11 @@ func BenchmarkRingCRST(b *testing.B) {
 }
 
 // BenchmarkAnalyzeScaling measures single-node analysis cost as the
-// session count grows (heterogeneous population).
+// session count grows (heterogeneous population). The large sizes pin
+// the near-linear prefix/suffix-sum path: 16384 sessions must stay
+// within ~20x of 1024 (quadratic would be 256x).
 func BenchmarkAnalyzeScaling(b *testing.B) {
-	for _, n := range []int{4, 16, 64} {
+	for _, n := range []int{4, 16, 64, 1024, 16384, 131072} {
 		b.Run(fmt.Sprintf("sessions-%d", n), func(b *testing.B) {
 			srv := gpsmath.Server{Rate: 1}
 			rng := source.NewRNG(uint64(n))
@@ -778,6 +781,56 @@ func BenchmarkAnalyzeScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTreeSimSharded measures the sharded Monte Carlo harness on
+// the paper tree: slots/sec across all shards with streaming tails and
+// deterministic block merge (EXT-SCALE).
+func BenchmarkTreeSimSharded(b *testing.B) {
+	cfg := mc.Config{Blocks: 8, BlockSlots: 25000, Workers: 0, Seed: 42}
+	var tails []*stats.StreamTail
+	var err error
+	for i := 0; i < b.N; i++ {
+		tails, err = paper.TreeSimSharded(paper.Set1Rho, cfg, paper.TreeTailSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	slotsPerOp := float64(cfg.TotalSlots())
+	b.ReportMetric(slotsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mslots/s")
+	once("treesimsharded", func() {
+		fmt.Printf("\nEXT-SCALE — sharded tree (%d slots, %d blocks): per-session p99.9 delay:",
+			cfg.TotalSlots(), cfg.Blocks)
+		for i, tail := range tails {
+			q, err := tail.Quantile(0.999)
+			if err != nil {
+				fmt.Printf(" s%d=-", i+1)
+				continue
+			}
+			fmt.Printf(" s%d=%.2f", i+1, q)
+		}
+		fmt.Println()
+	})
+}
+
+// BenchmarkTailInterleaved regression-guards the dirty-suffix sort in
+// stats.Tail: alternating small appends and quantile queries must not
+// re-sort the whole sample set per query.
+func BenchmarkTailInterleaved(b *testing.B) {
+	rng := source.NewRNG(9)
+	var tail stats.Tail
+	for i := 0; i < 100000; i++ {
+		tail.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			tail.Add(rng.Float64())
+		}
+		if _, err := tail.Quantile(0.999); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

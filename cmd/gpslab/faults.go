@@ -10,7 +10,6 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/network"
 	"repro/internal/paper"
-	"repro/internal/parallel"
 	"repro/internal/plot"
 )
 
@@ -216,36 +215,20 @@ func faultsReplicas(class string, seed, srcSeed uint64, replicas, slots int, eps
 		return err
 	}
 	nSess := len(paper.SessionNames)
-	type cell struct {
-		exceed  []int
-		dropped []float64
-		samples int
+	cfgs := make([]faults.Config, 0, len(classes)*replicas)
+	srcSeeds := make([]uint64, 0, len(classes)*replicas)
+	for _, cl := range classes {
+		for r := 0; r < replicas; r++ {
+			cfg, err := faultClassCfg(cl, seed+uint64(r), slots)
+			if err != nil {
+				return err
+			}
+			cfgs = append(cfgs, cfg)
+			srcSeeds = append(srcSeeds, srcSeed+uint64(r))
+		}
 	}
-	cells, err := parallel.Map(context.Background(), len(classes)*replicas,
-		func(_ context.Context, item int) (cell, error) {
-			ci, r := item/replicas, item%replicas
-			cfg, err := faultClassCfg(classes[ci], seed+uint64(r), slots)
-			if err != nil {
-				return cell{}, err
-			}
-			inj, err := faults.New(cfg)
-			if err != nil {
-				return cell{}, err
-			}
-			c := cell{exceed: make([]int, nSess)}
-			run, err := paper.FaultTreeSim(paper.Set1Rho, slots, srcSeed+uint64(r), inj,
-				func(sess, slot int, d float64) {
-					if d >= dBound[sess] {
-						c.exceed[sess]++
-					}
-					c.samples++
-				})
-			if err != nil {
-				return cell{}, err
-			}
-			c.dropped = run.Dropped
-			return c, nil
-		})
+	counters := monitor.NewFaultCounters()
+	cells, err := paper.FaultReplicaMatrix(context.Background(), cfgs, srcSeeds, dBound, counters)
 	if err != nil {
 		return err
 	}
@@ -266,10 +249,10 @@ func faultsReplicas(class string, seed, srcSeed uint64, replicas, slots int, eps
 		samples := 0
 		for r := 0; r < replicas; r++ {
 			c := cells[ci*replicas+r]
-			samples += c.samples
+			samples += c.Samples
 			for i := range exceed {
-				exceed[i] += c.exceed[i]
-				dropped += c.dropped[i]
+				exceed[i] += c.Exceed[i]
+				dropped += c.Dropped[i]
 			}
 		}
 		row := []string{cl, fmt.Sprint(replicas), fmt.Sprint(samples)}
@@ -280,6 +263,7 @@ func faultsReplicas(class string, seed, srcSeed uint64, replicas, slots int, eps
 		rows = append(rows, row)
 	}
 	fmt.Print(plot.Table(header, rows))
+	fmt.Printf("\n%s\n", counters.Snapshot())
 	fmt.Println("\nexceed counts healthy-tree bound violations under the faulted run; each")
 	fmt.Println("(class, seed) cell is reproducible alone via -class/-seed/-srcseed.")
 	return nil

@@ -8,9 +8,11 @@
 //	gpslab validate            bound vs. simulated delay tails (EXT-SIM)
 //	gpslab detvstat            deterministic vs statistical bounds (EXT-DET)
 //	gpslab single              single-node analysis of the Set-1 sessions
+//	gpslab scale               sharded many-slot simulation with streaming tails
 //
 // Figures render as ASCII log-scale plots; -csv FILE additionally writes
-// the series as CSV.
+// the series as CSV. Global -cpuprofile/-memprofile flags (before the
+// command) profile any subcommand.
 package main
 
 import (
@@ -32,11 +34,23 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	globals := flag.NewFlagSet("gpslab", flag.ExitOnError)
+	globals.Usage = usage
+	prof := &profileFlags{}
+	globals.StringVar(&prof.cpu, "cpuprofile", "", "write a CPU profile of the command to `file`")
+	globals.StringVar(&prof.mem, "memprofile", "", "write a heap profile after the command to `file`")
+	if err := globals.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if globals.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := globals.Arg(0), globals.Args()[1:]
+	if err := prof.start(); err != nil {
+		fmt.Fprintf(os.Stderr, "gpslab: %v\n", err)
+		os.Exit(1)
+	}
 	var err error
 	switch cmd {
 	case "table1":
@@ -69,12 +83,17 @@ func main() {
 		err = sweep(args)
 	case "faults":
 		err = faultsCmd(args)
+	case "scale":
+		err = scale(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "gpslab: unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
+	}
+	if perr := prof.stop(); err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpslab %s: %v\n", cmd, err)
@@ -83,7 +102,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gpslab <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: gpslab [-cpuprofile FILE] [-memprofile FILE] <command> [flags]
+
+global flags (before the command):
+  -cpuprofile FILE   write a CPU profile of the command
+  -memprofile FILE   write a heap profile after the command
 
 commands:
   table1     print the paper's Table 1 (on-off source parameters)
@@ -100,7 +123,8 @@ commands:
   ys         decomposition vs Yaron-Sidi recursion ablation
   export     write every figure as CSV (-dir, -slots, -seed)
   sweep      envelope-rate sensitivity sweep (-min, -max, -points)
-  faults     rerun the Fig. 2 tree under injected faults (-class, -seed, -slots)`)
+  faults     rerun the Fig. 2 tree under injected faults (-class, -seed, -slots)
+  scale      sharded tree simulation with streaming tails (-slots, -blockslots, -workers)`)
 }
 
 func table1() error {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags carries the global -cpuprofile/-memprofile options shared
+// by every subcommand: profiling wraps whatever command runs after the
+// global flags, so any table or experiment can be profiled without
+// per-command plumbing.
+type profileFlags struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+}
+
+// start begins CPU profiling if requested. Call stop when the command
+// returns, whether or not it succeeded.
+func (p *profileFlags) start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop finishes the CPU profile and writes the heap profile, reporting
+// where they landed so the run is self-documenting.
+func (p *profileFlags) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", p.cpu)
+		p.cpuFile = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", p.mem)
+	}
+	return nil
+}

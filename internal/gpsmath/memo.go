@@ -79,6 +79,11 @@ type orderingMemo struct {
 	tailPhi []float64
 	// preMinA[pos] = min_{k < pos} α_{ord[k]} (+Inf at pos 0).
 	preMinA []float64
+	// preInvA[pos] = Σ_{k < pos} 1/α_{ord[k]}, accumulated left to right
+	// in ordering order — the same op sequence ebb.HolderExponents uses —
+	// so the Theorem 8 auto-exponent path reproduces its partial sums
+	// bit for bit from a prefix lookup instead of an O(pos) rebuild.
+	preInvA []float64
 	// terms[j] is the Lemma 6 term of session j at its decomposed rate.
 	terms []mgfTerm
 }
@@ -87,14 +92,15 @@ func (s Server) newOrderingMemo(ord []int, rates []float64) *orderingMemo {
 	n := len(ord)
 	nSess := len(s.Sessions)
 	// One float block backs every per-position array.
-	floats := make([]float64, nSess+(n+1)+n)
+	floats := make([]float64, nSess+(n+1)+n+(n+1))
 	m := &orderingMemo{
 		s:       s,
 		ord:     append([]int(nil), ord...),
 		rates:   append([]float64(nil), rates...),
 		g:       floats[:nSess:nSess],
 		tailPhi: floats[nSess : nSess+n+1 : nSess+n+1],
-		preMinA: floats[nSess+n+1:],
+		preMinA: floats[nSess+n+1 : nSess+2*n+1 : nSess+2*n+1],
+		preInvA: floats[nSess+2*n+1:],
 		terms:   make([]mgfTerm, nSess),
 	}
 	totalPhi := s.TotalPhi()
@@ -105,14 +111,19 @@ func (s Server) newOrderingMemo(ord []int, rates []float64) *orderingMemo {
 		m.tailPhi[pos] = m.tailPhi[pos+1] + s.Sessions[ord[pos]].Phi
 	}
 	minA := math.Inf(1)
+	invA := 0.0
 	for pos, j := range ord {
 		m.preMinA[pos] = minA
-		if a := s.Sessions[j].Arrival.Alpha; a < minA {
+		m.preInvA[pos] = invA
+		a := s.Sessions[j].Arrival.Alpha
+		if a < minA {
 			minA = a
 		}
+		invA += 1 / a
 		arr := s.Sessions[j].Arrival
 		m.terms[j] = singleTerm(arr, rates[j]-arr.Rho)
 	}
+	m.preInvA[n] = invA
 	return m
 }
 
@@ -186,13 +197,53 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 	psi := sess.Phi / m.tailPhi[pos]
 
 	k := pos + 1 // number of Hölder terms: predecessors plus the session
+	ahead := m.ord[:pos]
+	terms := m.terms
 	if ps == nil {
-		alphas := make([]float64, 0, k)
-		for _, j := range m.ord[:pos] {
-			alphas = append(alphas, m.s.Sessions[j].Arrival.Alpha)
+		// Auto-exponent fast path: the conjugate exponents p_j = α_j·inv
+		// with inv = Σ 1/α are recovered from the preInvA prefix sums
+		// instead of materializing the O(pos) alphas/ps/exps slices, so
+		// construction is O(1) per position (O(N) across an ordering,
+		// instead of O(N²) time and memory). Exponent validity (p_j > 1
+		// for k ≥ 2, reciprocals summing to 1) holds by construction.
+		// The θ ceiling uses lim = 1/(inv·ψ) for the predecessor block,
+		// which equals every α_j/(p_j·ψ) exactly in real arithmetic and
+		// to within an ulp or two in floats — an overshoot is harmless
+		// because σ̂ itself returns +Inf past any term's true ceiling.
+		inv := m.preInvA[pos] + 1/sess.Arrival.Alpha
+		pSelf := sess.Arrival.Alpha * inv
+		thetaMax := sess.Arrival.Alpha / pSelf
+		if pos > 0 {
+			if lim := 1 / (inv * psi); lim < thetaMax {
+				thetaMax = lim
+			}
 		}
-		alphas = append(alphas, sess.Arrival.Alpha)
-		ps, _ = ebb.HolderExponents(alphas)
+		sessions := m.s.Sessions
+		prefactor := func(theta float64) float64 {
+			if theta <= 0 || theta >= thetaMax {
+				return math.Inf(1)
+			}
+			lam := math.Pow(terms[i].eval(pSelf*theta, mode), 1/pSelf)
+			for _, j := range ahead {
+				pj := sessions[j].Arrival.Alpha * inv
+				mj := terms[j].eval(pj*psi*theta, mode)
+				lam *= math.Pow(mj, 1/pj)
+				if math.IsInf(lam, 1) {
+					return math.Inf(1)
+				}
+			}
+			return lam
+		}
+		*sb = SessionBounds{
+			Name:      sess.Name,
+			Index:     i,
+			G:         m.g[i],
+			Rho:       sess.Arrival.Rho,
+			Theorem:   "thm8",
+			ThetaMax:  thetaMax,
+			Prefactor: prefactor,
+		}
+		return nil
 	}
 	if len(ps) != k {
 		return fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
@@ -216,8 +267,6 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 		}
 	}
 
-	ahead := m.ord[:pos]
-	terms := m.terms
 	exps := append([]float64(nil), ps...)
 	prefactor := func(theta float64) float64 {
 		if theta <= 0 || theta >= thetaMax {
@@ -269,12 +318,14 @@ type partitionMemo struct {
 	// classGeometry recomputed per session.
 	earlierRho []float64
 	laterPhi   []float64
-	// aggArena backs the per-session aggregate term slices: session i in
-	// class c gets aggArena[aggOff[i] : aggOff[i]+c]. The ε budgets are
-	// session-specific so the terms themselves cannot be shared, but one
-	// arena allocation replaces a per-session slice each.
-	aggArena []mgfTerm
-	aggOff   []int
+	// preMinClassA[c] = min_{l < c} classMinA[l] (+Inf at c = 0) and
+	// preInvClassA[c] = Σ_{l < c} 1/classMinA[l], accumulated left to
+	// right — the same op sequence ebb.HolderExponents applies to the
+	// ceiling list — so the Theorem 11/12 θ ceilings and auto Hölder
+	// exponents come from O(1) lookups instead of per-session scans over
+	// the earlier classes.
+	preMinClassA []float64
+	preInvClassA []float64
 }
 
 func (s Server) newPartitionMemo(p Partition) *partitionMemo {
@@ -282,7 +333,7 @@ func (s Server) newPartitionMemo(p Partition) *partitionMemo {
 	n := len(s.Sessions)
 	// One float block backs the guaranteed rates and every per-class
 	// array (including the classPhi temporary).
-	floats := make([]float64, n+5*L)
+	floats := make([]float64, n+7*L)
 	m := &partitionMemo{
 		s: s, p: p,
 		g:            floats[:n:n],
@@ -292,12 +343,14 @@ func (s Server) newPartitionMemo(p Partition) *partitionMemo {
 		classSumSH:   make([]func(float64) float64, L),
 		earlierRho:   floats[n+2*L : n+3*L : n+3*L],
 		laterPhi:     floats[n+3*L : n+4*L : n+4*L],
+		preMinClassA: floats[n+4*L : n+5*L : n+5*L],
+		preInvClassA: floats[n+5*L : n+6*L : n+6*L],
 	}
 	totalPhi := s.TotalPhi()
 	for i := range s.Sessions {
 		m.g[i] = s.Sessions[i].Phi / totalPhi * s.Rate
 	}
-	classPhi := floats[n+4*L:]
+	classPhi := floats[n+6*L:]
 	// memberArena holds every class's member processes back to back: the
 	// classes partition the sessions, so n slots hold them all.
 	memberArena := make([]ebb.Process, 0, n)
@@ -327,13 +380,16 @@ func (s Server) newPartitionMemo(p Partition) *partitionMemo {
 			m.laterPhi[c] += m.laterPhi[c+1]
 		}
 	}
-	m.aggOff = make([]int, len(p.ClassOf))
-	total := 0
-	for i, c := range p.ClassOf {
-		m.aggOff[i] = total
-		total += c
+	minA := math.Inf(1)
+	invA := 0.0
+	for c := 0; c < L; c++ {
+		m.preMinClassA[c] = minA
+		m.preInvClassA[c] = invA
+		if a := m.classMinA[c]; a < minA {
+			minA = a
+		}
+		invA += 1 / m.classMinA[c]
 	}
-	m.aggArena = make([]mgfTerm, total)
 	return m
 }
 
@@ -388,27 +444,28 @@ func (m *partitionMemo) theorem11Into(sb *SessionBounds, i int, mode XiMode) err
 	epsI := geo.epsBudget / k
 	epsAgg := geo.epsBudget / (k * geo.psi)
 
+	// min_l (α_l/ψ) = (min_l α_l)/ψ bit for bit (division by a positive
+	// constant never reorders floats), so the prefix minimum replaces the
+	// per-session scan over earlier classes.
 	thetaMax := sess.Arrival.Alpha
-	for _, a := range m.classMinA[:c] {
-		if lim := a / geo.psi; lim < thetaMax {
+	if c > 0 {
+		if lim := m.preMinClassA[c] / geo.psi; lim < thetaMax {
 			thetaMax = lim
 		}
 	}
 
 	selfTerm := singleTerm(sess.Arrival, epsI)
-	off := m.aggOff[i]
-	aggTerms := m.aggArena[off : off+c : off+c]
-	for l := 0; l < c; l++ {
-		aggTerms[l] = aggTerm(m.classSumSH[l], m.classRho[l], epsAgg)
-	}
 	psi := geo.psi
+	// The aggregate Lemma 6 terms differ per session only through epsAgg;
+	// building the three-field term values inside the closure instead of
+	// materializing an O(L) slice per session keeps construction O(1).
 	prefactor := func(theta float64) float64 {
 		if theta <= 0 || theta >= thetaMax {
 			return math.Inf(1)
 		}
 		lam := selfTerm.eval(theta, mode)
-		for l := range aggTerms {
-			lam *= aggTerms[l].eval(psi*theta, mode)
+		for l := 0; l < c; l++ {
+			lam *= aggTerm(m.classSumSH[l], m.classRho[l], epsAgg).eval(psi*theta, mode)
 			if math.IsInf(lam, 1) {
 				return math.Inf(1)
 			}
@@ -449,8 +506,49 @@ func (m *partitionMemo) theorem12Into(sb *SessionBounds, i int, ps []float64, mo
 	sess := &m.s.Sessions[i]
 
 	if ps == nil {
-		ceilings := append(append(make([]float64, 0, k), m.classMinA[:c]...), sess.Arrival.Alpha)
-		ps, _ = ebb.HolderExponents(ceilings)
+		// Auto-exponent fast path, mirroring theorem8Into: the conjugate
+		// exponents over the ceiling list [minα_{H_1}, ..., α_i] are
+		// p = ceiling·inv with inv from the preInvClassA prefix sums, so
+		// nothing O(L) is materialized per session. The predecessor θ
+		// ceiling collapses to 1/(inv·ψ) (exact in real arithmetic,
+		// within ulps in floats; σ̂ guards the true per-term ceilings).
+		inv := m.preInvClassA[c] + 1/sess.Arrival.Alpha
+		pSelf := sess.Arrival.Alpha * inv
+		thetaMax := sess.Arrival.Alpha / pSelf
+		if c > 0 {
+			if lim := 1 / (inv * geo.psi); lim < thetaMax {
+				thetaMax = lim
+			}
+		}
+		epsI := geo.epsBudget / float64(k)
+		epsAgg := geo.epsBudget / (float64(k) * geo.psi)
+		selfTerm := singleTerm(sess.Arrival, epsI)
+		psi := geo.psi
+		prefactor := func(theta float64) float64 {
+			if theta <= 0 || theta >= thetaMax {
+				return math.Inf(1)
+			}
+			lam := math.Pow(selfTerm.eval(pSelf*theta, mode), 1/pSelf)
+			for l := 0; l < c; l++ {
+				pl := m.classMinA[l] * inv
+				ml := aggTerm(m.classSumSH[l], m.classRho[l], epsAgg).eval(pl*psi*theta, mode)
+				lam *= math.Pow(ml, 1/pl)
+				if math.IsInf(lam, 1) {
+					return math.Inf(1)
+				}
+			}
+			return lam
+		}
+		*sb = SessionBounds{
+			Name:      sess.Name,
+			Index:     i,
+			G:         m.g[i],
+			Rho:       sess.Arrival.Rho,
+			Theorem:   "thm12",
+			ThetaMax:  thetaMax,
+			Prefactor: prefactor,
+		}
+		return nil
 	}
 	if len(ps) != k {
 		return fmt.Errorf("gpsmath: %d Hölder exponents for %d terms", len(ps), k)
@@ -478,9 +576,10 @@ func (m *partitionMemo) theorem12Into(sb *SessionBounds, i int, ps []float64, mo
 		}
 	}
 
+	// Explicit exponents are a public-API escape hatch used at small k;
+	// materializing the terms here (O(k)) is fine.
 	selfTerm := singleTerm(sess.Arrival, epsI)
-	off := m.aggOff[i]
-	aggTerms := m.aggArena[off : off+c : off+c]
+	aggTerms := make([]mgfTerm, c)
 	for l := 0; l < c; l++ {
 		aggTerms[l] = aggTerm(m.classSumSH[l], m.classRho[l], epsAgg)
 	}

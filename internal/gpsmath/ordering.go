@@ -107,18 +107,37 @@ func (s Server) FeasibleOrdering(rates []float64) ([]int, error) {
 		ratio[i] = rates[i] / s.Sessions[i].Phi
 	}
 	sort.Sort(ratioOrder{idx: idx, ratio: ratio})
-	// Verify eq. (5) along the sorted order.
-	remPhi := s.TotalPhi()
-	used := 0.0
-	const tol = 1e-12
-	for _, i := range idx {
-		limit := s.Sessions[i].Phi / remPhi * (s.Rate - used)
-		if rates[i] > limit*(1+tol) {
+	// Verify eq. (5) along the sorted order. At large N this check is
+	// numerically delicate: with the full slack distributed (frac = 1 in
+	// DecomposedRates) the last position satisfies eq. (5) with exact
+	// equality, and near-equal ratios make earlier positions almost tight
+	// too, so the margin can sit below the rounding error of the running
+	// sums. Suffix φ sums (fresh backward accumulation, no cancellation
+	// from repeated subtraction) and a Neumaier-compensated Σr keep the
+	// sums themselves at O(ulp) error, and the tolerance is relative at
+	// 1e-9 — wide enough to absorb the O(n·ulp) error already baked into
+	// the rates by DecomposedRates at n ~ 10^5, narrow enough to reject
+	// genuinely infeasible inputs (callers derive rates from Σρ < r, for
+	// which eq. (5) holds exactly).
+	tailPhi := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		tailPhi[k] = tailPhi[k+1] + s.Sessions[idx[k]].Phi
+	}
+	used, usedComp := 0.0, 0.0
+	const tol = 1e-9
+	for k, i := range idx {
+		limit := s.Sessions[i].Phi / tailPhi[k] * (s.Rate - (used + usedComp))
+		if rates[i] > limit+tol*math.Abs(limit) {
 			return nil, fmt.Errorf("%w: session %d needs rate %v > limit %v",
 				ErrNoFeasibleOrdering, i, rates[i], limit)
 		}
-		used += rates[i]
-		remPhi -= s.Sessions[i].Phi
+		t := used + rates[i]
+		if math.Abs(used) >= math.Abs(rates[i]) {
+			usedComp += (used - t) + rates[i]
+		} else {
+			usedComp += (rates[i] - t) + used
+		}
+		used = t
 	}
 	return idx, nil
 }
@@ -152,37 +171,45 @@ func (p Partition) L() int { return len(p.Classes) }
 //
 // Under the stability condition Σρ < r the recursion always terminates
 // with every session placed.
+//
+// The rounds are computed over one global sort of ρ_i/φ_i instead of the
+// round-per-rescan recursion the definition suggests (retained as
+// feasiblePartitionReference): the membership predicate ρ_i/φ_i <
+// threshold is monotone in the ratio, so each class H_{k+1} is a
+// contiguous block of the ascending ratio order and each round only has
+// to advance a cursor. That makes the whole partition O(N log N) instead
+// of O(L·N). Within a block the ρ/φ running sums are accumulated in
+// ascending session-index order — exactly the order the reference's
+// index scan uses — so the per-round thresholds, and hence the resulting
+// partition, are bit-identical to the reference.
 func (s Server) FeasiblePartition() (Partition, error) {
 	n := len(s.Sessions)
 	p := Partition{ClassOf: make([]int, n)}
-	// ρ_i/φ_i is scanned against a fresh threshold every round; computing
-	// the ratios once keeps each round to a compare per unplaced session.
 	ratio := make([]float64, n)
-	for i := range p.ClassOf {
+	// idx doubles as the arena backing every class slice: the classes are
+	// contiguous blocks of the sorted order, re-sorted by session index in
+	// place.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
 		p.ClassOf[i] = -1
 		ratio[i] = s.Sessions[i].Arrival.Rho / s.Sessions[i].Phi
 	}
+	sort.Sort(ratioOrder{idx: idx, ratio: ratio})
 	placedRho := 0.0
 	remPhi := s.TotalPhi()
-	remaining := n
-	// Every session lands in exactly one class, so one n-slot arena backs
-	// all the class slices.
-	arena := make([]int, 0, n)
-	for remaining > 0 {
+	start := 0
+	for start < n {
 		threshold := (s.Rate - placedRho) / remPhi
-		start := len(arena)
-		for i := range s.Sessions {
-			if p.ClassOf[i] >= 0 {
-				continue
-			}
-			if ratio[i] < threshold {
-				arena = append(arena, i)
-			}
+		end := start
+		for end < n && ratio[idx[end]] < threshold {
+			end++
 		}
-		class := arena[start:len(arena):len(arena)]
-		if len(class) == 0 {
-			return Partition{}, fmt.Errorf("gpsmath: feasible partition stalled with %d sessions left (sum rho >= rate?)", remaining)
+		if end == start {
+			return Partition{}, fmt.Errorf("gpsmath: feasible partition stalled with %d sessions left (sum rho >= rate?)", n-start)
 		}
+		class := idx[start:end:end]
+		sort.Ints(class)
 		k := len(p.Classes)
 		for _, i := range class {
 			p.ClassOf[i] = k
@@ -190,7 +217,7 @@ func (s Server) FeasiblePartition() (Partition, error) {
 			remPhi -= s.Sessions[i].Phi
 		}
 		p.Classes = append(p.Classes, class)
-		remaining -= len(class)
+		start = end
 	}
 	return p, nil
 }

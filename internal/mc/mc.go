@@ -1,0 +1,77 @@
+// Package mc is the sharded Monte Carlo harness: it fans independent
+// simulation blocks out across internal/parallel workers and folds the
+// per-block results back together in block order. Determinism is the
+// design center — the decomposition into blocks is fixed by the run
+// configuration (never by the worker count), every block derives its
+// randomness from source.StreamSeed(seed, block), and the merge is a
+// serial fold over the block-ordered results. Two runs with the same
+// seed and block layout therefore produce identical output whether they
+// use 1 worker or 64.
+package mc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/source"
+)
+
+// Config fixes the shape of a sharded run. Blocks is the unit of
+// determinism: results depend on (Seed, Blocks, BlockSlots) only, never
+// on Workers.
+type Config struct {
+	// Blocks is the number of independent replications.
+	Blocks int
+	// BlockSlots is the number of simulated slots per block.
+	BlockSlots int
+	// Workers bounds concurrent blocks (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Seed is the master seed; block b runs under
+	// source.StreamSeed(Seed, b).
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Blocks < 1 {
+		return fmt.Errorf("mc: %d blocks, want >= 1", c.Blocks)
+	}
+	if c.BlockSlots < 1 {
+		return fmt.Errorf("mc: %d slots per block, want >= 1", c.BlockSlots)
+	}
+	return nil
+}
+
+// TotalSlots returns Blocks·BlockSlots.
+func (c Config) TotalSlots() int { return c.Blocks * c.BlockSlots }
+
+// BlockSeed returns the derived seed of block b.
+func (c Config) BlockSeed(b int) uint64 { return source.StreamSeed(c.Seed, uint64(b)) }
+
+// Run executes one block function per block across the worker pool and
+// folds the results in block order. run receives the block index and its
+// derived seed and returns the block's result (e.g. a set of per-session
+// streaming tails); merge is called serially, in block order, on the
+// calling goroutine. The first block error aborts the run.
+func Run[T any](ctx context.Context, cfg Config, run func(ctx context.Context, block int, seed uint64) (T, error), merge func(block int, r T) error) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if run == nil || merge == nil {
+		return fmt.Errorf("mc: nil run or merge function")
+	}
+	results, err := parallel.MapN(ctx, cfg.Blocks, cfg.Workers,
+		func(ctx context.Context, b int) (T, error) {
+			return run(ctx, b, cfg.BlockSeed(b))
+		})
+	if err != nil {
+		return err
+	}
+	for b, r := range results {
+		if err := merge(b, r); err != nil {
+			return fmt.Errorf("mc: merging block %d: %w", b, err)
+		}
+	}
+	return nil
+}

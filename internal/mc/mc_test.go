@@ -1,0 +1,122 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/source"
+)
+
+// blockResult mixes the block index and seed through a few draws so any
+// scheduling-dependent behavior would show up as different outputs.
+func blockResult(block int, seed uint64) []uint64 {
+	rng := source.NewRNG(seed)
+	out := make([]uint64, 4)
+	for i := range out {
+		out[i] = rng.Uint64() + uint64(block)
+	}
+	return out
+}
+
+// TestRunWorkerCountInvariance: the merged output must be a pure
+// function of (seed, blocks), never of the worker count.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	collect := func(workers int) [][]uint64 {
+		cfg := Config{Blocks: 16, BlockSlots: 1, Workers: workers, Seed: 7}
+		var merged [][]uint64
+		err := Run(context.Background(), cfg,
+			func(_ context.Context, b int, seed uint64) ([]uint64, error) {
+				return blockResult(b, seed), nil
+			},
+			func(b int, r []uint64) error {
+				if b != len(merged) {
+					t.Fatalf("merge out of order: block %d after %d merges", b, len(merged))
+				}
+				merged = append(merged, r)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return merged
+	}
+	want := collect(1)
+	for _, w := range []int{2, 4, 0} {
+		got := collect(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d blocks merged, want %d", w, len(got), len(want))
+		}
+		for b := range want {
+			for k := range want[b] {
+				if got[b][k] != want[b][k] {
+					t.Fatalf("workers=%d block %d word %d: %x, serial run has %x", w, b, k, got[b][k], want[b][k])
+				}
+			}
+		}
+	}
+}
+
+// TestBlockSeedDerivation pins block seeds to source.StreamSeed.
+func TestBlockSeedDerivation(t *testing.T) {
+	cfg := Config{Blocks: 4, BlockSlots: 1, Seed: 31}
+	for b := 0; b < cfg.Blocks; b++ {
+		if got, want := cfg.BlockSeed(b), source.StreamSeed(31, uint64(b)); got != want {
+			t.Fatalf("block %d: seed %x, want %x", b, got, want)
+		}
+	}
+	if cfg.TotalSlots() != 4 {
+		t.Fatalf("TotalSlots = %d, want 4", cfg.TotalSlots())
+	}
+}
+
+// TestRunErrorPropagation: a failing block aborts the run and no merge
+// output is trusted.
+func TestRunErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := Config{Blocks: 8, BlockSlots: 1, Workers: 2, Seed: 1}
+	err := Run(context.Background(), cfg,
+		func(_ context.Context, b int, _ uint64) (int, error) {
+			if b == 3 {
+				return 0, boom
+			}
+			return b, nil
+		},
+		func(int, int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+
+	mergeFail := errors.New("merge fail")
+	err = Run(context.Background(), cfg,
+		func(_ context.Context, b int, _ uint64) (int, error) { return b, nil },
+		func(b int, _ int) error {
+			if b == 2 {
+				return mergeFail
+			}
+			return nil
+		})
+	if !errors.Is(err, mergeFail) {
+		t.Fatalf("err = %v, want wrapped merge failure", err)
+	}
+}
+
+// TestConfigValidation rejects degenerate shapes.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Blocks: 0, BlockSlots: 1},
+		{Blocks: 1, BlockSlots: 0},
+		{Blocks: -1, BlockSlots: 10},
+	}
+	for _, cfg := range bad {
+		if err := Run(context.Background(), cfg,
+			func(_ context.Context, _ int, _ uint64) (int, error) { return 0, nil },
+			func(int, int) error { return nil }); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	ok := Config{Blocks: 1, BlockSlots: 1}
+	if err := Run[int](context.Background(), ok, nil, nil); err == nil {
+		t.Error("nil run/merge accepted")
+	}
+}

@@ -5,31 +5,37 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FaultCounters aggregates the observability signals of a fault-injected
 // run: how many faults fired, how many statistical-bound exceedances
 // were observed while they were active, and how many shed/downgrade
 // decisions the degradation machinery emitted. The zero value is not
-// usable; build with NewFaultCounters. All methods are safe for
-// concurrent use, so simulator callbacks can feed one shared instance.
+// usable; build with NewFaultCounters.
+//
+// All methods are lock-free atomic increments, so one shared instance
+// can be fed from per-sample simulator callbacks across many replica
+// workers without serializing them. Violation in particular sits on the
+// per-slot hot path of sharded fault runs.
 type FaultCounters struct {
-	mu         sync.Mutex
-	faults     map[string]int
-	violations int
-	decisions  int
+	faults     sync.Map // class label -> *atomic.Int64
+	violations atomic.Int64
+	decisions  atomic.Int64
 }
 
 // NewFaultCounters returns an empty counter set.
 func NewFaultCounters() *FaultCounters {
-	return &FaultCounters{faults: make(map[string]int)}
+	return &FaultCounters{}
 }
 
 // Fault records one injected fault of the given class label.
 func (c *FaultCounters) Fault(class string) {
-	c.mu.Lock()
-	c.faults[class]++
-	c.mu.Unlock()
+	v, ok := c.faults.Load(class)
+	if !ok {
+		v, _ = c.faults.LoadOrStore(class, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
 }
 
 // Violation records one observed bound exceedance (a delay or backlog
@@ -38,9 +44,7 @@ func (c *FaultCounters) Fault(class string) {
 // exceedance it sees — an exceedance without a matching increment is a
 // silent violation, which the robustness contract forbids.
 func (c *FaultCounters) Violation() {
-	c.mu.Lock()
-	c.violations++
-	c.mu.Unlock()
+	c.violations.Add(1)
 }
 
 // Decision records n shed/downgrade decisions emitted by a degradation
@@ -49,9 +53,7 @@ func (c *FaultCounters) Decision(n int) {
 	if n <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.decisions += n
-	c.mu.Unlock()
+	c.decisions.Add(int64(n))
 }
 
 // FaultSnapshot is a point-in-time copy of the counters.
@@ -63,15 +65,17 @@ type FaultSnapshot struct {
 }
 
 // Snapshot returns a copy safe to read while observation continues.
+// Counters updated concurrently with the call may or may not be
+// included; each class count is itself consistent.
 func (c *FaultCounters) Snapshot() FaultSnapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := FaultSnapshot{Faults: make(map[string]int, len(c.faults)),
-		Violations: c.violations, Decisions: c.decisions}
-	for k, v := range c.faults {
-		s.Faults[k] = v
-		s.Total += v
-	}
+	s := FaultSnapshot{Faults: make(map[string]int),
+		Violations: int(c.violations.Load()), Decisions: int(c.decisions.Load())}
+	c.faults.Range(func(k, v any) bool {
+		n := int(v.(*atomic.Int64).Load())
+		s.Faults[k.(string)] = n
+		s.Total += n
+		return true
+	})
 	return s
 }
 

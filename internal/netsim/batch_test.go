@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/source"
+)
+
+// TestRunBatchBitIdentical: batched generation through the network
+// simulator must reproduce the per-slot trajectory exactly — backlogs
+// and every emitted delay sample.
+func TestRunBatchBitIdentical(t *testing.T) {
+	const slots = 10000
+	mkSources := func() []*source.OnOff {
+		params := [][3]float64{{0.2, 0.3, 1.2}, {0.1, 0.4, 0.9}, {0.3, 0.2, 0.7}}
+		out := make([]*source.OnOff, len(params))
+		for i, p := range params {
+			s, err := source.NewOnOff(p[0], p[1], p[2], uint64(77+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = s
+		}
+		return out
+	}
+	cfg := func(delays *[]float64) Config {
+		return Config{
+			Nodes: []Node{{Name: "a", Rate: 1}, {Name: "b", Rate: 1}},
+			Sessions: []SessionSpec{
+				{Name: "s1", Route: []int{0, 1}, Phi: []float64{0.4, 0.4}},
+				{Name: "s2", Route: []int{0, 1}, Phi: []float64{0.3, 0.3}},
+				{Name: "s3", Route: []int{1}, Phi: []float64{0.3}},
+			},
+			OnDelay: func(sess, slot int, d float64) {
+				*delays = append(*delays, float64(sess)*1e6+float64(slot)*10+d)
+			},
+		}
+	}
+
+	var refDelays []float64
+	ref, err := New(cfg(&refDelays))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrc := mkSources()
+	if err := ref.Run(slots, func(i int) float64 { return refSrc[i].Next() }); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, block := range []int{1, 13, 4096, slots} {
+		var delays []float64
+		sim, err := New(cfg(&delays))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs := mkSources()
+		if err := sim.RunBatch(slots, block, func(i int, dst []float64) {
+			srcs[i].NextBlock(dst)
+		}); err != nil {
+			t.Fatalf("block=%d: %v", block, err)
+		}
+		if len(delays) != len(refDelays) {
+			t.Fatalf("block=%d: %d delay samples, per-slot run has %d", block, len(delays), len(refDelays))
+		}
+		for k := range delays {
+			if delays[k] != refDelays[k] {
+				t.Fatalf("block=%d sample %d: %v, per-slot run has %v", block, k, delays[k], refDelays[k])
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if got, want := sim.NetworkBacklog(i), ref.NetworkBacklog(i); got != want {
+				t.Fatalf("block=%d session %d: backlog %v, per-slot run has %v", block, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package paper
+
+import (
+	"context"
+
+	"repro/internal/faults"
+	"repro/internal/monitor"
+	"repro/internal/parallel"
+)
+
+// FaultCell is one (fault schedule, traffic seed) replication of the
+// faulted tree: per-session bound exceedances, shed volume, and the
+// total delay samples observed.
+type FaultCell struct {
+	Exceed  []int
+	Dropped []float64
+	Samples int
+}
+
+// FaultReplicaMatrix reruns the §6.3 tree once per configuration across
+// the worker pool. Cell k runs schedule cfgs[k] with traffic seed
+// srcSeeds[k] and counts delay samples at or beyond dBound per session.
+// counters, when non-nil, is fed concurrently from every worker — one
+// Fault per scheduled event and one Violation per exceedance — so it
+// must be safe for parallel use. The cell results themselves depend only
+// on (cfgs, srcSeeds, dBound), never on scheduling.
+func FaultReplicaMatrix(ctx context.Context, cfgs []faults.Config, srcSeeds []uint64, dBound []float64, counters *monitor.FaultCounters) ([]FaultCell, error) {
+	if len(srcSeeds) != len(cfgs) {
+		srcSeeds = make([]uint64, len(cfgs))
+		for k := range srcSeeds {
+			srcSeeds[k] = uint64(k)
+		}
+	}
+	return parallel.Map(ctx, len(cfgs),
+		func(_ context.Context, k int) (FaultCell, error) {
+			inj, err := faults.New(cfgs[k])
+			if err != nil {
+				return FaultCell{}, err
+			}
+			if counters != nil {
+				for _, e := range inj.Events() {
+					counters.Fault(e.Class.String())
+				}
+			}
+			c := FaultCell{Exceed: make([]int, len(Table1))}
+			run, err := FaultTreeSim(Set1Rho, cfgs[k].Horizon, srcSeeds[k], inj,
+				func(sess, slot int, d float64) {
+					if d >= dBound[sess] {
+						c.Exceed[sess]++
+						if counters != nil {
+							counters.Violation()
+						}
+					}
+					c.Samples++
+				})
+			if err != nil {
+				return FaultCell{}, err
+			}
+			c.Dropped = run.Dropped
+			return c, nil
+		})
+}

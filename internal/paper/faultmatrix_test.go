@@ -1,0 +1,74 @@
+package paper
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/monitor"
+)
+
+// TestFaultReplicaMatrixSharedCounters drives the gpslab `faults
+// -replicas` path with one FaultCounters instance shared across all
+// parallel cells — under -race this pins the counters' lock-free
+// concurrency safety — and checks the aggregate matches the per-cell
+// counts exactly.
+func TestFaultReplicaMatrixSharedCounters(t *testing.T) {
+	const slots = 4000
+	const replicas = 8
+	cfgs := make([]faults.Config, replicas)
+	srcSeeds := make([]uint64, replicas)
+	for r := range cfgs {
+		cfgs[r] = faults.Config{
+			Seed: uint64(100 + r), Horizon: slots, Nodes: 3, Sessions: 4,
+			Degrade: faults.ClassParams{Count: 3},
+			Outage:  faults.ClassParams{Count: 2, MaxDuration: slots / 50},
+			Churn:   faults.ClassParams{Count: 2},
+			Delay:   faults.ClassParams{Count: 2, MaxExtra: 3},
+		}
+		srcSeeds[r] = uint64(7 + r)
+	}
+	// A tight bound so plenty of violations hammer the counter.
+	dBound := []float64{4, 4, 4, 4}
+
+	counters := monitor.NewFaultCounters()
+	cells, err := FaultReplicaMatrix(context.Background(), cfgs, srcSeeds, dBound, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != replicas {
+		t.Fatalf("%d cells, want %d", len(cells), replicas)
+	}
+	wantViolations := 0
+	for k, c := range cells {
+		if c.Samples == 0 {
+			t.Fatalf("cell %d observed no delay samples", k)
+		}
+		for _, e := range c.Exceed {
+			wantViolations += e
+		}
+	}
+	s := counters.Snapshot()
+	if s.Violations != wantViolations {
+		t.Fatalf("counters saw %d violations, cells counted %d", s.Violations, wantViolations)
+	}
+	if s.Total == 0 {
+		t.Fatal("no injected faults counted")
+	}
+
+	// Determinism: a rerun reproduces the cells bit for bit.
+	again, err := FaultReplicaMatrix(context.Background(), cfgs, srcSeeds, dBound, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range cells {
+		if cells[k].Samples != again[k].Samples {
+			t.Fatalf("cell %d: samples %d then %d", k, cells[k].Samples, again[k].Samples)
+		}
+		for i := range cells[k].Exceed {
+			if cells[k].Exceed[i] != again[k].Exceed[i] {
+				t.Fatalf("cell %d session %d: exceed %d then %d", k, i, cells[k].Exceed[i], again[k].Exceed[i])
+			}
+		}
+	}
+}

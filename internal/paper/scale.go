@@ -1,0 +1,132 @@
+package paper
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/mc"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// This file scales the §6.3 tree simulation past what the exact
+// sample-retaining harness can hold: blocks of slots run as independent
+// replications across the mc harness, each block streams its per-session
+// end-to-end delays into fixed-memory stats.StreamTail estimators, and
+// the per-block estimators merge deterministically in block order. The
+// block decomposition (not the worker count) fixes the output, so a run
+// is reproducible from (seed, blocks, blockSlots) alone.
+
+// genBlockSlots is the source-generation batch inside one block: big
+// enough to amortize per-slot call overhead, small enough to stay cache
+// resident (4 sessions × 4096 slots × 8 B = 128 KiB).
+const genBlockSlots = 4096
+
+// TreeTailSpec fixes the streaming-estimator geometry for the tree
+// simulation: per-session delay histograms over [0, Max) with Buckets
+// buckets (plus an overflow bucket).
+type TreeTailSpec struct {
+	Max     float64
+	Buckets int
+}
+
+// DefaultTreeTailSpec covers the delay range the §6.3 tree actually
+// produces (bounds and simulations stay below ~60 slots end to end)
+// at 0.01-slot resolution.
+var DefaultTreeTailSpec = TreeTailSpec{Max: 64, Buckets: 6400}
+
+func (ts TreeTailSpec) newTails() ([]*stats.StreamTail, error) {
+	tails := make([]*stats.StreamTail, len(Table1))
+	for i := range tails {
+		t, err := stats.NewStreamTail(0, ts.Max, ts.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		tails[i] = t
+	}
+	return tails, nil
+}
+
+// treeSimBlock runs one independent replication of the Figure 2 tree for
+// the given number of slots, streaming per-session delays into fresh
+// StreamTails. It is TreeSim with block-batched source generation and
+// fixed-memory estimators.
+func treeSimBlock(rhos []float64, slots int, seed uint64, spec TreeTailSpec) ([]*stats.StreamTail, error) {
+	srcs, err := Sources(seed)
+	if err != nil {
+		return nil, err
+	}
+	tails, err := spec.newTails()
+	if err != nil {
+		return nil, err
+	}
+	sessions := make([]netsim.SessionSpec, len(Table1))
+	for i := range Table1 {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		sessions[i] = netsim.SessionSpec{
+			Name:  SessionNames[i],
+			Route: []int{first, 2},
+			Phi:   []float64{rhos[i], rhos[i]},
+		}
+	}
+	sim, err := netsim.New(netsim.Config{
+		Nodes: []netsim.Node{
+			{Name: "node1", Rate: 1},
+			{Name: "node2", Rate: 1},
+			{Name: "node3", Rate: 1},
+		},
+		Sessions: sessions,
+		OnDelay: func(sess, slot int, d float64) {
+			tails[sess].Add(d)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.RunBatch(slots, genBlockSlots, func(i int, dst []float64) {
+		srcs[i].NextBlock(dst)
+	}); err != nil {
+		return nil, err
+	}
+	return tails, nil
+}
+
+// TreeSimSharded runs cfg.Blocks independent replications of the §6.3
+// tree (cfg.BlockSlots slots each, block b seeded with cfg.BlockSeed(b))
+// across the worker pool and returns the per-session streaming delay
+// tails merged in block order. Total simulated slots = cfg.TotalSlots();
+// estimator memory stays O(sessions · spec.Buckets) no matter how many.
+// The output is identical for any cfg.Workers.
+//
+// Each block starts from empty queues, so per-block warmup transients
+// are averaged in — the standard independent-replications tradeoff;
+// with ≥ 10^5 slots per block the bias on the tail is negligible for
+// the paper's loads.
+func TreeSimSharded(rhos []float64, cfg mc.Config, spec TreeTailSpec) ([]*stats.StreamTail, error) {
+	if spec.Buckets == 0 {
+		spec = DefaultTreeTailSpec
+	}
+	merged, err := spec.newTails()
+	if err != nil {
+		return nil, err
+	}
+	err = mc.Run(context.Background(), cfg,
+		func(_ context.Context, _ int, seed uint64) ([]*stats.StreamTail, error) {
+			return treeSimBlock(rhos, cfg.BlockSlots, seed, spec)
+		},
+		func(b int, tails []*stats.StreamTail) error {
+			for i := range merged {
+				if err := merged[i].Merge(tails[i]); err != nil {
+					return fmt.Errorf("paper: session %d: %w", i, err)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}

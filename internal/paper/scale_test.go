@@ -1,0 +1,97 @@
+package paper
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/source"
+)
+
+// TestTreeSimShardedWorkerInvariance: the merged tails are a function of
+// (seed, blocks, blockSlots) only — changing the worker count must not
+// change a single histogram count.
+func TestTreeSimShardedWorkerInvariance(t *testing.T) {
+	cfg := mc.Config{Blocks: 6, BlockSlots: 4000, Workers: 1, Seed: 2026}
+	want, err := TreeSimSharded(Set1Rho, cfg, TreeTailSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		cfg.Workers = w
+		got, err := TreeSimSharded(Set1Rho, cfg, TreeTailSpec{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range want {
+			if got[i].N() != want[i].N() {
+				t.Fatalf("workers=%d session %d: N=%d, serial run has %d", w, i, got[i].N(), want[i].N())
+			}
+			if got[i].Max() != want[i].Max() || got[i].Min() != want[i].Min() {
+				t.Fatalf("workers=%d session %d: extremes differ from serial run", w, i)
+			}
+			if got[i].Mean() != want[i].Mean() {
+				t.Fatalf("workers=%d session %d: mean %v, serial run has %v", w, i, got[i].Mean(), want[i].Mean())
+			}
+			gc, wc := got[i].Counts(), want[i].Counts()
+			for k := range wc {
+				if gc[k] != wc[k] {
+					t.Fatalf("workers=%d session %d bucket %d: count %d, serial run has %d", w, i, k, gc[k], wc[k])
+				}
+			}
+		}
+	}
+}
+
+// TestTreeSimShardedMatchesExact: with a single block the sharded harness
+// is the same trajectory as TreeSim seeded with BlockSeed(0), so the
+// streaming estimators must agree with the exact sample-retaining tails
+// up to histogram resolution.
+func TestTreeSimShardedMatchesExact(t *testing.T) {
+	const slots = 20000
+	const seed = 555
+	cfg := mc.Config{Blocks: 1, BlockSlots: slots, Workers: 1, Seed: seed}
+	spec := DefaultTreeTailSpec
+	stream, err := TreeSimSharded(Set1Rho, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := TreeSim(Set1Rho, slots, source.StreamSeed(seed, uint64(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := spec.Max / float64(spec.Buckets)
+	for i := range exact {
+		if got, want := stream[i].N(), exact[i].N(); got != want {
+			t.Fatalf("session %d: stream saw %d samples, exact saw %d", i, got, want)
+		}
+		if got, want := stream[i].Max(), exact[i].Max(); got != want {
+			t.Fatalf("session %d: max %v, exact %v", i, got, want)
+		}
+		if got, want := stream[i].Mean(), exact[i].Mean(); math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("session %d: mean %v, exact %v", i, got, want)
+		}
+		// Delays are integer multiples of the slot resolution in practice,
+		// but we only rely on the histogram invariant: CCDF is exact at
+		// bucket edges.
+		for _, x := range []float64{0, width * 100, width * 1000, width * 3000} {
+			if got, want := stream[i].CCDF(x), exact[i].CCDF(x); got != want {
+				t.Fatalf("session %d CCDF(%v): stream %v, exact %v", i, x, got, want)
+			}
+		}
+		// Quantiles agree to one bucket width.
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			sq, err := stream[i].Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := exact[i].Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(sq-eq) > width {
+				t.Fatalf("session %d Q(%v): stream %v, exact %v (width %v)", i, p, sq, eq, width)
+			}
+		}
+	}
+}

@@ -75,3 +75,23 @@ func (r *RNG) CoinFlip(threshold uint64) bool {
 func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
+
+// Jump advances the generator by n draws in O(1). SplitMix64's state
+// walks a fixed increment per draw (the output is a bijective finalizer
+// of the state), so skipping n draws is a single multiply-add — the
+// property that makes per-shard substreams cheap.
+func (r *RNG) Jump(n uint64) {
+	r.state += n * 0x9e3779b97f4a7c15
+}
+
+// StreamSeed derives the seed of logical substream `stream` of a master
+// seed: the generator's output at position `stream` of the master
+// stream. Distinct streams give distinct seeds (the finalizer is a
+// bijection over distinct states), and the derived seeds start far
+// apart in state space, so per-shard generators never overlap the
+// low-order draws of their neighbors.
+func StreamSeed(master, stream uint64) uint64 {
+	r := RNG{state: master}
+	r.Jump(stream)
+	return r.Uint64()
+}

@@ -1,0 +1,81 @@
+package source
+
+import "testing"
+
+// TestRNGJumpEquivalence pins Jump(n) to n sequential draws: the whole
+// sharding scheme rests on O(1) stream positioning being exact.
+func TestRNGJumpEquivalence(t *testing.T) {
+	for _, n := range []uint64{0, 1, 7, 1000, 1 << 20} {
+		seq := NewRNG(12345)
+		for i := uint64(0); i < n; i++ {
+			seq.Uint64()
+		}
+		jmp := NewRNG(12345)
+		jmp.Jump(n)
+		for k := 0; k < 64; k++ {
+			a, b := seq.Uint64(), jmp.Uint64()
+			if a != b {
+				t.Fatalf("n=%d draw %d: sequential %x, jumped %x", n, k, a, b)
+			}
+		}
+	}
+}
+
+// TestStreamSeedDistinctAndStable: substream seeds are deterministic and
+// collision-free over realistic shard counts.
+func TestStreamSeedDistinctAndStable(t *testing.T) {
+	seen := make(map[uint64]uint64, 4096)
+	for s := uint64(0); s < 4096; s++ {
+		v := StreamSeed(99, s)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d share seed %x", prev, s, v)
+		}
+		seen[v] = s
+		if v != StreamSeed(99, s) {
+			t.Fatalf("stream %d: StreamSeed not deterministic", s)
+		}
+	}
+	if StreamSeed(1, 0) == StreamSeed(2, 0) {
+		t.Fatal("different masters produced the same stream-0 seed")
+	}
+}
+
+// TestOnOffNextBlockBitIdentical: block generation must reproduce the
+// per-slot Next() sample path exactly, across arbitrary block splits,
+// and leave the chain in the same state afterwards.
+func TestOnOffNextBlockBitIdentical(t *testing.T) {
+	const slots = 10000
+	mk := func() *OnOff {
+		s, err := NewOnOff(0.2, 0.3, 1.5, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := mk()
+	want := make([]float64, slots+1)
+	for i := range want {
+		want[i] = ref.Next() // one extra slot to check post-block state
+	}
+	for _, block := range []int{1, 7, 256, 4096, slots} {
+		src := mk()
+		got := make([]float64, 0, slots)
+		buf := make([]float64, block)
+		for len(got) < slots {
+			b := block
+			if slots-len(got) < b {
+				b = slots - len(got)
+			}
+			src.NextBlock(buf[:b])
+			got = append(got, buf[:b]...)
+		}
+		for i := 0; i < slots; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("block=%d slot %d: %v, per-slot path has %v", block, i, got[i], want[i])
+			}
+		}
+		if next := src.Next(); next != want[slots] {
+			t.Fatalf("block=%d: post-block draw %v, per-slot path has %v", block, next, want[slots])
+		}
+	}
+}

@@ -13,19 +13,25 @@ import (
 // The zero value is ready to use.
 type Tail struct {
 	samples []float64
-	sorted  bool
+	// nSorted is the length of the sorted prefix: samples[:nSorted] is
+	// ascending, samples[nSorted:] is whatever arrived since the last
+	// query. Tracking the dirty suffix keeps interleaved Add/query
+	// workloads at O(new·log new + n) per query instead of re-sorting
+	// all n samples every time (see BenchmarkTailInterleaved).
+	nSorted int
+	// scratch holds the sorted suffix during the backward merge; kept on
+	// the struct so steady-state interleaving does not reallocate.
+	scratch []float64
 }
 
 // Add records one sample.
 func (t *Tail) Add(x float64) {
 	t.samples = append(t.samples, x)
-	t.sorted = false
 }
 
 // AddAll records many samples.
 func (t *Tail) AddAll(xs []float64) {
 	t.samples = append(t.samples, xs...)
-	t.sorted = false
 }
 
 // N returns the number of samples.
@@ -38,10 +44,33 @@ func (t *Tail) Samples() []float64 {
 }
 
 func (t *Tail) ensureSorted() {
-	if !t.sorted {
-		sort.Float64s(t.samples)
-		t.sorted = true
+	n := len(t.samples)
+	if t.nSorted == n {
+		return
 	}
+	suffix := t.samples[t.nSorted:]
+	sort.Float64s(suffix)
+	// Monotone streams (each batch above the sorted prefix) need no
+	// merge at all — the sorted prefix simply grows.
+	if t.nSorted == 0 || t.samples[t.nSorted-1] <= suffix[0] {
+		t.nSorted = n
+		return
+	}
+	// Backward in-place merge of the sorted prefix with a scratch copy
+	// of the sorted suffix: O(n) moves, no allocation in steady state.
+	t.scratch = append(t.scratch[:0], suffix...)
+	i, j, k := t.nSorted-1, len(t.scratch)-1, n-1
+	for j >= 0 {
+		if i >= 0 && t.samples[i] > t.scratch[j] {
+			t.samples[k] = t.samples[i]
+			i--
+		} else {
+			t.samples[k] = t.scratch[j]
+			j--
+		}
+		k--
+	}
+	t.nSorted = n
 }
 
 // CCDF returns the empirical Pr{X >= x}.
