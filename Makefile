@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke check bench benchcheck perfcheck clean
+.PHONY: all vet build test fuzz-smoke serve-smoke check bench benchcheck perfcheck clean
 
 all: check
 
@@ -25,8 +25,15 @@ test:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) -run '^$$' ./internal/fluid
 	$(GO) test -fuzz FuzzNew -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim
+	$(GO) test -fuzz FuzzAdmitDecode -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
 
-check: vet build test fuzz-smoke perfcheck benchcheck
+# serve-smoke boots a real gpsd on an ephemeral port, runs a short
+# gpsdload churn burst against it, and asserts zero 5xx before draining
+# the daemon with SIGTERM (see scripts/serve_smoke.sh).
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+check: vet build test fuzz-smoke serve-smoke perfcheck benchcheck
 
 # bench runs the full benchmark harness with memory stats and snapshots
 # the parsed results to BENCH_<UTC datetime>.json (format documented in

@@ -6,10 +6,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/classgps"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/pgps"
 	"repro/internal/pktnet"
+	"repro/internal/server"
 	"repro/internal/source"
 	"repro/internal/stats"
 )
@@ -979,4 +982,61 @@ func BenchmarkWFQScheduler(b *testing.B) {
 			b.Fatal("empty dequeue")
 		}
 	}
+}
+
+// BenchmarkAdmitThroughput measures gpsd's in-process admission decision
+// rate against a daemon already holding a 10k-session population: each
+// iteration admits one session and releases it again (two decisions).
+// The decision path is O(1) — capacity check against the memoized
+// required rate — with analysis rebuilds amortized into batched epochs;
+// the benchmark pins MaxBatch/MaxEpochAge high so it times the decision
+// loop itself, the contract the 50k decisions/s target is stated over.
+func BenchmarkAdmitThroughput(b *testing.B) {
+	arrival := ebb.Process{Rho: 0.05, Lambda: 1, Alpha: 1.2}
+	target := admission.Target{Delay: 40, Eps: 1e-3}
+	g, err := admission.RequiredRate(arrival, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const population = 10_000
+	d, err := server.New(server.Config{
+		Rate:        g * (population + 16),
+		QueueDepth:  1 << 14,
+		MaxBatch:    1 << 30,
+		MaxEpochAge: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Close(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+	req := server.AdmitRequest{Name: "bench", Arrival: arrival, Target: target}
+	for i := 0; i < population; i++ {
+		res, err := d.Admit(req)
+		if err != nil || !res.Admitted {
+			b.Fatalf("populating session %d: admitted=%v err=%v", i, res.Admitted, err)
+		}
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Admit(req)
+		if err != nil || !res.Admitted {
+			b.Fatalf("admit: admitted=%v err=%v", res.Admitted, err)
+		}
+		if ok, err := d.Release(res.ID); err != nil || !ok {
+			b.Fatalf("release: ok=%v err=%v", ok, err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(2*float64(b.N)/elapsed.Seconds(), "decisions/s")
+	once("AdmitThroughput", func() {
+		fmt.Printf("gpsd admit throughput: %.0f decisions/s over a %d-session population\n",
+			2*float64(b.N)/elapsed.Seconds(), population)
+	})
 }

@@ -1,0 +1,102 @@
+// Command gpsd is the long-running GPS admission-control daemon: it
+// holds a live session set in memory, decides soft-QoS admission
+// requests online (paper §7), and serves per-session tail bounds and
+// the feasible partition from epoch snapshots of the full Theorem 7–12
+// analysis.
+//
+//	gpsd -addr 127.0.0.1:7070 -rate 1000
+//
+// Endpoints: POST /v1/admit, DELETE /v1/sessions/{id},
+// GET /v1/bounds/{id}, GET /v1/partition, GET /healthz, GET /metrics.
+// SIGINT/SIGTERM drain gracefully: in-flight and queued decisions are
+// answered, a final epoch is published, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts driving -addr :0)")
+	rate := flag.Float64("rate", 1000, "GPS link rate shared by admitted sessions")
+	queue := flag.Int("queue", 4096, "mutation queue depth (full queue sheds with 429)")
+	maxBatch := flag.Int("max-batch", 4096, "mutations coalesced before a forced epoch rebuild")
+	epochAge := flag.Duration("epoch-age", 100*time.Millisecond, "max staleness of the published epoch")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain on SIGTERM")
+	flag.Parse()
+
+	if err := run(*addr, *addrFile, *rate, *queue, *maxBatch, *epochAge, *retryAfter, *drainTimeout); err != nil {
+		log.Fatalf("gpsd: %v", err)
+	}
+}
+
+func run(addr, addrFile string, rate float64, queue, maxBatch int,
+	epochAge, retryAfter, drainTimeout time.Duration) error {
+	d, err := server.New(server.Config{
+		Rate:        rate,
+		QueueDepth:  queue,
+		MaxBatch:    maxBatch,
+		MaxEpochAge: epochAge,
+		RetryAfter:  retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			return fmt.Errorf("writing addr file: %w", err)
+		}
+	}
+	log.Printf("gpsd: listening on %s (rate %g, queue %d, epoch age %v)", bound, rate, queue, epochAge)
+
+	srv := &http.Server{Handler: server.NewHandler(d)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("gpsd: %v, draining", s)
+	case err := <-errc:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := d.Close(ctx); err != nil {
+		return fmt.Errorf("daemon drain: %w", err)
+	}
+	ep := d.CurrentEpoch()
+	m := d.Metrics()
+	log.Printf("gpsd: drained at epoch %d with %d sessions; admits %d, rejects %d, releases %d, shed %d, rebuilds %d",
+		ep.Seq, ep.Sessions(), m.Admits.Load(), m.Rejects.Load(), m.Releases.Load(),
+		m.Shed.Load(), m.Rebuilds.Load())
+	return nil
+}

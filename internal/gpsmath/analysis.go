@@ -149,10 +149,43 @@ func (a *Analysis) BestDelayTailValue(i int, d float64) float64 {
 	return v
 }
 
+// DimensionError reports per-session target slices whose lengths do not
+// match the analyzed session count. It wraps ErrInvalidInput, so both
+// errors.As with *DimensionError and errors.Is with ErrInvalidInput
+// match.
+type DimensionError struct {
+	Sessions int // sessions in the analysis
+	Dmax     int // len(dmax) supplied
+	Eps      int // len(eps) supplied
+}
+
+// Error implements error.
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("gpsmath: admission targets for %d sessions: %d delay targets, %d eps targets",
+		e.Sessions, e.Dmax, e.Eps)
+}
+
+// Unwrap ties the typed error into the package's ErrInvalidInput family.
+func (e *DimensionError) Unwrap() error { return ErrInvalidInput }
+
 // AdmissionDecision reports whether every session meets a per-session
 // delay target: Pr{D_i >= dmax_i} <= eps_i. Sessions with dmax_i == +Inf
-// are unconstrained. It is the paper's motivating soft-QOS admission test.
-func (a *Analysis) AdmissionDecision(dmax, eps []float64) (bool, []float64) {
+// are unconstrained. It is the paper's motivating soft-QOS admission
+// test. A dmax or eps slice whose length differs from the session count
+// is rejected with a *DimensionError instead of a silent misdecision.
+//
+// probs[i] is the bound that justified session i's verdict: the
+// partition-route value when it alone meets eps_i, otherwise the best of
+// the partition and ordering routes (BestDelayTailValue). The decision
+// is identical either way — any valid bound at or below eps_i proves the
+// target — but the ordering route's Theorem 7/8 prefactor costs Θ(i) per
+// evaluation, so consulting it only on a partition-route miss keeps a
+// large decision (the gpsd epoch rebuild) linear instead of quadratic in
+// the session count.
+func (a *Analysis) AdmissionDecision(dmax, eps []float64) (bool, []float64, error) {
+	if len(dmax) != len(a.Bounds) || len(eps) != len(a.Bounds) {
+		return false, nil, &DimensionError{Sessions: len(a.Bounds), Dmax: len(dmax), Eps: len(eps)}
+	}
 	probs := make([]float64, len(a.Bounds))
 	ok := true
 	for i := range a.Bounds {
@@ -160,10 +193,16 @@ func (a *Analysis) AdmissionDecision(dmax, eps []float64) (bool, []float64) {
 			probs[i] = 0
 			continue
 		}
-		probs[i] = a.BestDelayTailValue(i, dmax[i])
-		if probs[i] > eps[i] {
+		p := a.Bounds[i].DelayTail(dmax[i])
+		if p > eps[i] {
+			if w := a.OrderingBounds[i].DelayTail(dmax[i]); w < p {
+				p = w
+			}
+		}
+		probs[i] = p
+		if p > eps[i] {
 			ok = false
 		}
 	}
-	return ok, probs
+	return ok, probs, nil
 }

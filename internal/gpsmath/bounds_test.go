@@ -1,6 +1,7 @@
 package gpsmath
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -403,21 +404,28 @@ func TestAdmissionDecision(t *testing.T) {
 		loose[i] = 200
 		eps[i] = 1e-6
 	}
-	if ok, _ := a.AdmissionDecision(loose, eps); !ok {
+	if ok, _, err := a.AdmissionDecision(loose, eps); err != nil {
+		t.Fatal(err)
+	} else if !ok {
 		t.Error("very loose delay targets rejected")
 	}
 	tight := make([]float64, n)
 	for i := range tight {
 		tight[i] = 1e-3
 	}
-	if ok, _ := a.AdmissionDecision(tight, eps); ok {
+	if ok, _, err := a.AdmissionDecision(tight, eps); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("impossibly tight delay targets admitted")
 	}
 	unconstrained := make([]float64, n)
 	for i := range unconstrained {
 		unconstrained[i] = math.Inf(1)
 	}
-	ok, probs := a.AdmissionDecision(unconstrained, eps)
+	ok, probs, err := a.AdmissionDecision(unconstrained, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Error("unconstrained sessions rejected")
 	}
@@ -475,5 +483,32 @@ func TestPartitionRouteBeatsOrderingRouteForLastSession(t *testing.T) {
 	ov := a.OrderingBounds[last].BacklogTail(q)
 	if pv > ov {
 		t.Errorf("partition bound %v worse than ordering bound %v at q=%v", pv, ov, q)
+	}
+}
+
+func TestAdmissionDecisionDimensionError(t *testing.T) {
+	srv := set1Server(t)
+	a, err := AnalyzeServer(srv, Options{Independent: true, Xi: XiOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(srv.Sessions)
+	good := make([]float64, n)
+	for i := range good {
+		good[i] = 100
+	}
+	short := good[:n-1]
+	for _, tc := range [][2][]float64{{short, good}, {good, short}, {nil, good}} {
+		_, _, err := a.AdmissionDecision(tc[0], tc[1])
+		var dim *DimensionError
+		if !errors.As(err, &dim) {
+			t.Fatalf("dmax len %d, eps len %d: error %v, want *DimensionError", len(tc[0]), len(tc[1]), err)
+		}
+		if dim.Sessions != n || dim.Dmax != len(tc[0]) || dim.Eps != len(tc[1]) {
+			t.Errorf("DimensionError = %+v, want sessions %d, dmax %d, eps %d", dim, n, len(tc[0]), len(tc[1]))
+		}
+		if !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("dimension error does not wrap ErrInvalidInput: %v", err)
+		}
 	}
 }

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/gpsmath"
+)
+
+// Epoch is one immutable published snapshot: the session set as a
+// gpsmath.Server, its full memoized analysis, and the admission
+// bookkeeping derived from both. Readers share epochs freely; nothing
+// in an epoch is ever mutated after Store.
+type Epoch struct {
+	Seq     uint64
+	BuiltAt time.Time
+
+	// Server is the session set the epoch was computed over; Sessions[i]
+	// carries φ_i = the session's required rate.
+	Server gpsmath.Server
+	// Analysis is AnalyzeServer(Server, cfg.Opts); nil when the epoch is
+	// empty (no admitted sessions).
+	Analysis *gpsmath.Analysis
+	// IDs[i] is the daemon id of Server.Sessions[i]; Index inverts it.
+	IDs   []uint64
+	Index map[uint64]int
+	// Targets[i] is session i's declared soft-QoS target.
+	Targets []admission.Target
+
+	Used float64 // Σ required rates at build time
+	// TargetsMet counts sessions whose epoch-analysis delay bound meets
+	// their declared target (Analysis.AdmissionDecision over the set).
+	TargetsMet int
+	// Guaranteed/Degraded/Infeasible is the ClassifyUnderRate
+	// revalidation of the published set at the nominal link rate. The
+	// admission invariant (weights = required rates, Σφ <= r) makes
+	// every session Guaranteed; a nonzero Degraded or Infeasible count
+	// means the invariant broke and is surfaced through /metrics.
+	Guaranteed, Degraded, Infeasible int
+}
+
+// Sessions returns the number of sessions in the epoch.
+func (ep *Epoch) Sessions() int { return len(ep.IDs) }
+
+func validateRate(rate float64) error {
+	if !(rate > 0) || math.IsInf(rate, 1) || math.IsNaN(rate) {
+		return fmt.Errorf("%w: link rate = %v, want positive finite", gpsmath.ErrInvalidInput, rate)
+	}
+	return nil
+}
+
+// rebuild publishes a fresh epoch from the writer's live state.
+func (d *Daemon) rebuild() {
+	start := time.Now()
+	seq := d.epoch.Load().Seq + 1
+	ep := d.buildEpoch(seq)
+	if ep == nil {
+		// Analysis failed; keep serving the previous epoch rather than
+		// publish a snapshot with no bounds.
+		d.met.RebuildFailures.Add(1)
+		d.lastRebuild = time.Now()
+		d.opsSince = 0
+		return
+	}
+	d.epoch.Store(ep)
+	d.met.Rebuilds.Add(1)
+	d.met.RebuildNanos.Add(time.Since(start).Nanoseconds())
+	d.lastRebuild = time.Now()
+	d.opsSince = 0
+	d.dirty = false
+}
+
+// buildEpoch snapshots the writer state into an immutable epoch. A nil
+// return means AnalyzeServer rejected the set (cannot happen while the
+// admission invariant holds, but never publish an unanalyzed epoch).
+func (d *Daemon) buildEpoch(seq uint64) *Epoch {
+	n := len(d.order)
+	ep := &Epoch{
+		Seq:     seq,
+		BuiltAt: time.Now(),
+		Server:  gpsmath.Server{Rate: d.cfg.Rate},
+		IDs:     make([]uint64, n),
+		Index:   make(map[uint64]int, n),
+		Targets: make([]admission.Target, n),
+		Used:    d.used,
+	}
+	if n == 0 {
+		return ep
+	}
+	ep.Server.Sessions = make([]gpsmath.Session, n)
+	dmax := make([]float64, n)
+	eps := make([]float64, n)
+	required := make([]float64, n)
+	for i, id := range d.order {
+		rec := d.sessions[id]
+		ep.Server.Sessions[i] = gpsmath.Session{Name: rec.Name, Phi: rec.G, Arrival: rec.Arrival}
+		ep.IDs[i] = id
+		ep.Index[id] = i
+		ep.Targets[i] = rec.Target
+		dmax[i] = rec.Target.Delay
+		eps[i] = rec.Target.Eps
+		required[i] = rec.G
+	}
+	an, err := gpsmath.AnalyzeServer(ep.Server, *d.cfg.Opts)
+	if err != nil {
+		return nil
+	}
+	ep.Analysis = an
+	if _, probs, err := an.AdmissionDecision(dmax, eps); err == nil {
+		for i, p := range probs {
+			if p <= eps[i] {
+				ep.TargetsMet++
+			}
+		}
+	}
+	if rep, err := ep.Server.ClassifyUnderRate(required, d.cfg.Rate); err == nil {
+		ep.Guaranteed, ep.Degraded, ep.Infeasible = rep.Counts()
+	}
+	return ep
+}
+
+// BoundsReport is the per-session tail-bound view served from an epoch.
+type BoundsReport struct {
+	ID      uint64
+	Name    string
+	Epoch   uint64
+	G       float64 // guaranteed backlog clearing rate
+	Rho     float64
+	Theorem string
+
+	Q           float64 // backlog evaluation point
+	BacklogProb float64 // best bound on Pr{Q >= q}
+	Delay       float64 // delay evaluation point
+	DelayProb   float64 // best bound on Pr{D >= delay}
+
+	TargetDelay float64
+	TargetEps   float64
+	// AchievedEps is the bound at the declared target delay; MeetsTarget
+	// reports AchievedEps <= TargetEps.
+	AchievedEps float64
+	MeetsTarget bool
+}
+
+// BoundsFor evaluates session id's tail bounds at backlog level q and
+// delay level dly (zero selects defaults: the declared target delay and
+// the backlog the guaranteed rate clears over it). The second return is
+// false when the id is not in this epoch.
+func (ep *Epoch) BoundsFor(id uint64, q, dly float64) (BoundsReport, bool) {
+	i, ok := ep.Index[id]
+	if !ok || ep.Analysis == nil {
+		return BoundsReport{}, false
+	}
+	b := ep.Analysis.Bounds[i]
+	t := ep.Targets[i]
+	if dly <= 0 {
+		dly = t.Delay
+	}
+	if q <= 0 {
+		q = b.G * dly
+	}
+	achieved := ep.Analysis.BestDelayTailValue(i, t.Delay)
+	return BoundsReport{
+		ID:          id,
+		Name:        b.Name,
+		Epoch:       ep.Seq,
+		G:           b.G,
+		Rho:         b.Rho,
+		Theorem:     b.Theorem,
+		Q:           q,
+		BacklogProb: ep.Analysis.BestBacklogTailValue(i, q),
+		Delay:       dly,
+		DelayProb:   ep.Analysis.BestDelayTailValue(i, dly),
+		TargetDelay: t.Delay,
+		TargetEps:   t.Eps,
+		AchievedEps: achieved,
+		MeetsTarget: achieved <= t.Eps,
+	}, true
+}

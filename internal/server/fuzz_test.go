@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzAdmitDecode throws arbitrary bodies at the /v1/admit decoder and
+// handler (the netsim.New fuzz discipline): every malformed body —
+// broken JSON, NaN/Inf smuggled as strings or overflow literals,
+// out-of-range parameters, trailing garbage — must come back 400, a
+// well-formed body must decide (200) or shed (429), and nothing may
+// ever panic or produce a 5xx.
+func FuzzAdmitDecode(f *testing.F) {
+	f.Add([]byte(`{"name":"video","rho":0.3,"lambda":2,"alpha":0.8,"delay":40,"eps":0.001}`))
+	f.Add([]byte(`{"rho":1e999,"lambda":1,"alpha":1,"delay":10,"eps":0.01}`))
+	f.Add([]byte(`{"rho":"NaN","lambda":1,"alpha":1,"delay":10,"eps":0.01}`))
+	f.Add([]byte(`{"rho":-0.5,"lambda":-1,"alpha":0,"delay":-3,"eps":1.5}`))
+	f.Add([]byte(`{"name":"x","rho":0.1,"lambda":1,"alpha":1,"delay":10,"eps":0.01}{}`))
+	f.Add([]byte(`{"name":"x",`))
+	f.Add([]byte(`[0.1,1,1,10,0.01]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"rho":5e-324,"lambda":1.7976931348623157e308,"alpha":5e-324,"delay":1e300,"eps":1e-300}`))
+
+	// One shared daemon: a tiny link keeps the accepted set (and epoch
+	// cost) bounded no matter how many admissible bodies the fuzzer
+	// finds; the required-rate memo is capacity-capped by construction.
+	d, err := New(Config{Rate: 5, MaxEpochAge: time.Hour})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := NewHandler(d)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoder contract: error, or a request whose fields are finite
+		// and in range.
+		req, err := decodeAdmit(bytes.NewReader(data))
+		if err == nil {
+			for _, v := range []float64{req.Arrival.Rho, req.Arrival.Lambda, req.Arrival.Alpha,
+				req.Target.Delay, req.Target.Eps} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("decoder accepted non-finite parameter %v from %q", v, data)
+				}
+			}
+			if req.Arrival.Validate() != nil || req.Target.Validate() != nil {
+				t.Fatalf("decoder accepted invalid request %+v from %q", req, data)
+			}
+		}
+
+		// Handler contract: 400 on malformed, 200/429 otherwise, no
+		// panic (a panic would escape and fail the fuzz run).
+		hr := httptest.NewRequest("POST", "/v1/admit", bytes.NewReader(data))
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, hr)
+		switch rw.Code {
+		case 200, 429:
+			if err != nil {
+				t.Fatalf("decoder rejected %q but handler returned %d", data, rw.Code)
+			}
+		case 400:
+			if err == nil {
+				t.Fatalf("decoder accepted %q but handler returned 400: %s", data, rw.Body.String())
+			}
+		default:
+			t.Fatalf("body %q: status %d (%s), want 200/400/429", data, rw.Code, rw.Body.String())
+		}
+		if rw.Code >= 500 {
+			t.Fatalf("5xx from admit handler: %d", rw.Code)
+		}
+		if rw.Code == 200 && !strings.Contains(rw.Body.String(), "\"admitted\"") {
+			t.Fatalf("200 without a decision body: %s", rw.Body.String())
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/ebb"
+)
+
+// maxAdmitBody bounds the /v1/admit request body; a well-formed request
+// is a handful of numbers, so anything larger is shed before decoding.
+const maxAdmitBody = 1 << 16
+
+// admitWire is the JSON shape of POST /v1/admit: an E.B.B. triple and a
+// soft-QoS target Pr{D >= delay} <= eps.
+type admitWire struct {
+	Name   string  `json:"name"`
+	Rho    float64 `json:"rho"`
+	Lambda float64 `json:"lambda"`
+	Alpha  float64 `json:"alpha"`
+	Delay  float64 `json:"delay"`
+	Eps    float64 `json:"eps"`
+}
+
+type admitResponse struct {
+	Admitted     bool    `json:"admitted"`
+	ID           string  `json:"id,omitempty"`
+	RequiredRate float64 `json:"required_rate,omitempty"`
+	Free         float64 `json:"free"`
+	Reason       string  `json:"reason,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Retry bool   `json:"retry,omitempty"`
+}
+
+// decodeAdmit parses and validates an admission request body. Every
+// malformed body — bad JSON, unknown fields, out-of-range numbers
+// (which is how NaN/Inf arrive, since JSON cannot encode them
+// natively), non-positive or non-finite parameters — yields an error;
+// it never panics. The fuzz target FuzzAdmitDecode pins both halves of
+// that contract.
+func decodeAdmit(r io.Reader) (AdmitRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxAdmitBody))
+	dec.DisallowUnknownFields()
+	var w admitWire
+	if err := dec.Decode(&w); err != nil {
+		return AdmitRequest{}, fmt.Errorf("decode: %w", err)
+	}
+	// One request per body: trailing garbage is a malformed request.
+	if dec.More() {
+		return AdmitRequest{}, errors.New("decode: trailing data after request object")
+	}
+	req := AdmitRequest{
+		Name:    w.Name,
+		Arrival: ebb.Process{Rho: w.Rho, Lambda: w.Lambda, Alpha: w.Alpha},
+		Target:  admission.Target{Delay: w.Delay, Eps: w.Eps},
+	}
+	if err := req.Arrival.Validate(); err != nil {
+		return AdmitRequest{}, err
+	}
+	if err := req.Target.Validate(); err != nil {
+		return AdmitRequest{}, err
+	}
+	return req, nil
+}
+
+// statusRecorder captures the status code a handler wrote so the
+// metrics middleware can classify it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// NewHandler builds the daemon's HTTP surface:
+//
+//	POST   /v1/admit          admission decision (429 + Retry-After under backpressure)
+//	DELETE /v1/sessions/{id}  release
+//	GET    /v1/bounds/{id}    per-session tails from the published epoch (?q=&d=)
+//	GET    /v1/partition      feasible partition H_1..H_L of the published epoch
+//	GET    /healthz           liveness + epoch/session gauges
+//	GET    /metrics           Prometheus text format
+//
+// Every response is JSON except /metrics; every handler observation
+// (status class, latency) lands in the daemon's Metrics.
+func NewHandler(d *Daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admit", d.handleAdmit)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", d.handleRelease)
+	mux.HandleFunc("GET /v1/bounds/{id}", d.handleBounds)
+	mux.HandleFunc("GET /v1/partition", d.handlePartition)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		d.met.ObserveHTTP(rec.status, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeBackpressure is the shed path: the client is asked to retry
+// after the configured hint instead of the daemon blocking or queueing
+// without bound.
+func (d *Daemon) writeBackpressure(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.cfg.RetryAfter.Seconds()))))
+	status := http.StatusTooManyRequests
+	if errors.Is(err, ErrDraining) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Retry: true})
+}
+
+func (d *Daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeAdmit(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	res, err := d.Admit(req)
+	if err != nil {
+		d.writeBackpressure(w, err)
+		return
+	}
+	resp := admitResponse{Admitted: res.Admitted, RequiredRate: res.RequiredRate,
+		Free: res.Free, Reason: res.Reason}
+	if res.Admitted {
+		resp.ID = strconv.FormatUint(res.ID, 10)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseID(r *http.Request) (uint64, error) {
+	return strconv.ParseUint(r.PathValue("id"), 10, 64)
+}
+
+func (d *Daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed session id"})
+		return
+	}
+	ok, err := d.Release(id)
+	if err != nil {
+		d.writeBackpressure(w, err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"released": true, "id": strconv.FormatUint(id, 10)})
+}
+
+// boundsWire is the JSON shape of GET /v1/bounds/{id}.
+type boundsWire struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Epoch       uint64  `json:"epoch"`
+	G           float64 `json:"g"`
+	Rho         float64 `json:"rho"`
+	Theorem     string  `json:"theorem"`
+	Q           float64 `json:"q"`
+	BacklogProb float64 `json:"backlog_prob"`
+	Delay       float64 `json:"delay"`
+	DelayProb   float64 `json:"delay_prob"`
+	TargetDelay float64 `json:"target_delay"`
+	TargetEps   float64 `json:"target_eps"`
+	AchievedEps float64 `json:"achieved_eps"`
+	MeetsTarget bool    `json:"meets_target"`
+}
+
+func parseEvalPoint(r *http.Request, key string) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("query %s = %q, want nonnegative finite", key, s)
+	}
+	return v, nil
+}
+
+func (d *Daemon) handleBounds(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed session id"})
+		return
+	}
+	q, err := parseEvalPoint(r, "q")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	dly, err := parseEvalPoint(r, "d")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ep := d.CurrentEpoch()
+	rep, ok := ep.BoundsFor(id, q, dly)
+	if !ok {
+		if d.Pending(id) {
+			// Admitted after the current epoch was built: the next
+			// rebuild (bounded by MaxEpochAge) will carry it.
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.cfg.MaxEpochAge.Seconds()))+1))
+			writeJSON(w, http.StatusTooEarly, errorResponse{Error: "session not yet in published epoch", Retry: true})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown session id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, boundsWire{
+		ID:          strconv.FormatUint(rep.ID, 10),
+		Name:        rep.Name,
+		Epoch:       rep.Epoch,
+		G:           rep.G,
+		Rho:         rep.Rho,
+		Theorem:     rep.Theorem,
+		Q:           rep.Q,
+		BacklogProb: rep.BacklogProb,
+		Delay:       rep.Delay,
+		DelayProb:   rep.DelayProb,
+		TargetDelay: rep.TargetDelay,
+		TargetEps:   rep.TargetEps,
+		AchievedEps: rep.AchievedEps,
+		MeetsTarget: rep.MeetsTarget,
+	})
+}
+
+// partitionWire is the JSON shape of GET /v1/partition: the feasible
+// partition H_1..H_L of the published epoch, by session id.
+type partitionWire struct {
+	Epoch    uint64     `json:"epoch"`
+	Sessions int        `json:"sessions"`
+	Classes  [][]string `json:"classes"`
+}
+
+func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
+	ep := d.CurrentEpoch()
+	out := partitionWire{Epoch: ep.Seq, Sessions: ep.Sessions(), Classes: [][]string{}}
+	if ep.Analysis != nil {
+		for _, class := range ep.Analysis.Partition.Classes {
+			ids := make([]string, len(class))
+			for k, i := range class {
+				ids[k] = strconv.FormatUint(ep.IDs[i], 10)
+			}
+			out.Classes = append(out.Classes, ids)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	draining := d.closing
+	d.mu.RUnlock()
+	ep := d.CurrentEpoch()
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"epoch":    ep.Seq,
+		"sessions": ep.Sessions(),
+		"used":     ep.Used,
+		"rate":     d.cfg.Rate,
+	})
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	d.WriteMetrics(w)
+}

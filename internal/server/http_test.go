@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d := newTestDaemon(t, cfg)
+	ts := httptest.NewServer(NewHandler(d))
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+func postAdmit(t *testing.T, ts *httptest.Server, body string) (*http.Response, admitResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/admit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/admit: %v", err)
+	}
+	defer resp.Body.Close()
+	var out admitResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding admit response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+func doMethod(t *testing.T, method, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+const validAdmitBody = `{"name":"video","rho":0.3,"lambda":2,"alpha":0.8,"delay":40,"eps":0.001}`
+
+func TestHTTPAdmitBoundsReleaseFlow(t *testing.T) {
+	// MaxEpochAge of an hour: epochs only appear when forced, making the
+	// 425-then-200 bounds sequence deterministic.
+	d, ts := newTestServer(t, Config{Rate: 100, MaxEpochAge: time.Hour})
+
+	resp, admit := postAdmit(t, ts, validAdmitBody)
+	if resp.StatusCode != http.StatusOK || !admit.Admitted || admit.ID == "" {
+		t.Fatalf("admit: status %d, %+v", resp.StatusCode, admit)
+	}
+
+	// Bounds before any epoch carries the session: 425 + Retry-After.
+	resp = doMethod(t, http.MethodGet, ts.URL+"/v1/bounds/"+admit.ID)
+	if resp.StatusCode != http.StatusTooEarly {
+		t.Fatalf("bounds before epoch: status %d, want 425", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("425 without Retry-After header")
+	}
+
+	forceRebuild(t, d)
+	r, err := http.Get(ts.URL + "/v1/bounds/" + admit.ID + "?q=2&d=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bw boundsWire
+	if err := json.NewDecoder(r.Body).Decode(&bw); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("bounds after epoch: status %d", r.StatusCode)
+	}
+	if bw.ID != admit.ID || bw.Q != 2 || bw.Delay != 40 || !(bw.DelayProb >= 0 && bw.DelayProb <= 1) {
+		t.Errorf("bounds payload %+v", bw)
+	}
+	if !bw.MeetsTarget {
+		t.Errorf("admitted session misses its own sizing target: achieved %v > %v", bw.AchievedEps, bw.TargetEps)
+	}
+
+	// Partition lists the session in H_1.
+	r, err = http.Get(ts.URL + "/v1/partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pw partitionWire
+	if err := json.NewDecoder(r.Body).Decode(&pw); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(pw.Classes) != 1 || len(pw.Classes[0]) != 1 || pw.Classes[0][0] != admit.ID {
+		t.Errorf("partition %+v, want single H_1 class holding %s", pw, admit.ID)
+	}
+
+	// Release, then the id is gone for both delete and bounds.
+	resp = doMethod(t, http.MethodDelete, ts.URL+"/v1/sessions/"+admit.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release: status %d", resp.StatusCode)
+	}
+	resp = doMethod(t, http.MethodDelete, ts.URL+"/v1/sessions/"+admit.ID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double release: status %d, want 404", resp.StatusCode)
+	}
+	forceRebuild(t, d)
+	resp = doMethod(t, http.MethodGet, ts.URL+"/v1/bounds/"+admit.ID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bounds of released session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Rate: 100, MaxEpochAge: time.Hour})
+	cases := []string{
+		``,
+		`{`,
+		`[]`,
+		`{"rho":"NaN"}`,
+		`{"name":"x","rho":1e999,"lambda":1,"alpha":1,"delay":10,"eps":0.01}`,
+		`{"name":"x","rho":-1,"lambda":1,"alpha":1,"delay":10,"eps":0.01}`,
+		`{"name":"x","rho":0.1,"lambda":1,"alpha":1,"delay":10,"eps":2}`,
+		`{"name":"x","rho":0.1,"lambda":1,"alpha":1,"delay":10,"eps":0.01,"extra":1}`,
+		`{"name":"x","rho":0.1,"lambda":1,"alpha":1,"delay":10,"eps":0.01}{}`,
+	}
+	for _, body := range cases {
+		resp, _ := postAdmit(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	for _, url := range []string{"/v1/bounds/abc", "/v1/bounds/18446744073709551616", "/v1/bounds/-1"} {
+		resp := doMethod(t, http.MethodGet, ts.URL+url)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+	resp := doMethod(t, http.MethodDelete, ts.URL+"/v1/sessions/notanumber")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("delete bad id: status %d, want 400", resp.StatusCode)
+	}
+	resp = doMethod(t, http.MethodGet, ts.URL+"/v1/bounds/1?q=nan")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bounds q=nan: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	d, ts := newTestServer(t, Config{Rate: 100, QueueDepth: 1, MaxEpochAge: time.Hour, RetryAfter: 2 * time.Second})
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go d.exec(func() { close(started); <-gate })
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postAdmit(t, ts, validAdmitBody) // occupies the single queue slot
+	}()
+	for i := 0; d.QueueDepth() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	resp, _ := postAdmit(t, ts, validAdmitBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("admit against full queue: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	close(gate)
+	<-done
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	d, ts := newTestServer(t, Config{Rate: 100, MaxEpochAge: time.Hour})
+	postAdmit(t, ts, validAdmitBody)
+	forceRebuild(t, d)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz: status %d, body %v", r.StatusCode, health)
+	}
+	if health["sessions"].(float64) != 1 {
+		t.Errorf("healthz sessions = %v, want 1", health["sessions"])
+	}
+
+	r, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, r.Body); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"gpsd_admits_total 1",
+		"gpsd_sessions 1",
+		"gpsd_sessions_guaranteed 1",
+		"gpsd_http_responses_total{class=\"5xx\"} 0",
+		"gpsd_handler_latency_seconds{quantile=\"0.99\"}",
+		"gpsd_targets_met 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

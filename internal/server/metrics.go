@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Metrics is the daemon's observability surface: lock-free atomic
+// counters on the decision and HTTP paths (the monitor.FaultCounters
+// discipline — one shared instance fed from many goroutines without
+// serializing them) plus P² streaming quantile estimators for handler
+// latency, rendered in Prometheus text format by WriteMetrics.
+type Metrics struct {
+	Admits          atomic.Int64 // accepted admission decisions
+	Rejects         atomic.Int64 // rejected admission decisions
+	Releases        atomic.Int64 // successful releases
+	ReleaseMisses   atomic.Int64 // releases of unknown ids
+	Shed            atomic.Int64 // submissions shed by the full queue (429 path)
+	Rebuilds        atomic.Int64 // epochs published
+	RebuildFailures atomic.Int64 // epoch builds rejected by AnalyzeServer
+	RebuildNanos    atomic.Int64 // cumulative time inside rebuilds
+	CacheHits       atomic.Int64 // required-rate memo hits
+	CacheMisses     atomic.Int64 // required-rate memo misses (bisections run)
+
+	resp2xx atomic.Int64
+	resp4xx atomic.Int64
+	resp5xx atomic.Int64
+
+	mu       sync.Mutex
+	latP50   *stats.P2Quantile
+	latP99   *stats.P2Quantile
+	observed atomic.Int64
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	p50, _ := stats.NewP2Quantile(0.5)
+	p99, _ := stats.NewP2Quantile(0.99)
+	return &Metrics{latP50: p50, latP99: p99}
+}
+
+// ObserveHTTP records one served request: its status class and handler
+// latency. The latency estimators are O(1)-memory P² trackers, so the
+// daemon's footprint does not grow with request count.
+func (m *Metrics) ObserveHTTP(status int, dur time.Duration) {
+	switch {
+	case status >= 500:
+		m.resp5xx.Add(1)
+	case status >= 400:
+		m.resp4xx.Add(1)
+	default:
+		m.resp2xx.Add(1)
+	}
+	s := dur.Seconds()
+	m.mu.Lock()
+	m.latP50.Add(s)
+	m.latP99.Add(s)
+	m.mu.Unlock()
+	m.observed.Add(1)
+}
+
+// Responses returns the 2xx/4xx/5xx response counts.
+func (m *Metrics) Responses() (r2, r4, r5 int64) {
+	return m.resp2xx.Load(), m.resp4xx.Load(), m.resp5xx.Load()
+}
+
+// LatencyQuantiles returns the current p50/p99 handler latency in
+// seconds (0, 0 before any observation).
+func (m *Metrics) LatencyQuantiles() (p50, p99 float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latP50.N() == 0 {
+		return 0, 0
+	}
+	return m.latP50.Quantile(), m.latP99.Quantile()
+}
+
+// WriteMetrics renders the full metric set in Prometheus text format:
+// the daemon's decision counters, epoch/queue gauges sampled at scrape
+// time, and the latency quantiles.
+func (d *Daemon) WriteMetrics(w io.Writer) {
+	m := d.met
+	ep := d.CurrentEpoch()
+	p50, p99 := m.LatencyQuantiles()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+	counter("gpsd_admits_total", "accepted admission decisions", m.Admits.Load())
+	counter("gpsd_rejects_total", "rejected admission decisions", m.Rejects.Load())
+	counter("gpsd_releases_total", "successful session releases", m.Releases.Load())
+	counter("gpsd_release_misses_total", "releases of unknown session ids", m.ReleaseMisses.Load())
+	counter("gpsd_shed_total", "mutations shed by queue backpressure", m.Shed.Load())
+	counter("gpsd_epoch_rebuilds_total", "epochs published", m.Rebuilds.Load())
+	counter("gpsd_epoch_rebuild_failures_total", "epoch builds rejected by the analysis", m.RebuildFailures.Load())
+	counter("gpsd_epoch_rebuild_seconds_total_nanos", "cumulative nanoseconds inside epoch rebuilds", m.RebuildNanos.Load())
+	counter("gpsd_rate_cache_hits_total", "required-rate memo hits", m.CacheHits.Load())
+	counter("gpsd_rate_cache_misses_total", "required-rate memo misses", m.CacheMisses.Load())
+	fmt.Fprintf(w, "# HELP gpsd_http_responses_total served responses by status class\n# TYPE gpsd_http_responses_total counter\n")
+	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"2xx\"} %d\n", m.resp2xx.Load())
+	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"4xx\"} %d\n", m.resp4xx.Load())
+	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"5xx\"} %d\n", m.resp5xx.Load())
+	gauge("gpsd_epoch_seq", "sequence number of the published epoch", "%d", ep.Seq)
+	gauge("gpsd_sessions", "sessions in the published epoch", "%d", ep.Sessions())
+	gauge("gpsd_utilization", "sum of required rates over link rate (published epoch)", "%g", ep.Used/d.cfg.Rate)
+	gauge("gpsd_targets_met", "epoch sessions whose analysis bound meets their declared target", "%d", ep.TargetsMet)
+	gauge("gpsd_sessions_guaranteed", "epoch sessions Guaranteed under ClassifyUnderRate revalidation", "%d", ep.Guaranteed)
+	gauge("gpsd_sessions_degraded", "epoch sessions Degraded under revalidation (invariant breach)", "%d", ep.Degraded)
+	gauge("gpsd_sessions_infeasible", "epoch sessions Infeasible under revalidation (invariant breach)", "%d", ep.Infeasible)
+	gauge("gpsd_queue_depth", "instantaneous mutation-queue occupancy", "%d", d.QueueDepth())
+	fmt.Fprintf(w, "# HELP gpsd_handler_latency_seconds handler latency quantiles (P2 estimator)\n# TYPE gpsd_handler_latency_seconds summary\n")
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds_count %d\n", m.observed.Load())
+}

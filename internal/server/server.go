@@ -1,0 +1,402 @@
+// Package server is the long-running admission-control daemon layered
+// over the batch GPS analysis stack: it holds a live gpsmath.Server
+// session set in memory, answers soft-QoS admission requests online
+// (paper §7 — each session declares Pr{D >= d} <= eps), and serves
+// per-session tail bounds and the feasible partition from immutable
+// analysis snapshots.
+//
+// The core design is a single-writer, epoch-snapshot architecture.
+// Admit and release requests are O(1) decisions made by one writer
+// goroutine against incremental state (Σ required rates vs. the link
+// rate — sound because weights equal required rates, so every admitted
+// session is an H_1 session and Theorem 10 gives it exactly the Lemma 5
+// bound its rate was sized against). The expensive O(N log N)
+// AnalyzeServer pass never runs per request: the writer coalesces
+// mutations and periodically publishes a new immutable Epoch (session
+// set + full memoized analysis + revalidated feasible partition) via an
+// atomic pointer. Readers serve bounds and partition queries lock-free
+// from the current epoch. The mutation queue is bounded; when it fills,
+// submissions fail fast with ErrBusy so the HTTP layer can shed load
+// with 429 + Retry-After instead of blocking, and Close drains the
+// queue and publishes a final epoch before returning (graceful SIGTERM
+// semantics for cmd/gpsd).
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/ebb"
+	"repro/internal/gpsmath"
+)
+
+// Config sizes a Daemon. The zero value of every field but Rate is
+// usable; New applies the documented defaults.
+type Config struct {
+	// Rate is the GPS link rate admitted sessions share. Required.
+	Rate float64
+	// QueueDepth bounds the mutation queue; submissions beyond it are
+	// shed with ErrBusy (default 4096).
+	QueueDepth int
+	// MaxBatch forces an epoch rebuild after this many mutations even
+	// under continuous load, bounding how far published bounds can lag
+	// the live session set (default 4096).
+	MaxBatch int
+	// MaxEpochAge bounds epoch staleness in wall time: the writer
+	// rebuilds whenever the current epoch is older than this and
+	// mutations are pending (default 100ms).
+	MaxEpochAge time.Duration
+	// Opts are the analysis options every epoch is computed under; nil
+	// selects {Independent: true, Xi: XiOptimal}, the daemon's view that
+	// admitted sessions arrive independently.
+	Opts *gpsmath.Options
+	// RetryAfter is the backpressure hint the HTTP layer attaches to
+	// shed responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxEpochAge <= 0 {
+		c.MaxEpochAge = 100 * time.Millisecond
+	}
+	if c.Opts == nil {
+		c.Opts = &gpsmath.Options{Independent: true, Xi: gpsmath.XiOptimal}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Errors the submission path can return. ErrBusy is the backpressure
+// signal (queue full — retry later); ErrDraining means the daemon is
+// shutting down and accepts no further mutations.
+var (
+	ErrBusy     = errors.New("server: admission queue full")
+	ErrDraining = errors.New("server: daemon draining")
+)
+
+// record is the writer-owned state of one admitted session.
+type record struct {
+	ID      uint64
+	Name    string
+	Arrival ebb.Process
+	Target  admission.Target
+	G       float64 // required rate = GPS weight φ
+	pos     int     // index in Daemon.order (writer-owned)
+}
+
+type opKind int
+
+const (
+	opAdmit opKind = iota
+	opRelease
+	opExec // test hook: run fn on the writer goroutine
+)
+
+type op struct {
+	kind   opKind
+	name   string
+	arr    ebb.Process
+	target admission.Target
+	g      float64 // precomputed required rate (opAdmit)
+	id     uint64  // opRelease
+	fn     func()  // opExec
+	reply  chan opResult
+}
+
+type opResult struct {
+	ok   bool
+	id   uint64
+	free float64 // headroom left after the decision
+}
+
+// rateKey memoizes admission.RequiredRate per distinct (E.B.B., target)
+// tuple; the bisection is a pure function of these five floats.
+type rateKey struct{ rho, lambda, alpha, delay, eps float64 }
+
+// rateCacheMax bounds the memo so adversarial request streams (every
+// request a fresh tuple, as the fuzzer produces) cannot grow it without
+// limit.
+const rateCacheMax = 1 << 16
+
+// Daemon is the live admission-control service. Build with New; all
+// exported methods are safe for concurrent use.
+type Daemon struct {
+	cfg Config
+	met *Metrics
+
+	ops     chan op
+	mu      sync.RWMutex // guards closing against in-flight submits
+	closing bool
+	stopped chan struct{}
+
+	epoch atomic.Pointer[Epoch]
+	live  sync.Map // uint64 -> *record; written only by the writer
+
+	rateCache     sync.Map // rateKey -> float64
+	rateCacheSize atomic.Int64
+
+	// Writer-owned state (no locks: only the run goroutine touches it).
+	sessions    map[uint64]*record
+	order       []uint64 // admission order; swap-removed on release
+	used        float64  // Σ required rates of the admitted set
+	nextID      uint64
+	opsSince    int // mutations since the last published epoch
+	dirty       bool
+	lastRebuild time.Time
+}
+
+// New starts a daemon for a link of the given rate and returns it with
+// an initial empty epoch already published.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if err := validateRate(cfg.Rate); err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		met:      NewMetrics(),
+		ops:      make(chan op, cfg.QueueDepth),
+		stopped:  make(chan struct{}),
+		sessions: make(map[uint64]*record),
+	}
+	d.epoch.Store(d.buildEpoch(1))
+	d.lastRebuild = time.Now()
+	go d.run()
+	return d, nil
+}
+
+// Metrics returns the daemon's counter set.
+func (d *Daemon) Metrics() *Metrics { return d.met }
+
+// Rate returns the configured link rate.
+func (d *Daemon) Rate() float64 { return d.cfg.Rate }
+
+// RetryAfter returns the configured backpressure hint.
+func (d *Daemon) RetryAfter() time.Duration { return d.cfg.RetryAfter }
+
+// QueueDepth returns the instantaneous mutation-queue occupancy.
+func (d *Daemon) QueueDepth() int { return len(d.ops) }
+
+// CurrentEpoch returns the most recently published immutable snapshot.
+func (d *Daemon) CurrentEpoch() *Epoch { return d.epoch.Load() }
+
+// Pending reports whether the session is admitted in the live set even
+// if it has not yet appeared in a published epoch (epoch lag), letting
+// the HTTP layer distinguish "retry shortly" from "unknown session".
+func (d *Daemon) Pending(id uint64) bool {
+	_, ok := d.live.Load(id)
+	return ok
+}
+
+// AdmitRequest is one session asking to join the link.
+type AdmitRequest struct {
+	Name    string
+	Arrival ebb.Process
+	Target  admission.Target
+}
+
+// AdmitResult is the daemon's decision. When Admitted is false, Reason
+// says why; ID is assigned only on acceptance.
+type AdmitResult struct {
+	Admitted     bool
+	ID           uint64
+	RequiredRate float64
+	Free         float64 // link headroom after the decision
+	Reason       string
+}
+
+// Admit decides a request. Validation failures return an error (the
+// request is malformed); a well-formed request that does not fit the
+// link returns Admitted == false with a Reason. ErrBusy and ErrDraining
+// report backpressure and shutdown respectively.
+func (d *Daemon) Admit(req AdmitRequest) (AdmitResult, error) {
+	if err := req.Arrival.Validate(); err != nil {
+		return AdmitResult{}, err
+	}
+	if err := req.Target.Validate(); err != nil {
+		return AdmitResult{}, err
+	}
+	g, err := d.requiredRate(req.Arrival, req.Target)
+	if err != nil {
+		// Well-formed but unsatisfiable at any finite rate: a rejection,
+		// not a caller error.
+		d.met.Rejects.Add(1)
+		return AdmitResult{Admitted: false, Reason: err.Error()}, nil
+	}
+	res, err := d.submit(op{kind: opAdmit, name: req.Name, arr: req.Arrival,
+		target: req.Target, g: g, reply: make(chan opResult, 1)})
+	if err != nil {
+		return AdmitResult{}, err
+	}
+	out := AdmitResult{Admitted: res.ok, ID: res.id, RequiredRate: g, Free: res.free}
+	if !res.ok {
+		out.Reason = "insufficient link headroom"
+	}
+	return out, nil
+}
+
+// Release removes an admitted session by id. It reports whether the id
+// was present; ErrBusy/ErrDraining as for Admit.
+func (d *Daemon) Release(id uint64) (bool, error) {
+	res, err := d.submit(op{kind: opRelease, id: id, reply: make(chan opResult, 1)})
+	if err != nil {
+		return false, err
+	}
+	return res.ok, nil
+}
+
+// exec runs fn on the writer goroutine and waits for it — a test hook
+// for deterministically stalling or inspecting writer state.
+func (d *Daemon) exec(fn func()) error {
+	_, err := d.submit(op{kind: opExec, fn: fn, reply: make(chan opResult, 1)})
+	return err
+}
+
+// submit enqueues without blocking: a full queue sheds the request.
+func (d *Daemon) submit(o op) (opResult, error) {
+	d.mu.RLock()
+	if d.closing {
+		d.mu.RUnlock()
+		return opResult{}, ErrDraining
+	}
+	select {
+	case d.ops <- o:
+		d.mu.RUnlock()
+	default:
+		d.mu.RUnlock()
+		d.met.Shed.Add(1)
+		return opResult{}, ErrBusy
+	}
+	return <-o.reply, nil
+}
+
+// Close drains: no new mutations are accepted, everything already
+// queued is decided and answered, a final epoch is published, and the
+// writer exits. Safe to call more than once.
+func (d *Daemon) Close(ctx context.Context) error {
+	d.mu.Lock()
+	already := d.closing
+	d.closing = true
+	d.mu.Unlock()
+	if !already {
+		close(d.ops)
+	}
+	select {
+	case <-d.stopped:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// requiredRate is admission.RequiredRate behind a bounded memo: the
+// load a daemon sees is dominated by a small palette of declared
+// session types, so the bisection runs once per distinct tuple.
+func (d *Daemon) requiredRate(p ebb.Process, t admission.Target) (float64, error) {
+	k := rateKey{p.Rho, p.Lambda, p.Alpha, t.Delay, t.Eps}
+	if v, ok := d.rateCache.Load(k); ok {
+		d.met.CacheHits.Add(1)
+		return v.(float64), nil
+	}
+	g, err := admission.RequiredRate(p, t)
+	if err != nil {
+		return 0, err
+	}
+	d.met.CacheMisses.Add(1)
+	if d.rateCacheSize.Load() < rateCacheMax {
+		if _, loaded := d.rateCache.LoadOrStore(k, g); !loaded {
+			d.rateCacheSize.Add(1)
+		}
+	}
+	return g, nil
+}
+
+// run is the single-writer loop: decide every queued mutation in O(1),
+// and publish a fresh epoch whenever enough mutations accumulated
+// (MaxBatch) or the current epoch grew stale (MaxEpochAge). The ticker
+// covers the idle case where mutations stop arriving before a rebuild
+// threshold is met.
+func (d *Daemon) run() {
+	ticker := time.NewTicker(d.cfg.MaxEpochAge)
+	defer ticker.Stop()
+	for {
+		select {
+		case o, ok := <-d.ops:
+			if !ok {
+				if d.dirty {
+					d.rebuild()
+				}
+				close(d.stopped)
+				return
+			}
+			d.apply(o)
+			if d.dirty && (d.opsSince >= d.cfg.MaxBatch ||
+				time.Since(d.lastRebuild) >= d.cfg.MaxEpochAge) {
+				d.rebuild()
+			}
+		case <-ticker.C:
+			if d.dirty {
+				d.rebuild()
+			}
+		}
+	}
+}
+
+// apply decides one mutation against the incremental writer state.
+func (d *Daemon) apply(o op) {
+	switch o.kind {
+	case opExec:
+		o.fn()
+		o.reply <- opResult{ok: true}
+		return
+	case opAdmit:
+		if d.used+o.g > d.cfg.Rate {
+			d.met.Rejects.Add(1)
+			o.reply <- opResult{ok: false, free: d.cfg.Rate - d.used}
+			return
+		}
+		d.nextID++
+		rec := &record{ID: d.nextID, Name: o.name, Arrival: o.arr,
+			Target: o.target, G: o.g, pos: len(d.order)}
+		d.sessions[rec.ID] = rec
+		d.order = append(d.order, rec.ID)
+		d.used += o.g
+		d.live.Store(rec.ID, rec)
+		d.dirty = true
+		d.opsSince++
+		d.met.Admits.Add(1)
+		o.reply <- opResult{ok: true, id: rec.ID, free: d.cfg.Rate - d.used}
+	case opRelease:
+		rec, ok := d.sessions[o.id]
+		if !ok {
+			d.met.ReleaseMisses.Add(1)
+			o.reply <- opResult{ok: false, free: d.cfg.Rate - d.used}
+			return
+		}
+		// Swap-remove from the admission-order slice, O(1).
+		last := len(d.order) - 1
+		moved := d.order[last]
+		d.order[rec.pos] = moved
+		d.sessions[moved].pos = rec.pos
+		d.order = d.order[:last]
+		delete(d.sessions, o.id)
+		d.used -= rec.G
+		d.live.Delete(o.id)
+		d.dirty = true
+		d.opsSince++
+		d.met.Releases.Add(1)
+		o.reply <- opResult{ok: true, id: o.id, free: d.cfg.Rate - d.used}
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# serve_smoke.sh: end-to-end smoke test of the admission daemon.
+# Builds gpsd and gpsdload, starts the daemon on an ephemeral port,
+# drives a short closed-loop churn burst against it, and fails if any
+# 5xx (client- or server-observed) or transport error occurred. The
+# daemon is then drained with SIGTERM and must exit 0.
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d)
+GPSD_PID=
+trap 'if [ -n "$GPSD_PID" ]; then kill "$GPSD_PID" 2>/dev/null || true; fi; rm -rf "$DIR"' EXIT
+
+"$GO" build -o "$DIR/gpsd" ./cmd/gpsd
+"$GO" build -o "$DIR/gpsdload" ./tools/gpsdload
+
+"$DIR/gpsd" -addr 127.0.0.1:0 -addr-file "$DIR/addr" -rate 2000 >"$DIR/gpsd.log" 2>&1 &
+GPSD_PID=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$DIR/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: gpsd never wrote $DIR/addr" >&2
+        cat "$DIR/gpsd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$DIR/addr")
+
+"$DIR/gpsdload" -url "http://$ADDR" -sessions 200 -workers 4 \
+    -duration "${SMOKE_DURATION:-2s}" -require-no-5xx
+
+kill -TERM "$GPSD_PID"
+wait "$GPSD_PID" || { echo "serve-smoke: gpsd exited nonzero after SIGTERM" >&2; cat "$DIR/gpsd.log" >&2; exit 1; }
+GPSD_PID=
+echo "serve-smoke: OK"

@@ -30,6 +30,7 @@ import (
 // older snapshot (newly added) are reported but cannot regress; a hot
 // path that disappears from the newer snapshot fails the gate.
 var hotPaths = []string{
+	"AdmitThroughput",
 	"FluidSim",
 	"NetSim",
 	"HierSim",
