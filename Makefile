@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke serve-smoke check bench benchcheck perfcheck clean
+.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke check bench benchcheck perfcheck clean
 
 all: check
 
@@ -26,6 +26,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) -run '^$$' ./internal/fluid
 	$(GO) test -fuzz FuzzNew -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim
 	$(GO) test -fuzz FuzzAdmitDecode -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
+	$(GO) test -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) -run '^$$' ./internal/wal
 
 # serve-smoke boots a real gpsd on an ephemeral port, runs a short
 # gpsdload churn burst against it, and asserts zero 5xx before draining
@@ -33,7 +34,15 @@ fuzz-smoke:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-check: vet build test fuzz-smoke serve-smoke perfcheck benchcheck
+# crash-smoke SIGKILLs a WAL-backed gpsd mid-churn (once externally,
+# once at an armed torn-append crashpoint), recovers, and requires the
+# restarted daemon to match a fresh offline analysis of the log bit for
+# bit; interior log corruption must be refused, not truncated
+# (see scripts/crash_smoke.sh).
+crash-smoke:
+	GO="$(GO)" sh scripts/crash_smoke.sh
+
+check: vet build test fuzz-smoke serve-smoke crash-smoke perfcheck benchcheck
 
 # bench runs the full benchmark harness with memory stats and snapshots
 # the parsed results to BENCH_<UTC datetime>.json (format documented in

@@ -4,12 +4,22 @@
 // the feasible partition from epoch snapshots of the full Theorem 7–12
 // analysis.
 //
-//	gpsd -addr 127.0.0.1:7070 -rate 1000
+//	gpsd -addr 127.0.0.1:7070 -rate 1000 -wal-dir /var/lib/gpsd/wal
 //
 // Endpoints: POST /v1/admit, DELETE /v1/sessions/{id},
 // GET /v1/bounds/{id}, GET /v1/partition, GET /healthz, GET /metrics.
 // SIGINT/SIGTERM drain gracefully: in-flight and queued decisions are
 // answered, a final epoch is published, and the process exits 0.
+//
+// With -wal-dir set, every admit/release is appended to a checksummed
+// write-ahead log before the client hears the answer, and on boot the
+// daemon restores the newest valid snapshot plus the log suffix, so a
+// SIGKILL or power loss never silently discards the admitted set the
+// published bounds are quantified over. A torn final write (the
+// expected crash artifact) is truncated away; interior log corruption
+// refuses to start. The hidden -crashpoint flag arms a deterministic
+// process crash at a named durability boundary for the crash-recovery
+// harness (scripts/crash_smoke.sh).
 package main
 
 import (
@@ -25,7 +35,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -37,37 +49,105 @@ func main() {
 	epochAge := flag.Duration("epoch-age", 100*time.Millisecond, "max staleness of the published epoch")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain on SIGTERM")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; empty runs without durability")
+	walSync := flag.String("wal-sync", "batch", "WAL fsync policy: batch (group commit) or always (fsync per decision)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "WAL state snapshot cadence in logged mutations (0 = server default)")
+	crashpoint := flag.String("crashpoint", "", "arm a deterministic crash at a WAL boundary, e.g. wal.append.torn@3 (fault-injection harness)")
 	flag.Parse()
 
-	if err := run(*addr, *addrFile, *rate, *queue, *maxBatch, *epochAge, *retryAfter, *drainTimeout); err != nil {
+	if err := run(config{
+		addr: *addr, addrFile: *addrFile, rate: *rate,
+		queue: *queue, maxBatch: *maxBatch,
+		epochAge: *epochAge, retryAfter: *retryAfter, drainTimeout: *drainTimeout,
+		walDir: *walDir, walSync: *walSync, snapshotEvery: *snapshotEvery,
+		crashpoint: *crashpoint,
+	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
 }
 
-func run(addr, addrFile string, rate float64, queue, maxBatch int,
-	epochAge, retryAfter, drainTimeout time.Duration) error {
-	d, err := server.New(server.Config{
-		Rate:        rate,
-		QueueDepth:  queue,
-		MaxBatch:    maxBatch,
-		MaxEpochAge: epochAge,
-		RetryAfter:  retryAfter,
-	})
+type config struct {
+	addr, addrFile                     string
+	rate                               float64
+	queue, maxBatch                    int
+	epochAge, retryAfter, drainTimeout time.Duration
+
+	walDir, walSync string
+	snapshotEvery   int
+	crashpoint      string
+}
+
+// openWAL recovers the log directory and translates its history into
+// the server config. A corrupt log is fatal here — refusing to start is
+// the only honest answer when the admitted set cannot be reconstructed.
+func openWAL(cfg *config, scfg *server.Config) (*wal.Log, error) {
+	if cfg.walDir == "" {
+		return nil, nil
+	}
+	opts := wal.Options{}
+	switch cfg.walSync {
+	case "batch":
+		opts.Sync = wal.SyncBatch
+	case "always":
+		opts.Sync = wal.SyncAlways
+	default:
+		return nil, fmt.Errorf("-wal-sync %q, want batch or always", cfg.walSync)
+	}
+	if cfg.crashpoint != "" {
+		plan, err := faults.ParseCrashPlan(cfg.crashpoint)
+		if err != nil {
+			return nil, err
+		}
+		opts.Crash = plan
+		log.Printf("gpsd: armed crashpoint %s@%d", plan.Point, plan.Nth)
+	}
+	l, rec, err := wal.Open(cfg.walDir, opts)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			return nil, fmt.Errorf("refusing to start on interior log corruption: %w", err)
+		}
+		return nil, fmt.Errorf("opening WAL: %w", err)
+	}
+	log.Printf("gpsd: WAL %s recovered: snapshot seq %d, %d replayed ops, %d torn bytes truncated, %d corrupt snapshots skipped",
+		cfg.walDir, rec.State.Seq, len(rec.Ops), rec.TornBytes, rec.SkippedSnapshots)
+	scfg.Log = l
+	scfg.Recovered = rec
+	scfg.SnapshotEvery = cfg.snapshotEvery
+	return l, nil
+}
+
+func run(cfg config) error {
+	scfg := server.Config{
+		Rate:        cfg.rate,
+		QueueDepth:  cfg.queue,
+		MaxBatch:    cfg.maxBatch,
+		MaxEpochAge: cfg.epochAge,
+		RetryAfter:  cfg.retryAfter,
+	}
+	l, err := openWAL(&cfg, &scfg)
 	if err != nil {
 		return err
 	}
+	d, err := server.New(scfg)
+	if err != nil {
+		if l != nil {
+			l.Close()
+		}
+		return err
+	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(bound), 0o644); err != nil {
 			return fmt.Errorf("writing addr file: %w", err)
 		}
 	}
-	log.Printf("gpsd: listening on %s (rate %g, queue %d, epoch age %v)", bound, rate, queue, epochAge)
+	log.Printf("gpsd: listening on %s (rate %g, queue %d, epoch age %v, %d recovered sessions)",
+		bound, cfg.rate, cfg.queue, cfg.epochAge, d.CurrentEpoch().Sessions())
 
 	srv := &http.Server{Handler: server.NewHandler(d)}
 	errc := make(chan error, 1)
@@ -82,7 +162,7 @@ func run(addr, addrFile string, rate float64, queue, maxBatch int,
 		return err
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
@@ -90,13 +170,14 @@ func run(addr, addrFile string, rate float64, queue, maxBatch int,
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// Daemon drain snapshots and closes the WAL it owns.
 	if err := d.Close(ctx); err != nil {
 		return fmt.Errorf("daemon drain: %w", err)
 	}
 	ep := d.CurrentEpoch()
 	m := d.Metrics()
-	log.Printf("gpsd: drained at epoch %d with %d sessions; admits %d, rejects %d, releases %d, shed %d, rebuilds %d",
+	log.Printf("gpsd: drained at epoch %d with %d sessions; admits %d, rejects %d, releases %d, shed %d, rebuilds %d, wal appends %d",
 		ep.Seq, ep.Sessions(), m.Admits.Load(), m.Rejects.Load(), m.Releases.Load(),
-		m.Shed.Load(), m.Rebuilds.Load())
+		m.Shed.Load(), m.Rebuilds.Load(), m.WALAppends.Load())
 	return nil
 }

@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// CrashPlan is the process-crash injector for durability code: it arms
+// one named crashpoint (internal/wal consults it through its Crashpoint
+// interface at every durability boundary) and crashes the process on
+// the point's Nth hit. Like every schedule in this package it is
+// deterministic — the same plan against the same op sequence always
+// dies at the same boundary — which is what lets scripts/crash_smoke.sh
+// and the recovery tests assert exact post-crash disk states.
+//
+// The zero CrashPlan is inert: Armed never fires.
+type CrashPlan struct {
+	// Point is the crashpoint name to arm, e.g. "wal.append.torn".
+	Point string
+	// Nth is the 1-based hit of Point that triggers the crash.
+	Nth uint64
+	// KillFunc is what "crash" means. Nil selects killing the whole
+	// process with SIGKILL — the real thing, no deferred cleanup, no
+	// flushes — which is what cmd/gpsd -crashpoint uses. Tests inject a
+	// panic here instead. Kill never returns either way.
+	KillFunc func()
+
+	hits atomic.Uint64
+}
+
+// ParseCrashPlan parses a "point" or "point@n" spec: crash at the nth
+// hit of the named crashpoint (n defaults to 1).
+func ParseCrashPlan(spec string) (*CrashPlan, error) {
+	point, nth := spec, uint64(1)
+	if at := strings.LastIndexByte(spec, '@'); at >= 0 {
+		point = spec[:at]
+		n, err := strconv.ParseUint(spec[at+1:], 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("%w: crashpoint spec %q: hit count must be a positive integer", ErrInvalidSchedule, spec)
+		}
+		nth = n
+	}
+	if point == "" {
+		return nil, fmt.Errorf("%w: crashpoint spec %q has no point name", ErrInvalidSchedule, spec)
+	}
+	return &CrashPlan{Point: point, Nth: nth}, nil
+}
+
+// Armed reports whether this hit of the named point is the one that
+// crashes. Only hits of the armed point count; the caller then performs
+// the point's partial on-disk effect and calls Kill.
+func (p *CrashPlan) Armed(point string) bool {
+	if p == nil || p.Point == "" || point != p.Point {
+		return false
+	}
+	return p.hits.Add(1) == p.Nth
+}
+
+// Hits returns how many times the armed point was consulted.
+func (p *CrashPlan) Hits() uint64 { return p.hits.Load() }
+
+// Kill crashes the process (or runs KillFunc). It does not return.
+func (p *CrashPlan) Kill() {
+	if p.KillFunc != nil {
+		p.KillFunc()
+		select {} // a KillFunc that returns must still never resume the caller
+	}
+	proc, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = proc.Kill() // SIGKILL: no handlers, no flushes, the real crash
+	}
+	select {}
+}

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseCrashPlan(t *testing.T) {
+	cases := []struct {
+		spec  string
+		point string
+		nth   uint64
+		bad   bool
+	}{
+		{spec: "wal.append", point: "wal.append", nth: 1},
+		{spec: "wal.append.torn@17", point: "wal.append.torn", nth: 17},
+		{spec: "wal.snapshot@1", point: "wal.snapshot", nth: 1},
+		{spec: "", bad: true},
+		{spec: "@3", bad: true},
+		{spec: "wal.append@0", bad: true},
+		{spec: "wal.append@x", bad: true},
+		{spec: "wal.append@-2", bad: true},
+	}
+	for _, c := range cases {
+		p, err := ParseCrashPlan(c.spec)
+		if c.bad {
+			if !errors.Is(err, ErrInvalidSchedule) {
+				t.Errorf("ParseCrashPlan(%q) error = %v, want ErrInvalidSchedule", c.spec, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCrashPlan(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Point != c.point || p.Nth != c.nth {
+			t.Errorf("ParseCrashPlan(%q) = {%q, %d}, want {%q, %d}", c.spec, p.Point, p.Nth, c.point, c.nth)
+		}
+	}
+}
+
+func TestCrashPlanArmsExactlyNthHit(t *testing.T) {
+	p := &CrashPlan{Point: "wal.append", Nth: 3}
+	// Hits of other points never count toward the trigger.
+	for i := 0; i < 10; i++ {
+		if p.Armed("wal.snapshot") {
+			t.Fatal("plan armed on a different point")
+		}
+	}
+	if p.Hits() != 0 {
+		t.Fatalf("foreign points counted: hits = %d", p.Hits())
+	}
+	fired := 0
+	for i := 1; i <= 6; i++ {
+		if p.Armed("wal.append") {
+			fired++
+			if i != 3 {
+				t.Fatalf("armed at hit %d, want 3", i)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("armed %d times, want exactly once", fired)
+	}
+}
+
+func TestCrashPlanZeroValueInert(t *testing.T) {
+	var p CrashPlan
+	for i := 0; i < 5; i++ {
+		if p.Armed("wal.append") {
+			t.Fatal("zero plan armed")
+		}
+	}
+	if (*CrashPlan)(nil).Armed("wal.append") {
+		t.Fatal("nil plan armed")
+	}
+}
+
+func TestCrashPlanKillRunsKillFunc(t *testing.T) {
+	p := &CrashPlan{Point: "x", Nth: 1, KillFunc: func() { panic("crashed") }}
+	defer func() {
+		if recover() != "crashed" {
+			t.Fatal("Kill did not run KillFunc")
+		}
+	}()
+	p.Kill()
+	t.Fatal("Kill returned")
+}

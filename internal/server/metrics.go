@@ -27,14 +27,23 @@ type Metrics struct {
 	CacheHits       atomic.Int64 // required-rate memo hits
 	CacheMisses     atomic.Int64 // required-rate memo misses (bisections run)
 
+	WALAppends          atomic.Int64 // mutations made durable in the write-ahead log
+	WALAppendFailures   atomic.Int64 // appends the log refused (mutation not applied)
+	WALSnapshots        atomic.Int64 // WAL state snapshots written
+	WALSnapshotFailures atomic.Int64 // WAL snapshots that failed (log keeps replaying)
+	WALRecoveredOps     atomic.Int64 // log-suffix ops replayed at boot
+
 	resp2xx atomic.Int64
 	resp4xx atomic.Int64
 	resp5xx atomic.Int64
 
+	// mu guards the P² estimators and observed together: the count and
+	// the quantiles rendered from one scrape must describe the same set
+	// of observations.
 	mu       sync.Mutex
 	latP50   *stats.P2Quantile
 	latP99   *stats.P2Quantile
-	observed atomic.Int64
+	observed int64
 }
 
 // NewMetrics returns an empty counter set.
@@ -60,8 +69,8 @@ func (m *Metrics) ObserveHTTP(status int, dur time.Duration) {
 	m.mu.Lock()
 	m.latP50.Add(s)
 	m.latP99.Add(s)
+	m.observed++
 	m.mu.Unlock()
-	m.observed.Add(1)
 }
 
 // Responses returns the 2xx/4xx/5xx response counts.
@@ -72,12 +81,21 @@ func (m *Metrics) Responses() (r2, r4, r5 int64) {
 // LatencyQuantiles returns the current p50/p99 handler latency in
 // seconds (0, 0 before any observation).
 func (m *Metrics) LatencyQuantiles() (p50, p99 float64) {
+	p50, p99, _ = m.LatencySummary()
+	return p50, p99
+}
+
+// LatencySummary returns the p50/p99 handler latency and the
+// observation count as one consistent snapshot: the count is taken
+// under the same lock as the quantiles, so a scrape can never report a
+// count that disagrees with the summary it labels.
+func (m *Metrics) LatencySummary() (p50, p99 float64, observed int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.latP50.N() == 0 {
-		return 0, 0
+		return 0, 0, m.observed
 	}
-	return m.latP50.Quantile(), m.latP99.Quantile()
+	return m.latP50.Quantile(), m.latP99.Quantile(), m.observed
 }
 
 // WriteMetrics renders the full metric set in Prometheus text format:
@@ -86,7 +104,12 @@ func (m *Metrics) LatencyQuantiles() (p50, p99 float64) {
 func (d *Daemon) WriteMetrics(w io.Writer) {
 	m := d.met
 	ep := d.CurrentEpoch()
-	p50, p99 := m.LatencyQuantiles()
+	if ep == nil {
+		// A scrape that races daemon startup must render zeros, not
+		// panic the handler.
+		ep = &Epoch{}
+	}
+	p50, p99, observed := m.LatencySummary()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -103,6 +126,11 @@ func (d *Daemon) WriteMetrics(w io.Writer) {
 	counter("gpsd_epoch_rebuild_seconds_total_nanos", "cumulative nanoseconds inside epoch rebuilds", m.RebuildNanos.Load())
 	counter("gpsd_rate_cache_hits_total", "required-rate memo hits", m.CacheHits.Load())
 	counter("gpsd_rate_cache_misses_total", "required-rate memo misses", m.CacheMisses.Load())
+	counter("gpsd_wal_appends_total", "mutations made durable in the write-ahead log", m.WALAppends.Load())
+	counter("gpsd_wal_append_failures_total", "WAL appends refused (mutation not applied)", m.WALAppendFailures.Load())
+	counter("gpsd_wal_snapshots_total", "WAL state snapshots written", m.WALSnapshots.Load())
+	counter("gpsd_wal_snapshot_failures_total", "WAL snapshots that failed", m.WALSnapshotFailures.Load())
+	counter("gpsd_wal_recovered_ops_total", "log-suffix ops replayed at boot", m.WALRecoveredOps.Load())
 	fmt.Fprintf(w, "# HELP gpsd_http_responses_total served responses by status class\n# TYPE gpsd_http_responses_total counter\n")
 	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"2xx\"} %d\n", m.resp2xx.Load())
 	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"4xx\"} %d\n", m.resp4xx.Load())
@@ -118,5 +146,5 @@ func (d *Daemon) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP gpsd_handler_latency_seconds handler latency quantiles (P2 estimator)\n# TYPE gpsd_handler_latency_seconds summary\n")
 	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.5\"} %g\n", p50)
 	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.99\"} %g\n", p99)
-	fmt.Fprintf(w, "gpsd_handler_latency_seconds_count %d\n", m.observed.Load())
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds_count %d\n", observed)
 }

@@ -25,6 +25,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,7 +33,22 @@ import (
 	"repro/internal/admission"
 	"repro/internal/ebb"
 	"repro/internal/gpsmath"
+	"repro/internal/wal"
 )
+
+// AdmissionLog is the durability sink the writer appends every decided
+// mutation to before replying (internal/wal.Log implements it). The
+// daemon takes ownership: the log is snapshotted and closed when the
+// writer drains.
+type AdmissionLog interface {
+	Append(ops []wal.Op) error
+	// Snapshot persists st; the caller stamps st.Seq with the sequence
+	// of the last op folded into it.
+	Snapshot(st wal.State) error
+	// NextSeq reports the sequence number the next append will get.
+	NextSeq() uint64
+	Close() error
+}
 
 // Config sizes a Daemon. The zero value of every field but Rate is
 // usable; New applies the documented defaults.
@@ -57,6 +73,21 @@ type Config struct {
 	// RetryAfter is the backpressure hint the HTTP layer attaches to
 	// shed responses (default 1s).
 	RetryAfter time.Duration
+	// Log, when non-nil, makes every admit/release durable: the writer
+	// appends the op before mutating state or replying, and a mutation
+	// whose append fails is not applied (the caller sees ErrWAL). The
+	// daemon owns the log and closes it on drain.
+	Log AdmissionLog
+	// Recovered seeds the writer state from a WAL recovery (wal.Open);
+	// nil starts empty. The session set, admission order, running Σφ,
+	// and id counter are restored bit-for-bit, so the first published
+	// epoch matches an offline AnalyzeServer over the same op history.
+	Recovered *wal.Recovered
+	// SnapshotEvery writes a WAL state snapshot after this many logged
+	// mutations, bounding replay length on the next boot (default 131072).
+	SnapshotEvery int
+	// RateCacheMax bounds the required-rate memo (default 65536).
+	RateCacheMax int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +106,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 131072
+	}
+	if c.RateCacheMax <= 0 {
+		c.RateCacheMax = rateCacheMax
+	}
 	return c
 }
 
@@ -84,6 +121,9 @@ func (c Config) withDefaults() Config {
 var (
 	ErrBusy     = errors.New("server: admission queue full")
 	ErrDraining = errors.New("server: daemon draining")
+	// ErrWAL means the write-ahead log rejected the mutation's append;
+	// the mutation was not applied (durability before visibility).
+	ErrWAL = errors.New("server: write-ahead log append failed")
 )
 
 // record is the writer-owned state of one admitted session.
@@ -119,15 +159,16 @@ type opResult struct {
 	ok   bool
 	id   uint64
 	free float64 // headroom left after the decision
+	err  error   // non-nil when the WAL refused the mutation
 }
 
 // rateKey memoizes admission.RequiredRate per distinct (E.B.B., target)
 // tuple; the bisection is a pure function of these five floats.
 type rateKey struct{ rho, lambda, alpha, delay, eps float64 }
 
-// rateCacheMax bounds the memo so adversarial request streams (every
-// request a fresh tuple, as the fuzzer produces) cannot grow it without
-// limit.
+// rateCacheMax is the default bound on the memo so adversarial request
+// streams (every request a fresh tuple, as the fuzzer produces) cannot
+// grow it without limit; Config.RateCacheMax overrides it.
 const rateCacheMax = 1 << 16
 
 // Daemon is the live admission-control service. Build with New; all
@@ -155,10 +196,21 @@ type Daemon struct {
 	opsSince    int // mutations since the last published epoch
 	dirty       bool
 	lastRebuild time.Time
+	walOps      int      // logged mutations since the last WAL snapshot
+	walScratch  []wal.Op // reusable single-op batch for the hot path
+
+	// Snapshot offload: the writer captures the state synchronously
+	// (cheap) and a background goroutine pays for the disk work, so
+	// admits never stall behind the snapshot's fsyncs.
+	snapBusy atomic.Bool
+	snapWG   sync.WaitGroup
 }
 
 // New starts a daemon for a link of the given rate and returns it with
-// an initial empty epoch already published.
+// an initial epoch already published. When cfg.Recovered carries a WAL
+// history, the writer state is seeded from it first, so that initial
+// epoch is the recovered admitted set, analyzed exactly as a fresh
+// offline AnalyzeServer over the same op history would.
 func New(cfg Config) (*Daemon, error) {
 	cfg = cfg.withDefaults()
 	if err := validateRate(cfg.Rate); err != nil {
@@ -171,7 +223,34 @@ func New(cfg Config) (*Daemon, error) {
 		stopped:  make(chan struct{}),
 		sessions: make(map[uint64]*record),
 	}
-	d.epoch.Store(d.buildEpoch(1))
+	if cfg.Recovered != nil {
+		st, err := cfg.Recovered.SessionSet()
+		if err != nil {
+			return nil, fmt.Errorf("server: replaying recovered history: %w", err)
+		}
+		d.nextID = st.NextID
+		d.used = st.Used // the live writer's running sum, not a recomputation
+		d.order = make([]uint64, len(st.Sessions))
+		for i, s := range st.Sessions {
+			rec := &record{
+				ID:      s.ID,
+				Name:    s.Name,
+				Arrival: ebb.Process{Rho: s.Rho, Lambda: s.Lambda, Alpha: s.Alpha},
+				Target:  admission.Target{Delay: s.Delay, Eps: s.Eps},
+				G:       s.G,
+				pos:     i,
+			}
+			d.sessions[s.ID] = rec
+			d.order[i] = s.ID
+			d.live.Store(s.ID, rec)
+		}
+		d.met.WALRecoveredOps.Store(int64(len(cfg.Recovered.Ops)))
+	}
+	ep := d.buildEpoch(1)
+	if ep == nil {
+		return nil, fmt.Errorf("server: recovered session set failed analysis")
+	}
+	d.epoch.Store(ep)
 	d.lastRebuild = time.Now()
 	go d.run()
 	return d, nil
@@ -236,9 +315,12 @@ func (d *Daemon) Admit(req AdmitRequest) (AdmitResult, error) {
 		return AdmitResult{Admitted: false, Reason: err.Error()}, nil
 	}
 	res, err := d.submit(op{kind: opAdmit, name: req.Name, arr: req.Arrival,
-		target: req.Target, g: g, reply: make(chan opResult, 1)})
+		target: req.Target, g: g})
 	if err != nil {
 		return AdmitResult{}, err
+	}
+	if res.err != nil {
+		return AdmitResult{}, res.err
 	}
 	out := AdmitResult{Admitted: res.ok, ID: res.id, RequiredRate: g, Free: res.free}
 	if !res.ok {
@@ -250,9 +332,12 @@ func (d *Daemon) Admit(req AdmitRequest) (AdmitResult, error) {
 // Release removes an admitted session by id. It reports whether the id
 // was present; ErrBusy/ErrDraining as for Admit.
 func (d *Daemon) Release(id uint64) (bool, error) {
-	res, err := d.submit(op{kind: opRelease, id: id, reply: make(chan opResult, 1)})
+	res, err := d.submit(op{kind: opRelease, id: id})
 	if err != nil {
 		return false, err
+	}
+	if res.err != nil {
+		return false, res.err
 	}
 	return res.ok, nil
 }
@@ -260,15 +345,25 @@ func (d *Daemon) Release(id uint64) (bool, error) {
 // exec runs fn on the writer goroutine and waits for it — a test hook
 // for deterministically stalling or inspecting writer state.
 func (d *Daemon) exec(fn func()) error {
-	_, err := d.submit(op{kind: opExec, fn: fn, reply: make(chan opResult, 1)})
+	_, err := d.submit(op{kind: opExec, fn: fn})
 	return err
 }
 
+// replyPool recycles reply channels across requests: every use
+// receives exactly the one result the writer sends (or nothing, when
+// the request is shed before enqueueing), so a returned channel is
+// always empty.
+var replyPool = sync.Pool{New: func() any { return make(chan opResult, 1) }}
+
 // submit enqueues without blocking: a full queue sheds the request.
+// submit owns o.reply; callers leave it nil.
 func (d *Daemon) submit(o op) (opResult, error) {
+	reply := replyPool.Get().(chan opResult)
+	o.reply = reply
 	d.mu.RLock()
 	if d.closing {
 		d.mu.RUnlock()
+		replyPool.Put(reply)
 		return opResult{}, ErrDraining
 	}
 	select {
@@ -277,9 +372,12 @@ func (d *Daemon) submit(o op) (opResult, error) {
 	default:
 		d.mu.RUnlock()
 		d.met.Shed.Add(1)
+		replyPool.Put(reply)
 		return opResult{}, ErrBusy
 	}
-	return <-o.reply, nil
+	res := <-reply
+	replyPool.Put(reply)
+	return res, nil
 }
 
 // Close drains: no new mutations are accepted, everything already
@@ -315,9 +413,21 @@ func (d *Daemon) requiredRate(p ebb.Process, t admission.Target) (float64, error
 		return 0, err
 	}
 	d.met.CacheMisses.Add(1)
-	if d.rateCacheSize.Load() < rateCacheMax {
-		if _, loaded := d.rateCache.LoadOrStore(k, g); !loaded {
-			d.rateCacheSize.Add(1)
+	// Reserve a slot before inserting: a plain load-check followed by
+	// LoadOrStore lets N concurrent misses all pass the check and
+	// overshoot the cap by up to N entries. The CAS loop hands out at
+	// most RateCacheMax reservations ever; a reservation whose insert
+	// loses the per-key race is returned to the pool.
+	for {
+		n := d.rateCacheSize.Load()
+		if n >= int64(d.cfg.RateCacheMax) {
+			break
+		}
+		if d.rateCacheSize.CompareAndSwap(n, n+1) {
+			if _, loaded := d.rateCache.LoadOrStore(k, g); loaded {
+				d.rateCacheSize.Add(-1)
+			}
+			break
 		}
 	}
 	return g, nil
@@ -338,10 +448,19 @@ func (d *Daemon) run() {
 				if d.dirty {
 					d.rebuild()
 				}
+				d.closeLog()
 				close(d.stopped)
 				return
 			}
 			d.apply(o)
+			// The snapshot cadence is checked after apply returns, never
+			// inside logAppend: the captured state must already reflect
+			// the op that crossed the threshold, or the snapshot's seq
+			// stamp would claim one op more than the state holds.
+			if d.cfg.Log != nil && d.walOps >= d.cfg.SnapshotEvery {
+				d.walOps = 0
+				d.walSnapshot()
+			}
 			if d.dirty && (d.opsSince >= d.cfg.MaxBatch ||
 				time.Since(d.lastRebuild) >= d.cfg.MaxEpochAge) {
 				d.rebuild()
@@ -354,7 +473,11 @@ func (d *Daemon) run() {
 	}
 }
 
-// apply decides one mutation against the incremental writer state.
+// apply decides one mutation against the incremental writer state. The
+// durability order is append-then-mutate: a decided mutation reaches
+// the WAL before any in-memory state changes or the caller hears the
+// answer, so a crash can lose an unanswered request but never an
+// acknowledged one, and an append failure leaves the state untouched.
 func (d *Daemon) apply(o op) {
 	switch o.kind {
 	case opExec:
@@ -367,8 +490,17 @@ func (d *Daemon) apply(o op) {
 			o.reply <- opResult{ok: false, free: d.cfg.Rate - d.used}
 			return
 		}
-		d.nextID++
-		rec := &record{ID: d.nextID, Name: o.name, Arrival: o.arr,
+		id := d.nextID + 1
+		if err := d.logAppend(wal.Op{
+			Kind: wal.KindAdmit, ID: id, Name: o.name,
+			Rho: o.arr.Rho, Lambda: o.arr.Lambda, Alpha: o.arr.Alpha,
+			Delay: o.target.Delay, Eps: o.target.Eps, G: o.g,
+		}); err != nil {
+			o.reply <- opResult{err: err, free: d.cfg.Rate - d.used}
+			return
+		}
+		d.nextID = id
+		rec := &record{ID: id, Name: o.name, Arrival: o.arr,
 			Target: o.target, G: o.g, pos: len(d.order)}
 		d.sessions[rec.ID] = rec
 		d.order = append(d.order, rec.ID)
@@ -385,6 +517,10 @@ func (d *Daemon) apply(o op) {
 			o.reply <- opResult{ok: false, free: d.cfg.Rate - d.used}
 			return
 		}
+		if err := d.logAppend(wal.Op{Kind: wal.KindRelease, ID: o.id}); err != nil {
+			o.reply <- opResult{err: err, free: d.cfg.Rate - d.used}
+			return
+		}
 		// Swap-remove from the admission-order slice, O(1).
 		last := len(d.order) - 1
 		moved := d.order[last]
@@ -398,5 +534,84 @@ func (d *Daemon) apply(o op) {
 		d.opsSince++
 		d.met.Releases.Add(1)
 		o.reply <- opResult{ok: true, id: o.id, free: d.cfg.Rate - d.used}
+	}
+}
+
+// logAppend makes one op durable and advances the snapshot cadence
+// counter. Runs on the writer goroutine only.
+func (d *Daemon) logAppend(o wal.Op) error {
+	if d.cfg.Log == nil {
+		return nil
+	}
+	d.walScratch = append(d.walScratch[:0], o)
+	if err := d.cfg.Log.Append(d.walScratch); err != nil {
+		d.met.WALAppendFailures.Add(1)
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	d.met.WALAppends.Add(1)
+	d.walOps++
+	return nil
+}
+
+// walState captures the writer state in WAL snapshot form: the
+// admission-order session slice and the running Σφ exactly as
+// accumulated, so restore is bit-identical.
+func (d *Daemon) walState() wal.State {
+	st := wal.State{
+		NextID:   d.nextID,
+		Used:     d.used,
+		Sessions: make([]wal.SessionRecord, len(d.order)),
+	}
+	for i, id := range d.order {
+		rec := d.sessions[id]
+		st.Sessions[i] = wal.SessionRecord{
+			ID: id, Name: rec.Name,
+			Rho: rec.Arrival.Rho, Lambda: rec.Arrival.Lambda, Alpha: rec.Arrival.Alpha,
+			Delay: rec.Target.Delay, Eps: rec.Target.Eps, G: rec.G,
+		}
+	}
+	return st
+}
+
+// walSnapshot captures the writer's state synchronously — so it
+// reflects exactly the ops appended so far — and hands the disk work
+// to a background goroutine. If the previous snapshot is still being
+// written, this one is skipped; the cadence counter was already reset,
+// so the next threshold simply tries again.
+func (d *Daemon) walSnapshot() {
+	if !d.snapBusy.CompareAndSwap(false, true) {
+		return
+	}
+	st := d.walState()
+	st.Seq = d.cfg.Log.NextSeq() - 1
+	d.snapWG.Add(1)
+	go func() {
+		defer d.snapWG.Done()
+		defer d.snapBusy.Store(false)
+		if err := d.cfg.Log.Snapshot(st); err != nil {
+			d.met.WALSnapshotFailures.Add(1)
+			return
+		}
+		d.met.WALSnapshots.Add(1)
+	}()
+}
+
+// closeLog finishes the durability story on drain: wait out any
+// in-flight background snapshot, take one final synchronous snapshot
+// (so the next boot replays nothing), and close cleanly.
+func (d *Daemon) closeLog() {
+	if d.cfg.Log == nil {
+		return
+	}
+	d.snapWG.Wait()
+	st := d.walState()
+	st.Seq = d.cfg.Log.NextSeq() - 1
+	if err := d.cfg.Log.Snapshot(st); err != nil {
+		d.met.WALSnapshotFailures.Add(1)
+	} else {
+		d.met.WALSnapshots.Add(1)
+	}
+	if err := d.cfg.Log.Close(); err != nil {
+		d.met.WALAppendFailures.Add(1)
 	}
 }

@@ -54,6 +54,14 @@ type StreamTail struct {
 	// compensation keeps that drift at O(ulp).
 	sum, sumC float64
 	min, max  float64
+	// suffix[k] = Σ counts[k:], rebuilt lazily on the first query after a
+	// mutation: CCDF is O(1) and CCDFCurve O(levels) per call instead of
+	// re-summing the bucket suffix every time. Add/Merge only set the
+	// dirty flag, so the ingest hot path stays one counter bump. The lazy
+	// rebuild means queries mutate internal state: a StreamTail is safe
+	// for one goroutine, not for concurrent readers.
+	suffix      []uint64
+	suffixDirty bool
 }
 
 // NewStreamTail builds an estimator over [lo, hi) with the given bucket
@@ -69,6 +77,7 @@ func NewStreamTail(lo, hi float64, buckets int) (*StreamTail, error) {
 		lo:     lo,
 		width:  (hi - lo) / float64(buckets),
 		counts: make([]uint64, buckets+1),
+		suffix: make([]uint64, buckets+1),
 		min:    math.Inf(1),
 		max:    math.Inf(-1),
 	}, nil
@@ -101,6 +110,7 @@ func (s *StreamTail) bucketOf(x float64) int {
 // Add records one sample.
 func (s *StreamTail) Add(x float64) {
 	s.counts[s.bucketOf(x)]++
+	s.suffixDirty = true
 	s.n++
 	s.addSum(x)
 	if x < s.min {
@@ -149,6 +159,20 @@ func (s *StreamTail) Min() float64 {
 	return s.min
 }
 
+// tailCounts returns the suffix-count array, rebuilding it (O(buckets))
+// only when a mutation invalidated it since the last query.
+func (s *StreamTail) tailCounts() []uint64 {
+	if s.suffixDirty {
+		acc := uint64(0)
+		for k := len(s.counts) - 1; k >= 0; k-- {
+			acc += s.counts[k]
+			s.suffix[k] = acc
+		}
+		s.suffixDirty = false
+	}
+	return s.suffix
+}
+
 // CCDF returns the estimated Pr{X >= x}: exact whenever x is a bucket
 // edge (or outside the observed range), otherwise an overestimate by at
 // most the mass of x's bucket.
@@ -159,11 +183,7 @@ func (s *StreamTail) CCDF(x float64) float64 {
 	if x > s.max {
 		return 0
 	}
-	tail := uint64(0)
-	for k := s.bucketOf(x); k < len(s.counts); k++ {
-		tail += s.counts[k]
-	}
-	return float64(tail) / float64(s.n)
+	return float64(s.tailCounts()[s.bucketOf(x)]) / float64(s.n)
 }
 
 // Quantile returns the p-th quantile estimate (0 <= p <= 1): the bucket
@@ -188,11 +208,19 @@ func (s *StreamTail) Quantile(p float64) (float64, error) {
 	return s.max, nil
 }
 
-// CCDFCurve evaluates the estimated CCDF on a grid of levels.
+// CCDFCurve evaluates the estimated CCDF on a grid of levels: one
+// suffix-array rebuild at most, then O(1) per level.
 func (s *StreamTail) CCDFCurve(levels []float64) []float64 {
 	out := make([]float64, len(levels))
+	if s.n == 0 {
+		return out
+	}
+	tail := s.tailCounts()
 	for i, x := range levels {
-		out[i] = s.CCDF(x)
+		if x > s.max {
+			continue
+		}
+		out[i] = float64(tail[s.bucketOf(x)]) / float64(s.n)
 	}
 	return out
 }
@@ -218,6 +246,7 @@ func (s *StreamTail) Merge(o *StreamTail) error {
 	for k := range s.counts {
 		s.counts[k] += o.counts[k]
 	}
+	s.suffixDirty = true
 	s.n += o.n
 	s.addSum(o.sum + o.sumC)
 	if o.n > 0 {

@@ -318,3 +318,126 @@ func TestReservoirDeterminismAndCoverage(t *testing.T) {
 		t.Fatal("capacity 0 accepted")
 	}
 }
+
+// TestStreamTailSuffixInvalidation interleaves mutations with queries:
+// the lazily rebuilt suffix array must never serve counts from before
+// an Add or Merge.
+func TestStreamTailSuffixInvalidation(t *testing.T) {
+	st, err := NewStreamTail(0, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewStreamTail(0, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := func(x float64) float64 {
+		if st.n == 0 || x > st.max {
+			return 0
+		}
+		tail := uint64(0)
+		for k := st.bucketOf(x); k < len(st.counts); k++ {
+			tail += st.counts[k]
+		}
+		return float64(tail) / float64(st.n)
+	}
+	rng := source.NewRNG(5)
+	levels := []float64{0, 0.5, 2, 5, 9.5}
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 10
+		switch {
+		case i%7 == 6:
+			other.Add(x)
+			if err := st.Merge(other); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			st.Add(x)
+		}
+		q := levels[i%len(levels)]
+		if got, want := st.CCDF(q), naive(q); got != want {
+			t.Fatalf("step %d: CCDF(%v) = %v from stale suffix, naive re-sum gives %v", i, q, got, want)
+		}
+	}
+	curve := st.CCDFCurve(levels)
+	for i, q := range levels {
+		if curve[i] != naive(q) {
+			t.Fatalf("CCDFCurve[%d] = %v, naive re-sum gives %v", i, curve[i], naive(q))
+		}
+	}
+}
+
+// TestStreamTailMergeEmptyPreservesMoments pins the empty-merge edges:
+// folding an empty estimator in (either direction) must leave min, max,
+// and mean untouched rather than poisoning them with the empty side's
+// ±Inf sentinels.
+func TestStreamTailMergeEmptyPreservesMoments(t *testing.T) {
+	full, err := NewStreamTail(0, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1.25, 3.5, 7.75} {
+		full.Add(x)
+	}
+	empty, err := NewStreamTail(0, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if full.N() != 3 || full.Min() != 1.25 || full.Max() != 7.75 {
+		t.Fatalf("after merging empty in: n=%d min=%v max=%v, want 3, 1.25, 7.75", full.N(), full.Min(), full.Max())
+	}
+	if got, want := full.Mean(), (1.25+3.5+7.75)/3; got != want {
+		t.Fatalf("after merging empty in: mean %v, want %v", got, want)
+	}
+	// Empty receiver: the merged-in stream must arrive intact, and the
+	// still-empty pair must report the 0 sentinels, not ±Inf.
+	into, err := NewStreamTail(0, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := into.Merge(full); err != nil {
+		t.Fatal(err)
+	}
+	if into.N() != 3 || into.Min() != 1.25 || into.Max() != 7.75 || into.Mean() != full.Mean() {
+		t.Fatalf("merge into empty: n=%d min=%v max=%v mean=%v", into.N(), into.Min(), into.Max(), into.Mean())
+	}
+	bothEmpty, _ := NewStreamTail(0, 10, 32)
+	if err := bothEmpty.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if bothEmpty.Min() != 0 || bothEmpty.Max() != 0 || bothEmpty.Mean() != 0 {
+		t.Fatalf("empty∪empty: min=%v max=%v mean=%v, want zeros", bothEmpty.Min(), bothEmpty.Max(), bothEmpty.Mean())
+	}
+	if math.IsInf(bothEmpty.Min(), 0) || math.IsInf(bothEmpty.Max(), 0) {
+		t.Fatal("empty∪empty leaked an infinite sentinel")
+	}
+}
+
+// TestStreamTailQuantileBelowRangeClamp pins Quantile when every sample
+// clamps into the first bucket from below the range: interpolation
+// inside bucket 0 must clamp back to the observed values, not report a
+// point inside [lo, hi) no sample ever took.
+func TestStreamTailQuantileBelowRangeClamp(t *testing.T) {
+	st, err := NewStreamTail(10, 20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		st.Add(-3.5) // far below lo: clamps into bucket 0
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		q, err := st.Quantile(p)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", p, err)
+		}
+		if q != -3.5 {
+			t.Fatalf("Quantile(%v) = %v on fully below-range samples, want the clamped -3.5", p, q)
+		}
+	}
+	if st.CCDF(-3.5) != 1 || st.CCDF(-4) != 1 || st.CCDF(10) != 0 {
+		t.Fatalf("below-range CCDF: got %v, %v, %v; want 1, 1, 0", st.CCDF(-3.5), st.CCDF(-4), st.CCDF(10))
+	}
+}

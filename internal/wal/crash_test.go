@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// crashSentinel is what the injected KillFunc panics with so the test
+// can catch the simulated death precisely.
+type crashSentinel struct{}
+
+// runUntilCrash executes fn expecting it to die at an armed crashpoint;
+// it reports whether the sentinel fired. The log is deliberately NOT
+// closed afterwards — a crashed process never runs Close — so the
+// directory is left exactly as the kill left it. A huge FlushInterval
+// keeps the zombie flusher from touching the files afterwards.
+func runUntilCrash(t *testing.T, fn func()) (crashed bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSentinel); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	fn()
+	return false
+}
+
+func crashPlanFor(point string, nth uint64) *faults.CrashPlan {
+	return &faults.CrashPlan{Point: point, Nth: nth, KillFunc: func() { panic(crashSentinel{}) }}
+}
+
+func quietOpts(cp *faults.CrashPlan) Options {
+	return Options{Sync: SyncAlways, FlushInterval: time.Hour, Crash: cp}
+}
+
+func TestCrashpointAppendLosesBatchCleanly(t *testing.T) {
+	dir := t.TempDir()
+	// Third append dies before its bytes exist anywhere: recovery must
+	// see exactly the first two ops and a clean (untorn) log.
+	l, _, err := Open(dir, quietOpts(crashPlanFor(CrashAppend, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(6)
+	if !runUntilCrash(t, func() { appendAll(t, l, ops) }) {
+		t.Fatal("crashpoint never fired")
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatalf("recovery after append crash: %v", err)
+	}
+	if len(rec.Ops) != 2 || rec.TornBytes != 0 {
+		t.Fatalf("recovered %d ops with %d torn bytes, want 2 and 0", len(rec.Ops), rec.TornBytes)
+	}
+}
+
+func TestCrashpointTornAppendTruncatesOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Fourth append writes half its record, syncs the fragment, and
+	// dies: the canonical torn write. Recovery keeps ops 1..3, reports
+	// the discarded fragment, and a reopened log resumes at seq 4.
+	l, _, err := Open(dir, quietOpts(crashPlanFor(CrashTornAppend, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(8)
+	if !runUntilCrash(t, func() { appendAll(t, l, ops) }) {
+		t.Fatal("crashpoint never fired")
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatalf("recovery after torn append: %v", err)
+	}
+	if len(rec.Ops) != 3 {
+		t.Fatalf("recovered %d ops, want 3", len(rec.Ops))
+	}
+	if rec.TornBytes == 0 {
+		t.Fatal("torn fragment not reported")
+	}
+	l2, rec2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen after torn append: %v", err)
+	}
+	defer l2.Close()
+	if got := nextSeq(rec2); got != 4 {
+		t.Fatalf("reopened log resumes at seq %d, want 4", got)
+	}
+	appendAll(t, l2, ops[3:4])
+	rec3, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec3.Ops); n != 4 || rec3.Ops[n-1].Seq != 4 {
+		t.Fatalf("post-recovery append: %d ops, last seq %d; want 4 and 4", n, rec3.Ops[n-1].Seq)
+	}
+}
+
+func TestCrashpointSnapshotLeavesOldHistoryIntact(t *testing.T) {
+	dir := t.TempDir()
+	// Snapshot dies after fsyncing the temporary file but before the
+	// rename: the orphan .tmp must be ignored by recovery (and swept on
+	// the next writable Open), and the full op history must replay.
+	l, _, err := Open(dir, quietOpts(crashPlanFor(CrashSnapshot, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(10)
+	appendAll(t, l, ops)
+	st := State{}
+	if err := Replay(&st, mustSeq(ops)); err != nil {
+		t.Fatal(err)
+	}
+	if !runUntilCrash(t, func() { _ = l.Snapshot(st) }) {
+		t.Fatal("crashpoint never fired")
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatalf("recovery after snapshot crash: %v", err)
+	}
+	if rec.State.Seq != 0 || len(rec.Ops) != len(ops) {
+		t.Fatalf("recovered snapshot seq %d with %d ops, want 0 and %d (orphan tmp must not count)",
+			rec.State.Seq, len(rec.Ops), len(ops))
+	}
+	got, err := rec.SessionSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := State{}
+	if err := Replay(&want, mustSeq(ops)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Used != want.Used || len(got.Sessions) != len(want.Sessions) {
+		t.Fatalf("folded state diverged: used %v vs %v, %d vs %d sessions",
+			got.Used, want.Used, len(got.Sessions), len(want.Sessions))
+	}
+}

@@ -1,0 +1,398 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Kind tags one logged admission mutation.
+type Kind uint8
+
+const (
+	// KindAdmit records an accepted admission: the assigned id, the
+	// declared E.B.B. triple and soft-QoS target, and the required rate
+	// the decision was made against (the session's GPS weight φ).
+	KindAdmit Kind = 1
+	// KindRelease records a successful release of an admitted id.
+	KindRelease Kind = 2
+)
+
+// Op is one durable admission mutation. Seq is the log sequence number:
+// assigned by Append, strictly increasing by 1 with no gaps, and
+// verified during replay so a decoding error can never silently skip
+// operations.
+type Op struct {
+	Seq  uint64
+	Kind Kind
+	ID   uint64
+
+	// Admit-only payload. Floats are stored as raw IEEE-754 bits, so a
+	// replayed history is arithmetically identical to the live one.
+	Name   string
+	Rho    float64
+	Lambda float64
+	Alpha  float64
+	Delay  float64
+	Eps    float64
+	G      float64
+}
+
+// SessionRecord is one admitted session inside a snapshot, in admission
+// order.
+type SessionRecord struct {
+	ID                 uint64
+	Name               string
+	Rho, Lambda, Alpha float64
+	Delay, Eps         float64
+	G                  float64
+}
+
+// State is the full admitted-set state a snapshot captures: replaying
+// the log suffix with Seq greater than State.Seq on top of it
+// reconstructs the writer state bit-for-bit (Used is the running float
+// sum exactly as the live daemon accumulated it, not a recomputation).
+type State struct {
+	Seq      uint64 // last op sequence the state includes
+	NextID   uint64
+	Used     float64
+	Sessions []SessionRecord // admission order
+}
+
+// Clone deep-copies the state so replay never aliases a caller's slice.
+func (st State) Clone() State {
+	st.Sessions = append([]SessionRecord(nil), st.Sessions...)
+	return st
+}
+
+// Replay applies an op suffix to a snapshot state with exactly the
+// daemon's mutation semantics: admits append to the admission-order
+// slice, releases swap-remove. Ops at or below st.Seq (already folded
+// into the snapshot) are skipped; a sequence gap is a corruption error.
+func Replay(st *State, ops []Op) error {
+	idx := make(map[uint64]int, len(st.Sessions))
+	for i, s := range st.Sessions {
+		idx[s.ID] = i
+	}
+	for _, o := range ops {
+		if o.Seq <= st.Seq {
+			continue
+		}
+		if o.Seq != st.Seq+1 {
+			return &CorruptError{Reason: fmt.Sprintf("replay sequence gap: have state at %d, next op is %d", st.Seq, o.Seq)}
+		}
+		switch o.Kind {
+		case KindAdmit:
+			if _, dup := idx[o.ID]; dup {
+				return &CorruptError{Reason: fmt.Sprintf("replay: duplicate admit of id %d at seq %d", o.ID, o.Seq)}
+			}
+			idx[o.ID] = len(st.Sessions)
+			st.Sessions = append(st.Sessions, SessionRecord{
+				ID: o.ID, Name: o.Name,
+				Rho: o.Rho, Lambda: o.Lambda, Alpha: o.Alpha,
+				Delay: o.Delay, Eps: o.Eps, G: o.G,
+			})
+			st.NextID = o.ID
+			st.Used += o.G
+		case KindRelease:
+			i, ok := idx[o.ID]
+			if !ok {
+				return &CorruptError{Reason: fmt.Sprintf("replay: release of unknown id %d at seq %d", o.ID, o.Seq)}
+			}
+			last := len(st.Sessions) - 1
+			moved := st.Sessions[last]
+			g := st.Sessions[i].G
+			st.Sessions[i] = moved
+			idx[moved.ID] = i
+			st.Sessions = st.Sessions[:last]
+			delete(idx, o.ID)
+			st.Used -= g
+		default:
+			return &CorruptError{Reason: fmt.Sprintf("replay: unknown op kind %d at seq %d", o.Kind, o.Seq)}
+		}
+		st.Seq = o.Seq
+	}
+	return nil
+}
+
+// On-disk layout. A segment file is a 16-byte header (magic + the
+// sequence number of the segment's first record) followed by length-
+// prefixed, CRC32C-checksummed record frames:
+//
+//	u32 payload length | u32 crc32c(payload) | payload
+//
+// The admit payload is seq, kind, id, six raw float64 bit patterns
+// (g, ρ, Λ, α, d, ε) and a length-prefixed name; the release payload
+// stops after the id. A snapshot file is an 8-byte magic followed by a
+// single frame holding the encoded State. All integers little-endian.
+const (
+	segMagic  = "GPSWALS1"
+	snapMagic = "GPSSNAP1"
+
+	segHeaderLen = 16
+	frameHeader  = 8
+
+	// maxRecord bounds a single frame's payload; anything larger is
+	// either garbage from a torn write or corruption.
+	maxRecord = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func putU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func putF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// appendOpPayload encodes one op's frame payload.
+func appendOpPayload(b []byte, o Op) []byte {
+	b = putU64(b, o.Seq)
+	b = append(b, byte(o.Kind))
+	b = putU64(b, o.ID)
+	if o.Kind == KindAdmit {
+		b = putF64(b, o.G)
+		b = putF64(b, o.Rho)
+		b = putF64(b, o.Lambda)
+		b = putF64(b, o.Alpha)
+		b = putF64(b, o.Delay)
+		b = putF64(b, o.Eps)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(o.Name)))
+		b = append(b, o.Name...)
+	}
+	return b
+}
+
+// appendFrame wraps a payload in the length+CRC frame.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+	return append(b, payload...)
+}
+
+// appendOpFrame encodes one op directly into b as a complete frame,
+// reserving the header and backfilling length+CRC once the payload is
+// in place — the hot path's zero-copy variant of appendFrame.
+func appendOpFrame(b []byte, o Op) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = appendOpPayload(b, o)
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, castagnoli))
+	return b
+}
+
+// cursor is a bounds-checked little-endian reader; ok flips to false on
+// any overrun instead of panicking (the fuzz target's contract).
+type cursor struct {
+	b  []byte
+	ok bool
+}
+
+func (c *cursor) u8() byte {
+	if !c.ok || len(c.b) < 1 {
+		c.ok = false
+		return 0
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if !c.ok || len(c.b) < 2 {
+		c.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b)
+	c.b = c.b[2:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.ok || len(c.b) < 4 {
+		c.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.ok || len(c.b) < 8 {
+		c.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return v
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) str(n int) string {
+	if !c.ok || n < 0 || len(c.b) < n {
+		c.ok = false
+		return ""
+	}
+	v := string(c.b[:n])
+	c.b = c.b[n:]
+	return v
+}
+
+// decodeOpPayload parses one checksummed frame payload into an Op. A
+// payload that passed its CRC but does not parse is corruption, never a
+// torn write.
+func decodeOpPayload(p []byte) (Op, error) {
+	c := &cursor{b: p, ok: true}
+	var o Op
+	o.Seq = c.u64()
+	o.Kind = Kind(c.u8())
+	o.ID = c.u64()
+	switch o.Kind {
+	case KindAdmit:
+		o.G = c.f64()
+		o.Rho = c.f64()
+		o.Lambda = c.f64()
+		o.Alpha = c.f64()
+		o.Delay = c.f64()
+		o.Eps = c.f64()
+		o.Name = c.str(int(c.u16()))
+	case KindRelease:
+	default:
+		return Op{}, fmt.Errorf("unknown op kind %d", o.Kind)
+	}
+	if !c.ok {
+		return Op{}, fmt.Errorf("payload truncated inside %v op", o.Kind)
+	}
+	if len(c.b) != 0 {
+		return Op{}, fmt.Errorf("%d trailing bytes after %v op", len(c.b), o.Kind)
+	}
+	return o, nil
+}
+
+// appendState encodes a snapshot State.
+func appendState(b []byte, st State) []byte {
+	b = putU64(b, st.Seq)
+	b = putU64(b, st.NextID)
+	b = putF64(b, st.Used)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Sessions)))
+	for _, s := range st.Sessions {
+		b = putU64(b, s.ID)
+		b = putF64(b, s.G)
+		b = putF64(b, s.Rho)
+		b = putF64(b, s.Lambda)
+		b = putF64(b, s.Alpha)
+		b = putF64(b, s.Delay)
+		b = putF64(b, s.Eps)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Name)))
+		b = append(b, s.Name...)
+	}
+	return b
+}
+
+func decodeState(p []byte) (State, error) {
+	c := &cursor{b: p, ok: true}
+	var st State
+	st.Seq = c.u64()
+	st.NextID = c.u64()
+	st.Used = c.f64()
+	n := c.u32()
+	if !c.ok || uint64(n) > uint64(len(p)) {
+		return State{}, fmt.Errorf("snapshot header truncated or session count %d implausible", n)
+	}
+	st.Sessions = make([]SessionRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s SessionRecord
+		s.ID = c.u64()
+		s.G = c.f64()
+		s.Rho = c.f64()
+		s.Lambda = c.f64()
+		s.Alpha = c.f64()
+		s.Delay = c.f64()
+		s.Eps = c.f64()
+		s.Name = c.str(int(c.u16()))
+		if !c.ok {
+			return State{}, fmt.Errorf("snapshot truncated inside session %d of %d", i, n)
+		}
+		st.Sessions = append(st.Sessions, s)
+	}
+	if len(c.b) != 0 {
+		return State{}, fmt.Errorf("%d trailing bytes after snapshot", len(c.b))
+	}
+	return st, nil
+}
+
+// decodeResult is what walking a segment's frames yields: the decoded
+// ops, the byte offset of the end of the last intact frame (the
+// truncation point when the tail is torn), and whether decoding
+// stopped because of a torn tail rather than clean EOF.
+type decodeResult struct {
+	ops     []Op
+	goodLen int64
+	torn    bool
+}
+
+// decodeFrames walks the record frames of one segment body (after the
+// header). final selects the torn-tail rule: in the newest segment a
+// frame that cannot be completed because the file simply ends — short
+// header, declared length past EOF, implausible length at the tail, or
+// a checksum mismatch on the very last frame — is an expected torn
+// write and truncates; anywhere else those are hard corruption. A
+// checksum mismatch with intact frames after it, a sequence gap, or an
+// undecodable checksummed payload is always corruption.
+func decodeFrames(file string, body []byte, baseOff int64, firstSeq uint64, final bool) (decodeResult, error) {
+	res := decodeResult{goodLen: baseOff}
+	want := firstSeq
+	off := 0
+	torn := func(reason string) (decodeResult, error) {
+		if final {
+			res.torn = true
+			return res, nil
+		}
+		return res, &CorruptError{File: file, Offset: baseOff + int64(off), Reason: reason}
+	}
+	for off < len(body) {
+		rest := body[off:]
+		if len(rest) < frameHeader {
+			return torn(fmt.Sprintf("%d trailing bytes, less than a frame header", len(rest)))
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if plen > maxRecord {
+			return torn(fmt.Sprintf("frame claims %d-byte payload (max %d)", plen, maxRecord))
+		}
+		if frameHeader+plen > len(rest) {
+			return torn(fmt.Sprintf("frame claims %d-byte payload, only %d bytes remain", plen, len(rest)-frameHeader))
+		}
+		payload := rest[frameHeader : frameHeader+plen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if final && frameHeader+plen == len(rest) {
+				// Checksum mismatch on the very last frame of the newest
+				// segment: a torn write of the final record.
+				res.torn = true
+				return res, nil
+			}
+			return res, &CorruptError{File: file, Offset: baseOff + int64(off),
+				Reason: "checksum mismatch with valid data after it"}
+		}
+		op, err := decodeOpPayload(payload)
+		if err != nil {
+			return res, &CorruptError{File: file, Offset: baseOff + int64(off), Reason: err.Error()}
+		}
+		if op.Seq != want {
+			return res, &CorruptError{File: file, Offset: baseOff + int64(off),
+				Reason: fmt.Sprintf("sequence gap: want %d, frame holds %d", want, op.Seq)}
+		}
+		want++
+		off += frameHeader + plen
+		res.ops = append(res.ops, op)
+		res.goodLen = baseOff + int64(off)
+	}
+	return res, nil
+}

@@ -1,0 +1,303 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testOps builds a small deterministic admit/release history.
+func testOps(n int) []Op {
+	var ops []Op
+	live := []uint64(nil)
+	nextID := uint64(0)
+	for i := 0; i < n; i++ {
+		if i%3 == 2 && len(live) > 0 {
+			id := live[(i*7)%len(live)]
+			ops = append(ops, Op{Kind: KindRelease, ID: id})
+			for k, v := range live {
+				if v == id {
+					live = append(live[:k], live[k+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		nextID++
+		ops = append(ops, Op{
+			Kind: KindAdmit, ID: nextID, Name: "sess",
+			Rho: 0.05 * float64(1+i%4), Lambda: 1.5, Alpha: 1.2,
+			Delay: 40, Eps: 1e-3, G: 0.07 * float64(1+i%4),
+		})
+		live = append(live, nextID)
+	}
+	return ops
+}
+
+func appendAll(t *testing.T, l *Log, ops []Op) {
+	t.Helper()
+	for i := range ops {
+		if err := l.Append(ops[i : i+1]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(rec.Ops) != 0 || rec.State.Seq != 0 {
+		t.Fatalf("fresh dir recovered %d ops, state seq %d", len(rec.Ops), rec.State.Seq)
+	}
+	ops := testOps(25)
+	appendAll(t, l, ops)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rec2.Ops) != len(ops) {
+		t.Fatalf("recovered %d ops, want %d", len(rec2.Ops), len(ops))
+	}
+	for i, o := range rec2.Ops {
+		want := ops[i]
+		want.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(o, want) {
+			t.Fatalf("op %d: got %+v, want %+v", i, o, want)
+		}
+	}
+}
+
+func TestSyncBatchSurvivesCloseAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(40)
+	appendAll(t, l, ops)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != len(ops) {
+		t.Fatalf("recovered %d ops, want %d", len(rec.Ops), len(ops))
+	}
+}
+
+func TestSegmentRotationPreservesContinuity(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rotations.
+	l, _, err := Open(dir, Options{SegmentBytes: 256, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(60)
+	appendAll(t, l, ops)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, found %d", len(segs))
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != len(ops) {
+		t.Fatalf("recovered %d ops across %d segments, want %d", len(rec.Ops), len(segs), len(ops))
+	}
+	for i, o := range rec.Ops {
+		if o.Seq != uint64(i+1) {
+			t.Fatalf("op %d has seq %d", i, o.Seq)
+		}
+	}
+}
+
+func TestSnapshotPrunesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 512, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(30)
+	appendAll(t, l, ops[:20])
+	st := State{}
+	if err := Replay(&st, mustSeq(ops[:20])); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(st); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	appendAll(t, l, ops[20:])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("found %d snapshots, want 1", len(snaps))
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Seq != 20 {
+		t.Fatalf("snapshot covers through %d, want 20", rec.State.Seq)
+	}
+	if len(rec.Ops) != 10 {
+		t.Fatalf("suffix has %d ops, want 10", len(rec.Ops))
+	}
+	// The folded set must equal a from-scratch replay of the full history.
+	got, err := rec.SessionSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := State{}
+	if err := Replay(&want, mustSeq(ops)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot+suffix state differs from full replay:\ngot  %+v\nwant %+v", got, want)
+	}
+	if math.Float64bits(got.Used) != math.Float64bits(want.Used) {
+		t.Fatalf("Used not bit-identical: %x vs %x", math.Float64bits(got.Used), math.Float64bits(want.Used))
+	}
+}
+
+// mustSeq stamps sequence numbers the way Append would, for building
+// expected states without a Log.
+func mustSeq(ops []Op) []Op {
+	out := append([]Op(nil), ops...)
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+func TestSnapshotSupersedesTornSuffix(t *testing.T) {
+	// Ops beyond the snapshot that are torn away must not resurrect: the
+	// folded state is the snapshot plus whatever intact suffix remains.
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(12)
+	appendAll(t, l, ops)
+	st := State{}
+	if err := Replay(&st, mustSeq(ops)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Seq != 12 || len(rec.Ops) != 0 {
+		t.Fatalf("recovered state seq %d with %d suffix ops, want 12 and 0", rec.State.Seq, len(rec.Ops))
+	}
+}
+
+func TestSkipsCorruptNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(10)
+	appendAll(t, l, ops[:6])
+	st := State{}
+	if err := Replay(&st, mustSeq(ops[:6])); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, ops[6:])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a newer, corrupt snapshot: recovery must skip it and fall
+	// back to the valid one, replaying the longer suffix.
+	if err := os.WriteFile(filepath.Join(dir, snapName(9)), []byte("GPSSNAP1garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SkippedSnapshots != 1 {
+		t.Fatalf("skipped %d snapshots, want 1", rec.SkippedSnapshots)
+	}
+	if rec.State.Seq != 6 || len(rec.Ops) != 4 {
+		t.Fatalf("recovered state seq %d with %d suffix ops, want 6 and 4", rec.State.Seq, len(rec.Ops))
+	}
+}
+
+func TestReplayRejectsGapsAndUnknownReleases(t *testing.T) {
+	st := State{}
+	err := Replay(&st, []Op{{Seq: 2, Kind: KindAdmit, ID: 1}})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("gap replay error = %v, want ErrCorrupt", err)
+	}
+	st = State{}
+	err = Replay(&st, []Op{{Seq: 1, Kind: KindRelease, ID: 7}})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown-release replay error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReopenAppendsContiguously(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(9)
+	appendAll(t, l, ops[:5])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != 5 {
+		t.Fatalf("recovered %d ops, want 5", len(rec.Ops))
+	}
+	appendAll(t, l2, ops[5:])
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Ops) != len(ops) {
+		t.Fatalf("recovered %d ops after reopen, want %d", len(rec2.Ops), len(ops))
+	}
+	for i, o := range rec2.Ops {
+		if o.Seq != uint64(i+1) {
+			t.Fatalf("op %d has seq %d after reopen", i, o.Seq)
+		}
+	}
+}

@@ -8,6 +8,13 @@
 // (with -require-no-5xx) exits nonzero if either side saw a 5xx.
 //
 //	gpsdload -url http://127.0.0.1:7070 -sessions 1000 -duration 10s
+//
+// As the crash-fault harness (-kill-pid with -kill-after), it SIGKILLs
+// the daemon mid-churn instead of finishing the window: transport
+// errors after the kill are the point, not a failure, so the run exits
+// 0 once the kill landed and reports how many decisions the daemon had
+// acknowledged. scripts/crash_smoke.sh then restarts gpsd and walcheck
+// verifies the recovered state against the WAL.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/faults"
@@ -216,7 +224,12 @@ func main() {
 	boundsFrac := flag.Float64("bounds-frac", 0.2, "fraction of iterations issuing a bounds read")
 	requireNo5xx := flag.Bool("require-no-5xx", false, "exit 1 if any 5xx (client- or server-observed) or transport error occurred")
 	scrape := flag.Bool("scrape", true, "scrape and print /metrics after the run")
+	killPid := flag.Int("kill-pid", 0, "SIGKILL this pid (the daemon) mid-churn; post-kill errors are expected")
+	killAfter := flag.Duration("kill-after", time.Second, "churn time before -kill-pid fires")
 	flag.Parse()
+	if *killPid > 0 && *requireNo5xx {
+		log.Fatal("gpsdload: -kill-pid and -require-no-5xx are mutually exclusive (the kill guarantees failed requests)")
+	}
 
 	p50, _ := stats.NewP2Quantile(0.5)
 	p99, _ := stats.NewP2Quantile(0.99)
@@ -266,6 +279,25 @@ func main() {
 	const horizon = 1000
 	deadline := time.Now().Add(*duration)
 	windowStart := time.Now()
+
+	// Kill harness: SIGKILL the daemon partway into the churn window.
+	// Workers watch the flag and wind down; everything they observe after
+	// the kill (refused connections, resets) is the expected crash shape.
+	var killed atomic.Bool
+	killDone := make(chan struct{})
+	if *killPid > 0 {
+		go func() {
+			defer close(killDone)
+			time.Sleep(time.Until(windowStart.Add(*killAfter)))
+			if err := syscall.Kill(*killPid, syscall.SIGKILL); err != nil {
+				log.Fatalf("gpsdload: SIGKILL pid %d: %v", *killPid, err)
+			}
+			killed.Store(true)
+			fmt.Printf("gpsdload: SIGKILLed pid %d after %v of churn\n",
+				*killPid, time.Since(windowStart).Round(time.Millisecond))
+		}()
+	}
+
 	if *churnEvents > 0 {
 		inj, err := faults.New(faults.Config{
 			Seed:    *seed,
@@ -304,7 +336,7 @@ func main() {
 			rng := source.NewRNG(*seed ^ 0x9e3779b97f4a7c15)
 			for _, a := range acts {
 				at := windowStart.Add(a.at)
-				if at.After(deadline) {
+				if at.After(deadline) || killed.Load() {
 					return
 				}
 				time.Sleep(time.Until(at))
@@ -325,7 +357,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := source.NewRNG(*seed + 17 + uint64(w)*1e9)
-			for time.Now().Before(deadline) {
+			for time.Now().Before(deadline) && !killed.Load() {
 				if id, ok := c.admit(palette[rng.Intn(len(palette))]); ok {
 					ids.add(id)
 				}
@@ -343,6 +375,9 @@ func main() {
 		}(w)
 	}
 	wg.Wait()
+	if *killPid > 0 {
+		<-killDone // the kill must have landed before we report anything
+	}
 	elapsed := time.Since(windowStart)
 
 	cnt := c.cnt
@@ -357,6 +392,14 @@ func main() {
 	fmt.Printf("gpsdload: latency p50 %v p99 %v; shed(429) %d, other-4xx %d, 5xx %d, transport errors %d\n",
 		lp50.Round(time.Microsecond), lp99.Round(time.Microsecond),
 		cnt.shed.Load(), cnt.status4xx.Load(), cnt.status5xx.Load(), cnt.errors.Load())
+
+	if killed.Load() {
+		// The daemon is gone; there is nothing to scrape and failed
+		// requests were the point. The decision counts above are what the
+		// daemon acknowledged — the recovery check replays against them.
+		fmt.Printf("gpsdload: kill mode: %d decisions acknowledged before the kill\n", decisions)
+		os.Exit(0)
+	}
 
 	server5xx := int64(-1)
 	if *scrape {

@@ -1,0 +1,238 @@
+// Command walcheck is the offline half of the crash-recovery contract:
+// it reads a gpsd write-ahead log directory (newest valid snapshot +
+// replayable suffix, tolerating a torn tail, refusing interior
+// corruption), folds the history into the admitted session set, and
+// runs a fresh offline gpsmath.AnalyzeServer over it — the ground truth
+// a recovered daemon's first epoch must match bit for bit.
+//
+//	walcheck -wal-dir ./wal -rate 2000              # inspect + analyze
+//	walcheck -wal-dir ./wal -rate 2000 -url http://127.0.0.1:7070
+//
+// With -url it verifies a live daemon against that ground truth:
+// session count, the running Σφ (compared by IEEE-754 bit pattern, not
+// approximately), the feasible partition H_1..H_L by session id, and a
+// sample of per-session tail bounds. Any divergence exits 1; interior
+// log corruption exits 2 with the typed *wal.CorruptError rendered.
+// scripts/crash_smoke.sh drives both modes around a SIGKILL.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"reflect"
+	"strconv"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/ebb"
+	"repro/internal/gpsmath"
+	"repro/internal/wal"
+)
+
+func main() {
+	walDir := flag.String("wal-dir", "", "WAL directory to read (required)")
+	rate := flag.Float64("rate", 0, "link rate the daemon runs at (required; the analysis depends on it)")
+	url := flag.String("url", "", "base URL of a running gpsd to verify against the offline analysis")
+	samples := flag.Int("samples", 8, "per-session bound endpoints to verify when -url is set")
+	flag.Parse()
+	if *walDir == "" || !(*rate > 0) {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	rec, err := wal.Read(*walDir)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			log.Printf("walcheck: CORRUPT: %v", err)
+			os.Exit(2)
+		}
+		log.Fatalf("walcheck: %v", err)
+	}
+	st, err := rec.SessionSet()
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			log.Printf("walcheck: CORRUPT: %v", err)
+			os.Exit(2)
+		}
+		log.Fatalf("walcheck: %v", err)
+	}
+	fmt.Printf("walcheck: %s: snapshot seq %d, %d replayed ops, %d torn bytes, %d corrupt snapshots skipped\n",
+		*walDir, rec.State.Seq, len(rec.Ops), rec.TornBytes, rec.SkippedSnapshots)
+	fmt.Printf("walcheck: state: sessions=%d used=%g (bits %#x) next-id=%d\n",
+		len(st.Sessions), st.Used, math.Float64bits(st.Used), st.NextID)
+
+	an := analyze(st, *rate)
+	if an != nil {
+		sizes := make([]int, len(an.Partition.Classes))
+		for i, c := range an.Partition.Classes {
+			sizes[i] = len(c)
+		}
+		fmt.Printf("walcheck: partition: %d classes, sizes %v\n", len(sizes), sizes)
+	}
+
+	if *url != "" {
+		if err := verify(*url, st, an, *rate, *samples); err != nil {
+			log.Fatalf("walcheck: MISMATCH: %v", err)
+		}
+		fmt.Println("walcheck: OK: live daemon matches the offline analysis bit for bit")
+	}
+}
+
+// analyze runs the fresh offline analysis over the folded session set,
+// under exactly the options the daemon builds epochs with. Nil for an
+// empty set (the daemon publishes no analysis then either).
+func analyze(st wal.State, rate float64) *gpsmath.Analysis {
+	if len(st.Sessions) == 0 {
+		return nil
+	}
+	srv := gpsmath.Server{Rate: rate, Sessions: make([]gpsmath.Session, len(st.Sessions))}
+	for i, s := range st.Sessions {
+		srv.Sessions[i] = gpsmath.Session{
+			Name: s.Name, Phi: s.G,
+			Arrival: ebb.Process{Rho: s.Rho, Lambda: s.Lambda, Alpha: s.Alpha},
+		}
+	}
+	an, err := gpsmath.AnalyzeServer(srv, gpsmath.Options{Independent: true, Xi: gpsmath.XiOptimal})
+	if err != nil {
+		log.Fatalf("walcheck: offline AnalyzeServer over the recovered set: %v", err)
+	}
+	return an
+}
+
+func getJSON(hc *http.Client, url string, v any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// verify compares the live daemon against the offline ground truth.
+// Floats survive Go's JSON round-trip exactly (shortest representation
+// that parses back to the same float64), so == on the decoded values is
+// a bit-pattern comparison.
+func verify(base string, st wal.State, an *gpsmath.Analysis, rate float64, samples int) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	var health struct {
+		Status   string  `json:"status"`
+		Sessions int     `json:"sessions"`
+		Used     float64 `json:"used"`
+		Rate     float64 `json:"rate"`
+	}
+	if err := getJSON(hc, base+"/healthz", &health); err != nil {
+		return err
+	}
+	if health.Rate != rate {
+		return fmt.Errorf("daemon rate %v, walcheck invoked with %v — the analyses are not comparable", health.Rate, rate)
+	}
+	if health.Sessions != len(st.Sessions) {
+		return fmt.Errorf("daemon has %d sessions, WAL history implies %d", health.Sessions, len(st.Sessions))
+	}
+	if math.Float64bits(health.Used) != math.Float64bits(st.Used) {
+		return fmt.Errorf("daemon Σφ bits %#x, WAL history implies %#x", math.Float64bits(health.Used), math.Float64bits(st.Used))
+	}
+
+	var part struct {
+		Sessions int        `json:"sessions"`
+		Classes  [][]string `json:"classes"`
+	}
+	if err := getJSON(hc, base+"/v1/partition", &part); err != nil {
+		return err
+	}
+	want := [][]string{}
+	if an != nil {
+		for _, class := range an.Partition.Classes {
+			ids := make([]string, len(class))
+			for k, i := range class {
+				ids[k] = strconv.FormatUint(st.Sessions[i].ID, 10)
+			}
+			want = append(want, ids)
+		}
+	}
+	if !reflect.DeepEqual(part.Classes, want) {
+		return fmt.Errorf("partition differs:\nlive    %v\noffline %v", part.Classes, want)
+	}
+
+	if an == nil || samples <= 0 {
+		return nil
+	}
+	step := len(st.Sessions) / samples
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(st.Sessions); i += step {
+		if err := verifyBounds(hc, base, st.Sessions[i], i, an); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyBounds checks one session's served tail bounds against the
+// offline analysis at the daemon's default evaluation points (the
+// declared target delay and the backlog the guaranteed rate clears).
+func verifyBounds(hc *http.Client, base string, s wal.SessionRecord, i int, an *gpsmath.Analysis) error {
+	var got struct {
+		G           float64 `json:"g"`
+		Theorem     string  `json:"theorem"`
+		Q           float64 `json:"q"`
+		BacklogProb float64 `json:"backlog_prob"`
+		Delay       float64 `json:"delay"`
+		DelayProb   float64 `json:"delay_prob"`
+		AchievedEps float64 `json:"achieved_eps"`
+		MeetsTarget bool    `json:"meets_target"`
+	}
+	if err := getJSON(hc, base+"/v1/bounds/"+strconv.FormatUint(s.ID, 10), &got); err != nil {
+		return fmt.Errorf("bounds for %d: %w", s.ID, err)
+	}
+	b := an.Bounds[i]
+	t := admission.Target{Delay: s.Delay, Eps: s.Eps}
+	dly := t.Delay
+	q := b.G * dly
+	achieved := an.BestDelayTailValue(i, t.Delay)
+	check := func(name string, gotV, wantV float64) error {
+		if math.Float64bits(gotV) != math.Float64bits(wantV) {
+			return fmt.Errorf("session %d %s: live %v (bits %#x) vs offline %v (bits %#x)",
+				s.ID, name, gotV, math.Float64bits(gotV), wantV, math.Float64bits(wantV))
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"g", got.G, b.G},
+		{"q", got.Q, q},
+		{"backlog_prob", got.BacklogProb, an.BestBacklogTailValue(i, q)},
+		{"delay", got.Delay, dly},
+		{"delay_prob", got.DelayProb, an.BestDelayTailValue(i, dly)},
+		{"achieved_eps", got.AchievedEps, achieved},
+	} {
+		if err := check(c.name, c.got, c.want); err != nil {
+			return err
+		}
+	}
+	if got.MeetsTarget != (achieved <= t.Eps) {
+		return fmt.Errorf("session %d meets_target: live %v vs offline %v", s.ID, got.MeetsTarget, achieved <= t.Eps)
+	}
+	if got.Theorem != b.Theorem {
+		return fmt.Errorf("session %d theorem: live %q vs offline %q", s.ID, got.Theorem, b.Theorem)
+	}
+	return nil
+}
