@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke check bench benchcheck perfcheck clean
+.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke check bench benchcheck perfcheck clean
 
 all: check
 
@@ -27,6 +27,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzNew -fuzztime $(FUZZTIME) -run '^$$' ./internal/netsim
 	$(GO) test -fuzz FuzzAdmitDecode -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
 	$(GO) test -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) -run '^$$' ./internal/wal
+	$(GO) test -fuzz FuzzShipFrameDecode -fuzztime $(FUZZTIME) -run '^$$' ./internal/replication
 
 # serve-smoke boots a real gpsd on an ephemeral port, runs a short
 # gpsdload churn burst against it, and asserts zero 5xx before draining
@@ -42,7 +43,15 @@ serve-smoke:
 crash-smoke:
 	GO="$(GO)" sh scripts/crash_smoke.sh
 
-check: vet build test fuzz-smoke serve-smoke crash-smoke perfcheck benchcheck
+# repl-smoke boots a primary and a warm standby (-follow), churns the
+# primary, SIGKILLs it, promotes the standby, and requires the promoted
+# daemon to match a fresh offline analysis of the mirrored log bit for
+# bit; the Merkle audit trail must prove a shipped decision's inclusion
+# and reject a CRC-repaired byte flip (see scripts/repl_smoke.sh).
+repl-smoke:
+	GO="$(GO)" sh scripts/repl_smoke.sh
+
+check: vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke perfcheck benchcheck
 
 # bench runs the full benchmark harness with memory stats and snapshots
 # the parsed results to BENCH_<UTC datetime>.json (format documented in

@@ -19,11 +19,28 @@
 // expected crash artifact) is truncated away; interior log corruption
 // refuses to start. The hidden -crashpoint flag arms a deterministic
 // process crash at a named durability boundary for the crash-recovery
-// harness (scripts/crash_smoke.sh).
+// harness (scripts/crash_smoke.sh and scripts/repl_smoke.sh); besides
+// the wal.* points it accepts repl.ship, repl.ack.lost, and
+// repl.promote on a follower.
+//
+// A WAL-backed primary also maintains the Merkle audit trail
+// (audit.log in the WAL directory) and serves the replication
+// endpoints GET /v1/repl/status, GET /v1/repl/fetch, and
+// POST /v1/repl/ack, so a warm standby can mirror it:
+//
+//	gpsd -follow http://primary:7070 -wal-dir /var/lib/gpsd-standby/wal
+//
+// A follower answers /healthz and /metrics (replication lag gauges)
+// while refusing admission traffic with 503; POST /v1/promote fences
+// replication, boots the admission daemon from the mirrored log —
+// bit-identical to an offline fold of the shipped history — and
+// atomically swaps the full serving surface in, including its own
+// replication source for the next standby down the chain.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,10 +49,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/replication"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -52,7 +72,11 @@ func main() {
 	walDir := flag.String("wal-dir", "", "write-ahead log directory; empty runs without durability")
 	walSync := flag.String("wal-sync", "batch", "WAL fsync policy: batch (group commit) or always (fsync per decision)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "WAL state snapshot cadence in logged mutations (0 = server default)")
-	crashpoint := flag.String("crashpoint", "", "arm a deterministic crash at a WAL boundary, e.g. wal.append.torn@3 (fault-injection harness)")
+	crashpoint := flag.String("crashpoint", "", "arm a deterministic crash at a durability boundary, e.g. wal.append.torn@3 or repl.ship@2 (fault-injection harness)")
+	follow := flag.String("follow", "", "run as a warm standby mirroring this primary's base URL (requires -wal-dir)")
+	followerID := flag.String("follower-id", "", "name this follower acks under (default host:pid)")
+	pullInterval := flag.Duration("pull-interval", 250*time.Millisecond, "follower: delay between successful replication pulls")
+	auditBatch := flag.Int("audit-batch", 0, "Merkle audit batch size in decision frames (0 = default 1024)")
 	flag.Parse()
 
 	if err := run(config{
@@ -61,6 +85,8 @@ func main() {
 		epochAge: *epochAge, retryAfter: *retryAfter, drainTimeout: *drainTimeout,
 		walDir: *walDir, walSync: *walSync, snapshotEvery: *snapshotEvery,
 		crashpoint: *crashpoint,
+		follow:     *follow, followerID: *followerID, pullInterval: *pullInterval,
+		auditBatch: *auditBatch,
 	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
@@ -75,16 +101,32 @@ type config struct {
 	walDir, walSync string
 	snapshotEvery   int
 	crashpoint      string
+
+	follow, followerID string
+	pullInterval       time.Duration
+	auditBatch         int
+}
+
+func (cfg *config) crashPlan() (*faults.CrashPlan, error) {
+	if cfg.crashpoint == "" {
+		return nil, nil
+	}
+	plan, err := faults.ParseCrashPlan(cfg.crashpoint)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("gpsd: armed crashpoint %s@%d", plan.Point, plan.Nth)
+	return plan, nil
 }
 
 // openWAL recovers the log directory and translates its history into
 // the server config. A corrupt log is fatal here — refusing to start is
 // the only honest answer when the admitted set cannot be reconstructed.
-func openWAL(cfg *config, scfg *server.Config) (*wal.Log, error) {
+func openWAL(cfg *config, scfg *server.Config, plan *faults.CrashPlan) (*wal.Log, error) {
 	if cfg.walDir == "" {
 		return nil, nil
 	}
-	opts := wal.Options{}
+	opts := wal.Options{Crash: plan}
 	switch cfg.walSync {
 	case "batch":
 		opts.Sync = wal.SyncBatch
@@ -92,14 +134,6 @@ func openWAL(cfg *config, scfg *server.Config) (*wal.Log, error) {
 		opts.Sync = wal.SyncAlways
 	default:
 		return nil, fmt.Errorf("-wal-sync %q, want batch or always", cfg.walSync)
-	}
-	if cfg.crashpoint != "" {
-		plan, err := faults.ParseCrashPlan(cfg.crashpoint)
-		if err != nil {
-			return nil, err
-		}
-		opts.Crash = plan
-		log.Printf("gpsd: armed crashpoint %s@%d", plan.Point, plan.Nth)
 	}
 	l, rec, err := wal.Open(cfg.walDir, opts)
 	if err != nil {
@@ -116,7 +150,24 @@ func openWAL(cfg *config, scfg *server.Config) (*wal.Log, error) {
 	return l, nil
 }
 
-func run(cfg config) error {
+// primaryNode is one booted serving node: the daemon plus its
+// durability and replication companions.
+type primaryNode struct {
+	d     *server.Daemon
+	l     *wal.Log
+	audit *replication.Audit
+	src   *replication.Source
+
+	stopWM chan struct{}
+	wmDone chan struct{}
+}
+
+// bootPrimary opens the WAL (with audit trail), starts the daemon, and
+// wires the replication source and prune watermark. The same path
+// serves first boot, restart-after-crash, and promote-from-standby —
+// which is what makes a promoted epoch bit-identical to a recovered
+// one.
+func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 	scfg := server.Config{
 		Rate:        cfg.rate,
 		QueueDepth:  cfg.queue,
@@ -124,16 +175,209 @@ func run(cfg config) error {
 		MaxEpochAge: cfg.epochAge,
 		RetryAfter:  cfg.retryAfter,
 	}
-	l, err := openWAL(&cfg, &scfg)
+	l, err := openWAL(&cfg, &scfg, plan)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	d, err := server.New(scfg)
+	n := &primaryNode{l: l}
+	if l != nil {
+		// The audit trail opens after recovery and backfills any leaves
+		// the last run never flushed, so its chain always covers the
+		// durable history the daemon is about to extend.
+		n.audit, err = replication.OpenAudit(cfg.walDir, replication.AuditOptions{BatchN: cfg.auditBatch})
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("opening audit trail: %w", err)
+		}
+		scfg.Audit = n.audit
+		head, sealed, next := n.audit.Head()
+		log.Printf("gpsd: audit trail at seq %d (%d sealed batches, head %x…)", next-1, sealed, head[:8])
+	}
+	n.d, err = server.New(scfg)
 	if err != nil {
+		if n.audit != nil {
+			n.audit.Close()
+		}
 		if l != nil {
 			l.Close()
 		}
+		return nil, err
+	}
+	if l != nil {
+		host, _ := os.Hostname()
+		n.src = &replication.Source{
+			Dir:    cfg.walDir,
+			NodeID: fmt.Sprintf("%s:%d", host, os.Getpid()),
+			Head:   func() uint64 { return l.NextSeq() - 1 },
+			Audit:  n.audit,
+		}
+		n.src.OnAck = func() { n.updateWatermark() }
+		// The watermark starts fully held: nothing is pruned until the
+		// audit trail confirms durability (and any follower that has
+		// ever acked stays covered forever after).
+		l.SetPruneWatermark(0)
+		n.updateWatermark()
+		n.stopWM = make(chan struct{})
+		n.wmDone = make(chan struct{})
+		go n.watermarkLoop()
+	}
+	return n, nil
+}
+
+// updateWatermark recomputes the prune watermark: a segment may only be
+// pruned when both the audit trail has fsynced its leaves and every
+// known follower has acked it.
+func (n *primaryNode) updateWatermark() {
+	mark := n.audit.DurableSeq()
+	if min, ok := n.src.MinAck(); ok && min < mark {
+		mark = min
+	}
+	n.l.SetPruneWatermark(mark)
+}
+
+func (n *primaryNode) watermarkLoop() {
+	defer close(n.wmDone)
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.updateWatermark()
+		case <-n.stopWM:
+			return
+		}
+	}
+}
+
+// handler composes the serving surface: daemon endpoints, replication
+// source, and a /metrics that concatenates both metric sets.
+func (n *primaryNode) handler() http.Handler {
+	base := server.NewHandler(n.d)
+	if n.src == nil {
+		return base
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", base)
+	n.src.Mount(mux)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		n.d.WriteMetrics(w)
+		n.src.WriteMetrics(w)
+	})
+	return mux
+}
+
+// close drains the daemon (which snapshots and closes the WAL it owns)
+// and stops the companions.
+func (n *primaryNode) close(ctx context.Context) error {
+	if n.stopWM != nil {
+		close(n.stopWM)
+		<-n.wmDone
+	}
+	err := n.d.Close(ctx)
+	if n.audit != nil {
+		if aerr := n.audit.Close(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
+
+// swapHandler atomically replaces the entire serving surface — the
+// standby→primary transition is one pointer store.
+type swapHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(&h) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+func run(cfg config) error {
+	plan, err := cfg.crashPlan()
+	if err != nil {
 		return err
+	}
+
+	sw := &swapHandler{}
+	var node *primaryNode
+
+	// follower-mode state
+	var (
+		fol       *replication.Follower
+		folCancel context.CancelFunc
+		folDone   chan error
+		promoteMu sync.Mutex
+	)
+
+	if cfg.follow == "" {
+		node, err = bootPrimary(cfg, plan)
+		if err != nil {
+			return err
+		}
+		sw.set(node.handler())
+	} else {
+		if cfg.walDir == "" {
+			return errors.New("-follow requires -wal-dir (the mirror directory)")
+		}
+		id := cfg.followerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		fol, err = replication.NewFollower(replication.FollowerOptions{
+			ID:         id,
+			PrimaryURL: cfg.follow,
+			Dir:        cfg.walDir,
+			Interval:   cfg.pullInterval,
+			Crash:      plan,
+		})
+		if err != nil {
+			return err
+		}
+		var folCtx context.Context
+		folCtx, folCancel = context.WithCancel(context.Background())
+		folDone = make(chan error, 1)
+		go func() { folDone <- fol.Run(folCtx) }()
+		log.Printf("gpsd: standby %s mirroring %s into %s", id, cfg.follow, cfg.walDir)
+		sw.set(standbyHandler(fol, func(w http.ResponseWriter, r *http.Request) {
+			promoteMu.Lock()
+			defer promoteMu.Unlock()
+			if node != nil {
+				writeJSONStatus(w, http.StatusConflict, map[string]any{"error": "already promoted"})
+				return
+			}
+			// Stop the pull loop before fencing so Promote's final drain
+			// is the only pull in flight.
+			folCancel()
+			<-folDone
+			res, perr := fol.Promote(r.Context())
+			if perr != nil {
+				status := http.StatusServiceUnavailable
+				if errors.Is(perr, replication.ErrDiverged) {
+					status = http.StatusConflict
+				}
+				writeJSONStatus(w, status, map[string]any{"error": perr.Error()})
+				return
+			}
+			boot := cfg
+			boot.crashpoint = "" // the plan already fired or is follower-scoped
+			n2, berr := bootPrimary(boot, nil)
+			if berr != nil {
+				writeJSONStatus(w, http.StatusInternalServerError, map[string]any{"error": berr.Error()})
+				return
+			}
+			node = n2
+			sw.set(node.handler())
+			ep := node.d.CurrentEpoch()
+			log.Printf("gpsd: promoted at verified seq %d (drained=%v): epoch %d with %d sessions",
+				res.AckSeq, res.Drained, ep.Seq, ep.Sessions())
+			writeJSONStatus(w, http.StatusOK, map[string]any{
+				"promoted": true,
+				"ack_seq":  res.AckSeq,
+				"drained":  res.Drained,
+				"sessions": ep.Sessions(),
+			})
+		}))
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -146,10 +390,14 @@ func run(cfg config) error {
 			return fmt.Errorf("writing addr file: %w", err)
 		}
 	}
-	log.Printf("gpsd: listening on %s (rate %g, queue %d, epoch age %v, %d recovered sessions)",
-		bound, cfg.rate, cfg.queue, cfg.epochAge, d.CurrentEpoch().Sessions())
+	if node != nil {
+		log.Printf("gpsd: listening on %s (rate %g, queue %d, epoch age %v, %d recovered sessions)",
+			bound, cfg.rate, cfg.queue, cfg.epochAge, node.d.CurrentEpoch().Sessions())
+	} else {
+		log.Printf("gpsd: standby listening on %s", bound)
+	}
 
-	srv := &http.Server{Handler: server.NewHandler(d)}
+	srv := &http.Server{Handler: sw}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -170,14 +418,65 @@ func run(cfg config) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if fol != nil && node == nil {
+		// Still a standby: stop pulling; the mirror stays on disk for
+		// the next boot.
+		folCancel()
+		<-folDone
+		log.Printf("gpsd: standby stopped at verified seq %d", fol.AckSeq())
+		return nil
+	}
+	promoteMu.Lock()
+	n := node
+	promoteMu.Unlock()
 	// Daemon drain snapshots and closes the WAL it owns.
-	if err := d.Close(ctx); err != nil {
+	if err := n.close(ctx); err != nil {
 		return fmt.Errorf("daemon drain: %w", err)
 	}
-	ep := d.CurrentEpoch()
-	m := d.Metrics()
+	ep := n.d.CurrentEpoch()
+	m := n.d.Metrics()
 	log.Printf("gpsd: drained at epoch %d with %d sessions; admits %d, rejects %d, releases %d, shed %d, rebuilds %d, wal appends %d",
 		ep.Seq, ep.Sessions(), m.Admits.Load(), m.Rejects.Load(), m.Releases.Load(),
 		m.Shed.Load(), m.Rebuilds.Load(), m.WALAppends.Load())
 	return nil
+}
+
+// standbyHandler is the pre-promotion surface: health and lag are
+// observable, admission traffic is refused with 503 (the standby must
+// not decide), and POST /v1/promote runs the handed-in transition.
+func standbyHandler(f *replication.Follower, promote http.HandlerFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		segs, secs := f.Lag()
+		body := map[string]any{
+			"status":          "standby",
+			"ack_seq":         f.AckSeq(),
+			"segments_behind": segs,
+			"seconds_behind":  secs,
+		}
+		status := http.StatusOK
+		if err := f.Diverged(); err != nil {
+			body["status"] = "diverged"
+			body["error"] = err.Error()
+			status = http.StatusConflict
+		}
+		writeJSONStatus(w, status, body)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		f.WriteMetrics(w)
+	})
+	mux.HandleFunc("POST /v1/promote", promote)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeJSONStatus(w, http.StatusServiceUnavailable,
+			map[string]any{"error": "standby: not serving admission traffic until promoted"})
+	})
+	return mux
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,235 @@
+package replication
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func auditTestOps(n int) []wal.Op {
+	ops := make([]wal.Op, n)
+	for i := range ops {
+		ops[i] = wal.Op{
+			Seq: uint64(i + 1), Kind: wal.KindAdmit, ID: uint64(i + 1),
+			Name: "sess", Rho: 0.01, Lambda: 1, Alpha: 2, Delay: 10, Eps: 1e-6, G: 1,
+		}
+	}
+	return ops
+}
+
+func waitDurable(t *testing.T, a *Audit, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.DurableSeq() < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("audit durable seq stuck at %d, want %d", a.DurableSeq(), seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAuditRecordAndReload: ops recorded through the async sink land as
+// durable leaf records; reopening resumes the chain at the identical
+// head, and the head matches an independent FoldHead over re-encoded
+// payloads.
+func TestAuditRecordAndReload(t *testing.T) {
+	dir := t.TempDir()
+	writeWALOps(t, dir, nil) // empty log: audit starts at genesis 0
+	a, err := OpenAudit(dir, AuditOptions{BatchN: 4, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := auditTestOps(11)
+	appendWALOps(t, dir, ops)
+	for _, op := range ops {
+		a.Record(op)
+	}
+	waitDurable(t, a, 11)
+	head1, sealed, next := a.Head()
+	if sealed != 2 || next != 12 {
+		t.Fatalf("sealed=%d next=%d, want 2/12", sealed, next)
+	}
+	var leaves []Hash
+	for _, op := range ops {
+		leaves = append(leaves, LeafHash(wal.EncodeOpPayload(nil, op)))
+	}
+	if want := FoldHead(0, 4, leaves); head1 != want {
+		t.Fatal("live head != independent fold")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := OpenAudit(dir, AuditOptions{BatchN: 999}) // stored batchN wins
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if a2.BatchN() != 4 {
+		t.Fatalf("reopen batchN=%d, want stored 4", a2.BatchN())
+	}
+	head2, _, next2 := a2.Head()
+	if head2 != head1 || next2 != 12 {
+		t.Fatal("reopened chain diverges from pre-close head")
+	}
+}
+
+// TestAuditBackfillFromWAL: an audit trail that lags the WAL (lost its
+// tail, or the daemon crashed between wal fsync and audit fsync) is
+// rebuilt from the raw op history on open — and a trail truncated
+// mid-record (torn write) heals the same way.
+func TestAuditBackfillFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	ops := auditTestOps(9)
+	writeWALOps(t, dir, ops)
+
+	a, err := OpenAudit(dir, AuditOptions{BatchN: 4, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headFull, _, next := a.Head()
+	if next != 10 {
+		t.Fatalf("backfilled next=%d, want 10", next)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the audit file mid-record; reopen must truncate and refill.
+	path := filepath.Join(dir, AuditFileName)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-auditRecordLen-7); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := OpenAudit(dir, AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	head2, _, _ := a2.Head()
+	if head2 != headFull {
+		t.Fatal("healed trail head != original head")
+	}
+}
+
+// TestAuditGenesisAfterPrune: opening a fresh trail against a WAL whose
+// prefix was pruned starts the chain at the earliest surviving history.
+func TestAuditGenesisAfterPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{SegmentBytes: 256, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := auditTestOps(40)
+	st := wal.State{}
+	if err := l.Append(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Replay(&st, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(st.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := OpenAudit(dir, AuditOptions{BatchN: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if g := a.GenesisSeq(); g == 0 {
+		t.Fatal("genesis 0 against a pruned log: lost prefix would fail verification")
+	}
+	if _, _, next := a.Head(); next != 41 {
+		t.Fatalf("next=%d, want 41", next)
+	}
+}
+
+// TestAuditTrailDecodeRejects: structural damage yields typed errors.
+func TestAuditTrailDecodeRejects(t *testing.T) {
+	dir := t.TempDir()
+	writeWALOps(t, dir, auditTestOps(3))
+	a, err := OpenAudit(dir, AuditOptions{BatchN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, AuditFileName)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mut func([]byte) []byte) {
+		data := mut(append([]byte(nil), good...))
+		if _, err := decodeAuditTrail(data); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	check("bad magic", func(b []byte) []byte { b[0] ^= 1; return b })
+	check("leaf seq gap", func(b []byte) []byte {
+		b[auditHeaderLen+1] = 99 // first leaf's seq
+		return b
+	})
+	check("unknown record", func(b []byte) []byte { b[auditHeaderLen] = 'X'; return b })
+
+	// A tampered leaf hash decodes fine (CRC-style damage is the WAL
+	// layer's job) but must change the recomputed head.
+	trail, err := decodeAuditTrail(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHead := FoldHead(trail.GenesisSeq, trail.BatchN, trail.LeafHashes())
+	bad := append([]byte(nil), good...)
+	bad[auditHeaderLen+9] ^= 0x80 // first leaf hash byte
+	trail2, err := decodeAuditTrail(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FoldHead(trail2.GenesisSeq, trail2.BatchN, trail2.LeafHashes()) == wantHead {
+		t.Fatal("tampered leaf hash left folded head unchanged")
+	}
+}
+
+// writeWALOps creates a WAL directory holding exactly ops.
+func writeWALOps(t *testing.T, dir string, ops []wal.Op) {
+	t.Helper()
+	l, _, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) > 0 {
+		if err := l.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendWALOps appends ops to an existing WAL directory.
+func appendWALOps(t *testing.T, dir string, ops []wal.Op) {
+	t.Helper()
+	l, _, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package replication makes gpsd's admission history survive the
+// machine holding it: a primary serves its closed WAL segments (plus
+// snapshot and audit files) over HTTP, a warm-standby follower mirrors
+// them byte-for-byte with per-frame CRC re-verification and folds the
+// ops into a standby state, and failover is promote + truncate-torn-
+// tail through the existing wal.Open recovery path — so a promoted
+// follower's first epoch is bit-identical to an offline AnalyzeServer
+// fold of the shipped log, exactly the invariant PR 5 proved for a
+// single node.
+//
+// On top of the same op stream the package keeps a Merkle-verifiable
+// audit trail (the military-audit-log batching shape): every decision
+// frame's payload is hashed into a leaf, leaves are batched N at a time
+// into Merkle roots, and roots are chained into a running log head. An
+// operator who records the head out-of-band can later prove with
+// walcheck -verify-proof that any admit/deny record is in the history
+// and that the history is append-only — a CRC catches a cosmic ray, the
+// chained head catches a rewrite.
+package replication
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Hash is one SHA-256 digest in the audit trail.
+type Hash = [sha256.Size]byte
+
+// Domain-separation prefixes: a leaf can never be reinterpreted as an
+// interior node or a chain link.
+const (
+	tagLeaf  = 0x00
+	tagNode  = 0x01
+	tagChain = 0x02
+)
+
+// auditMagic doubles as the chain's genesis salt and the audit file
+// magic.
+const auditMagic = "GPSAUDT1"
+
+// LeafHash hashes one WAL op frame payload (the canonical encoding, so
+// live ops and on-disk frames hash identically).
+func LeafHash(payload []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{tagLeaf})
+	h.Write(payload)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	// Fixed-size input: one stack buffer and an alloc-free Sum256,
+	// since batch seals fold BatchN-1 of these back to back.
+	var b [1 + 2*sha256.Size]byte
+	b[0] = tagNode
+	copy(b[1:], l[:])
+	copy(b[1+sha256.Size:], r[:])
+	return sha256.Sum256(b[:])
+}
+
+// BatchRoot folds a batch of leaves into its Merkle root. An odd node
+// at any level is promoted unchanged, so proofs stay position-binding
+// without phantom duplicate leaves. A single leaf is its own root; the
+// empty batch is disallowed by construction (batches seal at 1..N
+// leaves).
+func BatchRoot(leaves []Hash) Hash {
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// GenesisHead is the chain head before any batch: a function of the
+// first sequence the trail covers, so two trails over different
+// histories can never share a head by accident.
+func GenesisHead(genesisSeq uint64) Hash {
+	h := sha256.New()
+	h.Write([]byte(auditMagic))
+	h.Write(binary.LittleEndian.AppendUint64(nil, genesisSeq))
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ChainStep folds one sealed batch into the running head. The batch's
+// first sequence and count are bound into the link, so moving a root to
+// a different position in the history changes the head.
+func ChainStep(prev Hash, root Hash, firstSeq uint64, count uint32) Hash {
+	h := sha256.New()
+	h.Write([]byte{tagChain})
+	h.Write(prev[:])
+	h.Write(root[:])
+	h.Write(binary.LittleEndian.AppendUint64(nil, firstSeq))
+	h.Write(binary.LittleEndian.AppendUint32(nil, count))
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Chain is the incremental audit-chain state: sealed batches collapsed
+// into one head, plus the pending leaves of the unfinished tail batch.
+// Memory is O(BatchN), never O(history).
+type Chain struct {
+	GenesisSeq uint64
+	BatchN     int
+
+	sealedHead    Hash
+	sealedBatches uint64
+	nextSeq       uint64
+	pending       []Hash
+}
+
+// NewChain starts an empty chain covering ops with Seq > genesisSeq.
+func NewChain(genesisSeq uint64, batchN int) *Chain {
+	if batchN <= 0 {
+		batchN = DefaultBatchN
+	}
+	return &Chain{
+		GenesisSeq: genesisSeq,
+		BatchN:     batchN,
+		sealedHead: GenesisHead(genesisSeq),
+		nextSeq:    genesisSeq + 1,
+	}
+}
+
+// DefaultBatchN is the default Merkle batch size (leaves per sealed
+// root).
+const DefaultBatchN = 1024
+
+// NextSeq returns the op sequence the chain expects next.
+func (c *Chain) NextSeq() uint64 { return c.nextSeq }
+
+// SealedBatches returns how many batches have been folded into the
+// sealed head.
+func (c *Chain) SealedBatches() uint64 { return c.sealedBatches }
+
+// Append adds one leaf. Sequences must arrive gaplessly — the audit
+// trail mirrors the WAL's own discipline. sealed reports whether this
+// leaf completed a batch (the caller persists a seal record then).
+func (c *Chain) Append(seq uint64, leaf Hash) (sealed bool, err error) {
+	if seq != c.nextSeq {
+		return false, fmt.Errorf("replication: audit chain sequence gap: have %d, leaf is %d", c.nextSeq, seq)
+	}
+	c.pending = append(c.pending, leaf)
+	c.nextSeq++
+	if len(c.pending) >= c.BatchN {
+		first := c.nextSeq - uint64(len(c.pending))
+		c.sealedHead = ChainStep(c.sealedHead, BatchRoot(c.pending), first, uint32(len(c.pending)))
+		c.sealedBatches++
+		c.pending = c.pending[:0]
+		return true, nil
+	}
+	return false, nil
+}
+
+// Head returns the chain head over everything appended so far: the
+// sealed head extended by a provisional link over the pending tail
+// batch, so any two parties holding the same op history compute the
+// same head regardless of where the last batch boundary fell.
+func (c *Chain) Head() Hash {
+	if len(c.pending) == 0 {
+		return c.sealedHead
+	}
+	first := c.nextSeq - uint64(len(c.pending))
+	return ChainStep(c.sealedHead, BatchRoot(c.pending), first, uint32(len(c.pending)))
+}
+
+// SealedHead returns the head over sealed batches only, and their
+// count — what a seal record persists.
+func (c *Chain) SealedHead() (Hash, uint64) { return c.sealedHead, c.sealedBatches }
+
+// restore rewinds a chain to a persisted seal point.
+func (c *Chain) restore(sealedHead Hash, sealedBatches, nextSeq uint64) {
+	c.sealedHead = sealedHead
+	c.sealedBatches = sealedBatches
+	c.nextSeq = nextSeq
+	c.pending = c.pending[:0]
+}
+
+// Proof is a self-contained inclusion-and-extension proof: the leaf's
+// Merkle path inside its batch, the chain head before that batch, and
+// the roots of every later batch. Verifying folds leaf → batch root →
+// head and compares against an attested head, which simultaneously
+// proves the record is in the history and that the attested history is
+// an append-only extension of the batch the record lives in.
+type Proof struct {
+	Seq  uint64
+	Leaf Hash
+
+	// Siblings[i] is the Merkle sibling at level i; SiblingLeft[i]
+	// reports whether it sits to the left of the running hash.
+	Siblings    []Hash
+	SiblingLeft []bool
+
+	// BatchFirst/BatchCount position the batch in the history;
+	// PriorHead is the chain head over every earlier batch.
+	BatchFirst uint64
+	BatchCount uint32
+	PriorHead  Hash
+
+	// Later holds (root, firstSeq, count) for every batch after the
+	// leaf's, in order.
+	Later []ProofLink
+}
+
+// ProofLink is one later batch folded on top of the proven batch.
+type ProofLink struct {
+	Root     Hash
+	FirstSeq uint64
+	Count    uint32
+}
+
+// FoldHead computes the chain head over a full leaf history — the
+// independent construction walcheck compares a live daemon's head
+// against.
+func FoldHead(genesisSeq uint64, batchN int, leaves []Hash) Hash {
+	head := GenesisHead(genesisSeq)
+	for i := 0; i < len(leaves); i += batchN {
+		end := i + batchN
+		if end > len(leaves) {
+			end = len(leaves)
+		}
+		head = ChainStep(head, BatchRoot(leaves[i:end]), genesisSeq+1+uint64(i), uint32(end-i))
+	}
+	return head
+}
+
+// ProveInclusion builds the proof for the op at seq over a full leaf
+// history (leaves[0] is seq genesisSeq+1).
+func ProveInclusion(genesisSeq uint64, batchN int, leaves []Hash, seq uint64) (Proof, error) {
+	if batchN <= 0 {
+		return Proof{}, fmt.Errorf("replication: batch size %d", batchN)
+	}
+	if seq <= genesisSeq || seq > genesisSeq+uint64(len(leaves)) {
+		return Proof{}, fmt.Errorf("replication: seq %d outside audited history (%d, %d]",
+			seq, genesisSeq, genesisSeq+uint64(len(leaves)))
+	}
+	idx := int(seq - genesisSeq - 1)
+	b := idx / batchN
+	start := b * batchN
+	end := start + batchN
+	if end > len(leaves) {
+		end = len(leaves)
+	}
+	batch := leaves[start:end]
+	p := Proof{
+		Seq:        seq,
+		Leaf:       leaves[idx],
+		BatchFirst: genesisSeq + 1 + uint64(start),
+		BatchCount: uint32(len(batch)),
+		PriorHead:  FoldHead(genesisSeq, batchN, leaves[:start]),
+	}
+	// Merkle path with odd-promotion: a node with no sibling at some
+	// level contributes nothing to the path.
+	pos := idx - start
+	level := append([]Hash(nil), batch...)
+	for len(level) > 1 {
+		// Odd-promotion: a node with no sibling at this level rises
+		// unchanged and contributes nothing to the path.
+		if sib := pos ^ 1; sib < len(level) {
+			p.Siblings = append(p.Siblings, level[sib])
+			p.SiblingLeft = append(p.SiblingLeft, sib < pos)
+		}
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		pos /= 2
+	}
+	for s := end; s < len(leaves); s += batchN {
+		e := s + batchN
+		if e > len(leaves) {
+			e = len(leaves)
+		}
+		p.Later = append(p.Later, ProofLink{
+			Root:     BatchRoot(leaves[s:e]),
+			FirstSeq: genesisSeq + 1 + uint64(s),
+			Count:    uint32(e - s),
+		})
+	}
+	return p, nil
+}
+
+// VerifyProof folds the proof and returns the head it implies; the
+// caller compares it against the attested head. It needs no access to
+// the history itself.
+func VerifyProof(p Proof) Hash {
+	cur := p.Leaf
+	for i, sib := range p.Siblings {
+		if p.SiblingLeft[i] {
+			cur = nodeHash(sib, cur)
+		} else {
+			cur = nodeHash(cur, sib)
+		}
+	}
+	head := ChainStep(p.PriorHead, cur, p.BatchFirst, p.BatchCount)
+	for _, l := range p.Later {
+		head = ChainStep(head, l.Root, l.FirstSeq, l.Count)
+	}
+	return head
+}

@@ -1,0 +1,148 @@
+package replication
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func seqLeaves(n int) []Hash {
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = LeafHash(binary.LittleEndian.AppendUint64(nil, uint64(i)))
+	}
+	return leaves
+}
+
+// TestChainMatchesFoldHead: the incremental Chain and the batch
+// FoldHead construction must agree at every prefix length, for batch
+// sizes that divide the history evenly and ones that leave a partial
+// tail.
+func TestChainMatchesFoldHead(t *testing.T) {
+	leaves := seqLeaves(23)
+	for _, batchN := range []int{1, 2, 3, 7, 23, 100} {
+		c := NewChain(5, batchN)
+		for i, leaf := range leaves {
+			if _, err := c.Append(5+1+uint64(i), leaf); err != nil {
+				t.Fatal(err)
+			}
+			want := FoldHead(5, batchN, leaves[:i+1])
+			if got := c.Head(); got != want {
+				t.Fatalf("batchN=%d prefix=%d: incremental head != folded head", batchN, i+1)
+			}
+		}
+	}
+}
+
+// TestChainRejectsGaps: the chain enforces the WAL's gapless sequence
+// discipline.
+func TestChainRejectsGaps(t *testing.T) {
+	c := NewChain(0, 4)
+	if _, err := c.Append(1, LeafHash([]byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(3, LeafHash([]byte("b"))); err == nil {
+		t.Fatal("gap 1->3 accepted")
+	}
+	if _, err := c.Append(1, LeafHash([]byte("b"))); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+}
+
+// TestGenesisBindsHead: two histories with identical leaves but a
+// different starting sequence must never share a head.
+func TestGenesisBindsHead(t *testing.T) {
+	leaves := seqLeaves(10)
+	if FoldHead(0, 4, leaves) == FoldHead(1, 4, leaves) {
+		t.Fatal("heads collide across different genesis sequences")
+	}
+}
+
+// TestProofVerifies: every position in a multi-batch history with a
+// partial tail batch proves and verifies against the folded head.
+func TestProofVerifies(t *testing.T) {
+	const genesis, batchN = 100, 4
+	leaves := seqLeaves(11) // 2 full batches + tail of 3
+	want := FoldHead(genesis, batchN, leaves)
+	for seq := uint64(genesis + 1); seq <= genesis+11; seq++ {
+		p, err := ProveInclusion(genesis, batchN, leaves, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := VerifyProof(p); got != want {
+			t.Fatalf("seq %d: proof folds to wrong head", seq)
+		}
+	}
+}
+
+// TestProofRejectsTamper: flipping any byte of any leaf changes the
+// folded head, so a proof built from the tampered history no longer
+// matches the attested head — for every leaf position and every proof
+// position.
+func TestProofRejectsTamper(t *testing.T) {
+	const genesis, batchN = 0, 4
+	leaves := seqLeaves(9)
+	attested := FoldHead(genesis, batchN, leaves)
+	for victim := range leaves {
+		mut := append([]Hash(nil), leaves...)
+		mut[victim][7] ^= 0x40
+		if FoldHead(genesis, batchN, mut) == attested {
+			t.Fatalf("tampered leaf %d left head unchanged", victim)
+		}
+		for seq := uint64(1); seq <= 9; seq++ {
+			p, err := ProveInclusion(genesis, batchN, mut, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if VerifyProof(p) == attested {
+				t.Fatalf("proof for seq %d over history with tampered leaf %d verified", seq, victim)
+			}
+		}
+	}
+}
+
+// TestProofRejectsReorder: swapping two adjacent leaves (an append-only
+// violation that preserves the leaf multiset) changes the head.
+func TestProofRejectsReorder(t *testing.T) {
+	leaves := seqLeaves(8)
+	attested := FoldHead(0, 4, leaves)
+	for i := 0; i+1 < len(leaves); i++ {
+		mut := append([]Hash(nil), leaves...)
+		mut[i], mut[i+1] = mut[i+1], mut[i]
+		if FoldHead(0, 4, mut) == attested {
+			t.Fatalf("swap at %d left head unchanged", i)
+		}
+	}
+}
+
+// TestProofRejectsTruncation: a head over a shortened history differs —
+// history is provably append-only.
+func TestProofRejectsTruncation(t *testing.T) {
+	leaves := seqLeaves(10)
+	attested := FoldHead(0, 4, leaves)
+	for n := 0; n < 10; n++ {
+		if FoldHead(0, 4, leaves[:n]) == attested {
+			t.Fatalf("truncation to %d leaves left head unchanged", n)
+		}
+	}
+}
+
+// TestProveInclusionBounds: out-of-range sequences error.
+func TestProveInclusionBounds(t *testing.T) {
+	leaves := seqLeaves(4)
+	for _, seq := range []uint64{0, 5, 10} {
+		if _, err := ProveInclusion(0, 4, leaves, seq); err == nil {
+			t.Fatalf("seq %d outside history proved", seq)
+		}
+	}
+}
+
+// TestLeafDomainSeparation: a leaf hash of bytes X must differ from an
+// interior node hash whose concatenated children happen to equal X.
+func TestLeafDomainSeparation(t *testing.T) {
+	var l, r Hash
+	l[0], r[0] = 1, 2
+	concat := append(append([]byte(nil), l[:]...), r[:]...)
+	if LeafHash(concat) == nodeHash(l, r) {
+		t.Fatal("leaf and node hashes share a domain")
+	}
+}

@@ -1,0 +1,23 @@
+package replication
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/wal"
+)
+
+func isSeg(name string) bool  { return wal.IsSegmentName(name) }
+func isSnap(name string) bool { return wal.IsSnapshotName(name) }
+
+func writeCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGaugeF(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}

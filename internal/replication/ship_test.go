@@ -1,0 +1,134 @@
+package replication
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func encodeStream(t *testing.T, chunks []FileChunk, end bool) []byte {
+	t.Helper()
+	b := []byte(shipMagic)
+	var err error
+	for _, c := range chunks {
+		b, err = AppendChunk(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if end {
+		b = AppendEnd(b)
+	}
+	return b
+}
+
+// TestChunkRoundTrip: encode → decode preserves every field, and the
+// stream terminates with a clean io.EOF.
+func TestChunkRoundTrip(t *testing.T) {
+	in := []FileChunk{
+		{Name: "wal-0000000000000001.seg", Off: 0, FileSize: 300, Payload: bytes.Repeat([]byte{0xAB}, 100)},
+		{Name: "wal-0000000000000001.seg", Off: 100, FileSize: 300, Payload: bytes.Repeat([]byte{0xCD}, 200)},
+		{Name: "audit.log", Off: 7, FileSize: 20, Payload: []byte("0123456789abc")},
+	}
+	cr := NewChunkReader(bytes.NewReader(encodeStream(t, in, true)))
+	for i, want := range in {
+		got, err := cr.Next()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if got.Name != want.Name || got.Off != want.Off || got.FileSize != want.FileSize || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("chunk %d: round trip mismatch", i)
+		}
+	}
+	if _, err := cr.Next(); err != io.EOF {
+		t.Fatalf("stream end: %v, want io.EOF", err)
+	}
+	if _, err := cr.Next(); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+// TestChunkStreamCutIsNotEOF: a stream that stops without the end chunk
+// must error, never look complete — this is what makes a cut TCP
+// connection safe.
+func TestChunkStreamCutIsNotEOF(t *testing.T) {
+	full := encodeStream(t, []FileChunk{
+		{Name: "audit.log", Off: 0, FileSize: 5, Payload: []byte("hello")},
+	}, true)
+	for cut := 0; cut < len(full); cut++ {
+		cr := NewChunkReader(bytes.NewReader(full[:cut]))
+		sawErr := false
+		for {
+			_, err := cr.Next()
+			if err == io.EOF {
+				t.Fatalf("cut at %d of %d decoded as a complete stream", cut, len(full))
+			}
+			if err != nil {
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Fatalf("cut at %d: no error surfaced", cut)
+		}
+	}
+}
+
+// TestChunkCRCRejectsFlip: flipping any payload byte in flight is
+// caught by the chunk CRC.
+func TestChunkCRCRejectsFlip(t *testing.T) {
+	full := encodeStream(t, []FileChunk{
+		{Name: "wal-0000000000000001.seg", Off: 2, FileSize: 50, Payload: bytes.Repeat([]byte{7}, 48)},
+	}, true)
+	// Payload occupies the last 48 bytes before the end chunk.
+	for i := len(full) - 49; i < len(full)-1; i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x01
+		cr := NewChunkReader(bytes.NewReader(mut))
+		if _, err := cr.Next(); err == nil {
+			t.Fatalf("payload flip at byte %d accepted", i)
+		}
+	}
+}
+
+// TestChunkDecodeRejectsBadFraming: structural garbage yields typed
+// *ShipError, never a panic or silent success.
+func TestChunkDecodeRejectsBadFraming(t *testing.T) {
+	cases := map[string][]byte{
+		"bad magic":     []byte("NOTMAGIC"),
+		"unknown type":  append([]byte(shipMagic), 9),
+		"zero name len": append([]byte(shipMagic), 1, 0, 0),
+	}
+	for name, data := range cases {
+		cr := NewChunkReader(bytes.NewReader(data))
+		if _, err := cr.Next(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzShipFrameDecode: the chunk decoder must never panic, never
+// allocate unboundedly, and must only succeed on streams whose chunks
+// satisfy every framing invariant (bounds, CRC).
+func FuzzShipFrameDecode(f *testing.F) {
+	f.Add([]byte(shipMagic))
+	f.Add(append([]byte(shipMagic), chunkEnd))
+	seed := []byte(shipMagic)
+	seed, _ = AppendChunk(seed, FileChunk{Name: "wal-0000000000000001.seg", Off: 0, FileSize: 10, Payload: []byte("0123456789")})
+	f.Add(AppendEnd(seed))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr := NewChunkReader(bytes.NewReader(data))
+		for {
+			c, err := cr.Next()
+			if err != nil {
+				break
+			}
+			if int64(len(c.Payload)) > c.FileSize-c.Off {
+				t.Fatalf("decoder admitted chunk overrunning its file: [%d,+%d) of %d", c.Off, len(c.Payload), c.FileSize)
+			}
+			if len(c.Payload) == 0 || len(c.Payload) > shipMaxChunk {
+				t.Fatalf("decoder admitted payload of %d bytes", len(c.Payload))
+			}
+		}
+	})
+}

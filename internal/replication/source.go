@@ -1,0 +1,259 @@
+package replication
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Source is the primary side of replication: three read-mostly HTTP
+// handlers over the WAL directory. It never mutates the log — shipping
+// is pull-based, so a slow or absent follower costs the primary nothing
+// but retained segments (and the prune watermark guarantees exactly
+// that retention).
+type Source struct {
+	// Dir is the WAL directory to ship.
+	Dir string
+	// NodeID names this primary in manifests.
+	NodeID string
+	// Head returns the highest durable op sequence (wal.Log.NextSeq-1).
+	Head func() uint64
+	// Audit supplies chain-head fields for the manifest; nil omits them.
+	Audit *Audit
+	// OnAck, when set, runs after every recorded ack — the wiring layer
+	// recomputes the prune watermark there.
+	OnAck func()
+	// Now stubs time for tests; nil means time.Now.
+	Now func() time.Time
+
+	mu   sync.Mutex
+	acks map[string]uint64
+
+	fetches      atomic.Int64
+	bytesShipped atomic.Int64
+	acksTotal    atomic.Int64
+}
+
+func (s *Source) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// Mount registers the replication endpoints on mux.
+func (s *Source) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/repl/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/repl/fetch", s.handleFetch)
+	mux.HandleFunc("POST /v1/repl/ack", s.handleAck)
+}
+
+// MinAck returns the lowest acked sequence over every follower that has
+// ever acked, and whether any follower exists. A primary with no
+// followers holds nothing back on their behalf.
+func (s *Source) MinAck() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.acks) == 0 {
+		return 0, false
+	}
+	min, first := uint64(0), true
+	for _, seq := range s.acks {
+		if first || seq < min {
+			min, first = seq, false
+		}
+	}
+	return min, true
+}
+
+// Acks returns a copy of the per-follower ack table.
+func (s *Source) Acks() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.acks))
+	for k, v := range s.acks {
+		out[k] = v
+	}
+	return out
+}
+
+// manifestFiles lists the shippable files in apply order: segments by
+// sequence, then snapshots, then the audit trail.
+func (s *Source) manifestFiles() ([]ManifestFile, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs, snaps []ManifestFile
+	var audit *ManifestFile
+	for _, e := range entries {
+		name := e.Name()
+		info, err := e.Info()
+		if err != nil {
+			continue // raced a prune
+		}
+		mf := ManifestFile{Name: name, Size: info.Size()}
+		switch {
+		case IsShippableSegment(name):
+			segs = append(segs, mf)
+		case IsShippableSnapshot(name):
+			snaps = append(snaps, mf)
+		case name == AuditFileName:
+			a := mf
+			audit = &a
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Name < segs[j].Name })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	out := append(segs, snaps...)
+	if audit != nil {
+		out = append(out, *audit)
+	}
+	return out, nil
+}
+
+func (s *Source) handleStatus(w http.ResponseWriter, r *http.Request) {
+	files, err := s.manifestFiles()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	m := Manifest{
+		NodeID:   s.NodeID,
+		HeadSeq:  s.Head(),
+		UnixNano: s.now().UnixNano(),
+		Files:    files,
+	}
+	if s.Audit != nil {
+		head, _, _ := s.Audit.Head()
+		m.AuditGenesis = s.Audit.GenesisSeq()
+		m.AuditBatchN = s.Audit.BatchN()
+		m.AuditHead = hex.EncodeToString(head[:])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(m)
+}
+
+func (s *Source) handleFetch(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("file")
+	if !isShippableName(name) {
+		http.Error(w, "not a shippable file", http.StatusBadRequest)
+		return
+	}
+	off, err := strconv.ParseInt(r.URL.Query().Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	f, err := os.Open(filepath.Join(s.Dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			http.Error(w, "file pruned", http.StatusGone)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Snapshot the size once: the file may keep growing while we
+	// stream, and a consistent FileSize lets the follower bound-check
+	// every chunk.
+	size := info.Size()
+	if off > size {
+		http.Error(w, "offset beyond file", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	s.fetches.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := io.WriteString(w, shipMagic); err != nil {
+		return
+	}
+	buf := make([]byte, 0, shipMaxChunk+64)
+	payload := make([]byte, shipMaxChunk)
+	for off < size {
+		n := size - off
+		if n > shipMaxChunk {
+			n = shipMaxChunk
+		}
+		if _, err := f.ReadAt(payload[:n], off); err != nil {
+			return // cut the stream: no end chunk means the follower discards nothing but retries
+		}
+		buf = buf[:0]
+		buf, err = AppendChunk(buf, FileChunk{Name: name, Off: off, FileSize: size, Payload: payload[:n]})
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
+		s.bytesShipped.Add(n)
+		off += n
+	}
+	_, _ = w.Write(AppendEnd(nil))
+}
+
+func (s *Source) handleAck(w http.ResponseWriter, r *http.Request) {
+	var a Ack
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&a); err != nil || a.FollowerID == "" {
+		http.Error(w, "bad ack", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if s.acks == nil {
+		s.acks = map[string]uint64{}
+	}
+	// Acks are monotone per follower; a delayed duplicate can't lower
+	// the watermark.
+	if a.AckSeq > s.acks[a.FollowerID] || s.acks[a.FollowerID] == 0 {
+		s.acks[a.FollowerID] = a.AckSeq
+	}
+	s.mu.Unlock()
+	s.acksTotal.Add(1)
+	if s.OnAck != nil {
+		s.OnAck()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(AckReply{HeadSeq: s.Head()})
+}
+
+// WriteMetrics renders the primary-side replication metrics.
+func (s *Source) WriteMetrics(w io.Writer) {
+	minAck, ok := s.MinAck()
+	nFollowers := 0
+	s.mu.Lock()
+	nFollowers = len(s.acks)
+	s.mu.Unlock()
+	writeCounter(w, "gpsd_repl_fetches_total", "replication fetch requests served", s.fetches.Load())
+	writeCounter(w, "gpsd_repl_shipped_bytes_total", "file bytes shipped to followers", s.bytesShipped.Load())
+	writeCounter(w, "gpsd_repl_acks_total", "follower acks received", s.acksTotal.Load())
+	writeGauge(w, "gpsd_repl_followers", "followers that have acked at least once", int64(nFollowers))
+	if ok {
+		writeGauge(w, "gpsd_repl_min_acked_seq", "lowest follower-acked op sequence", int64(minAck))
+	}
+}
+
+// IsShippableSegment reports whether name is a WAL segment file.
+func IsShippableSegment(name string) bool { return filepath.Base(name) == name && isSeg(name) }
+
+// IsShippableSnapshot reports whether name is a WAL snapshot file.
+func IsShippableSnapshot(name string) bool { return filepath.Base(name) == name && isSnap(name) }
+
+func isShippableName(name string) bool {
+	if name == "" || filepath.Base(name) != name {
+		return false
+	}
+	return isSeg(name) || isSnap(name) || name == AuditFileName
+}

@@ -50,6 +50,11 @@ type AdmissionLog interface {
 	Close() error
 }
 
+// AuditSink observes the durable op stream (see Config.Audit).
+type AuditSink interface {
+	Record(op wal.Op)
+}
+
 // Config sizes a Daemon. The zero value of every field but Rate is
 // usable; New applies the documented defaults.
 type Config struct {
@@ -83,6 +88,13 @@ type Config struct {
 	// and id counter are restored bit-for-bit, so the first published
 	// epoch matches an offline AnalyzeServer over the same op history.
 	Recovered *wal.Recovered
+	// Audit, when non-nil alongside Log, receives every op the log
+	// accepted, already stamped with its assigned sequence
+	// (internal/replication.Audit implements it). The call happens on
+	// the writer goroutine after the append succeeds, so the sink sees
+	// exactly the durable history in order; implementations must be
+	// cheap (the replication audit trail just enqueues).
+	Audit AuditSink
 	// SnapshotEvery writes a WAL state snapshot after this many logged
 	// mutations, bounding replay length on the next boot (default 131072).
 	SnapshotEvery int
@@ -550,6 +562,10 @@ func (d *Daemon) logAppend(o wal.Op) error {
 	}
 	d.met.WALAppends.Add(1)
 	d.walOps++
+	if d.cfg.Audit != nil {
+		// Append stamped the assigned sequence into the scratch slice.
+		d.cfg.Audit.Record(d.walScratch[0])
+	}
 	return nil
 }
 

@@ -1,0 +1,124 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func listNames(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == suffix {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPruneWatermarkHoldsUnshippedSegments is the regression test for
+// the WAL prune/ship race: a follower that ships slowly while the
+// primary snapshots fast must never find a segment it still needs
+// pruned out from under it. The watermark guard holds every segment
+// with records above the ack watermark through repeated
+// snapshot+rotate+prune cycles; raising the watermark releases them.
+func TestPruneWatermarkHoldsUnshippedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 256, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// The follower has acked nothing yet.
+	l.SetPruneWatermark(0)
+
+	ops := testOps(60)
+	st := State{}
+	appended := 0
+	snapshotFast := func(upto int) {
+		for ; appended < upto; appended++ {
+			if err := l.Append(ops[appended : appended+1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := Replay(&st, ops[:appended]); err != nil {
+			t.Fatal(err)
+		}
+		snap := st.Clone()
+		if err := l.Snapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Several snapshot cycles while the follower ships nothing: with
+	// 256-byte segments every cycle rotates, so without the guard the
+	// early segments would be pruned immediately.
+	snapshotFast(20)
+	snapshotFast(40)
+	snapshotFast(60)
+
+	segs := listNames(t, dir, ".seg")
+	first, err := SegmentFirstSeq(segs[0], readFile(t, dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("oldest retained segment starts at seq %d, want 1 (unshipped history pruned)", first)
+	}
+	// The full history must still be scannable for the follower.
+	raw, err := ReadOps(dir, 0)
+	if err != nil {
+		t.Fatalf("ReadOps over held history: %v", err)
+	}
+	if len(raw) != 60 {
+		t.Fatalf("held history yields %d ops, want 60", len(raw))
+	}
+
+	// The follower catches up: acking the head releases the backlog on
+	// the next snapshot cycle.
+	l.SetPruneWatermark(raw[len(raw)-1].Seq)
+	snap := st.Clone()
+	if err := l.Snapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	segs = listNames(t, dir, ".seg")
+	first, err = SegmentFirstSeq(segs[0], readFile(t, dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first <= 1 && len(segs) > 2 {
+		t.Fatalf("acked history was not pruned: oldest segment still starts at %d across %d segments", first, len(segs))
+	}
+
+	// Recovery over the pruned directory still works (snapshot covers
+	// the removed prefix).
+	rec, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec.SessionSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sessions) != len(st.Sessions) || got.Seq != st.Seq {
+		t.Fatalf("recovered state seq %d/%d sessions, want %d/%d",
+			got.Seq, len(got.Sessions), st.Seq, len(st.Sessions))
+	}
+}
+
+func readFile(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

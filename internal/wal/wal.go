@@ -32,11 +32,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -176,6 +178,12 @@ type Log struct {
 	kick chan struct{} // nudges the flusher when buf passes FlushBytes
 	stop chan struct{}
 	done chan struct{}
+
+	// pruneMark is the highest sequence external consumers (replication
+	// followers, the audit trail) have durably absorbed; prune never
+	// removes a segment holding records above it. MaxUint64 (the
+	// default) means no external consumer is holding segments back.
+	pruneMark atomic.Uint64
 }
 
 func segName(first uint64) string { return fmt.Sprintf("wal-%016x.seg", first) }
@@ -202,6 +210,7 @@ func Open(dir string, o Options) (*Log, *Recovered, error) {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	l.pruneMark.Store(math.MaxUint64)
 	l.wrote.L = &l.mu
 	if lastSeg != "" && goodLen >= segHeaderLen {
 		path := filepath.Join(dir, lastSeg)
@@ -743,11 +752,25 @@ func (l *Log) writeSnapshotFile(st State) error {
 	return syncDir(l.dir)
 }
 
+// SetPruneWatermark records the highest sequence every external
+// consumer of the log (a replication follower mirroring segments, the
+// audit trail's durable tail) has absorbed. Pruning after a snapshot
+// then only removes a segment when BOTH the snapshot and the watermark
+// cover all of its records, so a slow follower can never be left with
+// an unshippable gap. Safe from any goroutine.
+func (l *Log) SetPruneWatermark(seq uint64) { l.pruneMark.Store(seq) }
+
 // prune removes segments wholly covered by the snapshot at seq (every
-// record ≤ seq) and all but the two newest snapshots. cur is the live
-// segment's name, which is never removed. Prune failures are ignored:
-// stale files cost disk, never correctness.
+// record ≤ seq) AND by the prune watermark, plus all but the two newest
+// snapshots. cur is the live segment's name, which is never removed.
+// Prune failures are ignored: stale files cost disk, never correctness.
 func (l *Log) prune(seq uint64, cur string) {
+	if mark := l.pruneMark.Load(); mark < seq {
+		// A follower (or the audit tail) is behind the snapshot: hold
+		// every segment it still needs. rotate-before-prune already
+		// rotated, so the held segments are closed and shippable.
+		seq = mark
+	}
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
 		return

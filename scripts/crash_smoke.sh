@@ -14,6 +14,11 @@
 #   3. A copy of the crashed log gets one interior byte flipped;
 #      walcheck must refuse it with exit 2 (typed corruption), never
 #      silently truncate interior damage.
+#   4. A primary with a warm standby (-follow) is SIGKILLed mid-churn;
+#      the standby is promoted (POST /v1/promote) and the promoted
+#      daemon must match walcheck's fresh offline analysis of the
+#      MIRRORED log bit for bit — failover is just crash recovery on
+#      the other machine.
 #
 # Every recovered daemon is then drained with SIGTERM and must exit 0.
 set -eu
@@ -22,7 +27,10 @@ GO=${GO:-go}
 RATE=2000
 DIR=$(mktemp -d)
 GPSD_PID=
-trap 'if [ -n "$GPSD_PID" ]; then kill -9 "$GPSD_PID" 2>/dev/null || true; fi; rm -rf "$DIR"' EXIT
+STANDBY_PID=
+trap 'for p in "$GPSD_PID" "$STANDBY_PID"; do
+          [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+      done; rm -rf "$DIR"' EXIT
 
 "$GO" build -o "$DIR/gpsd" ./cmd/gpsd
 "$GO" build -o "$DIR/gpsdload" ./tools/gpsdload
@@ -115,4 +123,55 @@ if [ "$rc" -ne 2 ]; then
 fi
 
 recover_and_verify "$WAL2"
+
+echo "crash-smoke: iteration 3: SIGKILL primary mid-churn, promote warm standby"
+WAL3="$DIR/wal3"
+WAL3F="$DIR/wal3f"
+start_gpsd "$WAL3"
+PRIMARY_PID=$GPSD_PID
+PADDR=$ADDR
+rm -f "$DIR/addr-f"
+"$DIR/gpsd" -addr 127.0.0.1:0 -addr-file "$DIR/addr-f" -rate "$RATE" \
+    -wal-dir "$WAL3F" -follow "http://$PADDR" -follower-id crash-smoke \
+    -pull-interval 25ms >>"$DIR/gpsd.log" 2>&1 &
+STANDBY_PID=$!
+i=0
+while [ ! -s "$DIR/addr-f" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "crash-smoke: standby never wrote $DIR/addr-f" >&2
+        cat "$DIR/gpsd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+FADDR=$(cat "$DIR/addr-f")
+
+"$DIR/gpsdload" -url "http://$PADDR" -sessions 120 -workers 4 \
+    -duration "${SMOKE_DURATION:-2s}" -kill-pid "$PRIMARY_PID" \
+    -kill-after 700ms -scrape=false
+wait "$PRIMARY_PID" 2>/dev/null || true
+GPSD_PID=
+
+PROMOTE=$(curl -sf -X POST "http://$FADDR/v1/promote")
+case "$PROMOTE" in
+*'"promoted":true'*) ;;
+*)
+    echo "crash-smoke: promotion failed: $PROMOTE" >&2
+    cat "$DIR/gpsd.log" >&2
+    exit 1
+    ;;
+esac
+
+# The promoted daemon's live state must match an offline fold of the
+# mirror — the same bit-identity contract recovery holds locally.
+"$DIR/walcheck" -wal-dir "$WAL3F" -rate "$RATE" -url "http://$FADDR"
+kill -TERM "$STANDBY_PID"
+wait "$STANDBY_PID" || {
+    echo "crash-smoke: promoted gpsd exited nonzero after SIGTERM" >&2
+    cat "$DIR/gpsd.log" >&2
+    exit 1
+}
+STANDBY_PID=
+
 echo "crash-smoke: OK"

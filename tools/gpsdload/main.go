@@ -129,10 +129,12 @@ func (p *pool) pick(r uint64) (string, bool) {
 }
 
 type client struct {
-	base string
-	hc   *http.Client
-	cnt  *counters
-	lat  *latencies
+	base  string
+	hc    *http.Client
+	cnt   *counters
+	lat   *latencies
+	retry *retrier
+	stop  func() bool // aborts retry sleeps once the run is winding down
 }
 
 func (c *client) do(req *http.Request) (*http.Response, []byte, error) {
@@ -158,13 +160,15 @@ func (c *client) do(req *http.Request) (*http.Response, []byte, error) {
 	return resp, body, nil
 }
 
-// admit posts one admission request; it returns the assigned id when
-// the daemon accepted.
+// admit posts one admission request, retrying through backpressure; it
+// returns the assigned id when the daemon accepted.
 func (c *client) admit(t sessionType) (string, bool) {
 	payload, _ := json.Marshal(t)
-	req, _ := http.NewRequest(http.MethodPost, c.base+"/v1/admit", bytes.NewReader(payload))
-	req.Header.Set("Content-Type", "application/json")
-	resp, body, err := c.do(req)
+	resp, body, err := c.doRetry(func() *http.Request {
+		req, _ := http.NewRequest(http.MethodPost, c.base+"/v1/admit", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		return req
+	}, c.stop)
 	if err != nil || resp.StatusCode != http.StatusOK {
 		return "", false
 	}
@@ -184,8 +188,10 @@ func (c *client) admit(t sessionType) (string, bool) {
 }
 
 func (c *client) release(id string) bool {
-	req, _ := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+id, nil)
-	resp, _, err := c.do(req)
+	resp, _, err := c.doRetry(func() *http.Request {
+		req, _ := http.NewRequest(http.MethodDelete, c.base+"/v1/sessions/"+id, nil)
+		return req
+	}, c.stop)
 	if err != nil {
 		return false
 	}
@@ -197,8 +203,10 @@ func (c *client) release(id string) bool {
 }
 
 func (c *client) boundsQuery(id string) {
-	req, _ := http.NewRequest(http.MethodGet, c.base+"/v1/bounds/"+id, nil)
-	resp, _, err := c.do(req)
+	resp, _, err := c.doRetry(func() *http.Request {
+		req, _ := http.NewRequest(http.MethodGet, c.base+"/v1/bounds/"+id, nil)
+		return req
+	}, c.stop)
 	if err == nil && resp.StatusCode == http.StatusOK {
 		c.cnt.bounds.Add(1)
 	}
@@ -226,6 +234,9 @@ func main() {
 	scrape := flag.Bool("scrape", true, "scrape and print /metrics after the run")
 	killPid := flag.Int("kill-pid", 0, "SIGKILL this pid (the daemon) mid-churn; post-kill errors are expected")
 	killAfter := flag.Duration("kill-after", time.Second, "churn time before -kill-pid fires")
+	retries := flag.Int("retries", 3, "tries per request through 429/425 backpressure (1 disables retry)")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "exponential backoff floor for the first retry")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "cap on any single backoff sleep")
 	flag.Parse()
 	if *killPid > 0 && *requireNo5xx {
 		log.Fatal("gpsdload: -kill-pid and -require-no-5xx are mutually exclusive (the kill guarantees failed requests)")
@@ -233,6 +244,9 @@ func main() {
 
 	p50, _ := stats.NewP2Quantile(0.5)
 	p99, _ := stats.NewP2Quantile(0.99)
+	// Kill harness flag, shared with the retry loop: once the kill
+	// lands, backoff sleeps abort instead of stretching the wind-down.
+	var killed atomic.Bool
 	c := &client{
 		base: *url,
 		hc: &http.Client{
@@ -242,8 +256,10 @@ func main() {
 				MaxIdleConnsPerHost: *workers * 2,
 			},
 		},
-		cnt: &counters{},
-		lat: &latencies{p50: p50, p99: p99},
+		cnt:   &counters{},
+		lat:   &latencies{p50: p50, p99: p99},
+		retry: newRetrier(*retries, *retryBase, *retryMax, *seed^0xa5a5a5a5),
+		stop:  func() bool { return killed.Load() },
 	}
 	ids := &pool{}
 
@@ -283,7 +299,6 @@ func main() {
 	// Kill harness: SIGKILL the daemon partway into the churn window.
 	// Workers watch the flag and wind down; everything they observe after
 	// the kill (refused connections, resets) is the expected crash shape.
-	var killed atomic.Bool
 	killDone := make(chan struct{})
 	if *killPid > 0 {
 		go func() {

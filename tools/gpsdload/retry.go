@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/source"
+)
+
+// retrier is the client-side answer to the daemon's backpressure
+// protocol: 429 (queue full) and 425 (epoch lag) responses carry a
+// Retry-After hint, and a well-behaved load source honors it with
+// equal-jitter exponential backoff instead of hammering the shed path.
+// Jitter matters under fan-in: a thousand workers shed at the same
+// instant must not all come back at the same instant, so half of each
+// sleep is fixed (the floor keeps pressure off) and half is uniformly
+// random (the herd spreads out).
+type retrier struct {
+	attempts int           // total tries per request; 1 disables retry
+	base     time.Duration // exponential floor for attempt 0
+	max      time.Duration // cap on any single sleep
+	sleep    func(time.Duration)
+
+	mu  sync.Mutex
+	rng *source.RNG
+}
+
+func newRetrier(attempts int, base, max time.Duration, seed uint64) *retrier {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &retrier{
+		attempts: attempts,
+		base:     base,
+		max:      max,
+		sleep:    time.Sleep,
+		rng:      source.NewRNG(seed),
+	}
+}
+
+// backoff returns the sleep before retry attempt i (0-based): the
+// exponential floor base<<i, raised to the server's Retry-After hint
+// when that is larger, capped at max, then equal-jittered into
+// [d/2, d]. Deterministic given the seeded RNG — the unit tests pin
+// the exact sequence.
+func (r *retrier) backoff(i int, hint time.Duration) time.Duration {
+	d := r.base << uint(i)
+	if d <= 0 || d > r.max { // <<i overflow or cap
+		d = r.max
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > r.max {
+		d = r.max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Uint64() % uint64(half))
+	r.mu.Unlock()
+	return half + j + 1
+}
+
+// retryAfterHint parses the Retry-After header as delay seconds
+// (gpsd's form); absent or unparsable yields 0, leaving the
+// exponential floor in charge.
+func retryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// shouldRetry reports whether the response is a backpressure signal
+// worth retrying: the daemon said "come back later", not "no".
+func shouldRetry(resp *http.Response) bool {
+	return resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusTooEarly
+}
+
+// doRetry runs one logical request through the retry loop. build must
+// return a fresh request each call (bodies are consumed); stop lets
+// the caller abort retries when the run is winding down.
+func (c *client) doRetry(build func() *http.Request, stop func() bool) (*http.Response, []byte, error) {
+	var (
+		resp *http.Response
+		body []byte
+		err  error
+	)
+	for i := 0; ; i++ {
+		resp, body, err = c.do(build())
+		if err != nil || !shouldRetry(resp) {
+			return resp, body, err
+		}
+		if i >= c.retry.attempts-1 || (stop != nil && stop()) {
+			return resp, body, err
+		}
+		c.retry.sleep(c.retry.backoff(i, retryAfterHint(resp)))
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	walcheck -wal-dir ./wal -rate 2000              # inspect + analyze
 //	walcheck -wal-dir ./wal -rate 2000 -url http://127.0.0.1:7070
+//	walcheck -wal-dir ./wal -rate 2000 -verify-proof 1234 -expect-head <hex>
 //
 // With -url it verifies a live daemon against that ground truth:
 // session count, the running Σφ (compared by IEEE-754 bit pattern, not
@@ -14,9 +15,19 @@
 // sample of per-session tail bounds. Any divergence exits 1; interior
 // log corruption exits 2 with the typed *wal.CorruptError rendered.
 // scripts/crash_smoke.sh drives both modes around a SIGKILL.
+//
+// When the directory holds a Merkle audit trail (audit.log, written by
+// a WAL-backed gpsd), walcheck rechecks its seal chain and re-hashes
+// every decision frame still on disk against its leaf; -verify-proof N
+// additionally builds and folds the inclusion-and-extension proof for
+// the op at sequence N, proving the record is in the history and the
+// history is append-only under the attested head (-expect-head, or the
+// trail's own recomputed head). scripts/repl_smoke.sh drives this
+// around a primary kill + follower promotion.
 package main
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -33,6 +44,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/ebb"
 	"repro/internal/gpsmath"
+	"repro/internal/replication"
 	"repro/internal/wal"
 )
 
@@ -41,6 +53,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "link rate the daemon runs at (required; the analysis depends on it)")
 	url := flag.String("url", "", "base URL of a running gpsd to verify against the offline analysis")
 	samples := flag.Int("samples", 8, "per-session bound endpoints to verify when -url is set")
+	verifyProof := flag.Uint64("verify-proof", 0, "prove the decision at this op sequence is in the Merkle audit history and the history is append-only (0 = off)")
+	expectHead := flag.String("expect-head", "", "hex audit head recorded out of band; proofs and the trail must fold to exactly this head")
 	flag.Parse()
 	if *walDir == "" || !(*rate > 0) {
 		flag.Usage()
@@ -77,12 +91,77 @@ func main() {
 		fmt.Printf("walcheck: partition: %d classes, sizes %v\n", len(sizes), sizes)
 	}
 
+	auditCheck(*walDir, *verifyProof, *expectHead)
+
 	if *url != "" {
 		if err := verify(*url, st, an, *rate, *samples); err != nil {
 			log.Fatalf("walcheck: MISMATCH: %v", err)
 		}
 		fmt.Println("walcheck: OK: live daemon matches the offline analysis bit for bit")
 	}
+}
+
+// auditCheck verifies the Merkle audit trail three ways: the stored
+// seals against a chain recomputed from the leaf records (append-only),
+// every decision frame still on disk against its leaf (a flipped frame
+// byte is caught even if the flipper fixed the frame CRC — the WAL's
+// CRC catches accidents, this catches rewrites), and, with
+// -verify-proof, one record's full inclusion-and-extension proof folded
+// independently and compared against the attested head. Mismatches exit
+// 1; structural trail corruption exits 2.
+func auditCheck(dir string, proofSeq uint64, expectHead string) {
+	trail, err := replication.ReadAuditTrail(dir)
+	if err != nil {
+		log.Printf("walcheck: CORRUPT: %v", err)
+		os.Exit(2)
+	}
+	if trail == nil {
+		if proofSeq != 0 || expectHead != "" {
+			log.Fatalf("walcheck: %s has no audit trail to verify", dir)
+		}
+		return
+	}
+
+	head, err := trail.Recheck()
+	if err != nil {
+		log.Printf("walcheck: AUDIT MISMATCH: %v", err)
+		os.Exit(1)
+	}
+	checked, err := replication.CrossCheckWAL(dir, trail)
+	if err != nil {
+		log.Printf("walcheck: AUDIT MISMATCH: %v", err)
+		os.Exit(1)
+	}
+	fmt.Printf("walcheck: audit: %d leaves from seq %d, %d sealed batches of %d, %d frames cross-checked, head %s\n",
+		len(trail.Leaves), trail.GenesisSeq+1, trail.SealedBatches, trail.BatchN, checked, hex.EncodeToString(head[:]))
+
+	attested := head
+	if expectHead != "" {
+		b, err := hex.DecodeString(expectHead)
+		if err != nil || len(b) != len(attested) {
+			log.Fatalf("walcheck: -expect-head is not a %d-byte hex digest", len(attested))
+		}
+		copy(attested[:], b)
+		if head != attested {
+			log.Printf("walcheck: AUDIT MISMATCH: trail folds to %x, recorded head is %s", head[:], expectHead)
+			os.Exit(1)
+		}
+	}
+
+	if proofSeq == 0 {
+		return
+	}
+	leaves := trail.LeafHashes()
+	proof, err := replication.ProveInclusion(trail.GenesisSeq, trail.BatchN, leaves, proofSeq)
+	if err != nil {
+		log.Fatalf("walcheck: %v", err)
+	}
+	if got := replication.VerifyProof(proof); got != attested {
+		log.Printf("walcheck: PROOF REJECTED: seq %d folds to %x, attested head is %x", proofSeq, got[:], attested[:])
+		os.Exit(1)
+	}
+	fmt.Printf("walcheck: OK: seq %d is in the audited history (%d siblings, %d later batches) and the history is append-only under head %s\n",
+		proofSeq, len(proof.Siblings), len(proof.Later), hex.EncodeToString(attested[:]))
 }
 
 // analyze runs the fresh offline analysis over the folded session set,

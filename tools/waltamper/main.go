@@ -1,0 +1,125 @@
+// waltamper is the adversary in the audit trail's acceptance test: it
+// flips one byte inside a committed decision frame's payload and then
+// REPAIRS the frame CRC, producing a log every per-frame integrity
+// check accepts. Only the Merkle audit layer (walcheck's trail
+// cross-check and -verify-proof) can catch the rewrite — which is
+// exactly the claim scripts/repl_smoke.sh uses this tool to test.
+//
+// Usage:
+//
+//	waltamper -wal-dir DIR [-seq N]
+//
+// With -seq 0 (the default) the newest admit frame still present in a
+// segment is chosen, so the target is never one already folded into a
+// pruned snapshot. The tampered sequence number is printed to stdout.
+//
+// The byte flipped is the low mantissa byte of the admit op's weight
+// (or the id for a release op): the frame still decodes into a valid
+// op, it just describes a decision history that never happened.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func main() {
+	dir := flag.String("wal-dir", "", "WAL directory to tamper (required)")
+	seq := flag.Uint64("seq", 0, "sequence number to tamper (0 picks the newest admit frame)")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "waltamper: -wal-dir is required")
+		os.Exit(2)
+	}
+	tampered, err := tamper(*dir, *seq)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "waltamper: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(tampered)
+}
+
+// tamper finds the target frame, flips a payload byte that survives a
+// decode/re-encode round trip, fixes the CRC, and rewrites the segment
+// in place. It returns the tampered sequence number.
+func tamper(dir string, target uint64) (uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var segs []string
+	for _, e := range entries {
+		if wal.IsSegmentName(e.Name()) {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		return 0, fmt.Errorf("no segments in %s", dir)
+	}
+	// Newest first: the auto-pick wants the most recent admit, and an
+	// explicit seq is most likely near the head anyway.
+	sort.Sort(sort.Reverse(sort.StringSlice(segs)))
+	for _, name := range segs {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		firstSeq, err := wal.SegmentFirstSeq(name, data)
+		if err != nil {
+			return 0, err
+		}
+		seq, off, ok := findFrame(data, firstSeq, target)
+		if !ok {
+			continue
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		payload := data[off+8 : off+8+int64(plen)]
+		// Payload layout: seq u64 | kind u8 | id u64 | admit fields...
+		// Flip the weight's low mantissa byte for admits (offset 17) or
+		// the id's low byte for releases (offset 9) — both decode fine.
+		flip := 9
+		if plen > 17 && wal.Kind(payload[8]) == wal.KindAdmit {
+			flip = 17
+		}
+		payload[flip] ^= 0x01
+		binary.LittleEndian.PutUint32(data[off+4:], crc32.Checksum(payload, castagnoli))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return 0, err
+		}
+		return seq, nil
+	}
+	return 0, fmt.Errorf("sequence %d not found in any segment (pruned?)", target)
+}
+
+// findFrame walks a segment's frames. With target 0 it returns the
+// newest admit frame; otherwise the frame holding exactly target. The
+// returned offset is the frame header's (length word) position.
+func findFrame(data []byte, firstSeq, target uint64) (seq uint64, off int64, ok bool) {
+	pos := int64(wal.SegmentHeaderLen)
+	cur := firstSeq
+	for pos+8 <= int64(len(data)) {
+		plen := int64(binary.LittleEndian.Uint32(data[pos:]))
+		if plen <= 0 || pos+8+plen > int64(len(data)) {
+			break // torn tail
+		}
+		if target != 0 && cur == target {
+			return cur, pos, true
+		}
+		if target == 0 && plen > 17 && wal.Kind(data[pos+8+8]) == wal.KindAdmit {
+			seq, off, ok = cur, pos, true // keep scanning: newest wins
+		}
+		pos += 8 + plen
+		cur++
+	}
+	return seq, off, ok
+}
