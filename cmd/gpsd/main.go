@@ -77,6 +77,7 @@ func main() {
 	followerID := flag.String("follower-id", "", "name this follower acks under (default host:pid)")
 	pullInterval := flag.Duration("pull-interval", 250*time.Millisecond, "follower: delay between successful replication pulls")
 	auditBatch := flag.Int("audit-batch", 0, "Merkle audit batch size in decision frames (0 = default 1024)")
+	ackTTL := flag.Duration("repl-ack-ttl", replication.DefaultAckTTL, "expire a silent follower's ack after this inactivity so it stops holding WAL segments (0 = never expire)")
 	flag.Parse()
 
 	if err := run(config{
@@ -86,7 +87,7 @@ func main() {
 		walDir: *walDir, walSync: *walSync, snapshotEvery: *snapshotEvery,
 		crashpoint: *crashpoint,
 		follow:     *follow, followerID: *followerID, pullInterval: *pullInterval,
-		auditBatch: *auditBatch,
+		auditBatch: *auditBatch, ackTTL: *ackTTL,
 	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
@@ -105,6 +106,7 @@ type config struct {
 	follow, followerID string
 	pullInterval       time.Duration
 	auditBatch         int
+	ackTTL             time.Duration
 }
 
 func (cfg *config) crashPlan() (*faults.CrashPlan, error) {
@@ -181,10 +183,13 @@ func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 	}
 	n := &primaryNode{l: l}
 	if l != nil {
-		// The audit trail opens after recovery and backfills any leaves
-		// the last run never flushed, so its chain always covers the
-		// durable history the daemon is about to extend.
-		n.audit, err = replication.OpenAudit(cfg.walDir, replication.AuditOptions{BatchN: cfg.auditBatch})
+		// The audit trail opens after recovery, backfills any leaves the
+		// last run never flushed, and — given the recovered head — cuts
+		// back a trail that ran ahead of a truncated log, so its chain
+		// always covers exactly the durable history the daemon is about
+		// to extend.
+		walHead := l.NextSeq() - 1
+		n.audit, err = replication.OpenAudit(cfg.walDir, replication.AuditOptions{BatchN: cfg.auditBatch, WALHead: &walHead})
 		if err != nil {
 			l.Close()
 			return nil, fmt.Errorf("opening audit trail: %w", err)
@@ -205,11 +210,16 @@ func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 	}
 	if l != nil {
 		host, _ := os.Hostname()
+		ttl := cfg.ackTTL
+		if ttl <= 0 {
+			ttl = -1 // flag 0 = never expire (Source 0 means its default)
+		}
 		n.src = &replication.Source{
 			Dir:    cfg.walDir,
 			NodeID: fmt.Sprintf("%s:%d", host, os.Getpid()),
 			Head:   func() uint64 { return l.NextSeq() - 1 },
 			Audit:  n.audit,
+			AckTTL: ttl,
 		}
 		n.src.OnAck = func() { n.updateWatermark() }
 		// The watermark starts fully held: nothing is pruned until the
@@ -239,10 +249,17 @@ func (n *primaryNode) watermarkLoop() {
 	defer close(n.wmDone)
 	t := time.NewTicker(500 * time.Millisecond)
 	defer t.Stop()
+	auditErrLogged := false
 	for {
 		select {
 		case <-t.C:
 			n.updateWatermark()
+			if !auditErrLogged {
+				if err := n.audit.Err(); err != nil {
+					auditErrLogged = true
+					log.Printf("gpsd: audit trail frozen, prune watermark held at %d: %v", n.audit.DurableSeq(), err)
+				}
+			}
 		case <-n.stopWM:
 			return
 		}
@@ -304,8 +321,7 @@ func run(cfg config) error {
 	// follower-mode state
 	var (
 		fol       *replication.Follower
-		folCancel context.CancelFunc
-		folDone   chan error
+		folStop   func() // idempotent: cancel the pull loop and await its exit
 		promoteMu sync.Mutex
 	)
 
@@ -334,10 +350,19 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		var folCtx context.Context
-		folCtx, folCancel = context.WithCancel(context.Background())
-		folDone = make(chan error, 1)
+		folCtx, folCancel := context.WithCancel(context.Background())
+		folDone := make(chan error, 1)
 		go func() { folDone <- fol.Run(folCtx) }()
+		// The done channel is one-shot; a retried promote after a failed
+		// one (or shutdown after it) must not block on a second drain,
+		// so the cancel+wait pair latches in a Once.
+		var folStopOnce sync.Once
+		folStop = func() {
+			folStopOnce.Do(func() {
+				folCancel()
+				<-folDone
+			})
+		}
 		log.Printf("gpsd: standby %s mirroring %s into %s", id, cfg.follow, cfg.walDir)
 		sw.set(standbyHandler(fol, func(w http.ResponseWriter, r *http.Request) {
 			promoteMu.Lock()
@@ -348,9 +373,14 @@ func run(cfg config) error {
 			}
 			// Stop the pull loop before fencing so Promote's final drain
 			// is the only pull in flight.
-			folCancel()
-			<-folDone
+			folStop()
 			res, perr := fol.Promote(r.Context())
+			if errors.Is(perr, replication.ErrPromoted) {
+				// An earlier promote fenced the follower but failed to
+				// boot the daemon (node is still nil under promoteMu):
+				// retry just the boot from the already-sealed mirror.
+				res, perr = replication.PromoteResult{AckSeq: fol.AckSeq()}, nil
+			}
 			if perr != nil {
 				status := http.StatusServiceUnavailable
 				if errors.Is(perr, replication.ErrDiverged) {
@@ -418,17 +448,19 @@ func run(cfg config) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if fol != nil && node == nil {
-		// Still a standby: stop pulling; the mirror stays on disk for
-		// the next boot.
-		folCancel()
-		<-folDone
-		log.Printf("gpsd: standby stopped at verified seq %d", fol.AckSeq())
-		return nil
-	}
 	promoteMu.Lock()
 	n := node
 	promoteMu.Unlock()
+	if fol != nil {
+		// Stop pulling whether or not a promote (failed or not) already
+		// did; folStop is idempotent. An unpromoted mirror stays on disk
+		// for the next boot.
+		folStop()
+		if n == nil {
+			log.Printf("gpsd: standby stopped at verified seq %d", fol.AckSeq())
+			return nil
+		}
+	}
 	// Daemon drain snapshots and closes the WAL it owns.
 	if err := n.close(ctx); err != nil {
 		return fmt.Errorf("daemon drain: %w", err)

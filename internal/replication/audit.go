@@ -150,6 +150,34 @@ func decodeAuditTrail(data []byte) (*AuditTrail, error) {
 	return t, nil
 }
 
+// truncateTo drops every leaf above head, plus the seal records that
+// sealed them. The trail is derived data: when it runs ahead of the
+// durable log — a batch-mode audit flush that beat the WAL fsync
+// before a crash, or a promoted follower whose mirrored audit.log
+// outlives its truncated torn tail — the surplus attests ops that are
+// no longer in the history and must go, or the chain head would embed
+// a false history and every Record at a reused sequence would fail.
+func (t *AuditTrail) truncateTo(head uint64) {
+	if head < t.GenesisSeq {
+		return // caller recreates the trail outright
+	}
+	keep := head - t.GenesisSeq
+	if keep >= uint64(len(t.Leaves)) {
+		return
+	}
+	t.Leaves = t.Leaves[:keep]
+	seals := keep / uint64(t.BatchN)
+	if seals < t.SealedBatches {
+		t.Seals = t.Seals[:seals]
+		t.SealedBatches = seals
+		if seals > 0 {
+			t.SealedHead = t.Seals[seals-1].Head
+		} else {
+			t.SealedHead = GenesisHead(t.GenesisSeq)
+		}
+	}
+}
+
 // Recheck recomputes the audit chain from the stored leaves and
 // verifies every stored seal record against it — so editing a leaf
 // record without re-deriving every later seal is caught even offline.
@@ -217,6 +245,11 @@ type AuditOptions struct {
 	// BatchN is the Merkle batch size (default DefaultBatchN). Ignored
 	// when the directory already holds a trail — its batch size wins.
 	BatchN int
+	// WALHead is the recovered durable head of the audited log
+	// (wal.Log.NextSeq()-1); a pointer so an empty log's head 0 is
+	// distinguishable from "not supplied". Nil makes OpenAudit derive
+	// it with a read-only recovery pass over the directory.
+	WALHead *uint64
 	// FlushInterval is the group-flush window for leaf records
 	// (default 5ms). Seals always flush + fsync immediately.
 	FlushInterval time.Duration
@@ -250,6 +283,12 @@ type Audit struct {
 	chain *Chain
 	f     *os.File
 	buf   []byte
+	// fatal, once set, freezes the trail: the sink keeps draining the
+	// queue (Record never blocks forever) but appends nothing more, so
+	// the chain head can never drift from the durable history and
+	// DurableSeq stops advancing — which holds the prune watermark and
+	// makes the fault operator-visible instead of a silent counter.
+	fatal error
 
 	durable   atomic.Uint64 // highest seq fsynced into audit.log
 	records   atomic.Int64
@@ -272,11 +311,15 @@ type Audit struct {
 }
 
 // OpenAudit opens (or starts) the audit trail for a WAL directory and
-// reconciles it with the log: a trail that lags the WAL is backfilled
-// by re-reading the raw op history, a missing trail starts a fresh
-// chain at the earliest op still on disk, and a trail that cannot be
-// reconciled (its gap was pruned away) is a typed error — the prune
-// watermark exists exactly to keep that from happening.
+// reconciles it with the log in both directions: a trail that lags the
+// WAL is backfilled by re-reading the raw op history, a trail that
+// LEADS the WAL (its flush beat the WAL fsync before a crash, or a
+// promoted follower's mirrored audit.log outlived the truncated torn
+// tail) is cut back to the recovered head and re-derived, a missing
+// trail starts a fresh chain at the earliest op still on disk, and a
+// trail that cannot be reconciled (its gap was pruned away) is a typed
+// error — the prune watermark exists exactly to keep that from
+// happening.
 func OpenAudit(dir string, o AuditOptions) (*Audit, error) {
 	o = o.withDefaults()
 	a := &Audit{
@@ -289,6 +332,20 @@ func OpenAudit(dir string, o AuditOptions) (*Audit, error) {
 	trail, err := ReadAuditTrail(dir)
 	if err != nil {
 		return nil, err
+	}
+	if trail != nil {
+		head, err := auditWALHead(dir, o)
+		if err != nil {
+			return nil, err
+		}
+		if trail.GenesisSeq > head {
+			// Even the trail's genesis lies beyond the durable log: the
+			// log was rebuilt or rolled back past it, so nothing stored
+			// is attestable. Start the trail over.
+			trail = nil
+		} else {
+			trail.truncateTo(head)
+		}
 	}
 	var fileLen int64
 	if trail == nil {
@@ -357,6 +414,24 @@ func OpenAudit(dir string, o AuditOptions) (*Audit, error) {
 	}
 	go a.loop()
 	return a, nil
+}
+
+// auditWALHead resolves the durable head OpenAudit reconciles against:
+// the caller-supplied recovered head, or a read-only recovery pass
+// (torn-tail tolerant, exactly what wal.Open would keep) when the
+// caller has not opened the log itself.
+func auditWALHead(dir string, o AuditOptions) (uint64, error) {
+	if o.WALHead != nil {
+		return *o.WALHead, nil
+	}
+	rec, err := wal.Read(dir)
+	if err != nil {
+		return 0, err
+	}
+	if n := len(rec.Ops); n > 0 {
+		return rec.Ops[n-1].Seq, nil
+	}
+	return rec.State.Seq, nil
 }
 
 // earliestAvailableSeq finds where a fresh chain can start: just before
@@ -431,21 +506,33 @@ func (a *Audit) steal() []wal.Op {
 	return batch
 }
 
-// absorbLocked appends every stolen record and flushes. Caller holds
-// a.mu.
+// absorbLocked appends every stolen record and flushes; after a fatal
+// error it only drains. Caller holds a.mu. The return value is the
+// latched error, so Flush and Close keep surfacing it.
 func (a *Audit) absorbLocked() error {
-	var first error
 	batch := a.steal()
-	for _, op := range batch {
-		if err := a.appendLocked(op); err != nil && first == nil {
-			first = err
+	if a.fatal == nil {
+		for _, op := range batch {
+			if err := a.appendLocked(op); err != nil {
+				a.setFatalLocked(err)
+				break // the chain demands gapless sequences; the rest cannot land either
+			}
 		}
 	}
 	a.spare = batch[:0] // recycle the drained backing array
-	if err := a.flushLocked(); err != nil && first == nil {
-		first = err
+	if a.fatal == nil {
+		if err := a.flushLocked(); err != nil {
+			a.setFatalLocked(err)
+		}
 	}
-	return first
+	return a.fatal
+}
+
+func (a *Audit) setFatalLocked(err error) {
+	if a.fatal == nil {
+		a.fatal = err
+		a.flushErrs.Add(1)
+	}
 }
 
 // Head returns the current chain head, the sealed batch count, and the
@@ -468,9 +555,19 @@ func (a *Audit) BatchN() int { return a.o.BatchN }
 // — the audit trail's contribution to the WAL prune watermark.
 func (a *Audit) DurableSeq() uint64 { return a.durable.Load() }
 
-// Stats returns (leaf records written, seals written, flush errors).
+// Stats returns (leaf records written, seals written, fatal sink
+// errors latched).
 func (a *Audit) Stats() (records, seals, flushErrs int64) {
 	return a.records.Load(), a.seals.Load(), a.flushErrs.Load()
+}
+
+// Err returns the latched fatal sink error, if any. Once set, the
+// trail is frozen and DurableSeq holds the prune watermark; the daemon
+// checks this from its watermark loop and /metrics exposes it.
+func (a *Audit) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fatal
 }
 
 // appendLocked hashes one op into the chain and buffers its records.
@@ -530,9 +627,7 @@ func (a *Audit) loop() {
 	defer t.Stop()
 	absorb := func() {
 		a.mu.Lock()
-		if err := a.absorbLocked(); err != nil {
-			a.flushErrs.Add(1)
-		}
+		_ = a.absorbLocked() // errors latch in a.fatal; Err surfaces them
 		a.mu.Unlock()
 	}
 	for {

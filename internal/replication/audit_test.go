@@ -118,6 +118,172 @@ func TestAuditBackfillFromWAL(t *testing.T) {
 	}
 }
 
+// TestAuditLeadingTrailTruncates: a trail that runs AHEAD of the
+// durable log — the audit flush beat the WAL fsync before a crash, or
+// a promoted follower's mirrored audit.log outlived its truncated torn
+// tail — is cut back to the recovered WAL head on open. Without that,
+// every Record at a reused sequence fails the chain, and once
+// sequences catch up the head permanently attests ops that were never
+// in the history.
+func TestAuditLeadingTrailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := auditTestOps(9)
+	segPath := ""
+	var size6 int64
+	for i, op := range ops {
+		if err := l.Append([]wal.Op{op}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 5 {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if wal.IsSegmentName(e.Name()) {
+					segPath = filepath.Join(dir, e.Name())
+				}
+			}
+			info, err := os.Stat(segPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			size6 = info.Size()
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAudit(dir, AuditOptions{BatchN: 4, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDurable(t, a, 9)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the log's tail: ops 7-9 vanish, the trail now leads by 3.
+	if err := os.Truncate(segPath, size6); err != nil {
+		t.Fatal(err)
+	}
+
+	head6 := uint64(6)
+	a2, err := OpenAudit(dir, AuditOptions{WALHead: &head6, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, next := a2.Head(); next != 7 {
+		t.Fatalf("truncated trail resumes at %d, want 7", next)
+	}
+	var leaves []Hash
+	for _, op := range ops[:6] {
+		leaves = append(leaves, LeafHash(wal.EncodeOpPayload(nil, op)))
+	}
+	if h, _, _ := a2.Head(); h != FoldHead(0, 4, leaves) {
+		t.Fatal("truncated trail head != fold over the surviving history")
+	}
+
+	// A different history now reuses sequences 7-9: the records must
+	// land cleanly and the head must attest the NEW ops.
+	repl := auditTestOps(9)[6:]
+	for i := range repl {
+		repl[i].Name = "replacement"
+	}
+	appendWALOps(t, dir, repl)
+	for _, op := range repl {
+		a2.Record(op)
+	}
+	waitDurable(t, a2, 9)
+	if err := a2.Err(); err != nil {
+		t.Fatalf("reused sequences failed the chain: %v", err)
+	}
+	for _, op := range repl {
+		leaves = append(leaves, LeafHash(wal.EncodeOpPayload(nil, op)))
+	}
+	wantHead := FoldHead(0, 4, leaves)
+	if h, _, _ := a2.Head(); h != wantHead {
+		t.Fatal("head after reuse != fold over the real history")
+	}
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Derive path (no WALHead supplied): reopen agrees, and the full
+	// offline verification stack passes on the healed trail.
+	a3, err := OpenAudit(dir, AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _, _ := a3.Head(); h != wantHead {
+		t.Fatal("derive-path reopen diverges from the healed head")
+	}
+	if err := a3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trail, err := ReadAuditTrail(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trail.Recheck(); err != nil {
+		t.Fatalf("healed trail fails seal recheck: %v", err)
+	}
+	if n, err := CrossCheckWAL(dir, trail); err != nil || n != 9 {
+		t.Fatalf("healed trail cross-check: %d frames, err %v", n, err)
+	}
+}
+
+// TestAuditFatalErrSurfaces: an unappendable record (sequence gap)
+// latches a fatal error that Err/Flush/Close all surface, freezes
+// DurableSeq (holding the prune watermark), and keeps draining the
+// queue so Record never blocks forever.
+func TestAuditFatalErrSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	writeWALOps(t, dir, auditTestOps(3))
+	a, err := OpenAudit(dir, AuditOptions{FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := auditTestOps(3)[0]
+	bad.Seq = 99
+	a.Record(bad)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("sequence-gap record never latched a fatal error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.DurableSeq(); got != 3 {
+		t.Fatalf("durable seq moved to %d after fatal error, want frozen at 3", got)
+	}
+	if _, _, fatals := a.Stats(); fatals != 1 {
+		t.Fatalf("fatal count %d, want 1", fatals)
+	}
+	for i := 0; i < 5; i++ {
+		a.Record(bad) // must drain, not block or extend the trail
+	}
+	if err := a.Flush(); err == nil {
+		t.Fatal("Flush after fatal error returned nil")
+	}
+	if err := a.Close(); err == nil {
+		t.Fatal("Close after fatal error returned nil")
+	}
+	// The frozen trail reopens cleanly at the durable history.
+	a2, err := OpenAudit(dir, AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if _, _, next := a2.Head(); next != 4 {
+		t.Fatalf("frozen trail reopens at %d, want 4", next)
+	}
+}
+
 // TestAuditGenesisAfterPrune: opening a fresh trail against a WAL whose
 // prefix was pruned starts the chain at the earliest surviving history.
 func TestAuditGenesisAfterPrune(t *testing.T) {

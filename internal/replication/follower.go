@@ -416,7 +416,12 @@ func (f *Follower) syncFile(ctx context.Context, mf ManifestFile) error {
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:
-		return nil // pruned between manifest and fetch; next pass skips it
+		// Pruned between manifest and fetch. The pass can no longer
+		// prove the manifest's files form a connected history, so it
+		// fails (retryable — the next pass gets a fresh manifest);
+		// acking around a vanished file could certify a gapped mirror
+		// the primary would then prune the real history out of.
+		return &ShipError{Reason: fmt.Sprintf("%s listed in the manifest but pruned before fetch", mf.Name)}
 	default:
 		return fmt.Errorf("replication: fetch %s returned %s", mf.Name, resp.Status)
 	}
@@ -507,6 +512,29 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 	prevAck := f.ackSeq
 	f.mu.Unlock()
 	ack = prevAck
+	// A fresh mirror (nothing acked yet) may only anchor its ack at a
+	// history start a promoted daemon could actually boot from: the
+	// genesis segment, or a mirrored snapshot covering every op before
+	// the first segment. Without this, a mirror whose early segments
+	// vanished to a prune race could ack a later segment's head while
+	// holding a gapped history. snapTop is the newest manifest snapshot
+	// that decodes locally (syncFile already brought every manifest
+	// file to full size before verify runs).
+	var snapTop uint64
+	if prevAck == 0 {
+		for _, mf := range m.Files {
+			if !isSnap(mf.Name) {
+				continue
+			}
+			var s uint64
+			if _, serr := fmt.Sscanf(mf.Name, "snap-%x.snap", &s); serr != nil || s <= snapTop {
+				continue
+			}
+			if st, serr := wal.ReadSnapshotState(filepath.Join(f.o.Dir, mf.Name)); serr == nil && st.Seq == s {
+				snapTop = s
+			}
+		}
+	}
 	for i, name := range segNames {
 		final := i == len(segNames)-1
 		st := f.segStateFor(name)
@@ -535,6 +563,12 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 			}
 			if ack != 0 && first > ack+1 {
 				// A gap ahead of us: earlier segment not yet complete.
+				behind++
+				continue
+			}
+			if ack == 0 && first > 1 && snapTop < first-1 {
+				// Unanchored: the mirror cannot prove the history
+				// reaches back to a bootable base yet.
 				behind++
 				continue
 			}

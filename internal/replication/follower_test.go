@@ -2,6 +2,7 @@ package replication
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -390,6 +392,165 @@ func TestPromoteFencesPulls(t *testing.T) {
 	}
 	if _, err := f.Promote(context.Background()); !errors.Is(err, ErrPromoted) {
 		t.Fatalf("double promote: %v, want ErrPromoted", err)
+	}
+}
+
+// TestFollowerGoneMidPassFailsPass: a 410 for a manifest-listed file
+// (pruned between manifest and fetch) must fail the whole pass as a
+// retryable error — never divergence, and never silent success, which
+// would let a fresh follower ack a later segment's head without
+// holding the preceding history.
+func TestFollowerGoneMidPassFailsPass(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{SegmentBytes: 256, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	if err := l.Append(auditTestOps(40)); err != nil {
+		t.Fatal(err)
+	}
+	src := &Source{Dir: dir, NodeID: "p", Head: func() uint64 { return l.NextSeq() - 1 }}
+	mux := http.NewServeMux()
+	src.Mount(mux)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goneName := ""
+	for _, e := range entries {
+		if isSeg(e.Name()) && (goneName == "" || e.Name() < goneName) {
+			goneName = e.Name() // oldest segment
+		}
+	}
+	var gone atomic.Bool
+	gone.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if gone.Load() && r.URL.Path == "/v1/repl/fetch" && r.URL.Query().Get("file") == goneName {
+			http.Error(w, "file pruned", http.StatusGone)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	f, err := NewFollower(FollowerOptions{
+		ID: "f1", PrimaryURL: ts.URL, Dir: t.TempDir(),
+		Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.PullOnce(context.Background())
+	if err == nil {
+		t.Fatal("pass with a vanished manifest file succeeded")
+	}
+	if errors.Is(err, ErrDiverged) {
+		t.Fatalf("prune race reported as divergence: %v", err)
+	}
+	if got := f.AckSeq(); got != 0 {
+		t.Fatalf("acked %d around a missing prefix, want 0", got)
+	}
+	// The race clears (the file is really still there): retry converges.
+	gone.Store(false)
+	if err := f.PullOnce(context.Background()); err != nil {
+		t.Fatalf("retry pass: %v", err)
+	}
+	if got := f.AckSeq(); got != 40 {
+		t.Fatalf("ack after retry = %d, want 40", got)
+	}
+}
+
+// TestFollowerFreshMirrorAnchor: a fresh follower whose first visible
+// segment starts past seq 1 may only advance its ack once a mirrored
+// snapshot covers the missing prefix — a mirror that cannot boot must
+// not be certified, or the primary could prune the real history out
+// from under a future promote.
+func TestFollowerFreshMirrorAnchor(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{SegmentBytes: 256, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	ops := auditTestOps(60)
+	if err := l.Append(ops); err != nil {
+		t.Fatal(err)
+	}
+	st := wal.State{}
+	if err := wal.Replay(&st, ops); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot prunes the early segments: history now starts mid-way.
+	if err := l.Snapshot(st.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	src := &Source{Dir: dir, NodeID: "p", Head: func() uint64 { return l.NextSeq() - 1 }}
+	mux := http.NewServeMux()
+	src.Mount(mux)
+	var hideSnaps atomic.Bool
+	hideSnaps.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hideSnaps.Load() && r.URL.Path == "/v1/repl/status" {
+			// Serve a manifest with the snapshots withheld: the segment
+			// chain alone cannot prove the history reaches a bootable
+			// base.
+			rr := httptest.NewRecorder()
+			mux.ServeHTTP(rr, r)
+			var m Manifest
+			if err := json.NewDecoder(rr.Body).Decode(&m); err != nil {
+				t.Errorf("decoding manifest: %v", err)
+			}
+			kept := m.Files[:0]
+			for _, mf := range m.Files {
+				if !isSnap(mf.Name) {
+					kept = append(kept, mf)
+				}
+			}
+			m.Files = kept
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(m)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	f, err := NewFollower(FollowerOptions{
+		ID: "f1", PrimaryURL: ts.URL, Dir: t.TempDir(),
+		Rand: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.PullOnce(context.Background())
+	var lag *LagError
+	if !errors.As(err, &lag) {
+		t.Fatalf("snapshot-less pull: %v, want *LagError", err)
+	}
+	if got := f.AckSeq(); got != 0 {
+		t.Fatalf("unanchored mirror acked %d, want 0", got)
+	}
+
+	// The snapshot ships: the mirror is bootable, the ack may advance.
+	hideSnaps.Store(false)
+	if err := f.PullOnce(context.Background()); err != nil {
+		t.Fatalf("anchored pull: %v", err)
+	}
+	if got := f.AckSeq(); got != 60 {
+		t.Fatalf("anchored ack = %d, want 60", got)
+	}
+	// And the certified mirror really does boot to the primary's state.
+	mir, err := wal.Read(f.o.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirSet, err := mir.SessionSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirSet.Seq != 60 {
+		t.Fatalf("mirror recovers to seq %d, want 60", mirSet.Seq)
 	}
 }
 

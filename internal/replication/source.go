@@ -31,15 +31,34 @@ type Source struct {
 	// OnAck, when set, runs after every recorded ack — the wiring layer
 	// recomputes the prune watermark there.
 	OnAck func()
+	// AckTTL expires a follower's ack entry after this much ack
+	// inactivity, so a permanently dead follower (or a one-shot client
+	// that posted an arbitrary follower_id once — the endpoint is
+	// unauthenticated) cannot pin the prune watermark and grow the disk
+	// forever. 0 means DefaultAckTTL; negative disables expiry. An
+	// expired follower that returns may find its promised history
+	// pruned and stall with a permanent lag — wiping its mirror
+	// directory reseeds it.
+	AckTTL time.Duration
 	// Now stubs time for tests; nil means time.Now.
 	Now func() time.Time
 
 	mu   sync.Mutex
-	acks map[string]uint64
+	acks map[string]ackEntry
 
 	fetches      atomic.Int64
 	bytesShipped atomic.Int64
 	acksTotal    atomic.Int64
+}
+
+// DefaultAckTTL is how long a silent follower's ack keeps holding
+// segments before it expires (Source.AckTTL overrides).
+const DefaultAckTTL = 5 * time.Minute
+
+// ackEntry is one follower's progress plus its liveness stamp.
+type ackEntry struct {
+	seq  uint64
+	last time.Time
 }
 
 func (s *Source) now() time.Time {
@@ -49,6 +68,25 @@ func (s *Source) now() time.Time {
 	return time.Now()
 }
 
+// expireLocked drops followers whose newest ack is older than the TTL.
+// Called lazily under s.mu from every reader, so the watermark loop's
+// periodic MinAck enforces expiry even when no acks arrive at all.
+func (s *Source) expireLocked() {
+	ttl := s.AckTTL
+	if ttl == 0 {
+		ttl = DefaultAckTTL
+	}
+	if ttl < 0 {
+		return
+	}
+	now := s.now()
+	for id, e := range s.acks {
+		if now.Sub(e.last) > ttl {
+			delete(s.acks, id)
+		}
+	}
+}
+
 // Mount registers the replication endpoints on mux.
 func (s *Source) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/repl/status", s.handleStatus)
@@ -56,31 +94,34 @@ func (s *Source) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/repl/ack", s.handleAck)
 }
 
-// MinAck returns the lowest acked sequence over every follower that has
-// ever acked, and whether any follower exists. A primary with no
-// followers holds nothing back on their behalf.
+// MinAck returns the lowest acked sequence over every live follower
+// (acked within AckTTL), and whether any exists. A primary with no
+// live followers holds nothing back on their behalf.
 func (s *Source) MinAck() (uint64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked()
 	if len(s.acks) == 0 {
 		return 0, false
 	}
 	min, first := uint64(0), true
-	for _, seq := range s.acks {
-		if first || seq < min {
-			min, first = seq, false
+	for _, e := range s.acks {
+		if first || e.seq < min {
+			min, first = e.seq, false
 		}
 	}
 	return min, true
 }
 
-// Acks returns a copy of the per-follower ack table.
+// Acks returns a copy of the per-follower ack table (live entries
+// only).
 func (s *Source) Acks() map[string]uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked()
 	out := make(map[string]uint64, len(s.acks))
-	for k, v := range s.acks {
-		out[k] = v
+	for k, e := range s.acks {
+		out[k] = e.seq
 	}
 	return out
 }
@@ -213,13 +254,16 @@ func (s *Source) handleAck(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	if s.acks == nil {
-		s.acks = map[string]uint64{}
+		s.acks = map[string]ackEntry{}
 	}
-	// Acks are monotone per follower; a delayed duplicate can't lower
-	// the watermark.
-	if a.AckSeq > s.acks[a.FollowerID] || s.acks[a.FollowerID] == 0 {
-		s.acks[a.FollowerID] = a.AckSeq
+	// Acks are monotone per follower — a delayed duplicate can't lower
+	// the watermark — but any ack refreshes liveness.
+	e, ok := s.acks[a.FollowerID]
+	if !ok || a.AckSeq > e.seq {
+		e.seq = a.AckSeq
 	}
+	e.last = s.now()
+	s.acks[a.FollowerID] = e
 	s.mu.Unlock()
 	s.acksTotal.Add(1)
 	if s.OnAck != nil {
@@ -236,6 +280,13 @@ func (s *Source) WriteMetrics(w io.Writer) {
 	s.mu.Lock()
 	nFollowers = len(s.acks)
 	s.mu.Unlock()
+	if s.Audit != nil {
+		fatal := int64(0)
+		if s.Audit.Err() != nil {
+			fatal = 1
+		}
+		writeGauge(w, "gpsd_audit_fatal", "1 when the audit sink latched a fatal error and froze the trail (prune watermark held)", fatal)
+	}
 	writeCounter(w, "gpsd_repl_fetches_total", "replication fetch requests served", s.fetches.Load())
 	writeCounter(w, "gpsd_repl_shipped_bytes_total", "file bytes shipped to followers", s.bytesShipped.Load())
 	writeCounter(w, "gpsd_repl_acks_total", "follower acks received", s.acksTotal.Load())

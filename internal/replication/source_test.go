@@ -1,0 +1,91 @@
+package replication
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postAck(t *testing.T, s *Source, id string, seq uint64) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/repl/ack",
+		strings.NewReader(fmt.Sprintf(`{"follower_id":%q,"ack_seq":%d}`, id, seq)))
+	s.handleAck(rr, req)
+	if rr.Code != 200 {
+		t.Fatalf("ack returned %d", rr.Code)
+	}
+}
+
+// TestAckExpiryUnpinsWatermark: a follower that stops acking — died,
+// or was a one-shot client that posted an arbitrary follower_id to the
+// unauthenticated endpoint — expires after AckTTL of silence, so it
+// cannot pin the prune watermark (and the disk) forever. Liveness is
+// lazy: MinAck alone enforces it, matching the daemon's periodic
+// watermark recomputation.
+func TestAckExpiryUnpinsWatermark(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := &Source{
+		Dir:    t.TempDir(),
+		NodeID: "p",
+		Head:   func() uint64 { return 100 },
+		AckTTL: time.Minute,
+		Now:    func() time.Time { return now },
+	}
+	postAck(t, s, "dead", 5)
+	postAck(t, s, "live", 80)
+	if min, ok := s.MinAck(); !ok || min != 5 {
+		t.Fatalf("MinAck = %d,%v, want 5,true", min, ok)
+	}
+
+	// Within the TTL the silent follower still holds segments.
+	now = now.Add(30 * time.Second)
+	postAck(t, s, "live", 90)
+	if min, ok := s.MinAck(); !ok || min != 5 {
+		t.Fatalf("MinAck = %d,%v before expiry, want 5,true", min, ok)
+	}
+
+	// 75s of silence from "dead" (TTL 60s): it expires, "live" (45s
+	// since its last ack... 45s < 60s) survives, pruning resumes at 90.
+	now = now.Add(45 * time.Second)
+	if min, ok := s.MinAck(); !ok || min != 90 {
+		t.Fatalf("MinAck = %d,%v after expiry, want 90,true", min, ok)
+	}
+	acks := s.Acks()
+	if _, there := acks["dead"]; there || len(acks) != 1 {
+		t.Fatalf("expired follower still in ack table: %v", acks)
+	}
+
+	// Everyone silent: no follower holds anything back.
+	now = now.Add(2 * time.Minute)
+	if _, ok := s.MinAck(); ok {
+		t.Fatal("fully-expired table still reports a follower")
+	}
+
+	// A returning follower re-registers (documented: it re-pins at its
+	// stale seq, and may find its promised history pruned).
+	postAck(t, s, "dead", 5)
+	if min, ok := s.MinAck(); !ok || min != 5 {
+		t.Fatalf("returning follower MinAck = %d,%v, want 5,true", min, ok)
+	}
+}
+
+// TestAckExpiryDisabled: a negative TTL preserves the old hold-forever
+// contract for operators who want it.
+func TestAckExpiryDisabled(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := &Source{
+		Dir:    t.TempDir(),
+		NodeID: "p",
+		Head:   func() uint64 { return 100 },
+		AckTTL: -1,
+		Now:    func() time.Time { return now },
+	}
+	postAck(t, s, "dead", 7)
+	now = now.Add(365 * 24 * time.Hour)
+	if min, ok := s.MinAck(); !ok || min != 7 {
+		t.Fatalf("MinAck = %d,%v with expiry disabled, want 7,true", min, ok)
+	}
+}
