@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke check bench benchcheck perfcheck clean
+.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke check bench benchcheck perfcheck deltacheck clean
 
 all: check
 
@@ -51,7 +51,7 @@ crash-smoke:
 repl-smoke:
 	GO="$(GO)" sh scripts/repl_smoke.sh
 
-check: vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke perfcheck benchcheck
+check: vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke perfcheck deltacheck benchcheck
 
 # bench runs the full benchmark harness with memory stats and snapshots
 # the parsed results to BENCH_<UTC datetime>.json (format documented in
@@ -70,6 +70,14 @@ bench:
 # the new snapshot, and the gate validates it.
 benchcheck:
 	$(GO) run ./tools/benchcmp
+
+# deltacheck is the incremental-analysis differential gate, uncached
+# and race-enabled: the gpsmath DeltaAnalyzer must stay bit-identical
+# to fresh AnalyzeServer under seeded churn, and the daemon's
+# delta-built epochs must match the direct (ClassifyUnderRate /
+# AdmissionDecision) recomputations.
+deltacheck:
+	GOFLAGS=-count=1 $(GO) test -race -run 'TestDeltaAnalyzer|TestDeltaChurnLong|TestDeltaEpoch|TestTypeEval|TestPerOpDelta|TestSelfCheck|TestDeltaFallback|TestNoDelta' ./internal/gpsmath ./internal/server
 
 # perfcheck is the fast correctness gate for the event-driven fluid
 # engine: the differential tests replay random workloads against the

@@ -988,6 +988,195 @@ func BenchmarkWFQScheduler(b *testing.B) {
 	}
 }
 
+// ------------------------------------------------------ EXT-DELTA ------
+
+// eagerFullSec memoizes the eager full-rebuild baseline per population
+// size so benchmark calibration reruns do not re-pay it.
+var eagerFullSec sync.Map
+
+// BenchmarkEpochDelta times one incremental epoch publish — a single
+// admit or release replayed through the daemon's persistent delta
+// analyzer — against populations of 10k, 131k, and 1M sessions. Each
+// iteration is two decisions and two published epochs (admit+publish,
+// release+publish), so ns/op ≈ 2x the per-op epoch cost. For the
+// populations where it is affordable, the reported metric is the
+// speedup over the pre-incremental rebuild recipe (eager AnalyzeServer
+// plus per-session AdmissionDecision over the same set), measured once.
+// The runtime self-check is disabled here: it deliberately pays the
+// eager cost on a sampled cadence, which is the contract being priced
+// separately.
+func BenchmarkEpochDelta(b *testing.B) {
+	for _, n := range []int{10_000, 131_072, 1_000_000} {
+		b.Run(fmt.Sprintf("sessions-%d", n), func(b *testing.B) {
+			benchEpochDelta(b, n)
+		})
+	}
+}
+
+func benchEpochDelta(b *testing.B, population int) {
+	arrival := ebb.Process{Rho: 0.05, Lambda: 1, Alpha: 1.2}
+	target := admission.Target{Delay: 40, Eps: 1e-3}
+	g, err := admission.RequiredRate(arrival, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := server.New(server.Config{
+		Rate:           g * float64(population+16),
+		QueueDepth:     1 << 14,
+		MaxBatch:       1 << 30,
+		MaxEpochAge:    time.Hour,
+		SelfCheckEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := d.Close(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+	req := server.AdmitRequest{Name: "bench", Arrival: arrival, Target: target}
+	populateDaemon(b, d, req, population)
+	// Publish once so the incremental analyzer is seeded over the full
+	// population before timing starts.
+	if err := d.Rebuild(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Admit(req)
+		if err != nil || !res.Admitted {
+			b.Fatalf("admit: admitted=%v err=%v", res.Admitted, err)
+		}
+		if err := d.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+		if ok, err := d.Release(res.ID); err != nil || !ok {
+			b.Fatalf("release: ok=%v err=%v", ok, err)
+		}
+		if err := d.Rebuild(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	deltaSec := b.Elapsed().Seconds() / float64(2*b.N)
+	b.ReportMetric(deltaSec*1e3, "ms/epoch")
+	met := d.Metrics()
+	if met.DeltaRebuilds.Load() == 0 {
+		b.Fatal("timed loop never rode the incremental path")
+	}
+	if population > 200_000 {
+		return // the eager baseline alone would take ~40s at 1M
+	}
+	full, ok := eagerFullSec.Load(population)
+	if !ok {
+		ep := d.CurrentEpoch()
+		dmax := make([]float64, ep.Sessions())
+		eps := make([]float64, ep.Sessions())
+		for i := range dmax {
+			dmax[i] = ep.Targets[i].Delay
+			eps[i] = ep.Targets[i].Eps
+		}
+		start := time.Now()
+		an, err := gpsmath.AnalyzeServer(ep.Server, gpsmath.Options{Independent: true, Xi: gpsmath.XiOptimal})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := an.AdmissionDecision(dmax, eps); err != nil {
+			b.Fatal(err)
+		}
+		full = time.Since(start).Seconds()
+		eagerFullSec.Store(population, full)
+	}
+	speedup := full.(float64) / deltaSec
+	b.ReportMetric(speedup, "x-vs-eager-rebuild")
+	once(fmt.Sprintf("epochdelta-%d", population), func() {
+		fmt.Printf("EXT-DELTA — %d sessions: %.3fms per incremental epoch vs %.0fms eager rebuild (%.0fx)\n",
+			population, deltaSec*1e3, full.(float64)*1e3, speedup)
+	})
+}
+
+// populateDaemon admits population copies of req through a small worker
+// pool (the sequential round-trip latency dominates setup at 1M).
+func populateDaemon(b *testing.B, d *server.Daemon, req server.AdmitRequest, population int) {
+	b.Helper()
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		n := population / workers
+		if w < population%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				res, err := d.Admit(req)
+				if err != nil || !res.Admitted {
+					errc <- fmt.Errorf("populating: admitted=%v err=%v", res.Admitted, err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAdmitThroughputScaling pins the O(1) decision contract at a
+// 1M-session population: admit/release decisions against the memoized
+// required rate must not degrade with the admitted set size. No WAL —
+// durability cost is orthogonal to population scaling and is gated
+// separately by BenchmarkAdmitThroughput.
+func BenchmarkAdmitThroughputScaling(b *testing.B) {
+	for _, n := range []int{1_000_000} {
+		b.Run(fmt.Sprintf("sessions-%d", n), func(b *testing.B) {
+			arrival := ebb.Process{Rho: 0.05, Lambda: 1, Alpha: 1.2}
+			target := admission.Target{Delay: 40, Eps: 1e-3}
+			g, err := admission.RequiredRate(arrival, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := server.New(server.Config{
+				Rate:        g * float64(n+16),
+				QueueDepth:  1 << 14,
+				MaxBatch:    1 << 30,
+				MaxEpochAge: time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				if err := d.Close(ctx); err != nil {
+					b.Error(err)
+				}
+			})
+			req := server.AdmitRequest{Name: "bench", Arrival: arrival, Target: target}
+			populateDaemon(b, d, req, n)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := d.Admit(req)
+				if err != nil || !res.Admitted {
+					b.Fatalf("admit: admitted=%v err=%v", res.Admitted, err)
+				}
+				if ok, err := d.Release(res.ID); err != nil || !ok {
+					b.Fatalf("release: ok=%v err=%v", ok, err)
+				}
+			}
+			b.ReportMetric(2*float64(b.N)/time.Since(start).Seconds(), "decisions/s")
+		})
+	}
+}
+
 // BenchmarkAdmitThroughput measures gpsd's in-process admission decision
 // rate against a daemon already holding a 10k-session population: each
 // benchWALDir places the benchmark's write-ahead log on tmpfs when the

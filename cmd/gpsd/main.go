@@ -78,6 +78,9 @@ func main() {
 	pullInterval := flag.Duration("pull-interval", 250*time.Millisecond, "follower: delay between successful replication pulls")
 	auditBatch := flag.Int("audit-batch", 0, "Merkle audit batch size in decision frames (0 = default 1024)")
 	ackTTL := flag.Duration("repl-ack-ttl", replication.DefaultAckTTL, "expire a silent follower's ack after this inactivity so it stops holding WAL segments (0 = never expire)")
+	noDelta := flag.Bool("no-delta", false, "disable incremental epoch rebuilds (every publish is a full analysis)")
+	deltaMaxOps := flag.Int("delta-max-ops", 0, "largest batch the delta path rebuilds incrementally before falling back to a full build (0 = server default 256)")
+	selfCheckEvery := flag.Int("selfcheck-every", 0, "verify every Nth delta epoch against a from-scratch analysis (0 = server default 128, negative disables)")
 	flag.Parse()
 
 	if err := run(config{
@@ -88,6 +91,7 @@ func main() {
 		crashpoint: *crashpoint,
 		follow:     *follow, followerID: *followerID, pullInterval: *pullInterval,
 		auditBatch: *auditBatch, ackTTL: *ackTTL,
+		noDelta:    *noDelta, deltaMaxOps: *deltaMaxOps, selfCheckEvery: *selfCheckEvery,
 	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
@@ -107,6 +111,9 @@ type config struct {
 	pullInterval       time.Duration
 	auditBatch         int
 	ackTTL             time.Duration
+
+	noDelta                     bool
+	deltaMaxOps, selfCheckEvery int
 }
 
 func (cfg *config) crashPlan() (*faults.CrashPlan, error) {
@@ -171,11 +178,14 @@ type primaryNode struct {
 // one.
 func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 	scfg := server.Config{
-		Rate:        cfg.rate,
-		QueueDepth:  cfg.queue,
-		MaxBatch:    cfg.maxBatch,
-		MaxEpochAge: cfg.epochAge,
-		RetryAfter:  cfg.retryAfter,
+		Rate:           cfg.rate,
+		QueueDepth:     cfg.queue,
+		MaxBatch:       cfg.maxBatch,
+		MaxEpochAge:    cfg.epochAge,
+		RetryAfter:     cfg.retryAfter,
+		NoDelta:        cfg.noDelta,
+		DeltaMaxOps:    cfg.deltaMaxOps,
+		SelfCheckEvery: cfg.selfCheckEvery,
 	}
 	l, err := openWAL(&cfg, &scfg, plan)
 	if err != nil {

@@ -26,21 +26,40 @@ type Options struct {
 
 // Analysis is the full single-node result: the feasible partition and,
 // per session, the best bound object the selected theorems provide.
+//
+// An Analysis comes in two builds. AnalyzeServer materializes every
+// bound eagerly into Bounds/OrderingBounds. The DeltaAnalyzer produces
+// lazy analyses: Bounds and OrderingBounds stay nil and the bound
+// objects are constructed on demand from the retained memos — an O(1)
+// construction per session, so a per-op epoch never pays for N bound
+// objects nobody reads. Use PartitionBound/OrderingBound (or the Best*
+// evaluators and AdmissionDecision, which go through them) to stay
+// agnostic of the build; both produce bit-identical bound families.
 type Analysis struct {
 	Server    Server
 	Partition Partition
 	// Bounds[i] corresponds to Server.Sessions[i]. Each aggregates the
 	// partition-based family (Theorem 11/12), the Theorem 10 fixed tail
-	// for H_1 sessions, and is independent of any global ordering.
+	// for H_1 sessions, and is independent of any global ordering. Nil
+	// for lazily built analyses — use PartitionBound.
 	Bounds []*SessionBounds
 	// OrderingBounds[i] is the Theorem 7/8 bound for session i with
 	// respect to one global feasible ordering (the greedy min r/φ order);
-	// kept separately so the two routes can be compared (ablation).
+	// kept separately so the two routes can be compared (ablation). Nil
+	// for lazily built analyses — use OrderingBound.
 	OrderingBounds []*SessionBounds
 	// Ordering is the global feasible ordering used for OrderingBounds.
 	Ordering []int
 	// Rates are the decomposed rates r_i used for OrderingBounds.
 	Rates []float64
+
+	opts Options
+	pm   *partitionMemo
+	om   *orderingMemo
+	// posOf[i] is session i's position in Ordering (the inverse
+	// permutation); set on lazy builds, where OrderingBounds cannot be
+	// indexed to recover it.
+	posOf []int
 }
 
 // AnalyzeServer validates the server and computes every per-session bound
@@ -56,11 +75,11 @@ func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Analysis{Server: srv, Partition: part}
+	a := &Analysis{Server: srv, Partition: part, opts: opts}
 
 	// Partition-route bounds (Theorems 10/11/12). One memo carries the
 	// class geometry and per-class aggregates shared by every session.
-	pm := srv.newPartitionMemo(part)
+	a.pm = srv.newPartitionMemo(part)
 	a.Bounds = make([]*SessionBounds, len(srv.Sessions))
 	// Arena allocations: one block for all SessionBounds and one for
 	// every H_1 session's Theorem 10 tail, instead of a heap object per
@@ -70,32 +89,13 @@ func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
 	nFixed := 0
 	for i := range srv.Sessions {
 		sb := &boundsArena[i]
-		if opts.Independent {
-			err = pm.theorem11Into(sb, i, opts.Xi)
-		} else {
-			err = pm.theorem12Into(sb, i, nil, opts.Xi)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
-		}
+		var slot []numeric.ExpTail
 		if part.ClassOf[i] == 0 {
-			fixed, err := pm.theorem10(i)
-			if err != nil {
-				return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
-			}
-			fixedArena[nFixed] = fixed
-			sb.Fixed = fixedArena[nFixed : nFixed+1 : nFixed+1]
+			slot = fixedArena[nFixed : nFixed+1 : nFixed+1]
 			nFixed++
-			// Constant strings for the common cases keep the hot
-			// construction path free of concat allocations.
-			switch sb.Theorem {
-			case "thm11":
-				sb.Theorem = "thm11+thm10"
-			case "thm12":
-				sb.Theorem = "thm12+thm10"
-			default:
-				sb.Theorem += "+thm10"
-			}
+		}
+		if err := a.partitionBoundInto(sb, i, slot); err != nil {
+			return nil, fmt.Errorf("gpsmath: session %d: %w", i, err)
 		}
 		a.Bounds[i] = sb
 	}
@@ -111,17 +111,12 @@ func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
 	}
 	a.Ordering = ord
 	a.Rates = rates
-	om := srv.newOrderingMemo(ord, rates)
+	a.om = srv.newOrderingMemoOwned(ord, rates)
 	a.OrderingBounds = make([]*SessionBounds, len(srv.Sessions))
 	ordArena := make([]SessionBounds, len(ord))
 	for pos := range ord {
 		sb := &ordArena[pos]
-		if opts.Independent {
-			err = om.theorem7Into(sb, pos, opts.Xi)
-		} else {
-			err = om.theorem8Into(sb, pos, nil, opts.Xi)
-		}
-		if err != nil {
+		if err := a.orderingBoundInto(sb, pos); err != nil {
 			return nil, fmt.Errorf("gpsmath: ordering position %d: %w", pos, err)
 		}
 		a.OrderingBounds[sb.Index] = sb
@@ -129,12 +124,121 @@ func AnalyzeServer(srv Server, opts Options) (*Analysis, error) {
 	return a, nil
 }
 
+// partitionBoundInto builds session i's partition-route bound (Theorem
+// 11 or 12, plus the Theorem 10 fixed tail for H_1 sessions) into sb.
+// fixed, when non-nil, is a caller-provided one-element arena slot for
+// the Theorem 10 tail; nil allocates one. Both the eager AnalyzeServer
+// loop and the lazy accessors funnel through here, so the two builds
+// cannot drift.
+func (a *Analysis) partitionBoundInto(sb *SessionBounds, i int, fixed []numeric.ExpTail) error {
+	var err error
+	if a.opts.Independent {
+		err = a.pm.theorem11Into(sb, i, a.opts.Xi)
+	} else {
+		err = a.pm.theorem12Into(sb, i, nil, a.opts.Xi)
+	}
+	if err != nil {
+		return err
+	}
+	if a.Partition.ClassOf[i] != 0 {
+		return nil
+	}
+	ft, err := a.pm.theorem10(i)
+	if err != nil {
+		return err
+	}
+	if fixed == nil {
+		fixed = make([]numeric.ExpTail, 1)
+	}
+	fixed[0] = ft
+	sb.Fixed = fixed[:1:1]
+	// Constant strings for the common cases keep the hot construction
+	// path free of concat allocations.
+	switch sb.Theorem {
+	case "thm11":
+		sb.Theorem = "thm11+thm10"
+	case "thm12":
+		sb.Theorem = "thm12+thm10"
+	default:
+		sb.Theorem += "+thm10"
+	}
+	return nil
+}
+
+// orderingBoundInto builds the Theorem 7/8 bound for the session at
+// ordering position pos into sb.
+func (a *Analysis) orderingBoundInto(sb *SessionBounds, pos int) error {
+	if a.opts.Independent {
+		return a.om.theorem7Into(sb, pos, a.opts.Xi)
+	}
+	return a.om.theorem8Into(sb, pos, nil, a.opts.Xi)
+}
+
+// PartitionBound returns session i's partition-route bound object,
+// constructing it on demand when the analysis was built lazily. Lazy
+// constructions are not cached: they are O(1), and a shared cache would
+// race the many readers an epoch snapshot serves concurrently. Returns
+// nil only if construction fails, which checkFeasible excludes for any
+// analysis the DeltaAnalyzer publishes.
+func (a *Analysis) PartitionBound(i int) *SessionBounds {
+	if a.Bounds != nil {
+		return a.Bounds[i]
+	}
+	sb := new(SessionBounds)
+	if err := a.partitionBoundInto(sb, i, nil); err != nil {
+		return nil
+	}
+	return sb
+}
+
+// OrderingBound returns session i's Theorem 7/8 bound with respect to
+// the analysis's global feasible ordering, constructing it on demand
+// for lazy builds.
+func (a *Analysis) OrderingBound(i int) *SessionBounds {
+	if a.OrderingBounds != nil {
+		return a.OrderingBounds[i]
+	}
+	sb := new(SessionBounds)
+	if err := a.orderingBoundInto(sb, a.posOf[i]); err != nil {
+		return nil
+	}
+	return sb
+}
+
+// SessionG returns session i's guaranteed rate g_i = φ_i/Σφ·r exactly
+// as the bound constructors compute it (the G field of PartitionBound).
+func (a *Analysis) SessionG(i int) float64 { return a.pm.gOf(i) }
+
+// EffectiveRate returns session i's effective service rate within its
+// partition class (the eq. 38 geometry): ψ_i·(r - Σ_{earlier classes} ρ̃).
+func (a *Analysis) EffectiveRate(i int) float64 { return a.pm.geometry(i).gEff }
+
+// checkFeasible verifies that every session's bound family is
+// constructible — the same per-session guard the eager AnalyzeServer
+// loop applies (a session with no rate slack inside its class aborts the
+// analysis). The DeltaAnalyzer runs it before publishing a lazy
+// analysis, so the lazy accessors cannot fail afterwards.
+func (a *Analysis) checkFeasible() error {
+	for i := range a.Server.Sessions {
+		if geo := a.pm.geometry(i); !(geo.epsBudget > 0) {
+			return fmt.Errorf("gpsmath: session %d has no rate slack in its class (gEff = %v, rho = %v)",
+				i, geo.gEff, a.Server.Sessions[i].Arrival.Rho)
+		}
+	}
+	return nil
+}
+
 // BestBacklogTailValue returns, for session i, the smallest bound on
 // Pr{Q_i >= q} across the partition and ordering routes.
 func (a *Analysis) BestBacklogTailValue(i int, q float64) float64 {
-	v := a.Bounds[i].BacklogTail(q)
-	if w := a.OrderingBounds[i].BacklogTail(q); w < v {
-		v = w
+	v := math.Inf(1)
+	if b := a.PartitionBound(i); b != nil {
+		v = b.BacklogTail(q)
+	}
+	if b := a.OrderingBound(i); b != nil {
+		if w := b.BacklogTail(q); w < v {
+			v = w
+		}
 	}
 	return v
 }
@@ -142,9 +246,14 @@ func (a *Analysis) BestBacklogTailValue(i int, q float64) float64 {
 // BestDelayTailValue returns, for session i, the smallest bound on
 // Pr{D_i >= d} across the partition and ordering routes.
 func (a *Analysis) BestDelayTailValue(i int, d float64) float64 {
-	v := a.Bounds[i].DelayTail(d)
-	if w := a.OrderingBounds[i].DelayTail(d); w < v {
-		v = w
+	v := math.Inf(1)
+	if b := a.PartitionBound(i); b != nil {
+		v = b.DelayTail(d)
+	}
+	if b := a.OrderingBound(i); b != nil {
+		if w := b.DelayTail(d); w < v {
+			v = w
+		}
 	}
 	return v
 }
@@ -183,20 +292,26 @@ func (e *DimensionError) Unwrap() error { return ErrInvalidInput }
 // large decision (the gpsd epoch rebuild) linear instead of quadratic in
 // the session count.
 func (a *Analysis) AdmissionDecision(dmax, eps []float64) (bool, []float64, error) {
-	if len(dmax) != len(a.Bounds) || len(eps) != len(a.Bounds) {
-		return false, nil, &DimensionError{Sessions: len(a.Bounds), Dmax: len(dmax), Eps: len(eps)}
+	n := len(a.Server.Sessions)
+	if len(dmax) != n || len(eps) != n {
+		return false, nil, &DimensionError{Sessions: n, Dmax: len(dmax), Eps: len(eps)}
 	}
-	probs := make([]float64, len(a.Bounds))
+	probs := make([]float64, n)
 	ok := true
-	for i := range a.Bounds {
+	for i := 0; i < n; i++ {
 		if math.IsInf(dmax[i], 1) {
 			probs[i] = 0
 			continue
 		}
-		p := a.Bounds[i].DelayTail(dmax[i])
+		p := math.Inf(1)
+		if b := a.PartitionBound(i); b != nil {
+			p = b.DelayTail(dmax[i])
+		}
 		if p > eps[i] {
-			if w := a.OrderingBounds[i].DelayTail(dmax[i]); w < p {
-				p = w
+			if b := a.OrderingBound(i); b != nil {
+				if w := b.DelayTail(dmax[i]); w < p {
+					p = w
+				}
 			}
 		}
 		probs[i] = p

@@ -67,14 +67,18 @@ func (t mgfTerm) eval(u float64, mode XiMode) float64 {
 
 // orderingMemo caches everything the Theorem 7/8 constructors need about
 // one (ordering, rates) pair: suffix weight sums ("tail φ"), the prefix
-// minimum of the predecessors' decay rates, the guaranteed rates, and
-// one Lemma 6 term per session. All positions share the same backing
-// arrays — the per-position constructors only read them.
+// minimum of the predecessors' decay rates, and the total weight behind
+// the guaranteed rates. All positions share the same backing arrays —
+// the per-position constructors only read them. The per-session Lemma 6
+// terms are built inline by the prefactor closures (a mgfTerm is a plain
+// value, so this costs no allocation and reproduces the retired terms
+// array bit for bit) — materializing them was an O(N) block the per-op
+// DeltaAnalyzer path would pay on every epoch.
 type orderingMemo struct {
-	s     Server
-	ord   []int
-	rates []float64
-	g     []float64
+	s        Server
+	ord      []int
+	rates    []float64
+	totalPhi float64 // Σφ, the left-to-right fold of Server.TotalPhi
 	// tailPhi[pos] = Σ_{k >= pos} φ_{ord[k]} (tailPhi[len] = 0).
 	tailPhi []float64
 	// preMinA[pos] = min_{k < pos} α_{ord[k]} (+Inf at pos 0).
@@ -84,28 +88,30 @@ type orderingMemo struct {
 	// so the Theorem 8 auto-exponent path reproduces its partial sums
 	// bit for bit from a prefix lookup instead of an O(pos) rebuild.
 	preInvA []float64
-	// terms[j] is the Lemma 6 term of session j at its decomposed rate.
-	terms []mgfTerm
 }
 
 func (s Server) newOrderingMemo(ord []int, rates []float64) *orderingMemo {
+	return s.newOrderingMemoOwned(append([]int(nil), ord...), append([]float64(nil), rates...))
+}
+
+// newOrderingMemoOwned builds the memo without defensively copying ord
+// and rates: AnalyzeServer and the DeltaAnalyzer hand over freshly
+// allocated slices they never mutate afterwards, and re-copying them
+// would put two O(N) allocations back on the per-op delta path. The
+// public Theorem 7/8 constructors go through newOrderingMemo, which
+// copies, because caller-owned slices may be reused.
+func (s Server) newOrderingMemoOwned(ord []int, rates []float64) *orderingMemo {
 	n := len(ord)
-	nSess := len(s.Sessions)
 	// One float block backs every per-position array.
-	floats := make([]float64, nSess+(n+1)+n+(n+1))
+	floats := make([]float64, (n+1)+n+(n+1))
 	m := &orderingMemo{
-		s:       s,
-		ord:     append([]int(nil), ord...),
-		rates:   append([]float64(nil), rates...),
-		g:       floats[:nSess:nSess],
-		tailPhi: floats[nSess : nSess+n+1 : nSess+n+1],
-		preMinA: floats[nSess+n+1 : nSess+2*n+1 : nSess+2*n+1],
-		preInvA: floats[nSess+2*n+1:],
-		terms:   make([]mgfTerm, nSess),
-	}
-	totalPhi := s.TotalPhi()
-	for i := range s.Sessions {
-		m.g[i] = s.Sessions[i].Phi / totalPhi * s.Rate
+		s:        s,
+		ord:      ord,
+		rates:    rates,
+		totalPhi: s.TotalPhi(),
+		tailPhi:  floats[: n+1 : n+1],
+		preMinA:  floats[n+1 : 2*n+1 : 2*n+1],
+		preInvA:  floats[2*n+1:],
 	}
 	for pos := n - 1; pos >= 0; pos-- {
 		m.tailPhi[pos] = m.tailPhi[pos+1] + s.Sessions[ord[pos]].Phi
@@ -120,11 +126,22 @@ func (s Server) newOrderingMemo(ord []int, rates []float64) *orderingMemo {
 			minA = a
 		}
 		invA += 1 / a
-		arr := s.Sessions[j].Arrival
-		m.terms[j] = singleTerm(arr, rates[j]-arr.Rho)
 	}
 	m.preInvA[n] = invA
 	return m
+}
+
+// gOf is the guaranteed rate g_i = φ_i/Σφ·r, computed on demand from the
+// cached total weight — the same expression (hence the same bits) the
+// retired per-session g array held.
+func (m *orderingMemo) gOf(i int) float64 {
+	return m.s.Sessions[i].Phi / m.totalPhi * m.s.Rate
+}
+
+// termOf is session j's Lemma 6 term at its decomposed rate.
+func (m *orderingMemo) termOf(j int) mgfTerm {
+	arr := m.s.Sessions[j].Arrival
+	return singleTerm(arr, m.rates[j]-arr.Rho)
 }
 
 // theorem7 is the memoized body of Server.Theorem7.
@@ -153,14 +170,14 @@ func (m *orderingMemo) theorem7Into(sb *SessionBounds, pos int, mode XiMode) err
 	}
 
 	ahead := m.ord[:pos]
-	terms := m.terms
+	self := m.termOf(i)
 	prefactor := func(theta float64) float64 {
 		if theta <= 0 || theta >= thetaMax {
 			return math.Inf(1)
 		}
-		lam := terms[i].eval(theta, mode)
+		lam := self.eval(theta, mode)
 		for _, j := range ahead {
-			lam *= terms[j].eval(psi*theta, mode)
+			lam *= m.termOf(j).eval(psi*theta, mode)
 			if math.IsInf(lam, 1) {
 				return math.Inf(1)
 			}
@@ -170,7 +187,7 @@ func (m *orderingMemo) theorem7Into(sb *SessionBounds, pos int, mode XiMode) err
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm7",
 		ThetaMax:  thetaMax,
@@ -198,7 +215,7 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 
 	k := pos + 1 // number of Hölder terms: predecessors plus the session
 	ahead := m.ord[:pos]
-	terms := m.terms
+	self := m.termOf(i)
 	if ps == nil {
 		// Auto-exponent fast path: the conjugate exponents p_j = α_j·inv
 		// with inv = Σ 1/α are recovered from the preInvA prefix sums
@@ -223,10 +240,10 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 			if theta <= 0 || theta >= thetaMax {
 				return math.Inf(1)
 			}
-			lam := math.Pow(terms[i].eval(pSelf*theta, mode), 1/pSelf)
+			lam := math.Pow(self.eval(pSelf*theta, mode), 1/pSelf)
 			for _, j := range ahead {
 				pj := sessions[j].Arrival.Alpha * inv
-				mj := terms[j].eval(pj*psi*theta, mode)
+				mj := m.termOf(j).eval(pj*psi*theta, mode)
 				lam *= math.Pow(mj, 1/pj)
 				if math.IsInf(lam, 1) {
 					return math.Inf(1)
@@ -237,7 +254,7 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 		*sb = SessionBounds{
 			Name:      sess.Name,
 			Index:     i,
-			G:         m.g[i],
+			G:         m.gOf(i),
 			Rho:       sess.Arrival.Rho,
 			Theorem:   "thm8",
 			ThetaMax:  thetaMax,
@@ -273,9 +290,9 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 			return math.Inf(1)
 		}
 		pi := exps[k-1]
-		lam := math.Pow(terms[i].eval(pi*theta, mode), 1/pi)
+		lam := math.Pow(self.eval(pi*theta, mode), 1/pi)
 		for idx, j := range ahead {
-			mj := terms[j].eval(exps[idx]*psi*theta, mode)
+			mj := m.termOf(j).eval(exps[idx]*psi*theta, mode)
 			lam *= math.Pow(mj, 1/exps[idx])
 			if math.IsInf(lam, 1) {
 				return math.Inf(1)
@@ -286,7 +303,7 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm8",
 		ThetaMax:  thetaMax,
@@ -304,15 +321,14 @@ func (m *orderingMemo) theorem8Into(sb *SessionBounds, pos int, ps []float64, mo
 // membership — never on the session's ε budget or the evaluation point,
 // which enter each Lemma 6 term separately.
 type partitionMemo struct {
-	s Server
-	p Partition
-	g []float64
-	// Per class l: member arrival processes, aggregate rate ρ̃_l, the
-	// smallest member decay rate, and the aggregate σ̂ (Σ member σ̂).
-	classMembers [][]ebb.Process
-	classRho     []float64
-	classMinA    []float64
-	classSumSH   []func(float64) float64
+	s        Server
+	p        Partition
+	totalPhi float64 // Σφ, the left-to-right fold of Server.TotalPhi
+	// Per class l: aggregate rate ρ̃_l, the smallest member decay rate,
+	// and the aggregate σ̂ (Σ member σ̂, iterated in class/index order).
+	classRho   []float64
+	classMinA  []float64
+	classSumSH []func(float64) float64
 	// Per class c: earlierRho[c] = Σ_{l < c} ρ̃_l and laterPhi[c] =
 	// Σ_{sessions in classes >= c} φ — the eq. (37–39) geometry that
 	// classGeometry recomputed per session.
@@ -330,46 +346,33 @@ type partitionMemo struct {
 
 func (s Server) newPartitionMemo(p Partition) *partitionMemo {
 	L := len(p.Classes)
-	n := len(s.Sessions)
-	// One float block backs the guaranteed rates and every per-class
-	// array (including the classPhi temporary).
-	floats := make([]float64, n+7*L)
+	// One float block backs every per-class array (including the
+	// classPhi temporary).
+	floats := make([]float64, 7*L)
 	m := &partitionMemo{
 		s: s, p: p,
-		g:            floats[:n:n],
-		classMembers: make([][]ebb.Process, L),
-		classRho:     floats[n : n+L : n+L],
-		classMinA:    floats[n+L : n+2*L : n+2*L],
+		totalPhi:     s.TotalPhi(),
+		classRho:     floats[:L:L],
+		classMinA:    floats[L : 2*L : 2*L],
 		classSumSH:   make([]func(float64) float64, L),
-		earlierRho:   floats[n+2*L : n+3*L : n+3*L],
-		laterPhi:     floats[n+3*L : n+4*L : n+4*L],
-		preMinClassA: floats[n+4*L : n+5*L : n+5*L],
-		preInvClassA: floats[n+5*L : n+6*L : n+6*L],
+		earlierRho:   floats[2*L : 3*L : 3*L],
+		laterPhi:     floats[3*L : 4*L : 4*L],
+		preMinClassA: floats[4*L : 5*L : 5*L],
+		preInvClassA: floats[5*L : 6*L : 6*L],
 	}
-	totalPhi := s.TotalPhi()
-	for i := range s.Sessions {
-		m.g[i] = s.Sessions[i].Phi / totalPhi * s.Rate
-	}
-	classPhi := floats[n+6*L:]
-	// memberArena holds every class's member processes back to back: the
-	// classes partition the sessions, so n slots hold them all.
-	memberArena := make([]ebb.Process, 0, n)
+	classPhi := floats[6*L:]
 	for l, class := range p.Classes {
-		start := len(memberArena)
 		minA := math.Inf(1)
 		for _, j := range class {
 			a := s.Sessions[j].Arrival
-			memberArena = append(memberArena, a)
 			m.classRho[l] += a.Rho
 			classPhi[l] += s.Sessions[j].Phi
 			if a.Alpha < minA {
 				minA = a.Alpha
 			}
 		}
-		ms := memberArena[start:len(memberArena):len(memberArena)]
-		m.classMembers[l] = ms
 		m.classMinA[l] = minA
-		m.classSumSH[l] = sumSigmaHat(ms)
+		m.classSumSH[l] = classSumSigmaHat(s.Sessions, class)
 	}
 	for c := 1; c < L; c++ {
 		m.earlierRho[c] = m.earlierRho[c-1] + m.classRho[c-1]
@@ -391,6 +394,32 @@ func (s Server) newPartitionMemo(p Partition) *partitionMemo {
 		invA += 1 / m.classMinA[c]
 	}
 	return m
+}
+
+// classSumSigmaHat is the σ̂ of one partition class's aggregate flow:
+// Σσ̂_j(u) over the members in class (hence index) order — the same
+// iteration order, and therefore the same floating-point sum, the
+// retired per-class member arena produced. Capturing the session slice
+// and the class index slice keeps the memo free of the O(N) process
+// copy the arena required per build.
+func classSumSigmaHat(sessions []Session, class []int) func(float64) float64 {
+	return func(u float64) float64 {
+		s := 0.0
+		for _, j := range class {
+			v := sessions[j].Arrival.SigmaHat(u)
+			if math.IsInf(v, 1) {
+				return math.Inf(1)
+			}
+			s += v
+		}
+		return s
+	}
+}
+
+// gOf is the guaranteed rate g_i = φ_i/Σφ·r, on demand (same bits as
+// the retired per-session g array).
+func (m *partitionMemo) gOf(i int) float64 {
+	return m.s.Sessions[i].Phi / m.totalPhi * m.s.Rate
 }
 
 // geometry returns session i's class geometry from the cached prefix
@@ -417,7 +446,7 @@ func (m *partitionMemo) theorem10(i int) (numeric.ExpTail, error) {
 	if m.p.ClassOf[i] != 0 {
 		return numeric.ExpTail{}, fmt.Errorf("gpsmath: session %d is in class H_%d, Theorem 10 needs H_1", i, m.p.ClassOf[i]+1)
 	}
-	return m.s.Sessions[i].Arrival.DeltaTail(m.g[i])
+	return m.s.Sessions[i].Arrival.DeltaTail(m.gOf(i))
 }
 
 // theorem11 is the memoized body of Server.Theorem11.
@@ -475,7 +504,7 @@ func (m *partitionMemo) theorem11Into(sb *SessionBounds, i int, mode XiMode) err
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm11",
 		ThetaMax:  thetaMax,
@@ -542,7 +571,7 @@ func (m *partitionMemo) theorem12Into(sb *SessionBounds, i int, ps []float64, mo
 		*sb = SessionBounds{
 			Name:      sess.Name,
 			Index:     i,
-			G:         m.g[i],
+			G:         m.gOf(i),
 			Rho:       sess.Arrival.Rho,
 			Theorem:   "thm12",
 			ThetaMax:  thetaMax,
@@ -603,7 +632,7 @@ func (m *partitionMemo) theorem12Into(sb *SessionBounds, i int, ps []float64, mo
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm12",
 		ThetaMax:  thetaMax,

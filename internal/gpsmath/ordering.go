@@ -142,15 +142,27 @@ func (s Server) FeasibleOrdering(rates []float64) ([]int, error) {
 	return idx, nil
 }
 
-// ratioOrder sorts a session index permutation by precomputed r_i/φ_i.
+// ratioOrder sorts a session index permutation by precomputed r_i/φ_i,
+// breaking ties toward the lower session index. The tie-break makes the
+// comparator a strict total order, so the sorted permutation is unique:
+// any sorting procedure — the fresh sort here, or the DeltaAnalyzer's
+// incremental insertion repair — lands on bit-identical orderings, which
+// the delta-vs-fresh differential suite relies on (equal-ratio sessions
+// are common under the daemon's small type palettes).
 type ratioOrder struct {
 	idx   []int
 	ratio []float64
 }
 
-func (o ratioOrder) Len() int           { return len(o.idx) }
-func (o ratioOrder) Less(a, b int) bool { return o.ratio[o.idx[a]] < o.ratio[o.idx[b]] }
-func (o ratioOrder) Swap(a, b int)      { o.idx[a], o.idx[b] = o.idx[b], o.idx[a] }
+func (o ratioOrder) Len() int { return len(o.idx) }
+func (o ratioOrder) Less(a, b int) bool {
+	ra, rb := o.ratio[o.idx[a]], o.ratio[o.idx[b]]
+	if ra != rb {
+		return ra < rb
+	}
+	return o.idx[a] < o.idx[b]
+}
+func (o ratioOrder) Swap(a, b int) { o.idx[a], o.idx[b] = o.idx[b], o.idx[a] }
 
 // Partition is the feasible partition H_1, ..., H_L of paper §5: Classes[k]
 // holds the original indices of the sessions in H_{k+1}.

@@ -1,0 +1,7 @@
+//go:build race
+
+package gpsmath
+
+// raceEnabled reports whether the race detector is active; long
+// differential sweeps scale their op counts down under it.
+const raceEnabled = true

@@ -101,16 +101,16 @@ func (m *orderingMemo) theorem8RefInto(sb *SessionBounds, pos int, ps []float64,
 	}
 
 	ahead := m.ord[:pos]
-	terms := m.terms
+	self := m.termOf(i)
 	exps := append([]float64(nil), ps...)
 	prefactor := func(theta float64) float64 {
 		if theta <= 0 || theta >= thetaMax {
 			return math.Inf(1)
 		}
 		pi := exps[k-1]
-		lam := math.Pow(terms[i].eval(pi*theta, mode), 1/pi)
+		lam := math.Pow(self.eval(pi*theta, mode), 1/pi)
 		for idx, j := range ahead {
-			mj := terms[j].eval(exps[idx]*psi*theta, mode)
+			mj := m.termOf(j).eval(exps[idx]*psi*theta, mode)
 			lam *= math.Pow(mj, 1/exps[idx])
 			if math.IsInf(lam, 1) {
 				return math.Inf(1)
@@ -121,7 +121,7 @@ func (m *orderingMemo) theorem8RefInto(sb *SessionBounds, pos int, ps []float64,
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm8",
 		ThetaMax:  thetaMax,
@@ -177,7 +177,7 @@ func (m *partitionMemo) theorem11RefInto(sb *SessionBounds, i int, mode XiMode) 
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm11",
 		ThetaMax:  thetaMax,
@@ -253,7 +253,7 @@ func (m *partitionMemo) theorem12RefInto(sb *SessionBounds, i int, ps []float64,
 	*sb = SessionBounds{
 		Name:      sess.Name,
 		Index:     i,
-		G:         m.g[i],
+		G:         m.gOf(i),
 		Rho:       sess.Arrival.Rho,
 		Theorem:   "thm12",
 		ThetaMax:  thetaMax,

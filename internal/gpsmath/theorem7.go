@@ -52,22 +52,6 @@ func singleSigmaHat(p ebb.Process) func(float64) float64 {
 	return p.SigmaHat
 }
 
-// sumSigmaHat is the σ̂ of an aggregate of E.B.B. flows: Σσ̂_j(u),
-// admissible for u below every member's α.
-func sumSigmaHat(ps []ebb.Process) func(float64) float64 {
-	return func(u float64) float64 {
-		s := 0.0
-		for _, p := range ps {
-			v := p.SigmaHat(u)
-			if math.IsInf(v, 1) {
-				return math.Inf(1)
-			}
-			s += v
-		}
-		return s
-	}
-}
-
 // Theorem7 builds the bound family of paper Theorem 7 for the session at
 // position pos of the feasible ordering ord (0-based), assuming the
 // session arrival processes are mutually independent:

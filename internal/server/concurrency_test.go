@@ -140,14 +140,14 @@ func checkEpoch(t *testing.T, ep *Epoch) {
 		t.Errorf("epoch %d: %d sessions but no analysis", ep.Seq, ep.Sessions())
 		return
 	}
-	if len(ep.IDs) != len(ep.Server.Sessions) || len(ep.Index) != len(ep.IDs) {
-		t.Errorf("epoch %d: inconsistent id mapping (%d ids, %d sessions, %d index)",
-			ep.Seq, len(ep.IDs), len(ep.Server.Sessions), len(ep.Index))
+	if len(ep.IDs) != len(ep.Server.Sessions) {
+		t.Errorf("epoch %d: inconsistent id mapping (%d ids, %d sessions)",
+			ep.Seq, len(ep.IDs), len(ep.Server.Sessions))
 	}
 	used := 0.0
 	for i, id := range ep.IDs {
-		if ep.Index[id] != i {
-			t.Errorf("epoch %d: Index[%d] = %d, want %d", ep.Seq, id, ep.Index[id], i)
+		if j, ok := ep.IndexOf(id); !ok || j != i {
+			t.Errorf("epoch %d: IndexOf(%d) = %d, %v, want %d", ep.Seq, id, j, ok, i)
 		}
 		used += ep.Server.Sessions[i].Phi
 	}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gpsmath"
+)
+
+// admitType admits one palette session and fails the test on any
+// shed/reject (the configs here size the link so everything fits).
+func admitType(t *testing.T, d *Daemon, k int) uint64 {
+	t.Helper()
+	res, err := d.Admit(testTypes[k%len(testTypes)])
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if !res.Admitted {
+		t.Fatalf("admit rejected: %s", res.Reason)
+	}
+	return res.ID
+}
+
+// checkEpochAgainstDirect recomputes every published count the slow
+// way — ClassifyUnderRate for the revalidation counts, a fresh eager
+// AnalyzeServer plus AdmissionDecision for TargetsMet — and requires
+// exact agreement with the epoch's per-type folded bookkeeping.
+func checkEpochAgainstDirect(t *testing.T, d *Daemon, ep *Epoch) {
+	t.Helper()
+	n := ep.Sessions()
+	if n == 0 {
+		if ep.TargetsMet != 0 || ep.Guaranteed != 0 || ep.Degraded != 0 || ep.Infeasible != 0 {
+			t.Fatalf("epoch %d: empty epoch with nonzero counts", ep.Seq)
+		}
+		return
+	}
+	required := make([]float64, n)
+	dmax := make([]float64, n)
+	eps := make([]float64, n)
+	for i := range ep.Server.Sessions {
+		required[i] = ep.Server.Sessions[i].Phi
+		dmax[i] = ep.Targets[i].Delay
+		eps[i] = ep.Targets[i].Eps
+	}
+	rep, err := ep.Server.ClassifyUnderRate(required, d.Rate())
+	if err != nil {
+		t.Fatalf("epoch %d: ClassifyUnderRate: %v", ep.Seq, err)
+	}
+	g, dg, inf := rep.Counts()
+	if g != ep.Guaranteed || dg != ep.Degraded || inf != ep.Infeasible {
+		t.Fatalf("epoch %d: counts %d/%d/%d, direct ClassifyUnderRate says %d/%d/%d",
+			ep.Seq, ep.Guaranteed, ep.Degraded, ep.Infeasible, g, dg, inf)
+	}
+	fresh, err := gpsmath.AnalyzeServer(ep.Server, *d.cfg.Opts)
+	if err != nil {
+		t.Fatalf("epoch %d: fresh AnalyzeServer: %v", ep.Seq, err)
+	}
+	_, probs, err := fresh.AdmissionDecision(dmax, eps)
+	if err != nil {
+		t.Fatalf("epoch %d: AdmissionDecision: %v", ep.Seq, err)
+	}
+	met := 0
+	for i, p := range probs {
+		if p <= eps[i] {
+			met++
+		}
+	}
+	if met != ep.TargetsMet {
+		t.Fatalf("epoch %d: TargetsMet %d, direct AdmissionDecision says %d",
+			ep.Seq, ep.TargetsMet, met)
+	}
+	// Published analysis must be the fresh analysis bit for bit.
+	for i := 0; i < n; i++ {
+		for _, q := range []float64{2, 30} {
+			if math.Float64bits(ep.Analysis.BestBacklogTailValue(i, q)) !=
+				math.Float64bits(fresh.BestBacklogTailValue(i, q)) {
+				t.Fatalf("epoch %d session %d: backlog tail at %v differs from fresh", ep.Seq, i, q)
+			}
+		}
+		if math.Float64bits(ep.Analysis.BestDelayTailValue(i, dmax[i])) !=
+			math.Float64bits(fresh.BestDelayTailValue(i, dmax[i])) {
+			t.Fatalf("epoch %d session %d: delay tail differs from fresh", ep.Seq, i)
+		}
+	}
+}
+
+// TestDeltaEpochChurnMatchesDirect drives seeded admit/release churn,
+// publishing an epoch after every few ops so most publishes ride the
+// incremental path, and pins every published count and sampled bound
+// to the from-scratch computations.
+func TestDeltaEpochChurnMatchesDirect(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 60, MaxEpochAge: time.Hour, MaxBatch: 1 << 30})
+	rng := rand.New(rand.NewSource(43))
+	var ids []uint64
+	for step := 0; step < 160; step++ {
+		if len(ids) < 3 || (len(ids) < 24 && rng.Intn(2) == 0) {
+			ids = append(ids, admitType(t, d, rng.Intn(len(testTypes))))
+		} else {
+			k := rng.Intn(len(ids))
+			ok, err := d.Release(ids[k])
+			if err != nil || !ok {
+				t.Fatalf("release: ok=%v err=%v", ok, err)
+			}
+			ids[k] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+		}
+		if step%3 == 2 {
+			ep := forceRebuild(t, d)
+			if ep.Sessions() != len(ids) {
+				t.Fatalf("step %d: epoch has %d sessions, want %d", step, ep.Sessions(), len(ids))
+			}
+			checkEpochAgainstDirect(t, d, ep)
+		}
+	}
+	if d.met.DeltaRebuilds.Load() == 0 {
+		t.Error("churn never exercised the incremental path")
+	}
+	if f := d.met.SelfCheckFailures.Load(); f != 0 {
+		t.Errorf("self-check failures: %d", f)
+	}
+}
+
+// TestTypeEvalCacheReused pins the satellite fix: across epochs whose
+// population oscillates by one session of an unrelated type, the
+// φ-unchanged types' target evaluations come from the cross-epoch memo
+// instead of being recomputed, and the counts stay exact.
+func TestTypeEvalCacheReused(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 80, MaxEpochAge: time.Hour, MaxBatch: 1 << 30})
+	for k := range testTypes {
+		admitType(t, d, k)
+		admitType(t, d, k)
+	}
+	checkEpochAgainstDirect(t, d, forceRebuild(t, d))
+	miss0 := d.met.TypeEvalMisses.Load()
+	for round := 0; round < 6; round++ {
+		id := admitType(t, d, round%len(testTypes))
+		checkEpochAgainstDirect(t, d, forceRebuild(t, d))
+		if ok, err := d.Release(id); err != nil || !ok {
+			t.Fatalf("release: ok=%v err=%v", ok, err)
+		}
+		checkEpochAgainstDirect(t, d, forceRebuild(t, d))
+	}
+	if d.met.TypeEvalHits.Load() == 0 {
+		t.Error("oscillating churn never hit the cross-epoch target memo")
+	}
+	// Releasing back to a previously seen population must be all hits:
+	// every (type, g, gEff) tuple was evaluated before.
+	if grew := d.met.TypeEvalMisses.Load() - miss0; grew > 6*int64(len(testTypes)+1) {
+		t.Errorf("eval misses grew by %d across 12 oscillating epochs; memo not reused", grew)
+	}
+}
+
+// TestPerOpDeltaPublish runs the daemon with MaxBatch 1 — every
+// mutation publishes an epoch — and checks the publishes ride the
+// incremental path.
+func TestPerOpDeltaPublish(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 60, MaxBatch: 1, MaxEpochAge: time.Hour})
+	var ids []uint64
+	for k := 0; k < 12; k++ {
+		ids = append(ids, admitType(t, d, k))
+	}
+	for _, id := range ids[:6] {
+		if ok, err := d.Release(id); err != nil || !ok {
+			t.Fatalf("release: ok=%v err=%v", ok, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ep := d.CurrentEpoch()
+		if ep.Sessions() == 6 && !d.CurrentEpoch().BuiltAt.IsZero() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch never caught up: %d sessions", ep.Sessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d.met.DeltaRebuilds.Load() == 0 {
+		t.Fatal("per-op publishing never used the incremental path")
+	}
+	ep := forceRebuild(t, d)
+	checkEpochAgainstDirect(t, d, ep)
+}
+
+// TestSelfCheckRuns forces the self-check on every delta epoch and
+// requires it to pass (the delta path is bit-identical).
+func TestSelfCheckRuns(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 60, MaxEpochAge: time.Hour, MaxBatch: 1 << 30, SelfCheckEvery: 1})
+	var ids []uint64
+	for k := 0; k < 8; k++ {
+		ids = append(ids, admitType(t, d, k))
+		forceRebuild(t, d)
+	}
+	for _, id := range ids[:4] {
+		if ok, err := d.Release(id); err != nil || !ok {
+			t.Fatalf("release: ok=%v err=%v", ok, err)
+		}
+		forceRebuild(t, d)
+	}
+	if d.met.SelfChecks.Load() == 0 {
+		t.Fatal("self-check never ran")
+	}
+	if f := d.met.SelfCheckFailures.Load(); f != 0 {
+		t.Fatalf("self-check failures: %d", f)
+	}
+}
+
+// TestDeltaFallbackOnLargeBatch checks the configurable fallback: a
+// pending batch beyond DeltaMaxOps takes the from-scratch path.
+func TestDeltaFallbackOnLargeBatch(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 80, MaxEpochAge: time.Hour, MaxBatch: 1 << 30, DeltaMaxOps: 8})
+	full0 := d.met.FullRebuilds.Load()
+	for k := 0; k < 12; k++ {
+		admitType(t, d, k)
+	}
+	ep := forceRebuild(t, d)
+	if ep.Delta {
+		t.Error("12-op batch with DeltaMaxOps=8 rode the delta path")
+	}
+	if d.met.FullRebuilds.Load() == full0 {
+		t.Error("fallback did not run a full rebuild")
+	}
+	checkEpochAgainstDirect(t, d, ep)
+	// A small follow-up batch goes incremental again off the reseeded
+	// analyzer.
+	admitType(t, d, 1)
+	ep = forceRebuild(t, d)
+	if !ep.Delta {
+		t.Error("single-op batch after reseed did not ride the delta path")
+	}
+	checkEpochAgainstDirect(t, d, ep)
+}
+
+// TestNoDeltaDisables pins the ablation/escape-hatch knob.
+func TestNoDeltaDisables(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 60, MaxEpochAge: time.Hour, MaxBatch: 1 << 30, NoDelta: true})
+	for k := 0; k < 6; k++ {
+		admitType(t, d, k)
+		ep := forceRebuild(t, d)
+		if ep.Delta {
+			t.Fatal("NoDelta daemon published a delta epoch")
+		}
+	}
+	if d.met.DeltaRebuilds.Load() != 0 {
+		t.Errorf("NoDelta daemon counted %d delta rebuilds", d.met.DeltaRebuilds.Load())
+	}
+	checkEpochAgainstDirect(t, d, d.CurrentEpoch())
+}

@@ -27,6 +27,14 @@ type Metrics struct {
 	CacheHits       atomic.Int64 // required-rate memo hits
 	CacheMisses     atomic.Int64 // required-rate memo misses (bisections run)
 
+	DeltaRebuilds     atomic.Int64 // epochs published by the incremental path
+	FullRebuilds      atomic.Int64 // epochs published by the from-scratch path
+	DeltaFallbacks    atomic.Int64 // delta attempts that fell back to a full rebuild
+	SelfChecks        atomic.Int64 // delta epochs compared against a from-scratch analysis
+	SelfCheckFailures atomic.Int64 // self-checks that found a difference (fresh adopted)
+	TypeEvalHits      atomic.Int64 // per-type target evaluations served from the cross-epoch memo
+	TypeEvalMisses    atomic.Int64 // per-type target evaluations computed
+
 	WALAppends          atomic.Int64 // mutations made durable in the write-ahead log
 	WALAppendFailures   atomic.Int64 // appends the log refused (mutation not applied)
 	WALSnapshots        atomic.Int64 // WAL state snapshots written
@@ -44,13 +52,43 @@ type Metrics struct {
 	latP50   *stats.P2Quantile
 	latP99   *stats.P2Quantile
 	observed int64
+
+	// rebMu guards the rebuild-duration estimators the same way.
+	rebMu       sync.Mutex
+	rebP50      *stats.P2Quantile
+	rebP99      *stats.P2Quantile
+	rebObserved int64
 }
 
 // NewMetrics returns an empty counter set.
 func NewMetrics() *Metrics {
 	p50, _ := stats.NewP2Quantile(0.5)
 	p99, _ := stats.NewP2Quantile(0.99)
-	return &Metrics{latP50: p50, latP99: p99}
+	r50, _ := stats.NewP2Quantile(0.5)
+	r99, _ := stats.NewP2Quantile(0.99)
+	return &Metrics{latP50: p50, latP99: p99, rebP50: r50, rebP99: r99}
+}
+
+// ObserveRebuild records one epoch publish duration (delta or full) in
+// the P² rebuild-duration estimators.
+func (m *Metrics) ObserveRebuild(dur time.Duration) {
+	s := dur.Seconds()
+	m.rebMu.Lock()
+	m.rebP50.Add(s)
+	m.rebP99.Add(s)
+	m.rebObserved++
+	m.rebMu.Unlock()
+}
+
+// RebuildSummary returns the p50/p99 epoch publish duration in seconds
+// and the observation count as one consistent snapshot.
+func (m *Metrics) RebuildSummary() (p50, p99 float64, observed int64) {
+	m.rebMu.Lock()
+	defer m.rebMu.Unlock()
+	if m.rebP50.N() == 0 {
+		return 0, 0, m.rebObserved
+	}
+	return m.rebP50.Quantile(), m.rebP99.Quantile(), m.rebObserved
 }
 
 // ObserveHTTP records one served request: its status class and handler
@@ -124,6 +162,13 @@ func (d *Daemon) WriteMetrics(w io.Writer) {
 	counter("gpsd_epoch_rebuilds_total", "epochs published", m.Rebuilds.Load())
 	counter("gpsd_epoch_rebuild_failures_total", "epoch builds rejected by the analysis", m.RebuildFailures.Load())
 	counter("gpsd_epoch_rebuild_seconds_total_nanos", "cumulative nanoseconds inside epoch rebuilds", m.RebuildNanos.Load())
+	counter("gpsd_epoch_delta_rebuilds_total", "epochs published by the incremental path", m.DeltaRebuilds.Load())
+	counter("gpsd_epoch_full_rebuilds_total", "epochs published by the from-scratch path", m.FullRebuilds.Load())
+	counter("gpsd_epoch_delta_fallbacks_total", "delta attempts that fell back to a full rebuild", m.DeltaFallbacks.Load())
+	counter("gpsd_epoch_selfchecks_total", "delta epochs compared against a from-scratch analysis", m.SelfChecks.Load())
+	counter("gpsd_epoch_selfcheck_failures_total", "self-checks that found a difference", m.SelfCheckFailures.Load())
+	counter("gpsd_type_eval_hits_total", "per-type target evaluations served from the cross-epoch memo", m.TypeEvalHits.Load())
+	counter("gpsd_type_eval_misses_total", "per-type target evaluations computed", m.TypeEvalMisses.Load())
 	counter("gpsd_rate_cache_hits_total", "required-rate memo hits", m.CacheHits.Load())
 	counter("gpsd_rate_cache_misses_total", "required-rate memo misses", m.CacheMisses.Load())
 	counter("gpsd_wal_appends_total", "mutations made durable in the write-ahead log", m.WALAppends.Load())
@@ -143,8 +188,18 @@ func (d *Daemon) WriteMetrics(w io.Writer) {
 	gauge("gpsd_sessions_degraded", "epoch sessions Degraded under revalidation (invariant breach)", "%d", ep.Degraded)
 	gauge("gpsd_sessions_infeasible", "epoch sessions Infeasible under revalidation (invariant breach)", "%d", ep.Infeasible)
 	gauge("gpsd_queue_depth", "instantaneous mutation-queue occupancy", "%d", d.QueueDepth())
+	age := 0.0
+	if ep.Seq > 0 {
+		age = time.Since(ep.BuiltAt).Seconds()
+	}
+	gauge("gpsd_epoch_age_seconds", "age of the published epoch at scrape time", "%g", age)
 	fmt.Fprintf(w, "# HELP gpsd_handler_latency_seconds handler latency quantiles (P2 estimator)\n# TYPE gpsd_handler_latency_seconds summary\n")
 	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.5\"} %g\n", p50)
 	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.99\"} %g\n", p99)
 	fmt.Fprintf(w, "gpsd_handler_latency_seconds_count %d\n", observed)
+	r50, r99, rebObserved := m.RebuildSummary()
+	fmt.Fprintf(w, "# HELP gpsd_rebuild_duration_seconds epoch publish duration quantiles (P2 estimator)\n# TYPE gpsd_rebuild_duration_seconds summary\n")
+	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds{quantile=\"0.5\"} %g\n", r50)
+	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds{quantile=\"0.99\"} %g\n", r99)
+	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds_count %d\n", rebObserved)
 }

@@ -100,6 +100,23 @@ type Config struct {
 	SnapshotEvery int
 	// RateCacheMax bounds the required-rate memo (default 65536).
 	RateCacheMax int
+	// NoDelta disables incremental epoch rebuilds: every publish runs the
+	// from-scratch analysis. The delta path is bit-identical (and
+	// self-checked at runtime), so this knob exists for ablation and as
+	// an operational escape hatch.
+	NoDelta bool
+	// DeltaMaxOps caps how many pending mutations the incremental path
+	// will replay into one epoch; a larger batch falls back to a full
+	// rebuild, which is cheaper past that point (default 256).
+	DeltaMaxOps int
+	// DeltaMaxFraction caps the same batch as a fraction of the session
+	// count, so small populations do not replay op-by-op what one small
+	// rebuild would cover (default 0.25; floor of 8 ops either way).
+	DeltaMaxFraction float64
+	// SelfCheckEvery runs a from-scratch analysis against every Nth
+	// delta-built epoch and adopts it (plus a metric) on any bit
+	// difference. Default 128; negative disables.
+	SelfCheckEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +141,15 @@ func (c Config) withDefaults() Config {
 	if c.RateCacheMax <= 0 {
 		c.RateCacheMax = rateCacheMax
 	}
+	if c.DeltaMaxOps <= 0 {
+		c.DeltaMaxOps = 256
+	}
+	if c.DeltaMaxFraction <= 0 {
+		c.DeltaMaxFraction = 0.25
+	}
+	if c.SelfCheckEvery == 0 {
+		c.SelfCheckEvery = 128
+	}
 	return c
 }
 
@@ -144,8 +170,10 @@ type record struct {
 	Name    string
 	Arrival ebb.Process
 	Target  admission.Target
-	G       float64 // required rate = GPS weight φ
-	pos     int     // index in Daemon.order (writer-owned)
+	G       float64    // required rate = GPS weight φ
+	pos     int        // index in Daemon.order (writer-owned)
+	te      *typeEntry // owning type bucket (writer-owned)
+	typePos int        // index in te.recs (writer-owned)
 }
 
 type opKind int
@@ -183,6 +211,85 @@ type rateKey struct{ rho, lambda, alpha, delay, eps float64 }
 // grow it without limit; Config.RateCacheMax overrides it.
 const rateCacheMax = 1 << 16
 
+// pendingOp is one decided mutation awaiting replay into the
+// incremental analyzer at the next epoch publish. For releases, pos is
+// the session's slot at release time — the replay walks the same
+// append/swap-remove sequence the writer's order slice walked, so the
+// recorded position is the right one at that point of the replay.
+type pendingOp struct {
+	admit bool
+	rec   *record
+	pos   int
+}
+
+// typeEntry tracks the admitted sessions sharing one declared
+// (arrival, target) tuple. Sessions of one type are indistinguishable
+// to the per-session theory — same φ (weights equal required rates,
+// a pure function of the tuple), same arrival, hence bit-identical
+// bounds — so epoch bookkeeping folds over types instead of sessions.
+type typeEntry struct {
+	// recs holds the member records, swap-remove maintained via each
+	// record's typePos back-pointer: membership updates are O(1) slice
+	// moves on the decision path, with no per-op hashing beyond the
+	// admit's one type-map lookup.
+	recs []*record
+}
+
+func (te *typeEntry) count() int { return len(te.recs) }
+
+// any returns an arbitrary member id; callers use it to pick the
+// type's representative session in an epoch.
+func (te *typeEntry) any() uint64 {
+	if len(te.recs) == 0 {
+		return 0
+	}
+	return te.recs[0].ID
+}
+
+func typeKeyOf(rec *record) rateKey {
+	return rateKey{rec.Arrival.Rho, rec.Arrival.Lambda, rec.Arrival.Alpha,
+		rec.Target.Delay, rec.Target.Eps}
+}
+
+func (d *Daemon) typeAdd(rec *record) {
+	k := typeKeyOf(rec)
+	// One-entry cache: admission bursts are overwhelmingly same-type,
+	// and a five-float compare beats hashing the 40-byte key.
+	te := d.lastType
+	if te == nil || d.lastTypeKey != k {
+		te = d.types[k]
+		if te == nil {
+			te = &typeEntry{}
+			d.types[k] = te
+		}
+		d.lastTypeKey, d.lastType = k, te
+	}
+	rec.te = te
+	rec.typePos = len(te.recs)
+	te.recs = append(te.recs, rec)
+}
+
+func (d *Daemon) typeRemove(rec *record) {
+	te := rec.te
+	if te == nil {
+		return
+	}
+	last := len(te.recs) - 1
+	if rec.typePos != last {
+		moved := te.recs[last]
+		te.recs[rec.typePos] = moved
+		moved.typePos = rec.typePos
+	}
+	te.recs = te.recs[:last]
+	rec.te = nil
+	if last == 0 {
+		delete(d.types, typeKeyOf(rec))
+		if d.lastType == te {
+			d.lastType = nil
+		}
+	}
+}
+
 // Daemon is the live admission-control service. Build with New; all
 // exported methods are safe for concurrent use.
 type Daemon struct {
@@ -211,6 +318,24 @@ type Daemon struct {
 	walOps      int      // logged mutations since the last WAL snapshot
 	walScratch  []wal.Op // reusable single-op batch for the hot path
 
+	// Incremental-epoch state (writer-owned). delta is the persistent
+	// analyzer the pending ops replay into; the shadow arrays (shIDs,
+	// shTargets and the sorted id index) mirror the epoch-visible
+	// bookkeeping under an append-share / copy-on-first-interior-write
+	// discipline so published epochs stay immutable.
+	delta       *gpsmath.DeltaAnalyzer
+	pending     []pendingOp
+	shIDs       []uint64
+	shTargets   []admission.Target
+	shIDsSorted []uint64
+	shPosSorted []int
+	shadowOwned bool // shadow backing not yet shared with an epoch
+	types       map[rateKey]*typeEntry
+	lastTypeKey rateKey
+	lastType    *typeEntry
+	evalCache   map[evalKey]float64 // cross-epoch per-type achieved-eps memo
+	deltaBuilds int                 // delta-built epochs, drives the self-check cadence
+
 	// Snapshot offload: the writer captures the state synchronously
 	// (cheap) and a background goroutine pays for the disk work, so
 	// admits never stall behind the snapshot's fsyncs.
@@ -234,6 +359,11 @@ func New(cfg Config) (*Daemon, error) {
 		ops:      make(chan op, cfg.QueueDepth),
 		stopped:  make(chan struct{}),
 		sessions: make(map[uint64]*record),
+		types:    make(map[rateKey]*typeEntry),
+		// Sized so the per-decision append never grows mid-batch (a
+		// batch is at most MaxBatch ops before a forced rebuild drains
+		// it); capped for configs that use MaxBatch as "never".
+		pending: make([]pendingOp, 0, min(cfg.MaxBatch, 4096)),
 	}
 	if cfg.Recovered != nil {
 		st, err := cfg.Recovered.SessionSet()
@@ -255,14 +385,17 @@ func New(cfg Config) (*Daemon, error) {
 			d.sessions[s.ID] = rec
 			d.order[i] = s.ID
 			d.live.Store(s.ID, rec)
+			d.typeAdd(rec)
 		}
 		d.met.WALRecoveredOps.Store(int64(len(cfg.Recovered.Ops)))
 	}
-	ep := d.buildEpoch(1)
+	ep := d.buildEpochFull(1)
 	if ep == nil {
 		return nil, fmt.Errorf("server: recovered session set failed analysis")
 	}
 	d.epoch.Store(ep)
+	d.shadowOwned = false
+	d.met.FullRebuilds.Add(1)
 	d.lastRebuild = time.Now()
 	go d.run()
 	return d, nil
@@ -359,6 +492,13 @@ func (d *Daemon) Release(id uint64) (bool, error) {
 func (d *Daemon) exec(fn func()) error {
 	_, err := d.submit(op{kind: opExec, fn: fn})
 	return err
+}
+
+// Rebuild forces an epoch publish on the writer goroutine and waits
+// for it: the deterministic flush used by tests and the epoch
+// benchmarks to publish per-op without retuning MaxBatch.
+func (d *Daemon) Rebuild() error {
+	return d.exec(func() { d.rebuild() })
 }
 
 // replyPool recycles reply channels across requests: every use
@@ -518,6 +658,8 @@ func (d *Daemon) apply(o op) {
 		d.order = append(d.order, rec.ID)
 		d.used += o.g
 		d.live.Store(rec.ID, rec)
+		d.typeAdd(rec)
+		d.recordPending(pendingOp{admit: true, rec: rec})
 		d.dirty = true
 		d.opsSince++
 		d.met.Admits.Add(1)
@@ -542,10 +684,24 @@ func (d *Daemon) apply(o op) {
 		delete(d.sessions, o.id)
 		d.used -= rec.G
 		d.live.Delete(o.id)
+		d.typeRemove(rec)
+		d.recordPending(pendingOp{rec: rec, pos: rec.pos})
 		d.dirty = true
 		d.opsSince++
 		d.met.Releases.Add(1)
 		o.reply <- opResult{ok: true, id: o.id, free: d.cfg.Rate - d.used}
+	}
+}
+
+// recordPending journals one decided mutation for replay at the next
+// epoch publish. Past DeltaMaxOps+1 entries the batch can no longer
+// ride the incremental path (the eligibility limit never exceeds
+// DeltaMaxOps), so recording stops: the rebuild goes from scratch and
+// ignores the journal, and a huge-MaxBatch config cannot grow it
+// without bound between publishes. Runs on the writer goroutine only.
+func (d *Daemon) recordPending(po pendingOp) {
+	if len(d.pending) <= d.cfg.DeltaMaxOps {
+		d.pending = append(d.pending, po)
 	}
 }
 

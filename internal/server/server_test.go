@@ -223,7 +223,10 @@ func TestEpochDifferential(t *testing.T) {
 		if !ok {
 			t.Fatalf("BoundsFor(%d) missing", id)
 		}
-		i := ep.Index[id]
+		i, ok := ep.IndexOf(id)
+		if !ok {
+			t.Fatalf("IndexOf(%d) missing", id)
+		}
 		if math.Float64bits(rep.BacklogProb) != math.Float64bits(fresh.BestBacklogTailValue(i, 3)) ||
 			math.Float64bits(rep.DelayProb) != math.Float64bits(fresh.BestDelayTailValue(i, 25)) {
 			t.Fatalf("BoundsFor(%d) not bit-identical to offline analysis", id)

@@ -31,6 +31,10 @@ import (
 // path that disappears from the newer snapshot fails the gate.
 var hotPaths = []string{
 	"AdmitThroughput",
+	"AdmitThroughputScaling/sessions-1000000",
+	"EpochDelta/sessions-10000",
+	"EpochDelta/sessions-131072",
+	"EpochDelta/sessions-1000000",
 	"FluidSim",
 	"NetSim",
 	"HierSim",

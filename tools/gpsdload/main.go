@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"regexp"
@@ -366,6 +367,46 @@ func main() {
 		}()
 	}
 
+	// Staleness sampler: scrape gpsd_epoch_age_seconds through the churn
+	// window and keep the maximum — the bound-staleness number the
+	// incremental epoch path is accountable for.
+	var maxAgeBits atomic.Uint64
+	var ageSamples atomic.Int64
+	if *scrape {
+		ageRe := regexp.MustCompile(`gpsd_epoch_age_seconds ([0-9eE+.\-]+)`)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(200 * time.Millisecond)
+			defer tick.Stop()
+			for time.Now().Before(deadline) && !killed.Load() {
+				<-tick.C
+				text, err := c.metrics()
+				if err != nil {
+					continue
+				}
+				m := ageRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				v, err := strconv.ParseFloat(m[1], 64)
+				if err != nil {
+					continue
+				}
+				ageSamples.Add(1)
+				for {
+					old := maxAgeBits.Load()
+					if v <= math.Float64frombits(old) {
+						break
+					}
+					if maxAgeBits.CompareAndSwap(old, math.Float64bits(v)) {
+						break
+					}
+				}
+			}
+		}()
+	}
+
 	// Measured closed loop.
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -407,6 +448,10 @@ func main() {
 	fmt.Printf("gpsdload: latency p50 %v p99 %v; shed(429) %d, other-4xx %d, 5xx %d, transport errors %d\n",
 		lp50.Round(time.Microsecond), lp99.Round(time.Microsecond),
 		cnt.shed.Load(), cnt.status4xx.Load(), cnt.status5xx.Load(), cnt.errors.Load())
+	if n := ageSamples.Load(); n > 0 {
+		fmt.Printf("gpsdload: max epoch age %.1fms over %d staleness scrapes\n",
+			math.Float64frombits(maxAgeBits.Load())*1e3, n)
+	}
 
 	if killed.Load() {
 		// The daemon is gone; there is nothing to scrape and failed
