@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1s
 
-.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke check bench benchcheck perfcheck deltacheck clean
+.PHONY: all vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke check bench benchcheck perfcheck deltacheck shardcheck clean
 
 all: check
 
@@ -51,7 +51,7 @@ crash-smoke:
 repl-smoke:
 	GO="$(GO)" sh scripts/repl_smoke.sh
 
-check: vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke perfcheck deltacheck benchcheck
+check: vet build test fuzz-smoke serve-smoke crash-smoke repl-smoke perfcheck deltacheck shardcheck benchcheck
 
 # bench runs the full benchmark harness with memory stats and snapshots
 # the parsed results to BENCH_<UTC datetime>.json (format documented in
@@ -78,6 +78,16 @@ benchcheck:
 # AdmissionDecision) recomputations.
 deltacheck:
 	GOFLAGS=-count=1 $(GO) test -race -run 'TestDeltaAnalyzer|TestDeltaChurnLong|TestDeltaEpoch|TestTypeEval|TestPerOpDelta|TestSelfCheck|TestDeltaFallback|TestNoDelta' ./internal/gpsmath ./internal/server
+
+# shardcheck is the sharded-writer differential gate, uncached and
+# race-enabled: the capacity ledger's budget invariant, concurrent
+# churn against the sharded facade (every published epoch
+# self-consistent, ledger within budget), the striped WAL lifecycle,
+# striped replication, the shard key contract, and the SetRate
+# bit-identity the ledger refill path leans on.
+shardcheck:
+	GOFLAGS=-count=1 $(GO) test -race ./internal/ledger
+	GOFLAGS=-count=1 $(GO) test -race -run 'TestSharded|TestStriped|TestReadStripes|TestShardOf|TestDeltaSetRate' ./internal/server ./internal/wal ./internal/replication ./internal/gpsmath
 
 # perfcheck is the fast correctness gate for the event-driven fluid
 # engine: the differential tests replay random workloads against the

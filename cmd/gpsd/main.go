@@ -49,6 +49,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -81,6 +83,8 @@ func main() {
 	noDelta := flag.Bool("no-delta", false, "disable incremental epoch rebuilds (every publish is a full analysis)")
 	deltaMaxOps := flag.Int("delta-max-ops", 0, "largest batch the delta path rebuilds incrementally before falling back to a full build (0 = server default 256)")
 	selfCheckEvery := flag.Int("selfcheck-every", 0, "verify every Nth delta epoch against a from-scratch analysis (0 = server default 128, negative disables)")
+	shards := flag.Int("shards", 0, "shard writer count: 0 auto-detects (existing WAL layout, else min(GOMAXPROCS,8)), 1 forces the single-writer daemon")
+	ledgerQuantum := flag.Float64("ledger-quantum", 0, "capacity the cross-shard ledger hands a shard per refill (0 = rate/(shards*16))")
 	flag.Parse()
 
 	if err := run(config{
@@ -92,6 +96,7 @@ func main() {
 		follow:     *follow, followerID: *followerID, pullInterval: *pullInterval,
 		auditBatch: *auditBatch, ackTTL: *ackTTL,
 		noDelta:    *noDelta, deltaMaxOps: *deltaMaxOps, selfCheckEvery: *selfCheckEvery,
+		shards:     *shards, ledgerQuantum: *ledgerQuantum,
 	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
@@ -114,6 +119,56 @@ type config struct {
 
 	noDelta                     bool
 	deltaMaxOps, selfCheckEvery int
+
+	shards        int
+	ledgerQuantum float64
+}
+
+// resolveShards decides the shard count. An existing WAL layout always
+// wins — a striped directory boots with its recorded stripe count, a
+// flat one boots single-writer — so restart-after-crash never needs
+// the original flags. Otherwise the flag decides, with 0 meaning
+// min(GOMAXPROCS, 8).
+func resolveShards(cfg config) (int, error) {
+	if cfg.shards < 0 {
+		return 0, fmt.Errorf("-shards %d, want >= 0", cfg.shards)
+	}
+	if cfg.walDir != "" {
+		n, err := wal.ReadStripes(cfg.walDir)
+		if err != nil {
+			return 0, err
+		}
+		if n > 0 {
+			if cfg.shards > 1 && cfg.shards != n {
+				return 0, fmt.Errorf("-shards %d but %s has %d stripes", cfg.shards, cfg.walDir, n)
+			}
+			if cfg.shards == 1 {
+				return 0, fmt.Errorf("-shards 1 but %s is striped into %d", cfg.walDir, n)
+			}
+			return n, nil
+		}
+		flat, err := wal.HasFlatLayout(cfg.walDir)
+		if err != nil {
+			return 0, err
+		}
+		if flat {
+			if cfg.shards > 1 {
+				return 0, fmt.Errorf("-shards %d but %s holds a flat single-writer log", cfg.shards, cfg.walDir)
+			}
+			return 1, nil
+		}
+	}
+	if cfg.shards == 0 {
+		n := runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n, nil
+	}
+	return cfg.shards, nil
 }
 
 func (cfg *config) crashPlan() (*faults.CrashPlan, error) {
@@ -128,13 +183,8 @@ func (cfg *config) crashPlan() (*faults.CrashPlan, error) {
 	return plan, nil
 }
 
-// openWAL recovers the log directory and translates its history into
-// the server config. A corrupt log is fatal here — refusing to start is
-// the only honest answer when the admitted set cannot be reconstructed.
-func openWAL(cfg *config, scfg *server.Config, plan *faults.CrashPlan) (*wal.Log, error) {
-	if cfg.walDir == "" {
-		return nil, nil
-	}
+// walOptions translates the sync-policy flag.
+func walOptions(cfg config, plan *faults.CrashPlan) (wal.Options, error) {
 	opts := wal.Options{Crash: plan}
 	switch cfg.walSync {
 	case "batch":
@@ -142,41 +192,38 @@ func openWAL(cfg *config, scfg *server.Config, plan *faults.CrashPlan) (*wal.Log
 	case "always":
 		opts.Sync = wal.SyncAlways
 	default:
-		return nil, fmt.Errorf("-wal-sync %q, want batch or always", cfg.walSync)
+		return opts, fmt.Errorf("-wal-sync %q, want batch or always", cfg.walSync)
 	}
-	l, rec, err := wal.Open(cfg.walDir, opts)
-	if err != nil {
-		if errors.Is(err, wal.ErrCorrupt) {
-			return nil, fmt.Errorf("refusing to start on interior log corruption: %w", err)
-		}
-		return nil, fmt.Errorf("opening WAL: %w", err)
-	}
-	log.Printf("gpsd: WAL %s recovered: snapshot seq %d, %d replayed ops, %d torn bytes truncated, %d corrupt snapshots skipped",
-		cfg.walDir, rec.State.Seq, len(rec.Ops), rec.TornBytes, rec.SkippedSnapshots)
-	scfg.Log = l
-	scfg.Recovered = rec
-	scfg.SnapshotEvery = cfg.snapshotEvery
-	return l, nil
+	return opts, nil
 }
 
-// primaryNode is one booted serving node: the daemon plus its
-// durability and replication companions.
+// primaryNode is one booted serving node: the admission service (a
+// single-writer daemon or the sharded facade) plus its durability and
+// replication companions. logs and audits line up one-to-one with the
+// shard writers (length 1 for the flat layout); both are nil when the
+// node runs without a WAL.
 type primaryNode struct {
-	d     *server.Daemon
-	l     *wal.Log
-	audit *replication.Audit
-	src   *replication.Source
+	svc    server.Service
+	logs   []*wal.Log
+	audits []*replication.Audit
+	src    *replication.Source
+
+	closeSvc func(context.Context) error
 
 	stopWM chan struct{}
 	wmDone chan struct{}
 }
 
-// bootPrimary opens the WAL (with audit trail), starts the daemon, and
-// wires the replication source and prune watermark. The same path
-// serves first boot, restart-after-crash, and promote-from-standby —
-// which is what makes a promoted epoch bit-identical to a recovered
-// one.
+// bootPrimary opens the WAL (flat or striped, with per-stripe audit
+// trails), starts the admission service, and wires the replication
+// source and prune watermarks. The same path serves first boot,
+// restart-after-crash, and promote-from-standby — which is what makes
+// a promoted epoch bit-identical to a recovered one.
 func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
+	shards, err := resolveShards(cfg)
+	if err != nil {
+		return nil, err
+	}
 	scfg := server.Config{
 		Rate:           cfg.rate,
 		QueueDepth:     cfg.queue,
@@ -186,56 +233,137 @@ func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 		NoDelta:        cfg.noDelta,
 		DeltaMaxOps:    cfg.deltaMaxOps,
 		SelfCheckEvery: cfg.selfCheckEvery,
+		SnapshotEvery:  cfg.snapshotEvery,
+		LedgerQuantum:  cfg.ledgerQuantum,
 	}
-	l, err := openWAL(&cfg, &scfg, plan)
-	if err != nil {
+	n := &primaryNode{}
+	fail := func(err error) (*primaryNode, error) {
+		for _, a := range n.audits {
+			if a != nil {
+				a.Close()
+			}
+		}
+		for _, l := range n.logs {
+			if l != nil {
+				l.Close()
+			}
+		}
 		return nil, err
 	}
-	n := &primaryNode{l: l}
-	if l != nil {
-		// The audit trail opens after recovery, backfills any leaves the
-		// last run never flushed, and — given the recovered head — cuts
-		// back a trail that ran ahead of a truncated log, so its chain
-		// always covers exactly the durable history the daemon is about
-		// to extend.
-		walHead := l.NextSeq() - 1
-		n.audit, err = replication.OpenAudit(cfg.walDir, replication.AuditOptions{BatchN: cfg.auditBatch, WALHead: &walHead})
+
+	var recs []*wal.Recovered
+	if cfg.walDir != "" {
+		opts, err := walOptions(cfg, plan)
 		if err != nil {
-			l.Close()
-			return nil, fmt.Errorf("opening audit trail: %w", err)
+			return nil, err
 		}
-		scfg.Audit = n.audit
-		head, sealed, next := n.audit.Head()
-		log.Printf("gpsd: audit trail at seq %d (%d sealed batches, head %x…)", next-1, sealed, head[:8])
+		if shards > 1 {
+			n.logs, recs, err = wal.OpenStriped(cfg.walDir, shards, opts)
+		} else {
+			var l *wal.Log
+			var rec *wal.Recovered
+			l, rec, err = wal.Open(cfg.walDir, opts)
+			if l != nil {
+				n.logs, recs = []*wal.Log{l}, []*wal.Recovered{rec}
+			}
+		}
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				return nil, fmt.Errorf("refusing to start on interior log corruption: %w", err)
+			}
+			return nil, fmt.Errorf("opening WAL: %w", err)
+		}
+		replayed, torn := 0, int64(0)
+		for _, rec := range recs {
+			replayed += len(rec.Ops)
+			torn += rec.TornBytes
+		}
+		log.Printf("gpsd: WAL %s recovered (%d stripe(s)): %d replayed ops, %d torn bytes truncated",
+			cfg.walDir, len(n.logs), replayed, torn)
+
+		// Each stripe gets its own audit trail: it opens after recovery,
+		// backfills any leaves the last run never flushed, and — given
+		// the recovered head — cuts back a trail that ran ahead of a
+		// truncated log, so every chain covers exactly the durable
+		// history its shard writer is about to extend.
+		n.audits = make([]*replication.Audit, len(n.logs))
+		for i, l := range n.logs {
+			dir := cfg.walDir
+			if shards > 1 {
+				dir = filepath.Join(cfg.walDir, wal.StripeDirName(i))
+			}
+			walHead := l.NextSeq() - 1
+			n.audits[i], err = replication.OpenAudit(dir, replication.AuditOptions{BatchN: cfg.auditBatch, WALHead: &walHead})
+			if err != nil {
+				return fail(fmt.Errorf("opening audit trail (stripe %d): %w", i, err))
+			}
+		}
 	}
-	n.d, err = server.New(scfg)
-	if err != nil {
-		if n.audit != nil {
-			n.audit.Close()
+
+	if shards > 1 {
+		var alogs []server.AdmissionLog
+		var asinks []server.AuditSink
+		if n.logs != nil {
+			alogs = make([]server.AdmissionLog, len(n.logs))
+			asinks = make([]server.AuditSink, len(n.audits))
+			for i := range n.logs {
+				alogs[i] = n.logs[i]
+				asinks[i] = n.audits[i]
+			}
 		}
-		if l != nil {
-			l.Close()
+		sh, err := server.NewSharded(scfg, shards, alogs, recs, asinks)
+		if err != nil {
+			return fail(err)
 		}
-		return nil, err
+		n.svc = sh
+		n.closeSvc = sh.Close
+	} else {
+		if n.logs != nil {
+			scfg.Log = n.logs[0]
+			scfg.Recovered = recs[0]
+			scfg.Audit = n.audits[0]
+		}
+		d, err := server.New(scfg)
+		if err != nil {
+			return fail(err)
+		}
+		n.svc = d
+		n.closeSvc = d.Close
 	}
-	if l != nil {
+
+	if n.logs != nil {
 		host, _ := os.Hostname()
 		ttl := cfg.ackTTL
 		if ttl <= 0 {
 			ttl = -1 // flag 0 = never expire (Source 0 means its default)
 		}
+		logs := n.logs
+		head := func() uint64 {
+			var sum uint64
+			for _, l := range logs {
+				sum += l.NextSeq() - 1
+			}
+			return sum
+		}
 		n.src = &replication.Source{
 			Dir:    cfg.walDir,
 			NodeID: fmt.Sprintf("%s:%d", host, os.Getpid()),
-			Head:   func() uint64 { return l.NextSeq() - 1 },
-			Audit:  n.audit,
+			Head:   head,
 			AckTTL: ttl,
+		}
+		if shards > 1 {
+			n.src.Stripes = len(logs)
+			n.src.StripeHead = func(i int) uint64 { return logs[i].NextSeq() - 1 }
+		} else {
+			n.src.Audit = n.audits[0]
 		}
 		n.src.OnAck = func() { n.updateWatermark() }
 		// The watermark starts fully held: nothing is pruned until the
 		// audit trail confirms durability (and any follower that has
 		// ever acked stays covered forever after).
-		l.SetPruneWatermark(0)
+		for _, l := range n.logs {
+			l.SetPruneWatermark(0)
+		}
 		n.updateWatermark()
 		n.stopWM = make(chan struct{})
 		n.wmDone = make(chan struct{})
@@ -244,15 +372,22 @@ func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 	return n, nil
 }
 
-// updateWatermark recomputes the prune watermark: a segment may only be
-// pruned when both the audit trail has fsynced its leaves and every
-// known follower has acked it.
+// updateWatermark recomputes each stripe's prune watermark: a segment
+// may only be pruned when both that stripe's audit trail has fsynced
+// its leaves and every known follower has acked it.
 func (n *primaryNode) updateWatermark() {
-	mark := n.audit.DurableSeq()
-	if min, ok := n.src.MinAck(); ok && min < mark {
-		mark = min
+	striped := len(n.logs) > 1
+	for i, l := range n.logs {
+		mark := n.audits[i].DurableSeq()
+		if striped {
+			if min, ok := n.src.MinAckStripe(i); ok && min < mark {
+				mark = min
+			}
+		} else if min, ok := n.src.MinAck(); ok && min < mark {
+			mark = min
+		}
+		l.SetPruneWatermark(mark)
 	}
-	n.l.SetPruneWatermark(mark)
 }
 
 func (n *primaryNode) watermarkLoop() {
@@ -265,9 +400,12 @@ func (n *primaryNode) watermarkLoop() {
 		case <-t.C:
 			n.updateWatermark()
 			if !auditErrLogged {
-				if err := n.audit.Err(); err != nil {
-					auditErrLogged = true
-					log.Printf("gpsd: audit trail frozen, prune watermark held at %d: %v", n.audit.DurableSeq(), err)
+				for i, a := range n.audits {
+					if err := a.Err(); err != nil {
+						auditErrLogged = true
+						log.Printf("gpsd: audit trail %d frozen, prune watermark held at %d: %v", i, a.DurableSeq(), err)
+						break
+					}
 				}
 			}
 		case <-n.stopWM:
@@ -276,10 +414,11 @@ func (n *primaryNode) watermarkLoop() {
 	}
 }
 
-// handler composes the serving surface: daemon endpoints, replication
-// source, and a /metrics that concatenates both metric sets.
+// handler composes the serving surface: admission endpoints,
+// replication source, and a /metrics that concatenates both metric
+// sets.
 func (n *primaryNode) handler() http.Handler {
-	base := server.NewHandler(n.d)
+	base := server.NewHandler(n.svc)
 	if n.src == nil {
 		return base
 	}
@@ -288,22 +427,22 @@ func (n *primaryNode) handler() http.Handler {
 	n.src.Mount(mux)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		n.d.WriteMetrics(w)
+		n.svc.WriteMetrics(w)
 		n.src.WriteMetrics(w)
 	})
 	return mux
 }
 
-// close drains the daemon (which snapshots and closes the WAL it owns)
-// and stops the companions.
+// close drains the service (each writer snapshots and closes the WAL
+// stripe it owns) and stops the companions.
 func (n *primaryNode) close(ctx context.Context) error {
 	if n.stopWM != nil {
 		close(n.stopWM)
 		<-n.wmDone
 	}
-	err := n.d.Close(ctx)
-	if n.audit != nil {
-		if aerr := n.audit.Close(); err == nil {
+	err := n.closeSvc(ctx)
+	for _, a := range n.audits {
+		if aerr := a.Close(); err == nil {
 			err = aerr
 		}
 	}
@@ -408,14 +547,14 @@ func run(cfg config) error {
 			}
 			node = n2
 			sw.set(node.handler())
-			ep := node.d.CurrentEpoch()
+			hv := node.svc.Health()
 			log.Printf("gpsd: promoted at verified seq %d (drained=%v): epoch %d with %d sessions",
-				res.AckSeq, res.Drained, ep.Seq, ep.Sessions())
+				res.AckSeq, res.Drained, hv.EpochSeq, hv.Sessions)
 			writeJSONStatus(w, http.StatusOK, map[string]any{
 				"promoted": true,
 				"ack_seq":  res.AckSeq,
 				"drained":  res.Drained,
-				"sessions": ep.Sessions(),
+				"sessions": hv.Sessions,
 			})
 		}))
 	}
@@ -431,8 +570,9 @@ func run(cfg config) error {
 		}
 	}
 	if node != nil {
-		log.Printf("gpsd: listening on %s (rate %g, queue %d, epoch age %v, %d recovered sessions)",
-			bound, cfg.rate, cfg.queue, cfg.epochAge, node.d.CurrentEpoch().Sessions())
+		hv := node.svc.Health()
+		log.Printf("gpsd: listening on %s (rate %g, %d shard(s), queue %d, epoch age %v, %d recovered sessions)",
+			bound, cfg.rate, max(hv.Shards, 1), cfg.queue, cfg.epochAge, hv.Sessions)
 	} else {
 		log.Printf("gpsd: standby listening on %s", bound)
 	}
@@ -475,11 +615,9 @@ func run(cfg config) error {
 	if err := n.close(ctx); err != nil {
 		return fmt.Errorf("daemon drain: %w", err)
 	}
-	ep := n.d.CurrentEpoch()
-	m := n.d.Metrics()
-	log.Printf("gpsd: drained at epoch %d with %d sessions; admits %d, rejects %d, releases %d, shed %d, rebuilds %d, wal appends %d",
-		ep.Seq, ep.Sessions(), m.Admits.Load(), m.Rejects.Load(), m.Releases.Load(),
-		m.Shed.Load(), m.Rebuilds.Load(), m.WALAppends.Load())
+	hv := n.svc.Health()
+	log.Printf("gpsd: drained at epoch %d with %d sessions across %d shard(s)",
+		hv.EpochSeq, hv.Sessions, max(hv.Shards, 1))
 	return nil
 }
 

@@ -208,6 +208,41 @@ func (d *DeltaAnalyzer) Release(pos int) (*Analysis, error) {
 	return d.an, nil
 }
 
+// SetRate changes the service rate the analyzer computes under and
+// refreshes the analysis at the unchanged population. Every
+// rate-dependent structure — decomposed rates, ordering ratios, the
+// partition thresholds, the memo prefix/suffix passes — is recomputed
+// by the refresh, so the resulting analysis is bit-identical to a
+// fresh AnalyzeServer over the same sessions at the new rate (the
+// differential test pins this). The daemon's sharded writer uses it
+// when the cross-shard ledger grows or shrinks a shard's capacity
+// slice: a capacity move costs one refresh, not a full rebuild. On
+// error the analyzer is left at the old rate, unchanged.
+func (d *DeltaAnalyzer) SetRate(rate float64) error {
+	if !(rate > 0) || math.IsInf(rate, 1) || math.IsNaN(rate) {
+		return fmt.Errorf("%w: server rate = %v, want positive finite", ErrInvalidInput, rate)
+	}
+	if math.Float64bits(rate) == math.Float64bits(d.rate) {
+		return nil
+	}
+	prev := d.rate
+	d.rate = rate
+	if len(d.sess) == 0 {
+		return nil
+	}
+	var seed []int
+	if d.an != nil {
+		// The population did not change, so the previous permutation is a
+		// near-sorted candidate: only the slack shift nudges ratios.
+		seed = append(make([]int, 0, len(d.an.Ordering)), d.an.Ordering...)
+	}
+	if err := d.refresh(seed); err != nil {
+		d.rate = prev
+		return err
+	}
+	return nil
+}
+
 // refresh rebuilds the analysis for the current session slice. A nil
 // seed takes the fully verified fresh path (Validate + FeasibleOrdering
 // with its eq. (5) check); a non-nil seed is a near-sorted candidate

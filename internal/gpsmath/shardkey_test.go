@@ -1,0 +1,59 @@
+package gpsmath
+
+import (
+	"testing"
+
+	"repro/internal/source"
+)
+
+// TestShardOfContract pins the shard key's semantics: degenerate
+// counts collapse to shard 0, results stay in range, the map is
+// deterministic, and — the property the per-shard type bookkeeping
+// relies on — the key depends only on the ρ/φ ratio, so one declared
+// service class always lands on one shard.
+func TestShardOfContract(t *testing.T) {
+	if ShardOf(0.5, 1, 0) != 0 || ShardOf(0.5, 1, 1) != 0 || ShardOf(0.5, 1, -3) != 0 {
+		t.Fatal("n <= 1 must map everything to shard 0")
+	}
+	rng := source.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		rho := 0.01 + rng.Float64()*5
+		phi := 0.01 + rng.Float64()*3
+		n := 1 + rng.Intn(16)
+		s := ShardOf(rho, phi, n)
+		if s < 0 || s >= n {
+			t.Fatalf("ShardOf(%v, %v, %d) = %d out of range", rho, phi, n, s)
+		}
+		if again := ShardOf(rho, phi, n); again != s {
+			t.Fatalf("ShardOf not deterministic: %d then %d", s, again)
+		}
+		// Scaling ρ and φ by the same power of two leaves the ratio's
+		// bits — and so the shard — unchanged.
+		if scaled := ShardOf(rho*4, phi*4, n); scaled != s {
+			t.Fatalf("ShardOf(4ρ, 4φ, %d) = %d, unscaled %d: key must depend on the ratio only", n, scaled, s)
+		}
+	}
+}
+
+// TestShardOfSpreads feeds many distinct service classes through the
+// key and requires the splitmix64 mix to spread them: every shard of 8
+// populated, none hoarding more than a third. (4 classes over 4 shards
+// can collide — that is expected hashing; 512 classes must not.)
+func TestShardOfSpreads(t *testing.T) {
+	const n, classes = 8, 512
+	var hist [n]int
+	rng := source.NewRNG(7)
+	for i := 0; i < classes; i++ {
+		rho := 0.05 * float64(1+rng.Intn(200))
+		phi := 0.125 * float64(1+rng.Intn(64))
+		hist[ShardOf(rho, phi, n)]++
+	}
+	for s, c := range hist {
+		if c == 0 {
+			t.Errorf("shard %d received no classes (histogram %v)", s, hist)
+		}
+		if c > classes/3 {
+			t.Errorf("shard %d hoards %d of %d classes (histogram %v)", s, c, classes, hist)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package replication
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -111,7 +112,8 @@ type Follower struct {
 
 	mu       sync.Mutex
 	segs     map[string]*segState
-	ackSeq   uint64
+	ackSeq   uint64            // aggregate verified head (sum over stripes)
+	ackSeqs  map[string]uint64 // per-stripe-prefix verified heads ("" = flat)
 	diverged error
 	promoted bool
 	lastSync time.Time // when the follower last matched a manifest head
@@ -147,7 +149,7 @@ func NewFollower(o FollowerOptions) (*Follower, error) {
 	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	f := &Follower{o: o, segs: map[string]*segState{}, lastSync: time.Now()}
+	f := &Follower{o: o, segs: map[string]*segState{}, ackSeqs: map[string]uint64{}, lastSync: time.Now()}
 	return f, nil
 }
 
@@ -221,7 +223,7 @@ func (f *Follower) PullOnce(ctx context.Context) error {
 			return err
 		}
 	}
-	ack, behind, err := f.verify(m)
+	ack, stripeAcks, behind, err := f.verify(m)
 	if err != nil {
 		return f.setDiverged(err)
 	}
@@ -243,7 +245,7 @@ func (f *Follower) PullOnce(ctx context.Context) error {
 	if f.o.Crash.Armed("repl.ack.lost") {
 		f.o.Crash.Kill()
 	}
-	if err := f.sendAck(ctx, ack); err != nil {
+	if err := f.sendAck(ctx, ack, stripeAcks); err != nil {
 		f.pullErrors.Add(1)
 		return err
 	}
@@ -351,9 +353,12 @@ func (f *Follower) fetchManifest(ctx context.Context) (Manifest, error) {
 	return DecodeManifest(resp.Body)
 }
 
-func (f *Follower) sendAck(ctx context.Context, seq uint64) error {
-	body := fmt.Sprintf(`{"follower_id":%q,"ack_seq":%d}`, f.o.ID, seq)
-	req, err := http.NewRequestWithContext(ctx, "POST", f.o.PrimaryURL+"/v1/repl/ack", strings.NewReader(body))
+func (f *Follower) sendAck(ctx context.Context, seq uint64, stripeSeqs []uint64) error {
+	raw, err := json.Marshal(Ack{FollowerID: f.o.ID, AckSeq: seq, StripeSeqs: stripeSeqs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", f.o.PrimaryURL+"/v1/repl/ack", strings.NewReader(string(raw)))
 	if err != nil {
 		return err
 	}
@@ -373,7 +378,14 @@ func (f *Follower) sendAck(ctx context.Context, seq uint64) error {
 // syncFile brings one mirrored file up to the manifest size, verifying
 // an overlap window against already-held bytes.
 func (f *Follower) syncFile(ctx context.Context, mf ManifestFile) error {
-	path := filepath.Join(f.o.Dir, mf.Name)
+	path := filepath.Join(f.o.Dir, filepath.FromSlash(mf.Name))
+	if dir := filepath.Dir(path); dir != f.o.Dir {
+		// Striped layouts ship "stripe-NN/<file>" names; mirror the
+		// subdirectory structure a promoted daemon will boot from.
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	local := int64(0)
 	if info, err := os.Stat(path); err == nil {
 		local = info.Size()
@@ -381,7 +393,7 @@ func (f *Follower) syncFile(ctx context.Context, mf ManifestFile) error {
 		return err
 	}
 	if local > mf.Size {
-		if mf.Name == AuditFileName {
+		if filepath.Base(mf.Name) == AuditFileName {
 			// The audit trail is derived data and the primary may have
 			// truncated a torn tail after its own crash; shrink to
 			// match rather than declaring divergence.
@@ -494,14 +506,55 @@ func (f *Follower) syncFile(ctx context.Context, mf ManifestFile) error {
 }
 
 // verify runs the recovery decoder over every unverified mirrored
-// segment byte and returns the new contiguous verified head plus the
-// count of manifest segments not yet fully verified. Interior
-// corruption in a sealed segment — one the manifest shows a successor
-// for — is divergence, not a torn tail.
-func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
-	var segNames []string
+// segment byte and returns the new contiguous verified heads — the
+// aggregate, and per stripe when the manifest is striped — plus the
+// count of manifest segments not yet fully verified. Each stripe is an
+// independent sequence space, so the walk groups the manifest by
+// stripe prefix and verifies every group exactly as a flat mirror
+// would. Interior corruption in a sealed segment — one the manifest
+// shows a successor for — is divergence, not a torn tail.
+func (f *Follower) verify(m Manifest) (ack uint64, stripeAcks []uint64, behind int, err error) {
+	groups := map[string][]ManifestFile{}
 	for _, mf := range m.Files {
-		if isSeg(mf.Name) {
+		prefix, _, ok := splitStripePrefix(mf.Name)
+		if !ok {
+			continue
+		}
+		groups[prefix] = append(groups[prefix], mf)
+	}
+	prefixes := make([]string, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes) // "" sorts first: flat group, then stripes in order
+	for _, prefix := range prefixes {
+		gAck, gBehind, gErr := f.verifyGroup(prefix, groups[prefix])
+		if gErr != nil {
+			return 0, nil, 0, gErr
+		}
+		f.mu.Lock()
+		f.ackSeqs[prefix] = gAck
+		f.mu.Unlock()
+		ack += gAck
+		behind += gBehind
+	}
+	if m.Stripes > 0 {
+		stripeAcks = make([]uint64, m.Stripes)
+		f.mu.Lock()
+		for i := range stripeAcks {
+			stripeAcks[i] = f.ackSeqs[wal.StripeDirName(i)]
+		}
+		f.mu.Unlock()
+	}
+	return ack, stripeAcks, behind, nil
+}
+
+// verifyGroup walks one sequence space: the flat layout (prefix "") or
+// one stripe's files.
+func (f *Follower) verifyGroup(prefix string, files []ManifestFile) (ack uint64, behind int, err error) {
+	var segNames []string
+	for _, mf := range files {
+		if isSeg(filepath.Base(mf.Name)) {
 			segNames = append(segNames, mf.Name)
 		}
 	}
@@ -509,7 +562,7 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 	// Local-only segments (pruned upstream after full shipping) stay
 	// verified; re-walk only what the manifest still lists.
 	f.mu.Lock()
-	prevAck := f.ackSeq
+	prevAck := f.ackSeqs[prefix]
 	f.mu.Unlock()
 	ack = prevAck
 	// A fresh mirror (nothing acked yet) may only anchor its ack at a
@@ -522,15 +575,16 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 	// file to full size before verify runs).
 	var snapTop uint64
 	if prevAck == 0 {
-		for _, mf := range m.Files {
-			if !isSnap(mf.Name) {
+		for _, mf := range files {
+			base := filepath.Base(mf.Name)
+			if !isSnap(base) {
 				continue
 			}
 			var s uint64
-			if _, serr := fmt.Sscanf(mf.Name, "snap-%x.snap", &s); serr != nil || s <= snapTop {
+			if _, serr := fmt.Sscanf(base, "snap-%x.snap", &s); serr != nil || s <= snapTop {
 				continue
 			}
-			if st, serr := wal.ReadSnapshotState(filepath.Join(f.o.Dir, mf.Name)); serr == nil && st.Seq == s {
+			if st, serr := wal.ReadSnapshotState(filepath.Join(f.o.Dir, filepath.FromSlash(mf.Name))); serr == nil && st.Seq == s {
 				snapTop = s
 			}
 		}
@@ -538,7 +592,7 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 	for i, name := range segNames {
 		final := i == len(segNames)-1
 		st := f.segStateFor(name)
-		data, rerr := os.ReadFile(filepath.Join(f.o.Dir, name))
+		data, rerr := os.ReadFile(filepath.Join(f.o.Dir, filepath.FromSlash(name)))
 		if rerr != nil {
 			if os.IsNotExist(rerr) {
 				behind++
@@ -551,7 +605,7 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 				behind++
 				continue // header still in flight
 			}
-			first, herr := wal.SegmentFirstSeq(name, data)
+			first, herr := wal.SegmentFirstSeq(filepath.Base(name), data)
 			if herr != nil {
 				return 0, 0, &DivergeError{File: name, Reason: herr.Error()}
 			}
@@ -594,7 +648,7 @@ func (f *Follower) verify(m Manifest) (ack uint64, behind int, err error) {
 			// here but whose tail does not decode: recovery would call
 			// this corruption, so the mirror must too.
 			mfSize := int64(-1)
-			for _, mf := range m.Files {
+			for _, mf := range files {
 				if mf.Name == name {
 					mfSize = mf.Size
 					break

@@ -42,8 +42,14 @@ var shipCRC = crc32.MakeTable(crc32.Castagnoli)
 // current size. File order is the apply order a follower should use.
 type Manifest struct {
 	NodeID   string `json:"node_id"`
-	HeadSeq  uint64 `json:"head_seq"` // highest durable op sequence
+	HeadSeq  uint64 `json:"head_seq"` // highest durable op sequence (sum over stripes)
 	UnixNano int64  `json:"unix_nano"`
+
+	// Stripes and StripeHeads describe a striped primary: the stripe
+	// count and each stripe's own durable head. 0/absent means the flat
+	// single-writer layout.
+	Stripes     int      `json:"stripes,omitempty"`
+	StripeHeads []uint64 `json:"stripe_heads,omitempty"`
 
 	AuditGenesis uint64 `json:"audit_genesis"`
 	AuditBatchN  int    `json:"audit_batch_n"`
@@ -64,6 +70,9 @@ type ManifestFile struct {
 type Ack struct {
 	FollowerID string `json:"follower_id"`
 	AckSeq     uint64 `json:"ack_seq"`
+	// StripeSeqs carries the per-stripe verified heads when the primary
+	// is striped (AckSeq is then their sum); absent for a flat mirror.
+	StripeSeqs []uint64 `json:"stripe_seqs,omitempty"`
 }
 
 // AckReply returns the primary's current watermark view.

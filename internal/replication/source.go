@@ -9,9 +9,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Source is the primary side of replication: three read-mostly HTTP
@@ -25,7 +28,15 @@ type Source struct {
 	// NodeID names this primary in manifests.
 	NodeID string
 	// Head returns the highest durable op sequence (wal.Log.NextSeq-1).
+	// For a striped primary it is the sum over stripes, so followers and
+	// smoke checks see one monotone head either way.
 	Head func() uint64
+	// Stripes is the stripe count of a striped WAL directory; 0 ships
+	// the flat single-writer layout.
+	Stripes int
+	// StripeHead returns stripe i's highest durable op sequence
+	// (required when Stripes > 0).
+	StripeHead func(i int) uint64
 	// Audit supplies chain-head fields for the manifest; nil omits them.
 	Audit *Audit
 	// OnAck, when set, runs after every recorded ack — the wiring layer
@@ -55,10 +66,13 @@ type Source struct {
 // segments before it expires (Source.AckTTL overrides).
 const DefaultAckTTL = 5 * time.Minute
 
-// ackEntry is one follower's progress plus its liveness stamp.
+// ackEntry is one follower's progress plus its liveness stamp. For a
+// striped primary, stripeSeqs holds the per-stripe verified heads the
+// follower reported alongside its aggregate.
 type ackEntry struct {
-	seq  uint64
-	last time.Time
+	seq        uint64
+	stripeSeqs []uint64
+	last       time.Time
 }
 
 func (s *Source) now() time.Time {
@@ -113,6 +127,27 @@ func (s *Source) MinAck() (uint64, bool) {
 	return min, true
 }
 
+// MinAckStripe returns the lowest acked sequence for stripe i over
+// every live follower that has reported per-stripe progress, and
+// whether any has. The per-stripe prune watermark folds it in exactly
+// as MinAck feeds the flat one.
+func (s *Source) MinAckStripe(i int) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	min, any := uint64(0), false
+	for _, e := range s.acks {
+		if i >= len(e.stripeSeqs) {
+			// A follower that never reported this stripe pins it whole.
+			return 0, true
+		}
+		if !any || e.stripeSeqs[i] < min {
+			min, any = e.stripeSeqs[i], true
+		}
+	}
+	return min, any
+}
+
 // Acks returns a copy of the per-follower ack table (live entries
 // only).
 func (s *Source) Acks() map[string]uint64 {
@@ -127,10 +162,39 @@ func (s *Source) Acks() map[string]uint64 {
 }
 
 // manifestFiles lists the shippable files in apply order: segments by
-// sequence, then snapshots, then the audit trail.
+// sequence, then snapshots, then the audit trail. A striped primary
+// leads with the stripe-count marker and then lists each stripe's
+// files in that per-stripe order under "stripe-NN/" names, so the
+// follower mirrors the exact on-disk layout a promoted daemon boots
+// from.
 func (s *Source) manifestFiles() ([]ManifestFile, error) {
-	entries, err := os.ReadDir(s.Dir)
+	if s.Stripes <= 0 {
+		return s.dirFiles(s.Dir, "")
+	}
+	info, err := os.Stat(filepath.Join(s.Dir, wal.StripesFileName))
 	if err != nil {
+		return nil, err
+	}
+	out := []ManifestFile{{Name: wal.StripesFileName, Size: info.Size()}}
+	for i := 0; i < s.Stripes; i++ {
+		sub := wal.StripeDirName(i)
+		files, err := s.dirFiles(filepath.Join(s.Dir, sub), sub+"/")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, files...)
+	}
+	return out, nil
+}
+
+// dirFiles lists one WAL directory's shippable files in apply order,
+// prefixing every name with prefix.
+func (s *Source) dirFiles(dir, prefix string) ([]ManifestFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) && prefix != "" {
+			return nil, nil // stripe dir not created yet
+		}
 		return nil, err
 	}
 	var segs, snaps []ManifestFile
@@ -141,7 +205,7 @@ func (s *Source) manifestFiles() ([]ManifestFile, error) {
 		if err != nil {
 			continue // raced a prune
 		}
-		mf := ManifestFile{Name: name, Size: info.Size()}
+		mf := ManifestFile{Name: prefix + name, Size: info.Size()}
 		switch {
 		case IsShippableSegment(name):
 			segs = append(segs, mf)
@@ -171,7 +235,14 @@ func (s *Source) handleStatus(w http.ResponseWriter, r *http.Request) {
 		NodeID:   s.NodeID,
 		HeadSeq:  s.Head(),
 		UnixNano: s.now().UnixNano(),
+		Stripes:  s.Stripes,
 		Files:    files,
+	}
+	if s.Stripes > 0 && s.StripeHead != nil {
+		m.StripeHeads = make([]uint64, s.Stripes)
+		for i := range m.StripeHeads {
+			m.StripeHeads[i] = s.StripeHead(i)
+		}
 	}
 	if s.Audit != nil {
 		head, _, _ := s.Audit.Head()
@@ -262,6 +333,16 @@ func (s *Source) handleAck(w http.ResponseWriter, r *http.Request) {
 	if !ok || a.AckSeq > e.seq {
 		e.seq = a.AckSeq
 	}
+	if len(a.StripeSeqs) > len(e.stripeSeqs) {
+		grown := make([]uint64, len(a.StripeSeqs))
+		copy(grown, e.stripeSeqs)
+		e.stripeSeqs = grown
+	}
+	for i, seq := range a.StripeSeqs {
+		if seq > e.stripeSeqs[i] {
+			e.stripeSeqs[i] = seq
+		}
+	}
 	e.last = s.now()
 	s.acks[a.FollowerID] = e
 	s.mu.Unlock()
@@ -302,9 +383,46 @@ func IsShippableSegment(name string) bool { return filepath.Base(name) == name &
 // IsShippableSnapshot reports whether name is a WAL snapshot file.
 func IsShippableSnapshot(name string) bool { return filepath.Base(name) == name && isSnap(name) }
 
-func isShippableName(name string) bool {
-	if name == "" || filepath.Base(name) != name {
+// splitStripePrefix splits a manifest name into its stripe directory
+// prefix ("" for flat-layout names) and base name, accepting only the
+// exact "stripe-NN/" shape — anything else with a separator is
+// rejected wholesale, so fetch paths can never escape the WAL
+// directory.
+func splitStripePrefix(name string) (prefix, base string, ok bool) {
+	i := strings.IndexByte(name, '/')
+	if i < 0 {
+		return "", name, true
+	}
+	prefix, base = name[:i], name[i+1:]
+	if strings.ContainsAny(base, "/\\") || !isStripeDir(prefix) {
+		return "", "", false
+	}
+	return prefix, base, true
+}
+
+// isStripeDir matches exactly the wal.StripeDirName shape.
+func isStripeDir(s string) bool {
+	if len(s) < len("stripe-00") || !strings.HasPrefix(s, "stripe-") {
 		return false
 	}
-	return isSeg(name) || isSnap(name) || name == AuditFileName
+	for _, c := range s[len("stripe-"):] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return len(s) <= len("stripe-")+4
+}
+
+func isShippableName(name string) bool {
+	if name == "" || strings.Contains(name, "..") || strings.ContainsAny(name, "\\") {
+		return false
+	}
+	if name == wal.StripesFileName {
+		return true
+	}
+	_, base, ok := splitStripePrefix(name)
+	if !ok || base != filepath.Base(base) {
+		return false
+	}
+	return isSeg(base) || isSnap(base) || base == AuditFileName
 }

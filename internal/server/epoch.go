@@ -38,6 +38,9 @@ type Epoch struct {
 	// monotonically, so admits append in sorted position).
 	idsSorted []uint64
 	posSorted []int
+	// backing is the pooled array generation behind IDs/Targets and the
+	// sorted index; the epoch holds a reference until it is finalized.
+	backing *shadowBacking
 
 	Used float64 // Σ required rates at build time
 	// TargetsMet counts sessions whose epoch-analysis delay bound meets
@@ -86,6 +89,21 @@ func validateRate(rate float64) error {
 func (d *Daemon) rebuild() {
 	start := time.Now()
 	seq := d.epoch.Load().Seq + 1
+	if d.capDirty {
+		// The ledger moved this shard's capacity slice since the last
+		// publish. SetRate refreshes every rate-dependent structure in
+		// place (bit-identical to a fresh analyzer at the new capacity);
+		// on failure the analyzer is dropped and the full path reseeds.
+		// The cross-epoch eval memo keys on per-session geometry that the
+		// capacity shift invalidates wholesale, so it is flushed.
+		d.capDirty = false
+		if d.delta != nil {
+			if err := d.delta.SetRate(d.capacity); err != nil {
+				d.delta = nil
+			}
+		}
+		d.evalCache = nil
+	}
 	var ep *Epoch
 	if d.deltaEligible() {
 		ep = d.buildEpochDelta(seq)
@@ -117,15 +135,11 @@ func (d *Daemon) rebuild() {
 	} else {
 		d.met.FullRebuilds.Add(1)
 	}
-	d.epoch.Store(ep)
+	d.publish(ep)
 	d.met.Rebuilds.Add(1)
 	dur := time.Since(start)
 	d.met.RebuildNanos.Add(dur.Nanoseconds())
 	d.met.ObserveRebuild(dur)
-	// The epoch now shares the shadow arrays: interior mutation needs a
-	// fresh copy from here on (appends remain safe — old epochs only see
-	// their own lengths).
-	d.shadowOwned = false
 	d.pending = d.pending[:0]
 	d.lastRebuild = time.Now()
 	d.opsSince = 0
@@ -181,10 +195,16 @@ func (d *Daemon) buildEpochDelta(seq uint64) *Epoch {
 // invariant holds, but never publish an unanalyzed epoch).
 func (d *Daemon) buildEpochFull(seq uint64) *Epoch {
 	n := len(d.order)
-	d.shIDs = make([]uint64, n)
-	d.shTargets = make([]admission.Target, n)
-	d.shIDsSorted = make([]uint64, n)
-	d.shPosSorted = make([]int, n)
+	old := d.shadow
+	b := acquireShadow(n)
+	d.shadow = b
+	if old != nil {
+		old.release()
+	}
+	d.shIDs = b.ids[:n]
+	d.shTargets = b.targets[:n]
+	d.shIDsSorted = b.idsSorted[:n]
+	d.shPosSorted = b.posSorted[:n]
 	d.shadowOwned = true
 	sessions := make([]gpsmath.Session, n)
 	for i, id := range d.order {
@@ -196,7 +216,20 @@ func (d *Daemon) buildEpochFull(seq uint64) *Epoch {
 		d.shPosSorted[i] = i
 	}
 	sort.Sort(idPosOrder{ids: d.shIDsSorted, pos: d.shPosSorted})
-	da, err := gpsmath.NewDeltaAnalyzer(gpsmath.Server{Rate: d.cfg.Rate, Sessions: sessions}, *d.cfg.Opts)
+	if n == 0 && !(d.capacity > 0) {
+		// A zero-capacity shard (the ledger's budget is fully booked
+		// elsewhere) holding no sessions has nothing to analyze; publish
+		// an empty epoch and leave the analyzer unset until a refill
+		// grants capacity.
+		d.delta = nil
+		return &Epoch{
+			Seq: seq, BuiltAt: time.Now(),
+			IDs: d.shIDs, Targets: d.shTargets,
+			idsSorted: d.shIDsSorted, posSorted: d.shPosSorted,
+			backing: d.shadow,
+		}
+	}
+	da, err := gpsmath.NewDeltaAnalyzer(gpsmath.Server{Rate: d.capacity, Sessions: sessions}, *d.cfg.Opts)
 	if err != nil {
 		return nil
 	}
@@ -220,8 +253,13 @@ func (o idPosOrder) Swap(a, b int) {
 // shadowAdmit extends the shadow arrays for one admitted record.
 // Appends are safe against published epochs (they hold shorter
 // lengths), and ids are assigned monotonically, so the sorted arrays
-// extend by append too.
+// extend by append too. A full backing is re-seated explicitly first:
+// letting append reallocate would silently detach the writer from the
+// pooled, refcounted arrays.
 func (d *Daemon) shadowAdmit(rec *record) {
+	if len(d.shIDs)+1 > cap(d.shIDs) {
+		d.ownShadow(len(d.shIDs)/8 + 64)
+	}
 	d.shIDs = append(d.shIDs, rec.ID)
 	d.shTargets = append(d.shTargets, rec.Target)
 	d.shIDsSorted = append(d.shIDsSorted, rec.ID)
@@ -235,14 +273,10 @@ func (d *Daemon) shadowAdmit(rec *record) {
 func (d *Daemon) shadowRelease(pos int, id uint64) {
 	last := len(d.shIDs) - 1
 	if !d.shadowOwned {
-		// Spare capacity keeps the admits that follow on the cheap
-		// append path instead of forcing a second full-array copy.
-		n := len(d.shIDs)
-		d.shIDs = append(make([]uint64, 0, n+64), d.shIDs...)
-		d.shTargets = append(make([]admission.Target, 0, n+64), d.shTargets...)
-		d.shIDsSorted = append(make([]uint64, 0, n+64), d.shIDsSorted...)
-		d.shPosSorted = append(make([]int, 0, n+64), d.shPosSorted...)
-		d.shadowOwned = true
+		// Copy onto a pooled backing the writer owns; the spare capacity
+		// keeps the admits that follow on the cheap append path instead
+		// of forcing a second full-array copy.
+		d.ownShadow(64)
 	}
 	movedID := d.shIDs[last]
 	d.shIDs[pos] = movedID
@@ -273,6 +307,7 @@ func (d *Daemon) finishEpoch(seq uint64, delta bool) *Epoch {
 		Targets:   d.shTargets,
 		idsSorted: d.shIDsSorted,
 		posSorted: d.shPosSorted,
+		backing:   d.shadow,
 		Used:      d.used,
 		Delta:     delta,
 	}

@@ -85,31 +85,40 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// NewHandler builds the daemon's HTTP surface:
+// NewHandler builds the admission service's HTTP surface:
 //
 //	POST   /v1/admit          admission decision (429 + Retry-After under backpressure)
 //	DELETE /v1/sessions/{id}  release
 //	GET    /v1/bounds/{id}    per-session tails from the published epoch (?q=&d=)
-//	GET    /v1/partition      feasible partition H_1..H_L of the published epoch
+//	GET    /v1/partition      feasible partition H_1..H_L (?shard= selects one shard)
 //	GET    /healthz           liveness + epoch/session gauges
 //	GET    /metrics           Prometheus text format
 //
-// Every response is JSON except /metrics; every handler observation
-// (status class, latency) lands in the daemon's Metrics.
-func NewHandler(d *Daemon) http.Handler {
+// svc is either a standalone *Daemon or the *Sharded facade — the
+// routes and wire shapes are identical either way. Every response is
+// JSON except /metrics; every handler observation (status class,
+// latency) lands in the service's HTTPMetrics.
+func NewHandler(svc Service) http.Handler {
+	h := &handler{svc: svc}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/admit", d.handleAdmit)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", d.handleRelease)
-	mux.HandleFunc("GET /v1/bounds/{id}", d.handleBounds)
-	mux.HandleFunc("GET /v1/partition", d.handlePartition)
-	mux.HandleFunc("GET /healthz", d.handleHealthz)
-	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("POST /v1/admit", h.handleAdmit)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", h.handleRelease)
+	mux.HandleFunc("GET /v1/bounds/{id}", h.handleBounds)
+	mux.HandleFunc("GET /v1/partition", h.handlePartition)
+	mux.HandleFunc("GET /healthz", h.handleHealthz)
+	mux.HandleFunc("GET /metrics", h.handleMetrics)
+	met := svc.HTTPMetrics()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		mux.ServeHTTP(rec, r)
-		d.met.ObserveHTTP(rec.status, time.Since(start))
+		met.ObserveHTTP(rec.status, time.Since(start))
 	})
+}
+
+// handler adapts a Service to the HTTP wire shapes.
+type handler struct {
+	svc Service
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -121,8 +130,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeBackpressure is the shed path: the client is asked to retry
 // after the configured hint instead of the daemon blocking or queueing
 // without bound.
-func (d *Daemon) writeBackpressure(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.cfg.RetryAfter.Seconds()))))
+func (h *handler) writeBackpressure(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(h.svc.RetryAfter().Seconds()))))
 	status := http.StatusTooManyRequests
 	if errors.Is(err, ErrDraining) {
 		status = http.StatusServiceUnavailable
@@ -130,15 +139,15 @@ func (d *Daemon) writeBackpressure(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error(), Retry: true})
 }
 
-func (d *Daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
+func (h *handler) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeAdmit(r.Body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	res, err := d.Admit(req)
+	res, err := h.svc.Admit(req)
 	if err != nil {
-		d.writeBackpressure(w, err)
+		h.writeBackpressure(w, err)
 		return
 	}
 	resp := admitResponse{Admitted: res.Admitted, RequiredRate: res.RequiredRate,
@@ -153,15 +162,15 @@ func parseID(r *http.Request) (uint64, error) {
 	return strconv.ParseUint(r.PathValue("id"), 10, 64)
 }
 
-func (d *Daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
+func (h *handler) handleRelease(w http.ResponseWriter, r *http.Request) {
 	id, err := parseID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed session id"})
 		return
 	}
-	ok, err := d.Release(id)
+	ok, err := h.svc.Release(id)
 	if err != nil {
-		d.writeBackpressure(w, err)
+		h.writeBackpressure(w, err)
 		return
 	}
 	if !ok {
@@ -201,7 +210,7 @@ func parseEvalPoint(r *http.Request, key string) (float64, error) {
 	return v, nil
 }
 
-func (d *Daemon) handleBounds(w http.ResponseWriter, r *http.Request) {
+func (h *handler) handleBounds(w http.ResponseWriter, r *http.Request) {
 	id, err := parseID(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed session id"})
@@ -217,13 +226,12 @@ func (d *Daemon) handleBounds(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	ep := d.CurrentEpoch()
-	rep, ok := ep.BoundsFor(id, q, dly)
+	rep, ok := h.svc.Bounds(id, q, dly)
 	if !ok {
-		if d.Pending(id) {
+		if h.svc.Pending(id) {
 			// Admitted after the current epoch was built: the next
 			// rebuild (bounded by MaxEpochAge) will carry it.
-			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.cfg.MaxEpochAge.Seconds()))+1))
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(h.svc.EpochAgeBound().Seconds()))+1))
 			writeJSON(w, http.StatusTooEarly, errorResponse{Error: "session not yet in published epoch", Retry: true})
 			return
 		}
@@ -249,47 +257,61 @@ func (d *Daemon) handleBounds(w http.ResponseWriter, r *http.Request) {
 }
 
 // partitionWire is the JSON shape of GET /v1/partition: the feasible
-// partition H_1..H_L of the published epoch, by session id.
+// partition H_1..H_L of the published epoch(s), by session id.
 type partitionWire struct {
 	Epoch    uint64     `json:"epoch"`
 	Sessions int        `json:"sessions"`
 	Classes  [][]string `json:"classes"`
 }
 
-func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
-	ep := d.CurrentEpoch()
-	out := partitionWire{Epoch: ep.Seq, Sessions: ep.Sessions(), Classes: [][]string{}}
-	if ep.Analysis != nil {
-		for _, class := range ep.Analysis.Partition.Classes {
-			ids := make([]string, len(class))
-			for k, i := range class {
-				ids[k] = strconv.FormatUint(ep.IDs[i], 10)
-			}
-			out.Classes = append(out.Classes, ids)
+func (h *handler) handlePartition(w http.ResponseWriter, r *http.Request) {
+	shard := -1
+	if s := r.URL.Query().Get("shard"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 16)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed shard index"})
+			return
 		}
+		shard = int(v)
+	}
+	view, err := h.svc.Partition(shard)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown shard index"})
+		return
+	}
+	out := partitionWire{Epoch: view.Epoch, Sessions: view.Sessions, Classes: [][]string{}}
+	for _, class := range view.Classes {
+		ids := make([]string, len(class))
+		for k, id := range class {
+			ids[k] = strconv.FormatUint(id, 10)
+		}
+		out.Classes = append(out.Classes, ids)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	d.mu.RLock()
-	draining := d.closing
-	d.mu.RUnlock()
-	ep := d.CurrentEpoch()
+func (h *handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hv := h.svc.Health()
 	status, code := "ok", http.StatusOK
-	if draining {
+	if hv.Draining {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":   status,
-		"epoch":    ep.Seq,
-		"sessions": ep.Sessions(),
-		"used":     ep.Used,
-		"rate":     d.cfg.Rate,
-	})
+		"epoch":    hv.EpochSeq,
+		"sessions": hv.Sessions,
+		"used":     hv.Used,
+		"rate":     hv.Rate,
+	}
+	// The flat shape is a wire contract (walcheck bit-compares it); the
+	// shard count rides along only when there is more than one.
+	if hv.Shards > 1 {
+		body["shards"] = hv.Shards
+	}
+	writeJSON(w, code, body)
 }
 
-func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	d.WriteMetrics(w)
+	h.svc.WriteMetrics(w)
 }

@@ -35,6 +35,9 @@ type Metrics struct {
 	TypeEvalHits      atomic.Int64 // per-type target evaluations served from the cross-epoch memo
 	TypeEvalMisses    atomic.Int64 // per-type target evaluations computed
 
+	LedgerRefills atomic.Int64 // capacity reservations taken from the cross-shard ledger
+	LedgerReturns atomic.Int64 // surplus capacity handed back to the ledger
+
 	WALAppends          atomic.Int64 // mutations made durable in the write-ahead log
 	WALAppendFailures   atomic.Int64 // appends the log refused (mutation not applied)
 	WALSnapshots        atomic.Int64 // WAL state snapshots written
@@ -58,6 +61,13 @@ type Metrics struct {
 	rebP50      *stats.P2Quantile
 	rebP99      *stats.P2Quantile
 	rebObserved int64
+
+	// decMu guards the admission-decision latency estimators (queue
+	// wait + writer apply, observed by the sharded facade per shard).
+	decMu       sync.Mutex
+	decP50      *stats.P2Quantile
+	decP99      *stats.P2Quantile
+	decObserved int64
 }
 
 // NewMetrics returns an empty counter set.
@@ -66,7 +76,31 @@ func NewMetrics() *Metrics {
 	p99, _ := stats.NewP2Quantile(0.99)
 	r50, _ := stats.NewP2Quantile(0.5)
 	r99, _ := stats.NewP2Quantile(0.99)
-	return &Metrics{latP50: p50, latP99: p99, rebP50: r50, rebP99: r99}
+	d50, _ := stats.NewP2Quantile(0.5)
+	d99, _ := stats.NewP2Quantile(0.99)
+	return &Metrics{latP50: p50, latP99: p99, rebP50: r50, rebP99: r99, decP50: d50, decP99: d99}
+}
+
+// ObserveDecision records one admission/release decision's end-to-end
+// latency (submit to reply) in the P² decision estimators.
+func (m *Metrics) ObserveDecision(dur time.Duration) {
+	s := dur.Seconds()
+	m.decMu.Lock()
+	m.decP50.Add(s)
+	m.decP99.Add(s)
+	m.decObserved++
+	m.decMu.Unlock()
+}
+
+// DecisionSummary returns the p50/p99 decision latency in seconds and
+// the observation count as one consistent snapshot.
+func (m *Metrics) DecisionSummary() (p50, p99 float64, observed int64) {
+	m.decMu.Lock()
+	defer m.decMu.Unlock()
+	if m.decP50.N() == 0 {
+		return 0, 0, m.decObserved
+	}
+	return m.decP50.Quantile(), m.decP99.Quantile(), m.decObserved
 }
 
 // ObserveRebuild records one epoch publish duration (delta or full) in
@@ -136,70 +170,137 @@ func (m *Metrics) LatencySummary() (p50, p99 float64, observed int64) {
 	return m.latP50.Quantile(), m.latP99.Quantile(), m.observed
 }
 
-// WriteMetrics renders the full metric set in Prometheus text format:
-// the daemon's decision counters, epoch/queue gauges sampled at scrape
-// time, and the latency quantiles.
-func (d *Daemon) WriteMetrics(w io.Writer) {
-	m := d.met
-	ep := d.CurrentEpoch()
-	if ep == nil {
-		// A scrape that races daemon startup must render zeros, not
-		// panic the handler.
-		ep = &Epoch{}
-	}
-	p50, p99, observed := m.LatencySummary()
+// metricsFrame is one scrape's worth of aggregate values — assembled
+// from a standalone daemon's counter set, or summed across shard
+// writers by the facade — rendered identically either way so every
+// consumer (gpsdload, the smoke scripts) sees the same metric names
+// whatever the shard count.
+type metricsFrame struct {
+	admits, rejects, releases, releaseMisses, shed                            int64
+	rebuilds, rebuildFailures, rebuildNanos                                   int64
+	deltaRebuilds, fullRebuilds, deltaFallbacks, selfChecks, selfCheckFails   int64
+	typeEvalHits, typeEvalMisses, cacheHits, cacheMisses                      int64
+	ledgerRefills, ledgerReturns                                              int64
+	walAppends, walAppendFailures, walSnapshots, walSnapshotFails, walRecOps  int64
+	resp2xx, resp4xx, resp5xx                                                 int64
+	latP50, latP99                                                            float64
+	latN                                                                      int64
+	rebP50, rebP99                                                            float64
+	rebN                                                                      int64
+	epochSeq                                                                  uint64
+	sessions, targetsMet, guaranteed, degraded, infeasible, queueDepth        int
+	utilization, epochAge                                                     float64
+}
+
+// addCounters folds m's counters into the frame (the P² summaries and
+// gauges are the caller's business — quantiles do not sum).
+func (f *metricsFrame) addCounters(m *Metrics) {
+	f.admits += m.Admits.Load()
+	f.rejects += m.Rejects.Load()
+	f.releases += m.Releases.Load()
+	f.releaseMisses += m.ReleaseMisses.Load()
+	f.shed += m.Shed.Load()
+	f.rebuilds += m.Rebuilds.Load()
+	f.rebuildFailures += m.RebuildFailures.Load()
+	f.rebuildNanos += m.RebuildNanos.Load()
+	f.deltaRebuilds += m.DeltaRebuilds.Load()
+	f.fullRebuilds += m.FullRebuilds.Load()
+	f.deltaFallbacks += m.DeltaFallbacks.Load()
+	f.selfChecks += m.SelfChecks.Load()
+	f.selfCheckFails += m.SelfCheckFailures.Load()
+	f.typeEvalHits += m.TypeEvalHits.Load()
+	f.typeEvalMisses += m.TypeEvalMisses.Load()
+	f.cacheHits += m.CacheHits.Load()
+	f.cacheMisses += m.CacheMisses.Load()
+	f.ledgerRefills += m.LedgerRefills.Load()
+	f.ledgerReturns += m.LedgerReturns.Load()
+	f.walAppends += m.WALAppends.Load()
+	f.walAppendFailures += m.WALAppendFailures.Load()
+	f.walSnapshots += m.WALSnapshots.Load()
+	f.walSnapshotFails += m.WALSnapshotFailures.Load()
+	f.walRecOps += m.WALRecoveredOps.Load()
+	f.resp2xx += m.resp2xx.Load()
+	f.resp4xx += m.resp4xx.Load()
+	f.resp5xx += m.resp5xx.Load()
+}
+
+// render writes the frame in Prometheus text format.
+func (f *metricsFrame) render(w io.Writer) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, format string, v any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
 	}
-	counter("gpsd_admits_total", "accepted admission decisions", m.Admits.Load())
-	counter("gpsd_rejects_total", "rejected admission decisions", m.Rejects.Load())
-	counter("gpsd_releases_total", "successful session releases", m.Releases.Load())
-	counter("gpsd_release_misses_total", "releases of unknown session ids", m.ReleaseMisses.Load())
-	counter("gpsd_shed_total", "mutations shed by queue backpressure", m.Shed.Load())
-	counter("gpsd_epoch_rebuilds_total", "epochs published", m.Rebuilds.Load())
-	counter("gpsd_epoch_rebuild_failures_total", "epoch builds rejected by the analysis", m.RebuildFailures.Load())
-	counter("gpsd_epoch_rebuild_seconds_total_nanos", "cumulative nanoseconds inside epoch rebuilds", m.RebuildNanos.Load())
-	counter("gpsd_epoch_delta_rebuilds_total", "epochs published by the incremental path", m.DeltaRebuilds.Load())
-	counter("gpsd_epoch_full_rebuilds_total", "epochs published by the from-scratch path", m.FullRebuilds.Load())
-	counter("gpsd_epoch_delta_fallbacks_total", "delta attempts that fell back to a full rebuild", m.DeltaFallbacks.Load())
-	counter("gpsd_epoch_selfchecks_total", "delta epochs compared against a from-scratch analysis", m.SelfChecks.Load())
-	counter("gpsd_epoch_selfcheck_failures_total", "self-checks that found a difference", m.SelfCheckFailures.Load())
-	counter("gpsd_type_eval_hits_total", "per-type target evaluations served from the cross-epoch memo", m.TypeEvalHits.Load())
-	counter("gpsd_type_eval_misses_total", "per-type target evaluations computed", m.TypeEvalMisses.Load())
-	counter("gpsd_rate_cache_hits_total", "required-rate memo hits", m.CacheHits.Load())
-	counter("gpsd_rate_cache_misses_total", "required-rate memo misses", m.CacheMisses.Load())
-	counter("gpsd_wal_appends_total", "mutations made durable in the write-ahead log", m.WALAppends.Load())
-	counter("gpsd_wal_append_failures_total", "WAL appends refused (mutation not applied)", m.WALAppendFailures.Load())
-	counter("gpsd_wal_snapshots_total", "WAL state snapshots written", m.WALSnapshots.Load())
-	counter("gpsd_wal_snapshot_failures_total", "WAL snapshots that failed", m.WALSnapshotFailures.Load())
-	counter("gpsd_wal_recovered_ops_total", "log-suffix ops replayed at boot", m.WALRecoveredOps.Load())
+	counter("gpsd_admits_total", "accepted admission decisions", f.admits)
+	counter("gpsd_rejects_total", "rejected admission decisions", f.rejects)
+	counter("gpsd_releases_total", "successful session releases", f.releases)
+	counter("gpsd_release_misses_total", "releases of unknown session ids", f.releaseMisses)
+	counter("gpsd_shed_total", "mutations shed by queue backpressure", f.shed)
+	counter("gpsd_epoch_rebuilds_total", "epochs published", f.rebuilds)
+	counter("gpsd_epoch_rebuild_failures_total", "epoch builds rejected by the analysis", f.rebuildFailures)
+	counter("gpsd_epoch_rebuild_seconds_total_nanos", "cumulative nanoseconds inside epoch rebuilds", f.rebuildNanos)
+	counter("gpsd_epoch_delta_rebuilds_total", "epochs published by the incremental path", f.deltaRebuilds)
+	counter("gpsd_epoch_full_rebuilds_total", "epochs published by the from-scratch path", f.fullRebuilds)
+	counter("gpsd_epoch_delta_fallbacks_total", "delta attempts that fell back to a full rebuild", f.deltaFallbacks)
+	counter("gpsd_epoch_selfchecks_total", "delta epochs compared against a from-scratch analysis", f.selfChecks)
+	counter("gpsd_epoch_selfcheck_failures_total", "self-checks that found a difference", f.selfCheckFails)
+	counter("gpsd_type_eval_hits_total", "per-type target evaluations served from the cross-epoch memo", f.typeEvalHits)
+	counter("gpsd_type_eval_misses_total", "per-type target evaluations computed", f.typeEvalMisses)
+	counter("gpsd_rate_cache_hits_total", "required-rate memo hits", f.cacheHits)
+	counter("gpsd_rate_cache_misses_total", "required-rate memo misses", f.cacheMisses)
+	counter("gpsd_ledger_refills_total", "capacity reservations taken from the cross-shard ledger", f.ledgerRefills)
+	counter("gpsd_ledger_returns_total", "surplus capacity handed back to the ledger", f.ledgerReturns)
+	counter("gpsd_wal_appends_total", "mutations made durable in the write-ahead log", f.walAppends)
+	counter("gpsd_wal_append_failures_total", "WAL appends refused (mutation not applied)", f.walAppendFailures)
+	counter("gpsd_wal_snapshots_total", "WAL state snapshots written", f.walSnapshots)
+	counter("gpsd_wal_snapshot_failures_total", "WAL snapshots that failed", f.walSnapshotFails)
+	counter("gpsd_wal_recovered_ops_total", "log-suffix ops replayed at boot", f.walRecOps)
 	fmt.Fprintf(w, "# HELP gpsd_http_responses_total served responses by status class\n# TYPE gpsd_http_responses_total counter\n")
-	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"2xx\"} %d\n", m.resp2xx.Load())
-	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"4xx\"} %d\n", m.resp4xx.Load())
-	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"5xx\"} %d\n", m.resp5xx.Load())
-	gauge("gpsd_epoch_seq", "sequence number of the published epoch", "%d", ep.Seq)
-	gauge("gpsd_sessions", "sessions in the published epoch", "%d", ep.Sessions())
-	gauge("gpsd_utilization", "sum of required rates over link rate (published epoch)", "%g", ep.Used/d.cfg.Rate)
-	gauge("gpsd_targets_met", "epoch sessions whose analysis bound meets their declared target", "%d", ep.TargetsMet)
-	gauge("gpsd_sessions_guaranteed", "epoch sessions Guaranteed under ClassifyUnderRate revalidation", "%d", ep.Guaranteed)
-	gauge("gpsd_sessions_degraded", "epoch sessions Degraded under revalidation (invariant breach)", "%d", ep.Degraded)
-	gauge("gpsd_sessions_infeasible", "epoch sessions Infeasible under revalidation (invariant breach)", "%d", ep.Infeasible)
-	gauge("gpsd_queue_depth", "instantaneous mutation-queue occupancy", "%d", d.QueueDepth())
-	age := 0.0
-	if ep.Seq > 0 {
-		age = time.Since(ep.BuiltAt).Seconds()
-	}
-	gauge("gpsd_epoch_age_seconds", "age of the published epoch at scrape time", "%g", age)
+	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"2xx\"} %d\n", f.resp2xx)
+	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"4xx\"} %d\n", f.resp4xx)
+	fmt.Fprintf(w, "gpsd_http_responses_total{class=\"5xx\"} %d\n", f.resp5xx)
+	gauge("gpsd_epoch_seq", "sequence number of the published epoch", "%d", f.epochSeq)
+	gauge("gpsd_sessions", "sessions in the published epoch", "%d", f.sessions)
+	gauge("gpsd_utilization", "sum of required rates over link rate (published epoch)", "%g", f.utilization)
+	gauge("gpsd_targets_met", "epoch sessions whose analysis bound meets their declared target", "%d", f.targetsMet)
+	gauge("gpsd_sessions_guaranteed", "epoch sessions Guaranteed under ClassifyUnderRate revalidation", "%d", f.guaranteed)
+	gauge("gpsd_sessions_degraded", "epoch sessions Degraded under revalidation (invariant breach)", "%d", f.degraded)
+	gauge("gpsd_sessions_infeasible", "epoch sessions Infeasible under revalidation (invariant breach)", "%d", f.infeasible)
+	gauge("gpsd_queue_depth", "instantaneous mutation-queue occupancy", "%d", f.queueDepth)
+	gauge("gpsd_epoch_age_seconds", "age of the published epoch at scrape time", "%g", f.epochAge)
 	fmt.Fprintf(w, "# HELP gpsd_handler_latency_seconds handler latency quantiles (P2 estimator)\n# TYPE gpsd_handler_latency_seconds summary\n")
-	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.5\"} %g\n", p50)
-	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.99\"} %g\n", p99)
-	fmt.Fprintf(w, "gpsd_handler_latency_seconds_count %d\n", observed)
-	r50, r99, rebObserved := m.RebuildSummary()
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.5\"} %g\n", f.latP50)
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds{quantile=\"0.99\"} %g\n", f.latP99)
+	fmt.Fprintf(w, "gpsd_handler_latency_seconds_count %d\n", f.latN)
 	fmt.Fprintf(w, "# HELP gpsd_rebuild_duration_seconds epoch publish duration quantiles (P2 estimator)\n# TYPE gpsd_rebuild_duration_seconds summary\n")
-	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds{quantile=\"0.5\"} %g\n", r50)
-	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds{quantile=\"0.99\"} %g\n", r99)
-	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds_count %d\n", rebObserved)
+	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds{quantile=\"0.5\"} %g\n", f.rebP50)
+	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds{quantile=\"0.99\"} %g\n", f.rebP99)
+	fmt.Fprintf(w, "gpsd_rebuild_duration_seconds_count %d\n", f.rebN)
+}
+
+// WriteMetrics renders the full metric set in Prometheus text format:
+// the daemon's decision counters, epoch/queue gauges sampled at scrape
+// time, and the latency quantiles.
+func (d *Daemon) WriteMetrics(w io.Writer) {
+	ep := d.CurrentEpoch()
+	if ep == nil {
+		// A scrape that races daemon startup must render zeros, not
+		// panic the handler.
+		ep = &Epoch{}
+	}
+	var f metricsFrame
+	f.addCounters(d.met)
+	f.latP50, f.latP99, f.latN = d.met.LatencySummary()
+	f.rebP50, f.rebP99, f.rebN = d.met.RebuildSummary()
+	f.epochSeq = ep.Seq
+	f.sessions = ep.Sessions()
+	f.utilization = ep.Used / d.cfg.Rate
+	f.targetsMet = ep.TargetsMet
+	f.guaranteed, f.degraded, f.infeasible = ep.Guaranteed, ep.Degraded, ep.Infeasible
+	f.queueDepth = d.QueueDepth()
+	if ep.Seq > 0 {
+		f.epochAge = time.Since(ep.BuiltAt).Seconds()
+	}
+	f.render(w)
 }

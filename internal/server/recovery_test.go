@@ -232,12 +232,12 @@ func TestRateCacheCapConcurrentDistinctKeys(t *testing.T) {
 	close(start)
 	wg.Wait()
 
-	size := d.rateCacheSize.Load()
+	size := d.rates.size.Load()
 	if size > cap {
 		t.Errorf("rate cache size %d exceeds cap %d", size, cap)
 	}
 	entries := 0
-	d.rateCache.Range(func(_, _ any) bool {
+	d.rates.cache.Range(func(_, _ any) bool {
 		entries++
 		return true
 	})

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/ebb"
 	"repro/internal/gpsmath"
+	"repro/internal/ledger"
 	"repro/internal/wal"
 )
 
@@ -117,6 +119,31 @@ type Config struct {
 	// delta-built epoch and adopts it (plus a metric) on any bit
 	// difference. Default 128; negative disables.
 	SelfCheckEvery int
+
+	// ShardID and ShardBits place this daemon inside a sharded writer
+	// (server.Sharded): session ids carry the shard id in their low
+	// ShardBits bits, so the writer assigns ids with a stride of
+	// 1<<ShardBits starting at ShardID. The zero values reproduce the
+	// standalone daemon's ids exactly (stride 1 from 0).
+	ShardID   uint64
+	ShardBits uint
+	// Capacity is the slice of the link rate this writer admits
+	// against and analyzes at; 0 defaults to Rate for a standalone
+	// daemon. In a sharded writer the per-shard capacities always sum
+	// to at most Rate (the ledger enforces it), so per-shard analysis
+	// at Capacity is a sound hierarchical GPS decomposition of the
+	// link.
+	Capacity float64
+	// Ledger, when non-nil, lets the writer grow Capacity on demand:
+	// an admit that overflows the slice reserves a batched refill
+	// quantum from the shared budget instead of rejecting, and
+	// releases return surplus slack. Nil pins Capacity.
+	Ledger *ledger.Ledger
+	// LedgerQuantum is the refill batch size (see ledger.DefaultQuantum).
+	LedgerQuantum float64
+	// Rates optionally shares a required-rate memo across daemons; nil
+	// builds a private one bounded by RateCacheMax.
+	Rates *RateMemo
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +176,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SelfCheckEvery == 0 {
 		c.SelfCheckEvery = 128
+	}
+	if c.Capacity <= 0 && c.Ledger == nil {
+		c.Capacity = c.Rate
 	}
 	return c
 }
@@ -304,13 +334,19 @@ type Daemon struct {
 	epoch atomic.Pointer[Epoch]
 	live  sync.Map // uint64 -> *record; written only by the writer
 
-	rateCache     sync.Map // rateKey -> float64
-	rateCacheSize atomic.Int64
+	rates *RateMemo
+
+	// capBits mirrors the writer's capacity for lock-free scrape reads
+	// (Float64bits; the writer updates it on every ledger move).
+	capBits atomic.Uint64
 
 	// Writer-owned state (no locks: only the run goroutine touches it).
 	sessions    map[uint64]*record
 	order       []uint64 // admission order; swap-removed on release
 	used        float64  // Σ required rates of the admitted set
+	capacity    float64  // admission headroom ceiling (== cfg.Rate unless a ledger resizes it)
+	capDirty    bool     // capacity moved since the last analyzer refresh
+	stride      uint64   // id increment: 1<<cfg.ShardBits
 	nextID      uint64
 	opsSince    int // mutations since the last published epoch
 	dirty       bool
@@ -325,6 +361,7 @@ type Daemon struct {
 	// discipline so published epochs stay immutable.
 	delta       *gpsmath.DeltaAnalyzer
 	pending     []pendingOp
+	shadow      *shadowBacking // pooled arrays the sh* slices alias
 	shIDs       []uint64
 	shTargets   []admission.Target
 	shIDsSorted []uint64
@@ -353,13 +390,27 @@ func New(cfg Config) (*Daemon, error) {
 	if err := validateRate(cfg.Rate); err != nil {
 		return nil, err
 	}
+	if cfg.Capacity < 0 || math.IsNaN(cfg.Capacity) || math.IsInf(cfg.Capacity, 0) {
+		return nil, fmt.Errorf("%w: capacity = %v, want nonnegative finite", gpsmath.ErrInvalidInput, cfg.Capacity)
+	}
+	if cfg.ShardID >= 1<<cfg.ShardBits {
+		return nil, fmt.Errorf("%w: shard id %d does not fit in %d shard bits", gpsmath.ErrInvalidInput, cfg.ShardID, cfg.ShardBits)
+	}
+	rates := cfg.Rates
+	if rates == nil {
+		rates = NewRateMemo(cfg.RateCacheMax)
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		met:      NewMetrics(),
+		rates:    rates,
 		ops:      make(chan op, cfg.QueueDepth),
 		stopped:  make(chan struct{}),
 		sessions: make(map[uint64]*record),
 		types:    make(map[rateKey]*typeEntry),
+		capacity: cfg.Capacity,
+		stride:   1 << cfg.ShardBits,
+		nextID:   cfg.ShardID,
 		// Sized so the per-decision append never grows mid-batch (a
 		// batch is at most MaxBatch ops before a forced rebuild drains
 		// it); capped for configs that use MaxBatch as "never".
@@ -370,7 +421,13 @@ func New(cfg Config) (*Daemon, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: replaying recovered history: %w", err)
 		}
-		d.nextID = st.NextID
+		if st.NextID != 0 {
+			if st.NextID&(d.stride-1) != cfg.ShardID {
+				return nil, fmt.Errorf("server: recovered id counter %d does not belong to shard %d/%d bits",
+					st.NextID, cfg.ShardID, cfg.ShardBits)
+			}
+			d.nextID = st.NextID
+		}
 		d.used = st.Used // the live writer's running sum, not a recomputation
 		d.order = make([]uint64, len(st.Sessions))
 		for i, s := range st.Sessions {
@@ -389,12 +446,12 @@ func New(cfg Config) (*Daemon, error) {
 		}
 		d.met.WALRecoveredOps.Store(int64(len(cfg.Recovered.Ops)))
 	}
+	d.capBits.Store(math.Float64bits(d.capacity))
 	ep := d.buildEpochFull(1)
 	if ep == nil {
 		return nil, fmt.Errorf("server: recovered session set failed analysis")
 	}
-	d.epoch.Store(ep)
-	d.shadowOwned = false
+	d.publish(ep)
 	d.met.FullRebuilds.Add(1)
 	d.lastRebuild = time.Now()
 	go d.run()
@@ -551,36 +608,17 @@ func (d *Daemon) Close(ctx context.Context) error {
 	}
 }
 
-// requiredRate is admission.RequiredRate behind a bounded memo: the
-// load a daemon sees is dominated by a small palette of declared
-// session types, so the bisection runs once per distinct tuple.
+// requiredRate answers from the (possibly shared) RateMemo and keeps
+// this daemon's hit/miss counters.
 func (d *Daemon) requiredRate(p ebb.Process, t admission.Target) (float64, error) {
-	k := rateKey{p.Rho, p.Lambda, p.Alpha, t.Delay, t.Eps}
-	if v, ok := d.rateCache.Load(k); ok {
-		d.met.CacheHits.Add(1)
-		return v.(float64), nil
-	}
-	g, err := admission.RequiredRate(p, t)
+	g, hit, err := d.rates.Required(p, t)
 	if err != nil {
 		return 0, err
 	}
-	d.met.CacheMisses.Add(1)
-	// Reserve a slot before inserting: a plain load-check followed by
-	// LoadOrStore lets N concurrent misses all pass the check and
-	// overshoot the cap by up to N entries. The CAS loop hands out at
-	// most RateCacheMax reservations ever; a reservation whose insert
-	// loses the per-key race is returned to the pool.
-	for {
-		n := d.rateCacheSize.Load()
-		if n >= int64(d.cfg.RateCacheMax) {
-			break
-		}
-		if d.rateCacheSize.CompareAndSwap(n, n+1) {
-			if _, loaded := d.rateCache.LoadOrStore(k, g); loaded {
-				d.rateCacheSize.Add(-1)
-			}
-			break
-		}
+	if hit {
+		d.met.CacheHits.Add(1)
+	} else {
+		d.met.CacheMisses.Add(1)
 	}
 	return g, nil
 }
@@ -637,18 +675,18 @@ func (d *Daemon) apply(o op) {
 		o.reply <- opResult{ok: true}
 		return
 	case opAdmit:
-		if d.used+o.g > d.cfg.Rate {
+		if d.used+o.g > d.capacity && !d.refillCapacity(o.g) {
 			d.met.Rejects.Add(1)
-			o.reply <- opResult{ok: false, free: d.cfg.Rate - d.used}
+			o.reply <- opResult{ok: false, free: d.capacity - d.used}
 			return
 		}
-		id := d.nextID + 1
+		id := d.nextID + d.stride
 		if err := d.logAppend(wal.Op{
 			Kind: wal.KindAdmit, ID: id, Name: o.name,
 			Rho: o.arr.Rho, Lambda: o.arr.Lambda, Alpha: o.arr.Alpha,
 			Delay: o.target.Delay, Eps: o.target.Eps, G: o.g,
 		}); err != nil {
-			o.reply <- opResult{err: err, free: d.cfg.Rate - d.used}
+			o.reply <- opResult{err: err, free: d.capacity - d.used}
 			return
 		}
 		d.nextID = id
@@ -663,16 +701,16 @@ func (d *Daemon) apply(o op) {
 		d.dirty = true
 		d.opsSince++
 		d.met.Admits.Add(1)
-		o.reply <- opResult{ok: true, id: rec.ID, free: d.cfg.Rate - d.used}
+		o.reply <- opResult{ok: true, id: rec.ID, free: d.capacity - d.used}
 	case opRelease:
 		rec, ok := d.sessions[o.id]
 		if !ok {
 			d.met.ReleaseMisses.Add(1)
-			o.reply <- opResult{ok: false, free: d.cfg.Rate - d.used}
+			o.reply <- opResult{ok: false, free: d.capacity - d.used}
 			return
 		}
 		if err := d.logAppend(wal.Op{Kind: wal.KindRelease, ID: o.id}); err != nil {
-			o.reply <- opResult{err: err, free: d.cfg.Rate - d.used}
+			o.reply <- opResult{err: err, free: d.capacity - d.used}
 			return
 		}
 		// Swap-remove from the admission-order slice, O(1).
@@ -686,10 +724,54 @@ func (d *Daemon) apply(o op) {
 		d.live.Delete(o.id)
 		d.typeRemove(rec)
 		d.recordPending(pendingOp{rec: rec, pos: rec.pos})
+		d.trimCapacity()
 		d.dirty = true
 		d.opsSince++
 		d.met.Releases.Add(1)
-		o.reply <- opResult{ok: true, id: o.id, free: d.cfg.Rate - d.used}
+		o.reply <- opResult{ok: true, id: o.id, free: d.capacity - d.used}
+	}
+}
+
+// refillCapacity grows the writer's capacity slice from the shared
+// ledger when an admit overflows it: one CAS-batched reservation
+// covers a run of future admits, so the cross-shard word is touched
+// once per quantum, not per decision. Returns false — reject, exactly
+// like a full standalone link — when there is no ledger or the global
+// budget cannot cover the need.
+func (d *Daemon) refillCapacity(g float64) bool {
+	if d.cfg.Ledger == nil {
+		return false
+	}
+	granted := d.cfg.Ledger.Reserve(d.used+g-d.capacity, d.cfg.LedgerQuantum)
+	if granted == 0 {
+		return false
+	}
+	d.capacity += granted
+	d.capBits.Store(math.Float64bits(d.capacity))
+	d.capDirty = true
+	d.met.LedgerRefills.Add(1)
+	return true
+}
+
+// trimCapacity returns surplus slack to the ledger after a release,
+// with hysteresis: only when more than two quantums sit idle, and
+// always keeping at least one quantum of headroom, so admit/release
+// churn at a stable population never ping-pongs the shared word.
+func (d *Daemon) trimCapacity() {
+	led := d.cfg.Ledger
+	q := d.cfg.LedgerQuantum
+	if led == nil || !(q > 0) {
+		return
+	}
+	if excess := d.capacity - d.used; excess > 2*q {
+		give := (math.Floor(excess/q) - 1) * q
+		if give > 0 {
+			d.capacity -= give
+			d.capBits.Store(math.Float64bits(d.capacity))
+			led.Return(give)
+			d.capDirty = true
+			d.met.LedgerReturns.Add(1)
+		}
 	}
 }
 

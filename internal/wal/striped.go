@@ -1,0 +1,166 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Striped layout: a WAL directory can hold N independent stripes —
+// stripe-00/, stripe-01/, ... — each a complete single-writer Log with
+// its own segment chain, snapshots, and sequence space, plus a tiny
+// top-level "stripes" file recording the stripe count. Each shard
+// writer of a sharded daemon owns exactly one stripe, so appends never
+// contend across shards; recovery folds the stripes back per shard and
+// the composed state is a deterministic function of the stripe set.
+//
+// A directory is flat (PR-7 layout: wal-*.seg at top level) or striped
+// (a "stripes" file), never both; the open paths refuse to mix them.
+
+// StripesFileName is the top-level marker recording the stripe count.
+const StripesFileName = "stripes"
+
+// StripeDirName returns stripe i's subdirectory name.
+func StripeDirName(i int) string { return fmt.Sprintf("stripe-%02d", i) }
+
+// maxStripes bounds the stripe count to something a hostile "stripes"
+// file cannot turn into a directory bomb.
+const maxStripes = 1 << 10
+
+// ReadStripes reports the stripe count recorded in dir: 0 when the
+// directory is flat (no "stripes" file, including when dir does not
+// exist yet), the recorded count otherwise.
+func ReadStripes(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StripesFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: reading stripes file: %w", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || n < 1 || n > maxStripes {
+		return 0, fmt.Errorf("%w: stripes file holds %q, want 1..%d", ErrCorrupt, strings.TrimSpace(string(data)), maxStripes)
+	}
+	return n, nil
+}
+
+// HasFlatLayout reports whether dir holds top-level segments or
+// snapshots (the single-writer layout).
+func HasFlatLayout(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && (strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg") ||
+			strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap")) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// writeStripesFile persists the stripe count durably (tmp, fsync,
+// rename, fsync dir) before any stripe is created, so a crash between
+// stripe creations still recovers as a striped directory.
+func writeStripesFile(dir string, n int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, StripesFileName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", n); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, StripesFileName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// OpenStriped opens (creating if needed) an n-stripe WAL under dir and
+// returns the per-stripe logs and recovery states in stripe order.
+// When dir is already striped, n must match the recorded count (or be
+// 0 to adopt it). A flat directory is refused: striping an existing
+// single-writer history would silently orphan it.
+func OpenStriped(dir string, n int, o Options) ([]*Log, []*Recovered, error) {
+	existing, err := ReadStripes(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if existing == 0 {
+		flat, err := HasFlatLayout(dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: probing layout: %w", err)
+		}
+		if flat {
+			return nil, nil, fmt.Errorf("wal: %s holds a flat single-writer log; refusing to stripe over it", dir)
+		}
+		if n < 1 {
+			return nil, nil, fmt.Errorf("wal: fresh striped open needs a stripe count, got %d", n)
+		}
+		if n > maxStripes {
+			return nil, nil, fmt.Errorf("wal: %d stripes, max %d", n, maxStripes)
+		}
+		if err := writeStripesFile(dir, n); err != nil {
+			return nil, nil, fmt.Errorf("wal: writing stripes file: %w", err)
+		}
+		existing = n
+	} else if n != 0 && n != existing {
+		return nil, nil, fmt.Errorf("wal: %s has %d stripes, asked for %d", dir, existing, n)
+	}
+	n = existing
+	logs := make([]*Log, n)
+	recs := make([]*Recovered, n)
+	for i := 0; i < n; i++ {
+		l, rec, err := Open(filepath.Join(dir, StripeDirName(i)), o)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				logs[j].Close()
+			}
+			return nil, nil, fmt.Errorf("wal: stripe %d: %w", i, err)
+		}
+		logs[i], recs[i] = l, rec
+	}
+	return logs, recs, nil
+}
+
+// ReadStriped recovers every stripe read-only, in stripe order. The
+// directory must be striped.
+func ReadStriped(dir string) ([]*Recovered, error) {
+	n, err := ReadStripes(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("wal: %s is not a striped log", dir)
+	}
+	recs := make([]*Recovered, n)
+	for i := 0; i < n; i++ {
+		rec, err := Read(filepath.Join(dir, StripeDirName(i)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: stripe %d: %w", i, err)
+		}
+		recs[i] = rec
+	}
+	return recs, nil
+}

@@ -1,12 +1,14 @@
 #!/bin/sh
 # crash_smoke.sh: end-to-end crash-recovery smoke test of the WAL path.
-# Two kill/recover/verify iterations plus a corruption-rejection check:
+# Three kill/recover/verify iterations plus a corruption-rejection
+# check:
 #
-#   1. Boot gpsd with a WAL, churn it with gpsdload, SIGKILL the daemon
-#      mid-churn from outside (gpsdload -kill-pid). Recover the log
-#      offline with walcheck, restart gpsd on the same directory, and
-#      require the recovered daemon to match walcheck's fresh offline
-#      analysis bit for bit (-url mode).
+#   1. Boot gpsd with a flat single-writer WAL (-shards 1), churn it
+#      with gpsdload, SIGKILL the daemon mid-churn from outside
+#      (gpsdload -kill-pid). Recover the log offline with walcheck,
+#      restart gpsd on the same directory, and require the recovered
+#      daemon to match walcheck's fresh offline analysis bit for bit
+#      (-url mode).
 #   2. Same loop, but the daemon kills itself at an armed torn-append
 #      crashpoint (-crashpoint wal.append.torn@N): half a record is
 #      synced to disk before the kill. The torn fragment must be reported
@@ -14,11 +16,16 @@
 #   3. A copy of the crashed log gets one interior byte flipped;
 #      walcheck must refuse it with exit 2 (typed corruption), never
 #      silently truncate interior damage.
-#   4. A primary with a warm standby (-follow) is SIGKILLed mid-churn;
-#      the standby is promoted (POST /v1/promote) and the promoted
-#      daemon must match walcheck's fresh offline analysis of the
-#      MIRRORED log bit for bit — failover is just crash recovery on
-#      the other machine.
+#   4. A STRIPED WAL (-shards 4) is SIGKILLed mid-churn. walcheck must
+#      fold all four stripes offline, and a flag-less restart must adopt
+#      the striped layout by itself and come back bit-identical to the
+#      per-stripe offline analyses.
+#   5. A striped primary with a warm standby (-follow) is SIGKILLed
+#      mid-churn; the standby (whose mirror is the same stripe set,
+#      shipped under one manifest) is promoted (POST /v1/promote) and
+#      the promoted daemon must match walcheck's fresh offline analysis
+#      of the MIRRORED stripes bit for bit — failover is just crash
+#      recovery on the other machine, striped or not.
 #
 # Every recovered daemon is then drained with SIGTERM and must exit 0.
 set -eu
@@ -75,9 +82,9 @@ recover_and_verify() {
     GPSD_PID=
 }
 
-echo "crash-smoke: iteration 1: external SIGKILL mid-churn"
+echo "crash-smoke: iteration 1: external SIGKILL mid-churn (flat WAL)"
 WAL1="$DIR/wal1"
-start_gpsd "$WAL1"
+start_gpsd "$WAL1" -shards 1
 "$DIR/gpsdload" -url "http://$ADDR" -sessions 120 -workers 4 \
     -duration "${SMOKE_DURATION:-2s}" -kill-pid "$GPSD_PID" \
     -kill-after 500ms -scrape=false
@@ -87,7 +94,7 @@ recover_and_verify "$WAL1"
 
 echo "crash-smoke: iteration 2: self-kill at torn-append crashpoint"
 WAL2="$DIR/wal2"
-start_gpsd "$WAL2" -crashpoint wal.append.torn@40
+start_gpsd "$WAL2" -shards 1 -crashpoint wal.append.torn@40
 # The daemon dies during the ramp (40th logged mutation), so the load
 # run is short and tolerant: no kill flag, no scrape of a dead daemon.
 "$DIR/gpsdload" -url "http://$ADDR" -sessions 120 -workers 4 \
@@ -124,10 +131,33 @@ fi
 
 recover_and_verify "$WAL2"
 
-echo "crash-smoke: iteration 3: SIGKILL primary mid-churn, promote warm standby"
+echo "crash-smoke: iteration 3: external SIGKILL mid-churn (striped WAL, -shards 4)"
+WALS="$DIR/wal-striped"
+start_gpsd "$WALS" -shards 4
+"$DIR/gpsdload" -url "http://$ADDR" -sessions 120 -workers 4 \
+    -duration "${SMOKE_DURATION:-2s}" -kill-pid "$GPSD_PID" \
+    -kill-after 500ms -scrape=false
+wait "$GPSD_PID" 2>/dev/null || true
+GPSD_PID=
+
+# The offline fold must engage striped mode and walk all four stripes;
+# the restart below takes no -shards flag — the recorded layout alone
+# must bring the daemon back sharded.
+out=$("$DIR/walcheck" -wal-dir "$WALS" -rate "$RATE")
+echo "$out"
+case "$out" in
+*"walcheck: striped: 4 stripes"*) ;;
+*)
+    echo "crash-smoke: walcheck did not fold $WALS as 4 stripes" >&2
+    exit 1
+    ;;
+esac
+recover_and_verify "$WALS"
+
+echo "crash-smoke: iteration 4: SIGKILL striped primary mid-churn, promote warm standby"
 WAL3="$DIR/wal3"
 WAL3F="$DIR/wal3f"
-start_gpsd "$WAL3"
+start_gpsd "$WAL3" -shards 4
 PRIMARY_PID=$GPSD_PID
 PADDR=$ADDR
 rm -f "$DIR/addr-f"
@@ -164,7 +194,8 @@ case "$PROMOTE" in
 esac
 
 # The promoted daemon's live state must match an offline fold of the
-# mirror — the same bit-identity contract recovery holds locally.
+# mirrored stripe set — the same bit-identity contract recovery holds
+# locally, shard by shard.
 "$DIR/walcheck" -wal-dir "$WAL3F" -rate "$RATE" -url "http://$FADDR"
 kill -TERM "$STANDBY_PID"
 wait "$STANDBY_PID" || {

@@ -32,6 +32,9 @@ import (
 var hotPaths = []string{
 	"AdmitThroughput",
 	"AdmitThroughputScaling/sessions-1000000",
+	"AdmitThroughputSharded/shards-1/sessions-10000",
+	"AdmitThroughputSharded/shards-1/sessions-1000000",
+	"AdmitThroughputSharded/shards-8/sessions-1000000",
 	"EpochDelta/sessions-10000",
 	"EpochDelta/sessions-131072",
 	"EpochDelta/sessions-1000000",

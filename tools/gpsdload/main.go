@@ -8,6 +8,17 @@
 // (with -require-no-5xx) exits nonzero if either side saw a 5xx.
 //
 //	gpsdload -url http://127.0.0.1:7070 -sessions 1000 -duration 10s
+//	gpsdload -url http://127.0.0.1:7070 -sessions 1000 -conns 256
+//
+// -conns N switches the measured window to open-loop connection mode:
+// N independent connections, each with its own http.Client (its own
+// TCP connection and idle pool, nothing shared but the counters),
+// each running its own admit/release/bounds loop. That is the shape a
+// million-session front end presents — no two sessions share a
+// connection — and it is what makes per-shard queueing visible.
+// Against a sharded daemon the post-run scrape also prints a
+// per-shard table (decisions, p50/p99 decision latency, queue depth)
+// parsed from the gpsd_shard_* series.
 //
 // As the crash-fault harness (-kill-pid with -kill-after), it SIGKILLs
 // the daemon mid-churn instead of finishing the window: transport
@@ -223,10 +234,46 @@ func (c *client) metrics() (string, error) {
 	return string(body), err
 }
 
+// shardReport prints a per-shard table from a /metrics scrape of a
+// sharded daemon: decision count and p50/p99 decision latency from
+// the server-side P2 estimators, plus sessions and queue depth. A
+// flat daemon exports no gpsd_shard_* series and prints nothing.
+func shardReport(text string) {
+	get := func(name, shard, rest string) (float64, bool) {
+		re := regexp.MustCompile(name + `\{shard="` + shard + `"` + rest + `\} ([0-9eE+.\-]+|NaN)`)
+		m := re.FindStringSubmatch(text)
+		if m == nil {
+			return 0, false
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		return v, err == nil
+	}
+	for i := 0; ; i++ {
+		shard := strconv.Itoa(i)
+		n, ok := get(`gpsd_shard_decision_latency_seconds_count`, shard, ``)
+		if !ok {
+			if i == 0 {
+				return
+			}
+			break
+		}
+		p50, _ := get(`gpsd_shard_decision_latency_seconds`, shard, `,quantile="0\.5"`)
+		p99, _ := get(`gpsd_shard_decision_latency_seconds`, shard, `,quantile="0\.99"`)
+		sessions, _ := get(`gpsd_shard_sessions`, shard, ``)
+		queue, _ := get(`gpsd_shard_queue_depth`, shard, ``)
+		fmt.Printf("gpsdload: shard %d: %.0f decisions, p50 %v p99 %v, %.0f sessions, queue %.0f\n",
+			i, n,
+			time.Duration(p50*1e9).Round(time.Microsecond),
+			time.Duration(p99*1e9).Round(time.Microsecond),
+			sessions, queue)
+	}
+}
+
 func main() {
 	url := flag.String("url", "http://127.0.0.1:7070", "gpsd base URL")
 	sessions := flag.Int("sessions", 1000, "target session population")
-	workers := flag.Int("workers", 8, "closed-loop worker goroutines")
+	workers := flag.Int("workers", 8, "closed-loop worker goroutines sharing one pooled client")
+	conns := flag.Int("conns", 0, "open-loop mode: this many independent connections, each with its own client (0 = closed loop with -workers)")
 	duration := flag.Duration("duration", 5*time.Second, "measured churn window")
 	seed := flag.Uint64("seed", 1, "seed for worker traffic and the churn schedule")
 	churnEvents := flag.Int("churn", 64, "seeded leave/rejoin events replayed over the window (0 disables)")
@@ -407,28 +454,61 @@ func main() {
 		}()
 	}
 
-	// Measured closed loop.
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := source.NewRNG(*seed + 17 + uint64(w)*1e9)
-			for time.Now().Before(deadline) && !killed.Load() {
-				if id, ok := c.admit(palette[rng.Intn(len(palette))]); ok {
-					ids.add(id)
-				}
-				if ids.size() > *sessions {
-					if id, ok := ids.take(rng.Uint64()); ok {
-						c.release(id)
-					}
-				}
-				if rng.Float64() < *boundsFrac {
-					if id, ok := ids.pick(rng.Uint64()); ok {
-						c.boundsQuery(id)
-					}
+	// Measured loop body, shared by both modes: admit, trim the
+	// population back to target, sample bounds.
+	loop := func(cl *client, rngSeed uint64) {
+		rng := source.NewRNG(rngSeed)
+		for time.Now().Before(deadline) && !killed.Load() {
+			if id, ok := cl.admit(palette[rng.Intn(len(palette))]); ok {
+				ids.add(id)
+			}
+			if ids.size() > *sessions {
+				if id, ok := ids.take(rng.Uint64()); ok {
+					cl.release(id)
 				}
 			}
-		}(w)
+			if rng.Float64() < *boundsFrac {
+				if id, ok := ids.pick(rng.Uint64()); ok {
+					cl.boundsQuery(id)
+				}
+			}
+		}
+	}
+	if *conns > 0 {
+		// Open loop: every connection is its own client. Only the
+		// counters, the session pool, and the (mutex-jittered) retrier
+		// are shared — transports are not, so nothing serializes two
+		// connections' requests client-side.
+		fmt.Printf("gpsdload: open-loop: %d independent connections\n", *conns)
+		for w := 0; w < *conns; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl := &client{
+					base: *url,
+					hc: &http.Client{
+						Timeout: 10 * time.Second,
+						Transport: &http.Transport{
+							MaxIdleConns:        1,
+							MaxIdleConnsPerHost: 1,
+						},
+					},
+					cnt:   c.cnt,
+					lat:   c.lat,
+					retry: c.retry,
+					stop:  c.stop,
+				}
+				loop(cl, *seed+31+uint64(w)*1e7)
+			}(w)
+		}
+	} else {
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				loop(c, *seed+17+uint64(w)*1e9)
+			}(w)
+		}
 	}
 	wg.Wait()
 	if *killPid > 0 {
@@ -473,6 +553,7 @@ func main() {
 			FindStringSubmatch(text); m != nil {
 			server5xx, _ = strconv.ParseInt(m[1], 10, 64)
 		}
+		shardReport(text)
 	}
 
 	if *requireNo5xx {

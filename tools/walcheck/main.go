@@ -37,6 +37,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strconv"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/ebb"
 	"repro/internal/gpsmath"
+	"repro/internal/ledger"
 	"repro/internal/replication"
 	"repro/internal/wal"
 )
@@ -55,10 +57,22 @@ func main() {
 	samples := flag.Int("samples", 8, "per-session bound endpoints to verify when -url is set")
 	verifyProof := flag.Uint64("verify-proof", 0, "prove the decision at this op sequence is in the Merkle audit history and the history is append-only (0 = off)")
 	expectHead := flag.String("expect-head", "", "hex audit head recorded out of band; proofs and the trail must fold to exactly this head")
+	ledgerQuantum := flag.Float64("ledger-quantum", 0, "ledger refill quantum the daemon runs with (striped layouts; 0 = rate/(stripes*16))")
 	flag.Parse()
 	if *walDir == "" || !(*rate > 0) {
 		flag.Usage()
 		os.Exit(1)
+	}
+
+	if stripes, err := wal.ReadStripes(*walDir); err != nil {
+		log.Printf("walcheck: CORRUPT: %v", err)
+		os.Exit(2)
+	} else if stripes > 0 {
+		if *verifyProof != 0 || *expectHead != "" {
+			log.Fatalf("walcheck: -verify-proof/-expect-head verify one audit chain; a striped layout has one per stripe (run against a stripe directory instead)")
+		}
+		stripedMain(*walDir, stripes, *rate, *ledgerQuantum, *url, *samples)
+		return
 	}
 
 	rec, err := wal.Read(*walDir)
@@ -99,6 +113,165 @@ func main() {
 		}
 		fmt.Println("walcheck: OK: live daemon matches the offline analysis bit for bit")
 	}
+}
+
+// stripedMain is the striped-layout analogue of the flat path: it
+// folds every stripe independently, re-derives the per-shard
+// capacities with the same deterministic BootCapacities split a
+// sharded gpsd computes on boot, and runs one offline AnalyzeServer
+// per stripe at its shard's capacity — the ground truth each shard's
+// first recovered epoch must match bit for bit. Each stripe's audit
+// trail is rechecked in place. With -url the composed daemon is
+// verified: rate, shard count, summed session count, the running Σφ
+// folded in shard index order (bit-compared), every per-shard
+// partition by session id, and sampled per-session bounds against
+// that shard's analysis. The capacity reconstruction assumes the
+// daemon booted from exactly this WAL state (crash_smoke's
+// restart-then-verify window); a shard that has refilled its ledger
+// reservation since boot runs at a different capacity than the boot
+// split implies.
+func stripedMain(dir string, stripes int, rate, quantum float64, base string, samples int) {
+	recs, err := wal.ReadStriped(dir)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			log.Printf("walcheck: CORRUPT: %v", err)
+			os.Exit(2)
+		}
+		log.Fatalf("walcheck: %v", err)
+	}
+	sts := make([]wal.State, stripes)
+	useds := make([]float64, stripes)
+	var replayed, sessions int
+	var torn int64
+	for i, rec := range recs {
+		st, err := rec.SessionSet()
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) {
+				log.Printf("walcheck: CORRUPT: stripe %d: %v", i, err)
+				os.Exit(2)
+			}
+			log.Fatalf("walcheck: stripe %d: %v", i, err)
+		}
+		sts[i], useds[i] = st, st.Used
+		replayed += len(rec.Ops)
+		sessions += len(st.Sessions)
+		torn += int64(rec.TornBytes)
+		fmt.Printf("walcheck: %s: snapshot seq %d, %d replayed ops, %d torn bytes, %d corrupt snapshots skipped\n",
+			wal.StripeDirName(i), rec.State.Seq, len(rec.Ops), rec.TornBytes, rec.SkippedSnapshots)
+	}
+
+	if !(quantum > 0) {
+		quantum = ledger.DefaultQuantum(rate, stripes)
+	}
+	caps, err := ledger.BootCapacities(useds, rate, quantum)
+	if err != nil {
+		log.Fatalf("walcheck: boot capacity split: %v", err)
+	}
+	used := 0.0
+	ans := make([]*gpsmath.Analysis, stripes)
+	for i := range sts {
+		used += useds[i] // shard index order, exactly the composed health fold
+		ans[i] = analyze(sts[i], caps[i])
+		classes := 0
+		if ans[i] != nil {
+			classes = len(ans[i].Partition.Classes)
+		}
+		fmt.Printf("walcheck: %s: sessions=%d used=%g (bits %#x) capacity=%g partition: %d classes\n",
+			wal.StripeDirName(i), len(sts[i].Sessions), useds[i], math.Float64bits(useds[i]), caps[i], classes)
+	}
+	fmt.Printf("walcheck: striped: %d stripes, %d sessions, %d replayed ops, %d torn bytes, composed used=%g (bits %#x), quantum=%g\n",
+		stripes, sessions, replayed, torn, used, math.Float64bits(used), quantum)
+
+	for i := 0; i < stripes; i++ {
+		auditCheck(filepath.Join(dir, wal.StripeDirName(i)), 0, "")
+	}
+
+	if base == "" {
+		return
+	}
+	if err := verifySharded(base, sts, ans, used, rate, stripes, samples); err != nil {
+		log.Fatalf("walcheck: MISMATCH: %v", err)
+	}
+	fmt.Println("walcheck: OK: live sharded daemon matches the per-stripe offline analyses bit for bit")
+}
+
+// verifySharded compares a live sharded daemon against the per-stripe
+// ground truth: the composed health document, then each shard's
+// partition and sampled bounds against its own stripe's analysis.
+func verifySharded(base string, sts []wal.State, ans []*gpsmath.Analysis, used, rate float64, stripes, samples int) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	var health struct {
+		Status   string  `json:"status"`
+		Sessions int     `json:"sessions"`
+		Used     float64 `json:"used"`
+		Rate     float64 `json:"rate"`
+		Shards   int     `json:"shards"`
+	}
+	if err := getJSON(hc, base+"/healthz", &health); err != nil {
+		return err
+	}
+	if health.Rate != rate {
+		return fmt.Errorf("daemon rate %v, walcheck invoked with %v — the analyses are not comparable", health.Rate, rate)
+	}
+	if health.Shards != stripes {
+		return fmt.Errorf("daemon runs %d shard(s), WAL directory holds %d stripes", health.Shards, stripes)
+	}
+	sessions := 0
+	for _, st := range sts {
+		sessions += len(st.Sessions)
+	}
+	if health.Sessions != sessions {
+		return fmt.Errorf("daemon has %d sessions, WAL stripes imply %d", health.Sessions, sessions)
+	}
+	if math.Float64bits(health.Used) != math.Float64bits(used) {
+		return fmt.Errorf("daemon Σφ bits %#x, WAL stripes fold to %#x", math.Float64bits(health.Used), math.Float64bits(used))
+	}
+
+	for shard := range sts {
+		var part struct {
+			Sessions int        `json:"sessions"`
+			Classes  [][]string `json:"classes"`
+		}
+		if err := getJSON(hc, fmt.Sprintf("%s/v1/partition?shard=%d", base, shard), &part); err != nil {
+			return err
+		}
+		if part.Sessions != len(sts[shard].Sessions) {
+			return fmt.Errorf("shard %d: daemon has %d sessions, stripe implies %d", shard, part.Sessions, len(sts[shard].Sessions))
+		}
+		want := [][]string{}
+		if ans[shard] != nil {
+			for _, class := range ans[shard].Partition.Classes {
+				ids := make([]string, len(class))
+				for k, i := range class {
+					ids[k] = strconv.FormatUint(sts[shard].Sessions[i].ID, 10)
+				}
+				want = append(want, ids)
+			}
+		}
+		if !reflect.DeepEqual(part.Classes, want) {
+			return fmt.Errorf("shard %d partition differs:\nlive    %v\noffline %v", shard, part.Classes, want)
+		}
+	}
+
+	if samples <= 0 {
+		return nil
+	}
+	for shard, st := range sts {
+		if ans[shard] == nil {
+			continue
+		}
+		step := len(st.Sessions) / samples
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(st.Sessions); i += step {
+			if err := verifyBounds(hc, base, st.Sessions[i], i, ans[shard]); err != nil {
+				return fmt.Errorf("shard %d: %w", shard, err)
+			}
+		}
+	}
+	return nil
 }
 
 // auditCheck verifies the Merkle audit trail three ways: the stored
