@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/classgps"
+	"repro/internal/cluster"
 	"repro/internal/ebb"
 	"repro/internal/fluid"
 	"repro/internal/gpsmath"
@@ -1343,6 +1345,87 @@ func benchAdmitThroughput(b *testing.B, name string, audited bool) {
 		fmt.Printf("gpsd admit throughput (%s): %.0f decisions/s over a %d-session population\n",
 			name, 2*float64(b.N)/elapsed.Seconds(), population)
 	})
+}
+
+// ---------------------------------------------------- EXT-CLUSTER ------
+
+// BenchmarkClusterAdmit prices one end-to-end cluster admission: the
+// coordinator's CRST composition across the route plus the two-phase
+// prepare/commit against real hop daemons over HTTP. The §6.3 tree's
+// three hops run in-process behind httptest listeners with the four
+// Table 2 sessions already committed; each iteration admits a fifth
+// session over the node1→node3 route and releases it again, so ns/op
+// covers the analysis, four hop RPCs for the admit (2 prepares + 2
+// commits), and two more for the release.
+func BenchmarkClusterAdmit(b *testing.B) {
+	set, err := paper.Table2(paper.Set1Rho)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]cluster.HopNode, 3)
+	for m := range nodes {
+		d, err := server.New(server.Config{
+			Rate:        1,
+			QueueDepth:  1 << 10,
+			MaxBatch:    1 << 30,
+			MaxEpochAge: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if err := d.Close(ctx); err != nil {
+				b.Error(err)
+			}
+		})
+		ts := httptest.NewServer(server.NewHandler(d))
+		b.Cleanup(ts.Close)
+		nodes[m] = cluster.HopNode{Name: fmt.Sprintf("node%d", m+1), URL: ts.URL, Rate: 1}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Topology:   cluster.Topology{Nodes: nodes},
+		PrepareTTL: time.Minute,
+		HopTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := admission.Target{Delay: 200, Eps: 1e-3}
+	for i, a := range set {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		res, err := coord.Admit(cluster.AdmitRequest{
+			Name: paper.SessionNames[i], Arrival: a, Route: []int{first, 2}, Target: target,
+		})
+		if err != nil || !res.Admitted {
+			b.Fatalf("staging %s: admitted=%v reason=%q err=%v", paper.SessionNames[i], res.Admitted, res.Reason, err)
+		}
+	}
+	// A fifth session that composes to ~0.2 at d=200 over the loaded
+	// tree: feasible under a loose eps, tiny enough not to starve the
+	// committed set.
+	probe := cluster.AdmitRequest{
+		Name:    "probe",
+		Arrival: ebb.Process{Rho: 0.05, Lambda: 1, Alpha: 5},
+		Route:   []int{0, 2},
+		Target:  admission.Target{Delay: 200, Eps: 0.5},
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := coord.Admit(probe)
+		if err != nil || !res.Admitted {
+			b.Fatalf("admit: admitted=%v reason=%q err=%v", res.Admitted, res.Reason, err)
+		}
+		if ok, err := coord.Release(res.ID); err != nil || !ok {
+			b.Fatalf("release: ok=%v err=%v", ok, err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "admits/s")
 }
 
 // BenchmarkAdmitThroughputSharded measures the sharded writer's

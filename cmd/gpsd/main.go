@@ -36,6 +36,20 @@
 // bit-identical to an offline fold of the shipped history — and
 // atomically swaps the full serving surface in, including its own
 // replication source for the next standby down the chain.
+//
+// Every daemon also speaks the cluster prepare protocol
+// (POST /v1/prepare, /v1/commit, /v1/abort): a coordinator reserves a
+// session's GPS weight with a TTL, journaled in the WAL like any
+// admit, then commits or aborts it. With -topology the binary runs as
+// that coordinator instead of a hop:
+//
+//	gpsd -topology configs/tree63.json -addr 127.0.0.1:7000
+//
+// serving POST /v1/cluster/admit, DELETE /v1/cluster/sessions/{id},
+// and GET /v1/route-bounds/{id}: admits walk the route's hops with a
+// two-phase prepare/commit and return end-to-end delay bounds composed
+// by the internal/network CRST recursion; any unreachable hop aborts
+// the admit and rolls the prepared hops back (fail closed).
 package main
 
 import (
@@ -56,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/replication"
 	"repro/internal/server"
@@ -85,6 +100,9 @@ func main() {
 	selfCheckEvery := flag.Int("selfcheck-every", 0, "verify every Nth delta epoch against a from-scratch analysis (0 = server default 128, negative disables)")
 	shards := flag.Int("shards", 0, "shard writer count: 0 auto-detects (existing WAL layout, else min(GOMAXPROCS,8)), 1 forces the single-writer daemon")
 	ledgerQuantum := flag.Float64("ledger-quantum", 0, "capacity the cross-shard ledger hands a shard per refill (0 = rate/(shards*16))")
+	topology := flag.String("topology", "", "run as a cluster coordinator over this topology JSON instead of a hop daemon")
+	prepareTTL := flag.Duration("prepare-ttl", 10*time.Second, "coordinator: TTL each hop journals with a prepare")
+	hopTimeout := flag.Duration("hop-timeout", 2*time.Second, "coordinator: per-hop RPC timeout; a slower hop counts as partitioned")
 	flag.Parse()
 
 	if err := run(config{
@@ -95,8 +113,9 @@ func main() {
 		crashpoint: *crashpoint,
 		follow:     *follow, followerID: *followerID, pullInterval: *pullInterval,
 		auditBatch: *auditBatch, ackTTL: *ackTTL,
-		noDelta:    *noDelta, deltaMaxOps: *deltaMaxOps, selfCheckEvery: *selfCheckEvery,
-		shards:     *shards, ledgerQuantum: *ledgerQuantum,
+		noDelta: *noDelta, deltaMaxOps: *deltaMaxOps, selfCheckEvery: *selfCheckEvery,
+		shards: *shards, ledgerQuantum: *ledgerQuantum,
+		topology: *topology, prepareTTL: *prepareTTL, hopTimeout: *hopTimeout,
 	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
@@ -122,6 +141,9 @@ type config struct {
 
 	shards        int
 	ledgerQuantum float64
+
+	topology               string
+	prepareTTL, hopTimeout time.Duration
 }
 
 // resolveShards decides the shard count. An existing WAL layout always
@@ -235,6 +257,11 @@ func bootPrimary(cfg config, plan *faults.CrashPlan) (*primaryNode, error) {
 		SelfCheckEvery: cfg.selfCheckEvery,
 		SnapshotEvery:  cfg.snapshotEvery,
 		LedgerQuantum:  cfg.ledgerQuantum,
+	}
+	if plan != nil {
+		// The server consults its own crashpoints (cluster.prepare) in
+		// addition to the WAL-boundary ones the log options carry.
+		scfg.Crash = plan
 	}
 	n := &primaryNode{}
 	fail := func(err error) (*primaryNode, error) {
@@ -458,7 +485,70 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	(*s.h.Load()).ServeHTTP(w, r)
 }
 
+// runCoordinator is the -topology mode: a stateless control plane that
+// admits sessions over routes through the configured hop daemons with
+// the two-phase protocol, composing per-hop CRST bounds into
+// end-to-end guarantees. It keeps no disk state of its own — each
+// hop's WAL is the durable truth, and prepares orphaned by a
+// coordinator death expire on the hops' TTL clocks.
+func runCoordinator(cfg config) error {
+	if cfg.follow != "" || cfg.walDir != "" {
+		return errors.New("-topology runs a stateless coordinator; -follow and -wal-dir apply to hop daemons")
+	}
+	topo, err := cluster.LoadTopology(cfg.topology)
+	if err != nil {
+		return err
+	}
+	coord, err := cluster.New(cluster.Config{
+		Topology:   topo,
+		PrepareTTL: cfg.prepareTTL,
+		HopTimeout: cfg.hopTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(bound), 0o644); err != nil {
+			return fmt.Errorf("writing addr file: %w", err)
+		}
+	}
+	log.Printf("gpsd: coordinator listening on %s over %d hop(s) from %s (prepare TTL %v, hop timeout %v)",
+		bound, len(topo.Nodes), cfg.topology, cfg.prepareTTL, cfg.hopTimeout)
+
+	srv := &http.Server{Handler: cluster.NewHandler(coord)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("gpsd: coordinator: %v, shutting down", s)
+	case err := <-errc:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("gpsd: coordinator stopped with %d committed sessions", coord.Sessions())
+	return nil
+}
+
 func run(cfg config) error {
+	if cfg.topology != "" {
+		return runCoordinator(cfg)
+	}
 	plan, err := cfg.crashPlan()
 	if err != nil {
 		return err

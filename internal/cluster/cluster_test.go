@@ -1,0 +1,601 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/ebb"
+	"repro/internal/faults"
+	"repro/internal/network"
+	"repro/internal/paper"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// startHop boots one in-process gpsd and serves it over HTTP. Cleanup
+// closes the HTTP listener before draining the daemon.
+func startHop(t *testing.T, cfg server.Config) (*server.Daemon, *httptest.Server) {
+	t.Helper()
+	if cfg.MaxEpochAge == 0 {
+		cfg.MaxEpochAge = time.Hour
+	}
+	d, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d.Close(ctx); err != nil {
+			t.Errorf("hop close: %v", err)
+		}
+	})
+	hs := httptest.NewServer(server.NewHandler(d))
+	t.Cleanup(hs.Close)
+	return d, hs
+}
+
+// usedBits folds the daemon's epoch and returns Σφ as raw bits.
+func usedBits(t *testing.T, d *server.Daemon) uint64 {
+	t.Helper()
+	if err := d.Rebuild(); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	return math.Float64bits(d.Health().Used)
+}
+
+// treeTarget admits all four §6.3 sessions: the loosest prefix bound
+// (session 4 against the full tree) is ~1.8e-5 at d=200.
+var treeTarget = admission.Target{Delay: 200, Eps: 1e-3}
+
+// TestClusterDifferentialTree is the acceptance differential: admitting
+// the paper's §6.3 tree through three real daemons must return, at
+// every step, an end-to-end bound bit-identical to the offline
+// internal/network CRST analysis of the same prefix — and the daemons'
+// Σφ must equal the same sums the offline model carries.
+func TestClusterDifferentialTree(t *testing.T) {
+	set, err := paper.Table2(paper.Set1Rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := paper.Tree(set)
+
+	hops := make([]*server.Daemon, 3)
+	topo := Topology{}
+	for m := 0; m < 3; m++ {
+		d, hs := startHop(t, server.Config{Rate: 1})
+		hops[m] = d
+		topo.Nodes = append(topo.Nodes, HopNode{Name: full.Nodes[m].Name, URL: hs.URL, Rate: 1})
+	}
+	coord, err := New(Config{Topology: topo, PrepareTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]uint64, len(set))
+	for i, p := range set {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		res, err := coord.Admit(AdmitRequest{
+			Name:    paper.SessionNames[i],
+			Arrival: p,
+			Route:   []int{first, 2},
+			Target:  treeTarget,
+		})
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if !res.Admitted {
+			t.Fatalf("admit %d refused: %s", i, res.Reason)
+		}
+		ids[i] = res.ID
+
+		// Offline reference: the same prefix of the same tree.
+		pre := network.Network{Nodes: full.Nodes, Sessions: full.Sessions[:i+1]}
+		an, err := pre.AnalyzeCRST(network.CRSTOptions{})
+		if err != nil {
+			t.Fatalf("offline prefix %d: %v", i+1, err)
+		}
+		wantTail := an.EndToEndDelayTail(i)(treeTarget.Delay)
+		if math.Float64bits(res.Bound.AchievedEps) != math.Float64bits(wantTail) {
+			t.Errorf("admit %d: achieved eps %v != offline %v", i, res.Bound.AchievedEps, wantTail)
+		}
+		env := an.EndToEndDelayExpTail(i)
+		if math.Float64bits(res.Bound.EnvPrefactor) != math.Float64bits(env.Prefactor) ||
+			math.Float64bits(res.Bound.EnvRate) != math.Float64bits(env.Rate) {
+			t.Errorf("admit %d: envelope %+v != offline %+v", i, res.Bound, env)
+		}
+		if len(res.Hops) != 2 {
+			t.Fatalf("admit %d: %d hops", i, len(res.Hops))
+		}
+		for k, hw := range res.Hops {
+			hb := an.Hops[i][k]
+			if hw.Node != hb.Node ||
+				math.Float64bits(hw.G) != math.Float64bits(hb.G) ||
+				math.Float64bits(hw.Theta) != math.Float64bits(hb.Theta) ||
+				math.Float64bits(hw.Prefactor) != math.Float64bits(hb.Delay.Prefactor) ||
+				math.Float64bits(hw.Rate) != math.Float64bits(hb.Delay.Rate) {
+				t.Errorf("admit %d hop %d: %+v != offline %+v", i, k, hw, hb)
+			}
+		}
+	}
+
+	// Each hop's Σφ is the admission-order sum of the ρ's routed
+	// through it — the same fold the offline model's totalPhiAt does.
+	for m, d := range hops {
+		want := 0.0
+		for i, s := range full.Sessions {
+			_ = i
+			for k, node := range s.Route {
+				if node == m {
+					want += s.Phi[k]
+				}
+			}
+		}
+		if got := usedBits(t, d); got != math.Float64bits(want) {
+			t.Errorf("hop %d: used bits %#x != offline sum bits %#x", m, got, math.Float64bits(want))
+		}
+		if d.Reserved() != 0 || d.PrepareCount() != 0 {
+			t.Errorf("hop %d: leftover reservations after commits", m)
+		}
+	}
+
+	// RouteBounds under the full committed set, including across the
+	// coordinator's own HTTP surface (floats survive JSON bit-exactly).
+	anFull, err := full.AnalyzeCRST(network.CRSTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(NewHandler(coord))
+	defer cs.Close()
+	for i, id := range ids {
+		rb, ok, err := coord.RouteBounds(id)
+		if err != nil || !ok {
+			t.Fatalf("RouteBounds(%d): ok=%v err=%v", id, ok, err)
+		}
+		want := anFull.EndToEndDelayTail(i)(treeTarget.Delay)
+		if math.Float64bits(rb.Bound.AchievedEps) != math.Float64bits(want) {
+			t.Errorf("route-bounds %d: %v != offline %v", i, rb.Bound.AchievedEps, want)
+		}
+
+		resp, err := http.Get(fmt.Sprintf("%s/v1/route-bounds/%d", cs.URL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire routeBoundsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if math.Float64bits(wire.E2E.AchievedEps) != math.Float64bits(want) {
+			t.Errorf("route-bounds %d over HTTP: %v != offline %v", i, wire.E2E.AchievedEps, want)
+		}
+	}
+
+	// Release the last session end to end: hop session counts drop and
+	// the invalidated analysis recomputes to the three-session prefix.
+	ok, err := coord.Release(ids[3])
+	if err != nil || !ok {
+		t.Fatalf("Release: ok=%v err=%v", ok, err)
+	}
+	if err := hops[2].Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if hops[2].Health().Sessions != 3 {
+		t.Errorf("hop 3 still has %d sessions after release", hops[2].Health().Sessions)
+	}
+	pre3 := network.Network{Nodes: full.Nodes, Sessions: full.Sessions[:3]}
+	an3, err := pre3.AnalyzeCRST(network.CRSTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, ok, err := coord.RouteBounds(ids[0])
+	if err != nil || !ok {
+		t.Fatalf("RouteBounds after release: ok=%v err=%v", ok, err)
+	}
+	want := an3.EndToEndDelayTail(0)(treeTarget.Delay)
+	if math.Float64bits(rb.Bound.AchievedEps) != math.Float64bits(want) {
+		t.Errorf("post-release bounds %v != offline 3-session prefix %v", rb.Bound.AchievedEps, want)
+	}
+	if m := coord.Metrics(); m.Admits.Load() != 4 || m.Releases.Load() != 1 {
+		t.Errorf("metrics: %d admits, %d releases", m.Admits.Load(), m.Releases.Load())
+	}
+}
+
+// TestClusterHopRefusalRollsBack: a hop whose daemon holds less
+// capacity than the topology claims refuses its prepare; the admit is
+// an orderly reject and the hops that had already prepared are rolled
+// back to bit-identical state.
+func TestClusterHopRefusalRollsBack(t *testing.T) {
+	d1, h1 := startHop(t, server.Config{Rate: 1})
+	d2, h2 := startHop(t, server.Config{Rate: 1})
+	d3, h3 := startHop(t, server.Config{Rate: 0.3}) // lies about itself
+	topo := Topology{Nodes: []HopNode{
+		{Name: "node1", URL: h1.URL, Rate: 1},
+		{Name: "node2", URL: h2.URL, Rate: 1},
+		{Name: "node3", URL: h3.URL, Rate: 1},
+	}}
+	coord, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := ebb.Process{Rho: 0.25, Lambda: 1, Alpha: 0.9}
+
+	res, err := coord.Admit(AdmitRequest{Name: "first", Arrival: arr, Route: []int{0, 2}, Target: treeTarget})
+	if err != nil || !res.Admitted {
+		t.Fatalf("first admit = %+v err=%v", res, err)
+	}
+
+	// node3 is at 0.25/0.3: the second session fits the coordinator's
+	// model (0.5 < 1) but not the daemon.
+	res, err = coord.Admit(AdmitRequest{Name: "second", Arrival: arr, Route: []int{1, 2}, Target: treeTarget})
+	if err != nil {
+		t.Fatalf("second admit errored (want orderly reject): %v", err)
+	}
+	if res.Admitted || res.Reason == "" {
+		t.Fatalf("second admit = %+v, want refusal with reason", res)
+	}
+
+	// node2 prepared first and must be fully rolled back.
+	if d2.Reserved() != 0 || d2.PrepareCount() != 0 {
+		t.Errorf("node2: reserved %v, %d prepares after rollback", d2.Reserved(), d2.PrepareCount())
+	}
+	if got := usedBits(t, d2); got != 0 {
+		t.Errorf("node2: used bits %#x after rollback, want exactly 0", got)
+	}
+	// node3 never held anything; node1's committed session is intact.
+	if d3.Reserved() != 0 || d3.PrepareCount() != 0 {
+		t.Errorf("node3: reserved %v, %d prepares", d3.Reserved(), d3.PrepareCount())
+	}
+	if err := d1.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Health().Sessions != 1 {
+		t.Errorf("node1 lost its committed session")
+	}
+	if coord.Sessions() != 1 {
+		t.Errorf("coordinator has %d sessions, want 1", coord.Sessions())
+	}
+}
+
+// TestClusterAdmitFailClosed is the partition table: every way a hop
+// can fail mid-protocol aborts the admit, and every surviving hop's Σφ
+// and reservation state come back to exactly the pre-admit values.
+func TestClusterAdmitFailClosed(t *testing.T) {
+	const hopTimeout = 300 * time.Millisecond
+	background := server.AdmitRequest{
+		Name:    "background",
+		Arrival: ebb.Process{Rho: 0.3, Lambda: 1, Alpha: 1},
+		Target:  admission.Target{Delay: 50, Eps: 1e-3},
+	}
+
+	cases := []struct {
+		name          string
+		handler       http.HandlerFunc
+		closed        bool // fake hop listener already down
+		background    bool // pre-admit weight on the surviving hops
+		wantPartition bool
+	}{
+		{
+			name: "prepare-500",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "wal: disk failed", http.StatusInternalServerError)
+			},
+			background:    true,
+			wantPartition: true,
+		},
+		{
+			name: "prepare-timeout",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				time.Sleep(2 * hopTimeout)
+				writeJSON(w, http.StatusOK, map[string]any{"prepared": true, "shard": 0})
+			},
+			background:    true,
+			wantPartition: true,
+		},
+		{
+			name:          "prepare-refused",
+			closed:        true,
+			background:    true,
+			wantPartition: true,
+		},
+		{
+			name: "prepared-false",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				writeJSON(w, http.StatusOK, map[string]any{"prepared": false, "reason": "insufficient headroom"})
+			},
+			background:    true,
+			wantPartition: false,
+		},
+		{
+			// Commit-phase failure: the surviving hops committed and
+			// are compensated by release, which restores counts (the
+			// running Σφ is a running sum, so only a hop emptied of
+			// sessions is bit-restored — here the pre state is empty).
+			name: "commit-500",
+			handler: func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/v1/prepare" {
+					writeJSON(w, http.StatusOK, map[string]any{"prepared": true, "shard": 0})
+					return
+				}
+				http.Error(w, "wal: disk failed", http.StatusInternalServerError)
+			},
+			background:    false,
+			wantPartition: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d1, h1 := startHop(t, server.Config{Rate: 1})
+			d2, h2 := startHop(t, server.Config{Rate: 1})
+			fake := httptest.NewServer(tc.handler)
+			if tc.closed {
+				fake.Close()
+			} else {
+				t.Cleanup(fake.Close)
+			}
+			topo := Topology{Nodes: []HopNode{
+				{Name: "node1", URL: h1.URL, Rate: 1},
+				{Name: "node2", URL: h2.URL, Rate: 1},
+				{Name: "node3", URL: fake.URL, Rate: 1},
+			}}
+			coord, err := New(Config{Topology: topo, HopTimeout: hopTimeout})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pre := make([]uint64, 2)
+			for i, d := range []*server.Daemon{d1, d2} {
+				if tc.background {
+					if res, err := d.Admit(background); err != nil || !res.Admitted {
+						t.Fatalf("background admit: %+v %v", res, err)
+					}
+				}
+				pre[i] = usedBits(t, d)
+			}
+
+			res, err := coord.Admit(AdmitRequest{
+				Name:    "doomed",
+				Arrival: ebb.Process{Rho: 0.25, Lambda: 1, Alpha: 0.9},
+				Route:   []int{0, 1, 2},
+				// Looser than treeTarget: a lone session over three
+				// hops composes to ~2.2e-3 at d=200.
+				Target: admission.Target{Delay: 200, Eps: 0.02},
+			})
+			if tc.wantPartition {
+				if !errors.Is(err, ErrPartition) {
+					t.Fatalf("err = %v, want ErrPartition", err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("err = %v, want orderly reject", err)
+				}
+				if res.Admitted || res.Reason == "" {
+					t.Fatalf("res = %+v, want refusal with reason", res)
+				}
+			}
+
+			for i, d := range []*server.Daemon{d1, d2} {
+				if d.PrepareCount() != 0 {
+					t.Errorf("hop %d: %d prepares survive the abort", i+1, d.PrepareCount())
+				}
+				if got := d.Reserved(); got != 0 {
+					t.Errorf("hop %d: reserved %v, want exactly 0", i+1, got)
+				}
+				if got := usedBits(t, d); got != pre[i] {
+					t.Errorf("hop %d: used bits %#x != pre-admit %#x", i+1, got, pre[i])
+				}
+			}
+			if coord.Sessions() != 0 {
+				t.Errorf("coordinator recorded %d sessions", coord.Sessions())
+			}
+			m := coord.Metrics()
+			if tc.wantPartition && m.PartitionAborts.Load() != 1 {
+				t.Errorf("PartitionAborts = %d", m.PartitionAborts.Load())
+			}
+			if !tc.wantPartition && m.Rejects.Load() != 1 {
+				t.Errorf("Rejects = %d", m.Rejects.Load())
+			}
+		})
+	}
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			copyDir(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterPrepareCrashRecoveryExpiry is the in-doubt-prepare
+// regression across the whole stack: a hop daemon dies (wedges, which
+// is what SIGKILL looks like from the wire) at the cluster.prepare
+// crashpoint — after journaling the prepare, before replying. The
+// coordinator times out and fails closed; the surviving hop is rolled
+// back bit-exactly; and a daemon rebooted from the dead hop's WAL
+// expires the in-doubt reservation on its own, journaling KindExpire.
+func TestClusterPrepareCrashRecoveryExpiry(t *testing.T) {
+	d1, h1 := startHop(t, server.Config{Rate: 1})
+
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, rec, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := make(chan struct{})
+	plan := &faults.CrashPlan{
+		Point: server.CrashClusterPrepare,
+		Nth:   1,
+		// SIGKILL from the process's own point of view: the writer
+		// goroutine never runs another instruction. The daemon and its
+		// listener are deliberately leaked — closing either would block
+		// on the wedged writer, exactly like waiting on a dead process.
+		KillFunc: func() { close(crashed); select {} },
+	}
+	d2, err := server.New(server.Config{Rate: 1, MaxEpochAge: time.Hour, Log: l, Recovered: rec, Crash: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d2
+	h2 := httptest.NewServer(server.NewHandler(d2))
+
+	topo := Topology{Nodes: []HopNode{
+		{Name: "node1", URL: h1.URL, Rate: 1},
+		{Name: "node2", URL: h2.URL, Rate: 1},
+	}}
+	const ttl = 300 * time.Millisecond
+	coord, err := New(Config{Topology: topo, PrepareTTL: ttl, HopTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = coord.Admit(AdmitRequest{
+		Name:    "in doubt",
+		Arrival: ebb.Process{Rho: 0.25, Lambda: 1, Alpha: 0.9},
+		Route:   []int{0, 1},
+		Target:  treeTarget,
+	})
+	if !errors.Is(err, ErrPartition) {
+		t.Fatalf("admit err = %v, want ErrPartition", err)
+	}
+	select {
+	case <-crashed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("crashpoint never fired")
+	}
+
+	// The surviving hop fails closed to its pre-admit state.
+	if d1.Reserved() != 0 || d1.PrepareCount() != 0 {
+		t.Fatalf("node1: reserved %v, %d prepares after partition", d1.Reserved(), d1.PrepareCount())
+	}
+	if got := usedBits(t, d1); got != 0 {
+		t.Fatalf("node1: used bits %#x, want 0", got)
+	}
+
+	// The dead hop's disk holds exactly one op: the in-doubt prepare.
+	bootDir := filepath.Join(t.TempDir(), "wal")
+	copyDir(t, walDir, bootDir)
+	ops, err := wal.ReadOps(bootDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Kind != wal.KindPrepare {
+		t.Fatalf("dead hop ops = %+v, want one prepare", ops)
+	}
+	txid, deadline := ops[0].TxID, ops[0].Deadline
+
+	// Reboot it after the TTL: recovery must expire the reservation
+	// before serving, leaving zero reserved weight and a journaled
+	// expiry for the audit trail.
+	if wait := time.Until(time.Unix(0, deadline)) + 50*time.Millisecond; wait > 0 {
+		time.Sleep(wait)
+	}
+	l2, rec2, err := wal.Open(bootDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := server.New(server.Config{Rate: 1, MaxEpochAge: time.Hour, Log: l2, Recovered: rec2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := d3.Close(ctx); err != nil {
+			t.Errorf("reboot close: %v", err)
+		}
+	})
+	if d3.PrepareCount() != 0 || d3.Reserved() != 0 {
+		t.Fatalf("reboot: %d prepares, reserved %v — in-doubt prepare survived",
+			d3.PrepareCount(), d3.Reserved())
+	}
+	if d3.Metrics().ClusterExpires.Load() != 1 {
+		t.Fatalf("ClusterExpires = %d", d3.Metrics().ClusterExpires.Load())
+	}
+	ops, err = wal.ReadOps(bootDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ops[len(ops)-1]
+	if last.Kind != wal.KindExpire || last.TxID != txid {
+		t.Fatalf("last op = %+v, want expire of %s", last, txid)
+	}
+	var st wal.State
+	if err := wal.Replay(&st, ops); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 0 || len(st.Prepares) != 0 || st.Used != 0 {
+		t.Fatalf("folded dead-hop state not clean: %+v", st)
+	}
+}
+
+// TestLoadTopology covers the config loader's validation.
+func TestLoadTopology(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{"nodes": [
+		{"name": "node1", "url": "http://127.0.0.1:9001", "rate": 1},
+		{"name": "node2", "url": "http://127.0.0.1:9002/", "rate": 2.5}
+	]}`)
+	topo, err := LoadTopology(good)
+	if err != nil {
+		t.Fatalf("LoadTopology: %v", err)
+	}
+	if len(topo.Nodes) != 2 || topo.hopBase(1) != "http://127.0.0.1:9002" {
+		t.Fatalf("topology = %+v", topo)
+	}
+
+	bad := []struct{ name, body string }{
+		{"empty.json", `{"nodes": []}`},
+		{"dup.json", `{"nodes": [{"name":"a","url":"http://x","rate":1},{"name":"a","url":"http://y","rate":1}]}`},
+		{"rate.json", `{"nodes": [{"name":"a","url":"http://x","rate":0}]}`},
+		{"scheme.json", `{"nodes": [{"name":"a","url":"ftp://x","rate":1}]}`},
+		{"unknown.json", `{"nodez": []}`},
+		{"trailing.json", `{"nodes": [{"name":"a","url":"http://x","rate":1}]}{}`},
+	}
+	for _, c := range bad {
+		if _, err := LoadTopology(write(c.name, c.body)); err == nil {
+			t.Errorf("%s: loaded without error", c.name)
+		}
+	}
+	if _, err := LoadTopology(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded without error")
+	}
+}

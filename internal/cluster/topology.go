@@ -1,0 +1,107 @@
+// Package cluster is the multi-node control plane: each hop of a GPS
+// network from the paper's §6 runs its own gpsd, and a coordinator
+// walks a session's route, composing the per-hop statistical bounds
+// (internal/network's CRST recursion) into an end-to-end delay
+// guarantee before any hop durably admits the session.
+//
+// Admission is a route-scoped two-phase commit. The coordinator first
+// PREPAREs the session's GPS weight at every hop on the route — each
+// hop journals the reservation in its own WAL and holds the headroom —
+// and only when every hop has prepared does it COMMIT. Any hop
+// rejection, timeout, or transport failure during the prepare phase
+// aborts the admit and rolls the already-prepared hops back, so a
+// partition can never leave the cluster with a session admitted at
+// some hops but not others: the protocol fails closed. Prepares carry
+// a TTL, so a coordinator that dies between phases leaks no capacity —
+// every surviving hop expires the in-doubt reservation on its own.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"os"
+	"strings"
+)
+
+// HopNode is one GPS server of the topology: a gpsd reachable at URL
+// serving a link of the given rate. The rate must match the -rate the
+// daemon itself runs with — the coordinator's offline analysis and the
+// hop's own admission control check the same capacity, and a mismatch
+// would let one of them promise what the other refuses.
+type HopNode struct {
+	Name string  `json:"name"`
+	URL  string  `json:"url"`
+	Rate float64 `json:"rate"`
+}
+
+// Topology is the static description of the GPS network the cluster
+// serves: the node set of an internal/network.Network, with each node
+// annotated by the address of the daemon that schedules it.
+type Topology struct {
+	Nodes []HopNode `json:"nodes"`
+}
+
+// Validate checks structural sanity: at least one node, unique
+// non-empty names, positive finite rates, and absolute http(s) URLs.
+func (t Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return errors.New("cluster: topology has no nodes")
+	}
+	seen := make(map[string]bool, len(t.Nodes))
+	for m, n := range t.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node %d has no name", m)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if !(n.Rate > 0) || math.IsInf(n.Rate, 1) || math.IsNaN(n.Rate) {
+			return fmt.Errorf("cluster: node %q rate = %v, want positive finite", n.Name, n.Rate)
+		}
+		u, err := url.Parse(n.URL)
+		if err != nil {
+			return fmt.Errorf("cluster: node %q url: %v", n.Name, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("cluster: node %q url %q, want absolute http(s)", n.Name, n.URL)
+		}
+	}
+	return nil
+}
+
+// hopBase returns node m's URL with any trailing slash trimmed, ready
+// for path concatenation.
+func (t Topology) hopBase(m int) string {
+	return strings.TrimRight(t.Nodes[m].URL, "/")
+}
+
+// LoadTopology reads and validates a topology JSON file:
+//
+//	{"nodes": [{"name": "node1", "url": "http://127.0.0.1:9001", "rate": 1}, ...]}
+//
+// Unknown fields are refused so a typo'd key fails loudly instead of
+// silently configuring nothing.
+func LoadTopology(path string) (Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var t Topology
+	if err := dec.Decode(&t); err != nil {
+		return Topology{}, fmt.Errorf("cluster: %s: %v", path, err)
+	}
+	if dec.More() {
+		return Topology{}, fmt.Errorf("cluster: %s: trailing data after topology object", path)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, fmt.Errorf("%w (%s)", err, path)
+	}
+	return t, nil
+}

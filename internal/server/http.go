@@ -102,6 +102,9 @@ func NewHandler(svc Service) http.Handler {
 	h := &handler{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/admit", h.handleAdmit)
+	mux.HandleFunc("POST /v1/prepare", h.handlePrepare)
+	mux.HandleFunc("POST /v1/commit", h.handleCommit)
+	mux.HandleFunc("POST /v1/abort", h.handleAbort)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", h.handleRelease)
 	mux.HandleFunc("GET /v1/bounds/{id}", h.handleBounds)
 	mux.HandleFunc("GET /v1/partition", h.handlePartition)
@@ -156,6 +159,110 @@ func (h *handler) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		resp.ID = strconv.FormatUint(res.ID, 10)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// prepareWire is the JSON shape of POST /v1/prepare: the admit payload
+// plus the coordinator transaction id, the weight to reserve, and the
+// reservation TTL in milliseconds.
+type prepareWire struct {
+	TxID   string  `json:"txid"`
+	Name   string  `json:"name"`
+	Rho    float64 `json:"rho"`
+	Lambda float64 `json:"lambda"`
+	Alpha  float64 `json:"alpha"`
+	Delay  float64 `json:"delay"`
+	Eps    float64 `json:"eps"`
+	Phi    float64 `json:"phi"`
+	TTLms  int64   `json:"ttl_ms"`
+}
+
+type prepareResponse struct {
+	Prepared bool    `json:"prepared"`
+	Shard    int     `json:"shard"`
+	Deadline int64   `json:"deadline_unix_nano,omitempty"`
+	Free     float64 `json:"free"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// txWire is the JSON shape of POST /v1/commit and /v1/abort: the
+// transaction id plus the shard echoed from the prepare response.
+type txWire struct {
+	TxID  string `json:"txid"`
+	Shard int    `json:"shard"`
+}
+
+// decodeBody decodes one JSON object into v with the admit path's
+// strictness: bounded body, unknown fields refused, trailing data
+// refused.
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxAdmitBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decode: trailing data after request object")
+	}
+	return nil
+}
+
+func (h *handler) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var pw prepareWire
+	if err := decodeBody(r.Body, &pw); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	req := PrepareRequest{
+		TxID:    pw.TxID,
+		Name:    pw.Name,
+		Arrival: ebb.Process{Rho: pw.Rho, Lambda: pw.Lambda, Alpha: pw.Alpha},
+		Target:  admission.Target{Delay: pw.Delay, Eps: pw.Eps},
+		Phi:     pw.Phi,
+		TTL:     time.Duration(pw.TTLms) * time.Millisecond,
+	}
+	res, err := h.svc.Prepare(req)
+	if err != nil {
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrDraining) || errors.Is(err, ErrWAL) {
+			h.writeBackpressure(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, prepareResponse{Prepared: res.Prepared, Shard: res.Shard,
+		Deadline: res.Deadline, Free: res.Free, Reason: res.Reason})
+}
+
+func (h *handler) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var tw txWire
+	if err := decodeBody(r.Body, &tw); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	res, err := h.svc.CommitPrepared(tw.TxID, tw.Shard)
+	if err != nil {
+		h.writeBackpressure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"committed": res.Committed,
+		"id":        strconv.FormatUint(res.ID, 10),
+		"reason":    res.Reason,
+	})
+}
+
+func (h *handler) handleAbort(w http.ResponseWriter, r *http.Request) {
+	var tw txWire
+	if err := decodeBody(r.Body, &tw); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ok, err := h.svc.AbortPrepared(tw.TxID, tw.Shard)
+	if err != nil {
+		h.writeBackpressure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"aborted": ok})
 }
 
 func parseID(r *http.Request) (uint64, error) {
@@ -304,9 +411,15 @@ func (h *handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"rate":     hv.Rate,
 	}
 	// The flat shape is a wire contract (walcheck bit-compares it); the
-	// shard count rides along only when there is more than one.
+	// shard count rides along only when there is more than one, and the
+	// cluster reservation gauges only when prepares are pending — both
+	// additive, decoded by name, so existing consumers keep working.
 	if hv.Shards > 1 {
 		body["shards"] = hv.Shards
+	}
+	if hv.Prepares > 0 {
+		body["reserved"] = hv.Reserved
+		body["prepares"] = hv.Prepares
 	}
 	writeJSON(w, code, body)
 }

@@ -38,6 +38,12 @@ type Metrics struct {
 	LedgerRefills atomic.Int64 // capacity reservations taken from the cross-shard ledger
 	LedgerReturns atomic.Int64 // surplus capacity handed back to the ledger
 
+	ClusterPrepares       atomic.Int64 // cluster reservations accepted (two-phase phase one)
+	ClusterPrepareRejects atomic.Int64 // cluster reservations refused for headroom
+	ClusterCommits        atomic.Int64 // prepares resolved into admitted sessions
+	ClusterAborts         atomic.Int64 // prepares rolled back by the coordinator
+	ClusterExpires        atomic.Int64 // prepares expired by TTL (sweep, recovery, or late commit)
+
 	WALAppends          atomic.Int64 // mutations made durable in the write-ahead log
 	WALAppendFailures   atomic.Int64 // appends the log refused (mutation not applied)
 	WALSnapshots        atomic.Int64 // WAL state snapshots written
@@ -181,6 +187,7 @@ type metricsFrame struct {
 	deltaRebuilds, fullRebuilds, deltaFallbacks, selfChecks, selfCheckFails   int64
 	typeEvalHits, typeEvalMisses, cacheHits, cacheMisses                      int64
 	ledgerRefills, ledgerReturns                                              int64
+	clPrepares, clPrepareRejects, clCommits, clAborts, clExpires              int64
 	walAppends, walAppendFailures, walSnapshots, walSnapshotFails, walRecOps  int64
 	resp2xx, resp4xx, resp5xx                                                 int64
 	latP50, latP99                                                            float64
@@ -214,6 +221,11 @@ func (f *metricsFrame) addCounters(m *Metrics) {
 	f.cacheMisses += m.CacheMisses.Load()
 	f.ledgerRefills += m.LedgerRefills.Load()
 	f.ledgerReturns += m.LedgerReturns.Load()
+	f.clPrepares += m.ClusterPrepares.Load()
+	f.clPrepareRejects += m.ClusterPrepareRejects.Load()
+	f.clCommits += m.ClusterCommits.Load()
+	f.clAborts += m.ClusterAborts.Load()
+	f.clExpires += m.ClusterExpires.Load()
 	f.walAppends += m.WALAppends.Load()
 	f.walAppendFailures += m.WALAppendFailures.Load()
 	f.walSnapshots += m.WALSnapshots.Load()
@@ -251,6 +263,11 @@ func (f *metricsFrame) render(w io.Writer) {
 	counter("gpsd_rate_cache_misses_total", "required-rate memo misses", f.cacheMisses)
 	counter("gpsd_ledger_refills_total", "capacity reservations taken from the cross-shard ledger", f.ledgerRefills)
 	counter("gpsd_ledger_returns_total", "surplus capacity handed back to the ledger", f.ledgerReturns)
+	counter("gpsd_cluster_prepares_total", "cluster two-phase reservations accepted", f.clPrepares)
+	counter("gpsd_cluster_prepare_rejects_total", "cluster reservations refused for headroom", f.clPrepareRejects)
+	counter("gpsd_cluster_commits_total", "cluster prepares committed into sessions", f.clCommits)
+	counter("gpsd_cluster_aborts_total", "cluster prepares rolled back by the coordinator", f.clAborts)
+	counter("gpsd_cluster_expires_total", "cluster prepares expired by TTL", f.clExpires)
 	counter("gpsd_wal_appends_total", "mutations made durable in the write-ahead log", f.walAppends)
 	counter("gpsd_wal_append_failures_total", "WAL appends refused (mutation not applied)", f.walAppendFailures)
 	counter("gpsd_wal_snapshots_total", "WAL state snapshots written", f.walSnapshots)

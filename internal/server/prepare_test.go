@@ -1,0 +1,469 @@
+package server
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/ebb"
+	"repro/internal/wal"
+)
+
+// testPrepare is a representative cluster reservation: RPPS weight
+// (φ = ρ) for a §6.3-style tree session.
+func testPrepare(txid string) PrepareRequest {
+	return PrepareRequest{
+		TxID:    txid,
+		Name:    "tree session",
+		Arrival: ebb.Process{Rho: 0.25, Lambda: 1, Alpha: 0.9},
+		Target:  admission.Target{Delay: 50, Eps: 1e-6},
+		Phi:     0.25,
+		TTL:     time.Minute,
+	}
+}
+
+// TestPrepareLifecycle drives prepare → commit and prepare → abort on a
+// standalone daemon: committed weight lands in Used, aborted weight
+// vanishes without ever touching it, and the committed session serves
+// bounds like any admitted one.
+func TestPrepareLifecycle(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 10, MaxEpochAge: time.Hour})
+
+	res, err := d.Prepare(testPrepare("tx-commit"))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if !res.Prepared || res.Shard != 0 {
+		t.Fatalf("Prepare = %+v", res)
+	}
+	if res.Deadline <= time.Now().Add(30*time.Second).UnixNano() {
+		t.Fatalf("deadline %d not ~1 minute out", res.Deadline)
+	}
+	if got := d.Reserved(); math.Float64bits(got) != math.Float64bits(0.25) {
+		t.Fatalf("Reserved = %v, want 0.25", got)
+	}
+	if d.PrepareCount() != 1 {
+		t.Fatalf("PrepareCount = %d, want 1", d.PrepareCount())
+	}
+
+	// Duplicate transaction ids are refused without error.
+	dup, err := d.Prepare(testPrepare("tx-commit"))
+	if err != nil {
+		t.Fatalf("duplicate Prepare: %v", err)
+	}
+	if dup.Prepared || dup.Reason != "duplicate transaction" {
+		t.Fatalf("duplicate Prepare = %+v", dup)
+	}
+
+	cr, err := d.CommitPrepared("tx-commit", 0)
+	if err != nil {
+		t.Fatalf("CommitPrepared: %v", err)
+	}
+	if !cr.Committed || cr.ID == 0 {
+		t.Fatalf("CommitPrepared = %+v", cr)
+	}
+	if got := d.Reserved(); got != 0 {
+		t.Fatalf("Reserved = %v after commit, want 0", got)
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	h := d.Health()
+	if math.Float64bits(h.Used) != math.Float64bits(0.25) || h.Sessions != 1 {
+		t.Fatalf("Health after commit = %+v", h)
+	}
+	if _, ok := d.Bounds(cr.ID, 0, 0); !ok {
+		t.Fatalf("committed session %d has no bounds", cr.ID)
+	}
+
+	// Commit of a resolved transaction reports unknown, not an error.
+	again, err := d.CommitPrepared("tx-commit", 0)
+	if err != nil || again.Committed || again.Reason != "unknown transaction" {
+		t.Fatalf("re-commit = %+v err=%v", again, err)
+	}
+
+	// Abort path: reserve then roll back.
+	if _, err := d.Prepare(testPrepare("tx-abort")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d.AbortPrepared("tx-abort", 0)
+	if err != nil || !ok {
+		t.Fatalf("AbortPrepared = %v err=%v", ok, err)
+	}
+	if got := d.Reserved(); got != 0 {
+		t.Fatalf("Reserved = %v after abort, want 0", got)
+	}
+	if ok, _ := d.AbortPrepared("tx-abort", 0); ok {
+		t.Fatal("second abort of same tx reported true")
+	}
+	// Wrong shard echoes route nowhere.
+	if cr, _ := d.CommitPrepared("tx-x", 3); cr.Committed || cr.Reason != "unknown shard" {
+		t.Fatalf("commit to wrong shard = %+v", cr)
+	}
+}
+
+// TestPrepareHeadroom: reservations consume admission headroom exactly
+// like admitted weight — an admit or second prepare that no longer fits
+// is refused, and a rollback restores the pre-prepare headroom bit for
+// bit.
+func TestPrepareHeadroom(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 1, MaxEpochAge: time.Hour})
+
+	req := testPrepare("tx-big")
+	req.Phi = 0.9
+	req.Arrival.Rho = 0.9
+	if res, err := d.Prepare(req); err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+
+	// A plain admit must now see only 0.1 of headroom.
+	res, err := d.Admit(AdmitRequest{Name: "blocked",
+		Arrival: ebb.Process{Rho: 0.5, Lambda: 1, Alpha: 1},
+		Target:  admission.Target{Delay: 50, Eps: 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("admit fit despite 0.9 reserved")
+	}
+	// A second prepare over the remaining headroom is refused too.
+	req2 := testPrepare("tx-over")
+	req2.Phi = 0.5
+	if r2, err := d.Prepare(req2); err != nil || r2.Prepared {
+		t.Fatalf("overlapping prepare = %+v err=%v", r2, err)
+	}
+	if d.Metrics().ClusterPrepareRejects.Load() != 1 {
+		t.Fatalf("ClusterPrepareRejects = %d", d.Metrics().ClusterPrepareRejects.Load())
+	}
+
+	preUsed := d.Health().Used
+	if ok, err := d.AbortPrepared("tx-big", 0); err != nil || !ok {
+		t.Fatalf("abort: %v %v", ok, err)
+	}
+	if got := d.Reserved(); got != 0 {
+		t.Fatalf("Reserved = %v after rollback, want exactly 0", got)
+	}
+	if got := d.Health().Used; math.Float64bits(got) != math.Float64bits(preUsed) {
+		t.Fatalf("Used %v changed across prepare/abort, want %v", got, preUsed)
+	}
+	// Headroom is back: the same admit now fits.
+	res, err = d.Admit(AdmitRequest{Name: "fits",
+		Arrival: ebb.Process{Rho: 0.5, Lambda: 1, Alpha: 1},
+		Target:  admission.Target{Delay: 50, Eps: 1e-3}})
+	if err != nil || !res.Admitted {
+		t.Fatalf("post-rollback admit = %+v err=%v", res, err)
+	}
+}
+
+// TestPrepareExpiry: a commit past the TTL is refused and journals the
+// expiry; the run-loop sweep releases an unresolved reservation on its
+// own.
+func TestPrepareExpiry(t *testing.T) {
+	d := newTestDaemon(t, Config{Rate: 10, MaxEpochAge: 10 * time.Millisecond})
+
+	req := testPrepare("tx-late")
+	req.TTL = time.Millisecond
+	if res, err := d.Prepare(req); err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	cr, err := d.CommitPrepared("tx-late", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Committed || cr.Reason != "prepare expired" {
+		t.Fatalf("late commit = %+v", cr)
+	}
+	if d.Metrics().ClusterExpires.Load() != 1 {
+		t.Fatalf("ClusterExpires = %d", d.Metrics().ClusterExpires.Load())
+	}
+
+	// Sweep path: never resolved at all.
+	req = testPrepare("tx-sweep")
+	req.TTL = time.Millisecond
+	if res, err := d.Prepare(req); err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for d.PrepareCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker sweep never expired the prepare")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := d.Reserved(); got != 0 {
+		t.Fatalf("Reserved = %v after sweep, want 0", got)
+	}
+}
+
+// TestPrepareWALRollback: with a WAL attached, a prepare+abort cycle
+// leaves the recovered state bit-identical to one that never prepared —
+// and the log itself carries the prepare and abort frames (the audit
+// story), which an offline Replay folds back to the clean state.
+func TestPrepareWALRollback(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	l, rec, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newTestDaemon(t, Config{Rate: 10, MaxEpochAge: time.Hour, Log: l, Recovered: rec})
+
+	if res, err := d.Admit(testTypes[0]); err != nil || !res.Admitted {
+		t.Fatalf("seed admit: %+v %v", res, err)
+	}
+	preUsed := d.used // settled: writer applied before Admit returned
+
+	if res, err := d.Prepare(testPrepare("tx-roll")); err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+	if ok, err := d.AbortPrepared("tx-roll", 0); err != nil || !ok {
+		t.Fatalf("abort: %v %v", ok, err)
+	}
+
+	// Live state: Σφ untouched, reservation exactly gone.
+	var liveUsed float64
+	if err := d.exec(func() { liveUsed = d.used }); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(liveUsed) != math.Float64bits(preUsed) {
+		t.Fatalf("used %v != pre-prepare %v", liveUsed, preUsed)
+	}
+
+	// Offline fold of the full history — read before Close, whose final
+	// snapshot prunes the folded segments (SyncAlways means every acked
+	// frame is already on disk): three frames (admit, prepare, abort)
+	// replaying to the one-session state.
+	ops, err := wal.ReadOps(walDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]wal.Kind, len(ops))
+	for i, o := range ops {
+		kinds[i] = o.Kind
+	}
+	want := []wal.Kind{wal.KindAdmit, wal.KindPrepare, wal.KindAbort}
+	if len(kinds) != len(want) {
+		t.Fatalf("logged kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("logged kinds = %v, want %v", kinds, want)
+		}
+	}
+	var st wal.State
+	if err := wal.Replay(&st, ops); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 1 || len(st.Prepares) != 0 {
+		t.Fatalf("folded state: %d sessions, %d prepares", len(st.Sessions), len(st.Prepares))
+	}
+	if math.Float64bits(st.Used) != math.Float64bits(preUsed) {
+		t.Fatalf("folded Used %v != live pre-prepare %v", st.Used, preUsed)
+	}
+}
+
+// TestPrepareRecoveryExpiry is the in-doubt regression: a WAL holding a
+// journaled prepare whose deadline has passed — the disk state a
+// SIGKILL between prepare and commit leaves behind (the crashpoint
+// smoke proves the kill itself) — must boot into a daemon that expires
+// the reservation, journals KindExpire, and holds zero reserved weight.
+func TestPrepareRecoveryExpiry(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	l, _, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-time.Second).UnixNano()
+	future := time.Now().Add(time.Hour).UnixNano()
+	if err := l.Append([]wal.Op{
+		{Seq: 1, Kind: wal.KindAdmit, ID: 1, Name: "survivor",
+			Rho: 0.1, Lambda: 1, Alpha: 1, Delay: 50, Eps: 1e-3, G: 0.2},
+		{Seq: 2, Kind: wal.KindPrepare, TxID: "tx-doomed", Name: "in doubt",
+			Rho: 0.25, Lambda: 1, Alpha: 0.9, Delay: 50, Eps: 1e-6, G: 0.25,
+			Deadline: past},
+		{Seq: 3, Kind: wal.KindPrepare, TxID: "tx-alive", Name: "still valid",
+			Rho: 0.25, Lambda: 1, Alpha: 0.9, Delay: 50, Eps: 1e-6, G: 0.25,
+			Deadline: future},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newTestDaemon(t, Config{Rate: 10, MaxEpochAge: time.Hour, Log: l2, Recovered: rec})
+
+	// The expired prepare is gone (and logged as expired before the
+	// daemon served anything); the unexpired one still holds its weight.
+	if d.PrepareCount() != 1 {
+		t.Fatalf("PrepareCount = %d after recovery, want 1", d.PrepareCount())
+	}
+	if got := d.Reserved(); math.Float64bits(got) != math.Float64bits(0.25) {
+		t.Fatalf("Reserved = %v after recovery, want 0.25", got)
+	}
+	if d.Metrics().ClusterExpires.Load() != 1 {
+		t.Fatalf("ClusterExpires = %d", d.Metrics().ClusterExpires.Load())
+	}
+
+	// The surviving prepare commits normally after the reboot.
+	cr, err := d.CommitPrepared("tx-alive", 0)
+	if err != nil || !cr.Committed {
+		t.Fatalf("post-reboot commit = %+v err=%v", cr, err)
+	}
+	// The dead one is unknown.
+	if cr, _ := d.CommitPrepared("tx-doomed", 0); cr.Committed || cr.Reason != "unknown transaction" {
+		t.Fatalf("doomed commit = %+v", cr)
+	}
+
+	// The durable history now ends admit, prepare, prepare, expire,
+	// commit — and folds to two sessions, no prepares. Read before the
+	// cleanup Close prunes the segments behind its final snapshot.
+	ops, err := wal.ReadOps(walDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expires, commits int
+	for _, o := range ops {
+		switch o.Kind {
+		case wal.KindExpire:
+			expires++
+			if o.TxID != "tx-doomed" {
+				t.Fatalf("expired tx %q, want tx-doomed", o.TxID)
+			}
+		case wal.KindCommit:
+			commits++
+		}
+	}
+	if expires != 1 || commits != 1 {
+		t.Fatalf("history has %d expires, %d commits", expires, commits)
+	}
+	var st wal.State
+	if err := wal.Replay(&st, ops); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 2 || len(st.Prepares) != 0 {
+		t.Fatalf("folded: %d sessions, %d prepares", len(st.Sessions), len(st.Prepares))
+	}
+}
+
+// TestPrepareRebootCommit: a live (unexpired) prepare survives a clean
+// shutdown through the snapshot, and the rebooted daemon commits it.
+func TestPrepareRebootCommit(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	l, rec, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Rate: 10, MaxEpochAge: time.Hour, Log: l, Recovered: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testPrepare("tx-survive")
+	req.TTL = time.Hour
+	if res, err := d.Prepare(req); err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := d.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	l2, rec2, err := wal.Open(walDir, wal.Options{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final shutdown snapshot carried the prepare: nothing to replay.
+	st, err := rec2.SessionSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Prepares) != 1 || st.Prepares[0].TxID != "tx-survive" {
+		t.Fatalf("snapshot prepares = %+v", st.Prepares)
+	}
+	d2 := newTestDaemon(t, Config{Rate: 10, MaxEpochAge: time.Hour, Log: l2, Recovered: rec2})
+	if got := d2.Reserved(); math.Float64bits(got) != math.Float64bits(0.25) {
+		t.Fatalf("Reserved = %v after reboot, want 0.25", got)
+	}
+	cr, err := d2.CommitPrepared("tx-survive", 0)
+	if err != nil || !cr.Committed {
+		t.Fatalf("post-reboot commit = %+v err=%v", cr, err)
+	}
+	if err := d2.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	h := d2.Health()
+	if h.Sessions != 1 || math.Float64bits(h.Used) != math.Float64bits(0.25) {
+		t.Fatalf("Health after reboot commit = %+v", h)
+	}
+}
+
+// TestShardedPrepare: the facade routes a prepare to the ρ/φ shard,
+// echoes that shard on commit/abort, and folds reservations into
+// Health in shard order.
+func TestShardedPrepare(t *testing.T) {
+	s, err := NewSharded(Config{Rate: 8, MaxEpochAge: time.Hour}, 4, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+
+	res, err := s.Prepare(testPrepare("tx-sharded"))
+	if err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+	if res.Shard < 0 || res.Shard >= 4 {
+		t.Fatalf("shard %d out of range", res.Shard)
+	}
+	if got := s.Shard(res.Shard).Reserved(); math.Float64bits(got) != math.Float64bits(0.25) {
+		t.Fatalf("owning shard reserved %v", got)
+	}
+	h := s.Health()
+	if h.Prepares != 1 || math.Float64bits(h.Reserved) != math.Float64bits(0.25) {
+		t.Fatalf("Health = %+v", h)
+	}
+
+	// Resolution must route by the echoed shard: the wrong shard does
+	// not know the transaction.
+	wrong := (res.Shard + 1) % 4
+	if cr, _ := s.CommitPrepared("tx-sharded", wrong); cr.Committed {
+		t.Fatal("commit on wrong shard succeeded")
+	}
+	cr, err := s.CommitPrepared("tx-sharded", res.Shard)
+	if err != nil || !cr.Committed {
+		t.Fatalf("commit = %+v err=%v", cr, err)
+	}
+	if int(cr.ID&3) != res.Shard {
+		t.Fatalf("assigned id %d not in shard %d", cr.ID, res.Shard)
+	}
+	if got := s.Health().Reserved; got != 0 {
+		t.Fatalf("Reserved = %v after commit, want 0", got)
+	}
+
+	// Abort path through the facade.
+	if res, err = s.Prepare(testPrepare("tx-sharded-2")); err != nil || !res.Prepared {
+		t.Fatalf("Prepare = %+v err=%v", res, err)
+	}
+	if ok, err := s.AbortPrepared("tx-sharded-2", res.Shard); err != nil || !ok {
+		t.Fatalf("abort = %v err=%v", ok, err)
+	}
+	if ok, _ := s.AbortPrepared("tx-sharded-2", 99); ok {
+		t.Fatal("abort on out-of-range shard succeeded")
+	}
+}

@@ -144,6 +144,12 @@ type Config struct {
 	// Rates optionally shares a required-rate memo across daemons; nil
 	// builds a private one bounded by RateCacheMax.
 	Rates *RateMemo
+	// Crash, when non-nil, is consulted at the writer's cluster
+	// durability boundaries (CrashClusterPrepare) — the same fault
+	// injector the WAL takes through wal.Options.Crash, threaded here so
+	// cmd/gpsd -crashpoint can kill between a journaled prepare and its
+	// acknowledgement.
+	Crash wal.Crashpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +218,9 @@ const (
 	opAdmit opKind = iota
 	opRelease
 	opExec // test hook: run fn on the writer goroutine
+	opPrepare
+	opCommitTx
+	opAbortTx
 )
 
 type op struct {
@@ -219,17 +228,21 @@ type op struct {
 	name   string
 	arr    ebb.Process
 	target admission.Target
-	g      float64 // precomputed required rate (opAdmit)
-	id     uint64  // opRelease
-	fn     func()  // opExec
+	g      float64       // precomputed required rate (opAdmit) or reserved φ (opPrepare)
+	id     uint64        // opRelease
+	txid   string        // opPrepare/opCommitTx/opAbortTx
+	ttl    time.Duration // opPrepare
+	fn     func()        // opExec
 	reply  chan opResult
 }
 
 type opResult struct {
-	ok   bool
-	id   uint64
-	free float64 // headroom left after the decision
-	err  error   // non-nil when the WAL refused the mutation
+	ok       bool
+	id       uint64
+	free     float64 // headroom left after the decision
+	deadline int64   // prepare expiry, unix nanoseconds (opPrepare)
+	reason   string  // refusal detail (cluster ops)
+	err      error   // non-nil when the WAL refused the mutation
 }
 
 // rateKey memoizes admission.RequiredRate per distinct (E.B.B., target)
@@ -354,6 +367,15 @@ type Daemon struct {
 	walOps      int      // logged mutations since the last WAL snapshot
 	walScratch  []wal.Op // reusable single-op batch for the hot path
 
+	// Cluster two-phase state (writer-owned; see prepare.go). reserved
+	// is always the from-scratch sum over prepares in slice order, so an
+	// emptied pending set leaves it exactly 0.0. resBits/prepN mirror it
+	// for lock-free Health reads.
+	prepares []*prepareRec
+	reserved float64
+	resBits  atomic.Uint64
+	prepN    atomic.Int64
+
 	// Incremental-epoch state (writer-owned). delta is the persistent
 	// analyzer the pending ops replay into; the shadow arrays (shIDs,
 	// shTargets and the sorted id index) mirror the epoch-visible
@@ -444,6 +466,22 @@ func New(cfg Config) (*Daemon, error) {
 			d.live.Store(s.ID, rec)
 			d.typeAdd(rec)
 		}
+		for _, p := range st.Prepares {
+			d.prepares = append(d.prepares, &prepareRec{
+				txid: p.TxID, name: p.Name,
+				arr:      ebb.Process{Rho: p.Rho, Lambda: p.Lambda, Alpha: p.Alpha},
+				target:   admission.Target{Delay: p.Delay, Eps: p.Eps},
+				g:        p.G,
+				deadline: p.Deadline,
+			})
+		}
+		d.recalcReserved()
+		// In-doubt prepares from a coordinator that died before
+		// resolving: anything past its TTL releases its reservation now,
+		// journaled as KindExpire, before the daemon serves traffic. The
+		// writer goroutine has not started, so appending directly is the
+		// single-writer discipline, not a violation of it.
+		d.expirePrepares(time.Now().UnixNano())
 		d.met.WALRecoveredOps.Store(int64(len(cfg.Recovered.Ops)))
 	}
 	d.capBits.Store(math.Float64bits(d.capacity))
@@ -656,6 +694,9 @@ func (d *Daemon) run() {
 				d.rebuild()
 			}
 		case <-ticker.C:
+			if len(d.prepares) > 0 {
+				d.expirePrepares(time.Now().UnixNano())
+			}
 			if d.dirty {
 				d.rebuild()
 			}
@@ -674,10 +715,19 @@ func (d *Daemon) apply(o op) {
 		o.fn()
 		o.reply <- opResult{ok: true}
 		return
+	case opPrepare:
+		d.applyPrepare(o)
+		return
+	case opCommitTx:
+		d.applyCommitTx(o)
+		return
+	case opAbortTx:
+		d.applyAbortTx(o)
+		return
 	case opAdmit:
-		if d.used+o.g > d.capacity && !d.refillCapacity(o.g) {
+		if d.occupied()+o.g > d.capacity && !d.refillCapacity(o.g) {
 			d.met.Rejects.Add(1)
-			o.reply <- opResult{ok: false, free: d.capacity - d.used}
+			o.reply <- opResult{ok: false, free: d.capacity - d.occupied()}
 			return
 		}
 		id := d.nextID + d.stride
@@ -686,7 +736,7 @@ func (d *Daemon) apply(o op) {
 			Rho: o.arr.Rho, Lambda: o.arr.Lambda, Alpha: o.arr.Alpha,
 			Delay: o.target.Delay, Eps: o.target.Eps, G: o.g,
 		}); err != nil {
-			o.reply <- opResult{err: err, free: d.capacity - d.used}
+			o.reply <- opResult{err: err, free: d.capacity - d.occupied()}
 			return
 		}
 		d.nextID = id
@@ -701,16 +751,16 @@ func (d *Daemon) apply(o op) {
 		d.dirty = true
 		d.opsSince++
 		d.met.Admits.Add(1)
-		o.reply <- opResult{ok: true, id: rec.ID, free: d.capacity - d.used}
+		o.reply <- opResult{ok: true, id: rec.ID, free: d.capacity - d.occupied()}
 	case opRelease:
 		rec, ok := d.sessions[o.id]
 		if !ok {
 			d.met.ReleaseMisses.Add(1)
-			o.reply <- opResult{ok: false, free: d.capacity - d.used}
+			o.reply <- opResult{ok: false, free: d.capacity - d.occupied()}
 			return
 		}
 		if err := d.logAppend(wal.Op{Kind: wal.KindRelease, ID: o.id}); err != nil {
-			o.reply <- opResult{err: err, free: d.capacity - d.used}
+			o.reply <- opResult{err: err, free: d.capacity - d.occupied()}
 			return
 		}
 		// Swap-remove from the admission-order slice, O(1).
@@ -728,7 +778,7 @@ func (d *Daemon) apply(o op) {
 		d.dirty = true
 		d.opsSince++
 		d.met.Releases.Add(1)
-		o.reply <- opResult{ok: true, id: o.id, free: d.capacity - d.used}
+		o.reply <- opResult{ok: true, id: o.id, free: d.capacity - d.occupied()}
 	}
 }
 
@@ -742,7 +792,7 @@ func (d *Daemon) refillCapacity(g float64) bool {
 	if d.cfg.Ledger == nil {
 		return false
 	}
-	granted := d.cfg.Ledger.Reserve(d.used+g-d.capacity, d.cfg.LedgerQuantum)
+	granted := d.cfg.Ledger.Reserve(d.occupied()+g-d.capacity, d.cfg.LedgerQuantum)
 	if granted == 0 {
 		return false
 	}
@@ -763,7 +813,7 @@ func (d *Daemon) trimCapacity() {
 	if led == nil || !(q > 0) {
 		return
 	}
-	if excess := d.capacity - d.used; excess > 2*q {
+	if excess := d.capacity - d.occupied(); excess > 2*q {
 		give := (math.Floor(excess/q) - 1) * q
 		if give > 0 {
 			d.capacity -= give
@@ -822,6 +872,17 @@ func (d *Daemon) walState() wal.State {
 			ID: id, Name: rec.Name,
 			Rho: rec.Arrival.Rho, Lambda: rec.Arrival.Lambda, Alpha: rec.Arrival.Alpha,
 			Delay: rec.Target.Delay, Eps: rec.Target.Eps, G: rec.G,
+		}
+	}
+	if len(d.prepares) > 0 {
+		st.Prepares = make([]wal.PrepareRecord, len(d.prepares))
+		for i, p := range d.prepares {
+			st.Prepares[i] = wal.PrepareRecord{
+				TxID: p.txid, Name: p.name,
+				Rho: p.arr.Rho, Lambda: p.arr.Lambda, Alpha: p.arr.Alpha,
+				Delay: p.target.Delay, Eps: p.target.Eps, G: p.g,
+				Deadline: p.deadline,
+			}
 		}
 	}
 	return st

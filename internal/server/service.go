@@ -13,6 +13,13 @@ import (
 type Service interface {
 	Admit(AdmitRequest) (AdmitResult, error)
 	Release(id uint64) (bool, error)
+	// Prepare, CommitPrepared and AbortPrepared are the hop side of the
+	// cluster two-phase admit (see prepare.go): a prepare reserves
+	// weight under a coordinator transaction id and reports the shard
+	// holding it; the coordinator echoes that shard on resolution.
+	Prepare(PrepareRequest) (PrepareResult, error)
+	CommitPrepared(txid string, shard int) (CommitResult, error)
+	AbortPrepared(txid string, shard int) (bool, error)
 	// Pending reports an id admitted in the live set but not yet
 	// visible in a published epoch (425 vs 404 on the bounds path).
 	Pending(id uint64) bool
@@ -57,6 +64,11 @@ type HealthView struct {
 	Used     float64
 	Rate     float64
 	Shards   int
+	// Reserved is the weight held by pending cluster prepares (shard-
+	// ordered sum for a sharded service — reproducible bit for bit by an
+	// offline fold, like Used); Prepares counts them.
+	Reserved float64
+	Prepares int
 }
 
 // Bounds implements Service over the current epoch.
@@ -111,5 +123,7 @@ func (d *Daemon) Health() HealthView {
 		Used:     ep.Used,
 		Rate:     d.cfg.Rate,
 		Shards:   1,
+		Reserved: d.Reserved(),
+		Prepares: d.PrepareCount(),
 	}
 }

@@ -212,6 +212,56 @@ func (s *Sharded) Admit(req AdmitRequest) (AdmitResult, error) {
 	return res, err
 }
 
+// Prepare implements Service: validate once, route by the session's
+// ρ/φ class exactly like Admit (φ is the coordinator-assigned weight,
+// so it is the routing rate), and let the owning shard writer reserve.
+// The result carries that shard's index; the coordinator echoes it on
+// commit/abort so resolution reaches the same single writer with no
+// cross-shard transaction table.
+func (s *Sharded) Prepare(req PrepareRequest) (PrepareResult, error) {
+	if s.closing.Load() {
+		return PrepareResult{}, ErrDraining
+	}
+	if err := req.Validate(); err != nil {
+		return PrepareResult{}, err
+	}
+	d := s.shards[gpsmath.ShardOf(req.Arrival.Rho, req.Phi, s.n)]
+	start := time.Now()
+	res, err := d.Prepare(req)
+	d.met.ObserveDecision(time.Since(start))
+	return res, err
+}
+
+// CommitPrepared implements Service, routing by the echoed shard.
+func (s *Sharded) CommitPrepared(txid string, shard int) (CommitResult, error) {
+	if s.closing.Load() {
+		return CommitResult{}, ErrDraining
+	}
+	if shard < 0 || shard >= s.n {
+		return CommitResult{Reason: "unknown shard"}, nil
+	}
+	d := s.shards[shard]
+	start := time.Now()
+	res, err := d.CommitPrepared(txid, shard)
+	d.met.ObserveDecision(time.Since(start))
+	return res, err
+}
+
+// AbortPrepared implements Service, routing by the echoed shard.
+func (s *Sharded) AbortPrepared(txid string, shard int) (bool, error) {
+	if s.closing.Load() {
+		return false, ErrDraining
+	}
+	if shard < 0 || shard >= s.n {
+		return false, nil
+	}
+	d := s.shards[shard]
+	start := time.Now()
+	ok, err := d.AbortPrepared(txid, shard)
+	d.met.ObserveDecision(time.Since(start))
+	return ok, err
+}
+
 // Release implements Service, routing by the shard id packed in the
 // session id's low bits.
 func (s *Sharded) Release(id uint64) (bool, error) {
@@ -276,6 +326,8 @@ func (s *Sharded) Health() HealthView {
 		h.EpochSeq += ep.Seq
 		h.Sessions += ep.Sessions()
 		h.Used += ep.Used
+		h.Reserved += d.Reserved()
+		h.Prepares += d.PrepareCount()
 	}
 	return h
 }

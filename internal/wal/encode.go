@@ -17,6 +17,22 @@ const (
 	KindAdmit Kind = 1
 	// KindRelease records a successful release of an admitted id.
 	KindRelease Kind = 2
+	// KindPrepare records a cluster two-phase reservation: the full
+	// session payload plus the coordinator's transaction id and an
+	// absolute expiry deadline (unix nanoseconds). A prepare holds
+	// capacity but admits nothing until the matching commit.
+	KindPrepare Kind = 3
+	// KindCommit resolves a pending prepare into an admitted session.
+	// The payload carries the assigned session id and the transaction
+	// id; the session fields come from the pending prepare at replay.
+	KindCommit Kind = 4
+	// KindAbort drops a pending prepare on coordinator rollback.
+	KindAbort Kind = 5
+	// KindExpire drops a pending prepare whose deadline passed — written
+	// by the TTL sweep or by recovery when a hop reboots with an
+	// in-doubt prepare. Replay-identical to KindAbort, but the distinct
+	// kind keeps the audit trail honest about why capacity came back.
+	KindExpire Kind = 6
 )
 
 // Op is one durable admission mutation. Seq is the log sequence number:
@@ -37,6 +53,13 @@ type Op struct {
 	Delay  float64
 	Eps    float64
 	G      float64
+
+	// Cluster two-phase fields. TxID names the coordinator transaction
+	// on prepare/commit/abort/expire ops; Deadline is the prepare's
+	// absolute expiry in unix nanoseconds (wall clock, so it survives a
+	// reboot and stays comparable across restarts).
+	TxID     string
+	Deadline int64
 }
 
 // SessionRecord is one admitted session inside a snapshot, in admission
@@ -49,21 +72,53 @@ type SessionRecord struct {
 	G                  float64
 }
 
+// PrepareRecord is one pending (prepared, not yet committed) cluster
+// reservation inside a snapshot, in arrival order. It holds the full
+// session payload so a later commit can admit without re-sending it.
+type PrepareRecord struct {
+	TxID               string
+	Name               string
+	Rho, Lambda, Alpha float64
+	Delay, Eps         float64
+	G                  float64
+	Deadline           int64 // unix nanoseconds
+}
+
 // State is the full admitted-set state a snapshot captures: replaying
 // the log suffix with Seq greater than State.Seq on top of it
 // reconstructs the writer state bit-for-bit (Used is the running float
 // sum exactly as the live daemon accumulated it, not a recomputation).
+// Prepares hold capacity outside Used — a prepared reservation that
+// never commits leaves Used untouched by construction.
 type State struct {
 	Seq      uint64 // last op sequence the state includes
 	NextID   uint64
 	Used     float64
 	Sessions []SessionRecord // admission order
+	Prepares []PrepareRecord // arrival order
 }
 
 // Clone deep-copies the state so replay never aliases a caller's slice.
 func (st State) Clone() State {
 	st.Sessions = append([]SessionRecord(nil), st.Sessions...)
+	st.Prepares = append([]PrepareRecord(nil), st.Prepares...)
 	return st
+}
+
+// findPrepare returns the index of txid in st.Prepares, or -1.
+func findPrepare(st *State, txid string) int {
+	for i := range st.Prepares {
+		if st.Prepares[i].TxID == txid {
+			return i
+		}
+	}
+	return -1
+}
+
+// removePrepare deletes index i preserving arrival order (the pending
+// set is small; order is load-bearing for bit-identical snapshots).
+func removePrepare(st *State, i int) {
+	st.Prepares = append(st.Prepares[:i], st.Prepares[i+1:]...)
 }
 
 // Replay applies an op suffix to a snapshot state with exactly the
@@ -108,6 +163,40 @@ func Replay(st *State, ops []Op) error {
 			st.Sessions = st.Sessions[:last]
 			delete(idx, o.ID)
 			st.Used -= g
+		case KindPrepare:
+			if findPrepare(st, o.TxID) >= 0 {
+				return &CorruptError{Reason: fmt.Sprintf("replay: duplicate prepare of tx %q at seq %d", o.TxID, o.Seq)}
+			}
+			st.Prepares = append(st.Prepares, PrepareRecord{
+				TxID: o.TxID, Name: o.Name,
+				Rho: o.Rho, Lambda: o.Lambda, Alpha: o.Alpha,
+				Delay: o.Delay, Eps: o.Eps, G: o.G,
+				Deadline: o.Deadline,
+			})
+		case KindCommit:
+			i := findPrepare(st, o.TxID)
+			if i < 0 {
+				return &CorruptError{Reason: fmt.Sprintf("replay: commit of unknown tx %q at seq %d", o.TxID, o.Seq)}
+			}
+			if _, dup := idx[o.ID]; dup {
+				return &CorruptError{Reason: fmt.Sprintf("replay: commit assigns duplicate id %d at seq %d", o.ID, o.Seq)}
+			}
+			p := st.Prepares[i]
+			removePrepare(st, i)
+			idx[o.ID] = len(st.Sessions)
+			st.Sessions = append(st.Sessions, SessionRecord{
+				ID: o.ID, Name: p.Name,
+				Rho: p.Rho, Lambda: p.Lambda, Alpha: p.Alpha,
+				Delay: p.Delay, Eps: p.Eps, G: p.G,
+			})
+			st.NextID = o.ID
+			st.Used += p.G
+		case KindAbort, KindExpire:
+			i := findPrepare(st, o.TxID)
+			if i < 0 {
+				return &CorruptError{Reason: fmt.Sprintf("replay: %v of unknown tx %q at seq %d", o.Kind, o.TxID, o.Seq)}
+			}
+			removePrepare(st, i)
 		default:
 			return &CorruptError{Reason: fmt.Sprintf("replay: unknown op kind %d at seq %d", o.Kind, o.Seq)}
 		}
@@ -153,7 +242,8 @@ func appendOpPayload(b []byte, o Op) []byte {
 	b = putU64(b, o.Seq)
 	b = append(b, byte(o.Kind))
 	b = putU64(b, o.ID)
-	if o.Kind == KindAdmit {
+	switch o.Kind {
+	case KindAdmit, KindPrepare:
 		b = putF64(b, o.G)
 		b = putF64(b, o.Rho)
 		b = putF64(b, o.Lambda)
@@ -162,6 +252,14 @@ func appendOpPayload(b []byte, o Op) []byte {
 		b = putF64(b, o.Eps)
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(o.Name)))
 		b = append(b, o.Name...)
+		if o.Kind == KindPrepare {
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(o.TxID)))
+			b = append(b, o.TxID...)
+			b = putU64(b, uint64(o.Deadline))
+		}
+	case KindCommit, KindAbort, KindExpire:
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(o.TxID)))
+		b = append(b, o.TxID...)
 	}
 	return b
 }
@@ -255,7 +353,7 @@ func decodeOpPayload(p []byte) (Op, error) {
 	o.Kind = Kind(c.u8())
 	o.ID = c.u64()
 	switch o.Kind {
-	case KindAdmit:
+	case KindAdmit, KindPrepare:
 		o.G = c.f64()
 		o.Rho = c.f64()
 		o.Lambda = c.f64()
@@ -263,7 +361,13 @@ func decodeOpPayload(p []byte) (Op, error) {
 		o.Delay = c.f64()
 		o.Eps = c.f64()
 		o.Name = c.str(int(c.u16()))
+		if o.Kind == KindPrepare {
+			o.TxID = c.str(int(c.u16()))
+			o.Deadline = int64(c.u64())
+		}
 	case KindRelease:
+	case KindCommit, KindAbort, KindExpire:
+		o.TxID = c.str(int(c.u16()))
 	default:
 		return Op{}, fmt.Errorf("unknown op kind %d", o.Kind)
 	}
@@ -293,6 +397,23 @@ func appendState(b []byte, st State) []byte {
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Name)))
 		b = append(b, s.Name...)
 	}
+	// Pending prepares follow the sessions. Snapshots written before the
+	// cluster protocol existed simply end after the session list;
+	// decodeState treats an exhausted cursor there as zero prepares.
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Prepares)))
+	for _, p := range st.Prepares {
+		b = putF64(b, p.G)
+		b = putF64(b, p.Rho)
+		b = putF64(b, p.Lambda)
+		b = putF64(b, p.Alpha)
+		b = putF64(b, p.Delay)
+		b = putF64(b, p.Eps)
+		b = putU64(b, uint64(p.Deadline))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Name)))
+		b = append(b, p.Name...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.TxID)))
+		b = append(b, p.TxID...)
+	}
 	return b
 }
 
@@ -321,6 +442,33 @@ func decodeState(p []byte) (State, error) {
 			return State{}, fmt.Errorf("snapshot truncated inside session %d of %d", i, n)
 		}
 		st.Sessions = append(st.Sessions, s)
+	}
+	if len(c.b) == 0 {
+		// Pre-cluster snapshot: no prepare section.
+		return st, nil
+	}
+	pn := c.u32()
+	if !c.ok || uint64(pn) > uint64(len(p)) {
+		return State{}, fmt.Errorf("snapshot prepare count %d implausible", pn)
+	}
+	if pn > 0 {
+		st.Prepares = make([]PrepareRecord, 0, pn)
+	}
+	for i := uint32(0); i < pn; i++ {
+		var pr PrepareRecord
+		pr.G = c.f64()
+		pr.Rho = c.f64()
+		pr.Lambda = c.f64()
+		pr.Alpha = c.f64()
+		pr.Delay = c.f64()
+		pr.Eps = c.f64()
+		pr.Deadline = int64(c.u64())
+		pr.Name = c.str(int(c.u16()))
+		pr.TxID = c.str(int(c.u16()))
+		if !c.ok {
+			return State{}, fmt.Errorf("snapshot truncated inside prepare %d of %d", i, pn)
+		}
+		st.Prepares = append(st.Prepares, pr)
 	}
 	if len(c.b) != 0 {
 		return State{}, fmt.Errorf("%d trailing bytes after snapshot", len(c.b))

@@ -1,0 +1,227 @@
+package wal
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func prepOp(seq uint64, txid string) Op {
+	return Op{
+		Seq: seq, Kind: KindPrepare,
+		Name: "cluster session", TxID: txid,
+		Rho: 0.25, Lambda: 1.5, Alpha: 0.125,
+		Delay: 3.5, Eps: 1e-6, G: 0.25,
+		Deadline: 1_700_000_000_123_456_789,
+	}
+}
+
+// TestPrepareOpRoundTrip pins the frame encoding of every cluster op
+// kind through the payload codec.
+func TestPrepareOpRoundTrip(t *testing.T) {
+	ops := []Op{
+		prepOp(1, "tx-a"),
+		{Seq: 2, Kind: KindCommit, ID: 7, TxID: "tx-a"},
+		{Seq: 3, Kind: KindAbort, TxID: "tx-b"},
+		{Seq: 4, Kind: KindExpire, TxID: "tx-c"},
+		{Seq: 5, Kind: KindPrepare, TxID: "tx-neg", Name: "",
+			Rho: math.SmallestNonzeroFloat64, G: math.SmallestNonzeroFloat64,
+			Deadline: -1},
+	}
+	for _, want := range ops {
+		got, err := decodeOpPayload(appendOpPayload(nil, want))
+		if err != nil {
+			t.Fatalf("decode %v op: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %v op:\n got %+v\nwant %+v", want.Kind, got, want)
+		}
+	}
+}
+
+// TestPrepareStateRoundTrip pins the snapshot encoding of a state that
+// carries pending prepares, and that an old-format snapshot (no prepare
+// section) still decodes to zero prepares.
+func TestPrepareStateRoundTrip(t *testing.T) {
+	st := State{
+		Seq: 9, NextID: 3, Used: 0.5,
+		Sessions: []SessionRecord{
+			{ID: 1, Name: "s1", Rho: 0.25, Lambda: 1, Alpha: 0.5, Delay: 2, Eps: 1e-6, G: 0.25},
+			{ID: 3, Name: "s3", Rho: 0.25, Lambda: 1, Alpha: 0.5, Delay: 2, Eps: 1e-6, G: 0.25},
+		},
+		Prepares: []PrepareRecord{
+			{TxID: "tx-a", Name: "p1", Rho: 0.1, Lambda: 2, Alpha: 0.25, Delay: 4, Eps: 1e-9, G: 0.1, Deadline: 42},
+			{TxID: "tx-b", Name: "", Rho: 0.2, Lambda: 1, Alpha: 0.5, Delay: 3, Eps: 1e-6, G: 0.2, Deadline: -7},
+		},
+	}
+	got, err := decodeState(appendState(nil, st))
+	if err != nil {
+		t.Fatalf("decodeState: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("state round trip:\n got %+v\nwant %+v", got, st)
+	}
+
+	// Old-format snapshot: encode by hand without the prepare section.
+	old := st
+	old.Prepares = nil
+	var b []byte
+	b = putU64(b, old.Seq)
+	b = putU64(b, old.NextID)
+	b = putF64(b, old.Used)
+	b = append(b, byte(len(old.Sessions)), 0, 0, 0)
+	for _, s := range old.Sessions {
+		b = putU64(b, s.ID)
+		b = putF64(b, s.G)
+		b = putF64(b, s.Rho)
+		b = putF64(b, s.Lambda)
+		b = putF64(b, s.Alpha)
+		b = putF64(b, s.Delay)
+		b = putF64(b, s.Eps)
+		b = append(b, byte(len(s.Name)), 0)
+		b = append(b, s.Name...)
+	}
+	got, err = decodeState(b)
+	if err != nil {
+		t.Fatalf("decodeState(old format): %v", err)
+	}
+	if !reflect.DeepEqual(got, old) {
+		t.Fatalf("old-format decode:\n got %+v\nwant %+v", got, old)
+	}
+}
+
+// TestReplayPrepareLifecycle drives prepare → commit and
+// prepare → abort/expire through Replay and checks Used moves only on
+// commit, and bit-identically to an admit of the same G.
+func TestReplayPrepareLifecycle(t *testing.T) {
+	st := State{}
+	ops := []Op{
+		{Seq: 1, Kind: KindAdmit, ID: 1, Name: "base", Rho: 0.25, G: 0.25},
+		prepOp(2, "tx-commit"),
+		prepOp(3, "tx-abort"),
+		prepOp(4, "tx-expire"),
+	}
+	if err := Replay(&st, ops); err != nil {
+		t.Fatalf("replay prepares: %v", err)
+	}
+	if len(st.Prepares) != 3 {
+		t.Fatalf("prepares = %d, want 3", len(st.Prepares))
+	}
+	if math.Float64bits(st.Used) != math.Float64bits(0.25) {
+		t.Fatalf("Used = %v after prepares, want 0.25 (prepares must not touch Used)", st.Used)
+	}
+
+	resolve := []Op{
+		{Seq: 5, Kind: KindCommit, ID: 3, TxID: "tx-commit"},
+		{Seq: 6, Kind: KindAbort, TxID: "tx-abort"},
+		{Seq: 7, Kind: KindExpire, TxID: "tx-expire"},
+	}
+	if err := Replay(&st, resolve); err != nil {
+		t.Fatalf("replay resolution: %v", err)
+	}
+	if len(st.Prepares) != 0 {
+		t.Fatalf("prepares = %d after resolution, want 0", len(st.Prepares))
+	}
+	if len(st.Sessions) != 2 || st.Sessions[1].ID != 3 || st.Sessions[1].Name != "cluster session" {
+		t.Fatalf("sessions after commit = %+v", st.Sessions)
+	}
+	if st.NextID != 3 {
+		t.Fatalf("NextID = %d, want 3", st.NextID)
+	}
+	if math.Float64bits(st.Used) != math.Float64bits(0.25+0.25) {
+		t.Fatalf("Used = %v after commit, want 0.5", st.Used)
+	}
+
+	// The committed history must equal a plain-admit history bit for bit.
+	var plain State
+	if err := Replay(&plain, []Op{
+		{Seq: 1, Kind: KindAdmit, ID: 1, Name: "base", Rho: 0.25, G: 0.25},
+		{Seq: 2, Kind: KindAdmit, ID: 3, Name: "cluster session",
+			Rho: 0.25, Lambda: 1.5, Alpha: 0.125, Delay: 3.5, Eps: 1e-6, G: 0.25},
+	}); err != nil {
+		t.Fatalf("replay plain: %v", err)
+	}
+	if math.Float64bits(plain.Used) != math.Float64bits(st.Used) {
+		t.Fatalf("committed Used %v != plain-admit Used %v", st.Used, plain.Used)
+	}
+	if !reflect.DeepEqual(plain.Sessions, st.Sessions) {
+		t.Fatalf("committed sessions %+v != plain-admit sessions %+v", st.Sessions, plain.Sessions)
+	}
+}
+
+// TestReplayPrepareCorruption: duplicate prepares and resolutions of
+// unknown transactions are corruption, never silently skipped.
+func TestReplayPrepareCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"duplicate prepare", []Op{prepOp(1, "tx"), prepOp(2, "tx")}},
+		{"commit unknown tx", []Op{{Seq: 1, Kind: KindCommit, ID: 1, TxID: "ghost"}}},
+		{"abort unknown tx", []Op{{Seq: 1, Kind: KindAbort, TxID: "ghost"}}},
+		{"expire unknown tx", []Op{{Seq: 1, Kind: KindExpire, TxID: "ghost"}}},
+		{"double resolve", []Op{prepOp(1, "tx"),
+			{Seq: 2, Kind: KindAbort, TxID: "tx"},
+			{Seq: 3, Kind: KindCommit, ID: 1, TxID: "tx"}}},
+	}
+	for _, tc := range cases {
+		st := State{}
+		if err := Replay(&st, tc.ops); err == nil {
+			t.Errorf("%s: Replay accepted corrupt history", tc.name)
+		}
+	}
+}
+
+// TestPrepareLogRoundTrip writes cluster ops through a real log and
+// recovers them, snapshotting mid-stream so the prepare section of the
+// snapshot is exercised on disk.
+func TestPrepareLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ops := []Op{
+		{Seq: 1, Kind: KindAdmit, ID: 1, Name: "base", Rho: 0.25, G: 0.25},
+		prepOp(2, "tx-live"),
+		prepOp(3, "tx-dead"),
+		{Seq: 4, Kind: KindAbort, TxID: "tx-dead"},
+	}
+	if err := l.Append(ops); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	var st State
+	if err := Replay(&st, ops); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if err := l.Snapshot(st); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	more := []Op{{Seq: 5, Kind: KindCommit, ID: 3, TxID: "tx-live"}}
+	if err := l.Append(more); err != nil {
+		t.Fatalf("Append more: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got, err := rec.SessionSet()
+	if err != nil {
+		t.Fatalf("SessionSet: %v", err)
+	}
+	want := st.Clone()
+	if err := Replay(&want, more); err != nil {
+		t.Fatalf("Replay more: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Prepares) != 0 || len(got.Sessions) != 2 {
+		t.Fatalf("recovered shape: %d prepares, %d sessions", len(got.Prepares), len(got.Sessions))
+	}
+}

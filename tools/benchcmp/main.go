@@ -35,6 +35,7 @@ var hotPaths = []string{
 	"AdmitThroughputSharded/shards-1/sessions-10000",
 	"AdmitThroughputSharded/shards-1/sessions-1000000",
 	"AdmitThroughputSharded/shards-8/sessions-1000000",
+	"ClusterAdmit",
 	"EpochDelta/sessions-10000",
 	"EpochDelta/sessions-131072",
 	"EpochDelta/sessions-1000000",

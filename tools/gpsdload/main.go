@@ -285,7 +285,14 @@ func main() {
 	retries := flag.Int("retries", 3, "tries per request through 429/425 backpressure (1 disables retry)")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "exponential backoff floor for the first retry")
 	retryMax := flag.Duration("retry-max", 5*time.Second, "cap on any single backoff sleep")
+	topology := flag.String("topology", "", "cluster mode: drive the paper's §6.3 tree through the coordinator at -url and bit-compare its bounds against offline analysis")
+	e2eDelay := flag.Float64("e2e-delay", 200, "end-to-end delay target for -topology admits")
+	e2eEps := flag.Float64("e2e-eps", 1e-3, "end-to-end violation probability target for -topology admits")
 	flag.Parse()
+	if *topology != "" {
+		topologyMain(*topology, *url, *e2eDelay, *e2eEps)
+		return
+	}
 	if *killPid > 0 && *requireNo5xx {
 		log.Fatal("gpsdload: -kill-pid and -require-no-5xx are mutually exclusive (the kill guarantees failed requests)")
 	}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/paper"
+)
+
+// Topology mode (-topology FILE): instead of churning one daemon, the
+// driver replays the paper's §6.3 tree through a cluster coordinator —
+// the four Table 2 sessions admitted over their Figure 2 routes — and
+// proves the coordinator's composed end-to-end bounds are bit-identical
+// to an offline internal/network CRST analysis of the same admission
+// prefix. Floats survive encoding/json round trips bit-exactly, so
+// every comparison is Float64bits equality, not a tolerance. Any
+// mismatch, refused admit, or transport failure exits nonzero; this is
+// the acceptance check scripts/cluster_smoke.sh runs against three real
+// hop daemons.
+
+// Wire shapes mirror internal/cluster's coordinator API.
+
+type topoBoundWire struct {
+	Delay        float64 `json:"delay"`
+	Eps          float64 `json:"eps"`
+	AchievedEps  float64 `json:"achieved_eps"`
+	EnvPrefactor float64 `json:"env_prefactor"`
+	EnvRate      float64 `json:"env_rate"`
+}
+
+type topoHopWire struct {
+	Node      int     `json:"node"`
+	Name      string  `json:"name"`
+	HopID     string  `json:"hop_id"`
+	G         float64 `json:"g"`
+	Theta     float64 `json:"theta"`
+	Prefactor float64 `json:"prefactor"`
+	Rate      float64 `json:"rate"`
+}
+
+type topoAdmitReply struct {
+	Admitted bool          `json:"admitted"`
+	ID       string        `json:"id"`
+	TxID     string        `json:"txid"`
+	Reason   string        `json:"reason"`
+	E2E      topoBoundWire `json:"e2e"`
+	Hops     []topoHopWire `json:"hops"`
+}
+
+type topoRouteBoundsReply struct {
+	ID   string        `json:"id"`
+	Name string        `json:"name"`
+	E2E  topoBoundWire `json:"e2e"`
+	Hops []topoHopWire `json:"hops"`
+}
+
+func bitEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// checkBound compares a wire bound against the offline analysis of
+// session i under the given prefix network, field by field in bits.
+func checkBound(where string, got topoBoundWire, hops []topoHopWire, an *network.CRSTAnalysis, i int, delay float64) error {
+	wantEps := an.EndToEndDelayTail(i)(delay)
+	env := an.EndToEndDelayExpTail(i)
+	if !bitEq(got.AchievedEps, wantEps) {
+		return fmt.Errorf("%s: achieved_eps %x != offline %x", where,
+			math.Float64bits(got.AchievedEps), math.Float64bits(wantEps))
+	}
+	if !bitEq(got.EnvPrefactor, env.Prefactor) || !bitEq(got.EnvRate, env.Rate) {
+		return fmt.Errorf("%s: envelope (%g, %g) != offline (%g, %g)", where,
+			got.EnvPrefactor, got.EnvRate, env.Prefactor, env.Rate)
+	}
+	if len(hops) != len(an.Hops[i]) {
+		return fmt.Errorf("%s: %d hops, offline has %d", where, len(hops), len(an.Hops[i]))
+	}
+	for k, hb := range an.Hops[i] {
+		h := hops[k]
+		if h.Node != hb.Node || !bitEq(h.G, hb.G) || !bitEq(h.Theta, hb.Theta) ||
+			!bitEq(h.Prefactor, hb.Delay.Prefactor) || !bitEq(h.Rate, hb.Delay.Rate) {
+			return fmt.Errorf("%s: hop %d (node %d) diverges from offline analysis", where, k, h.Node)
+		}
+	}
+	return nil
+}
+
+// topologyMain is the -topology entry point. It exits the process:
+// 0 when every admit landed and every bound matched in bits, 1 otherwise.
+func topologyMain(topoPath, base string, delay, eps float64) {
+	topo, err := cluster.LoadTopology(topoPath)
+	if err != nil {
+		log.Fatalf("gpsdload: %v", err)
+	}
+	// The §6.3 tree needs the Figure 2 shape: sessions 1-2 enter at
+	// node index 0, sessions 3-4 at index 1, all four merge at index 2.
+	if len(topo.Nodes) != 3 {
+		log.Fatalf("gpsdload: -topology drives the paper's 3-node tree; %s has %d nodes", topoPath, len(topo.Nodes))
+	}
+	set, err := paper.Table2(paper.Set1Rho)
+	if err != nil {
+		log.Fatalf("gpsdload: table 2: %v", err)
+	}
+
+	// Offline model, built exactly the way the coordinator builds its
+	// own: nodes from the same topology file, sessions appended in
+	// admission order under the RPPS assignment φ = ρ.
+	nw := network.Network{Nodes: make([]network.Node, len(topo.Nodes))}
+	for m, n := range topo.Nodes {
+		nw.Nodes[m] = network.Node{Name: n.Name, Rate: n.Rate}
+	}
+	routes := make([][]int, len(set))
+	for i, a := range set {
+		first := 0
+		if i >= 2 {
+			first = 1
+		}
+		routes[i] = []int{first, 2}
+		nw.Sessions = append(nw.Sessions, network.Session{
+			Name:    paper.SessionNames[i],
+			Arrival: a,
+			Route:   routes[i],
+			Phi:     []float64{a.Rho, a.Rho},
+		})
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	ids := make([]string, len(set))
+	start := time.Now()
+	for i, a := range set {
+		payload, _ := json.Marshal(map[string]any{
+			"name": paper.SessionNames[i], "rho": a.Rho, "lambda": a.Lambda, "alpha": a.Alpha,
+			"delay": delay, "eps": eps, "route": routes[i],
+		})
+		resp, err := hc.Post(base+"/v1/cluster/admit", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			log.Fatalf("gpsdload: admit %s: %v", paper.SessionNames[i], err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("gpsdload: admit %s: HTTP %d: %s", paper.SessionNames[i], resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var out topoAdmitReply
+		if err := json.Unmarshal(body, &out); err != nil {
+			log.Fatalf("gpsdload: admit %s: decode: %v", paper.SessionNames[i], err)
+		}
+		if !out.Admitted {
+			log.Fatalf("gpsdload: admit %s refused: %s", paper.SessionNames[i], out.Reason)
+		}
+		ids[i] = out.ID
+
+		// The coordinator analyzed the committed prefix with the
+		// candidate appended last; replay that exact model offline.
+		prefix := network.Network{Nodes: nw.Nodes, Sessions: nw.Sessions[:i+1]}
+		an, err := prefix.AnalyzeCRST(network.CRSTOptions{})
+		if err != nil {
+			log.Fatalf("gpsdload: offline analysis of prefix %d: %v", i+1, err)
+		}
+		if err := checkBound(fmt.Sprintf("admit %s", paper.SessionNames[i]), out.E2E, out.Hops, an, i, delay); err != nil {
+			log.Fatalf("gpsdload: FAIL: %v", err)
+		}
+		fmt.Printf("gpsdload: admitted %s id=%s achieved_eps=%.6g (bit-identical to offline CRST)\n",
+			paper.SessionNames[i], out.ID, out.E2E.AchievedEps)
+	}
+
+	// Every route-bounds read is served under the full committed set;
+	// the offline reference is the whole-tree analysis.
+	full, err := nw.AnalyzeCRST(network.CRSTOptions{})
+	if err != nil {
+		log.Fatalf("gpsdload: offline full-tree analysis: %v", err)
+	}
+	for i, id := range ids {
+		resp, err := hc.Get(base + "/v1/route-bounds/" + id)
+		if err != nil {
+			log.Fatalf("gpsdload: route-bounds %s: %v", id, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("gpsdload: route-bounds %s: HTTP %d: %s", id, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var out topoRouteBoundsReply
+		if err := json.Unmarshal(body, &out); err != nil {
+			log.Fatalf("gpsdload: route-bounds %s: decode: %v", id, err)
+		}
+		if out.Name != paper.SessionNames[i] {
+			log.Fatalf("gpsdload: route-bounds %s: name %q, want %q", id, out.Name, paper.SessionNames[i])
+		}
+		if err := checkBound(fmt.Sprintf("route-bounds %s", out.Name), out.E2E, out.Hops, full, i, delay); err != nil {
+			log.Fatalf("gpsdload: FAIL: %v", err)
+		}
+	}
+	fmt.Printf("gpsdload: OK: %d sessions admitted over the §6.3 tree in %v; all end-to-end bounds bit-identical to offline analysis\n",
+		len(ids), time.Since(start).Round(time.Millisecond))
+}

@@ -57,6 +57,7 @@ func main() {
 	samples := flag.Int("samples", 8, "per-session bound endpoints to verify when -url is set")
 	verifyProof := flag.Uint64("verify-proof", 0, "prove the decision at this op sequence is in the Merkle audit history and the history is append-only (0 = off)")
 	expectHead := flag.String("expect-head", "", "hex audit head recorded out of band; proofs and the trail must fold to exactly this head")
+	proofStripe := flag.Int("proof-stripe", -1, "stripe whose audit chain -verify-proof/-expect-head apply to (striped layouts; sequences are per-stripe)")
 	ledgerQuantum := flag.Float64("ledger-quantum", 0, "ledger refill quantum the daemon runs with (striped layouts; 0 = rate/(stripes*16))")
 	flag.Parse()
 	if *walDir == "" || !(*rate > 0) {
@@ -68,11 +69,20 @@ func main() {
 		log.Printf("walcheck: CORRUPT: %v", err)
 		os.Exit(2)
 	} else if stripes > 0 {
-		if *verifyProof != 0 || *expectHead != "" {
-			log.Fatalf("walcheck: -verify-proof/-expect-head verify one audit chain; a striped layout has one per stripe (run against a stripe directory instead)")
+		// A striped layout has one audit chain per stripe, each with its
+		// own sequence space: a proof request must name the stripe it
+		// speaks about.
+		if (*verifyProof != 0 || *expectHead != "") && *proofStripe < 0 {
+			log.Fatalf("walcheck: a striped layout has one audit chain per stripe; add -proof-stripe N to say which one -verify-proof/-expect-head apply to")
 		}
-		stripedMain(*walDir, stripes, *rate, *ledgerQuantum, *url, *samples)
+		if *proofStripe >= stripes {
+			log.Fatalf("walcheck: -proof-stripe %d, but the layout has %d stripes", *proofStripe, stripes)
+		}
+		stripedMain(*walDir, stripes, *rate, *ledgerQuantum, *url, *samples, *proofStripe, *verifyProof, *expectHead)
 		return
+	}
+	if *proofStripe >= 0 {
+		log.Fatalf("walcheck: -proof-stripe only applies to striped layouts; %s is flat", *walDir)
 	}
 
 	rec, err := wal.Read(*walDir)
@@ -130,7 +140,7 @@ func main() {
 // restart-then-verify window); a shard that has refilled its ledger
 // reservation since boot runs at a different capacity than the boot
 // split implies.
-func stripedMain(dir string, stripes int, rate, quantum float64, base string, samples int) {
+func stripedMain(dir string, stripes int, rate, quantum float64, base string, samples int, proofStripe int, proofSeq uint64, expectHead string) {
 	recs, err := wal.ReadStriped(dir)
 	if err != nil {
 		if errors.Is(err, wal.ErrCorrupt) {
@@ -183,7 +193,11 @@ func stripedMain(dir string, stripes int, rate, quantum float64, base string, sa
 		stripes, sessions, replayed, torn, used, math.Float64bits(used), quantum)
 
 	for i := 0; i < stripes; i++ {
-		auditCheck(filepath.Join(dir, wal.StripeDirName(i)), 0, "")
+		if i == proofStripe {
+			auditCheck(filepath.Join(dir, wal.StripeDirName(i)), proofSeq, expectHead)
+		} else {
+			auditCheck(filepath.Join(dir, wal.StripeDirName(i)), 0, "")
+		}
 	}
 
 	if base == "" {
