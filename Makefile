@@ -57,7 +57,10 @@ repl-smoke:
 # acceptance claims: coordinator bounds bit-identical to offline CRST
 # analysis, fail-closed rollback when a hop dies mid-prepare (armed
 # cluster.prepare crashpoint), TTL expiry of the in-doubt prepare on
-# recovery, and per-stripe audit proofs (see scripts/cluster_smoke.sh).
+# recovery, per-stripe audit proofs, a SIGKILLed coordinator restarting
+# from its route journal (-coord-wal-dir) bit-identical to walcheck's
+# offline fold, and orphan reclamation of a lost commit ack (see
+# scripts/cluster_smoke.sh).
 clustercheck:
 	GO="$(GO)" sh scripts/cluster_smoke.sh
 

@@ -103,6 +103,7 @@ func main() {
 	topology := flag.String("topology", "", "run as a cluster coordinator over this topology JSON instead of a hop daemon")
 	prepareTTL := flag.Duration("prepare-ttl", 10*time.Second, "coordinator: TTL each hop journals with a prepare")
 	hopTimeout := flag.Duration("hop-timeout", 2*time.Second, "coordinator: per-hop RPC timeout; a slower hop counts as partitioned")
+	coordWALDir := flag.String("coord-wal-dir", "", "coordinator: journal directory for end-to-end admissions (a restart recovers and re-serves them); empty keeps the coordinator stateless")
 	flag.Parse()
 
 	if err := run(config{
@@ -116,6 +117,7 @@ func main() {
 		noDelta: *noDelta, deltaMaxOps: *deltaMaxOps, selfCheckEvery: *selfCheckEvery,
 		shards: *shards, ledgerQuantum: *ledgerQuantum,
 		topology: *topology, prepareTTL: *prepareTTL, hopTimeout: *hopTimeout,
+		coordWALDir: *coordWALDir,
 	}); err != nil {
 		log.Fatalf("gpsd: %v", err)
 	}
@@ -144,6 +146,7 @@ type config struct {
 
 	topology               string
 	prepareTTL, hopTimeout time.Duration
+	coordWALDir            string
 }
 
 // resolveShards decides the shard count. An existing WAL layout always
@@ -156,6 +159,14 @@ func resolveShards(cfg config) (int, error) {
 		return 0, fmt.Errorf("-shards %d, want >= 0", cfg.shards)
 	}
 	if cfg.walDir != "" {
+		// A coordinator journal holds route records no hop daemon can
+		// replay; refuse it with a pointer at the right invocation
+		// (promoting a coordinator standby's mirror lands here too).
+		if isCoord, err := wal.IsCoordDir(cfg.walDir); err != nil {
+			return 0, err
+		} else if isCoord {
+			return 0, fmt.Errorf("%s holds a coordinator journal; boot it with -topology ... -coord-wal-dir %s", cfg.walDir, cfg.walDir)
+		}
 		n, err := wal.ReadStripes(cfg.walDir)
 		if err != nil {
 			return 0, err
@@ -485,27 +496,159 @@ func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	(*s.h.Load()).ServeHTTP(w, r)
 }
 
-// runCoordinator is the -topology mode: a stateless control plane that
-// admits sessions over routes through the configured hop daemons with
-// the two-phase protocol, composing per-hop CRST bounds into
-// end-to-end guarantees. It keeps no disk state of its own — each
-// hop's WAL is the durable truth, and prepares orphaned by a
-// coordinator death expire on the hops' TTL clocks.
+// openCoordJournal adopts (or creates) the coordinator WAL directory:
+// the layout marker is written durably before the first segment, hop
+// layouts are refused, and the previous life's route records come back
+// as cfg.Recovered. The audit trail and replication source ride on the
+// same directory, so the PR 6 shipping machinery (warm standby,
+// Merkle audit) works on the coordinator journal unchanged.
+func openCoordJournal(cfg config, plan *faults.CrashPlan) (*wal.Log, *wal.Recovered, *replication.Audit, error) {
+	isCoord, err := wal.IsCoordDir(cfg.coordWALDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !isCoord {
+		flat, err := wal.HasFlatLayout(cfg.coordWALDir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stripes, err := wal.ReadStripes(cfg.coordWALDir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if flat || stripes > 0 {
+			return nil, nil, nil, fmt.Errorf("%s holds a hop WAL; refusing to journal coordinator route records into it", cfg.coordWALDir)
+		}
+		if err := wal.WriteCoordMarker(cfg.coordWALDir); err != nil {
+			return nil, nil, nil, fmt.Errorf("marking coordinator WAL: %w", err)
+		}
+	}
+	opts, err := walOptions(cfg, plan)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	clog, rec, err := wal.Open(cfg.coordWALDir, opts)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			return nil, nil, nil, fmt.Errorf("refusing to start on journal corruption: %w", err)
+		}
+		return nil, nil, nil, fmt.Errorf("opening coordinator journal: %w", err)
+	}
+	walHead := clog.NextSeq() - 1
+	audit, err := replication.OpenAudit(cfg.coordWALDir, replication.AuditOptions{BatchN: cfg.auditBatch, WALHead: &walHead})
+	if err != nil {
+		clog.Close()
+		return nil, nil, nil, fmt.Errorf("opening coordinator audit trail: %w", err)
+	}
+	log.Printf("gpsd: coordinator journal %s recovered: %d route ops, %d torn bytes truncated",
+		cfg.coordWALDir, len(rec.Ops), rec.TornBytes)
+	return clog, rec, audit, nil
+}
+
+// runCoordinator is the -topology mode: the control plane that admits
+// sessions over routes through the configured hop daemons with the
+// two-phase protocol, composing per-hop CRST bounds into end-to-end
+// guarantees. With -coord-wal-dir it journals every committed admit
+// and release, so a restart re-serves its previous life's sessions
+// bit-identically and reconciles against the hops; without it the
+// coordinator is stateless and prepares orphaned by its death expire
+// on the hops' TTL clocks.
 func runCoordinator(cfg config) error {
 	if cfg.follow != "" || cfg.walDir != "" {
-		return errors.New("-topology runs a stateless coordinator; -follow and -wal-dir apply to hop daemons")
+		return errors.New("-topology runs a coordinator; -follow and -wal-dir apply to hop daemons (the coordinator's journal is -coord-wal-dir)")
 	}
 	topo, err := cluster.LoadTopology(cfg.topology)
 	if err != nil {
 		return err
 	}
-	coord, err := cluster.New(cluster.Config{
+	plan, err := cfg.crashPlan()
+	if err != nil {
+		return err
+	}
+	ccfg := cluster.Config{
 		Topology:   topo,
 		PrepareTTL: cfg.prepareTTL,
 		HopTimeout: cfg.hopTimeout,
-	})
+	}
+	if plan != nil {
+		ccfg.Crash = plan
+	}
+	var (
+		clog  *wal.Log
+		audit *replication.Audit
+		src   *replication.Source
+	)
+	if cfg.coordWALDir != "" {
+		var rec *wal.Recovered
+		clog, rec, audit, err = openCoordJournal(cfg, plan)
+		if err != nil {
+			return err
+		}
+		ccfg.Log = clog
+		ccfg.Recovered = rec
+		ccfg.Audit = audit
+	}
+	coord, err := cluster.New(ccfg)
 	if err != nil {
+		if audit != nil {
+			audit.Close()
+		}
+		if clog != nil {
+			clog.Close()
+		}
 		return err
+	}
+	if clog != nil {
+		m := coord.Metrics()
+		log.Printf("gpsd: coordinator recovered %d session(s) (%d dropped by reconcile, %d orphaned hop sessions released)",
+			coord.Sessions(), m.ReconcileDrops.Load(), m.OrphanReleases.Load())
+	}
+
+	var handler http.Handler = cluster.NewHandler(coord)
+	stopWM := make(chan struct{})
+	wmDone := make(chan struct{})
+	if clog != nil {
+		host, _ := os.Hostname()
+		ttl := cfg.ackTTL
+		if ttl <= 0 {
+			ttl = -1 // flag 0 = never expire (Source 0 means its default)
+		}
+		src = &replication.Source{
+			Dir:    cfg.coordWALDir,
+			NodeID: fmt.Sprintf("%s:%d", host, os.Getpid()),
+			Head:   func() uint64 { return clog.NextSeq() - 1 },
+			AckTTL: ttl,
+			Audit:  audit,
+		}
+		updateMark := func() {
+			mark := audit.DurableSeq()
+			if min, ok := src.MinAck(); ok && min < mark {
+				mark = min
+			}
+			clog.SetPruneWatermark(mark)
+		}
+		src.OnAck = updateMark
+		clog.SetPruneWatermark(0)
+		updateMark()
+		go func() {
+			defer close(wmDone)
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					updateMark()
+				case <-stopWM:
+					return
+				}
+			}
+		}()
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		src.Mount(mux)
+		handler = mux
+	} else {
+		close(wmDone)
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -521,7 +664,7 @@ func runCoordinator(cfg config) error {
 	log.Printf("gpsd: coordinator listening on %s over %d hop(s) from %s (prepare TTL %v, hop timeout %v)",
 		bound, len(topo.Nodes), cfg.topology, cfg.prepareTTL, cfg.hopTimeout)
 
-	srv := &http.Server{Handler: cluster.NewHandler(coord)}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -540,6 +683,18 @@ func runCoordinator(cfg config) error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if clog != nil {
+		close(stopWM)
+		<-wmDone
+	}
+	if err := coord.Close(); err != nil {
+		return fmt.Errorf("closing journal: %w", err)
+	}
+	if audit != nil {
+		if err := audit.Close(); err != nil {
+			return fmt.Errorf("closing audit trail: %w", err)
+		}
 	}
 	log.Printf("gpsd: coordinator stopped with %d committed sessions", coord.Sessions())
 	return nil

@@ -17,6 +17,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/ebb"
 	"repro/internal/network"
+	"repro/internal/wal"
 )
 
 // ErrPartition reports that a hop could not be reached (or answered
@@ -25,6 +26,21 @@ import (
 // rollback the partition also swallowed expires on the hop's own TTL
 // clock. The HTTP layer maps this to 503.
 var ErrPartition = errors.New("cluster: hop unreachable, admit aborted")
+
+// ErrDurability reports that the coordinator could not journal an
+// operation the hops had already carried out. For an admit the hop
+// sessions are released (best effort) and the admit fails closed; for a
+// release the session is kept in the model. Retryable once the
+// journal's disk recovers; the HTTP layer maps this to 503.
+var ErrDurability = errors.New("cluster: journal append failed")
+
+// AuditSink observes the durable route-op stream (see Config.Audit).
+// It mirrors internal/server.AuditSink so one
+// internal/replication.Audit implementation serves hop and coordinator
+// WALs alike.
+type AuditSink interface {
+	Record(op wal.Op)
+}
 
 // Config configures a Coordinator.
 type Config struct {
@@ -45,6 +61,26 @@ type Config struct {
 	// Client, when non-nil, overrides the HTTP client (tests inject
 	// httptest transports); its Timeout is still forced to HopTimeout.
 	Client *http.Client
+	// Log, when non-nil, is the coordinator's write-ahead journal: every
+	// committed end-to-end admit appends a route record and every
+	// release a tombstone, durable before the caller sees the reply, so
+	// a restarted coordinator serves RouteBounds bit-identical to its
+	// previous life. The directory should carry the wal.CoordMarkerName
+	// marker so hop tooling refuses it (cmd/gpsd writes it).
+	Log *wal.Log
+	// Recovered, when non-nil, is the previous life's journal as read by
+	// wal.Open. New folds it back into the session set (coordinator logs
+	// never snapshot, so the fold is a pure function of the op stream)
+	// and then reconciles the result against the hops' durable truth.
+	Recovered *wal.Recovered
+	// Audit, when non-nil alongside Log, receives every journaled op
+	// after its batch reaches the log (internal/replication.Audit
+	// implements it), extending the Merkle audit trail to the
+	// coordinator's own journal.
+	Audit AuditSink
+	// Crash is the fault-injection hook consulted at the coordinator's
+	// named durability boundaries; nil disables them.
+	Crash wal.Crashpoint
 }
 
 // Metrics are the coordinator's monotone counters.
@@ -53,6 +89,9 @@ type Metrics struct {
 	Rejects         atomic.Int64 // admits refused by analysis or a hop's headroom
 	PartitionAborts atomic.Int64 // admits aborted by an unreachable hop
 	Releases        atomic.Int64 // sessions released end to end
+	CommitRetries   atomic.Int64 // hop commits re-sent after a lost reply
+	ReconcileDrops  atomic.Int64 // journaled admits dropped at recovery (hop sessions gone)
+	OrphanReleases  atomic.Int64 // unjournaled hop sessions swept at recovery
 }
 
 // clusterSession is one committed end-to-end session. Sessions are
@@ -69,11 +108,13 @@ type clusterSession struct {
 	shards []int    // per-hop owning shard, echoed from prepare
 }
 
-// Coordinator walks admits through the topology. All admission state
-// lives in memory: the durable truth is each hop's WAL, and a
-// coordinator restart recovers nothing — in-flight prepares expire on
-// the hops' TTL clocks and committed hop sessions persist until
-// released by an operator. DESIGN.md §14 discusses the trade-off.
+// Coordinator walks admits through the topology. With Config.Log set,
+// every committed admit and release is journaled commit-before-reply,
+// so a restart folds the journal back into the session set and serves
+// its previous life's RouteBounds bit for bit; in-flight prepares still
+// expire on the hops' TTL clocks, and recovery reconciles the folded
+// set against the hops (DESIGN.md §15). Without a log the old §14
+// trade-off applies: a restart recovers nothing.
 type Coordinator struct {
 	cfg    Config
 	client *http.Client
@@ -82,10 +123,14 @@ type Coordinator struct {
 	mu       sync.Mutex
 	nextID   uint64
 	sessions []clusterSession
+	byID     map[uint64]int        // session id -> index in sessions, maintained across swap-remove
 	analysis *network.CRSTAnalysis // cached for the current committed set; nil after release
 }
 
-// New validates the topology and returns a coordinator.
+// New validates the topology and returns a coordinator. When
+// cfg.Recovered is non-nil the previous life's journal is folded back
+// into the session set and reconciled against the hops before the
+// coordinator serves a single request.
 func New(cfg Config) (*Coordinator, error) {
 	if err := cfg.Topology.Validate(); err != nil {
 		return nil, err
@@ -101,7 +146,14 @@ func New(cfg Config) (*Coordinator, error) {
 		client = &http.Client{}
 	}
 	client.Timeout = cfg.HopTimeout
-	return &Coordinator{cfg: cfg, client: client, nextID: 1}, nil
+	c := &Coordinator{cfg: cfg, client: client, nextID: 1, byID: make(map[uint64]int)}
+	if cfg.Recovered != nil {
+		if err := c.foldRecovered(cfg.Recovered); err != nil {
+			return nil, err
+		}
+		c.reconcile()
+	}
+	return c, nil
 }
 
 // Metrics exposes the counter block.
@@ -318,15 +370,22 @@ func (c *Coordinator) Admit(req AdmitRequest) (AdmitResult, error) {
 		shards[k] = pr.Shard
 	}
 
-	// Phase 2: commit in route order. A failure here is the one
-	// asymmetric window of 2PC: hops before k are committed, hop k is
-	// in doubt, hops after k still hold prepares. Fail closed anyway —
-	// abort everything not known-committed (an abort of a tx the hop
-	// already committed is a harmless "unknown transaction") and
-	// compensate the committed prefix by releasing its hop sessions.
+	// Phase 2: commit in route order. A transport failure leaves the
+	// hop in doubt — the commit may have landed with its ack lost — so
+	// it is retried once: hop commits are idempotent by txid (a hop
+	// that already committed replays the recorded session id instead of
+	// re-admitting). Only an orderly refusal, or a retry that also
+	// fails, aborts. Then fail closed: abort everything not
+	// known-committed (the hop compensates an abort of a tx it already
+	// committed by releasing the session it created) and release the
+	// committed prefix.
 	hopIDs := make([]uint64, len(req.Route))
 	for k, m := range req.Route {
 		cr, err := c.commitHop(m, txid, shards[k])
+		if err != nil {
+			c.met.CommitRetries.Add(1)
+			cr, err = c.commitHop(m, txid, shards[k])
+		}
 		if err != nil || !cr.Committed {
 			c.rollback(txid, req.Route[k:], shards[k:])
 			c.releaseHops(req.Route[:k], hopIDs[:k])
@@ -341,8 +400,27 @@ func (c *Coordinator) Admit(req AdmitRequest) (AdmitResult, error) {
 		hopIDs[k] = cr.ID
 	}
 
+	// Journal the route record before touching memory or replying: a
+	// coordinator that dies past this append re-serves the admit after
+	// restart; one that dies before it leaves only hop sessions, which
+	// outlive the prepare TTL and are then swept by the restart's
+	// orphan reconcile.
 	id := c.nextID
+	if err := c.journal(wal.Op{
+		Kind: wal.KindRouteAdmit, ID: id, Name: req.Name,
+		Rho: req.Arrival.Rho, Lambda: req.Arrival.Lambda, Alpha: req.Arrival.Alpha,
+		Delay: req.Target.Delay, Eps: req.Target.Eps,
+		Route: req.Route, HopIDs: hopIDs, HopShards: shards,
+	}); err != nil {
+		// Fully committed on the hops but not durable here: release the
+		// hop sessions (best effort) rather than serve an admit a
+		// restart would forget.
+		c.releaseHops(req.Route, hopIDs)
+		c.met.PartitionAborts.Add(1)
+		return AdmitResult{}, fmt.Errorf("%w: admit: %v", ErrDurability, err)
+	}
 	c.nextID++
+	c.byID[id] = len(c.sessions)
 	c.sessions = append(c.sessions, clusterSession{
 		id:     id,
 		name:   req.Name,
@@ -371,14 +449,8 @@ func (c *Coordinator) Admit(req AdmitRequest) (AdmitResult, error) {
 func (c *Coordinator) RouteBounds(id uint64) (RouteBounds, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	idx := -1
-	for i := range c.sessions {
-		if c.sessions[i].id == id {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
+	idx, ok := c.byID[id]
+	if !ok {
 		return RouteBounds{}, false, nil
 	}
 	if c.analysis == nil {
@@ -400,31 +472,35 @@ func (c *Coordinator) RouteBounds(id uint64) (RouteBounds, bool, error) {
 
 // Release tears an end-to-end session down, releasing its hop sessions
 // in route order. If any hop is unreachable the coordinator keeps the
-// session and returns ErrPartition: hops that did release now carry
-// less load than the coordinator's model, so the model stays
-// conservative, and a retry re-releases idempotently (a hop that
-// already dropped the session answers 404, which counts as released).
+// session and returns found=true with ErrPartition — the id is known,
+// the release is merely incomplete, and the two must not be conflated
+// (a caller that read "not found" would stop retrying and strand the
+// remaining hop capacity). Hops that did release now carry less load
+// than the coordinator's model, so the model stays conservative, and a
+// retry re-releases idempotently (a hop that already dropped the
+// session answers 404, which counts as released).
 func (c *Coordinator) Release(id uint64) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	idx := -1
-	for i := range c.sessions {
-		if c.sessions[i].id == id {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
+	idx, ok := c.byID[id]
+	if !ok {
 		return false, nil
 	}
 	s := c.sessions[idx]
 	for k, m := range s.route {
 		if err := c.releaseHop(m, s.hopIDs[k]); err != nil {
-			return false, fmt.Errorf("%w: release at %s: %v",
+			return true, fmt.Errorf("%w: release at %s: %v",
 				ErrPartition, c.cfg.Topology.Nodes[m].Name, err)
 		}
 	}
-	c.sessions = append(c.sessions[:idx], c.sessions[idx+1:]...)
+	// Tombstone before memory: a coordinator that dies past this append
+	// stays released after restart. On append failure the session is
+	// kept — conservative, like a partial hop release — and the next
+	// restart's reconcile sees its hop sessions gone and drops it.
+	if err := c.journal(wal.Op{Kind: wal.KindRouteRelease, ID: id}); err != nil {
+		return true, fmt.Errorf("%w: release: %v", ErrDurability, err)
+	}
+	c.removeSessionAt(idx)
 	c.analysis = nil
 	c.met.Releases.Add(1)
 	return true, nil

@@ -154,7 +154,7 @@ func (h *coordHandler) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		Target:  admission.Target{Delay: aw.Delay, Eps: aw.Eps},
 	})
 	if err != nil {
-		if errors.Is(err, ErrPartition) {
+		if errors.Is(err, ErrPartition) || errors.Is(err, ErrDurability) {
 			// Fail closed: the cluster's state is unchanged (modulo
 			// TTL-bounded hop prepares); the client may retry.
 			writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error(), Retry: true})
@@ -183,6 +183,10 @@ func (h *coordHandler) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ok, err := h.c.Release(id)
+	// Order matters: a partial release comes back (true, err) and must
+	// map to 503-retryable, never to 404 — a client that read "not
+	// found" would stop retrying and strand the hops' remaining
+	// capacity. Only (false, nil), a genuinely unknown id, is a 404.
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error(), Retry: true})
 		return
@@ -233,5 +237,8 @@ func (h *coordHandler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE gpsd_coord_rejects_total counter\ngpsd_coord_rejects_total %d\n", m.Rejects.Load())
 	fmt.Fprintf(w, "# TYPE gpsd_coord_partition_aborts_total counter\ngpsd_coord_partition_aborts_total %d\n", m.PartitionAborts.Load())
 	fmt.Fprintf(w, "# TYPE gpsd_coord_releases_total counter\ngpsd_coord_releases_total %d\n", m.Releases.Load())
+	fmt.Fprintf(w, "# TYPE gpsd_coord_commit_retries_total counter\ngpsd_coord_commit_retries_total %d\n", m.CommitRetries.Load())
+	fmt.Fprintf(w, "# TYPE gpsd_coord_reconcile_drops_total counter\ngpsd_coord_reconcile_drops_total %d\n", m.ReconcileDrops.Load())
+	fmt.Fprintf(w, "# TYPE gpsd_coord_orphan_releases_total counter\ngpsd_coord_orphan_releases_total %d\n", m.OrphanReleases.Load())
 	fmt.Fprintf(w, "# TYPE gpsd_coord_sessions gauge\ngpsd_coord_sessions %d\n", h.c.Sessions())
 }

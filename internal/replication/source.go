@@ -198,7 +198,7 @@ func (s *Source) dirFiles(dir, prefix string) ([]ManifestFile, error) {
 		return nil, err
 	}
 	var segs, snaps []ManifestFile
-	var audit *ManifestFile
+	var audit, marker *ManifestFile
 	for _, e := range entries {
 		name := e.Name()
 		info, err := e.Info()
@@ -214,6 +214,12 @@ func (s *Source) dirFiles(dir, prefix string) ([]ManifestFile, error) {
 		case name == AuditFileName:
 			a := mf
 			audit = &a
+		case name == wal.CoordMarkerName && prefix == "":
+			// A coordinator journal's layout marker leads the manifest
+			// (like the stripe-count file) so a promoted standby's mirror
+			// is a complete coordinator directory.
+			m := mf
+			marker = &m
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].Name < segs[j].Name })
@@ -221,6 +227,9 @@ func (s *Source) dirFiles(dir, prefix string) ([]ManifestFile, error) {
 	out := append(segs, snaps...)
 	if audit != nil {
 		out = append(out, *audit)
+	}
+	if marker != nil {
+		out = append([]ManifestFile{*marker}, out...)
 	}
 	return out, nil
 }
@@ -417,7 +426,7 @@ func isShippableName(name string) bool {
 	if name == "" || strings.Contains(name, "..") || strings.ContainsAny(name, "\\") {
 		return false
 	}
-	if name == wal.StripesFileName {
+	if name == wal.StripesFileName || name == wal.CoordMarkerName {
 		return true
 	}
 	_, base, ok := splitStripePrefix(name)

@@ -324,7 +324,7 @@ func (d *Daemon) finishEpoch(seq uint64, delta bool) *Epoch {
 // skipped entirely. Keying the floats by their bits keeps the lookup a
 // pure epoch-to-epoch identity test.
 type evalKey struct {
-	k            rateKey
+	k             rateKey
 	gBits, geBits uint64
 }
 
@@ -482,7 +482,7 @@ func analysesEquivalent(got, want *gpsmath.Analysis, probe int) bool {
 		return false
 	}
 	for k := 0; k < 3 && n > 0; k++ {
-		i := ((probe%n)+n+k*7919) % n
+		i := ((probe % n) + n + k*7919) % n
 		gb, wb := got.PartitionBound(i), want.PartitionBound(i)
 		if gb == nil || wb == nil {
 			return gb == nil && wb == nil

@@ -106,6 +106,7 @@ func NewHandler(svc Service) http.Handler {
 	mux.HandleFunc("POST /v1/commit", h.handleCommit)
 	mux.HandleFunc("POST /v1/abort", h.handleAbort)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", h.handleRelease)
+	mux.HandleFunc("GET /v1/cluster/sessions", h.handleClusterSessions)
 	mux.HandleFunc("GET /v1/bounds/{id}", h.handleBounds)
 	mux.HandleFunc("GET /v1/partition", h.handlePartition)
 	mux.HandleFunc("GET /healthz", h.handleHealthz)
@@ -263,6 +264,33 @@ func (h *handler) handleAbort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"aborted": ok})
+}
+
+// clusterSessionWire is one entry of GET /v1/cluster/sessions: a live
+// cluster-committed session, the transaction that created it, and its
+// age in milliseconds (hop-clock, so the coordinator's TTL comparison
+// does not depend on clock agreement).
+type clusterSessionWire struct {
+	ID    string `json:"id"`
+	TxID  string `json:"txid"`
+	AgeMs int64  `json:"age_ms"`
+}
+
+func (h *handler) handleClusterSessions(w http.ResponseWriter, r *http.Request) {
+	infos, err := h.svc.ClusterSessions()
+	if err != nil {
+		h.writeBackpressure(w, err)
+		return
+	}
+	out := make([]clusterSessionWire, len(infos))
+	for i, s := range infos {
+		out[i] = clusterSessionWire{
+			ID:    strconv.FormatUint(s.ID, 10),
+			TxID:  s.TxID,
+			AgeMs: s.AgeNanos / int64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
 }
 
 func parseID(r *http.Request) (uint64, error) {

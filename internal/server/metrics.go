@@ -43,6 +43,8 @@ type Metrics struct {
 	ClusterCommits        atomic.Int64 // prepares resolved into admitted sessions
 	ClusterAborts         atomic.Int64 // prepares rolled back by the coordinator
 	ClusterExpires        atomic.Int64 // prepares expired by TTL (sweep, recovery, or late commit)
+	ClusterCommitRetries  atomic.Int64 // retried commits answered from the resolved-tx memory (lost ack)
+	ClusterCompensations  atomic.Int64 // committed sessions released by abort-after-commit compensation
 
 	WALAppends          atomic.Int64 // mutations made durable in the write-ahead log
 	WALAppendFailures   atomic.Int64 // appends the log refused (mutation not applied)
@@ -182,21 +184,22 @@ func (m *Metrics) LatencySummary() (p50, p99 float64, observed int64) {
 // consumer (gpsdload, the smoke scripts) sees the same metric names
 // whatever the shard count.
 type metricsFrame struct {
-	admits, rejects, releases, releaseMisses, shed                            int64
-	rebuilds, rebuildFailures, rebuildNanos                                   int64
-	deltaRebuilds, fullRebuilds, deltaFallbacks, selfChecks, selfCheckFails   int64
-	typeEvalHits, typeEvalMisses, cacheHits, cacheMisses                      int64
-	ledgerRefills, ledgerReturns                                              int64
-	clPrepares, clPrepareRejects, clCommits, clAborts, clExpires              int64
-	walAppends, walAppendFailures, walSnapshots, walSnapshotFails, walRecOps  int64
-	resp2xx, resp4xx, resp5xx                                                 int64
-	latP50, latP99                                                            float64
-	latN                                                                      int64
-	rebP50, rebP99                                                            float64
-	rebN                                                                      int64
-	epochSeq                                                                  uint64
-	sessions, targetsMet, guaranteed, degraded, infeasible, queueDepth        int
-	utilization, epochAge                                                     float64
+	admits, rejects, releases, releaseMisses, shed                           int64
+	rebuilds, rebuildFailures, rebuildNanos                                  int64
+	deltaRebuilds, fullRebuilds, deltaFallbacks, selfChecks, selfCheckFails  int64
+	typeEvalHits, typeEvalMisses, cacheHits, cacheMisses                     int64
+	ledgerRefills, ledgerReturns                                             int64
+	clPrepares, clPrepareRejects, clCommits, clAborts, clExpires             int64
+	clCommitRetries, clCompensations                                         int64
+	walAppends, walAppendFailures, walSnapshots, walSnapshotFails, walRecOps int64
+	resp2xx, resp4xx, resp5xx                                                int64
+	latP50, latP99                                                           float64
+	latN                                                                     int64
+	rebP50, rebP99                                                           float64
+	rebN                                                                     int64
+	epochSeq                                                                 uint64
+	sessions, targetsMet, guaranteed, degraded, infeasible, queueDepth       int
+	utilization, epochAge                                                    float64
 }
 
 // addCounters folds m's counters into the frame (the P² summaries and
@@ -226,6 +229,8 @@ func (f *metricsFrame) addCounters(m *Metrics) {
 	f.clCommits += m.ClusterCommits.Load()
 	f.clAborts += m.ClusterAborts.Load()
 	f.clExpires += m.ClusterExpires.Load()
+	f.clCommitRetries += m.ClusterCommitRetries.Load()
+	f.clCompensations += m.ClusterCompensations.Load()
 	f.walAppends += m.WALAppends.Load()
 	f.walAppendFailures += m.WALAppendFailures.Load()
 	f.walSnapshots += m.WALSnapshots.Load()
@@ -268,6 +273,8 @@ func (f *metricsFrame) render(w io.Writer) {
 	counter("gpsd_cluster_commits_total", "cluster prepares committed into sessions", f.clCommits)
 	counter("gpsd_cluster_aborts_total", "cluster prepares rolled back by the coordinator", f.clAborts)
 	counter("gpsd_cluster_expires_total", "cluster prepares expired by TTL", f.clExpires)
+	counter("gpsd_cluster_commit_retries_total", "retried commits answered idempotently from the resolved-tx memory", f.clCommitRetries)
+	counter("gpsd_cluster_compensations_total", "committed sessions released by abort-after-commit compensation", f.clCompensations)
 	counter("gpsd_wal_appends_total", "mutations made durable in the write-ahead log", f.walAppends)
 	counter("gpsd_wal_append_failures_total", "WAL appends refused (mutation not applied)", f.walAppendFailures)
 	counter("gpsd_wal_snapshots_total", "WAL state snapshots written", f.walSnapshots)

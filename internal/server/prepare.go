@@ -17,6 +17,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/admission"
@@ -31,6 +32,13 @@ import (
 // transport error — the exact window the TTL-expiry recovery path and
 // the fail-closed rollback both exist for.
 const CrashClusterPrepare = "cluster.prepare"
+
+// CrashClusterCommit is the same window on phase two: the commit is
+// journaled (the session exists durably on this hop) but the reply
+// never leaves the process. The coordinator sees a transport error on
+// an op that actually happened — the lost-commit-ack scenario the
+// resolved-transaction memory exists for.
+const CrashClusterCommit = "cluster.commit"
 
 // maxTxIDLen bounds the coordinator transaction id on the wire.
 const maxTxIDLen = 128
@@ -47,6 +55,45 @@ type prepareRec struct {
 	target   admission.Target
 	g        float64 // reserved GPS weight φ
 	deadline int64   // unix nanoseconds
+}
+
+// resolvedTxRec remembers one committed transaction after its prepare
+// is gone: the assigned session id and when the resolution was
+// observed. It is what makes commit idempotent-by-txid — a retried
+// commit whose first acknowledgement was lost on the wire answers with
+// the stored id instead of "unknown transaction", and an abort that
+// arrives after the commit landed compensates by releasing the session
+// (see applyAbortTx). Entries are swept after maxPrepareTTL; a
+// coordinator retries within its hop timeout, so the horizon is
+// generous. Rebuilt at boot from the recovered op suffix (KindCommit
+// carries both ids); commits folded into a WAL snapshot lose their
+// entry, which fails toward refusing a very late retry, never toward
+// double-admitting.
+type resolvedTxRec struct {
+	id uint64
+	at int64 // unix nanoseconds
+}
+
+// clusterTxRec marks one live session as cluster-committed: the
+// coordinator transaction that created it and when. This is the feed
+// for the coordinator's orphan sweep (ClusterSessions) — a restarted
+// coordinator releases hop sessions it has no journal record of, once
+// they are older than the prepare TTL. Sessions recovered from a WAL
+// snapshot lose the marking and are never orphan-released; the safe
+// direction (a leak needs a coordinator to lose its journal AND the
+// hop to have snapshotted, and even then capacity is only held, never
+// double-granted).
+type clusterTxRec struct {
+	txid string
+	at   int64 // unix nanoseconds the commit was observed (boot time for recovered ones)
+}
+
+// ClusterSessionInfo is one cluster-committed live session as reported
+// to the coordinator's orphan sweep.
+type ClusterSessionInfo struct {
+	ID       uint64
+	TxID     string
+	AgeNanos int64
 }
 
 // PrepareRequest is phase one of a cluster admit: reserve weight Phi
@@ -251,6 +298,14 @@ func (d *Daemon) applyPrepare(o op) {
 func (d *Daemon) applyCommitTx(o op) {
 	i := d.findPrepare(o.txid)
 	if i < 0 {
+		if r, ok := d.resolvedTx[o.txid]; ok {
+			// Retried commit whose first acknowledgement was lost: the
+			// transaction already resolved into a session. Answer with the
+			// assigned id and journal nothing — idempotent by txid.
+			d.met.ClusterCommitRetries.Add(1)
+			o.reply <- opResult{ok: true, id: r.id, free: d.capacity - d.occupied()}
+			return
+		}
 		o.reply <- opResult{ok: false, reason: "unknown transaction", free: d.capacity - d.occupied()}
 		return
 	}
@@ -270,6 +325,15 @@ func (d *Daemon) applyCommitTx(o op) {
 		o.reply <- opResult{err: err, free: d.capacity - d.occupied()}
 		return
 	}
+	if d.cfg.Crash != nil && d.cfg.Crash.Armed(CrashClusterCommit) {
+		// The commit is journaled but unacknowledged: the coordinator
+		// sees a dead hop on an op that durably happened. Its retry lands
+		// on the rebooted hop's resolved-transaction memory; if the hop
+		// stays down past the prepare TTL, the restarted coordinator's
+		// orphan sweep releases the session instead.
+		d.cfg.Crash.Kill()
+	}
+	now := time.Now().UnixNano()
 	d.nextID = id
 	d.removePrepareAt(i)
 	rec := &record{ID: id, Name: p.name, Arrival: p.arr,
@@ -280,16 +344,26 @@ func (d *Daemon) applyCommitTx(o op) {
 	d.live.Store(rec.ID, rec)
 	d.typeAdd(rec)
 	d.recordPending(pendingOp{admit: true, rec: rec})
+	d.resolvedTx[o.txid] = resolvedTxRec{id: id, at: now}
+	d.clusterTx[id] = clusterTxRec{txid: o.txid, at: now}
 	d.dirty = true
 	d.opsSince++
 	d.met.ClusterCommits.Add(1)
 	o.reply <- opResult{ok: true, id: rec.ID, free: d.capacity - d.occupied()}
 }
 
-// applyAbortTx rolls one reservation back on the writer goroutine.
+// applyAbortTx rolls one reservation back on the writer goroutine. An
+// abort for a transaction that already committed (the coordinator's
+// commit ack was lost and its retry failed too, so it is unwinding the
+// whole route) compensates: the committed session is released, journaled
+// as an ordinary KindRelease, so no capacity is stranded.
 func (d *Daemon) applyAbortTx(o op) {
 	i := d.findPrepare(o.txid)
 	if i < 0 {
+		if r, ok := d.resolvedTx[o.txid]; ok {
+			d.applyAbortAfterCommit(o, r.id)
+			return
+		}
 		o.reply <- opResult{ok: false, reason: "unknown transaction", free: d.capacity - d.occupied()}
 		return
 	}
@@ -300,6 +374,47 @@ func (d *Daemon) applyAbortTx(o op) {
 	d.removePrepareAt(i)
 	d.met.ClusterAborts.Add(1)
 	o.reply <- opResult{ok: true, free: d.capacity - d.occupied()}
+}
+
+// applyAbortAfterCommit is the compensation path: the abort names a
+// transaction whose prepare already resolved into session id. If the
+// session is still live it is released exactly like an opRelease (same
+// journal kind, same swap-remove), so the WAL fold stays a faithful
+// model of the hop; if it is already gone the abort is a no-op.
+func (d *Daemon) applyAbortAfterCommit(o op, id uint64) {
+	rec, live := d.sessions[id]
+	if !live {
+		delete(d.resolvedTx, o.txid)
+		o.reply <- opResult{ok: false, reason: "transaction resolved", free: d.capacity - d.occupied()}
+		return
+	}
+	if err := d.logAppend(wal.Op{Kind: wal.KindRelease, ID: id}); err != nil {
+		o.reply <- opResult{err: err, free: d.capacity - d.occupied()}
+		return
+	}
+	d.releaseRecord(rec)
+	delete(d.resolvedTx, o.txid)
+	d.met.ClusterCompensations.Add(1)
+	o.reply <- opResult{ok: true, id: id, free: d.capacity - d.occupied()}
+}
+
+// ClusterSessions lists the live cluster-committed sessions with their
+// transaction ids and commit ages, captured on the writer goroutine so
+// the view is a consistent snapshot. Order is by session id (the map
+// iteration is randomized; the coordinator's sweep wants determinism).
+func (d *Daemon) ClusterSessions() ([]ClusterSessionInfo, error) {
+	var out []ClusterSessionInfo
+	err := d.exec(func() {
+		now := time.Now().UnixNano()
+		for id, c := range d.clusterTx {
+			out = append(out, ClusterSessionInfo{ID: id, TxID: c.txid, AgeNanos: now - c.at})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
 }
 
 // expirePrepares sweeps the pending set at nowNanos, journaling a
@@ -321,5 +436,13 @@ func (d *Daemon) expirePrepares(nowNanos int64) {
 		}
 		d.removePrepareAt(i)
 		d.met.ClusterExpires.Add(1)
+	}
+	// Resolved-transaction retention rides the same sweep: a coordinator
+	// retries a lost ack within its hop timeout, so anything older than
+	// the maximum prepare TTL can only be garbage.
+	for txid, r := range d.resolvedTx {
+		if nowNanos-r.at > int64(maxPrepareTTL) {
+			delete(d.resolvedTx, txid)
+		}
 	}
 }

@@ -79,10 +79,21 @@ func TestPrepareLifecycle(t *testing.T) {
 		t.Fatalf("committed session %d has no bounds", cr.ID)
 	}
 
-	// Commit of a resolved transaction reports unknown, not an error.
+	// Commit of a resolved transaction is idempotent: the retry (a lost
+	// ack, from the coordinator's view) replays the recorded session id
+	// instead of admitting twice.
 	again, err := d.CommitPrepared("tx-commit", 0)
-	if err != nil || again.Committed || again.Reason != "unknown transaction" {
-		t.Fatalf("re-commit = %+v err=%v", again, err)
+	if err != nil || !again.Committed || again.ID != cr.ID {
+		t.Fatalf("re-commit = %+v err=%v, want idempotent replay of id %d", again, err, cr.ID)
+	}
+	if got := d.Metrics().ClusterCommitRetries.Load(); got != 1 {
+		t.Fatalf("ClusterCommitRetries = %d, want 1", got)
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Health(); h.Sessions != 1 {
+		t.Fatalf("re-commit double-admitted: %d sessions", h.Sessions)
 	}
 
 	// Abort path: reserve then roll back.

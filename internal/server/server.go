@@ -375,6 +375,12 @@ type Daemon struct {
 	reserved float64
 	resBits  atomic.Uint64
 	prepN    atomic.Int64
+	// resolvedTx is the recently-committed transaction memory (commit
+	// idempotency + abort-after-commit compensation); clusterTx marks
+	// which live sessions came from cluster commits (the coordinator's
+	// orphan-sweep feed). Both writer-owned; see prepare.go.
+	resolvedTx map[string]resolvedTxRec
+	clusterTx  map[uint64]clusterTxRec
 
 	// Incremental-epoch state (writer-owned). delta is the persistent
 	// analyzer the pending ops replay into; the shadow arrays (shIDs,
@@ -423,16 +429,18 @@ func New(cfg Config) (*Daemon, error) {
 		rates = NewRateMemo(cfg.RateCacheMax)
 	}
 	d := &Daemon{
-		cfg:      cfg,
-		met:      NewMetrics(),
-		rates:    rates,
-		ops:      make(chan op, cfg.QueueDepth),
-		stopped:  make(chan struct{}),
-		sessions: make(map[uint64]*record),
-		types:    make(map[rateKey]*typeEntry),
-		capacity: cfg.Capacity,
-		stride:   1 << cfg.ShardBits,
-		nextID:   cfg.ShardID,
+		cfg:        cfg,
+		met:        NewMetrics(),
+		rates:      rates,
+		ops:        make(chan op, cfg.QueueDepth),
+		stopped:    make(chan struct{}),
+		sessions:   make(map[uint64]*record),
+		types:      make(map[rateKey]*typeEntry),
+		resolvedTx: make(map[string]resolvedTxRec),
+		clusterTx:  make(map[uint64]clusterTxRec),
+		capacity:   cfg.Capacity,
+		stride:     1 << cfg.ShardBits,
+		nextID:     cfg.ShardID,
 		// Sized so the per-decision append never grows mid-batch (a
 		// batch is at most MaxBatch ops before a forced rebuild drains
 		// it); capped for configs that use MaxBatch as "never".
@@ -476,6 +484,28 @@ func New(cfg Config) (*Daemon, error) {
 			})
 		}
 		d.recalcReserved()
+		// Rebuild the cluster transaction memory from the recovered op
+		// suffix: every replayed KindCommit carries both the transaction
+		// id and the session id it assigned, so a coordinator retrying a
+		// commit whose ack died with the old process still gets the
+		// idempotent answer, and the orphan sweep can see which surviving
+		// sessions were cluster-committed. Ages are stamped at boot —
+		// conservative: a recovered session looks freshly committed, so
+		// the sweep waits a full TTL before touching it. Ops folded into
+		// a snapshot are not in the suffix; their sessions lose the
+		// marking and are simply never orphan-released.
+		bootNanos := time.Now().UnixNano()
+		for _, o := range cfg.Recovered.Ops {
+			switch o.Kind {
+			case wal.KindCommit:
+				d.resolvedTx[o.TxID] = resolvedTxRec{id: o.ID, at: bootNanos}
+				if _, live := d.sessions[o.ID]; live {
+					d.clusterTx[o.ID] = clusterTxRec{txid: o.TxID, at: bootNanos}
+				}
+			case wal.KindRelease:
+				delete(d.clusterTx, o.ID)
+			}
+		}
 		// In-doubt prepares from a coordinator that died before
 		// resolving: anything past its TTL releases its reservation now,
 		// journaled as KindExpire, before the daemon serves traffic. The
@@ -763,23 +793,32 @@ func (d *Daemon) apply(o op) {
 			o.reply <- opResult{err: err, free: d.capacity - d.occupied()}
 			return
 		}
-		// Swap-remove from the admission-order slice, O(1).
-		last := len(d.order) - 1
-		moved := d.order[last]
-		d.order[rec.pos] = moved
-		d.sessions[moved].pos = rec.pos
-		d.order = d.order[:last]
-		delete(d.sessions, o.id)
-		d.used -= rec.G
-		d.live.Delete(o.id)
-		d.typeRemove(rec)
-		d.recordPending(pendingOp{rec: rec, pos: rec.pos})
-		d.trimCapacity()
-		d.dirty = true
-		d.opsSince++
+		d.releaseRecord(rec)
 		d.met.Releases.Add(1)
 		o.reply <- opResult{ok: true, id: o.id, free: d.capacity - d.occupied()}
 	}
+}
+
+// releaseRecord performs the in-memory half of a release after its
+// KindRelease is durable: swap-remove from the admission-order slice
+// (O(1)), bookkeeping, capacity trim. Shared by the ordinary release
+// path and the abort-after-commit compensation; runs on the writer
+// goroutine only.
+func (d *Daemon) releaseRecord(rec *record) {
+	last := len(d.order) - 1
+	moved := d.order[last]
+	d.order[rec.pos] = moved
+	d.sessions[moved].pos = rec.pos
+	d.order = d.order[:last]
+	delete(d.sessions, rec.ID)
+	d.used -= rec.G
+	d.live.Delete(rec.ID)
+	d.typeRemove(rec)
+	delete(d.clusterTx, rec.ID)
+	d.recordPending(pendingOp{rec: rec, pos: rec.pos})
+	d.trimCapacity()
+	d.dirty = true
+	d.opsSince++
 }
 
 // refillCapacity grows the writer's capacity slice from the shared

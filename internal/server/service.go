@@ -20,6 +20,11 @@ type Service interface {
 	Prepare(PrepareRequest) (PrepareResult, error)
 	CommitPrepared(txid string, shard int) (CommitResult, error)
 	AbortPrepared(txid string, shard int) (bool, error)
+	// ClusterSessions lists the live sessions admitted through the
+	// two-phase protocol, each with the coordinator transaction that
+	// committed it and its age — the feed for a restarted coordinator's
+	// orphan sweep.
+	ClusterSessions() ([]ClusterSessionInfo, error)
 	// Pending reports an id admitted in the live set but not yet
 	// visible in a published epoch (425 vs 404 on the bounds path).
 	Pending(id uint64) bool

@@ -262,6 +262,24 @@ func (s *Sharded) AbortPrepared(txid string, shard int) (bool, error) {
 	return ok, err
 }
 
+// ClusterSessions implements Service: every shard's listing
+// concatenated in shard index order (each shard's slice is already
+// id-sorted, so the composed view is deterministic too).
+func (s *Sharded) ClusterSessions() ([]ClusterSessionInfo, error) {
+	if s.closing.Load() {
+		return nil, ErrDraining
+	}
+	var out []ClusterSessionInfo
+	for i, d := range s.shards {
+		infos, err := d.ClusterSessions()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		out = append(out, infos...)
+	}
+	return out, nil
+}
+
 // Release implements Service, routing by the shard id packed in the
 // session id's low bits.
 func (s *Sharded) Release(id uint64) (bool, error) {

@@ -33,6 +33,15 @@ const (
 	// in-doubt prepare. Replay-identical to KindAbort, but the distinct
 	// kind keeps the audit trail honest about why capacity came back.
 	KindExpire Kind = 6
+	// KindRouteAdmit records a coordinator's committed end-to-end admit:
+	// the coordinator-assigned session id, the declared E.B.B. triple and
+	// target, and the route — hop node indexes with the hop-assigned
+	// session ids and shards the two-phase commit landed on. Route ops
+	// appear only in coordinator WALs (FoldRoutes), never in hop WALs
+	// (Replay rejects them).
+	KindRouteAdmit Kind = 7
+	// KindRouteRelease is the coordinator's tombstone for a route admit.
+	KindRouteRelease Kind = 8
 )
 
 // Op is one durable admission mutation. Seq is the log sequence number:
@@ -60,6 +69,13 @@ type Op struct {
 	// reboot and stays comparable across restarts).
 	TxID     string
 	Deadline int64
+
+	// Route-admit payload (coordinator WALs only): the hop node indexes
+	// in path order, and per hop the hop-assigned session id and the
+	// shard the commit landed on. The three slices are index-aligned.
+	Route     []int
+	HopIDs    []uint64
+	HopShards []int
 }
 
 // SessionRecord is one admitted session inside a snapshot, in admission
@@ -197,6 +213,8 @@ func Replay(st *State, ops []Op) error {
 				return &CorruptError{Reason: fmt.Sprintf("replay: %v of unknown tx %q at seq %d", o.Kind, o.TxID, o.Seq)}
 			}
 			removePrepare(st, i)
+		case KindRouteAdmit, KindRouteRelease:
+			return &CorruptError{Reason: fmt.Sprintf("replay: coordinator route op (kind %d) in a hop WAL at seq %d", o.Kind, o.Seq)}
 		default:
 			return &CorruptError{Reason: fmt.Sprintf("replay: unknown op kind %d at seq %d", o.Kind, o.Seq)}
 		}
@@ -260,6 +278,20 @@ func appendOpPayload(b []byte, o Op) []byte {
 	case KindCommit, KindAbort, KindExpire:
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(o.TxID)))
 		b = append(b, o.TxID...)
+	case KindRouteAdmit:
+		b = putF64(b, o.Rho)
+		b = putF64(b, o.Lambda)
+		b = putF64(b, o.Alpha)
+		b = putF64(b, o.Delay)
+		b = putF64(b, o.Eps)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(o.Name)))
+		b = append(b, o.Name...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(o.Route)))
+		for k := range o.Route {
+			b = binary.LittleEndian.AppendUint32(b, uint32(o.Route[k]))
+			b = putU64(b, o.HopIDs[k])
+			b = binary.LittleEndian.AppendUint32(b, uint32(o.HopShards[k]))
+		}
 	}
 	return b
 }
@@ -365,9 +397,30 @@ func decodeOpPayload(p []byte) (Op, error) {
 			o.TxID = c.str(int(c.u16()))
 			o.Deadline = int64(c.u64())
 		}
-	case KindRelease:
+	case KindRelease, KindRouteRelease:
 	case KindCommit, KindAbort, KindExpire:
 		o.TxID = c.str(int(c.u16()))
+	case KindRouteAdmit:
+		o.Rho = c.f64()
+		o.Lambda = c.f64()
+		o.Alpha = c.f64()
+		o.Delay = c.f64()
+		o.Eps = c.f64()
+		o.Name = c.str(int(c.u16()))
+		hops := int(c.u16())
+		if c.ok && hops > 0 {
+			if len(c.b) < hops*16 {
+				return Op{}, fmt.Errorf("route admit claims %d hops, payload too short", hops)
+			}
+			o.Route = make([]int, hops)
+			o.HopIDs = make([]uint64, hops)
+			o.HopShards = make([]int, hops)
+			for k := 0; k < hops; k++ {
+				o.Route[k] = int(c.u32())
+				o.HopIDs[k] = c.u64()
+				o.HopShards[k] = int(c.u32())
+			}
+		}
 	default:
 		return Op{}, fmt.Errorf("unknown op kind %d", o.Kind)
 	}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Coordinator layout: a gpsd -topology coordinator journals its
+// end-to-end route admissions into an ordinary flat single-writer Log,
+// but the op stream holds only route kinds (KindRouteAdmit,
+// KindRouteRelease) and the directory carries a top-level "coordinator"
+// marker file so hop tooling refuses it and coordinator tooling refuses
+// hop WALs. The marker plays the same role the "stripes" file plays for
+// the striped layout: it is written durably before the first segment, so
+// a crash mid-creation still recovers as a coordinator directory.
+//
+// Coordinator logs never snapshot: the session population is small (one
+// record per end-to-end admission) and a snapshot-free log keeps the
+// fold a pure function of the op stream, which is what the bit-identity
+// acceptance checks replay offline.
+
+// CoordMarkerName is the top-level file marking a coordinator WAL
+// directory.
+const CoordMarkerName = "coordinator"
+
+// coordMarkerBody is the marker's content; versioned so a future layout
+// change is detectable rather than silently misfolded.
+const coordMarkerBody = "GPSCOORD1"
+
+// IsCoordDir reports whether dir carries the coordinator layout marker.
+// A missing directory is simply not a coordinator dir.
+func IsCoordDir(dir string) (bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, CoordMarkerName))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("wal: reading coordinator marker: %w", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != coordMarkerBody {
+		return false, fmt.Errorf("%w: coordinator marker holds %q, want %q", ErrCorrupt, got, coordMarkerBody)
+	}
+	return true, nil
+}
+
+// WriteCoordMarker persists the coordinator layout marker durably (tmp,
+// fsync, rename, fsync dir), exactly like the stripes file.
+func WriteCoordMarker(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, CoordMarkerName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%s\n", coordMarkerBody); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CoordMarkerName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// RouteSessionRecord is one live end-to-end admission in a folded
+// coordinator state, in admission order. Route, HopIDs, and Shards are
+// index-aligned per hop.
+type RouteSessionRecord struct {
+	ID                 uint64
+	Name               string
+	Rho, Lambda, Alpha float64
+	Delay, Eps         float64
+	Route              []int
+	HopIDs             []uint64
+	Shards             []int
+}
+
+// RouteState is the folded coordinator state: the surviving admissions
+// in the exact order the live coordinator holds them. The coordinator
+// swap-removes on release, and the fold mirrors that, because session
+// order feeds the CRST network build and summation order is
+// bit-load-bearing.
+type RouteState struct {
+	Seq      uint64
+	NextID   uint64
+	Sessions []RouteSessionRecord
+}
+
+// FoldRoutes replays a coordinator op stream from empty (coordinator
+// logs have no snapshots). Sequence gaps, non-route kinds, duplicate
+// admits, and releases of unknown ids are corruption.
+func FoldRoutes(ops []Op) (RouteState, error) {
+	var st RouteState
+	idx := make(map[uint64]int)
+	for _, o := range ops {
+		if o.Seq != st.Seq+1 {
+			return RouteState{}, &CorruptError{Reason: fmt.Sprintf("route fold sequence gap: have %d, next op is %d", st.Seq, o.Seq)}
+		}
+		switch o.Kind {
+		case KindRouteAdmit:
+			if _, dup := idx[o.ID]; dup {
+				return RouteState{}, &CorruptError{Reason: fmt.Sprintf("route fold: duplicate admit of id %d at seq %d", o.ID, o.Seq)}
+			}
+			if len(o.Route) == 0 || len(o.Route) != len(o.HopIDs) || len(o.Route) != len(o.HopShards) {
+				return RouteState{}, &CorruptError{Reason: fmt.Sprintf("route fold: admit of id %d at seq %d has malformed hop lists", o.ID, o.Seq)}
+			}
+			idx[o.ID] = len(st.Sessions)
+			st.Sessions = append(st.Sessions, RouteSessionRecord{
+				ID: o.ID, Name: o.Name,
+				Rho: o.Rho, Lambda: o.Lambda, Alpha: o.Alpha,
+				Delay: o.Delay, Eps: o.Eps,
+				Route:  append([]int(nil), o.Route...),
+				HopIDs: append([]uint64(nil), o.HopIDs...),
+				Shards: append([]int(nil), o.HopShards...),
+			})
+			if o.ID > st.NextID {
+				st.NextID = o.ID
+			}
+		case KindRouteRelease:
+			i, ok := idx[o.ID]
+			if !ok {
+				return RouteState{}, &CorruptError{Reason: fmt.Sprintf("route fold: release of unknown id %d at seq %d", o.ID, o.Seq)}
+			}
+			last := len(st.Sessions) - 1
+			moved := st.Sessions[last]
+			st.Sessions[i] = moved
+			idx[moved.ID] = i
+			st.Sessions = st.Sessions[:last]
+			delete(idx, o.ID)
+		default:
+			return RouteState{}, &CorruptError{Reason: fmt.Sprintf("route fold: hop op kind %d at seq %d in a coordinator WAL", o.Kind, o.Seq)}
+		}
+		st.Seq = o.Seq
+	}
+	return st, nil
+}

@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRouteOpRoundTrip proves a coordinator route record survives the
+// encode→disk→decode cycle field for field, floats by bit pattern.
+func TestRouteOpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != 0 {
+		t.Fatalf("fresh dir recovered %d ops", len(rec.Ops))
+	}
+	admit := Op{
+		Kind: KindRouteAdmit, ID: 7, Name: "σ₃ video",
+		Rho: 0.1 + 0.2, Lambda: math.Nextafter(1, 2), Alpha: 0.9,
+		Delay: 200, Eps: 1e-3,
+		Route:     []int{0, 2, 5},
+		HopIDs:    []uint64{11, 22, math.MaxUint64},
+		HopShards: []int{0, 3, 1},
+	}
+	if err := l.Append([]Op{admit, {Kind: KindRouteRelease, ID: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadOps(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d ops, want 2", len(got))
+	}
+	a := got[0]
+	if a.Kind != KindRouteAdmit || a.ID != 7 || a.Name != admit.Name {
+		t.Fatalf("admit header = %+v", a)
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"rho", a.Rho, admit.Rho}, {"lambda", a.Lambda, admit.Lambda},
+		{"alpha", a.Alpha, admit.Alpha}, {"delay", a.Delay, admit.Delay},
+		{"eps", a.Eps, admit.Eps},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Errorf("%s: bits %#x != %#x", f.name, math.Float64bits(f.got), math.Float64bits(f.want))
+		}
+	}
+	if len(a.Route) != 3 || len(a.HopIDs) != 3 || len(a.HopShards) != 3 {
+		t.Fatalf("hop lists = %+v", a)
+	}
+	for k := range a.Route {
+		if a.Route[k] != admit.Route[k] || a.HopIDs[k] != admit.HopIDs[k] || a.HopShards[k] != admit.HopShards[k] {
+			t.Errorf("hop %d: got (%d,%d,%d) want (%d,%d,%d)", k,
+				a.Route[k], a.HopIDs[k], a.HopShards[k],
+				admit.Route[k], admit.HopIDs[k], admit.HopShards[k])
+		}
+	}
+	if r := got[1]; r.Kind != KindRouteRelease || r.ID != 7 {
+		t.Fatalf("release = %+v", r)
+	}
+
+	// Route ops are coordinator-only: the hop replay refuses them as
+	// corruption instead of misfolding them into a session set.
+	var st State
+	if err := Replay(&st, got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over route ops = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFoldRoutes covers the coordinator fold: admission order, the
+// swap-remove a release performs (mirroring the live coordinator), and
+// every corruption class.
+func TestFoldRoutes(t *testing.T) {
+	mk := func(seq, id uint64, kind Kind) Op {
+		o := Op{Seq: seq, Kind: kind, ID: id}
+		if kind == KindRouteAdmit {
+			o.Route, o.HopIDs, o.HopShards = []int{0}, []uint64{id * 10}, []int{0}
+		}
+		return o
+	}
+	st, err := FoldRoutes([]Op{
+		mk(1, 1, KindRouteAdmit),
+		mk(2, 2, KindRouteAdmit),
+		mk(3, 3, KindRouteAdmit),
+		mk(4, 1, KindRouteRelease), // swap-remove: 3 moves into slot 0
+		mk(5, 4, KindRouteAdmit),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 5 || st.NextID != 4 {
+		t.Fatalf("state = %+v", st)
+	}
+	wantOrder := []uint64{3, 2, 4}
+	if len(st.Sessions) != len(wantOrder) {
+		t.Fatalf("%d sessions, want %d", len(st.Sessions), len(wantOrder))
+	}
+	for i, id := range wantOrder {
+		if st.Sessions[i].ID != id {
+			t.Errorf("slot %d holds id %d, want %d (swap-remove order is load-bearing)", i, st.Sessions[i].ID, id)
+		}
+	}
+
+	bad := []struct {
+		name string
+		ops  []Op
+	}{
+		{"seq-gap", []Op{mk(2, 1, KindRouteAdmit)}},
+		{"dup-admit", []Op{mk(1, 1, KindRouteAdmit), mk(2, 1, KindRouteAdmit)}},
+		{"unknown-release", []Op{mk(1, 1, KindRouteRelease)}},
+		{"hop-kind", []Op{{Seq: 1, Kind: KindAdmit, ID: 1}}},
+		{"malformed-hops", []Op{{Seq: 1, Kind: KindRouteAdmit, ID: 1, Route: []int{0, 1}, HopIDs: []uint64{5}, HopShards: []int{0, 0}}}},
+	}
+	for _, c := range bad {
+		if _, err := FoldRoutes(c.ops); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", c.name, err)
+		}
+	}
+}
+
+// TestCoordMarker covers the layout marker: absent, written, corrupt.
+func TestCoordMarker(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "walc")
+	if is, err := IsCoordDir(dir); err != nil || is {
+		t.Fatalf("missing dir: is=%v err=%v", is, err)
+	}
+	if err := WriteCoordMarker(dir); err != nil {
+		t.Fatal(err)
+	}
+	if is, err := IsCoordDir(dir); err != nil || !is {
+		t.Fatalf("after write: is=%v err=%v", is, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CoordMarkerName), []byte("GPSCOORD9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IsCoordDir(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt marker: err = %v, want ErrCorrupt", err)
+	}
+}

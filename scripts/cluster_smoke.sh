@@ -21,6 +21,15 @@
 #      expires it, the daemon matches walcheck's per-stripe offline
 #      analyses bit for bit, and the striped audit chains prove
 #      inclusion per stripe (-verify-proof N -proof-stripe K).
+#   4. The coordinator itself is durable (-coord-wal-dir): SIGKILLed
+#      and restarted, it folds its route journal back, serves
+#      RouteBounds bit-identical to walcheck's offline fold of the same
+#      journal, and releases a session its previous life admitted.
+#   5. A lost commit ack no longer strands hop capacity: a hop that
+#      dies after journaling a commit (cluster.commit crashpoint)
+#      leaves an unjournaled session behind, and the next coordinator
+#      restart's orphan reconcile releases it once it outlives the
+#      prepare TTL.
 #
 # Every daemon is drained with SIGTERM at the end and must exit 0.
 set -eu
@@ -100,9 +109,12 @@ cat >"$DIR/topo.json" <<EOF
   {"name": "node3", "url": "http://$A3", "rate": 1}
 ]}
 EOF
-# Short TTL so the in-doubt prepare of step 3 expires within the run.
+# Short TTL so the in-doubt prepare of step 3 (and the orphaned commit
+# of step 6) expires within the run; -coord-wal-dir makes every
+# committed admit durable for the restart of step 5.
 start_daemon "$DIR/ac" -addr 127.0.0.1:0 -topology "$DIR/topo.json" \
-    -prepare-ttl 2s -hop-timeout 1s
+    -prepare-ttl 2s -hop-timeout 1s \
+    -coord-wal-dir "$DIR/walc" -wal-sync always
 PC=$DPID AC=$DADDR
 
 echo "cluster-smoke: step 1: admit the Table 2 set end to end, bit-compare against offline CRST"
@@ -204,6 +216,108 @@ case "$RELEASED" in
 esac
 "$DIR/walcheck" -wal-dir "$DIR/wal2" -rate 1 -url "http://$A2"
 "$DIR/walcheck" -wal-dir "$DIR/wal3" -rate 1 -url "http://$A3"
+
+# sessions WALDIR: the offline fold's live session count.
+sessions_of() {
+    state_line "$1" | sed -n 's/.*sessions=\([0-9]*\).*/\1/p'
+}
+
+echo "cluster-smoke: step 5: kill -9 the coordinator, restart it from its journal"
+kill -9 "$PC"
+wait "$PC" 2>/dev/null || true
+PC=
+start_daemon "$DIR/ac" -addr "$AC" -topology "$DIR/topo.json" \
+    -prepare-ttl 2s -hop-timeout 1s \
+    -coord-wal-dir "$DIR/walc" -wal-sync always
+PC=$DPID
+
+# The restarted coordinator must hold the three surviving sessions and
+# serve RouteBounds bit-identical to walcheck's offline fold+analysis
+# of the journal it recovered from.
+CSESS=$(metric "$AC" gpsd_coord_sessions)
+if [ "$CSESS" != 3 ]; then
+    echo "cluster-smoke: restarted coordinator has $CSESS sessions, want 3" >&2
+    exit 1
+fi
+"$DIR/walcheck" -wal-dir "$DIR/walc" -topology "$DIR/topo.json" -url "http://$AC"
+
+# And it can release a session its previous life admitted: the
+# journaled hop ids are live.
+RELEASED=$(curl -sf -X DELETE "http://$AC/v1/cluster/sessions/1")
+case "$RELEASED" in
+*'"released":true'*) ;;
+*)
+    echo "cluster-smoke: previous-life release failed: $RELEASED" >&2
+    exit 1
+    ;;
+esac
+CSESS=$(metric "$AC" gpsd_coord_sessions)
+if [ "$CSESS" != 2 ]; then
+    echo "cluster-smoke: coordinator has $CSESS sessions after previous-life release, want 2" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: step 6: lose a commit ack, require the orphan reconcile to reclaim the hop capacity"
+# node1 journals the probe's commit and SIGKILLs itself before replying:
+# the coordinator's retry and abort both hit a dead socket, so the admit
+# fails closed while the commit stays durable on the hop.
+PRE1=$(sessions_of "$DIR/wal1")
+drain "$P1"
+P1=
+start_daemon "$DIR/a1" -addr "$A1" -wal-dir "$DIR/wal1" -rate 1 \
+    -wal-sync always -crashpoint cluster.commit@1
+P1=$DPID
+
+CODE=$(curl -s -o "$DIR/resp" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' \
+    -d '{"name":"ack-lost","rho":0.05,"lambda":1,"alpha":5,"delay":200,"eps":0.5,"route":[0]}' \
+    "http://$AC/v1/cluster/admit")
+if [ "$CODE" != 503 ]; then
+    echo "cluster-smoke: admit with a lost commit ack answered HTTP $CODE, want 503" >&2
+    cat "$DIR/resp" >&2
+    exit 1
+fi
+CRETRIES=$(metric "$AC" gpsd_coord_commit_retries_total)
+if [ "$CRETRIES" != 1 ]; then
+    echo "cluster-smoke: gpsd_coord_commit_retries_total = $CRETRIES, want 1" >&2
+    exit 1
+fi
+wait "$P1" 2>/dev/null || true # the crashpoint SIGKILLed it
+P1=
+
+# Reboot node1: the committed-but-unacked session is in its WAL, live
+# and stranded — exactly the leak the orphan reconcile exists for.
+start_daemon "$DIR/a1" -addr "$A1" -wal-dir "$DIR/wal1" -rate 1 -wal-sync always
+P1=$DPID
+STRANDED=$(sessions_of "$DIR/wal1")
+if [ "$STRANDED" != $((PRE1 + 1)) ]; then
+    echo "cluster-smoke: node1 folds to $STRANDED sessions after the lost ack, want $((PRE1 + 1))" >&2
+    exit 1
+fi
+
+# Let the stranded session outlive the prepare TTL on node1's clock,
+# then restart the coordinator: reconcile keeps every journaled session
+# (their hop sessions exist) and orphan-releases the unjournaled one.
+sleep 2.5
+kill -9 "$PC"
+wait "$PC" 2>/dev/null || true
+PC=
+start_daemon "$DIR/ac" -addr "$AC" -topology "$DIR/topo.json" \
+    -prepare-ttl 2s -hop-timeout 1s \
+    -coord-wal-dir "$DIR/walc" -wal-sync always
+PC=$DPID
+ORPHANS=$(metric "$AC" gpsd_coord_orphan_releases_total)
+if [ "$ORPHANS" != 1 ]; then
+    echo "cluster-smoke: gpsd_coord_orphan_releases_total = $ORPHANS, want 1" >&2
+    exit 1
+fi
+POST1=$(sessions_of "$DIR/wal1")
+if [ "$POST1" != "$PRE1" ]; then
+    echo "cluster-smoke: node1 folds to $POST1 sessions after the orphan sweep, want $PRE1" >&2
+    exit 1
+fi
+"$DIR/walcheck" -wal-dir "$DIR/wal1" -rate 1 -url "http://$A1"
+"$DIR/walcheck" -wal-dir "$DIR/walc" -topology "$DIR/topo.json" -url "http://$AC"
 
 drain "$PC"
 PC=

@@ -196,6 +196,28 @@ func topologyMain(topoPath, base string, delay, eps float64) {
 			log.Fatalf("gpsdload: FAIL: %v", err)
 		}
 	}
+	// The not-found contract: only a genuinely unknown id may answer
+	// 404. (A partial release maps to 503-retryable, never 404 — a
+	// caller that reads "not found" stops retrying and strands hop
+	// capacity; see internal/cluster.Release.)
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodDelete, "/v1/cluster/sessions/999999"},
+		{http.MethodGet, "/v1/route-bounds/999999"},
+	} {
+		req, err := http.NewRequest(probe.method, base+probe.path, nil)
+		if err != nil {
+			log.Fatalf("gpsdload: %v", err)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			log.Fatalf("gpsdload: %s %s: %v", probe.method, probe.path, err)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			log.Fatalf("gpsdload: %s %s: HTTP %d, want 404 for an unknown id", probe.method, probe.path, resp.StatusCode)
+		}
+	}
 	fmt.Printf("gpsdload: OK: %d sessions admitted over the §6.3 tree in %v; all end-to-end bounds bit-identical to offline analysis\n",
 		len(ids), time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,186 @@
+// Coordinator-journal mode: a gpsd -topology coordinator with
+// -coord-wal-dir journals one route record per committed end-to-end
+// admission and one tombstone per release. walcheck folds that stream
+// from empty (coordinator journals never snapshot), rebuilds the CRST
+// network the coordinator analyzed — topology nodes plus the surviving
+// sessions in fold order, φ = ρ at every hop — and, with -url,
+// verifies the live coordinator's /v1/route-bounds against the offline
+// analysis by IEEE-754 bit pattern. scripts/cluster_smoke.sh drives
+// this around a coordinator SIGKILL + restart.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/wal"
+)
+
+func coordMain(dir, topoPath, base string, samples int, proofSeq uint64, expectHead string) {
+	rec, err := wal.Read(dir)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			log.Printf("walcheck: CORRUPT: %v", err)
+			os.Exit(2)
+		}
+		log.Fatalf("walcheck: %v", err)
+	}
+	if rec.State.Seq != 0 {
+		log.Printf("walcheck: CORRUPT: coordinator journal %s carries a snapshot at seq %d; route history folds from empty", dir, rec.State.Seq)
+		os.Exit(2)
+	}
+	st, err := wal.FoldRoutes(rec.Ops)
+	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			log.Printf("walcheck: CORRUPT: %v", err)
+			os.Exit(2)
+		}
+		log.Fatalf("walcheck: %v", err)
+	}
+	fmt.Printf("walcheck: %s: coordinator journal, %d route ops, %d torn bytes, %d live sessions, next-id %d\n",
+		dir, len(rec.Ops), rec.TornBytes, len(st.Sessions), st.NextID)
+	for _, s := range st.Sessions {
+		fmt.Printf("walcheck: session %d %q rho=%g route=%v hop-ids=%v shards=%v\n",
+			s.ID, s.Name, s.Rho, s.Route, s.HopIDs, s.Shards)
+	}
+
+	auditCheck(dir, proofSeq, expectHead)
+
+	if topoPath == "" {
+		if base != "" {
+			log.Fatalf("walcheck: verifying a live coordinator needs -topology (the end-to-end analysis depends on node rates)")
+		}
+		return
+	}
+	topo, err := cluster.LoadTopology(topoPath)
+	if err != nil {
+		log.Fatalf("walcheck: %v", err)
+	}
+	var an *network.CRSTAnalysis
+	if len(st.Sessions) > 0 {
+		an, err = cluster.BuildNetwork(topo, st.Sessions).AnalyzeCRST(network.CRSTOptions{})
+		if err != nil {
+			log.Fatalf("walcheck: offline CRST analysis over the recovered set: %v", err)
+		}
+		for i, s := range st.Sessions {
+			fmt.Printf("walcheck: session %d achieved-eps %g (bits %#x) at d=%g\n",
+				s.ID, an.EndToEndDelayTail(i)(s.Delay), math.Float64bits(an.EndToEndDelayTail(i)(s.Delay)), s.Delay)
+		}
+	}
+
+	if base == "" {
+		return
+	}
+	if err := verifyCoord(base, st, an, samples); err != nil {
+		log.Fatalf("walcheck: MISMATCH: %v", err)
+	}
+	fmt.Println("walcheck: OK: live coordinator matches the offline route analysis bit for bit")
+}
+
+// verifyCoord compares a live coordinator against the folded journal:
+// the health document's session count, then every sampled session's
+// /v1/route-bounds — end-to-end tail, envelope, and per-hop bounds —
+// by bit pattern (floats survive Go's JSON round-trip exactly).
+func verifyCoord(base string, st wal.RouteState, an *network.CRSTAnalysis, samples int) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+
+	var health struct {
+		Mode     string `json:"mode"`
+		Sessions int    `json:"sessions"`
+		Nodes    int    `json:"nodes"`
+	}
+	if err := getJSON(hc, base+"/healthz", &health); err != nil {
+		return err
+	}
+	if health.Mode != "coordinator" {
+		return fmt.Errorf("daemon at %s runs mode %q, want coordinator", base, health.Mode)
+	}
+	if health.Sessions != len(st.Sessions) {
+		return fmt.Errorf("coordinator has %d sessions, journal folds to %d", health.Sessions, len(st.Sessions))
+	}
+
+	step := 1
+	if samples > 0 && len(st.Sessions) > samples {
+		step = len(st.Sessions) / samples
+	}
+	for i := 0; i < len(st.Sessions); i += step {
+		s := st.Sessions[i]
+		var got struct {
+			ID  string `json:"id"`
+			E2E struct {
+				Delay        float64 `json:"delay"`
+				Eps          float64 `json:"eps"`
+				AchievedEps  float64 `json:"achieved_eps"`
+				EnvPrefactor float64 `json:"env_prefactor"`
+				EnvRate      float64 `json:"env_rate"`
+			} `json:"e2e"`
+			Hops []struct {
+				Node      int     `json:"node"`
+				HopID     string  `json:"hop_id"`
+				G         float64 `json:"g"`
+				Theta     float64 `json:"theta"`
+				Prefactor float64 `json:"prefactor"`
+				Rate      float64 `json:"rate"`
+			} `json:"hops"`
+		}
+		if err := getJSON(hc, fmt.Sprintf("%s/v1/route-bounds/%d", base, s.ID), &got); err != nil {
+			return fmt.Errorf("route-bounds for %d: %w", s.ID, err)
+		}
+		check := func(name string, gotV, wantV float64) error {
+			if math.Float64bits(gotV) != math.Float64bits(wantV) {
+				return fmt.Errorf("session %d %s: live %v (bits %#x) vs offline %v (bits %#x)",
+					s.ID, name, gotV, math.Float64bits(gotV), wantV, math.Float64bits(wantV))
+			}
+			return nil
+		}
+		env := an.EndToEndDelayExpTail(i)
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"delay", got.E2E.Delay, s.Delay},
+			{"eps", got.E2E.Eps, s.Eps},
+			{"achieved_eps", got.E2E.AchievedEps, an.EndToEndDelayTail(i)(s.Delay)},
+			{"env_prefactor", got.E2E.EnvPrefactor, env.Prefactor},
+			{"env_rate", got.E2E.EnvRate, env.Rate},
+		} {
+			if err := check(c.name, c.got, c.want); err != nil {
+				return err
+			}
+		}
+		if len(got.Hops) != len(an.Hops[i]) {
+			return fmt.Errorf("session %d: live serves %d hops, offline analysis has %d", s.ID, len(got.Hops), len(an.Hops[i]))
+		}
+		for k, hb := range an.Hops[i] {
+			gh := got.Hops[k]
+			if gh.Node != hb.Node {
+				return fmt.Errorf("session %d hop %d: live node %d, offline %d", s.ID, k, gh.Node, hb.Node)
+			}
+			if gh.HopID != strconv.FormatUint(s.HopIDs[k], 10) {
+				return fmt.Errorf("session %d hop %d: live hop id %q, journal records %d", s.ID, k, gh.HopID, s.HopIDs[k])
+			}
+			for _, c := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"g", gh.G, hb.G},
+				{"theta", gh.Theta, hb.Theta},
+				{"prefactor", gh.Prefactor, hb.Delay.Prefactor},
+				{"rate", gh.Rate, hb.Delay.Rate},
+			} {
+				if err := check(fmt.Sprintf("hop %d %s", k, c.name), c.got, c.want); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

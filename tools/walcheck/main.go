@@ -59,8 +59,31 @@ func main() {
 	expectHead := flag.String("expect-head", "", "hex audit head recorded out of band; proofs and the trail must fold to exactly this head")
 	proofStripe := flag.Int("proof-stripe", -1, "stripe whose audit chain -verify-proof/-expect-head apply to (striped layouts; sequences are per-stripe)")
 	ledgerQuantum := flag.Float64("ledger-quantum", 0, "ledger refill quantum the daemon runs with (striped layouts; 0 = rate/(stripes*16))")
+	topoPath := flag.String("topology", "", "topology JSON the coordinator ran over (coordinator journals; required to analyze or verify)")
 	flag.Parse()
-	if *walDir == "" || !(*rate > 0) {
+	if *walDir == "" {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// A coordinator journal is a different animal: route records folded
+	// from empty, analyzed against a topology rather than a single rate.
+	// The layouts are mutually refusing — hop flags here, -topology on
+	// the hop paths below.
+	if isCoord, err := wal.IsCoordDir(*walDir); err != nil {
+		log.Printf("walcheck: CORRUPT: %v", err)
+		os.Exit(2)
+	} else if isCoord {
+		if *rate != 0 || *proofStripe >= 0 || *ledgerQuantum != 0 {
+			log.Fatalf("walcheck: %s holds a coordinator journal; -rate, -proof-stripe and -ledger-quantum apply to hop WALs (use -topology)", *walDir)
+		}
+		coordMain(*walDir, *topoPath, *url, *samples, *verifyProof, *expectHead)
+		return
+	}
+	if *topoPath != "" {
+		log.Fatalf("walcheck: -topology applies to coordinator journals; %s holds a hop WAL", *walDir)
+	}
+	if !(*rate > 0) {
 		flag.Usage()
 		os.Exit(1)
 	}
